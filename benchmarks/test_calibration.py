@@ -1,0 +1,100 @@
+"""Evaluation depth — is the detector's probability trustworthy?
+
+Table IV reports accuracy, but a building controller acts on
+``P(occupied)`` thresholds (never switch lights off unless the detector is
+confident the room is empty).  This benchmark measures the calibration of
+the CSI MLP's probabilities on the held-out folds: expected calibration
+error, Brier score, and the bootstrap confidence interval of the headline
+accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import OccupancyDetector
+from repro.core.features import FeatureSet, extract_features
+from repro.metrics.bootstrap import bootstrap_ci
+from repro.metrics.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.metrics.classification import accuracy
+
+from .conftest import MAX_TRAIN_ROWS, PAPER_TRAINING, print_table
+
+
+@pytest.fixture(scope="module")
+def evaluated(bench_split):
+    train = bench_split.train.data
+    x_train = extract_features(train, FeatureSet.CSI)
+    stride = max(1, len(x_train) // MAX_TRAIN_ROWS)
+    detector = OccupancyDetector(64, PAPER_TRAINING)
+    detector.fit(x_train[::stride], train.occupancy[::stride])
+
+    x_test = np.vstack(
+        [extract_features(f.data, FeatureSet.CSI) for f in bench_split.tests]
+    )
+    y_test = np.concatenate([f.data.occupancy for f in bench_split.tests])
+    proba = detector.predict_proba(x_test)
+    return y_test, proba
+
+
+class TestCalibration:
+    def test_report(self, evaluated, benchmark):
+        y, proba = evaluated
+        ece = benchmark.pedantic(
+            lambda: expected_calibration_error(y, proba), rounds=1, iterations=1
+        )
+        brier = brier_score(y, proba)
+        predictions = (proba >= 0.5).astype(int)
+        estimate, low, high = bootstrap_ci(
+            accuracy, y, predictions, rng=np.random.default_rng(0)
+        )
+        print_table(
+            "Probability quality of the CSI MLP on the test folds",
+            [
+                {"metric": "accuracy", "value": f"{100 * estimate:.1f} % "
+                                                f"[{100 * low:.1f}, {100 * high:.1f}]"},
+                {"metric": "ECE", "value": round(ece, 3)},
+                {"metric": "Brier score", "value": round(brier, 3)},
+            ],
+        )
+        predicted, empirical, counts = reliability_curve(y, proba)
+        rows = [
+            {
+                "bin mean p": round(float(p), 2),
+                "empirical": round(float(e), 2),
+                "count": int(c),
+            }
+            for p, e, c in zip(predicted, empirical, counts)
+        ]
+        print_table("Reliability curve", rows)
+
+    def test_probability_better_than_coin_flip(self, evaluated, benchmark):
+        y, proba = evaluated
+        brier = benchmark(lambda: brier_score(y, proba))
+        assert brier < 0.25, "a coin flip scores 0.25"
+
+    def test_reasonably_calibrated(self, evaluated, benchmark):
+        y, proba = evaluated
+        ece = benchmark.pedantic(
+            lambda: expected_calibration_error(y, proba), rounds=1, iterations=1
+        )
+        # Deep nets are usually overconfident; we only require the ECE to
+        # stay moderate so a thresholded controller is meaningful.
+        assert ece < 0.15
+
+    def test_bootstrap_interval_tight(self, evaluated, benchmark):
+        y, proba = evaluated
+        predictions = (proba >= 0.5).astype(int)
+        estimate, low, high = benchmark.pedantic(
+            lambda: bootstrap_ci(
+                accuracy, y, predictions, rng=np.random.default_rng(1)
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        # ~8000 test rows: the accuracy CI should be within a few points.
+        assert high - low < 0.05
+        assert low <= estimate <= high

@@ -1,0 +1,89 @@
+"""Extension — does a second WiFi sniffer help?
+
+The paper uses one AP->RP1 link.  Deploying a second sniffer across the
+room adds spatial diversity: a body that barely perturbs one link's path
+set sits in the other's.  This benchmark records the same 30-hour world
+once with one link and once with two (same behavioural seed) and compares
+detection and *counting* — counting is where diversity should pay, since
+two bodies that alias on one link separate on two.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.config import CampaignConfig, RoomConfig, TrainingConfig
+from repro.core.counter import OccupantCounter
+from repro.core.detector import OccupancyDetector
+from repro.data.folds import make_paper_folds
+from repro.data.recording import CollectionCampaign
+
+from .conftest import print_table
+
+BASE = CampaignConfig(duration_h=30.0, sample_rate_hz=0.15, seed=31)
+TRAINING = TrainingConfig(epochs=8)
+
+
+def run_arm(extra_rx: tuple) -> dict[str, float]:
+    config = replace(BASE, room=RoomConfig(extra_rx_positions=extra_rx))
+    dataset = CollectionCampaign(config).run()
+    split = make_paper_folds(dataset)
+    train = split.train.data
+    width = train.csi.shape[1]
+
+    detector = OccupancyDetector(width, TRAINING).fit(train.csi, train.occupancy)
+    detection = 100.0 * float(
+        np.mean([detector.score(f.data.csi, f.data.occupancy) for f in split.tests])
+    )
+
+    counter = OccupantCounter(width, max_count=4, config=TRAINING)
+    counter.fit(train.csi, train.occupant_count)
+    count_mae = float(
+        np.mean(
+            [
+                counter.score(f.data.csi, f.data.occupant_count)["count_mae"]
+                for f in split.tests
+            ]
+        )
+    )
+    return {"detection %": detection, "count MAE": count_mae}
+
+
+@pytest.fixture(scope="module")
+def link_sweep():
+    return {
+        "1 link (paper)": run_arm(()),
+        "2 links": run_arm(((10.0, 5.0, 1.4),)),
+    }
+
+
+class TestMultiLinkExtension:
+    def test_report(self, link_sweep, benchmark):
+        benchmark(lambda: dict(link_sweep))
+        rows = [
+            {
+                "setup": name,
+                "detection %": round(metrics["detection %"], 1),
+                "count MAE": round(metrics["count MAE"], 3),
+            }
+            for name, metrics in link_sweep.items()
+        ]
+        print_table("Extension: spatial diversity from a second sniffer", rows)
+
+    def test_single_link_already_detects(self, link_sweep, benchmark):
+        benchmark(lambda: link_sweep["1 link (paper)"]["detection %"])
+        assert link_sweep["1 link (paper)"]["detection %"] > 85.0
+
+    def test_second_link_does_not_hurt_detection(self, link_sweep, benchmark):
+        benchmark(lambda: link_sweep["2 links"]["detection %"])
+        assert (
+            link_sweep["2 links"]["detection %"]
+            >= link_sweep["1 link (paper)"]["detection %"] - 3.0
+        )
+
+    def test_second_link_helps_counting(self, link_sweep, benchmark):
+        benchmark(lambda: link_sweep["2 links"]["count MAE"])
+        assert (
+            link_sweep["2 links"]["count MAE"]
+            <= link_sweep["1 link (paper)"]["count MAE"] + 0.05
+        )

@@ -1,0 +1,102 @@
+"""Figure 3 — Grad-CAM feature importance over the 66 inputs.
+
+The paper applies Grad-CAM to the trained CSI+Env MLP and finds:
+
+* temperature and humidity importance "close to 0, if not negative";
+* the highest importance between low subcarriers (a9-a17) and high
+  subcarriers (a57-a60).
+
+The benchmark trains the C+E detector on fold 0, explains the "occupied"
+decision over an occupied probe batch and asserts that shape.  It also
+cross-checks Grad-CAM against plain gradient saliency (the sanity-check
+property cited from [25]).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import OccupancyDetector
+from repro.core.features import FeatureSet, extract_features, feature_names
+from repro.xai.saliency import input_gradient_saliency
+
+from .conftest import MAX_TRAIN_ROWS, PAPER_TRAINING, print_table
+
+
+@pytest.fixture(scope="module")
+def explained(bench_split):
+    train = bench_split.train.data
+    x = extract_features(train, FeatureSet.CSI_ENV)
+    y = train.occupancy
+    stride = max(1, len(x) // MAX_TRAIN_ROWS)
+    detector = OccupancyDetector(66, PAPER_TRAINING)
+    detector.fit(x[::stride], y[::stride])
+    probe = x[y == 1][:512]
+    result = detector.explain(probe, target_class=1)
+    return detector, probe, result
+
+
+class TestFigure3:
+    def test_regenerate_importance_profile(self, explained, benchmark):
+        detector, probe, _ = explained
+        result = benchmark.pedantic(
+            lambda: detector.explain(probe, target_class=1), rounds=1, iterations=1
+        )
+
+        names = feature_names(FeatureSet.CSI_ENV)
+        importance = result.feature_importance
+        scale = importance.max() or 1.0
+        rows = []
+        for i in range(0, 66, 4):
+            rows.append(
+                {
+                    "feature": names[i],
+                    "importance": round(float(importance[i]), 3),
+                    "bar": "#" * int(20 * importance[i] / scale),
+                }
+            )
+        for i in (64, 65):  # always show e and h
+            rows.append(
+                {
+                    "feature": names[i],
+                    "importance": round(float(importance[i]), 3),
+                    "bar": "#" * int(20 * importance[i] / scale),
+                }
+            )
+        print_table("Figure 3 (reproduced): Grad-CAM importance", rows)
+
+    def test_top_features_are_csi_subcarriers(self, explained, benchmark):
+        benchmark(lambda: np.argsort(explained[2].feature_importance))
+        _, _, result = explained
+        top5 = np.argsort(result.feature_importance)[::-1][:5]
+        assert all(i < 64 for i in top5), f"top-5 must be CSI, got {top5}"
+
+    def test_environment_below_csi_peak(self, explained, benchmark):
+        benchmark(lambda: explained[2].feature_importance[:64].max())
+        # The paper: T/H importance near zero while CSI peaks dominate.
+        _, _, result = explained
+        csi_peak = result.feature_importance[:64].max()
+        assert result.feature_importance[64] < 0.8 * csi_peak
+        assert result.feature_importance[65] < 0.8 * csi_peak
+
+    def test_guard_bins_zero_importance(self, explained, benchmark):
+        benchmark(lambda: explained[2].feature_importance[0])
+        # Guard subcarriers carry a constant leakage floor: the scaler
+        # zeroes them, so no importance can flow through.
+        _, _, result = explained
+        for guard in (0, 1, 32, 63):
+            assert result.feature_importance[guard] == pytest.approx(0.0, abs=1e-9)
+
+    def test_sanity_check_against_saliency(self, explained, benchmark):
+        # Grad-CAM passes the "sanity check": its top CSI band overlaps
+        # with plain input-gradient saliency's.
+        detector, probe, result = explained
+        saliency = benchmark.pedantic(
+            lambda: input_gradient_saliency(
+                detector.model, detector.scaler.transform(probe), target_class=1
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        gradcam_top10 = set(np.argsort(result.feature_importance)[::-1][:10])
+        saliency_top10 = set(np.argsort(saliency)[::-1][:10])
+        assert len(gradcam_top10 & saliency_top10) >= 3

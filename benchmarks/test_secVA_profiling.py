@@ -1,0 +1,114 @@
+"""Section V-A — data profiling: stationarity and correlations.
+
+The paper reports, over the full campaign:
+
+* every series (CSI subcarriers, T, H, occupancy) passes the ADF
+  stationarity test;
+* Pearson correlations: T-H +0.45, T-occupancy +0.44, H-occupancy +0.35;
+* subcarriers correlate most with their neighbours, and mid-to-high band
+  carriers correlate ~0.20-0.30 with T and H;
+* time-of-day correlates strongly (0.77) with the environment.
+
+The benchmark reruns the profiling pipeline and asserts signs and rough
+magnitudes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiling import profile_dataset
+from repro.analysis.stats import correlation_matrix
+
+from .conftest import BENCH_CONFIG, print_table
+
+PAPER_CORRELATIONS = {
+    "T-H": 0.45,
+    "T-occupancy": 0.44,
+    "H-occupancy": 0.35,
+    "time-environment": 0.77,
+}
+
+
+@pytest.fixture(scope="module")
+def profile(bench_dataset):
+    return profile_dataset(
+        bench_dataset, start_hour_of_day=BENCH_CONFIG.start_hour_of_day
+    )
+
+
+class TestSectionVA:
+    def test_regenerate_profile(self, profile, benchmark, bench_dataset):
+        result = benchmark.pedantic(
+            lambda: profile_dataset(
+                bench_dataset, start_hour_of_day=BENCH_CONFIG.start_hour_of_day
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        measured = {
+            "T-H": result.corr_temperature_humidity,
+            "T-occupancy": result.corr_temperature_occupancy,
+            "H-occupancy": result.corr_humidity_occupancy,
+            "time-environment": result.corr_time_environment(),
+        }
+        rows = [
+            {
+                "correlation": key,
+                "paper": PAPER_CORRELATIONS[key],
+                "measured": round(measured[key], 2),
+            }
+            for key in PAPER_CORRELATIONS
+        ]
+        print_table("Section V-A (reproduced): Pearson correlations", rows)
+
+        adf_rows = [
+            {
+                "series": name,
+                "ADF stat": round(r.statistic, 2) if np.isfinite(r.statistic) else "-inf",
+                "p": round(r.p_value, 3),
+                "stationary": r.is_stationary,
+            }
+            for name, r in result.adf.items()
+        ]
+        print_table("Section V-A (reproduced): ADF stationarity", adf_rows)
+
+    def test_all_series_stationary(self, profile, benchmark):
+        benchmark(lambda: profile.all_series_stationary)
+        assert profile.all_series_stationary
+
+    def test_no_nulls_or_duplicates(self, profile, benchmark):
+        benchmark(lambda: profile.n_non_finite)
+        assert profile.n_non_finite == 0
+        assert profile.n_duplicate_timestamps == 0
+
+    def test_environment_occupancy_correlations_positive(self, profile, benchmark):
+        benchmark(lambda: profile.corr_temperature_occupancy)
+        # Signs must match the paper; magnitudes within a loose band.
+        assert 0.05 < profile.corr_temperature_occupancy < 0.8
+        assert 0.0 < profile.corr_humidity_occupancy < 0.8
+
+    def test_temperature_humidity_coupled(self, profile, benchmark):
+        benchmark(lambda: profile.corr_temperature_humidity)
+        assert abs(profile.corr_temperature_humidity) > 0.1
+
+    def test_time_environment_strong(self, profile, benchmark):
+        benchmark(lambda: profile.corr_time_environment())
+        # Paper: 0.77 — heating schedule plus office hours.
+        assert profile.corr_time_environment() > 0.3
+
+    def test_neighbouring_subcarriers_correlated(self, bench_dataset, benchmark):
+        # "subcarriers are mostly correlated with neighboring subcarriers"
+        corr = benchmark.pedantic(
+            lambda: correlation_matrix(bench_dataset.csi[:, 6:59]), rounds=1, iterations=1
+        )  # data bins
+        n = corr.shape[0]
+        neighbour = np.array([corr[i, i + 1] for i in range(n - 1)])
+        distant = np.array([corr[i, (i + 20) % n] for i in range(n)])
+        assert np.abs(neighbour).mean() > np.abs(distant).mean()
+
+    def test_some_subcarriers_track_environment(self, profile, benchmark):
+        benchmark(lambda: np.max(np.abs(profile.subcarrier_temperature_corr)))
+        # "mid-to-high band carriers are somewhat correlated with
+        # temperature and humidity (~0.20 to 0.30)".
+        assert np.max(np.abs(profile.subcarrier_temperature_corr)) > 0.10
+        assert np.max(np.abs(profile.subcarrier_humidity_corr)) > 0.10

@@ -1,0 +1,75 @@
+"""Table III — the temporal train/test folds.
+
+The paper splits the campaign 70/30 in time; the 30 % test region divides
+into five folds: fold 1 (evening, mostly empty), folds 2-3 (night, all
+empty), fold 4 (morning, mixed — the Env trap) and fold 5 (afternoon,
+almost fully occupied).  The benchmark regenerates the fold table and
+asserts that structure.
+"""
+
+from repro.data.folds import make_paper_folds
+
+from .conftest import print_table
+
+#: Table III reference rows (start, end, empty, occupied) for context.
+PAPER_TABLE_III = [
+    {"fold": 0, "window": "04/01 15:08 - 06/01 19:16", "empty": 2_348_151, "occupied": 1_405_500},
+    {"fold": 1, "window": "06/01 19:16 - 06/01 23:44", "empty": 321_742, "occupied": 0},
+    {"fold": 2, "window": "06/01 23:44 - 07/01 04:12", "empty": 321_742, "occupied": 0},
+    {"fold": 3, "window": "07/01 04:12 - 07/01 08:41", "empty": 321_742, "occupied": 0},
+    {"fold": 4, "window": "07/01 08:41 - 07/01 13:09", "empty": 56_223, "occupied": 265_519},
+    {"fold": 5, "window": "07/01 13:09 - 07/01 19:16", "empty": 0, "occupied": 321_741},
+]
+
+
+class TestTableIII:
+    def test_fold_structure(self, bench_dataset, benchmark):
+        split = benchmark(lambda: make_paper_folds(bench_dataset))
+
+        rows = []
+        for fold in split.all_folds:
+            d = fold.describe()
+            rows.append(
+                {
+                    "fold": d["fold"],
+                    "role": d["role"],
+                    "start_h": f"{d['start_h']:.1f}",
+                    "end_h": f"{d['end_h']:.1f}",
+                    "empty": d["empty"],
+                    "occupied": d["occupied"],
+                    "T range": d["T"],
+                    "H range": d["H"],
+                }
+            )
+        print_table("Table III (reproduced): train/test folds", rows)
+        print_table("Table III (paper, for reference)", PAPER_TABLE_III)
+
+        # 70/30 in time, train first.
+        assert split.train.index == 0
+        total = sum(len(f.data) for f in split.all_folds)
+        assert abs(len(split.train.data) / total - 0.7) < 0.02
+
+        # The night folds (2-3 in the paper) are entirely empty.
+        all_empty = [f.index for f in split.tests if f.n_occupied == 0]
+        assert len(all_empty) >= 2, f"expected >=2 all-empty night folds, got {all_empty}"
+
+        # A mixed morning fold exists (the Env-only trap, paper fold 4).
+        mixed = [
+            f.index
+            for f in split.tests
+            if f.n_occupied > 0 and f.n_empty > 0.2 * len(f.data)
+        ]
+        assert mixed, "expected a mixed (cold morning) fold"
+
+        # The final afternoon fold is occupied-dominated (paper fold 5).
+        last = split.tests[-1]
+        assert last.n_occupied > 0.7 * len(last.data)
+
+    def test_environment_ranges_inside_paper_envelope(self, bench_split, benchmark):
+        benchmark(lambda: [f.temperature_range() for f in bench_split.all_folds])
+        # Paper envelope over all folds: T 18.38-40.09 degC, H 16-49 %RH.
+        for fold in bench_split.all_folds:
+            t_lo, t_hi = fold.temperature_range()
+            h_lo, h_hi = fold.humidity_range()
+            assert 15.0 < t_lo and t_hi < 41.0
+            assert 10.0 <= h_lo and h_hi <= 55.0

@@ -1,0 +1,112 @@
+"""Table IV — occupancy detection accuracy over the 5 test folds.
+
+The paper's central result: Logistic Regression / Random Forest / MLP
+trained once on fold 0 and evaluated on five temporally disjoint folds,
+for three feature subsets (CSI, Env, CSI+Env).  Paper averages:
+
+    Logistic:  CSI 81, Env 70, C+E 82
+    RF:        CSI 97, Env 95, C+E 97
+    MLP:       CSI 97, Env 90, C+E 91
+
+The benchmark regenerates the full grid and asserts the *shape*:
+
+* the linear model is far behind the non-linear models on CSI;
+* RF and MLP reach >=90 % average on CSI (the paper's ~97 %);
+* Env-only collapses on the cold-morning trap fold while CSI-driven
+  non-linear models stay high there;
+* adding Env to CSI does not improve the non-linear models (redundancy,
+  Section V-D's conclusion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import OccupancyExperiment
+from repro.core.features import FeatureSet
+
+from .conftest import MAX_TRAIN_ROWS, PAPER_TRAINING, print_table
+
+#: Paper Table IV averages, accuracies in %.
+PAPER_AVERAGES = {
+    ("logistic", "CSI"): 81, ("logistic", "Env"): 70, ("logistic", "C+E"): 82,
+    ("random_forest", "CSI"): 97, ("random_forest", "Env"): 95, ("random_forest", "C+E"): 97,
+    ("mlp", "CSI"): 97, ("mlp", "Env"): 90, ("mlp", "C+E"): 91,
+}
+
+
+@pytest.fixture(scope="module")
+def table_iv(bench_split):
+    experiment = OccupancyExperiment(
+        bench_split, training=PAPER_TRAINING, max_train_rows=MAX_TRAIN_ROWS
+    )
+    return experiment.run(verbose=True)
+
+
+class TestTableIV:
+    def test_regenerate_table(self, table_iv, benchmark):
+        rows = benchmark(table_iv.rows)
+        print_table("Table IV (reproduced): occupancy accuracy (%)", rows)
+
+        comparison = []
+        for (model, features), paper_value in PAPER_AVERAGES.items():
+            fs = next(f for f in FeatureSet if f.label == features)
+            comparison.append(
+                {
+                    "model": model,
+                    "features": features,
+                    "paper avg": paper_value,
+                    "measured avg": round(table_iv.average(model, fs), 1),
+                }
+            )
+        print_table("Table IV averages: paper vs measured", comparison)
+
+    def test_linear_model_trails_on_csi(self, table_iv, benchmark):
+        benchmark(lambda: table_iv.average("logistic", FeatureSet.CSI))
+        logistic = table_iv.average("logistic", FeatureSet.CSI)
+        mlp = table_iv.average("mlp", FeatureSet.CSI)
+        forest = table_iv.average("random_forest", FeatureSet.CSI)
+        assert mlp - logistic > 8.0, "MLP should beat logistic by a clear margin on CSI"
+        assert forest - logistic > 8.0, "RF should beat logistic by a clear margin on CSI"
+
+    def test_nonlinear_models_reach_paper_band_on_csi(self, table_iv, benchmark):
+        benchmark(lambda: table_iv.average("mlp", FeatureSet.CSI))
+        assert table_iv.average("mlp", FeatureSet.CSI) >= 90.0
+        assert table_iv.average("random_forest", FeatureSet.CSI) >= 90.0
+
+    def test_logistic_in_paper_band(self, table_iv, benchmark):
+        benchmark(lambda: table_iv.average("logistic", FeatureSet.CSI))
+        avg = table_iv.average("logistic", FeatureSet.CSI)
+        assert 65.0 <= avg <= 95.0, "paper reports 81 for logistic on CSI"
+
+    def test_env_only_collapses_on_trap_fold(self, table_iv, bench_split, benchmark):
+        benchmark(lambda: table_iv.accuracies["mlp"]["Env"])
+        # Identify the mixed morning fold and check the Env-only MLP drops
+        # well below its night-fold performance (paper fold 4: 54-75 %).
+        mixed = [
+            f.index
+            for f in bench_split.tests
+            if f.n_occupied > 0 and f.n_empty > 0.2 * len(f.data)
+        ]
+        assert mixed
+        env_folds = table_iv.accuracies["mlp"]["Env"]
+        trap_accuracy = min(env_folds[i - 1] for i in mixed)
+        assert trap_accuracy < 85.0, "Env-only should fail on the cold-morning fold"
+        # While the CSI MLP stays high on the same fold.
+        csi_folds = table_iv.accuracies["mlp"]["CSI"]
+        csi_on_trap = min(csi_folds[i - 1] for i in mixed)
+        assert csi_on_trap > trap_accuracy + 10.0
+
+    def test_env_redundant_for_nonlinear_models(self, table_iv, benchmark):
+        benchmark(lambda: table_iv.average("mlp", FeatureSet.CSI_ENV))
+        # Section V-D: "the latter represents a redundant feature".
+        csi = table_iv.average("mlp", FeatureSet.CSI)
+        both = table_iv.average("mlp", FeatureSet.CSI_ENV)
+        assert abs(both - csi) < 6.0, "C+E should not dramatically beat CSI"
+
+    def test_empty_night_folds_near_perfect(self, table_iv, bench_split, benchmark):
+        benchmark(lambda: table_iv.accuracies["mlp"]["CSI"])
+        # Paper folds 2-3: every model scores 99-100 on all-empty nights
+        # with CSI-driven non-linear models.
+        empty_folds = [f.index for f in bench_split.tests if f.n_occupied == 0]
+        for i in empty_folds:
+            assert table_iv.accuracies["mlp"]["CSI"][i - 1] > 95.0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Environment sensing from WiFi: estimate temperature and humidity.
+
+Reproduces Section V-D's complementary application: the same CSI stream
+that detects occupancy also encodes the room climate, so one WiFi sniffer
+can replace a thermometer/hygrometer pair — but only a *non-linear* model
+can decode it well.  The script fits ordinary least squares and the neural
+regressor on CSI amplitudes and compares their MAE/MAPE per fold, like
+Table V.
+
+Usage::
+
+    python examples/environment_sensing.py
+"""
+
+import numpy as np
+
+from repro.baselines.linear import LinearRegression
+from repro.config import CampaignConfig, TrainingConfig
+from repro.core.regressor import EnvironmentRegressor
+from repro.data.folds import make_paper_folds
+from repro.data.recording import CollectionCampaign
+from repro.metrics.regression import mae, mape
+
+
+def main() -> None:
+    config = CampaignConfig(duration_h=30.0, sample_rate_hz=0.25, seed=3)
+    print(f"Simulating a {config.duration_h:.0f} h campaign...")
+    dataset = CollectionCampaign(config).run()
+    split = make_paper_folds(dataset)
+
+    train = split.train.data
+    x_train = train.csi
+    y_train = np.column_stack([train.temperature_c, train.humidity_rh])
+
+    print(f"Fitting OLS and the neural regressor on {len(train)} rows of CSI...")
+    linear = LinearRegression().fit(x_train, y_train)
+    neural = EnvironmentRegressor(64, TrainingConfig(epochs=10)).fit(x_train, y_train)
+
+    print("\nPer-fold errors (MAE in degC / %RH, MAPE in %):")
+    header = f"{'fold':>4}  {'linear MAE T/H':>16}  {'neural MAE T/H':>16}"
+    print(header)
+    averages = {"linear": [], "neural": []}
+    for fold in split.tests:
+        y_true = np.column_stack([fold.data.temperature_c, fold.data.humidity_rh])
+        row = [f"{fold.index:>4}"]
+        for name, model in (("linear", linear), ("neural", neural)):
+            pred = model.predict(fold.data.csi)
+            mae_t = mae(y_true[:, 0], pred[:, 0])
+            mae_h = mae(y_true[:, 1], pred[:, 1])
+            averages[name].append((mae_t, mae_h))
+            row.append(f"{mae_t:7.2f}/{mae_h:5.2f}  ")
+        print("  ".join(row))
+
+    print("\nAverages:")
+    for name, values in averages.items():
+        t_avg = np.mean([t for t, _ in values])
+        h_avg = np.mean([h for _, h in values])
+        print(f"  {name:>7}: T MAE {t_avg:.2f} degC, H MAE {h_avg:.2f} %RH")
+
+    lin_t = np.mean([t for t, _ in averages["linear"]])
+    nn_t = np.mean([t for t, _ in averages["neural"]])
+    print(f"\nThe neural model recovers temperature {lin_t / nn_t:.1f}x better "
+          f"than OLS — the CSI encodes the environment non-linearly "
+          f"(the paper's Section V-D conclusion).")
+
+    # Show a live reading, as a 'virtual thermometer' application would.
+    last = split.tests[-1].data
+    reading = neural.predict(last.csi[-1:])
+    print(f"\nVirtual sensor reading at campaign end: "
+          f"{reading[0, 0]:.1f} degC, {reading[0, 1]:.0f} %RH "
+          f"(Thingy ground truth: {last.temperature_c[-1]:.1f} degC, "
+          f"{last.humidity_rh[-1]:.0f} %RH)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a campaign, train the paper's MLP, detect occupancy.
+
+Runs in under a minute on a laptop.  It walks the full pipeline of the
+paper (DATE 2023, "Towards Deep Learning-based Occupancy Detection Via
+WiFi Sensing in Unconstrained Environments"):
+
+1. simulate a short data-collection campaign in the 12x6x3 m office;
+2. split it temporally into the paper's train fold + 5 test folds;
+3. train the Section IV-B MLP on CSI amplitudes (never retrained);
+4. evaluate accuracy on every held-out fold.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.config import CampaignConfig, TrainingConfig
+from repro.core.detector import OccupancyDetector
+from repro.core.features import FeatureSet, extract_features
+from repro.data.folds import make_paper_folds
+from repro.data.recording import CollectionCampaign
+
+
+def main() -> None:
+    # A scaled-down campaign: the paper's 74 h structure compressed to two
+    # days at 0.15 Hz (~26,000 rows, ~20 s to simulate).  Two days matter:
+    # like the paper's campaign, the training fold must span a full
+    # day/night cycle so the model sees both an empty night and a busy
+    # office before being tested on the future.
+    config = CampaignConfig(
+        duration_h=48.0,
+        sample_rate_hz=0.15,
+        start_hour_of_day=0.0,
+        seed=42,
+    )
+    print(f"Simulating a {config.duration_h:.0f} h campaign "
+          f"({config.n_samples} rows at {config.sample_rate_hz} Hz)...")
+    dataset = CollectionCampaign(config).run()
+    balance = dataset.class_balance()
+    print(f"  recorded {len(dataset)} rows, "
+          f"{balance['empty']:.0%} empty / {balance['occupied']:.0%} occupied")
+
+    # The paper's protocol: 70 % of the time is the training fold, the
+    # rest splits into temporally disjoint test folds.
+    split = make_paper_folds(dataset)
+    x_train = extract_features(split.train.data, FeatureSet.CSI)
+    y_train = split.train.data.occupancy
+
+    print(f"\nTraining the Section IV-B MLP on {x_train.shape[0]} rows "
+          f"of {x_train.shape[1]}-subcarrier CSI amplitude...")
+    detector = OccupancyDetector(
+        n_inputs=x_train.shape[1],
+        config=TrainingConfig(epochs=6),
+    )
+    detector.fit(x_train, y_train, verbose=True)
+    print(f"  {detector.n_parameters():,} trainable parameters")
+
+    print("\nAccuracy on the held-out folds (model never retrained):")
+    for fold in split.tests:
+        x_test = extract_features(fold.data, FeatureSet.CSI)
+        accuracy = detector.score(x_test, fold.data.occupancy)
+        print(f"  fold {fold.index}: {100 * accuracy:5.1f} %  "
+              f"({fold.n_empty} empty / {fold.n_occupied} occupied rows)")
+
+
+if __name__ == "__main__":
+    main()

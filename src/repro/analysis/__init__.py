@@ -1,0 +1,32 @@
+"""Time-series statistics used in the paper's Section V-A data profiling.
+
+* :mod:`repro.analysis.stats` — Pearson correlation and descriptive stats;
+* :mod:`repro.analysis.adf` — the Augmented Dickey-Fuller stationarity
+  test the paper applies before its correlation analysis;
+* :mod:`repro.analysis.profiling` — the full profiling report: Table II
+  occupant distribution and the Section V-A correlation numbers.
+"""
+
+from .stats import pearson, correlation_matrix, describe
+from .adf import adf_test, ADFResult
+from .profiling import DatasetProfile, profile_dataset
+from .spectral import (
+    welch_psd,
+    doppler_spread,
+    motion_energy,
+    SpectrogramBuilder,
+)
+
+__all__ = [
+    "pearson",
+    "correlation_matrix",
+    "describe",
+    "adf_test",
+    "ADFResult",
+    "DatasetProfile",
+    "profile_dataset",
+    "welch_psd",
+    "doppler_spread",
+    "motion_energy",
+    "SpectrogramBuilder",
+]

@@ -1,0 +1,179 @@
+"""Augmented Dickey-Fuller unit-root test.
+
+The paper (Section V-A) tests every series for stationarity with the ADF
+test before computing raw-data correlations.  This implementation follows
+the standard construction (as in statsmodels, which is unavailable here):
+
+1. Regress ``dy_t`` on ``y_{t-1}``, a constant, and ``k`` lagged
+   differences ``dy_{t-1} .. dy_{t-k}``.
+2. The test statistic is the t-ratio of the ``y_{t-1}`` coefficient.
+3. The lag order ``k`` is chosen by minimising AIC over ``0..maxlag``
+   (Schwert's rule for the default ``maxlag``).
+4. Critical values come from MacKinnon's (2010) response-surface
+   regressions for the constant-only case; the p-value is interpolated
+   from tabulated tau quantiles (documented approximation, good to ~0.01
+   in the decision region).
+
+Under H0 the series has a unit root (non-stationary); a test statistic
+below the critical value rejects H0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+#: MacKinnon (2010) response-surface coefficients, constant-only case
+#: (one variable).  tau_crit(T) = b0 + b1/T + b2/T^2 + b3/T^3.
+_MACKINNON_CONSTANT = {
+    0.01: (-3.43035, -6.5393, -16.786, -79.433),
+    0.05: (-2.86154, -2.8903, -4.234, -40.040),
+    0.10: (-2.56677, -1.5384, -2.809, 0.0),
+}
+
+#: Anchor quantiles of the asymptotic DF tau distribution (constant case)
+#: used for p-value interpolation.  (tau, p) pairs, tau increasing.
+_TAU_QUANTILES = np.array(
+    [
+        (-4.38, 0.001),
+        (-3.95, 0.005),
+        (-3.43, 0.010),
+        (-3.12, 0.025),
+        (-2.86, 0.050),
+        (-2.57, 0.100),
+        (-2.27, 0.200),
+        (-1.94, 0.350),
+        (-1.62, 0.500),
+        (-1.28, 0.650),
+        (-0.90, 0.800),
+        (-0.44, 0.900),
+        (0.08, 0.960),
+        (0.66, 0.990),
+        (1.50, 0.999),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class ADFResult:
+    """Outcome of an ADF test."""
+
+    statistic: float
+    p_value: float
+    used_lags: int
+    n_observations: int
+    critical_values: dict[float, float]
+
+    @property
+    def is_stationary(self) -> bool:
+        """Reject the unit root at the 5 % level."""
+        return self.statistic < self.critical_values[0.05]
+
+
+def _critical_values(n_obs: int) -> dict[float, float]:
+    out: dict[float, float] = {}
+    for level, (b0, b1, b2, b3) in _MACKINNON_CONSTANT.items():
+        out[level] = b0 + b1 / n_obs + b2 / n_obs**2 + b3 / n_obs**3
+    return out
+
+
+def _interp_p_value(tau: float) -> float:
+    taus = _TAU_QUANTILES[:, 0]
+    ps = _TAU_QUANTILES[:, 1]
+    if tau <= taus[0]:
+        return float(ps[0])
+    if tau >= taus[-1]:
+        return float(ps[-1])
+    # Interpolate in logit space so tails behave monotonically.
+    logits = np.log(ps / (1.0 - ps))
+    value = np.interp(tau, taus, logits)
+    return float(1.0 / (1.0 + np.exp(-value)))
+
+
+def _ols_tstat(design: np.ndarray, response: np.ndarray, column: int) -> float:
+    """t-statistic of one coefficient in an OLS fit."""
+    coef, _, rank, _ = np.linalg.lstsq(design, response, rcond=None)
+    residuals = response - design @ coef
+    dof = design.shape[0] - rank
+    if dof <= 0:
+        raise ShapeError("not enough observations for the ADF regression")
+    sigma2 = float(residuals @ residuals) / dof
+    xtx_inv = np.linalg.pinv(design.T @ design)
+    se = np.sqrt(sigma2 * xtx_inv[column, column])
+    if se == 0.0:
+        raise ShapeError("degenerate ADF regression (zero standard error)")
+    return float(coef[column] / se)
+
+
+def _aic(design: np.ndarray, response: np.ndarray) -> float:
+    coef, *_ = np.linalg.lstsq(design, response, rcond=None)
+    residuals = response - design @ coef
+    n = design.shape[0]
+    ssr = float(residuals @ residuals)
+    if ssr <= 0:
+        return -np.inf
+    return n * np.log(ssr / n) + 2.0 * design.shape[1]
+
+
+def _build_design(y: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Design matrix [y_{t-1}, const, dy_{t-1}..dy_{t-k}] and response dy_t."""
+    dy = np.diff(y)
+    t0 = k  # first usable index into dy
+    response = dy[t0:]
+    n = response.size
+    cols = [y[k:-1], np.ones(n)]
+    for lag in range(1, k + 1):
+        cols.append(dy[t0 - lag : t0 - lag + n])
+    return np.column_stack(cols), response
+
+
+def adf_test(series: np.ndarray, maxlag: int | None = None) -> ADFResult:
+    """Run the ADF test with AIC lag selection.
+
+    Parameters
+    ----------
+    series:
+        The time series (1-D, at least ~15 points).
+    maxlag:
+        Largest lag order tried; defaults to Schwert's
+        ``12 * (n/100)^(1/4)`` capped so the regression keeps
+        degrees of freedom.
+    """
+    y = np.asarray(series, dtype=float).ravel()
+    if y.size < 15:
+        raise ShapeError(f"series too short for ADF ({y.size} < 15 points)")
+    if np.any(~np.isfinite(y)):
+        raise ShapeError("series contains non-finite values")
+    if np.all(y == y[0]):
+        # A constant series is trivially stationary; report a large
+        # negative statistic rather than a degenerate regression.
+        crit = _critical_values(y.size)
+        return ADFResult(-np.inf, 0.0, 0, int(y.size), crit)
+
+    n = y.size
+    if maxlag is None:
+        maxlag = int(np.ceil(12.0 * (n / 100.0) ** 0.25))
+    maxlag = int(np.clip(maxlag, 0, max(0, (n - 10) // 2)))
+
+    best_k = 0
+    best_aic = np.inf
+    for k in range(maxlag + 1):
+        design, response = _build_design(y, k)
+        score = _aic(design, response)
+        if score < best_aic:
+            best_aic = score
+            best_k = k
+
+    design, response = _build_design(y, best_k)
+    stat = _ols_tstat(design, response, column=0)
+    n_obs = response.size
+    return ADFResult(
+        statistic=stat,
+        p_value=_interp_p_value(stat),
+        used_lags=best_k,
+        n_observations=n_obs,
+        critical_values=_critical_values(n_obs),
+    )

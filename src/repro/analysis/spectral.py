@@ -1,0 +1,120 @@
+"""Spectral analysis of CSI time series.
+
+Body motion modulates each subcarrier's amplitude at Doppler-scale rates
+(walking at ~1 m/s shifts 2.4 GHz paths by up to ~16 Hz), while an empty
+room's spectrum collapses to DC plus receiver noise.  These tools expose
+that view of the data:
+
+* :func:`welch_psd` — Welch-averaged power spectral density of one
+  subcarrier series;
+* :func:`doppler_spread` — RMS spectral width around DC, the standard
+  single-number motion indicator;
+* :func:`motion_energy` — band-limited AC power, a threshold detector's
+  feature;
+* :class:`SpectrogramBuilder` — STFT magnitude over time, the input
+  representation of most activity-recognition papers ([16]'s BLSTM and
+  friends).
+
+Everything runs on the amplitude series the paper records, so these are
+drop-in analyses for any :class:`~repro.data.dataset.OccupancyDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal
+
+from ..exceptions import ShapeError
+
+
+def welch_psd(
+    series: np.ndarray, sample_rate_hz: float, nperseg: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Welch PSD of a 1-D series; returns ``(frequencies, psd)``."""
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size < 8:
+        raise ShapeError(f"series too short for a PSD ({series.size} < 8)")
+    if sample_rate_hz <= 0:
+        raise ShapeError("sample_rate_hz must be positive")
+    if nperseg is None:
+        nperseg = min(256, series.size)
+    freqs, psd = signal.welch(series, fs=sample_rate_hz, nperseg=min(nperseg, series.size))
+    return freqs, psd
+
+
+def doppler_spread(
+    series: np.ndarray, sample_rate_hz: float, dc_cutoff_hz: float | None = None
+) -> float:
+    """RMS spectral width of the (detrended) series in Hz.
+
+    ``sqrt(sum f^2 P(f) / sum P(f))`` over the above-DC band — near zero
+    for a static room, rising with motion speed.
+    """
+    freqs, psd = welch_psd(series - np.mean(series), sample_rate_hz)
+    if dc_cutoff_hz is None:
+        dc_cutoff_hz = freqs[1] / 2 if len(freqs) > 1 else 0.0
+    band = freqs > dc_cutoff_hz
+    power = float(np.sum(psd[band]))
+    if power <= 0:
+        return 0.0
+    return float(np.sqrt(np.sum(freqs[band] ** 2 * psd[band]) / power))
+
+
+def motion_energy(
+    series: np.ndarray,
+    sample_rate_hz: float,
+    band_hz: tuple[float, float] = (0.1, 5.0),
+) -> float:
+    """AC power inside the human-motion band (integral of the PSD)."""
+    lo, hi = band_hz
+    if not 0 <= lo < hi:
+        raise ShapeError(f"invalid band {band_hz}")
+    freqs, psd = welch_psd(series - np.mean(series), sample_rate_hz)
+    mask = (freqs >= lo) & (freqs <= hi)
+    if not np.any(mask):
+        return 0.0
+    return float(np.trapezoid(psd[mask], freqs[mask]))
+
+
+class SpectrogramBuilder:
+    """STFT magnitude of a subcarrier series.
+
+    Parameters
+    ----------
+    window_s:
+        STFT window length in seconds.
+    overlap:
+        Fractional window overlap in [0, 1).
+    """
+
+    def __init__(self, window_s: float = 8.0, overlap: float = 0.5) -> None:
+        if window_s <= 0:
+            raise ShapeError("window_s must be positive")
+        if not 0.0 <= overlap < 1.0:
+            raise ShapeError("overlap must lie in [0, 1)")
+        self.window_s = window_s
+        self.overlap = overlap
+
+    def build(
+        self, series: np.ndarray, sample_rate_hz: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns ``(frequencies, times, magnitude)`` of the STFT.
+
+        ``magnitude`` has shape ``(n_freqs, n_times)``.
+        """
+        series = np.asarray(series, dtype=float).ravel()
+        if sample_rate_hz <= 0:
+            raise ShapeError("sample_rate_hz must be positive")
+        nperseg = max(8, int(round(self.window_s * sample_rate_hz)))
+        if series.size < nperseg:
+            raise ShapeError(
+                f"series of {series.size} samples shorter than one window ({nperseg})"
+            )
+        noverlap = int(nperseg * self.overlap)
+        freqs, times, stft = signal.stft(
+            series - np.mean(series),
+            fs=sample_rate_hz,
+            nperseg=nperseg,
+            noverlap=noverlap,
+        )
+        return freqs, times, np.abs(stft)

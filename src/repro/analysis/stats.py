@@ -1,0 +1,83 @@
+"""Descriptive statistics and Pearson correlation (paper Eq. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's rho: ``cov(X, Y) / (sigma_x * sigma_y)`` (paper Eq. 7).
+
+    Returns 0.0 when either series is constant (zero variance) — the
+    correlation is undefined there and 0 is the neutral report.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ShapeError(f"series lengths differ: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ShapeError("need at least 2 points for a correlation")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def correlation_matrix(columns: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson matrix over the columns of a 2-D array.
+
+    Constant columns produce zero rows/cols (same convention as
+    :func:`pearson`) with unit diagonal.
+    """
+    columns = np.asarray(columns, dtype=float)
+    if columns.ndim != 2:
+        raise ShapeError(f"expected (n, k) array, got {columns.shape}")
+    n, k = columns.shape
+    if n < 2:
+        raise ShapeError("need at least 2 rows")
+    centered = columns - columns.mean(axis=0)
+    stds = columns.std(axis=0)
+    safe = np.where(stds > 0, stds, 1.0)
+    normalized = centered / safe
+    corr = normalized.T @ normalized / n
+    constant = stds == 0
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of one series."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+
+def describe(x: np.ndarray) -> SeriesSummary:
+    """Descriptive statistics of a series (the V-A visual/numerical step)."""
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size == 0:
+        raise ShapeError("cannot describe an empty series")
+    return SeriesSummary(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std()),
+        minimum=float(x.min()),
+        q25=float(np.quantile(x, 0.25)),
+        median=float(np.median(x)),
+        q75=float(np.quantile(x, 0.75)),
+        maximum=float(x.max()),
+    )

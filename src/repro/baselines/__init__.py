@@ -1,0 +1,36 @@
+"""Comparison models (Section V-B / V-D), implemented from scratch.
+
+The paper baselines its MLP against scikit-learn's Logistic Regression and
+Random Forest for occupancy detection (Table IV), and against ordinary
+least squares for environment regression (Table V).  No sklearn is
+available here, so this subpackage provides:
+
+* :mod:`repro.baselines.scaler` — standard / min-max feature scaling;
+* :mod:`repro.baselines.logistic` — gradient-descent logistic regression;
+* :mod:`repro.baselines.tree` — histogram-binned CART decision trees
+  (classification and regression);
+* :mod:`repro.baselines.forest` — bootstrap-aggregated random forests;
+* :mod:`repro.baselines.linear` — closed-form OLS / ridge regression.
+"""
+
+from .scaler import StandardScaler, MinMaxScaler
+from .knn import KNeighborsClassifier
+from .boosting import GradientBoostingClassifier
+from .logistic import LogisticRegression
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .linear import LinearRegression, RidgeRegression
+
+__all__ = [
+    "StandardScaler",
+    "KNeighborsClassifier",
+    "GradientBoostingClassifier",
+    "MinMaxScaler",
+    "LogisticRegression",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "LinearRegression",
+    "RidgeRegression",
+]

@@ -1,0 +1,131 @@
+"""Gradient-boosted decision trees (binary classification).
+
+The missing member of the classic non-linear baseline family: where the
+random forest averages independent deep-ish trees, boosting fits shallow
+regression trees sequentially on the logistic loss's gradient.  Built on
+the same histogram-binned CART regressors as the forest, so it stays fast
+at campaign scale.
+
+Standard Friedman recipe: raw score ``F_m = F_{m-1} + lr * h_m`` where
+``h_m`` is a regression tree fit to the residual ``y - sigmoid(F_{m-1})``;
+``F_0`` is the log-odds of the base rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from .tree import DecisionTreeRegressor
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+
+class GradientBoostingClassifier:
+    """Binary GBDT with logistic loss.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds.
+    learning_rate:
+        Shrinkage applied to every tree's contribution.
+    max_depth:
+        Depth of the weak learners (shallow by design).
+    subsample:
+        Row fraction drawn (without replacement) per round — stochastic
+        gradient boosting.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        n_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigurationError("n_estimators must be >= 1")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0.0 < subsample <= 1.0:
+            raise ConfigurationError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.n_bins = n_bins
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.base_score_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ShapeError(f"{x.shape[0]} rows but {y.shape[0]} labels")
+        if not np.all(np.isin(y, (0.0, 1.0))):
+            raise ShapeError("labels must be binary 0/1")
+
+        rng = np.random.default_rng(self.seed)
+        rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        self.base_score_ = float(np.log(rate / (1.0 - rate)))
+        scores = np.full(y.shape[0], self.base_score_)
+        self.trees_ = []
+        n = x.shape[0]
+        sample_size = max(1, int(round(self.subsample * n)))
+        for _ in range(self.n_estimators):
+            residual = y - _sigmoid(scores)
+            if sample_size < n:
+                idx = rng.choice(n, size=sample_size, replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                n_bins=self.n_bins,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(x[idx], residual[idx])
+            scores = scores + self.learning_rate * tree.predict(x)
+            self.trees_.append(tree)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw boosted scores (log-odds scale)."""
+        if not self.trees_:
+            raise NotFittedError("GradientBoostingClassifier.predict before fit")
+        x = np.asarray(x, dtype=float)
+        scores = np.full(x.shape[0], self.base_score_)
+        for tree in self.trees_:
+            scores = scores + self.learning_rate * tree.predict(x)
+        return scores
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class 1) per row."""
+        return _sigmoid(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 decisions at the 0.5 threshold."""
+        return (self.decision_function(x) >= 0.0).astype(int)
+
+    def staged_accuracy(self, x: np.ndarray, y: np.ndarray) -> list[float]:
+        """Accuracy after each boosting round (learning-curve diagnostics)."""
+        if not self.trees_:
+            raise NotFittedError("GradientBoostingClassifier used before fit")
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int).ravel()
+        scores = np.full(x.shape[0], self.base_score_)
+        curve = []
+        for tree in self.trees_:
+            scores = scores + self.learning_rate * tree.predict(x)
+            curve.append(float(np.mean((scores >= 0.0).astype(int) == y)))
+        return curve

@@ -1,0 +1,112 @@
+"""Random forests: bagged histogram-CART ensembles.
+
+The paper's strongest baseline (Table IV): "the RF is a non-linear ensemble
+model based on decision trees, famous for its ability to resist
+overfitting, which achieves excellent performance."  Standard Breiman
+recipe: each tree sees a bootstrap resample of the rows and a random
+``sqrt(d)`` feature subset per split; predictions average over trees.
+
+``max_samples`` bounds the bootstrap size so forests stay fast on the
+multi-hundred-thousand-row campaign datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor, _BaseDecisionTree
+
+
+class _BaseForest:
+    """Shared bagging machinery."""
+
+    #: Tree class instantiated per estimator; set by subclasses.
+    tree_cls: type[_BaseDecisionTree]
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        max_features: int | str | None = "sqrt",
+        max_samples: int | float | None = None,
+        n_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigurationError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_samples = max_samples
+        self.n_bins = n_bins
+        self.seed = seed
+        self.trees_: list[_BaseDecisionTree] = []
+
+    def _bootstrap_size(self, n: int) -> int:
+        if self.max_samples is None:
+            return n
+        if isinstance(self.max_samples, float):
+            if not 0.0 < self.max_samples <= 1.0:
+                raise ConfigurationError("float max_samples must be in (0, 1]")
+            return max(1, int(self.max_samples * n))
+        if isinstance(self.max_samples, int):
+            if self.max_samples < 1:
+                raise ConfigurationError("int max_samples must be >= 1")
+            return min(self.max_samples, n)
+        raise ConfigurationError(f"bad max_samples: {self.max_samples!r}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_BaseForest":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ShapeError(f"{x.shape[0]} rows but {y.shape[0]} targets")
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        size = self._bootstrap_size(n)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=size)
+            tree = self.tree_cls(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                n_bins=self.n_bins,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def _mean_raw(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise NotFittedError("forest not fitted")
+        return np.mean([tree._raw_predict(x) for tree in self.trees_], axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bagged binary classifier; probability = mean of tree leaf fractions."""
+
+    tree_cls = DecisionTreeClassifier
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class 1) per row, averaged over the ensemble."""
+        return self._mean_raw(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 decisions at the 0.5 threshold."""
+        return (self._mean_raw(x) >= 0.5).astype(int)
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bagged regressor; prediction = mean of tree means."""
+
+    tree_cls = DecisionTreeRegressor
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted values per row."""
+        return self._mean_raw(x)

@@ -1,0 +1,83 @@
+"""k-nearest-neighbours classifier.
+
+A distance-based non-parametric baseline: CSI occupancy detection is
+essentially a manifold problem ("is this frame near the empty manifold?"),
+so k-NN is the natural sanity-check comparator for the learned models.
+Brute-force with chunked distance evaluation — fine for the campaign
+scales here, and free of index-structure complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+class KNeighborsClassifier:
+    """Binary k-NN with Euclidean distance and majority vote.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Vote size; ties at even ``k`` break toward occupied (class 1).
+    chunk_size:
+        Rows of the query matrix processed per distance block, bounding
+        memory at ``chunk_size * n_train`` floats.
+    """
+
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 512) -> None:
+        if n_neighbors < 1:
+            raise ConfigurationError("n_neighbors must be >= 1")
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int).ravel()
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ShapeError(f"{x.shape[0]} rows but {y.shape[0]} labels")
+        if not np.all(np.isin(y, (0, 1))):
+            raise ShapeError("labels must be binary 0/1")
+        if x.shape[0] < self.n_neighbors:
+            raise ConfigurationError(
+                f"need at least n_neighbors={self.n_neighbors} training rows"
+            )
+        self._x = x
+        self._y = y
+        self._sq_norms = np.einsum("ij,ij->i", x, x)
+        return self
+
+    def _neighbor_votes(self, queries: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._y is not None
+        votes = np.empty(queries.shape[0])
+        for start in range(0, queries.shape[0], self.chunk_size):
+            block = queries[start : start + self.chunk_size]
+            # Squared Euclidean distances via the expansion trick.
+            d2 = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ self._x.T
+                + self._sq_norms[None, :]
+            )
+            idx = np.argpartition(d2, self.n_neighbors - 1, axis=1)[:, : self.n_neighbors]
+            votes[start : start + block.shape[0]] = self._y[idx].mean(axis=1)
+        return votes
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Fraction of occupied neighbours per query row."""
+        if self._x is None:
+            raise NotFittedError("KNeighborsClassifier.predict before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self._x.shape[1]:
+            raise ShapeError(f"expected (n, {self._x.shape[1]}) queries, got {x.shape}")
+        return self._neighbor_votes(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority-vote labels (ties -> occupied)."""
+        return (self.predict_proba(x) >= 0.5).astype(int)

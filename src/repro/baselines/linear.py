@@ -1,0 +1,88 @@
+"""Linear least-squares regression.
+
+Section V-D fits "a least-squares solution, both using linear regression
+(ordinary least squares) and non-linear regression [...] implemented with
+our neural network model."  :class:`LinearRegression` is the closed-form
+OLS half of that comparison (multi-output, so one fit covers temperature
+and humidity simultaneously); :class:`RidgeRegression` adds Tikhonov
+damping for ill-conditioned feature sets such as near-constant guard-bin
+subcarriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+class LinearRegression:
+    """Ordinary least squares, multi-output, via ``lstsq``."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+
+    def _check_xy(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.ndim != 2 or y.shape[0] != x.shape[0]:
+            raise ShapeError(f"targets {y.shape} incompatible with inputs {x.shape}")
+        return x, y
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        x, y = self._check_xy(x, y)
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean(axis=0)
+            coef, *_ = np.linalg.lstsq(x - x_mean, y - y_mean, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = y_mean - x_mean @ coef
+        else:
+            coef, *_ = np.linalg.lstsq(x, y, rcond=None)
+            self.coef_ = coef
+            self.intercept_ = np.zeros(y.shape[1])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted targets, shape ``(n, n_outputs)``."""
+        if self.coef_ is None or self.intercept_ is None:
+            raise NotFittedError("LinearRegression.predict before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.coef_.shape[0]:
+            raise ShapeError(
+                f"model fitted on {self.coef_.shape[0]} features, got {x.shape}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-damped least squares solved via the normal equations."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        super().__init__(fit_intercept)
+        if alpha < 0:
+            raise ConfigurationError("alpha must be >= 0")
+        self.alpha = alpha
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x, y = self._check_xy(x, y)
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean(axis=0)
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(x.shape[1])
+            y_mean = np.zeros(y.shape[1])
+            xc, yc = x, y
+        d = x.shape[1]
+        gram = xc.T @ xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - x_mean @ self.coef_
+        return self

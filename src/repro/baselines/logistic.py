@@ -1,0 +1,128 @@
+"""Binary logistic regression.
+
+The paper's linear baseline: "the Logistic Regressor is a linear
+classifier whose results demonstrate that it is not easy to describe the
+intricate relationships of data in a linear manner" (Section V-B).
+Optimised by full-batch gradient descent with optional L2 regularisation
+and a backtracking-free adaptive step (halve on loss increase) — robust
+enough for the ~100-feature problems here without an external solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+
+class LogisticRegression:
+    """L2-regularised binary logistic regression.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on the weights (never the intercept).
+    lr:
+        Initial gradient-descent step size.
+    max_iter:
+        Iteration budget.
+    tol:
+        Stop when the loss improves by less than this between iterations.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-4,
+        lr: float = 0.5,
+        max_iter: int = 300,
+        tol: float = 1e-7,
+    ) -> None:
+        if l2 < 0:
+            raise ConfigurationError("l2 must be >= 0")
+        if lr <= 0:
+            raise ConfigurationError("lr must be positive")
+        if max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        self.l2 = l2
+        self.lr = lr
+        self.max_iter = max_iter
+        self.tol = tol
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def _check_xy(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.shape[0] != x.shape[0]:
+            raise ShapeError(f"{x.shape[0]} rows but {y.shape[0]} labels")
+        if not np.all(np.isin(y, (0.0, 1.0))):
+            raise ShapeError("labels must be binary 0/1")
+        return x, y
+
+    def _loss(self, x: np.ndarray, y: np.ndarray, w: np.ndarray, b: float) -> float:
+        p = _sigmoid(x @ w + b)
+        eps = 1e-12
+        nll = -np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+        return float(nll + 0.5 * self.l2 * np.dot(w, w))
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x, y = self._check_xy(x, y)
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        lr = self.lr
+        loss = self._loss(x, y, w, b)
+        for iteration in range(self.max_iter):
+            p = _sigmoid(x @ w + b)
+            error = p - y
+            grad_w = x.T @ error / n + self.l2 * w
+            grad_b = float(error.mean())
+            new_w = w - lr * grad_w
+            new_b = b - lr * grad_b
+            new_loss = self._loss(x, y, new_w, new_b)
+            if new_loss > loss:
+                lr *= 0.5  # overshoot: shrink the step, retry next iteration
+                if lr < 1e-10:
+                    break
+                continue
+            improvement = loss - new_loss
+            w, b, loss = new_w, new_b, new_loss
+            self.n_iter_ = iteration + 1
+            if improvement < self.tol:
+                break
+        self.weights_ = w
+        self.intercept_ = b
+        return self
+
+    def _check_fitted_x(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise NotFittedError("LogisticRegression.predict before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.weights_.shape[0]:
+            raise ShapeError(
+                f"model fitted on {self.weights_.shape[0]} features, got {x.shape}"
+            )
+        return x
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(occupied) per row, shape ``(n,)``."""
+        x = self._check_fitted_x(x)
+        assert self.weights_ is not None
+        return _sigmoid(x @ self.weights_ + self.intercept_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 decisions at the 0.5 threshold."""
+        return (self.predict_proba(x) >= 0.5).astype(int)
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw logits ``x @ w + b``."""
+        x = self._check_fitted_x(x)
+        assert self.weights_ is not None
+        return x @ self.weights_ + self.intercept_

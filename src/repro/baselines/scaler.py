@@ -1,0 +1,108 @@
+"""Feature scaling.
+
+Both the MLP and the logistic regressor need standardised inputs (CSI
+amplitudes live on a very different scale from degrees Celsius and %RH).
+Scalers follow the fit/transform convention and are serialisable via their
+``state`` property so deployed models can reproduce the exact training
+normalisation on-device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ShapeError
+
+
+class StandardScaler:
+    """Per-feature standardisation to zero mean / unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def _check_x(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"expected 2-D features, got {x.shape}")
+        return x
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = self._check_x(x)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # (Near-)constant features — e.g. guard-bin subcarriers whose
+        # recorded values differ only by float rounding dust — scale to 1
+        # so they transform to ~zero instead of amplifying that dust by
+        # fifteen orders of magnitude.
+        threshold = 1e-9 * np.maximum(1.0, np.abs(self.mean_))
+        self.scale_ = np.where(std > threshold, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform before fit")
+        x = self._check_x(x)
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ShapeError(
+                f"scaler fitted on {self.mean_.shape[0]} features, got {x.shape[1]}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform before fit")
+        x = self._check_x(x)
+        return x * self.scale_ + self.mean_
+
+    @property
+    def state(self) -> dict[str, np.ndarray]:
+        """Serialisable parameters (for on-device preprocessing export)."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler has no state before fit")
+        return {"mean": self.mean_.copy(), "scale": self.scale_.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=float)
+        scaler.scale_ = np.asarray(state["scale"], dtype=float)
+        return scaler
+
+
+class MinMaxScaler:
+    """Per-feature scaling to [0, 1] (used by the int8 quantizer)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"expected 2-D features, got {x.shape}")
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        # Same near-constant guard as StandardScaler.
+        threshold = 1e-9 * np.maximum(1.0, np.abs(self.min_))
+        self.range_ = np.where(span > threshold, span, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler.transform before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.min_.shape[0]:
+            raise ShapeError(f"expected (n, {self.min_.shape[0]}), got {x.shape}")
+        return (x - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler.inverse_transform before fit")
+        return np.asarray(x, dtype=float) * self.range_ + self.min_

@@ -1,0 +1,49 @@
+"""WiFi CSI physics substrate.
+
+This subpackage replaces the paper's physical testbed (Nexmon-patched
+Raspberry Pis observing a 2.4 GHz access point) with a physics-informed
+simulator:
+
+* :mod:`repro.channel.subcarriers` — the OFDM subcarrier grid implied by the
+  paper's ``d_H = 3.2 * bandwidth`` rule (Section II-A).
+* :mod:`repro.channel.geometry` — 3D primitives and image-method reflections.
+* :mod:`repro.channel.materials` — reflection coefficients of plasterboard,
+  concrete, glass and furniture.
+* :mod:`repro.channel.atmosphere` — humidity/temperature-dependent gain.
+* :mod:`repro.channel.propagation` — the multipath ray tracer.
+* :mod:`repro.channel.fading` — Rician small-scale fading.
+* :mod:`repro.channel.csi` — CSI frame/matrix containers.
+* :mod:`repro.channel.sniffer` — Nexmon-like receiver front end (AGC,
+  noise floor, quantization).
+"""
+
+from .subcarriers import SubcarrierGrid
+from .geometry import Vec3, Room, reflect_point
+from .materials import Material, MATERIALS
+from .atmosphere import AtmosphereState, environmental_gain
+from .propagation import MultipathChannel, PathComponent, Scatterer
+from .fading import RicianFading
+from .csi import CSIFrame, CSIMatrix
+from .sniffer import NexmonSniffer
+from .phase import sanitize_phase, phase_difference, unwrap_phase
+
+__all__ = [
+    "SubcarrierGrid",
+    "Vec3",
+    "Room",
+    "reflect_point",
+    "Material",
+    "MATERIALS",
+    "AtmosphereState",
+    "environmental_gain",
+    "MultipathChannel",
+    "PathComponent",
+    "Scatterer",
+    "RicianFading",
+    "CSIFrame",
+    "CSIMatrix",
+    "NexmonSniffer",
+    "sanitize_phase",
+    "phase_difference",
+    "unwrap_phase",
+]

@@ -1,0 +1,144 @@
+"""CSI containers.
+
+A :class:`CSIFrame` is one receive event: the complex channel estimate for
+every subcarrier at one timestamp.  A :class:`CSIMatrix` is a time-ordered
+stack of frames — the raw material of every experiment in the paper.
+
+The paper uses only the amplitude ``|H|`` (Section II-A: "In this paper, we
+use only the information contained in the CSI amplitude"), so both
+containers expose cheap amplitude views while retaining the complex data
+for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class CSIFrame:
+    """A single CSI estimate.
+
+    Parameters
+    ----------
+    timestamp_s:
+        Seconds since campaign start.
+    h:
+        Complex channel vector of shape ``(n_subcarriers,)``.
+    """
+
+    timestamp_s: float
+    h: np.ndarray
+
+    def __post_init__(self) -> None:
+        h = np.asarray(self.h)
+        if h.ndim != 1:
+            raise ShapeError(f"CSI frame must be 1-D, got shape {h.shape}")
+        if h.size == 0:
+            raise ShapeError("CSI frame must contain at least one subcarrier")
+        object.__setattr__(self, "h", np.ascontiguousarray(h, dtype=complex))
+
+    @property
+    def n_subcarriers(self) -> int:
+        return int(self.h.size)
+
+    @property
+    def amplitude(self) -> np.ndarray:
+        """``|H|`` per subcarrier — the feature the paper's models use."""
+        return np.abs(self.h)
+
+    @property
+    def phase(self) -> np.ndarray:
+        """Phase per subcarrier (kept for completeness; unused by the paper)."""
+        return np.angle(self.h)
+
+    def power_db(self) -> np.ndarray:
+        """Per-subcarrier power in dB, floored to avoid log(0)."""
+        p = np.abs(self.h) ** 2
+        return 10.0 * np.log10(np.maximum(p, 1e-30))
+
+
+class CSIMatrix:
+    """Time-ordered stack of CSI frames with array-like access.
+
+    Stored as a ``(n_frames, n_subcarriers)`` complex array plus a
+    ``(n_frames,)`` float timestamp vector.  Construction validates
+    monotonically non-decreasing timestamps — out-of-order CSI would break
+    every temporal split downstream.
+    """
+
+    def __init__(self, timestamps_s: np.ndarray, h: np.ndarray) -> None:
+        timestamps_s = np.ascontiguousarray(timestamps_s, dtype=float)
+        h = np.ascontiguousarray(h, dtype=complex)
+        if timestamps_s.ndim != 1:
+            raise ShapeError("timestamps must be 1-D")
+        if h.ndim != 2:
+            raise ShapeError("h must be 2-D (frames x subcarriers)")
+        if h.shape[0] != timestamps_s.shape[0]:
+            raise ShapeError(
+                f"{h.shape[0]} frames but {timestamps_s.shape[0]} timestamps"
+            )
+        if timestamps_s.size > 1 and np.any(np.diff(timestamps_s) < 0):
+            raise ShapeError("timestamps must be monotonically non-decreasing")
+        self._t = timestamps_s
+        self._h = h
+
+    @classmethod
+    def from_frames(cls, frames: Sequence[CSIFrame]) -> "CSIMatrix":
+        if not frames:
+            raise ShapeError("cannot build a CSIMatrix from zero frames")
+        widths = {f.n_subcarriers for f in frames}
+        if len(widths) != 1:
+            raise ShapeError(f"inconsistent subcarrier counts: {sorted(widths)}")
+        t = np.array([f.timestamp_s for f in frames], dtype=float)
+        h = np.stack([f.h for f in frames])
+        return cls(t, h)
+
+    def __len__(self) -> int:
+        return int(self._t.size)
+
+    def __iter__(self) -> Iterator[CSIFrame]:
+        for i in range(len(self)):
+            yield CSIFrame(float(self._t[i]), self._h[i])
+
+    def __getitem__(self, index: int) -> CSIFrame:
+        return CSIFrame(float(self._t[index]), self._h[index])
+
+    @property
+    def timestamps_s(self) -> np.ndarray:
+        return self._t
+
+    @property
+    def h(self) -> np.ndarray:
+        return self._h
+
+    @property
+    def n_subcarriers(self) -> int:
+        return int(self._h.shape[1])
+
+    @property
+    def amplitude(self) -> np.ndarray:
+        """Amplitude matrix, shape ``(n_frames, n_subcarriers)``."""
+        return np.abs(self._h)
+
+    def subcarrier_series(self, index: int) -> np.ndarray:
+        """The amplitude time series S(x, t) of one subcarrier (Sec. IV-B)."""
+        if not 0 <= index < self.n_subcarriers:
+            raise ShapeError(
+                f"subcarrier index {index} outside [0, {self.n_subcarriers})"
+            )
+        return np.abs(self._h[:, index])
+
+    def window(self, t0_s: float, t1_s: float) -> "CSIMatrix":
+        """Frames with ``t0 <= t < t1`` (temporal slicing for folds)."""
+        if t1_s < t0_s:
+            raise ShapeError(f"window bounds inverted: [{t0_s}, {t1_s})")
+        mask = (self._t >= t0_s) & (self._t < t1_s)
+        if not np.any(mask):
+            raise ShapeError(f"window [{t0_s}, {t1_s}) contains no frames")
+        return CSIMatrix(self._t[mask], self._h[mask])

@@ -1,0 +1,100 @@
+"""CSI phase sanitization.
+
+The paper uses only CSI amplitude (Section II-A), because raw Nexmon
+phase is dominated by two receiver artefacts that change packet to
+packet:
+
+* **STO** (symbol timing offset) — a time shift that appears as a phase
+  ramp linear in the subcarrier index;
+* **CFO/CPO** (carrier frequency / common phase offset) — a constant
+  phase rotation across all subcarriers.
+
+A credible CSI toolkit still ships phase tools, because sanitised phase
+carries genuine geometry information (path-length changes at sub-
+wavelength resolution).  :func:`sanitize_phase` implements the standard
+linear-detrending sanitizer (Sen et al.'s PhaseFix / the SpotFi
+pre-step): unwrap, fit a line over the subcarrier index, subtract ramp
+and offset.  :func:`phase_difference` gives the frame-to-frame sanitized
+phase delta that motion detectors threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def unwrap_phase(phase: np.ndarray) -> np.ndarray:
+    """Unwrap phases along the subcarrier axis (last axis)."""
+    phase = np.asarray(phase, dtype=float)
+    if phase.ndim not in (1, 2):
+        raise ShapeError(f"expected 1-D or 2-D phase, got shape {phase.shape}")
+    return np.unwrap(phase, axis=-1)
+
+
+def sanitize_phase(h: np.ndarray, guard_mask: np.ndarray | None = None) -> np.ndarray:
+    """Remove the linear (STO) and constant (CPO) phase artefacts.
+
+    Parameters
+    ----------
+    h:
+        Complex CSI, shape ``(d,)`` or ``(n, d)``.
+    guard_mask:
+        Optional boolean mask of guard bins to exclude from the linear
+        fit (their phase is leakage noise); sanitized values are still
+        returned for every bin.
+
+    Returns
+    -------
+    Sanitized phase in radians, same shape as the input's subcarrier
+    layout, with zero mean and zero mean slope across the fitted bins.
+    """
+    h = np.asarray(h, dtype=complex)
+    squeeze = h.ndim == 1
+    if squeeze:
+        h = h[None, :]
+    if h.ndim != 2:
+        raise ShapeError(f"expected 1-D or 2-D CSI, got shape {h.shape}")
+    n, d = h.shape
+    if guard_mask is not None:
+        guard_mask = np.asarray(guard_mask, dtype=bool)
+        if guard_mask.shape != (d,):
+            raise ShapeError(f"guard mask must have shape ({d},)")
+        fit_idx = np.flatnonzero(~guard_mask)
+        if fit_idx.size < 2:
+            raise ShapeError("need at least two non-guard bins for the fit")
+    else:
+        fit_idx = np.arange(d)
+
+    phase = unwrap_phase(np.angle(h))
+    k = np.arange(d, dtype=float)
+    k_fit = k[fit_idx]
+    # Per-frame least-squares line through the fitted bins.
+    k_mean = k_fit.mean()
+    k_var = float(np.mean((k_fit - k_mean) ** 2))
+    p_fit = phase[:, fit_idx]
+    p_mean = p_fit.mean(axis=1, keepdims=True)
+    slope = ((p_fit - p_mean) * (k_fit - k_mean)).mean(axis=1, keepdims=True) / max(
+        k_var, 1e-12
+    )
+    sanitized = phase - slope * k[None, :] - (p_mean - slope * k_mean)
+    return sanitized[0] if squeeze else sanitized
+
+
+def phase_difference(
+    h_now: np.ndarray, h_prev: np.ndarray, guard_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Sanitized phase change between consecutive frames.
+
+    Motion between frames shifts path lengths and therefore sanitized
+    phase; an empty, static room shows near-zero difference.  Shape
+    follows the inputs (``(d,)`` -> ``(d,)``).
+    """
+    a = sanitize_phase(h_now, guard_mask)
+    b = sanitize_phase(h_prev, guard_mask)
+    if a.shape != b.shape:
+        raise ShapeError(f"frame shapes differ: {a.shape} vs {b.shape}")
+    delta = a - b
+    # Re-wrap the difference into (-pi, pi].
+    return np.angle(np.exp(1j * delta))

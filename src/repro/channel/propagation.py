@@ -1,0 +1,363 @@
+"""Multipath indoor channel model (image method + body scattering).
+
+The simulated channel response at subcarrier frequency ``f`` is the coherent
+sum over propagation paths::
+
+    H(f) = sum_p  a_p * G_env(f) * exp(-j 2 pi f d_p / c)
+
+with, per path ``p``:
+
+* free-space spreading ``1/d_p`` (amplitude),
+* one reflection-coefficient factor per wall bounce (humidity dependent,
+  see :mod:`repro.channel.materials`),
+* a shadowing factor if any occupant's body obstructs the path's first
+  Fresnel zone (knife-edge-style attenuation), and
+* additional *scattered* paths TX -> body -> RX for each occupant, whose
+  lengths change as people move — this is the time-varying component that
+  makes occupied-room CSI "alive" and empty-room CSI quasi-static, the
+  signal the paper's classifiers exploit.
+
+Everything is vectorised over subcarriers; a single evaluation costs a few
+microseconds per path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SPEED_OF_LIGHT
+from ..exceptions import ChannelError, GeometryError
+from .atmosphere import AtmosphereState, EnvironmentalGainModel
+from .geometry import (
+    Room,
+    Vec3,
+    fresnel_radius_m,
+    segment_vertical_cylinder_distance,
+)
+from .materials import get_material
+from .subcarriers import SubcarrierGrid
+
+
+@dataclass(frozen=True)
+class Scatterer:
+    """A body (occupant) or furniture item interacting with the channel.
+
+    Occupants are vertical dielectric cylinders: ``position`` is the
+    ground-plane centre, ``radius_m`` the body radius, ``height_m`` the
+    height.  ``reflectivity`` is the linear amplitude scattering gain of the
+    TX->body->RX path; ``blocking_db`` the extra loss applied to a path whose
+    Fresnel zone the body intersects.
+    """
+
+    position: Vec3
+    radius_m: float = 0.22
+    height_m: float = 1.75
+    reflectivity: float = 0.35
+    blocking_db: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0 or self.height_m <= 0:
+            raise GeometryError("scatterer radius and height must be positive")
+        if not 0.0 <= self.reflectivity <= 1.0:
+            raise GeometryError("reflectivity must be within [0, 1]")
+
+    @property
+    def center(self) -> Vec3:
+        """Mid-height centre of the body cylinder."""
+        return Vec3(self.position.x, self.position.y, self.position.z + self.height_m / 2.0)
+
+
+@dataclass(frozen=True)
+class PathComponent:
+    """One resolved propagation path: geometric length plus amplitude factor.
+
+    ``base_amplitude`` collects spreading loss and reflection coefficients
+    evaluated at the reference humidity; humidity re-scaling happens at
+    response time so a single geometry solve serves many environment states.
+
+    ``segments`` holds the physical polyline of the path (one segment for
+    the LoS, two — TX->bounce and bounce->RX — for a wall reflection) so
+    occupant shadowing can be evaluated against the *actual* geometry: a
+    body anywhere in the room obstructs whichever bounce segments pass
+    near it, which is the physical mechanism that makes WiFi sensing see
+    people far from the direct link.
+    """
+
+    length_m: float
+    base_amplitude: float
+    kind: str
+    #: Wall material keys encountered, for humidity-dependent re-weighting.
+    materials: tuple[str, ...] = field(default=())
+    #: Physical segments of the path, ((a, b), ...); empty for scatter paths.
+    segments: tuple[tuple[Vec3, Vec3], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ChannelError(f"path length must be positive, got {self.length_m}")
+        if self.base_amplitude < 0:
+            raise ChannelError("path amplitude must be >= 0")
+
+
+class MultipathChannel:
+    """Frequency-selective indoor channel between a fixed TX and RX.
+
+    Parameters
+    ----------
+    room:
+        The office geometry.
+    grid:
+        Subcarrier grid at which responses are evaluated.
+    tx, rx:
+        Antenna positions (must lie inside the room).
+    max_reflection_order:
+        0 keeps only the line of sight; 1 adds the six single-bounce wall
+        images (the level at which indoor 2.4 GHz channels are already
+        strongly frequency selective).
+    reference_distance_m:
+        Distance at which the LoS amplitude is defined as 1.0; all path
+        amplitudes scale as ``reference/d``.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        grid: SubcarrierGrid,
+        tx: Vec3,
+        rx: Vec3,
+        max_reflection_order: int = 1,
+        reference_distance_m: float = 1.0,
+        environmental_model: EnvironmentalGainModel | None = None,
+    ) -> None:
+        if not room.contains(tx):
+            raise GeometryError(f"TX {tx} outside the room")
+        if not room.contains(rx):
+            raise GeometryError(f"RX {rx} outside the room")
+        if max_reflection_order not in (0, 1, 2):
+            raise ChannelError("only reflection orders 0, 1 and 2 are implemented")
+        if reference_distance_m <= 0:
+            raise ChannelError("reference_distance_m must be positive")
+        self.room = room
+        self.grid = grid
+        self.tx = tx
+        self.rx = rx
+        self.max_reflection_order = max_reflection_order
+        self.reference_distance_m = reference_distance_m
+        self.env_model = environmental_model or EnvironmentalGainModel(grid.n_subcarriers)
+        self._static_paths = self._trace_static_paths()
+
+    # ------------------------------------------------------------------ paths
+
+    def _trace_static_paths(self) -> list[PathComponent]:
+        """LoS plus first-order wall reflections (image method)."""
+        paths: list[PathComponent] = []
+        d_los = self.tx.distance_to(self.rx)
+        if d_los <= 0:
+            raise GeometryError("TX and RX must not coincide")
+        paths.append(
+            PathComponent(
+                length_m=d_los,
+                base_amplitude=self.reference_distance_m / d_los,
+                kind="los",
+                segments=((self.tx, self.rx),),
+            )
+        )
+        if self.max_reflection_order >= 1:
+            for wall in self.room.walls():
+                image = wall.mirror(self.tx)
+                d = image.distance_to(self.rx)
+                material = get_material(wall.material_key)
+                gamma = material.reflection_coefficient()
+                bounce = self._bounce_point(image, wall)
+                paths.append(
+                    PathComponent(
+                        length_m=d,
+                        base_amplitude=gamma * self.reference_distance_m / d,
+                        kind=f"reflection:{wall.name}",
+                        materials=(wall.material_key,),
+                        segments=((self.tx, bounce), (bounce, self.rx)),
+                    )
+                )
+        if self.max_reflection_order >= 2:
+            paths.extend(self._trace_second_order())
+        return paths
+
+    def _trace_second_order(self) -> list[PathComponent]:
+        """Double-bounce wall paths via nested images.
+
+        For walls i != j: mirror TX across wall i, mirror that image
+        across wall j; the straight ray from the double image to RX
+        unfolds into TX -> bounce_i -> bounce_j -> RX.  Amplitude picks up
+        both reflection coefficients.  Same-wall pairs are skipped (a ray
+        cannot bounce off the same plane twice in a convex room).
+        """
+        paths: list[PathComponent] = []
+        walls = list(self.room.walls())
+        for i, wall_i in enumerate(walls):
+            image1 = wall_i.mirror(self.tx)
+            gamma_i = get_material(wall_i.material_key).reflection_coefficient()
+            for j, wall_j in enumerate(walls):
+                if i == j:
+                    continue
+                image2 = wall_j.mirror(image1)
+                d = image2.distance_to(self.rx)
+                if d <= 0:
+                    continue
+                gamma_j = get_material(wall_j.material_key).reflection_coefficient()
+                # Unfold: the RX->image2 ray crosses wall j at b2; the
+                # b2->image1 ray crosses wall i at b1.
+                b2 = self._plane_crossing(image2, self.rx, wall_j)
+                b1 = self._plane_crossing(image1, b2, wall_i)
+                paths.append(
+                    PathComponent(
+                        length_m=d,
+                        base_amplitude=gamma_i * gamma_j * self.reference_distance_m / d,
+                        kind=f"reflection2:{wall_i.name}+{wall_j.name}",
+                        materials=(wall_i.material_key, wall_j.material_key),
+                        segments=((self.tx, b1), (b1, b2), (b2, self.rx)),
+                    )
+                )
+        return paths
+
+    @staticmethod
+    def _plane_crossing(a: Vec3, b: Vec3, wall) -> Vec3:
+        """Intersection of segment ``a-b`` with a wall plane (clamped)."""
+        av = a.as_array()
+        bv = b.as_array()
+        axis, offset = wall.axis, wall.offset
+        denom = bv[axis] - av[axis]
+        if denom == 0.0:
+            t = 0.5
+        else:
+            t = (offset - av[axis]) / denom
+        t = float(np.clip(t, 0.0, 1.0))
+        return Vec3.from_array(av + t * (bv - av))
+
+    def _bounce_point(self, image: Vec3, wall) -> Vec3:
+        """Where the image-method ray crosses the reflecting wall plane."""
+        return self._plane_crossing(image, self.rx, wall)
+
+    @property
+    def static_paths(self) -> tuple[PathComponent, ...]:
+        """The resolved static (geometry-only) paths."""
+        return tuple(self._static_paths)
+
+    # -------------------------------------------------------------- occupants
+
+    def _path_obstruction_db(self, scatterers: list[Scatterer]) -> np.ndarray:
+        """Extra loss [dB] applied to each static path by body blocking.
+
+        For every path the *actual* propagation segments (TX->bounce,
+        bounce->RX) are tested against each body cylinder; a body within
+        one Fresnel radius of any segment attenuates that path with a
+        smooth knife-edge-like profile.  This is the core WiFi-sensing
+        mechanism: a person far from the direct link still shadows the
+        wall/ceiling reflections that pass overhead or alongside them, so
+        the received spectral shape depends on where people are.
+        """
+        losses = np.zeros(len(self._static_paths))
+        if not scatterers:
+            return losses
+        wavelength = float(np.mean(self.grid.wavelengths_m()))
+        for s in scatterers:
+            if s.blocking_db <= 0.0:
+                continue
+            xy = (s.position.x, s.position.y)
+            z_range = (s.position.z, s.position.z + s.height_m)
+            for p_idx, path in enumerate(self._static_paths):
+                for a, b in path.segments:
+                    seg_len = a.distance_to(b)
+                    if seg_len <= 0:
+                        continue
+                    r_fresnel = fresnel_radius_m(wavelength, seg_len / 2.0, seg_len / 2.0)
+                    dist = segment_vertical_cylinder_distance(a, b, xy, z_range)
+                    clearance = dist - s.radius_m
+                    if clearance < r_fresnel:
+                        frac = 1.0 - max(clearance, 0.0) / r_fresnel
+                        losses[p_idx] += s.blocking_db * frac
+        return losses
+
+    def _scattered_paths(self, scatterers: list[Scatterer]) -> list[PathComponent]:
+        """TX -> body -> RX single-scatter paths for each occupant."""
+        paths: list[PathComponent] = []
+        for s in scatterers:
+            c = s.center
+            d = self.tx.distance_to(c) + c.distance_to(self.rx)
+            amp = s.reflectivity * self.reference_distance_m / d
+            paths.append(PathComponent(length_m=d, base_amplitude=amp, kind="scatter"))
+        return paths
+
+    # --------------------------------------------------------------- response
+
+    def static_field(
+        self,
+        obstructing: list[Scatterer] | None = None,
+        atmosphere: AtmosphereState | None = None,
+    ) -> np.ndarray:
+        """Coherent sum of the traced wall/LoS paths.
+
+        Applies occupant shadowing (``obstructing``) and humidity-rescaled
+        reflection coefficients, but *not* the environmental hardware gain —
+        callers compose that last so field components can be cached.
+        """
+        obstructing = list(obstructing or [])
+        freqs = self.grid.frequencies_hz
+        obstruction_db = self._path_obstruction_db(obstructing)
+
+        h = np.zeros(len(freqs), dtype=complex)
+        for path, extra_db in zip(self._static_paths, obstruction_db):
+            amp = path.base_amplitude * 10.0 ** (-extra_db / 20.0)
+            if atmosphere is not None and path.materials:
+                # Re-scale reflection coefficients for the current humidity.
+                for key in path.materials:
+                    mat = get_material(key)
+                    ref = mat.reflection_coefficient()
+                    now = mat.reflection_coefficient(atmosphere.humidity_rh)
+                    if ref > 0:
+                        amp *= now / ref
+            phase = -2.0 * np.pi * freqs * path.length_m / SPEED_OF_LIGHT
+            h += amp * np.exp(1j * phase)
+        return h
+
+    def scattered_field(self, scatterers: list[Scatterer]) -> np.ndarray:
+        """Coherent sum of single-scatter TX->body->RX paths.
+
+        Pure function of the scatterer set, so a recorder can cache the
+        furniture contribution between layout changes.
+        """
+        freqs = self.grid.frequencies_hz
+        h = np.zeros(len(freqs), dtype=complex)
+        for path in self._scattered_paths(scatterers):
+            phase = -2.0 * np.pi * freqs * path.length_m / SPEED_OF_LIGHT
+            h += path.base_amplitude * np.exp(1j * phase)
+        return h
+
+    def environmental_gain(self, atmosphere: AtmosphereState) -> np.ndarray:
+        """Per-subcarrier hardware/environment gain for the given state."""
+        return self.env_model.gain(atmosphere)
+
+    def response(
+        self,
+        scatterers: list[Scatterer] | None = None,
+        atmosphere: AtmosphereState | None = None,
+    ) -> np.ndarray:
+        """Complex CSI vector ``H`` of shape ``(n_subcarriers,)``.
+
+        Coherently sums static paths (with occupant shadowing and
+        humidity-rescaled reflection coefficients), occupant scattered paths
+        and the environmental (hardware drift) gain profile.
+        """
+        scatterers = list(scatterers or [])
+        h = self.static_field(scatterers, atmosphere) + self.scattered_field(scatterers)
+        if atmosphere is not None:
+            h *= self.environmental_gain(atmosphere)
+        return h
+
+    def amplitude(
+        self,
+        scatterers: list[Scatterer] | None = None,
+        atmosphere: AtmosphereState | None = None,
+    ) -> np.ndarray:
+        """CSI amplitude ``|H|`` — the quantity the paper's models consume."""
+        return np.abs(self.response(scatterers=scatterers, atmosphere=atmosphere))

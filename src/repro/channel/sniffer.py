@@ -1,0 +1,156 @@
+"""Nexmon-like CSI receiver front end.
+
+The paper extracts CSI with the Nexmon firmware patch on Raspberry Pis
+(Section IV-A, [22]).  Nexmon CSI has well-known artefacts that any
+realistic reproduction of the *data* must include, because the paper's
+models learn on the artefact-bearing amplitudes:
+
+* **Thermal noise** at the receiver adds a complex Gaussian floor.
+* **AGC (automatic gain control)** rescales every frame so its total power
+  sits near a target — absolute amplitude is therefore only meaningful up
+  to a slowly-varying gain, and frame-to-frame gain steps quantize.
+* **Quantization**: the Broadcom chip reports CSI as small integers;
+  amplitudes are effectively quantized to a fixed grid.
+* **Guard bins** carry only leakage: a small deterministic floor rather
+  than true channel gain.
+* **Frame loss**: a lossy link drops a percentage of frames.
+
+The sniffer turns ideal complex channel vectors from
+:class:`~repro.channel.propagation.MultipathChannel` into the amplitude rows
+a Nexmon capture would log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ChannelError, ShapeError
+from .subcarriers import SubcarrierGrid
+
+
+@dataclass(frozen=True)
+class SnifferConfig:
+    """Tunables of the receiver front end."""
+
+    #: Std of the complex-noise quadratures relative to unit specular power.
+    noise_sigma: float = 0.01
+    #: AGC target RMS amplitude across data subcarriers.
+    agc_target: float = 1.0
+    #: AGC gain quantization step in dB (Broadcom gain tables are coarse).
+    agc_step_db: float = 0.25
+    #: Amplitude quantization step (integer CSI scaled to ~0.001 resolution).
+    amplitude_lsb: float = 0.001
+    #: Deterministic leakage amplitude reported on guard bins.
+    guard_floor: float = 0.027
+    #: Probability that a frame is lost and not logged.
+    frame_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ChannelError("noise_sigma must be >= 0")
+        if self.agc_target <= 0:
+            raise ChannelError("agc_target must be positive")
+        if self.agc_step_db <= 0:
+            raise ChannelError("agc_step_db must be positive")
+        if self.amplitude_lsb <= 0:
+            raise ChannelError("amplitude_lsb must be positive")
+        if not 0.0 <= self.frame_loss_rate < 1.0:
+            raise ChannelError("frame_loss_rate must be within [0, 1)")
+
+
+class NexmonSniffer:
+    """Converts ideal channel vectors into Nexmon-style CSI amplitude rows."""
+
+    def __init__(
+        self,
+        grid: SubcarrierGrid,
+        config: SnifferConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or SnifferConfig()
+        self._rng = rng or np.random.default_rng()
+        self._guard_mask = grid.is_guard
+
+    def _agc_gain(self, h: np.ndarray) -> float:
+        """Quantized gain driving the frame to the AGC target RMS."""
+        data = h[~self._guard_mask]
+        rms = float(np.sqrt(np.mean(np.abs(data) ** 2)))
+        if rms <= 0:
+            return 1.0
+        gain_db = 20.0 * np.log10(self.config.agc_target / rms)
+        step = self.config.agc_step_db
+        gain_db = round(gain_db / step) * step
+        return float(10.0 ** (gain_db / 20.0))
+
+    def capture(self, h_ideal: np.ndarray) -> np.ndarray | None:
+        """One received frame's CSI amplitude vector, or ``None`` if lost.
+
+        Applies, in order: thermal noise, AGC with quantized gain, guard-bin
+        leakage floor, and amplitude quantization.
+        """
+        h_ideal = np.asarray(h_ideal, dtype=complex)
+        if h_ideal.shape != (self.grid.n_subcarriers,):
+            raise ShapeError(
+                f"expected shape ({self.grid.n_subcarriers},), got {h_ideal.shape}"
+            )
+        if self.config.frame_loss_rate > 0.0:
+            if self._rng.random() < self.config.frame_loss_rate:
+                return None
+
+        sigma = self.config.noise_sigma
+        noise = self._rng.normal(0, sigma, h_ideal.shape) + 1j * self._rng.normal(
+            0, sigma, h_ideal.shape
+        )
+        h = h_ideal + noise
+        h = h * self._agc_gain(h)
+
+        amplitude = np.abs(h)
+        amplitude[self._guard_mask] = self.config.guard_floor
+
+        lsb = self.config.amplitude_lsb
+        return np.round(amplitude / lsb) * lsb
+
+    def capture_many(self, h_stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised capture of many frames.
+
+        Parameters
+        ----------
+        h_stack:
+            Ideal complex channels, shape ``(n_frames, n_subcarriers)``.
+
+        Returns
+        -------
+        amplitudes, kept:
+            ``amplitudes`` has shape ``(n_kept, n_subcarriers)``; ``kept`` is
+            the boolean mask of frames that survived frame loss.
+        """
+        h_stack = np.asarray(h_stack, dtype=complex)
+        if h_stack.ndim != 2 or h_stack.shape[1] != self.grid.n_subcarriers:
+            raise ShapeError(
+                f"expected (n, {self.grid.n_subcarriers}) stack, got {h_stack.shape}"
+            )
+        n = h_stack.shape[0]
+        kept = self._rng.random(n) >= self.config.frame_loss_rate
+
+        sigma = self.config.noise_sigma
+        noise = self._rng.normal(0, sigma, h_stack.shape) + 1j * self._rng.normal(
+            0, sigma, h_stack.shape
+        )
+        h = h_stack + noise
+
+        data = h[:, ~self._guard_mask]
+        rms = np.sqrt(np.mean(np.abs(data) ** 2, axis=1))
+        rms = np.maximum(rms, 1e-30)
+        gain_db = 20.0 * np.log10(self.config.agc_target / rms)
+        step = self.config.agc_step_db
+        gain_db = np.round(gain_db / step) * step
+        gains = 10.0 ** (gain_db / 20.0)
+        amplitude = np.abs(h) * gains[:, None]
+        amplitude[:, self._guard_mask] = self.config.guard_floor
+
+        lsb = self.config.amplitude_lsb
+        amplitude = np.round(amplitude / lsb) * lsb
+        return amplitude[kept], kept

@@ -1,0 +1,129 @@
+"""OFDM subcarrier grid for IEEE 802.11 channels.
+
+Section II-A of the paper defines the CSI dimensionality as
+``d_H = 3.2 * bandwidth`` (bandwidth in MHz): 64 entries for a 20 MHz
+channel, 128 for 40 MHz, up to 512 for 160 MHz.  This module materialises
+that grid as actual baseband frequency offsets so the multipath channel can
+evaluate a frequency-selective response at each subcarrier.
+
+The Nexmon CSI extractor reports all FFT bins, including guard and DC bins,
+which is why the paper works with the full 64-wide vector (a0..a63) rather
+than the 52 data subcarriers of 802.11g.  We reproduce that convention:
+``SubcarrierGrid.frequencies_hz`` covers the full FFT width, and the
+``is_guard`` mask identifies bins that carry no modulated energy (their
+amplitudes in real captures are dominated by leakage, which the sniffer
+model reproduces with a low deterministic floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: Supported IEEE 802.11ac channel bandwidths in MHz (Section II-A).
+SUPPORTED_BANDWIDTHS_MHZ = (20, 40, 80, 160)
+
+#: FFT size per bandwidth; equals ``3.2 * bandwidth_MHz``.
+_FFT_SIZE = {20: 64, 40: 128, 80: 256, 160: 512}
+
+#: Number of guard bins on each spectrum edge for a 64-point 802.11 OFDM
+#: symbol (legacy 20 MHz: 6 low guards, 5 high guards, 1 DC).
+_GUARDS_64 = (6, 5)
+
+
+def csi_dimension(bandwidth_hz: float) -> int:
+    """Return ``d_H`` for a channel bandwidth, per the paper's formula.
+
+    >>> csi_dimension(20e6)
+    64
+    >>> csi_dimension(160e6)
+    512
+    """
+    return int(round(3.2 * bandwidth_hz / 1e6))
+
+
+@dataclass(frozen=True)
+class SubcarrierGrid:
+    """The set of FFT bins whose channel response forms the CSI vector.
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Channel bandwidth in Hz.  Must be one of the 802.11ac widths.
+    carrier_hz:
+        Centre (RF carrier) frequency in Hz.
+    """
+
+    bandwidth_hz: float
+    carrier_hz: float
+
+    def __post_init__(self) -> None:
+        mhz = self.bandwidth_hz / 1e6
+        if int(round(mhz)) not in SUPPORTED_BANDWIDTHS_MHZ:
+            raise ConfigurationError(
+                f"bandwidth {mhz:g} MHz not an 802.11ac width {SUPPORTED_BANDWIDTHS_MHZ}"
+            )
+        if self.carrier_hz <= self.bandwidth_hz:
+            raise ConfigurationError("carrier frequency must exceed the bandwidth")
+
+    @property
+    def n_subcarriers(self) -> int:
+        """``d_H`` — the CSI vector length (64 for 20 MHz)."""
+        return csi_dimension(self.bandwidth_hz)
+
+    @property
+    def spacing_hz(self) -> float:
+        """Subcarrier spacing (312.5 kHz for every 802.11 OFDM width)."""
+        return self.bandwidth_hz / self.n_subcarriers
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Subcarrier indices 0..d_H-1 in Nexmon (a0..a63) order.
+
+        Nexmon reports bins in natural FFT order: index 0 is the DC-adjacent
+        low edge after fftshift, i.e. baseband offsets run monotonically
+        from -BW/2 to +BW/2.
+        """
+        return np.arange(self.n_subcarriers)
+
+    @property
+    def baseband_offsets_hz(self) -> np.ndarray:
+        """Baseband frequency offset of each bin, -BW/2 .. +BW/2."""
+        n = self.n_subcarriers
+        return (np.arange(n) - n // 2) * self.spacing_hz
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Absolute RF frequency of each subcarrier."""
+        return self.carrier_hz + self.baseband_offsets_hz
+
+    @property
+    def is_guard(self) -> np.ndarray:
+        """Boolean mask of guard/DC bins (no modulated energy).
+
+        Scaled from the 64-point legacy layout (6 low guards, 5 high guards,
+        DC null) proportionally for wider FFTs.
+        """
+        n = self.n_subcarriers
+        low = int(round(_GUARDS_64[0] * n / 64))
+        high = int(round(_GUARDS_64[1] * n / 64))
+        mask = np.zeros(n, dtype=bool)
+        mask[:low] = True
+        if high > 0:
+            mask[-high:] = True
+        mask[n // 2] = True  # DC bin
+        return mask
+
+    @property
+    def n_data_subcarriers(self) -> int:
+        """Number of bins that carry modulated energy."""
+        return int(np.count_nonzero(~self.is_guard))
+
+    def wavelengths_m(self) -> np.ndarray:
+        """Per-subcarrier wavelength in metres."""
+        from ..config import SPEED_OF_LIGHT
+
+        return SPEED_OF_LIGHT / self.frequencies_hz

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows:
+
+* ``generate`` — simulate a campaign and save it (NPZ or Table I CSV);
+* ``profile`` — the Section V-A profiling report of a saved campaign;
+* ``folds`` — print the Table III fold table of a saved campaign;
+* ``table4`` — train/evaluate the occupancy grid on a saved campaign;
+* ``table5`` — the linear-vs-neural T/H regression comparison;
+* ``footprint`` — quantize the paper MLP and print the Nucleo budget.
+
+Every command is a thin shell over the public API, so scripts and
+notebooks can do the same with imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .config import CampaignConfig, TrainingConfig
+from .core.experiment import OccupancyExperiment, RegressionExperiment
+from .core.model_zoo import build_paper_mlp
+from .data.folds import make_paper_folds
+from .data.io import load_npz, save_csv, save_npz
+from .data.recording import CollectionCampaign
+from .deploy.footprint import estimate_footprint
+from .deploy.quantize import quantize_model
+from .deploy.timing import cortex_m4_latency_ms
+
+
+def _print_rows(rows: list[dict[str, object]]) -> None:
+    if not rows:
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
+    )
+    print(f"Simulating {config.duration_h} h at {config.sample_rate_hz} Hz "
+          f"({config.n_samples} rows, seed {config.seed})...")
+    dataset = CollectionCampaign(config).run(progress_every=20_000)
+    path = Path(args.output)
+    if path.suffix == ".csv":
+        save_csv(dataset, path)
+    else:
+        save_npz(dataset, path)
+    balance = dataset.class_balance()
+    print(f"Saved {len(dataset)} rows to {path} "
+          f"({balance['empty']:.0%} empty / {balance['occupied']:.0%} occupied)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.profiling import profile_dataset
+
+    dataset = load_npz(args.dataset)
+    profile = profile_dataset(dataset)
+    print(f"rows: {profile.n_rows}, duplicates: {profile.n_duplicate_timestamps}, "
+          f"non-finite: {profile.n_non_finite}")
+    print(f"empty {profile.empty_fraction:.1%} / occupied {profile.occupied_fraction:.1%}")
+    print(f"occupant distribution: {profile.occupant_distribution}")
+    print(f"corr(T, H) = {profile.corr_temperature_humidity:+.2f}, "
+          f"corr(T, occ) = {profile.corr_temperature_occupancy:+.2f}, "
+          f"corr(H, occ) = {profile.corr_humidity_occupancy:+.2f}, "
+          f"corr(time, env) = {profile.corr_time_environment():+.2f}")
+    for name, result in profile.adf.items():
+        print(f"ADF {name:>12}: stat {result.statistic:8.2f}  p {result.p_value:.3f}  "
+              f"{'stationary' if result.is_stationary else 'NON-stationary'}")
+    return 0
+
+
+def cmd_folds(args: argparse.Namespace) -> int:
+    dataset = load_npz(args.dataset)
+    split = make_paper_folds(dataset)
+    _print_rows([dict(f.describe()) for f in split.all_folds])
+    return 0
+
+
+def _training_from_args(args: argparse.Namespace) -> TrainingConfig:
+    return TrainingConfig(epochs=args.epochs)
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    dataset = load_npz(args.dataset)
+    split = make_paper_folds(dataset)
+    experiment = OccupancyExperiment(
+        split, training=_training_from_args(args), max_train_rows=args.max_train_rows
+    )
+    result = experiment.run(verbose=True)
+    _print_rows(result.rows())
+    return 0
+
+
+def cmd_table5(args: argparse.Namespace) -> int:
+    dataset = load_npz(args.dataset)
+    split = make_paper_folds(dataset)
+    experiment = RegressionExperiment(
+        split, training=_training_from_args(args), max_train_rows=args.max_train_rows
+    )
+    result = experiment.run()
+    _print_rows(result.rows())
+    return 0
+
+
+def cmd_footprint(args: argparse.Namespace) -> int:
+    model = build_paper_mlp(args.inputs)
+    quantized = quantize_model(model)
+    report = estimate_footprint(quantized)
+    print(f"parameters: {model.n_parameters():,}")
+    print(report.describe())
+    print(f"Cortex-M4 latency model: {cortex_m4_latency_ms(quantized):.2f} ms/sample")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiFi-CSI occupancy detection (DATE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="simulate a campaign and save it")
+    p.add_argument("output", help="output path (.npz, or .csv for Table I format)")
+    p.add_argument("--hours", type=float, default=74.0)
+    p.add_argument("--rate", type=float, default=0.1, help="rows per second")
+    p.add_argument("--seed", type=int, default=2022)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("profile", help="Section V-A profiling of a saved campaign")
+    p.add_argument("dataset", help="path to a .npz campaign")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("folds", help="print the Table III fold table")
+    p.add_argument("dataset")
+    p.set_defaults(func=cmd_folds)
+
+    for name, func in (("table4", cmd_table4), ("table5", cmd_table5)):
+        p = sub.add_parser(name, help=f"regenerate {name} on a saved campaign")
+        p.add_argument("dataset")
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--max-train-rows", type=int, default=12_000)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("footprint", help="Nucleo-L432KC deployment accounting")
+    p.add_argument("--inputs", type=int, default=66)
+    p.set_defaults(func=cmd_footprint)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

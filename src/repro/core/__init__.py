@@ -1,0 +1,51 @@
+"""The paper's primary contribution as a clean public API.
+
+* :mod:`repro.core.features` — the three feature subsets of Table IV
+  (CSI-only, Env-only, CSI+Env) plus the time-of-day ablation feature;
+* :mod:`repro.core.model_zoo` — the 4-layer MLP of Section IV-B;
+* :mod:`repro.core.detector` — :class:`OccupancyDetector`, the end-to-end
+  fit/predict/explain pipeline;
+* :mod:`repro.core.regressor` — :class:`EnvironmentRegressor`,
+  temperature/humidity estimation from CSI (Section V-D);
+* :mod:`repro.core.experiment` — the fold-evaluation harness that
+  regenerates Tables IV and V;
+* :mod:`repro.core.multiclass` / :mod:`repro.core.counter` /
+  :mod:`repro.core.activity` — the extension heads: occupant counting
+  and the Section VI future-work activity-recognition task;
+* :mod:`repro.core.unsupervised` — the label-free variance-threshold
+  baseline.
+"""
+
+from .features import FeatureSet, extract_features, feature_names
+from .model_zoo import build_paper_mlp, paper_layer_parameter_counts
+from .detector import OccupancyDetector
+from .regressor import EnvironmentRegressor
+from .multiclass import MulticlassMLP
+from .counter import OccupantCounter
+from .activity import ActivityRecognizer, ACTIVITY_LABELS
+from .unsupervised import VarianceThresholdDetector
+from .experiment import (
+    OccupancyExperiment,
+    RegressionExperiment,
+    TableIVResult,
+    TableVResult,
+)
+
+__all__ = [
+    "FeatureSet",
+    "extract_features",
+    "feature_names",
+    "build_paper_mlp",
+    "paper_layer_parameter_counts",
+    "OccupancyDetector",
+    "EnvironmentRegressor",
+    "MulticlassMLP",
+    "OccupantCounter",
+    "ActivityRecognizer",
+    "ACTIVITY_LABELS",
+    "VarianceThresholdDetector",
+    "OccupancyExperiment",
+    "RegressionExperiment",
+    "TableIVResult",
+    "TableVResult",
+]

@@ -1,0 +1,80 @@
+"""Activity recognition: the paper's stated future work (Section VI).
+
+"For future work, we intend to design an ML model that simultaneously
+performs occupancy detection and activity recognition, with a particular
+emphasis on finding those activities which can be reliably detected."
+
+:class:`ActivityRecognizer` does exactly that on the simulated campaign:
+a 4-way softmax head over {empty, walking, standing, sitting} that
+*simultaneously* solves occupancy (empty vs rest) and activity.  The
+companion :meth:`reliability_report` answers the paper's emphasis —
+which activities can be reliably detected — by reporting per-class
+recall: walking perturbs the channel strongly (high recall), while a
+seated body is nearly static and much harder to tell from furniture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import ShapeError
+from .multiclass import MulticlassMLP
+
+#: Label order of the activity head.
+ACTIVITY_LABELS = ("empty", "walking", "standing", "sitting")
+
+
+class ActivityRecognizer:
+    """Joint occupancy + activity classifier over CSI amplitudes."""
+
+    def __init__(self, n_inputs: int = 64, config: TrainingConfig | None = None) -> None:
+        self._head = MulticlassMLP(n_inputs, len(ACTIVITY_LABELS), config)
+
+    def fit(self, x: np.ndarray, activity: np.ndarray, verbose: bool = False) -> "ActivityRecognizer":
+        """Train on features and activity codes 0..3."""
+        activity = np.asarray(activity, dtype=int).ravel()
+        if np.any((activity < 0) | (activity >= len(ACTIVITY_LABELS))):
+            raise ShapeError("activity codes must be within 0..3")
+        self._head.fit(x, activity, verbose=verbose)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted activity code per row."""
+        return self._head.predict(x)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Activity distribution per row, shape ``(n, 4)``."""
+        return self._head.predict_proba(x)
+
+    def score(self, x: np.ndarray, activity: np.ndarray) -> float:
+        """4-way accuracy."""
+        return self._head.score(x, activity)
+
+    def occupancy_score(self, x: np.ndarray, occupancy: np.ndarray) -> float:
+        """Accuracy of the simultaneous occupancy decision (class 0 vs rest)."""
+        return self._head.binary_occupancy_score(x, occupancy)
+
+    def confusion(self, x: np.ndarray, activity: np.ndarray) -> np.ndarray:
+        """4x4 confusion matrix, rows = truth, columns = prediction."""
+        activity = np.asarray(activity, dtype=int).ravel()
+        predictions = self.predict(x)
+        if activity.shape != predictions.shape:
+            raise ShapeError("label count mismatch")
+        n = len(ACTIVITY_LABELS)
+        matrix = np.zeros((n, n), dtype=int)
+        np.add.at(matrix, (activity, predictions), 1)
+        return matrix
+
+    def reliability_report(self, x: np.ndarray, activity: np.ndarray) -> dict[str, float]:
+        """Per-activity recall — "which activities can be reliably detected".
+
+        Classes absent from the evaluation data are omitted.
+        """
+        matrix = self.confusion(x, activity)
+        report: dict[str, float] = {}
+        for code, label in enumerate(ACTIVITY_LABELS):
+            support = matrix[code].sum()
+            if support:
+                report[label] = float(matrix[code, code] / support)
+        return report

@@ -1,0 +1,317 @@
+"""Fold-evaluation harness regenerating Tables IV and V.
+
+The protocol follows Section V-B strictly: every model is trained once on
+fold 0 and evaluated, without retraining, on each of the five temporally
+disjoint test folds.  :class:`OccupancyExperiment` produces Table IV
+(occupancy accuracy for Logistic Regression / Random Forest / MLP on
+CSI / Env / CSI+Env) and :class:`RegressionExperiment` produces Table V
+(linear vs. neural T/H regression from CSI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.forest import RandomForestClassifier
+from ..baselines.logistic import LogisticRegression
+from ..baselines.linear import LinearRegression
+from ..baselines.scaler import StandardScaler
+from ..config import TrainingConfig
+from ..data.folds import FoldSplit
+from ..exceptions import ConfigurationError
+from ..metrics.classification import accuracy
+from ..metrics.regression import mae, mape
+from .detector import OccupancyDetector
+from .features import FeatureSet, extract_features
+from .regressor import EnvironmentRegressor
+
+#: Model keys in Table IV column order.
+MODEL_NAMES = ("logistic", "random_forest", "mlp")
+
+#: Feature subsets in Table IV column order.
+DEFAULT_FEATURE_SETS = (FeatureSet.CSI, FeatureSet.ENV, FeatureSet.CSI_ENV)
+
+
+@dataclass
+class TableIVResult:
+    """Accuracy (%) per (model, feature set, fold), plus averages."""
+
+    #: accuracies[model][feature_set] = list of per-fold accuracies in %.
+    accuracies: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    fold_indices: list[int] = field(default_factory=list)
+
+    def record(self, model: str, feature_set: FeatureSet, fold_values: list[float]) -> None:
+        self.accuracies.setdefault(model, {})[feature_set.label] = fold_values
+
+    def average(self, model: str, feature_set: FeatureSet) -> float:
+        """The Table IV 'Avg.' row entry."""
+        return float(np.mean(self.accuracies[model][feature_set.label]))
+
+    def rows(self) -> list[dict[str, object]]:
+        """Table IV as printable row dicts (one per fold plus the average)."""
+        out: list[dict[str, object]] = []
+        for i, fold in enumerate(self.fold_indices):
+            row: dict[str, object] = {"fold": fold}
+            for model, by_feature in self.accuracies.items():
+                for label, values in by_feature.items():
+                    row[f"{model}/{label}"] = round(values[i], 1)
+            out.append(row)
+        avg_row: dict[str, object] = {"fold": "Avg."}
+        for model, by_feature in self.accuracies.items():
+            for label, values in by_feature.items():
+                avg_row[f"{model}/{label}"] = round(float(np.mean(values)), 1)
+        out.append(avg_row)
+        return out
+
+
+class OccupancyExperiment:
+    """Trains the three Table IV models on fold 0, evaluates on folds 1..5.
+
+    Parameters
+    ----------
+    split:
+        The paper's temporal folds.
+    training:
+        MLP hyper-parameters.
+    max_train_rows:
+        Optional cap on training rows (uniform stride subsample, preserving
+        temporal coverage) so the full grid runs in benchmark time budgets.
+    forest_kwargs:
+        Overrides for the random-forest baseline.
+    start_hour_of_day:
+        Campaign wall-clock start, needed by the TIME feature.
+    """
+
+    def __init__(
+        self,
+        split: FoldSplit,
+        training: TrainingConfig | None = None,
+        max_train_rows: int | None = None,
+        forest_kwargs: dict[str, object] | None = None,
+        start_hour_of_day: float = 15.13,
+    ) -> None:
+        self.split = split
+        self.training = training or TrainingConfig()
+        self.max_train_rows = max_train_rows
+        # Shallow trees generalise across the temporal drift between the
+        # training days and the held-out day; deeper forests overfit the
+        # campaign-specific clutter state (see benchmarks/ ablations).
+        self.forest_kwargs: dict[str, object] = {
+            "n_estimators": 30,
+            "max_depth": 6,
+            "max_samples": 20_000,
+            "seed": self.training.seed,
+        }
+        if forest_kwargs:
+            self.forest_kwargs.update(forest_kwargs)
+        self.start_hour_of_day = start_hour_of_day
+
+    # ---------------------------------------------------------------- pieces
+
+    def _train_matrix(self, feature_set: FeatureSet) -> tuple[np.ndarray, np.ndarray]:
+        data = self.split.train.data
+        x = extract_features(data, feature_set, self.start_hour_of_day)
+        y = data.occupancy
+        if self.max_train_rows is not None and x.shape[0] > self.max_train_rows:
+            stride = int(np.ceil(x.shape[0] / self.max_train_rows))
+            x = x[::stride]
+            y = y[::stride]
+        return x, y
+
+    def _build_model(self, name: str, n_inputs: int):
+        if name == "logistic":
+            return _ScaledLogistic()
+        if name == "random_forest":
+            return RandomForestClassifier(**self.forest_kwargs)  # type: ignore[arg-type]
+        if name == "mlp":
+            return OccupancyDetector(n_inputs, self.training)
+        if name == "gradient_boosting":
+            from ..baselines.boosting import GradientBoostingClassifier
+
+            return GradientBoostingClassifier(
+                n_estimators=40, max_depth=3, subsample=0.7, seed=self.training.seed
+            )
+        if name == "knn":
+            return _ScaledKNN()
+        raise ConfigurationError(
+            f"unknown model {name!r}; known: {MODEL_NAMES + ('gradient_boosting', 'knn')}"
+        )
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        models: tuple[str, ...] = MODEL_NAMES,
+        feature_sets: tuple[FeatureSet, ...] = DEFAULT_FEATURE_SETS,
+        verbose: bool = False,
+    ) -> TableIVResult:
+        """Train/evaluate the grid and return the populated Table IV."""
+        result = TableIVResult(fold_indices=[f.index for f in self.split.tests])
+        for feature_set in feature_sets:
+            x_train, y_train = self._train_matrix(feature_set)
+            for model_name in models:
+                model = self._build_model(model_name, x_train.shape[1])
+                if verbose:
+                    print(f"training {model_name} on {feature_set.label} "
+                          f"({x_train.shape[0]} rows x {x_train.shape[1]} features)")
+                model.fit(x_train, y_train)
+                fold_accs: list[float] = []
+                for fold in self.split.tests:
+                    x_test = extract_features(fold.data, feature_set, self.start_hour_of_day)
+                    y_pred = model.predict(x_test)
+                    fold_accs.append(100.0 * accuracy(fold.data.occupancy, y_pred))
+                result.record(model_name, feature_set, fold_accs)
+                if verbose:
+                    print(f"  folds: {[round(a, 1) for a in fold_accs]}")
+        return result
+
+    def run_time_only(self) -> float:
+        """The Section V-B time-only ablation (paper reports 89.3 %).
+
+        Uses the MLP on the single hour-of-day feature; returns the mean
+        test-fold accuracy in percent.
+        """
+        x_train, y_train = self._train_matrix(FeatureSet.TIME)
+        model = OccupancyDetector(1, self.training)
+        model.fit(x_train, y_train)
+        accs = []
+        for fold in self.split.tests:
+            x_test = extract_features(fold.data, FeatureSet.TIME, self.start_hour_of_day)
+            accs.append(100.0 * accuracy(fold.data.occupancy, model.predict(x_test)))
+        return float(np.mean(accs))
+
+
+class _ScaledKNN:
+    """k-NN with internal standardisation (distances need equal scales)."""
+
+    def __init__(self, n_neighbors: int = 7, max_train_rows: int = 8000) -> None:
+        from ..baselines.knn import KNeighborsClassifier
+
+        self._scaler = StandardScaler()
+        self._model = KNeighborsClassifier(n_neighbors)
+        self._max_train_rows = max_train_rows
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_ScaledKNN":
+        stride = max(1, x.shape[0] // self._max_train_rows)
+        self._model.fit(self._scaler.fit_transform(x)[::stride], np.asarray(y)[::stride])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict(self._scaler.transform(x))
+
+
+class _ScaledLogistic:
+    """Logistic regression with internal standardisation.
+
+    Raw CSI amplitudes and degC/%RH scales differ by orders of magnitude;
+    sklearn's solver copes via conditioning, our gradient descent wants
+    standardised inputs.  Scaling is part of the model, so the baseline
+    remains linear in the original features.
+    """
+
+    def __init__(self) -> None:
+        self._scaler = StandardScaler()
+        self._model = LogisticRegression()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_ScaledLogistic":
+        self._model.fit(self._scaler.fit_transform(x), y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict(self._scaler.transform(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict_proba(self._scaler.transform(x))
+
+
+@dataclass
+class TableVResult:
+    """MAE/MAPE per (model, fold) for temperature and humidity."""
+
+    #: scores[model] = list over folds of score dicts (see
+    #: :meth:`EnvironmentRegressor.score` for the keys).
+    scores: dict[str, list[dict[str, float]]] = field(default_factory=dict)
+    fold_indices: list[int] = field(default_factory=list)
+
+    def average(self, model: str, key: str) -> float:
+        """Mean of one metric across folds (the Table V 'Avg.' row)."""
+        return float(np.mean([fold[key] for fold in self.scores[model]]))
+
+    def rows(self) -> list[dict[str, object]]:
+        """Table V as printable row dicts."""
+        out: list[dict[str, object]] = []
+        for i, fold in enumerate(self.fold_indices):
+            row: dict[str, object] = {"fold": fold}
+            for model, folds in self.scores.items():
+                s = folds[i]
+                row[f"{model} MAE (T/H)"] = (
+                    f"{s['mae_temperature']:.2f}/{s['mae_humidity']:.2f}"
+                )
+                row[f"{model} MAPE (T/H)"] = (
+                    f"{s['mape_temperature']:.2f}/{s['mape_humidity']:.2f}"
+                )
+            out.append(row)
+        avg: dict[str, object] = {"fold": "Avg."}
+        for model in self.scores:
+            avg[f"{model} MAE (T/H)"] = (
+                f"{self.average(model, 'mae_temperature'):.2f}/"
+                f"{self.average(model, 'mae_humidity'):.2f}"
+            )
+            avg[f"{model} MAPE (T/H)"] = (
+                f"{self.average(model, 'mape_temperature'):.2f}/"
+                f"{self.average(model, 'mape_humidity'):.2f}"
+            )
+        out.append(avg)
+        return out
+
+
+class RegressionExperiment:
+    """Linear vs. neural (T, H) regression from CSI (Table V)."""
+
+    def __init__(
+        self,
+        split: FoldSplit,
+        training: TrainingConfig | None = None,
+        max_train_rows: int | None = None,
+    ) -> None:
+        self.split = split
+        self.training = training or TrainingConfig()
+        self.max_train_rows = max_train_rows
+
+    def _train_xy(self) -> tuple[np.ndarray, np.ndarray]:
+        data = self.split.train.data
+        x = data.csi
+        y = np.column_stack([data.temperature_c, data.humidity_rh])
+        if self.max_train_rows is not None and x.shape[0] > self.max_train_rows:
+            stride = int(np.ceil(x.shape[0] / self.max_train_rows))
+            x = x[::stride]
+            y = y[::stride]
+        return x, y
+
+    def run(self, verbose: bool = False) -> TableVResult:
+        """Fit both regressors on fold 0, score on folds 1..5."""
+        x_train, y_train = self._train_xy()
+        result = TableVResult(fold_indices=[f.index for f in self.split.tests])
+
+        linear = LinearRegression().fit(x_train, y_train)
+        neural = EnvironmentRegressor(x_train.shape[1], self.training)
+        neural.fit(x_train, y_train, verbose=verbose)
+
+        for model_name, predictor in (("linear", linear), ("neural", neural)):
+            fold_scores: list[dict[str, float]] = []
+            for fold in self.split.tests:
+                x_test = fold.data.csi
+                y_true = np.column_stack([fold.data.temperature_c, fold.data.humidity_rh])
+                pred = predictor.predict(x_test)
+                fold_scores.append(
+                    {
+                        "mae_temperature": mae(y_true[:, 0], pred[:, 0]),
+                        "mae_humidity": mae(y_true[:, 1], pred[:, 1]),
+                        "mape_temperature": 100.0 * mape(y_true[:, 0], pred[:, 0]),
+                        "mape_humidity": 100.0 * mape(y_true[:, 1], pred[:, 1]),
+                    }
+                )
+            result.scores[model_name] = fold_scores
+        return result

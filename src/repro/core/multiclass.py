@@ -1,0 +1,104 @@
+"""Multi-class MLP head shared by the extension tasks.
+
+The paper's network is binary; its conclusion proposes extending it to
+activity recognition, and its related work (refs [2], [3], [12]) counts
+occupants.  :class:`MulticlassMLP` is the paper's architecture with a
+C-wide softmax head trained on cross-entropy — the smallest change that
+supports both extensions while keeping the deployment story intact (the
+head quantizes and exports exactly like the binary net).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.scaler import StandardScaler
+from ..config import TrainingConfig
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..metrics.classification import accuracy as binary_accuracy
+from ..nn.losses import cross_entropy_loss, one_hot
+from ..nn.optim import AdamW
+from ..nn.train import Trainer, TrainingHistory
+from .model_zoo import build_paper_mlp
+
+
+class MulticlassMLP:
+    """Scaler + paper MLP + softmax head over ``n_classes`` labels."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_classes: int,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        if n_classes < 2:
+            raise ConfigurationError("need at least two classes")
+        self.config = config or TrainingConfig()
+        self.n_inputs = n_inputs
+        self.n_classes = n_classes
+        self.model = build_paper_mlp(
+            n_inputs,
+            self.config.hidden_sizes,
+            n_outputs=n_classes,
+            seed=self.config.seed,
+        )
+        self.scaler = StandardScaler()
+        self._trainer: Trainer | None = None
+        self.history: TrainingHistory | None = None
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, verbose: bool = False) -> "MulticlassMLP":
+        """Train on features ``x`` and integer labels in [0, n_classes)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_inputs:
+            raise ShapeError(f"expected (n, {self.n_inputs}) features, got {x.shape}")
+        targets = one_hot(labels, self.n_classes)
+        x_scaled = self.scaler.fit_transform(x)
+        optimizer = AdamW(
+            self.model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self._trainer = Trainer(
+            self.model,
+            optimizer,
+            cross_entropy_loss,
+            batch_size=self.config.batch_size,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self.history = self._trainer.fit(
+            x_scaled, targets, epochs=self.config.epochs, verbose=verbose
+        )
+        return self
+
+    def _require_fitted(self) -> Trainer:
+        if self._trainer is None:
+            raise NotFittedError("MulticlassMLP used before fit")
+        return self._trainer
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(n, n_classes)``."""
+        trainer = self._require_fitted()
+        logits = trainer.predict(self.scaler.transform(np.asarray(x, dtype=float)))
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class per row, shape ``(n,)``."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def score(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Multi-class accuracy."""
+        labels = np.asarray(labels, dtype=int).ravel()
+        predictions = self.predict(x)
+        if labels.shape != predictions.shape:
+            raise ShapeError("label count mismatch")
+        return float(np.mean(predictions == labels))
+
+    def binary_occupancy_score(self, x: np.ndarray, occupancy: np.ndarray) -> float:
+        """Accuracy of the induced empty/occupied decision (class 0 vs rest).
+
+        Lets the extension heads be compared against Table IV directly.
+        """
+        predictions = (self.predict(x) > 0).astype(int)
+        return binary_accuracy(np.asarray(occupancy), predictions)

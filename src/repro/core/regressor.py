@@ -1,0 +1,91 @@
+"""Environment regression from CSI (Section V-D).
+
+:class:`EnvironmentRegressor` estimates temperature and humidity from the
+CSI amplitude vector with the same MLP architecture as the detector, but a
+2-wide output head trained on MSE.  Targets are standardised during
+training (the two outputs live on different scales) and de-standardised at
+prediction time, so reported MAE/MAPE are in physical units — degC and %RH
+— exactly as in Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.scaler import StandardScaler
+from ..config import TrainingConfig
+from ..exceptions import NotFittedError, ShapeError
+from ..metrics.regression import mae, mape
+from ..nn.losses import mse_loss
+from ..nn.optim import AdamW
+from ..nn.train import Trainer, TrainingHistory
+from .model_zoo import build_paper_mlp
+
+#: Output order of the regressor head.
+TARGET_NAMES = ("temperature", "humidity")
+
+
+class EnvironmentRegressor:
+    """MLP regression of (temperature, humidity) from CSI amplitudes."""
+
+    def __init__(self, n_inputs: int = 64, config: TrainingConfig | None = None) -> None:
+        self.config = config or TrainingConfig()
+        self.n_inputs = n_inputs
+        self.model = build_paper_mlp(
+            n_inputs, self.config.hidden_sizes, n_outputs=2, seed=self.config.seed
+        )
+        self.x_scaler = StandardScaler()
+        self.y_scaler = StandardScaler()
+        self._trainer: Trainer | None = None
+        self.history: TrainingHistory | None = None
+
+    def _check_targets(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 2 or y.shape[1] != 2:
+            raise ShapeError(f"targets must be (n, 2) [T, H], got {y.shape}")
+        return y
+
+    def fit(self, x: np.ndarray, y: np.ndarray, verbose: bool = False) -> "EnvironmentRegressor":
+        """Train on CSI features ``x`` and targets ``y = [T, H]`` columns."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_inputs:
+            raise ShapeError(f"expected (n, {self.n_inputs}) features, got {x.shape}")
+        y = self._check_targets(y)
+        x_scaled = self.x_scaler.fit_transform(x)
+        y_scaled = self.y_scaler.fit_transform(y)
+
+        optimizer = AdamW(
+            self.model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self._trainer = Trainer(
+            self.model,
+            optimizer,
+            mse_loss,
+            batch_size=self.config.batch_size,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self.history = self._trainer.fit(x_scaled, y_scaled, epochs=self.config.epochs, verbose=verbose)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted ``[T, H]`` per row in physical units, shape ``(n, 2)``."""
+        if self._trainer is None:
+            raise NotFittedError("EnvironmentRegressor used before fit")
+        x_scaled = self.x_scaler.transform(np.asarray(x, dtype=float))
+        return self.y_scaler.inverse_transform(self._trainer.predict(x_scaled))
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> dict[str, float]:
+        """Table V's four numbers: MAE and MAPE for T and H.
+
+        MAPE is returned in percent (x100), matching the table.
+        """
+        y = self._check_targets(y)
+        pred = self.predict(x)
+        return {
+            "mae_temperature": mae(y[:, 0], pred[:, 0]),
+            "mae_humidity": mae(y[:, 1], pred[:, 1]),
+            "mape_temperature": 100.0 * mape(y[:, 0], pred[:, 0]),
+            "mape_humidity": 100.0 * mape(y[:, 1], pred[:, 1]),
+        }

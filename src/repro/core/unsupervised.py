@@ -1,0 +1,97 @@
+"""Unsupervised occupancy detection: do you even need learning?
+
+Before reaching for a trained model, a WiFi-sensing engineer would try
+the classic label-free detector: empty rooms are quasi-static, so a
+moving-variance statistic of the CSI amplitudes with a threshold
+calibrated on a known-empty interval already separates the classes.
+:class:`VarianceThresholdDetector` implements that baseline; comparing it
+against Table IV's trained models shows where each stands — on this
+simulator the motion statistic is strong, while the trained models add
+per-frame decisions, drift robustness, and the quiet-sitter case that
+pure motion energy underserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+class VarianceThresholdDetector:
+    """Label-free occupancy detector from short-window CSI variance.
+
+    Parameters
+    ----------
+    window:
+        Rows per variance window (at 20 Hz, 20 rows = 1 s of motion
+        statistics).
+    quantile:
+        Calibration sets the threshold at this quantile of the empty
+        reference's statistic times ``margin``.
+    margin:
+        Multiplicative headroom above the empty-reference quantile.
+    """
+
+    def __init__(self, window: int = 10, quantile: float = 0.99, margin: float = 1.5) -> None:
+        if window < 2:
+            raise ConfigurationError("window must be >= 2")
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if margin <= 0:
+            raise ConfigurationError("margin must be positive")
+        self.window = window
+        self.quantile = quantile
+        self.margin = margin
+        self.threshold_: float | None = None
+
+    def _statistic(self, csi: np.ndarray) -> np.ndarray:
+        """Per-row motion statistic: mean over subcarriers of the local
+        standard deviation in a trailing window."""
+        csi = np.asarray(csi, dtype=float)
+        if csi.ndim != 2:
+            raise ShapeError(f"csi must be (n, d), got {csi.shape}")
+        n = csi.shape[0]
+        if n < self.window:
+            raise ShapeError(f"need at least window={self.window} rows, got {n}")
+        # Trailing-window std via cumulative sums (O(n d)).
+        c1 = np.cumsum(np.vstack([np.zeros((1, csi.shape[1])), csi]), axis=0)
+        c2 = np.cumsum(np.vstack([np.zeros((1, csi.shape[1])), csi**2]), axis=0)
+        w = self.window
+        out = np.empty(n)
+        # For the first w-1 rows use the available prefix.
+        for i in range(n):
+            lo = max(0, i - w + 1)
+            count = i + 1 - lo
+            mean = (c1[i + 1] - c1[lo]) / count
+            var = np.maximum((c2[i + 1] - c2[lo]) / count - mean**2, 0.0)
+            out[i] = float(np.mean(np.sqrt(var)))
+        return out
+
+    def fit_reference(self, empty_csi: np.ndarray) -> "VarianceThresholdDetector":
+        """Calibrate the threshold on a known-empty reference interval.
+
+        This is the only supervision the method needs — one empty night,
+        which any deployment can collect by construction.
+        """
+        statistic = self._statistic(empty_csi)
+        self.threshold_ = float(np.quantile(statistic, self.quantile) * self.margin)
+        return self
+
+    def decision_statistic(self, csi: np.ndarray) -> np.ndarray:
+        """The raw motion statistic per row (for diagnostics/plots)."""
+        return self._statistic(csi)
+
+    def predict(self, csi: np.ndarray) -> np.ndarray:
+        """0/1 occupancy per row."""
+        if self.threshold_ is None:
+            raise NotFittedError("calibrate with fit_reference() first")
+        return (self._statistic(csi) > self.threshold_).astype(int)
+
+    def score(self, csi: np.ndarray, occupancy: np.ndarray) -> float:
+        """Accuracy against labels (evaluation only — fit needs none)."""
+        occupancy = np.asarray(occupancy, dtype=int).ravel()
+        predictions = self.predict(csi)
+        if occupancy.shape != predictions.shape:
+            raise ShapeError("label count mismatch")
+        return float(np.mean(predictions == occupancy))

@@ -1,0 +1,51 @@
+"""Dataset pipeline: from simulated world to Table I rows to folds.
+
+* :mod:`repro.data.schema` — the Table I column layout.
+* :mod:`repro.data.dataset` — :class:`OccupancyDataset` container.
+* :mod:`repro.data.recording` — :class:`CollectionCampaign`, the 20 Hz
+  recorder joining the channel, sniffer, world and sensor models.
+* :mod:`repro.data.folds` — the temporal 70/30 split into the training
+  fold and five test folds of Table III.
+* :mod:`repro.data.io` — CSV / NPZ round trips.
+* :mod:`repro.data.annotate` — the semi-automatic interval annotator.
+* :mod:`repro.data.synthetic` — ``generate_benchmark_dataset``, the one-call
+  entry point used by the examples and benchmarks.
+"""
+
+from .schema import TableISchema, SCHEMA
+from .dataset import OccupancyDataset
+from .recording import CollectionCampaign
+from .folds import FoldSplit, Fold, make_paper_folds
+from .io import save_npz, load_npz, save_csv, load_csv
+from .annotate import IntervalAnnotator
+from .synthetic import generate_benchmark_dataset
+from .streaming import FrameStream, StreamingDetector, Transition
+from .preprocess import (
+    hampel_filter,
+    moving_average,
+    select_subcarriers,
+    WindowFeatureExtractor,
+)
+
+__all__ = [
+    "TableISchema",
+    "SCHEMA",
+    "OccupancyDataset",
+    "CollectionCampaign",
+    "FoldSplit",
+    "Fold",
+    "make_paper_folds",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "IntervalAnnotator",
+    "generate_benchmark_dataset",
+    "hampel_filter",
+    "moving_average",
+    "select_subcarriers",
+    "WindowFeatureExtractor",
+    "FrameStream",
+    "StreamingDetector",
+    "Transition",
+]

@@ -1,0 +1,237 @@
+"""The :class:`OccupancyDataset` container.
+
+A numpy-backed, schema-validated table of campaign rows with the accessors
+every downstream stage needs: CSI block, environment block, labels,
+temporal slicing, concatenation and class statistics.  It also stores the
+latent ground-truth occupant *count* (0..n) when available, which the
+profiling code uses to regenerate Table II — the paper's annotators had
+the video feed, we have the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DatasetError, ShapeError
+from .schema import TableISchema
+
+
+class OccupancyDataset:
+    """Rows of (timestamp, CSI amplitudes, temperature, humidity, label).
+
+    Parameters
+    ----------
+    timestamps_s:
+        Seconds since campaign start, shape ``(n,)``, non-decreasing.
+    csi:
+        CSI amplitudes, shape ``(n, d_H)``, non-negative.
+    temperature_c, humidity_rh:
+        Environment columns, shape ``(n,)``.
+    occupancy:
+        Binary labels, shape ``(n,)``, values in {0, 1}.
+    occupant_count:
+        Optional latent ground truth count (0..k), shape ``(n,)``.
+    activity:
+        Optional latent dominant-activity codes, shape ``(n,)``:
+        0 empty, 1 walking, 2 standing, 3 sitting (the label set of the
+        paper's future-work activity-recognition task, Section VI).
+    """
+
+    def __init__(
+        self,
+        timestamps_s: np.ndarray,
+        csi: np.ndarray,
+        temperature_c: np.ndarray,
+        humidity_rh: np.ndarray,
+        occupancy: np.ndarray,
+        occupant_count: np.ndarray | None = None,
+        activity: np.ndarray | None = None,
+    ) -> None:
+        t = np.ascontiguousarray(timestamps_s, dtype=float)
+        csi = np.ascontiguousarray(csi, dtype=float)
+        temp = np.ascontiguousarray(temperature_c, dtype=float)
+        hum = np.ascontiguousarray(humidity_rh, dtype=float)
+        occ = np.ascontiguousarray(occupancy, dtype=int)
+
+        if t.ndim != 1:
+            raise ShapeError("timestamps must be 1-D")
+        n = t.size
+        if csi.ndim != 2 or csi.shape[0] != n:
+            raise ShapeError(f"csi must be (n, d_H) with n={n}, got {csi.shape}")
+        for name, col in (("temperature", temp), ("humidity", hum), ("occupancy", occ)):
+            if col.shape != (n,):
+                raise ShapeError(f"{name} must have shape ({n},), got {col.shape}")
+        if n > 1 and np.any(np.diff(t) < 0):
+            raise DatasetError("timestamps must be non-decreasing")
+        if not np.all(np.isin(occ, (0, 1))):
+            raise DatasetError("occupancy labels must be 0 or 1")
+        if np.any(csi < 0):
+            raise DatasetError("CSI amplitudes must be non-negative")
+        if np.any((hum < 0) | (hum > 100)):
+            raise DatasetError("humidity must be within [0, 100]")
+
+        if occupant_count is not None:
+            occupant_count = np.ascontiguousarray(occupant_count, dtype=int)
+            if occupant_count.shape != (n,):
+                raise ShapeError(f"occupant_count must have shape ({n},)")
+            if np.any(occupant_count < 0):
+                raise DatasetError("occupant_count must be >= 0")
+            if np.any((occupant_count > 0) != (occ == 1)):
+                raise DatasetError("occupant_count and occupancy labels disagree")
+
+        if activity is not None:
+            activity = np.ascontiguousarray(activity, dtype=int)
+            if activity.shape != (n,):
+                raise ShapeError(f"activity must have shape ({n},)")
+            if np.any((activity < 0) | (activity > 3)):
+                raise DatasetError("activity codes must be within 0..3")
+            if np.any((activity > 0) != (occ == 1)):
+                raise DatasetError("activity and occupancy labels disagree")
+
+        self._t = t
+        self._csi = csi
+        self._temp = temp
+        self._hum = hum
+        self._occ = occ
+        self._count = occupant_count
+        self._activity = activity
+        self.schema = TableISchema(n_subcarriers=csi.shape[1] if csi.size else 64)
+
+    # ---------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return int(self._t.size)
+
+    @property
+    def n_subcarriers(self) -> int:
+        return int(self._csi.shape[1])
+
+    @property
+    def timestamps_s(self) -> np.ndarray:
+        return self._t
+
+    @property
+    def csi(self) -> np.ndarray:
+        """CSI amplitude block, shape ``(n, d_H)``."""
+        return self._csi
+
+    @property
+    def temperature_c(self) -> np.ndarray:
+        return self._temp
+
+    @property
+    def humidity_rh(self) -> np.ndarray:
+        return self._hum
+
+    @property
+    def environment(self) -> np.ndarray:
+        """Environment block [T, H], shape ``(n, 2)``."""
+        return np.column_stack([self._temp, self._hum])
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Binary labels, shape ``(n,)``."""
+        return self._occ
+
+    @property
+    def occupant_count(self) -> np.ndarray | None:
+        """Latent occupant count when the source (simulator) provides it."""
+        return self._count
+
+    @property
+    def activity(self) -> np.ndarray | None:
+        """Latent dominant-activity codes (0 empty / 1 walk / 2 stand / 3 sit)."""
+        return self._activity
+
+    # ------------------------------------------------------------- selection
+
+    def select(self, mask_or_indices: np.ndarray) -> "OccupancyDataset":
+        """Row subset (boolean mask or integer indices, time order preserved)."""
+        idx = np.asarray(mask_or_indices)
+        if idx.dtype == bool:
+            if idx.shape != (len(self),):
+                raise ShapeError("boolean mask length mismatch")
+            idx = np.flatnonzero(idx)
+        if idx.size == 0:
+            raise DatasetError("selection must keep at least one row")
+        if np.any(np.diff(idx) < 0):
+            raise DatasetError("selection must preserve time order")
+        return OccupancyDataset(
+            self._t[idx],
+            self._csi[idx],
+            self._temp[idx],
+            self._hum[idx],
+            self._occ[idx],
+            None if self._count is None else self._count[idx],
+            None if self._activity is None else self._activity[idx],
+        )
+
+    def window(self, t0_s: float, t1_s: float) -> "OccupancyDataset":
+        """Rows with ``t0 <= t < t1``."""
+        if t1_s <= t0_s:
+            raise DatasetError(f"window bounds inverted: [{t0_s}, {t1_s})")
+        return self.select((self._t >= t0_s) & (self._t < t1_s))
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["OccupancyDataset"]) -> "OccupancyDataset":
+        """Stack temporally ordered datasets into one."""
+        if not parts:
+            raise DatasetError("need at least one dataset to concatenate")
+        widths = {p.n_subcarriers for p in parts}
+        if len(widths) != 1:
+            raise DatasetError(f"inconsistent subcarrier counts: {sorted(widths)}")
+        counts = [p.occupant_count for p in parts]
+        has_counts = all(c is not None for c in counts)
+        activities = [p.activity for p in parts]
+        has_activities = all(a is not None for a in activities)
+        return cls(
+            np.concatenate([p.timestamps_s for p in parts]),
+            np.vstack([p.csi for p in parts]),
+            np.concatenate([p.temperature_c for p in parts]),
+            np.concatenate([p.humidity_rh for p in parts]),
+            np.concatenate([p.occupancy for p in parts]),
+            np.concatenate(counts) if has_counts else None,  # type: ignore[arg-type]
+            np.concatenate(activities) if has_activities else None,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------ statistics
+
+    def class_balance(self) -> dict[str, float]:
+        """Fractions of empty/occupied rows (Table II bottom line)."""
+        n = len(self)
+        occupied = float(np.count_nonzero(self._occ)) / n
+        return {"empty": 1.0 - occupied, "occupied": occupied}
+
+    def count_histogram(self) -> dict[int, int]:
+        """Samples per simultaneous-occupant count (Table II top rows)."""
+        if self._count is None:
+            raise DatasetError("this dataset carries no occupant_count ground truth")
+        values, freqs = np.unique(self._count, return_counts=True)
+        return {int(v): int(f) for v, f in zip(values, freqs)}
+
+    def duration_s(self) -> float:
+        """Campaign time spanned by the rows."""
+        if len(self) < 2:
+            return 0.0
+        return float(self._t[-1] - self._t[0])
+
+    def to_matrix(self) -> np.ndarray:
+        """Full numeric table in Table I column order, shape ``(n, d_H+4)``."""
+        return np.column_stack([self._t, self._csi, self._temp, self._hum, self._occ])
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, n_subcarriers: int) -> "OccupancyDataset":
+        """Inverse of :meth:`to_matrix`."""
+        matrix = np.asarray(matrix, dtype=float)
+        expected = n_subcarriers + 4
+        if matrix.ndim != 2 or matrix.shape[1] != expected:
+            raise ShapeError(f"matrix must be (n, {expected}), got {matrix.shape}")
+        return cls(
+            matrix[:, 0],
+            matrix[:, 1 : 1 + n_subcarriers],
+            matrix[:, -3],
+            matrix[:, -2],
+            matrix[:, -1].astype(int),
+        )

@@ -1,0 +1,139 @@
+"""Temporal train/test folds (Table III).
+
+The paper's evaluation protocol is deliberately harsh: "In temporal order,
+the train set represents 70 % of the collected data, and the test set the
+remaining 30 %.  The test set is further divided into five folds,
+representing different scenarios over time. [...] the train set never
+changes, and the models are never re-trained." (Section V-B.)
+
+Because the campaign starts mid-afternoon and spans three nights, the last
+30 % naturally contains: three all-empty night folds, a mixed morning fold
+(the Env-only trap — cold room, people arriving) and a fully occupied
+afternoon fold.  :func:`make_paper_folds` cuts the folds by *time*, exactly
+like the paper's wall-clock boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .dataset import OccupancyDataset
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One evaluation fold with its Table III bookkeeping columns."""
+
+    index: int
+    role: str  # "train" or "test"
+    data: OccupancyDataset
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.role not in ("train", "test"):
+            raise DatasetError(f"role must be 'train' or 'test', got {self.role!r}")
+        if self.end_s <= self.start_s:
+            raise DatasetError("fold must span positive time")
+
+    @property
+    def n_empty(self) -> int:
+        """Empty-row count (Table III 'Empty' column)."""
+        return int(np.count_nonzero(self.data.occupancy == 0))
+
+    @property
+    def n_occupied(self) -> int:
+        """Occupied-row count (Table III 'Occupied' column)."""
+        return int(np.count_nonzero(self.data.occupancy == 1))
+
+    def temperature_range(self) -> tuple[float, float]:
+        """Min/max temperature (Table III 'T' column)."""
+        return float(self.data.temperature_c.min()), float(self.data.temperature_c.max())
+
+    def humidity_range(self) -> tuple[float, float]:
+        """Min/max humidity (Table III 'H' column)."""
+        return float(self.data.humidity_rh.min()), float(self.data.humidity_rh.max())
+
+    def describe(self) -> dict[str, object]:
+        """One Table III row as a dict."""
+        t_lo, t_hi = self.temperature_range()
+        h_lo, h_hi = self.humidity_range()
+        return {
+            "fold": self.index,
+            "role": self.role,
+            "start_h": self.start_s / 3600.0,
+            "end_h": self.end_s / 3600.0,
+            "empty": self.n_empty,
+            "occupied": self.n_occupied,
+            "T": (round(t_lo, 2), round(t_hi, 2)),
+            "H": (round(h_lo, 0), round(h_hi, 0)),
+        }
+
+
+@dataclass(frozen=True)
+class FoldSplit:
+    """The paper's split: one training fold (index 0) + N test folds (1..N)."""
+
+    train: Fold
+    tests: tuple[Fold, ...]
+
+    def __post_init__(self) -> None:
+        if self.train.role != "train":
+            raise DatasetError("train fold must have role 'train'")
+        if not self.tests:
+            raise DatasetError("need at least one test fold")
+        if any(f.role != "test" for f in self.tests):
+            raise DatasetError("test folds must have role 'test'")
+        indices = [f.index for f in self.tests]
+        if indices != list(range(1, len(indices) + 1)):
+            raise DatasetError(f"test folds must be numbered 1..N, got {indices}")
+
+    @property
+    def all_folds(self) -> tuple[Fold, ...]:
+        return (self.train, *self.tests)
+
+    def table_iii(self) -> list[dict[str, object]]:
+        """The full Table III as a list of row dicts."""
+        return [fold.describe() for fold in self.all_folds]
+
+
+def make_paper_folds(
+    dataset: OccupancyDataset,
+    train_fraction: float = 0.7,
+    n_test_folds: int = 5,
+) -> FoldSplit:
+    """Cut a campaign dataset into the paper's temporal folds.
+
+    The first ``train_fraction`` of the *time span* becomes the training
+    fold; the remainder is divided into ``n_test_folds`` equal-duration test
+    windows.  Raises :class:`DatasetError` if any window would be empty of
+    rows (the campaign is too short for the requested split).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if n_test_folds < 1:
+        raise DatasetError("n_test_folds must be >= 1")
+    if len(dataset) < (n_test_folds + 1) * 2:
+        raise DatasetError("dataset too small for the requested fold count")
+
+    t = dataset.timestamps_s
+    t0, t1 = float(t[0]), float(t[-1])
+    span = t1 - t0
+    if span <= 0:
+        raise DatasetError("dataset spans zero time")
+    cut = t0 + train_fraction * span
+
+    train_data = dataset.window(t0, cut)
+    train = Fold(0, "train", train_data, t0, cut)
+
+    edges = np.linspace(cut, t1, n_test_folds + 1)
+    # Make the final edge inclusive of the last row.
+    edges[-1] = np.nextafter(t1, np.inf)
+    tests = []
+    for i in range(n_test_folds):
+        window = dataset.window(float(edges[i]), float(edges[i + 1]))
+        tests.append(Fold(i + 1, "test", window, float(edges[i]), float(edges[i + 1])))
+    return FoldSplit(train=train, tests=tuple(tests))

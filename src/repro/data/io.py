@@ -1,0 +1,104 @@
+"""Dataset persistence: NPZ (fast, lossless) and CSV (Table I compatible).
+
+The CSV writer emits exactly the Table I column layout so the files are
+interchangeable with tooling written against the paper's format; NPZ keeps
+the latent occupant count the simulator provides.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError, SerializationError
+from .dataset import OccupancyDataset
+from .schema import TableISchema
+
+
+def save_npz(dataset: OccupancyDataset, path: str | Path) -> Path:
+    """Serialize a dataset (including occupant counts) to a ``.npz`` file."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "timestamps_s": dataset.timestamps_s,
+        "csi": dataset.csi,
+        "temperature_c": dataset.temperature_c,
+        "humidity_rh": dataset.humidity_rh,
+        "occupancy": dataset.occupancy,
+    }
+    if dataset.occupant_count is not None:
+        payload["occupant_count"] = dataset.occupant_count
+    if dataset.activity is not None:
+        payload["activity"] = dataset.activity
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz(path: str | Path) -> OccupancyDataset:
+    """Inverse of :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such dataset file: {path}")
+    with np.load(path) as archive:
+        required = ("timestamps_s", "csi", "temperature_c", "humidity_rh", "occupancy")
+        missing = [k for k in required if k not in archive]
+        if missing:
+            raise SerializationError(f"{path} is missing arrays: {missing}")
+        count = archive["occupant_count"] if "occupant_count" in archive else None
+        activity = archive["activity"] if "activity" in archive else None
+        return OccupancyDataset(
+            archive["timestamps_s"],
+            archive["csi"],
+            archive["temperature_c"],
+            archive["humidity_rh"],
+            archive["occupancy"],
+            count,
+            activity,
+        )
+
+
+def save_csv(dataset: OccupancyDataset, path: str | Path) -> Path:
+    """Write the dataset as a Table I CSV (header + numeric rows)."""
+    path = Path(path)
+    schema = TableISchema(n_subcarriers=dataset.n_subcarriers)
+    matrix = dataset.to_matrix()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.columns)
+        for row in matrix:
+            writer.writerow(
+                [f"{row[0]:.3f}"]
+                + [f"{v:.6g}" for v in row[1:-3]]
+                + [f"{row[-3]:.2f}", f"{row[-2]:.0f}", f"{int(row[-1])}"]
+            )
+    return path
+
+
+def load_csv(path: str | Path) -> OccupancyDataset:
+    """Read a Table I CSV back into a dataset.
+
+    The subcarrier count is inferred from the header (columns between
+    ``timestamp`` and ``temperature``).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such dataset file: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise SerializationError(f"{path} is empty") from exc
+        expected_prefix = ["timestamp"]
+        expected_suffix = ["temperature", "humidity", "occupancy"]
+        if header[:1] != expected_prefix or header[-3:] != expected_suffix:
+            raise SerializationError(f"{path} does not have the Table I header layout")
+        n_subcarriers = len(header) - 4
+        if n_subcarriers < 1:
+            raise SerializationError(f"{path} header has no CSI columns")
+        rows = [[float(v) for v in row] for row in reader if row]
+    if not rows:
+        raise DatasetError(f"{path} contains a header but no data rows")
+    matrix = np.array(rows, dtype=float)
+    return OccupancyDataset.from_matrix(matrix, n_subcarriers)

@@ -1,0 +1,65 @@
+"""The Table I data schema.
+
+Each dataset row is::
+
+    timestamp | a0 .. a{d_H-1} | temperature | humidity | occupancy
+
+with the CSI amplitudes of all subcarriers, the Thingy's temperature in
+degC, humidity in integer %RH, and the binary occupancy label (0 = empty,
+1 = at least one person).  The schema object carries column names and
+validation so CSV round trips and external tools agree on the layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class TableISchema:
+    """Column layout of the collected data (paper Table I)."""
+
+    n_subcarriers: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_subcarriers < 1:
+            raise SchemaError("n_subcarriers must be >= 1")
+
+    @property
+    def csi_columns(self) -> list[str]:
+        """Subcarrier amplitude column names a0..a{d_H-1}."""
+        return [f"a{i}" for i in range(self.n_subcarriers)]
+
+    @property
+    def columns(self) -> list[str]:
+        """All column names, in Table I order."""
+        return ["timestamp", *self.csi_columns, "temperature", "humidity", "occupancy"]
+
+    @property
+    def n_columns(self) -> int:
+        return self.n_subcarriers + 4
+
+    def validate_row(self, row: np.ndarray) -> None:
+        """Raise :class:`SchemaError` if a numeric row violates the schema."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.n_columns,):
+            raise SchemaError(f"row has {row.shape} values, schema expects {self.n_columns}")
+        if not np.all(np.isfinite(row)):
+            raise SchemaError("row contains non-finite values")
+        occupancy = row[-1]
+        if occupancy not in (0.0, 1.0):
+            raise SchemaError(f"occupancy must be 0 or 1, got {occupancy}")
+        humidity = row[-2]
+        if not 0.0 <= humidity <= 100.0:
+            raise SchemaError(f"humidity {humidity} outside [0, 100]")
+        csi = row[1 : 1 + self.n_subcarriers]
+        if np.any(csi < 0.0):
+            raise SchemaError("CSI amplitudes must be non-negative")
+
+
+#: Default schema: the paper's 20 MHz / 64-subcarrier layout.
+SCHEMA = TableISchema()

@@ -1,0 +1,127 @@
+"""Streaming (online) view of a campaign.
+
+A deployed detector consumes CSI frame by frame, not as a matrix.
+:class:`FrameStream` replays an :class:`~repro.data.dataset.OccupancyDataset`
+in that shape, and :class:`StreamingDetector` wraps a fitted
+:class:`~repro.core.detector.OccupancyDetector` with the state a real
+controller keeps: per-frame probability, a majority-vote smoothing window
+and debounced occupancy transitions.  The smart-building example uses the
+same logic; here it is a reusable, tested component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.detector import OccupancyDetector
+from ..exceptions import ConfigurationError, ShapeError
+from .dataset import OccupancyDataset
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One streamed observation."""
+
+    t_s: float
+    csi: np.ndarray
+    occupancy: int
+
+
+class FrameStream:
+    """Iterates a dataset as (timestamp, CSI row, label) frames."""
+
+    def __init__(self, dataset: OccupancyDataset) -> None:
+        self.dataset = dataset
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __iter__(self) -> Iterator[Frame]:
+        t = self.dataset.timestamps_s
+        csi = self.dataset.csi
+        occ = self.dataset.occupancy
+        for i in range(len(self.dataset)):
+            yield Frame(float(t[i]), csi[i], int(occ[i]))
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A debounced occupancy change the controller would act on."""
+
+    t_s: float
+    occupied: bool
+
+
+class StreamingDetector:
+    """Stateful frame-by-frame wrapper around a fitted detector.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`OccupancyDetector`.
+    window:
+        Majority-vote length in frames (1 disables smoothing).
+    hold_frames:
+        A state change must persist this many frames before a
+        :class:`Transition` is emitted (debounce, prevents flicker).
+    """
+
+    def __init__(
+        self,
+        detector: OccupancyDetector,
+        window: int = 5,
+        hold_frames: int = 3,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if hold_frames < 1:
+            raise ConfigurationError("hold_frames must be >= 1")
+        self.detector = detector
+        self.window = window
+        self.hold_frames = hold_frames
+        self._votes: deque[int] = deque(maxlen=window)
+        self._state = 0
+        self._pending_state: int | None = None
+        self._pending_count = 0
+
+    @property
+    def state(self) -> int:
+        """The current debounced occupancy state (0/1)."""
+        return self._state
+
+    def update(self, t_s: float, csi_row: np.ndarray) -> Transition | None:
+        """Consume one frame; returns a transition when the state flips."""
+        csi_row = np.asarray(csi_row, dtype=float)
+        if csi_row.ndim != 1:
+            raise ShapeError(f"expected a 1-D CSI row, got shape {csi_row.shape}")
+        raw = int(self.detector.predict(csi_row[None, :])[0])
+        self._votes.append(raw)
+        smoothed = int(np.mean(self._votes) >= 0.5)
+
+        if smoothed == self._state:
+            self._pending_state = None
+            self._pending_count = 0
+            return None
+        if smoothed != self._pending_state:
+            self._pending_state = smoothed
+            self._pending_count = 1
+        else:
+            self._pending_count += 1
+        if self._pending_count >= self.hold_frames:
+            self._state = smoothed
+            self._pending_state = None
+            self._pending_count = 0
+            return Transition(t_s, bool(smoothed))
+        return None
+
+    def run(self, stream: FrameStream) -> list[Transition]:
+        """Replay a whole stream; returns the emitted transitions."""
+        return [
+            event
+            for frame in stream
+            if (event := self.update(frame.t_s, frame.csi)) is not None
+        ]

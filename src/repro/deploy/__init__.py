@@ -1,0 +1,44 @@
+"""Embedded deployment substrate (Nucleo-L432KC target).
+
+The paper stresses deployability: "a model size of 15.18 KiB, with a RAM
+occupancy of 23.04 KiB, being easily deployable over a resource-constraint
+device such as Nucleo-L432KC" with 10.781 ms inference per sample.  This
+subpackage reproduces that resource accounting without the physical board:
+
+* :mod:`repro.deploy.quantize` — int8 post-training quantization;
+* :mod:`repro.deploy.export` — C header generation of the weights;
+* :mod:`repro.deploy.footprint` — flash/RAM budgets vs. the L432KC;
+* :mod:`repro.deploy.timing` — cycle-model latency on the Cortex-M4 plus
+  wall-clock measurement of the Python implementation.
+"""
+
+from .quantize import QuantizedLinear, QuantizedMLP, quantize_model
+from .export import export_c_header
+from .footprint import FootprintReport, estimate_footprint, NUCLEO_L432KC
+from .timing import cortex_m4_latency_ms, measure_inference_ms
+from .c_runtime import (
+    generate_inference_source,
+    write_firmware_bundle,
+    compile_firmware,
+    run_firmware,
+    validate_against_python,
+    host_compiler,
+)
+
+__all__ = [
+    "QuantizedLinear",
+    "QuantizedMLP",
+    "quantize_model",
+    "export_c_header",
+    "FootprintReport",
+    "estimate_footprint",
+    "NUCLEO_L432KC",
+    "cortex_m4_latency_ms",
+    "measure_inference_ms",
+    "generate_inference_source",
+    "write_firmware_bundle",
+    "compile_firmware",
+    "run_firmware",
+    "validate_against_python",
+    "host_compiler",
+]

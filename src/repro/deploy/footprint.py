@@ -1,0 +1,119 @@
+"""Flash/RAM footprint accounting against embedded targets.
+
+Checks a (quantized or float) model against a device budget the way a
+firmware engineer would before committing to a board: parameter storage in
+flash, activation working set plus runtime overhead in RAM.  Ships the
+Nucleo-L432KC profile the paper deploys on (STM32L432KC: 256 KiB flash,
+64 KiB SRAM, 80 MHz Cortex-M4F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DeploymentError
+from ..nn.modules import Module
+from .quantize import QuantizedMLP
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Resource envelope of an embedded target."""
+
+    name: str
+    flash_bytes: int
+    ram_bytes: int
+    clock_hz: float
+    #: Flash the firmware itself (HAL, radio stack, inference loop) uses.
+    firmware_overhead_bytes: int = 48 * 1024
+    #: RAM reserved for stack/heap/drivers.
+    ram_overhead_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if min(self.flash_bytes, self.ram_bytes) <= 0 or self.clock_hz <= 0:
+            raise DeploymentError("device resources must be positive")
+
+
+#: The paper's deployment target (STM32L432KC).
+NUCLEO_L432KC = DeviceProfile(
+    name="Nucleo-L432KC",
+    flash_bytes=256 * 1024,
+    ram_bytes=64 * 1024,
+    clock_hz=80e6,
+)
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Model-vs-device accounting."""
+
+    device: DeviceProfile
+    model_flash_bytes: int
+    model_ram_bytes: int
+
+    @property
+    def model_flash_kib(self) -> float:
+        """Model size in KiB (the paper reports 15.18 KiB)."""
+        return self.model_flash_bytes / 1024.0
+
+    @property
+    def model_ram_kib(self) -> float:
+        """Working RAM in KiB (the paper reports 23.04 KiB)."""
+        return self.model_ram_bytes / 1024.0
+
+    @property
+    def flash_utilisation(self) -> float:
+        """Fraction of device flash consumed, including firmware overhead."""
+        used = self.model_flash_bytes + self.device.firmware_overhead_bytes
+        return used / self.device.flash_bytes
+
+    @property
+    def ram_utilisation(self) -> float:
+        """Fraction of device RAM consumed, including runtime overhead."""
+        used = self.model_ram_bytes + self.device.ram_overhead_bytes
+        return used / self.device.ram_bytes
+
+    @property
+    def fits(self) -> bool:
+        """True when both budgets close — the paper's deployability claim."""
+        return self.flash_utilisation <= 1.0 and self.ram_utilisation <= 1.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.device.name}: model {self.model_flash_kib:.2f} KiB flash "
+            f"({self.flash_utilisation:.0%} used incl. firmware), "
+            f"{self.model_ram_kib:.2f} KiB RAM "
+            f"({self.ram_utilisation:.0%} used incl. runtime) -> "
+            f"{'FITS' if self.fits else 'DOES NOT FIT'}"
+        )
+
+
+def estimate_footprint(
+    model: QuantizedMLP | Module,
+    device: DeviceProfile = NUCLEO_L432KC,
+    batch_buffer_rows: int = 1,
+) -> FootprintReport:
+    """Account a model against a device.
+
+    Quantized models store int8 weights; float models store float32 and
+    are reported as such (4x larger) so the benefit of quantization is
+    visible in the report pair.
+    """
+    if batch_buffer_rows < 1:
+        raise DeploymentError("batch_buffer_rows must be >= 1")
+    if isinstance(model, QuantizedMLP):
+        flash = model.flash_bytes()
+        ram = model.working_ram_bytes() * batch_buffer_rows
+    else:
+        n_params = model.n_parameters()
+        if n_params == 0:
+            raise DeploymentError("model has no parameters")
+        flash = 4 * n_params
+        # Float path working set: the two widest activation buffers.
+        widths = sorted(
+            (p.data.shape[1] for _, p in model.named_parameters() if p.data.ndim == 2),
+            reverse=True,
+        )
+        widest_pair = sum(widths[:2]) if len(widths) >= 2 else widths[0] * 2
+        ram = 4 * widest_pair * batch_buffer_rows
+    return FootprintReport(device=device, model_flash_bytes=flash, model_ram_bytes=ram)

@@ -1,0 +1,154 @@
+"""Int8 post-training quantization of the library's MLPs.
+
+Symmetric per-tensor weight quantization with float32 biases — the layout
+CMSIS-NN-style kernels on a Cortex-M4 consume.  The quantized model keeps
+a float evaluation path so accuracy degradation can be measured directly
+against the float model (tests assert it stays within a small margin on
+the occupancy task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DeploymentError, ShapeError
+from ..nn.modules import Linear, ReLU, Sequential, Sigmoid, Tanh
+
+
+@dataclass(frozen=True)
+class QuantizedLinear:
+    """One linear layer with int8 weights and a per-tensor scale."""
+
+    weight_q: np.ndarray  # int8, shape (in, out)
+    weight_scale: float
+    bias: np.ndarray  # float32, shape (out,)
+
+    def __post_init__(self) -> None:
+        if self.weight_q.dtype != np.int8:
+            raise DeploymentError("weights must be int8")
+        if self.weight_scale <= 0:
+            raise DeploymentError("weight_scale must be positive")
+        if self.bias.shape != (self.weight_q.shape[1],):
+            raise ShapeError("bias width must match the output width")
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight_q.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight_q.shape[1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Dequantized evaluation (float accumulate, like CMSIS int32 acc)."""
+        return x @ (self.weight_q.astype(np.float32) * self.weight_scale) + self.bias
+
+    def flash_bytes(self) -> int:
+        """Storage: int8 weights + float32 biases + the scale."""
+        return self.weight_q.size + 4 * self.bias.size + 4
+
+
+@dataclass(frozen=True)
+class QuantizedMLP:
+    """A quantized Sequential: linear layers with activation tags."""
+
+    layers: tuple[QuantizedLinear, ...]
+    #: Activation after each layer: "relu", "none" (and "sigmoid"/"tanh").
+    activations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layers) != len(self.activations):
+            raise DeploymentError("one activation tag per layer required")
+        for a, b in zip(self.layers[:-1], self.layers[1:]):
+            if a.out_features != b.in_features:
+                raise DeploymentError(
+                    f"layer widths mismatch: {a.out_features} -> {b.in_features}"
+                )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the quantized network on float inputs."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None, :]
+        for layer, activation in zip(self.layers, self.activations):
+            x = layer.forward(x)
+            if activation == "relu":
+                x = np.maximum(x, 0.0)
+            elif activation == "sigmoid":
+                x = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+            elif activation == "tanh":
+                x = np.tanh(x)
+            elif activation != "none":
+                raise DeploymentError(f"unknown activation tag {activation!r}")
+        return x
+
+    def flash_bytes(self) -> int:
+        """Total parameter storage in bytes."""
+        return sum(layer.flash_bytes() for layer in self.layers)
+
+    def working_ram_bytes(self) -> int:
+        """Activation RAM: float32 double buffer of the widest layer pair."""
+        widths = [self.layers[0].in_features] + [l.out_features for l in self.layers]
+        widest_two = sorted(widths, reverse=True)[:2]
+        return 4 * sum(widest_two)
+
+    def n_parameters(self) -> int:
+        return sum(l.weight_q.size + l.bias.size for l in self.layers)
+
+    def max_abs_weight_error(self) -> float:
+        """Upper bound of per-weight quantization error (half an LSB)."""
+        return max(layer.weight_scale / 2.0 for layer in self.layers)
+
+
+def _quantize_weight(weight: np.ndarray) -> tuple[np.ndarray, float]:
+    max_abs = float(np.max(np.abs(weight)))
+    if max_abs == 0.0:
+        return np.zeros(weight.shape, dtype=np.int8), 1.0
+    scale = max_abs / 127.0
+    q = np.clip(np.round(weight / scale), -127, 127).astype(np.int8)
+    return q, scale
+
+
+def quantize_model(model: Sequential) -> QuantizedMLP:
+    """Quantize a Sequential of Linear/activation modules to int8.
+
+    Raises :class:`DeploymentError` on module types with no embedded
+    equivalent (e.g. Dropout should be stripped before deployment — it is
+    identity at inference anyway).
+    """
+    layers: list[QuantizedLinear] = []
+    activations: list[str] = []
+    pending: QuantizedLinear | None = None
+
+    def flush(activation: str) -> None:
+        nonlocal pending
+        if pending is None:
+            raise DeploymentError("activation module without a preceding Linear")
+        layers.append(pending)
+        activations.append(activation)
+        pending = None
+
+    for module in model.layers:
+        if isinstance(module, Linear):
+            if pending is not None:
+                flush("none")
+            assert module.bias is not None, "deployment requires biased layers"
+            weight_q, scale = _quantize_weight(module.weight.data)
+            pending = QuantizedLinear(weight_q, scale, module.bias.data.astype(np.float32))
+        elif isinstance(module, ReLU):
+            flush("relu")
+        elif isinstance(module, Sigmoid):
+            flush("sigmoid")
+        elif isinstance(module, Tanh):
+            flush("tanh")
+        else:
+            raise DeploymentError(
+                f"module {type(module).__name__} has no embedded deployment path"
+            )
+    if pending is not None:
+        flush("none")
+    if not layers:
+        raise DeploymentError("model contains no Linear layers")
+    return QuantizedMLP(tuple(layers), tuple(activations))

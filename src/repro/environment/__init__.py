@@ -1,0 +1,33 @@
+"""Office-world behavioural substrate.
+
+Simulates everything in the paper's data-collection environment that is not
+the radio itself: the office layout with movable furniture
+(:mod:`~repro.environment.room`), six occupants with kinematics and an
+activity model (:mod:`~repro.environment.occupants`,
+:mod:`~repro.environment.behavior`, :mod:`~repro.environment.schedule`),
+thermostat-driven temperature (:mod:`~repro.environment.thermal`), humidity
+dynamics (:mod:`~repro.environment.hygro`) and the Nordic-Thingy-like
+ground-truth sensor (:mod:`~repro.environment.sensors`).
+"""
+
+from .room import FurnitureItem, OfficeLayout
+from .occupants import Occupant, Activity
+from .schedule import PresenceInterval, ScheduleGenerator
+from .behavior import BehaviorSimulator, WorldState
+from .thermal import ThermalSimulator
+from .hygro import HumiditySimulator
+from .sensors import ThingySensor
+
+__all__ = [
+    "FurnitureItem",
+    "OfficeLayout",
+    "Occupant",
+    "Activity",
+    "PresenceInterval",
+    "ScheduleGenerator",
+    "BehaviorSimulator",
+    "WorldState",
+    "ThermalSimulator",
+    "HumiditySimulator",
+    "ThingySensor",
+]

@@ -1,0 +1,217 @@
+"""World simulator: occupants, activities, furniture and climate over time.
+
+:class:`BehaviorSimulator` ties the substrate together.  Per tick it
+
+1. consults the presence schedule to decide who is inside,
+2. advances a Markov activity model (walking/standing/sitting) for each
+   present occupant and their kinematics,
+3. occasionally perturbs furniture (chairs move, curtains toggle) while
+   people are present — the paper's "unconstrained environment",
+4. integrates the thermal and humidity models with the current head count,
+
+and emits a :class:`WorldState` snapshot the recorder feeds to the channel
+and sensor models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.geometry import Room, Vec3
+from ..channel.propagation import Scatterer
+from ..config import BehaviorConfig, ThermalConfig
+from ..exceptions import ConfigurationError
+from .hygro import HumiditySimulator
+from .occupants import Activity, ExclusionBox, Occupant, default_population
+from .room import OfficeLayout
+from .schedule import PresenceInterval, ScheduleGenerator
+from .thermal import ThermalSimulator
+
+#: Per-minute transition matrix of the activity Markov chain, rows/cols in
+#: order (WALKING, STANDING, SITTING).  Office workers mostly sit.
+_ACTIVITY_ORDER = (Activity.WALKING, Activity.STANDING, Activity.SITTING)
+_TRANSITIONS_PER_MIN = np.array(
+    [
+        [0.45, 0.25, 0.30],  # from walking
+        [0.25, 0.40, 0.35],  # from standing
+        [0.06, 0.04, 0.90],  # from sitting
+    ]
+)
+
+
+#: Dataset activity codes (the paper's future-work task, Section VI).
+ACTIVITY_CODES = {
+    None: 0,  # room empty
+    Activity.WALKING: 1,
+    Activity.STANDING: 2,
+    Activity.SITTING: 3,
+}
+
+ACTIVITY_NAMES = {0: "empty", 1: "walking", 2: "standing", 3: "sitting"}
+
+
+@dataclass(frozen=True)
+class WorldState:
+    """Snapshot of everything the recorder needs at one instant."""
+
+    t_s: float
+    n_occupants: int
+    occupied: bool
+    temperature_c: float
+    humidity_rh: float
+    #: Dominant activity code (see ACTIVITY_CODES); 0 when empty.  The
+    #: dominant activity is the most channel-affecting one present
+    #: (walking > standing > sitting), which is also the easiest to sense.
+    dominant_activity: int
+    #: Bodies currently inside (time-varying channel contribution).
+    occupant_scatterers: tuple[Scatterer, ...]
+    #: Furniture contribution (changes only on layout perturbations).
+    furniture_scatterers: tuple[Scatterer, ...]
+    #: Bumped whenever the furniture layout changed; cache key for recorders.
+    furniture_version: int
+    #: Aggregate motion level in [0, 1], drives fading decorrelation.
+    mobility: float
+
+    @property
+    def scatterers(self) -> tuple[Scatterer, ...]:
+        """All channel scatterers, occupants first."""
+        return self.occupant_scatterers + self.furniture_scatterers
+
+
+class BehaviorSimulator:
+    """Steps the office world forward in time.
+
+    Parameters
+    ----------
+    room:
+        Office geometry.
+    behavior, thermal:
+        Configuration of population and climate.
+    tx, rx:
+        Link endpoints (defines the occupant keep-out corridor).
+    start_hour_of_day, duration_h:
+        Campaign clock.
+    rng:
+        Seeded generator; the whole world is reproducible.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        behavior: BehaviorConfig,
+        thermal: ThermalConfig,
+        tx: Vec3,
+        rx: Vec3,
+        start_hour_of_day: float,
+        duration_h: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.room = room
+        self.behavior = behavior
+        self._rng = rng
+        self.exclusion = ExclusionBox.around_link(tx, rx)
+        self.layout = OfficeLayout(room, rng=rng)
+        self.occupants = default_population(rng, room, behavior.n_subjects)
+        schedule_rng = np.random.default_rng(rng.integers(0, 2**63))
+        self.schedule: list[PresenceInterval] = ScheduleGenerator(
+            behavior, start_hour_of_day, duration_h, schedule_rng
+        ).generate()
+        self.thermal = ThermalSimulator(thermal, start_hour_of_day)
+        self.hygro = HumiditySimulator(thermal)
+        self._t_s = 0.0
+        # Per-subject sorted interval arrays for O(log n) presence lookup.
+        self._subject_intervals: list[tuple[np.ndarray, np.ndarray]] = []
+        for sid in range(behavior.n_subjects):
+            ivs = [iv for iv in self.schedule if iv.subject_id == sid]
+            starts = np.array([iv.start_s for iv in ivs])
+            ends = np.array([iv.end_s for iv in ivs])
+            self._subject_intervals.append((starts, ends))
+
+    # ------------------------------------------------------------- presence
+
+    def _is_present(self, subject_id: int, t_s: float) -> bool:
+        starts, ends = self._subject_intervals[subject_id]
+        if starts.size == 0:
+            return False
+        idx = int(np.searchsorted(starts, t_s, side="right")) - 1
+        return idx >= 0 and t_s < ends[idx]
+
+    # ------------------------------------------------------------ activities
+
+    def _advance_activity(self, occupant: Occupant, dt_s: float) -> None:
+        """One Markov transition, scaled from the per-minute matrix."""
+        if occupant.activity is Activity.AWAY:
+            # Fresh arrival: people enter walking.
+            occupant.activity = Activity.WALKING
+            return
+        p_change = min(dt_s / 60.0, 1.0)
+        if self._rng.random() >= p_change:
+            return
+        row = _ACTIVITY_ORDER.index(occupant.activity)
+        probs = _TRANSITIONS_PER_MIN[row]
+        occupant.activity = self._rng.choice(_ACTIVITY_ORDER, p=probs)
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, dt_s: float) -> WorldState:
+        """Advance the world by ``dt_s`` seconds and return the new state."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        self._t_s += dt_s
+        t = self._t_s
+
+        n_present = 0
+        mobility = 0.0
+        scatterers: list[Scatterer] = []
+        present_activities: list[Activity] = []
+        for occupant in self.occupants:
+            if self._is_present(occupant.subject_id, t):
+                n_present += 1
+                self._advance_activity(occupant, dt_s)
+                occupant.step(dt_s, self.room, self._rng, self.exclusion)
+                present_activities.append(occupant.activity)
+            else:
+                occupant.activity = Activity.AWAY
+            s = occupant.as_scatterer()
+            if s is not None:
+                scatterers.append(s)
+                mobility = max(mobility, occupant.mobility())
+
+        # Dominant activity: walking beats standing beats sitting, because
+        # that is the ordering of their channel footprint.
+        dominant = 0
+        for activity in (Activity.WALKING, Activity.STANDING, Activity.SITTING):
+            if activity in present_activities:
+                dominant = ACTIVITY_CODES[activity]
+                break
+
+        # Unconstrained-environment perturbations while people are around.
+        if n_present > 0:
+            rate = self.behavior.furniture_move_rate_per_min * dt_s / 60.0
+            if self._rng.random() < rate:
+                self.layout.perturb(1)
+            if self._rng.random() < 0.3 * rate:
+                self.layout.toggle_curtain()
+
+        temperature = self.thermal.step(t, dt_s, n_present)
+        humidity = self.hygro.step(dt_s, n_present, temperature)
+
+        return WorldState(
+            t_s=t,
+            n_occupants=n_present,
+            occupied=n_present > 0,
+            temperature_c=float(temperature),
+            humidity_rh=float(humidity),
+            dominant_activity=dominant,
+            occupant_scatterers=tuple(scatterers),
+            furniture_scatterers=tuple(self.layout.static_scatterers()),
+            furniture_version=self.layout.version,
+            mobility=mobility,
+        )
+
+    @property
+    def t_s(self) -> float:
+        """Current campaign time in seconds."""
+        return self._t_s

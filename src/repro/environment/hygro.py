@@ -1,0 +1,56 @@
+"""Indoor relative-humidity dynamics.
+
+Relative humidity in the simulated office is driven by three effects the
+paper's Section V-A narrative names explicitly (breathing occupants, the
+heating system, opened windows/doors):
+
+* **Occupant moisture**: each person adds water vapour (breathing,
+  perspiration), raising RH.
+* **Psychrometric coupling**: warming air at constant absolute moisture
+  *lowers* relative humidity — so heater cycles push RH down, producing the
+  positive T-H correlation being only moderate (0.45) rather than 1.0.
+* **Ventilation relaxation**: RH decays towards a baseline with a time
+  constant, modelling air exchange.
+
+State is a single RH value integrated with forward Euler; traces stay
+inside Table III's 16-49 %RH envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ThermalConfig
+from ..exceptions import ConfigurationError
+
+
+class HumiditySimulator:
+    """Integrates indoor relative humidity over a campaign."""
+
+    def __init__(self, config: ThermalConfig) -> None:
+        self.config = config
+        self.humidity_rh = config.initial_humidity_rh
+        self._last_temperature_c: float | None = None
+
+    def step(self, dt_s: float, n_occupants: int, temperature_c: float) -> float:
+        """Advance by ``dt_s`` and return the new relative humidity [%RH]."""
+        if dt_s < 0:
+            raise ConfigurationError("dt_s must be >= 0")
+        if n_occupants < 0:
+            raise ConfigurationError("n_occupants must be >= 0")
+        cfg = self.config
+        dt_h = dt_s / 3600.0
+
+        moisture_gain = cfg.occupant_moisture_rh_per_h * n_occupants * dt_h
+        relaxation = (self.humidity_rh - cfg.humidity_base_rh) / cfg.humidity_tau_h * dt_h
+
+        if self._last_temperature_c is None:
+            dT = 0.0
+        else:
+            dT = temperature_c - self._last_temperature_c
+        self._last_temperature_c = temperature_c
+        psychrometric = -cfg.humidity_per_deg_rh * dT
+
+        self.humidity_rh += moisture_gain - relaxation + psychrometric
+        self.humidity_rh = float(np.clip(self.humidity_rh, 5.0, 95.0))
+        return self.humidity_rh

@@ -1,0 +1,183 @@
+"""Occupant model: identity, kinematics and radar signature.
+
+Each of the paper's six subjects is an :class:`Occupant` with a persistent
+body build (height/radius, hence scattering cross-section), a desk they
+gravitate to, and an activity-dependent motion model:
+
+* ``WALKING`` — continuous 2D random-waypoint motion at ~1 m/s;
+* ``STANDING`` — stationary, full height, small sway;
+* ``SITTING`` — stationary at their desk, reduced effective height
+  (a seated body intersects less of the propagation field);
+* ``AWAY`` — outside the room, no channel interaction.
+
+The RX/TX corridor is off limits — the paper states occupants cannot move
+between AP and RP1 — enforced by an exclusion box around the link.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.geometry import Room, Vec3
+from ..channel.propagation import Scatterer
+from ..exceptions import GeometryError
+
+
+class Activity(enum.Enum):
+    """What an occupant is currently doing (paper Sec. IV-A examples)."""
+
+    AWAY = "away"
+    WALKING = "walking"
+    STANDING = "standing"
+    SITTING = "sitting"
+
+
+@dataclass
+class Occupant:
+    """One subject with a body build and a current kinematic state."""
+
+    subject_id: int
+    height_m: float
+    radius_m: float
+    desk: Vec3
+    walk_speed_mps: float = 1.0
+    activity: Activity = Activity.AWAY
+    position: Vec3 | None = None
+    _waypoint: Vec3 | None = None
+
+    def __post_init__(self) -> None:
+        if self.height_m <= 0 or self.radius_m <= 0:
+            raise GeometryError("occupant build must be positive")
+        if self.position is None:
+            self.position = self.desk
+
+    @property
+    def present(self) -> bool:
+        return self.activity is not Activity.AWAY
+
+    def effective_height_m(self) -> float:
+        """Body height as seen by the channel (seated bodies are shorter)."""
+        if self.activity is Activity.SITTING:
+            return 0.75 * self.height_m
+        return self.height_m
+
+    def mobility(self) -> float:
+        """Channel-decorrelation drive in [0, 1] for the fading model."""
+        return {
+            Activity.AWAY: 0.0,
+            Activity.SITTING: 0.15,
+            Activity.STANDING: 0.3,
+            Activity.WALKING: 1.0,
+        }[self.activity]
+
+    def _pick_waypoint(self, room: Room, rng: np.random.Generator, forbidden: "ExclusionBox") -> Vec3:
+        for _ in range(64):
+            p = Vec3(
+                float(rng.uniform(0.3, room.length_m - 0.3)),
+                float(rng.uniform(0.3, room.width_m - 0.3)),
+                0.0,
+            )
+            if not forbidden.contains(p):
+                return p
+        raise GeometryError("could not sample a waypoint outside the exclusion box")
+
+    def step(
+        self,
+        dt_s: float,
+        room: Room,
+        rng: np.random.Generator,
+        forbidden: "ExclusionBox",
+    ) -> None:
+        """Advance kinematics by ``dt_s`` according to the current activity."""
+        assert self.position is not None
+        if self.activity is Activity.AWAY:
+            return
+        if self.activity is Activity.SITTING:
+            self.position = self.desk
+            return
+        if self.activity is Activity.STANDING:
+            # Small sway around the current spot.
+            sway = 0.03
+            p = Vec3(
+                float(np.clip(self.position.x + rng.normal(0, sway), 0.3, room.length_m - 0.3)),
+                float(np.clip(self.position.y + rng.normal(0, sway), 0.3, room.width_m - 0.3)),
+                0.0,
+            )
+            if not forbidden.contains(p):
+                self.position = p
+            return
+        # WALKING: random waypoint.
+        if self._waypoint is None or self.position.distance_to(self._waypoint) < 0.2:
+            self._waypoint = self._pick_waypoint(room, rng, forbidden)
+        direction = (self._waypoint - self.position).normalized()
+        step_len = min(self.walk_speed_mps * dt_s, self.position.distance_to(self._waypoint))
+        candidate = self.position + direction * step_len
+        if forbidden.contains(candidate):
+            self._waypoint = self._pick_waypoint(room, rng, forbidden)
+        else:
+            self.position = candidate
+
+    def as_scatterer(self) -> Scatterer | None:
+        """The occupant's channel contribution, or ``None`` when away."""
+        if not self.present:
+            return None
+        assert self.position is not None
+        return Scatterer(
+            position=self.position,
+            radius_m=self.radius_m,
+            height_m=self.effective_height_m(),
+            reflectivity=0.9,
+            blocking_db=12.0,
+        )
+
+
+@dataclass(frozen=True)
+class ExclusionBox:
+    """The keep-out corridor between AP and sniffer (Sec. IV-A).
+
+    "The AP and RP1 are placed 2 meters apart [...] and occupants cannot
+    move between them."
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise GeometryError("exclusion box must have positive extent")
+
+    def contains(self, p: Vec3) -> bool:
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    @classmethod
+    def around_link(cls, tx: Vec3, rx: Vec3, margin_m: float = 0.4) -> "ExclusionBox":
+        return cls(
+            x_min=min(tx.x, rx.x) - margin_m,
+            x_max=max(tx.x, rx.x) + margin_m,
+            y_min=min(tx.y, rx.y) - margin_m,
+            y_max=max(tx.y, rx.y) + margin_m,
+        )
+
+
+def default_population(rng: np.random.Generator, room: Room, n_subjects: int = 6) -> list[Occupant]:
+    """The paper's six subjects (two women, four men) with varied builds."""
+    occupants: list[Occupant] = []
+    heights = rng.uniform(1.58, 1.90, n_subjects)
+    radii = rng.uniform(0.18, 0.26, n_subjects)
+    for i in range(n_subjects):
+        x = 1.5 + (i % 3) * 3.5 + 0.6
+        y = (2.0 if i < 3 else 4.5) + 0.5
+        occupants.append(
+            Occupant(
+                subject_id=i,
+                height_m=float(heights[i]),
+                radius_m=float(radii[i]),
+                desk=Vec3(min(x, room.length_m - 0.3), min(y, room.width_m - 0.3), 0.0),
+            )
+        )
+    return occupants

@@ -1,0 +1,181 @@
+"""Office layout with movable furniture.
+
+The paper stresses that the environment is *unconstrained*: "the subjects
+worked freely in the room, moving chairs, raising/lowering curtains, and
+moving without a predefined pattern" (Section V-A).  Furniture displacement
+changes the static multipath structure, so the occupied class is not a
+single CSI template — a key reason linear classifiers fail on CSI while
+non-linear ones succeed (Table IV).
+
+:class:`OfficeLayout` maintains a set of furniture items (desks, chairs,
+curtains, a cabinet) whose positions can take small random jumps when
+occupants interact with them.  Each item contributes a weak static
+scatterer to the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..channel.geometry import Room, Vec3
+from ..channel.propagation import Scatterer
+from ..exceptions import GeometryError
+
+
+@dataclass(frozen=True)
+class FurnitureItem:
+    """A piece of furniture acting as a weak, movable scatterer.
+
+    ``movable_radius_m`` bounds how far it can drift from its home
+    position; curtains "move" vertically instead (raised/lowered), which we
+    encode as a reflectivity change rather than a displacement.
+    """
+
+    name: str
+    home: Vec3
+    reflectivity: float
+    height_m: float
+    radius_m: float = 0.3
+    movable_radius_m: float = 0.5
+    position: Vec3 | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reflectivity <= 1.0:
+            raise GeometryError("reflectivity must be within [0, 1]")
+        if self.movable_radius_m < 0:
+            raise GeometryError("movable_radius_m must be >= 0")
+        if self.position is None:
+            object.__setattr__(self, "position", self.home)
+
+    def displaced(self, rng: np.random.Generator, room: Room) -> "FurnitureItem":
+        """A copy of this item after a random occupant-induced nudge."""
+        if self.movable_radius_m == 0.0:
+            return self
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        dist = rng.uniform(0.0, self.movable_radius_m)
+        new = Vec3(
+            float(np.clip(self.home.x + dist * np.cos(angle), 0.2, room.length_m - 0.2)),
+            float(np.clip(self.home.y + dist * np.sin(angle), 0.2, room.width_m - 0.2)),
+            self.home.z,
+        )
+        return replace(self, position=new)
+
+    def as_scatterer(self) -> Scatterer:
+        """This furniture item as a channel scatterer (weak, non-blocking)."""
+        assert self.position is not None
+        return Scatterer(
+            position=self.position,
+            radius_m=self.radius_m,
+            height_m=self.height_m,
+            reflectivity=self.reflectivity,
+            blocking_db=2.0,
+        )
+
+
+def default_furniture() -> list[FurnitureItem]:
+    """The simulated office's furnishing: 6 desks, 6 chairs, cabinet, curtains."""
+    items: list[FurnitureItem] = []
+    for i in range(6):
+        x = 1.5 + (i % 3) * 3.5
+        y = 2.0 if i < 3 else 4.5
+        items.append(
+            FurnitureItem(
+                name=f"desk_{i}",
+                home=Vec3(x, y, 0.0),
+                reflectivity=0.05,
+                height_m=0.75,
+                radius_m=0.6,
+                movable_radius_m=0.1,
+            )
+        )
+        items.append(
+            FurnitureItem(
+                name=f"chair_{i}",
+                home=Vec3(x + 0.6, y + 0.5, 0.0),
+                reflectivity=0.03,
+                height_m=1.0,
+                radius_m=0.3,
+                movable_radius_m=0.4,
+            )
+        )
+    items.append(
+        FurnitureItem(
+            name="cabinet",
+            home=Vec3(11.2, 0.8, 0.0),
+            reflectivity=0.08,
+            height_m=2.0,
+            radius_m=0.5,
+            movable_radius_m=0.0,
+        )
+    )
+    for i in range(3):
+        items.append(
+            FurnitureItem(
+                name=f"curtain_{i}",
+                home=Vec3(2.5 + i * 3.5, 5.9, 0.0),
+                reflectivity=0.03,
+                height_m=2.2,
+                radius_m=0.9,
+                movable_radius_m=0.0,
+            )
+        )
+    return items
+
+
+class OfficeLayout:
+    """Mutable furniture state of the office.
+
+    ``perturb`` applies occupant-induced changes: chair displacements and
+    curtain raises/lowers (a reflectivity toggle).  Call
+    ``static_scatterers`` to get the current furniture contribution to the
+    channel.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        items: list[FurnitureItem] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.room = room
+        self.items: list[FurnitureItem] = list(items) if items is not None else default_furniture()
+        self._rng = rng or np.random.default_rng()
+        #: Monotone counter bumped on every layout change; recorders use it
+        #: to invalidate cached furniture channel contributions.
+        self.version = 0
+        for item in self.items:
+            assert item.position is not None
+            if not room.contains(item.position):
+                raise GeometryError(f"furniture {item.name!r} at {item.position} outside room")
+
+    def perturb(self, n_moves: int = 1) -> list[str]:
+        """Randomly displace up to ``n_moves`` movable items; returns names moved."""
+        movable = [i for i, it in enumerate(self.items) if it.movable_radius_m > 0]
+        if not movable or n_moves <= 0:
+            return []
+        chosen = self._rng.choice(movable, size=min(n_moves, len(movable)), replace=False)
+        moved: list[str] = []
+        for idx in chosen:
+            self.items[idx] = self.items[idx].displaced(self._rng, self.room)
+            moved.append(self.items[idx].name)
+        if moved:
+            self.version += 1
+        return moved
+
+    def toggle_curtain(self) -> str | None:
+        """Raise/lower a random curtain (reflectivity toggle); returns its name."""
+        curtains = [i for i, it in enumerate(self.items) if it.name.startswith("curtain")]
+        if not curtains:
+            return None
+        idx = int(self._rng.choice(curtains))
+        item = self.items[idx]
+        new_refl = 0.06 if item.reflectivity < 0.045 else 0.03
+        self.items[idx] = replace(item, reflectivity=new_refl)
+        self.version += 1
+        return item.name
+
+    def static_scatterers(self) -> list[Scatterer]:
+        """The furniture contribution to the multipath channel."""
+        return [item.as_scatterer() for item in self.items]

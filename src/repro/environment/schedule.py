@@ -1,0 +1,165 @@
+"""Occupancy schedule generation.
+
+Generates, per subject, the intervals during which they are inside the
+office over the whole campaign.  The statistics are tuned so that a
+74-hour campaign reproduces the *shape* of the paper's Table II occupant
+histogram (empty ~63 %, and a decaying tail of 1..4 simultaneous people)
+and Table III fold structure (empty nights, a mixed morning, a fully
+occupied afternoon).
+
+Subjects arrive/leave only within the workday window; nights are guaranteed
+empty, which is what creates the three all-empty test folds of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import BehaviorConfig
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PresenceInterval:
+    """One continuous stay of one subject inside the office."""
+
+    subject_id: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"interval must have positive length: [{self.start_s}, {self.end_s}]"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def covers(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+class ScheduleGenerator:
+    """Samples per-subject presence intervals for a campaign.
+
+    Parameters
+    ----------
+    config:
+        Population/schedule tunables.
+    start_hour_of_day:
+        Hour of day at campaign time 0 (the paper starts 15:08).
+    duration_h:
+        Campaign length in hours.
+    rng:
+        Seeded generator; the schedule is fully reproducible.
+    """
+
+    def __init__(
+        self,
+        config: BehaviorConfig,
+        start_hour_of_day: float,
+        duration_h: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if duration_h <= 0:
+            raise ConfigurationError("duration_h must be positive")
+        self.config = config
+        self.start_hour_of_day = start_hour_of_day
+        self.duration_h = duration_h
+        self._rng = rng
+
+    def hour_of_day(self, t_s: float) -> float:
+        """Wall-clock hour of day for campaign time ``t_s``."""
+        return (self.start_hour_of_day + t_s / 3600.0) % 24.0
+
+    def day_index(self, t_s: float) -> int:
+        """Whole days elapsed since campaign start (day 0 = start day)."""
+        return int((self.start_hour_of_day + t_s / 3600.0) // 24.0)
+
+    def _workday_window_s(self, day: int) -> tuple[float, float] | None:
+        """Campaign-time window of the workday on calendar day ``day``.
+
+        Returns ``None`` if that day's workday lies entirely outside the
+        campaign.
+        """
+        cfg = self.config
+        day_origin_s = (day * 24.0 - self.start_hour_of_day) * 3600.0
+        w0 = day_origin_s + cfg.workday_start_h * 3600.0
+        w1 = day_origin_s + cfg.workday_end_h * 3600.0
+        campaign_end_s = self.duration_h * 3600.0
+        w0 = max(w0, 0.0)
+        w1 = min(w1, campaign_end_s)
+        if w1 <= w0:
+            return None
+        return w0, w1
+
+    def _subject_day_intervals(
+        self, subject_id: int, window: tuple[float, float]
+    ) -> list[PresenceInterval]:
+        """Alternating gap/stay sampling inside one workday window."""
+        cfg = self.config
+        w0, w1 = window
+        intervals: list[PresenceInterval] = []
+        # ~12% chance a subject skips the office entirely that day.
+        if self._rng.random() < 0.12:
+            return intervals
+        t = w0 + self._rng.exponential(0.5 * cfg.mean_gap_h * 3600.0)
+        while t < w1:
+            stay = self._rng.exponential(cfg.mean_stay_h * 3600.0)
+            stay = float(np.clip(stay, 120.0, (w1 - t)))
+            intervals.append(PresenceInterval(subject_id, t, t + stay))
+            # Afternoons are the office's busy period (the paper's final
+            # test fold, 13:09-19:16, is fully occupied): shorten the gap
+            # until the next visit when it starts in the afternoon.
+            gap_mean = cfg.mean_gap_h * 3600.0
+            if 13.0 <= self.hour_of_day(t + stay) < 19.0:
+                gap_mean *= 0.35
+            t += stay + self._rng.exponential(gap_mean)
+        return intervals
+
+    def generate(self) -> list[PresenceInterval]:
+        """All presence intervals for all subjects over the campaign."""
+        intervals: list[PresenceInterval] = []
+        last_day = self.day_index(self.duration_h * 3600.0 - 1e-6)
+        for day in range(last_day + 1):
+            window = self._workday_window_s(day)
+            if window is None:
+                continue
+            for subject in range(self.config.n_subjects):
+                intervals.extend(self._subject_day_intervals(subject, window))
+        intervals.sort(key=lambda iv: iv.start_s)
+        return intervals
+
+
+def occupancy_count(intervals: list[PresenceInterval], t_s: float) -> int:
+    """How many subjects are inside at campaign time ``t_s``."""
+    return sum(1 for iv in intervals if iv.covers(t_s))
+
+
+def occupancy_counts(intervals: list[PresenceInterval], times_s: np.ndarray) -> np.ndarray:
+    """Vectorised occupant count at each query time.
+
+    Uses a +1/-1 event sweep, so the cost is
+    ``O((n_intervals + n_times) log ...)`` rather than the quadratic naive
+    scan — the campaign has thousands of intervals and millions of rows.
+    """
+    times_s = np.asarray(times_s, dtype=float)
+    if not intervals:
+        return np.zeros(times_s.shape, dtype=int)
+    starts = np.array([iv.start_s for iv in intervals])
+    ends = np.array([iv.end_s for iv in intervals])
+    events = np.concatenate([starts, ends])
+    deltas = np.concatenate([np.ones_like(starts), -np.ones_like(ends)])
+    order = np.argsort(events, kind="stable")
+    events = events[order]
+    deltas = deltas[order]
+    cumulative = np.cumsum(deltas)
+    # Count at time t is the cumulative sum after all events <= t.  A start
+    # at exactly t counts (interval covers t); an end at exactly t does not.
+    idx = np.searchsorted(events, times_s, side="right")
+    counts = np.where(idx > 0, cumulative[np.maximum(idx - 1, 0)], 0)
+    return counts.astype(int)

@@ -1,0 +1,84 @@
+"""Ground-truth environmental sensor model (Nordic Thingy 52).
+
+The paper's RP2 polls a Nordic Thingy 52 over Bluetooth for temperature and
+humidity (Section IV-A).  The Thingy's HTS221-class sensor has:
+
+* additive Gaussian noise (~0.1 degC / ~1 %RH),
+* coarse reporting resolution — Table I shows humidity logged as an
+  *integer* percentage and temperature at 0.01 degC,
+* a slow response (the sensor's thermal mass low-pass filters the room),
+* a per-device calibration offset.
+
+:class:`ThingySensor` applies all four so the recorded T/H columns carry a
+realistic measurement channel between the physical simulation and the
+dataset — important because the paper's Env-only baselines consume these
+measured values, not the latent truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class ThingySensor:
+    """Temperature/humidity sensing chain of the Thingy 52.
+
+    Parameters
+    ----------
+    temperature_noise_c, humidity_noise_rh:
+        Std of the additive measurement noise.
+    temperature_offset_c, humidity_offset_rh:
+        Per-device calibration bias.
+    response_tau_s:
+        First-order lag of the sensing element.
+    temperature_resolution_c, humidity_resolution_rh:
+        Reporting quantization (Table I shows 0.01 degC and 1 %RH).
+    """
+
+    def __init__(
+        self,
+        temperature_noise_c: float = 0.15,
+        humidity_noise_rh: float = 0.8,
+        temperature_offset_c: float = 0.0,
+        humidity_offset_rh: float = 0.0,
+        response_tau_s: float = 60.0,
+        temperature_resolution_c: float = 0.01,
+        humidity_resolution_rh: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if temperature_noise_c < 0 or humidity_noise_rh < 0:
+            raise ConfigurationError("noise levels must be >= 0")
+        if response_tau_s <= 0:
+            raise ConfigurationError("response_tau_s must be positive")
+        if temperature_resolution_c <= 0 or humidity_resolution_rh <= 0:
+            raise ConfigurationError("resolutions must be positive")
+        self.temperature_noise_c = temperature_noise_c
+        self.humidity_noise_rh = humidity_noise_rh
+        self.temperature_offset_c = temperature_offset_c
+        self.humidity_offset_rh = humidity_offset_rh
+        self.response_tau_s = response_tau_s
+        self.temperature_resolution_c = temperature_resolution_c
+        self.humidity_resolution_rh = humidity_resolution_rh
+        self._rng = rng or np.random.default_rng()
+        self._lagged_t: float | None = None
+        self._lagged_h: float | None = None
+
+    def _lag(self, previous: float | None, value: float, dt_s: float) -> float:
+        if previous is None or dt_s <= 0:
+            return value
+        alpha = 1.0 - float(np.exp(-dt_s / self.response_tau_s))
+        return previous + alpha * (value - previous)
+
+    def read(self, true_temperature_c: float, true_humidity_rh: float, dt_s: float) -> tuple[float, float]:
+        """One sensor poll: returns (measured T [degC], measured H [%RH])."""
+        self._lagged_t = self._lag(self._lagged_t, true_temperature_c, dt_s)
+        self._lagged_h = self._lag(self._lagged_h, true_humidity_rh, dt_s)
+
+        t = self._lagged_t + self.temperature_offset_c + self._rng.normal(0, self.temperature_noise_c)
+        h = self._lagged_h + self.humidity_offset_rh + self._rng.normal(0, self.humidity_noise_rh)
+
+        t = round(t / self.temperature_resolution_c) * self.temperature_resolution_c
+        h = round(h / self.humidity_resolution_rh) * self.humidity_resolution_rh
+        return float(t), float(np.clip(h, 0.0, 100.0))

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at an application boundary while still being able
+to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric primitive or room layout is invalid."""
+
+
+class ChannelError(ReproError):
+    """The CSI channel simulator was used incorrectly."""
+
+
+class DatasetError(ReproError):
+    """A dataset container or split is malformed."""
+
+
+class SchemaError(DatasetError):
+    """Column data does not match the Table I schema."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before ``fit`` was called."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong shape or dimensionality."""
+
+
+class AutogradError(ReproError, RuntimeError):
+    """Invalid use of the autograd engine (e.g. backward on non-scalar)."""
+
+
+class DeploymentError(ReproError):
+    """A model does not satisfy an embedded-deployment constraint."""
+
+
+class SerializationError(ReproError):
+    """A model or dataset artifact could not be (de)serialized."""

@@ -1,0 +1,35 @@
+"""Evaluation metrics.
+
+:mod:`repro.metrics.classification` covers the occupancy task (Table IV)
+and :mod:`repro.metrics.regression` the environment-prediction task
+(Table V, Eqs. 2-3).
+"""
+
+from .classification import (
+    accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+    balanced_accuracy,
+)
+from .regression import mae, mape, rmse, r2_score
+from .calibration import (
+    reliability_curve,
+    expected_calibration_error,
+    brier_score,
+)
+from .bootstrap import bootstrap_ci
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "balanced_accuracy",
+    "mae",
+    "mape",
+    "rmse",
+    "r2_score",
+    "reliability_curve",
+    "expected_calibration_error",
+    "brier_score",
+    "bootstrap_ci",
+]

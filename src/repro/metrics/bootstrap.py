@@ -1,0 +1,50 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+Table IV/V report single numbers per fold; a reproduction should also
+say how stable they are.  :func:`bootstrap_ci` resamples rows with
+replacement and returns the percentile interval of any metric
+``f(y_true, y_pred) -> float``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def bootstrap_ci(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float, float]:
+    """Point estimate plus percentile CI of a paired metric.
+
+    Returns ``(estimate, low, high)``.
+    """
+    if n_resamples < 10:
+        raise ShapeError("n_resamples must be >= 10")
+    if not 0.0 < confidence < 1.0:
+        raise ShapeError("confidence must be within (0, 1)")
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ShapeError("paired arrays must have equal first dimension")
+    n = y_true.shape[0]
+    if n == 0:
+        raise ShapeError("empty arrays")
+    rng = rng or np.random.default_rng()
+
+    estimate = float(metric(y_true, y_pred))
+    samples = np.empty(n_resamples)
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        samples[i] = metric(y_true[idx], y_pred[idx])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(samples, [alpha, 1.0 - alpha])
+    return estimate, float(low), float(high)

@@ -1,0 +1,70 @@
+"""Probability-calibration metrics.
+
+A deployed occupancy controller acts on thresholds of ``P(occupied)``
+(switch the lights off only when the detector is *sure* the room is
+empty), so probability quality matters beyond accuracy.  This module
+provides the standard diagnostics:
+
+* :func:`reliability_curve` — predicted-vs-empirical frequency per
+  probability bin;
+* :func:`expected_calibration_error` — the bin-weighted |gap| summary;
+* :func:`brier_score` — the proper scoring rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def _check_inputs(y_true: np.ndarray, proba: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel().astype(int)
+    proba = np.asarray(proba, dtype=float).ravel()
+    if y_true.shape != proba.shape:
+        raise ShapeError(f"shapes differ: {y_true.shape} vs {proba.shape}")
+    if y_true.size == 0:
+        raise ShapeError("empty arrays")
+    if not np.all(np.isin(y_true, (0, 1))):
+        raise ShapeError("labels must be binary 0/1")
+    if np.any((proba < 0) | (proba > 1)):
+        raise ShapeError("probabilities must lie in [0, 1]")
+    return y_true, proba
+
+
+def reliability_curve(
+    y_true: np.ndarray, proba: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-bin (mean predicted, empirical frequency, count).
+
+    Bins are uniform over [0, 1]; empty bins are dropped.
+    """
+    if n_bins < 1:
+        raise ShapeError("n_bins must be >= 1")
+    y_true, proba = _check_inputs(y_true, proba)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_idx = np.clip(np.digitize(proba, edges[1:-1]), 0, n_bins - 1)
+    predicted, empirical, counts = [], [], []
+    for b in range(n_bins):
+        mask = bin_idx == b
+        if not np.any(mask):
+            continue
+        predicted.append(float(proba[mask].mean()))
+        empirical.append(float(y_true[mask].mean()))
+        counts.append(int(mask.sum()))
+    return np.array(predicted), np.array(empirical), np.array(counts)
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, proba: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted mean |predicted - empirical| over the bins (ECE)."""
+    predicted, empirical, counts = reliability_curve(y_true, proba, n_bins)
+    total = counts.sum()
+    return float(np.sum(counts * np.abs(predicted - empirical)) / total)
+
+
+def brier_score(y_true: np.ndarray, proba: np.ndarray) -> float:
+    """Mean squared probability error — proper, decomposable, in [0, 1]."""
+    y_true, proba = _check_inputs(y_true, proba)
+    return float(np.mean((proba - y_true) ** 2))

@@ -1,0 +1,69 @@
+"""Binary classification metrics (Table IV reports accuracy in %)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def _check_binary_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel().astype(int)
+    y_pred = np.asarray(y_pred).ravel().astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(f"label shapes differ: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ShapeError("empty label arrays")
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred)):
+        if not np.all(np.isin(arr, (0, 1))):
+            raise ShapeError(f"{name} must be binary 0/1")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions, in [0, 1]."""
+    y_true, y_pred = _check_binary_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 matrix ``[[TN, FP], [FN, TP]]``."""
+    y_true, y_pred = _check_binary_pair(y_true, y_pred)
+    tn = int(np.count_nonzero((y_true == 0) & (y_pred == 0)))
+    fp = int(np.count_nonzero((y_true == 0) & (y_pred == 1)))
+    fn = int(np.count_nonzero((y_true == 1) & (y_pred == 0)))
+    tp = int(np.count_nonzero((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[float, float, float]:
+    """(precision, recall, F1) for the positive (occupied) class.
+
+    Degenerate denominators return 0.0, the usual convention.
+    """
+    matrix = confusion_matrix(y_true, y_pred)
+    tp = matrix[1, 1]
+    fp = matrix[0, 1]
+    fn = matrix[1, 0]
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    if precision + recall > 0:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return float(precision), float(recall), float(f1)
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of per-class recalls; robust to the 63/37 class imbalance.
+
+    For single-class folds (e.g. Table III folds 2-3 are all-empty) the
+    metric reduces to the recall of the class that is present.
+    """
+    y_true, y_pred = _check_binary_pair(y_true, y_pred)
+    recalls = []
+    for cls in (0, 1):
+        mask = y_true == cls
+        if np.any(mask):
+            recalls.append(float(np.mean(y_pred[mask] == cls)))
+    return float(np.mean(recalls))

@@ -1,0 +1,66 @@
+"""Regression metrics: the paper's Eq. 2 (MAE) and Eq. 3 (MAPE).
+
+MAPE follows the paper exactly: per-sample relative error uses
+``max(eps, |y_i|)`` in the denominator, so zero targets do not blow up.
+Values are returned as fractions; Table V prints them x100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(f"shapes differ: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ShapeError("empty arrays")
+    return y_true, y_pred
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error (paper Eq. 2)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error as a fraction (paper Eq. 3).
+
+    ``mean(|y - yhat| / max(eps, |y|))`` — multiply by 100 for percent.
+    """
+    if eps <= 0:
+        raise ShapeError("eps must be strictly positive")
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    denom = np.maximum(eps, np.abs(y_true))
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 is mean-predictor.
+
+    A constant target series yields 0.0 for a perfect prediction and
+    ``-inf``-free negative values otherwise (we return 0.0 / -1.0 style
+    conventions by flooring the denominator).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    if np.all(y_true == y_true[0]):
+        # Constant target: variance explained is undefined; report the
+        # 0.0 / -1.0 convention (exact match / any error).
+        return 0.0 if ss_res == 0.0 else -1.0
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        # Numerically constant (variation below float resolution).
+        return 0.0 if ss_res == 0.0 else -1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,64 @@
+"""From-scratch deep learning framework (numpy backend).
+
+The paper trains its MLP with PyTorch Lightning; this environment has no
+deep-learning stack, so :mod:`repro.nn` implements the required subset from
+first principles:
+
+* :mod:`repro.nn.tensor` — reverse-mode autograd on numpy arrays;
+* :mod:`repro.nn.functional` — differentiable primitives;
+* :mod:`repro.nn.init` — Kaiming / Xavier initialisation;
+* :mod:`repro.nn.modules` — ``Module``, ``Linear``, activations,
+  ``Sequential`` and the paper's MLP building blocks;
+* :mod:`repro.nn.losses` — BCE (paper Eq. 4), BCE-with-logits, MSE, L1;
+* :mod:`repro.nn.optim` — SGD, Adam and AdamW (decoupled weight decay,
+  the paper's reference [23]);
+* :mod:`repro.nn.train` — mini-batch trainer with loss/metric histories;
+* :mod:`repro.nn.serialize` — state-dict save/load.
+
+Gradients are validated against finite differences in the test suite.
+"""
+
+from .tensor import Tensor, no_grad
+from .modules import (
+    Module,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Dropout,
+    BatchNorm1d,
+    Sequential,
+)
+from .losses import bce_loss, bce_with_logits_loss, mse_loss, l1_loss
+from .optim import SGD, Adam, AdamW, clip_grad_norm
+from .schedulers import StepLR, CosineAnnealingLR, ExponentialLR
+from .train import Trainer, TrainingHistory
+from .serialize import save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm1d",
+    "Sequential",
+    "bce_loss",
+    "bce_with_logits_loss",
+    "mse_loss",
+    "l1_loss",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+    "Trainer",
+    "TrainingHistory",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,55 @@
+"""Functional (stateless) views of the differentiable primitives.
+
+Thin wrappers over :class:`~repro.nn.tensor.Tensor` methods so code can be
+written in the familiar ``F.relu(x)`` style and so the autograd tests can
+enumerate every op through one namespace.
+"""
+
+from __future__ import annotations
+
+from .tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, elementwise ``max(x, 0)``."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic function ``1 / (1 + e^-x)``."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm (raises on non-positive input)."""
+    return x.log()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight (+ bias)``."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis if axis >= 0 else x.ndim + axis, keepdims=True)
+
+
+def mean(x: Tensor) -> Tensor:
+    """Scalar mean of all elements."""
+    return x.mean()

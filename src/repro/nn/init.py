@@ -1,0 +1,66 @@
+"""Weight initialisation schemes.
+
+Kaiming (He) initialisation is the right default for ReLU networks like
+the paper's MLP; Xavier (Glorot) is provided for sigmoid/tanh layers.
+Both come in uniform and normal flavours and operate on plain numpy
+arrays so they can seed :class:`~repro.nn.modules.Linear` weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def _check_fans(fan_in: int, fan_out: int) -> None:
+    if fan_in < 1 or fan_out < 1:
+        raise ConfigurationError(f"fans must be >= 1, got ({fan_in}, {fan_out})")
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-uniform weights for a ReLU layer, shape ``(fan_in, fan_out)``."""
+    _check_fans(fan_in, fan_out)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal weights for a ReLU layer, shape ``(fan_in, fan_out)``."""
+    _check_fans(fan_in, fan_out)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform weights, shape ``(fan_in, fan_out)``."""
+    _check_fans(fan_in, fan_out)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal weights, shape ``(fan_in, fan_out)``."""
+    _check_fans(fan_in, fan_out)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "kaiming_uniform": kaiming_uniform,
+    "kaiming_normal": kaiming_normal,
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name with a helpful error."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; known: {sorted(INITIALIZERS)}"
+        ) from exc

@@ -1,0 +1,98 @@
+"""Loss functions.
+
+``bce_loss`` is the paper's Eq. 4 (mean binary cross-entropy over the
+batch); ``bce_with_logits_loss`` is the numerically stable fusion used in
+training (identical value, no log-of-sigmoid underflow).  ``mse_loss``
+drives the humidity/temperature regression of Section V-D and ``l1_loss``
+matches the MAE metric (Eq. 2) when an L1 training objective is wanted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .tensor import Tensor
+
+
+def _check_pair(prediction: Tensor, target: Tensor) -> None:
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+
+
+def bce_loss(probabilities: Tensor, targets: Tensor, eps: float = 1e-7) -> Tensor:
+    """Binary cross-entropy on probabilities (paper Eq. 4).
+
+    ``BCE(y, p) = -mean(y log p + (1-y) log(1-p))`` with the inputs clipped
+    to ``[eps, 1-eps]`` for stability.
+    """
+    _check_pair(probabilities, targets)
+    p = probabilities.clip(eps, 1.0 - eps)
+    term = targets * p.log() + (1.0 - targets) * (1.0 - p).log()
+    return -term.mean()
+
+
+def bce_with_logits_loss(logits: Tensor, targets: Tensor) -> Tensor:
+    """Numerically stable BCE on raw logits.
+
+    Uses the identity ``BCE(sigmoid(z), y) = max(z,0) - z*y + log(1+e^{-|z|})``.
+    """
+    _check_pair(logits, targets)
+    relu_z = logits.relu()
+    abs_z = logits.abs()
+    softplus = (1.0 + (-abs_z).exp()).log()
+    return (relu_z - logits * targets + softplus).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the Section V-D regression objective)."""
+    _check_pair(prediction, target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error as a differentiable training loss."""
+    _check_pair(prediction, target)
+    return (prediction - target).abs().mean()
+
+
+def cross_entropy_loss(logits: Tensor, onehot_targets: Tensor) -> Tensor:
+    """Softmax cross-entropy on raw logits with one-hot targets.
+
+    ``CE = -mean_n sum_c y_nc log softmax(z)_nc`` computed through a
+    numerically stable log-softmax (max-shifted).  Used by the
+    multi-class heads (occupant counting, activity recognition) that
+    extend the paper's binary task.
+    """
+    _check_pair(logits, onehot_targets)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (n, classes), got {logits.shape}")
+    shifted = logits - Tensor(logits.data.max(axis=1, keepdims=True))
+    log_norm = shifted.exp().sum(axis=1, keepdims=True).log()
+    log_softmax = shifted - log_norm
+    return -(onehot_targets * log_softmax).sum(axis=1).mean()
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels to a one-hot float matrix, shape ``(n, n_classes)``."""
+    labels = np.asarray(labels, dtype=int).ravel()
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.size, n_classes))
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def bce_value(probabilities: np.ndarray, targets: np.ndarray, eps: float = 1e-7) -> float:
+    """Plain-numpy BCE for logging paths that never need gradients."""
+    p = np.clip(np.asarray(probabilities, dtype=float), eps, 1.0 - eps)
+    y = np.asarray(targets, dtype=float)
+    if p.shape != y.shape:
+        raise ShapeError(f"shapes differ: {p.shape} vs {y.shape}")
+    return float(-np.mean(y * np.log(p) + (1.0 - y) * np.log(1.0 - p)))

@@ -1,0 +1,296 @@
+"""Neural network modules.
+
+A minimal-but-complete module system: :class:`Module` provides parameter
+discovery, train/eval mode and state dicts; :class:`Linear`,
+activation wrappers, :class:`Dropout` and :class:`Sequential` compose into
+arbitrary MLPs.  The paper's network (Section IV-B) is a
+``Sequential`` of four ``Linear`` layers with ReLU between them — built by
+:func:`repro.core.model_zoo.build_paper_mlp`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from .init import get_initializer
+from .tensor import Tensor, grad_enabled
+
+
+class Module:
+    """Base class: parameter registry, modes, and state-dict plumbing."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------ parameters
+
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable tensors, depth-first through child modules."""
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """(name, tensor) pairs with dotted paths, stable across calls."""
+        for name, value in self.__dict__.items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{i}.")
+
+    def n_parameters(self) -> int:
+        """Total trainable scalar count (the paper reports 77,881)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ----------------------------------------------------------------- modes
+
+    def train(self) -> "Module":
+        """Switch to training mode (enables dropout etc.)."""
+        self.training = True
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.train()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        self.training = False
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.eval()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.eval()
+        return self
+
+    # ------------------------------------------------------------- state dict
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every named parameter's data."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """In-place load; raises on missing/mismatched entries."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise ConfigurationError(
+                f"state dict mismatch; missing={sorted(missing)}, extra={sorted(extra)}"
+            )
+        for name, p in own.items():
+            value = np.asarray(state[name], dtype=float)
+            if value.shape != p.data.shape:
+                raise ShapeError(
+                    f"parameter {name!r} has shape {p.data.shape}, "
+                    f"state provides {value.shape}"
+                )
+            p.data = value.copy()
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``.
+
+    Weight shape is ``(in_features, out_features)`` so forward is a plain
+    row-major matmul; parameter count is ``in*out + out``, matching the
+    per-layer numbers the paper reports (e.g. 64*128+128 = 8,320).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "kaiming_uniform",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("features must be >= 1")
+        rng = rng or np.random.default_rng()
+        initializer = get_initializer(init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(initializer(in_features, out_features, rng), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear({self.in_features}->{self.out_features}) got input {x.shape}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    """Logistic activation (the paper's output squashing)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0 or not grad_enabled():
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(float) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over feature columns.
+
+    Training mode normalises each feature by the batch statistics and
+    updates exponential running estimates; eval mode uses the running
+    estimates, so single-sample inference is deterministic.  The affine
+    ``gamma``/``beta`` parameters are trainable.
+    """
+
+    def __init__(self, n_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        if n_features < 1:
+            raise ConfigurationError("n_features must be >= 1")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigurationError("momentum must be in (0, 1]")
+        if eps <= 0:
+            raise ConfigurationError("eps must be positive")
+        self.n_features = n_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(n_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(n_features), requires_grad=True)
+        self.running_mean = np.zeros(n_features)
+        self.running_var = np.ones(n_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ShapeError(f"BatchNorm1d({self.n_features}) got input {x.shape}")
+        if self.training and grad_enabled():
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        scale = 1.0 / np.sqrt(var + self.eps)
+        # Normalisation constants are treated as data (no gradient through
+        # the batch statistics — the "frozen statistics" simplification,
+        # adequate for the shallow nets here and exact in eval mode).
+        normalized = (x - Tensor(mean)) * Tensor(scale)
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.n_features})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        if not layers:
+            raise ConfigurationError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+    def forward_with_activations(self, x: Tensor) -> tuple[Tensor, list[Tensor]]:
+        """Forward pass that also returns every intermediate activation.
+
+        Grad-CAM (Section IV-B of the paper) needs the hidden feature maps
+        ``A^(k)`` — this is the hook-free way to collect them.
+        """
+        activations: list[Tensor] = []
+        for layer in self.layers:
+            x = layer(x)
+            activations.append(x)
+        return x, activations

@@ -1,0 +1,53 @@
+"""Model persistence.
+
+State dicts are saved as ``.npz`` archives with a tiny JSON sidecar of
+metadata (parameter names and shapes), which is enough to rebuild any of
+the library's MLPs deterministically and to verify integrity on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .modules import Module
+
+#: Key under which the metadata JSON is stored inside the archive.
+_META_KEY = "__meta__"
+
+
+def save_state_dict(model: Module, path: str | Path) -> Path:
+    """Write a model's parameters (and shape manifest) to ``path``."""
+    path = Path(path)
+    state = model.state_dict()
+    if not state:
+        raise SerializationError("model has no parameters to save")
+    meta = {name: list(array.shape) for name, array in state.items()}
+    payload = {name: array for name, array in state.items()}
+    payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state_dict(model: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_state_dict` into ``model``."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such model file: {path}")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise SerializationError(f"{path} is not a repro model archive")
+        meta = json.loads(bytes(archive[_META_KEY]).decode())
+        state = {name: archive[name] for name in archive.files if name != _META_KEY}
+    for name, shape in meta.items():
+        if name not in state:
+            raise SerializationError(f"{path} manifest lists {name!r} but array missing")
+        if list(state[name].shape) != shape:
+            raise SerializationError(
+                f"{path}: array {name!r} shape {state[name].shape} != manifest {shape}"
+            )
+    model.load_state_dict(state)
+    return model

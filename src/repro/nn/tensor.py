@@ -1,0 +1,389 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied
+to it in a DAG; calling :meth:`Tensor.backward` on a scalar result walks
+the graph in reverse topological order accumulating gradients.  The design
+follows the classic define-by-run tape:
+
+* every op returns a new Tensor whose ``_backward`` closure knows how to
+  push its output gradient to its parents;
+* broadcasting is handled by summing gradients over broadcast axes
+  (:func:`_unbroadcast`);
+* a global :func:`no_grad` context disables taping for inference.
+
+Only the ops the paper's models need are implemented, but each is general
+(arbitrary shapes, full broadcasting) and finite-difference-checked in
+``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..exceptions import AutogradError, ShapeError
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Whether operations are currently being taped."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested list) holding the value.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | list,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.requires_grad = bool(requires_grad) and grad_enabled()
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents = _parents if grad_enabled() else ()
+        self._op = _op
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ShapeError(f"item() needs a 1-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    @staticmethod
+    def _coerce(value: "Tensor | np.ndarray | float | int") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        child = Tensor(data, requires_grad=requires, _parents=parents, _op=op)
+        if child.requires_grad:
+            child._backward = backward
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=float), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------ arithmetic
+
+    def __add__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g)
+            if other.requires_grad:
+                other._accumulate(g)
+
+        return self._make_child(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-g)
+
+        return self._make_child(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * other.data)
+            if other.requires_grad:
+                other._accumulate(g * self.data)
+
+        return self._make_child(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / other.data)
+            if other.requires_grad:
+                other._accumulate(-g * self.data / (other.data**2))
+
+        return self._make_child(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: "Tensor | np.ndarray | float") -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise AutogradError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return self._make_child(out_data, (self,), backward, "pow")
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other = self._coerce(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ShapeError(
+                f"matmul supports 2-D operands, got {self.data.shape} @ {other.data.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ g)
+
+        return self._make_child(out_data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------ reductions
+
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g, dtype=float)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return self._make_child(np.asarray(out_data), (self,), backward, "sum")
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    # ----------------------------------------------------------- elementwise
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return self._make_child(self.data * mask, (self,), backward, "relu")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data * (1.0 - out_data))
+
+        return self._make_child(out_data, (self,), backward, "sigmoid")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (1.0 - out_data**2))
+
+        return self._make_child(out_data, (self,), backward, "tanh")
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data)
+
+        return self._make_child(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        if np.any(self.data <= 0):
+            raise AutogradError("log of non-positive value")
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return self._make_child(out_data, (self,), backward, "log")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * sign)
+
+        return self._make_child(np.abs(self.data), (self,), backward, "abs")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient flows only through unclipped entries."""
+        if low >= high:
+            raise AutogradError(f"clip bounds inverted: [{low}, {high}]")
+        mask = (self.data > low) & (self.data < high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return self._make_child(out_data, (self,), backward, "clip")
+
+    # -------------------------------------------------------------- shaping
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(g).reshape(original))
+
+        return self._make_child(out_data, (self,), backward, "reshape")
+
+    def transpose(self) -> "Tensor":
+        if self.data.ndim != 2:
+            raise ShapeError("transpose() supports 2-D tensors")
+        out_data = self.data.T
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(g).T)
+
+        return self._make_child(out_data, (self,), backward, "transpose")
+
+    def __getitem__(self, key: object) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, g)  # type: ignore[arg-type]
+                self._accumulate(full)
+
+        return self._make_child(np.asarray(out_data), (self,), backward, "getitem")
+
+    # ------------------------------------------------------------- backward
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``gradient`` defaults to 1.0 and is only optional for scalar
+        outputs, mirroring the PyTorch contract.
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() on a tensor that does not require grad")
+        if gradient is None:
+            if self.data.size != 1:
+                raise AutogradError("backward() without gradient needs a scalar output")
+            gradient = np.ones_like(self.data)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(gradient, dtype=float))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

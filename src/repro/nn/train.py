@@ -1,0 +1,193 @@
+"""Mini-batch training loop.
+
+:class:`Trainer` reproduces the paper's training protocol (Section V-B):
+adaptive mini-batch gradient descent (AdamW) for a fixed number of epochs,
+shuffled batches, optional validation metrics per epoch and early stopping.
+The loop is model-agnostic: any callable ``loss_fn(model_output, targets)``
+returning a scalar Tensor works, so the same trainer drives the binary
+occupancy classifier and the T/H regressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .schedulers import Scheduler
+
+from ..exceptions import ConfigurationError, ShapeError
+from .modules import Module
+from .optim import Optimizer
+from .tensor import Tensor, no_grad
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_epoch(self) -> int:
+        """Epoch index with the lowest validation loss (or training loss)."""
+        series = self.val_loss if self.val_loss else self.train_loss
+        if not series:
+            raise ConfigurationError("history is empty")
+        return int(np.argmin(series))
+
+
+class Trainer:
+    """Runs epochs of shuffled mini-batches through a model.
+
+    Parameters
+    ----------
+    model:
+        The module to optimise.
+    optimizer:
+        Any :class:`~repro.nn.optim.Optimizer` over the model parameters.
+    loss_fn:
+        Callable ``(output, target) -> scalar Tensor``.
+    batch_size:
+        Mini-batch size (the final batch may be smaller).
+    rng:
+        Shuffle source; inject for reproducibility.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable[[Tensor, Tensor], Tensor],
+        batch_size: int = 256,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.batch_size = batch_size
+        self._rng = rng or np.random.default_rng()
+
+    def _check_xy(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.shape[0] != x.shape[0]:
+            raise ShapeError(f"{x.shape[0]} inputs but {y.shape[0]} targets")
+        return x, y
+
+    def train_epoch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One pass over the data; returns the mean batch loss."""
+        x, y = self._check_xy(x, y)
+        self.model.train()
+        order = self._rng.permutation(x.shape[0])
+        losses: list[float] = []
+        for start in range(0, x.shape[0], self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb = Tensor(x[idx])
+            yb = Tensor(y[idx])
+            output = self.model(xb)
+            loss = self.loss_fn(output, yb)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses))
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss over the data without touching gradients."""
+        x, y = self._check_xy(x, y)
+        self.model.eval()
+        losses: list[float] = []
+        weights: list[int] = []
+        with no_grad():
+            for start in range(0, x.shape[0], self.batch_size):
+                xb = Tensor(x[start : start + self.batch_size])
+                yb = Tensor(y[start : start + self.batch_size])
+                loss = self.loss_fn(self.model(xb), yb)
+                losses.append(loss.item())
+                weights.append(xb.shape[0])
+        return float(np.average(losses, weights=weights))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Model outputs as a plain array, batched to bound memory."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"x must be 2-D, got {x.shape}")
+        self.model.eval()
+        outputs: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, x.shape[0], max(self.batch_size, 1024)):
+                xb = Tensor(x[start : start + max(self.batch_size, 1024)])
+                outputs.append(self.model(xb).data)
+        return np.vstack(outputs)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        metric_fn: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        early_stopping_patience: int | None = None,
+        scheduler: "Scheduler | None" = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Full training run; returns the per-epoch history.
+
+        Early stopping (optional) watches the validation loss and restores
+        nothing — the paper trains a fixed 10 epochs, so restoration is the
+        caller's business via ``model.state_dict()``.  A scheduler, if
+        given, steps once after every epoch.
+        """
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if early_stopping_patience is not None and early_stopping_patience < 1:
+            raise ConfigurationError("early_stopping_patience must be >= 1")
+        has_val = x_val is not None and y_val is not None
+
+        history = TrainingHistory()
+        best_val = np.inf
+        stale = 0
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(x, y)
+            history.train_loss.append(train_loss)
+            line = f"epoch {epoch + 1}/{epochs}  train_loss={train_loss:.4f}"
+            if has_val:
+                assert x_val is not None and y_val is not None
+                val_loss = self.evaluate_loss(x_val, y_val)
+                history.val_loss.append(val_loss)
+                line += f"  val_loss={val_loss:.4f}"
+                if metric_fn is not None:
+                    pred = self.predict(x_val)
+                    metric = float(metric_fn(np.asarray(y_val), pred))
+                    history.val_metric.append(metric)
+                    line += f"  val_metric={metric:.4f}"
+                if early_stopping_patience is not None:
+                    if val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= early_stopping_patience:
+                            if verbose:
+                                print(line + "  (early stop)")
+                            break
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:
+                print(line)
+        return history

@@ -1,0 +1,21 @@
+"""Explainable-AI tooling (Section IV-B "Interpretability of the model").
+
+* :mod:`repro.xai.gradcam` — Grad-CAM adapted to MLPs exactly as the paper
+  does (Eqs. 5-6): gradient-derived importance coefficients per layer,
+  combined with the feature maps and rectified.  Produces the
+  per-input-feature importance profile of Figure 3.
+* :mod:`repro.xai.saliency` — plain input-gradient saliency, the baseline
+  the Grad-CAM "sanity check" literature compares against.
+"""
+
+from .gradcam import GradCAM, GradCAMResult
+from .saliency import input_gradient_saliency
+from .permutation import permutation_importance, top_features
+
+__all__ = [
+    "GradCAM",
+    "GradCAMResult",
+    "input_gradient_saliency",
+    "permutation_importance",
+    "top_features",
+]

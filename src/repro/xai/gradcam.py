@@ -1,0 +1,108 @@
+"""Grad-CAM for multilayer perceptrons.
+
+The paper (Section IV-B) applies Grad-CAM [17] to its MLP to rank input
+features (64 CSI subcarriers + temperature + humidity) by importance for
+the occupancy decision, finding near-zero weight on the environment inputs
+(Figure 3).  The adaptation to MLPs treats each layer's activation vector
+as a 1-D feature map:
+
+* Eq. 5 — the importance coefficient of layer ``k`` for class ``c`` is the
+  average gradient of the class score over that layer's units:
+  ``alpha_k^c = (1/N) * sum_d  d y^c / d A_d^(k)``.
+* Eq. 6 — the class-discriminative map is the rectified, coefficient-
+  weighted feature map: ``L^c = ReLU(sum_k alpha_k^c * A^(k))``.
+
+For input-feature attributions (what Figure 3 plots) the "layer" is the
+input itself: per-feature gradients of the class score, weighted by the
+feature values, averaged over a probe batch, and rectified at the very
+end.  Because the model is binary, the class score is the logit ``z`` for
+"occupied" and ``-z`` for "empty".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn.modules import Sequential
+from ..nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class GradCAMResult:
+    """Attributions for one class over a probe batch."""
+
+    target_class: int
+    #: Rectified per-input-feature importance (Figure 3's bars), shape (d,).
+    feature_importance: np.ndarray
+    #: Signed (un-rectified) per-feature relevance, shape (d,).
+    signed_relevance: np.ndarray
+    #: Eq. 5 coefficient per hidden layer: mean class-score gradient.
+    layer_alphas: tuple[float, ...]
+    #: Eq. 6 rectified map per hidden layer, shapes (d_k,).
+    layer_maps: tuple[np.ndarray, ...]
+
+
+class GradCAM:
+    """Grad-CAM explainer over a :class:`~repro.nn.modules.Sequential` MLP.
+
+    The model must end in a single-logit output (the library's occupancy
+    networks do); sigmoid squashing is *not* part of the model, matching
+    the convention that Grad-CAM differentiates the pre-softmax score.
+    """
+
+    def __init__(self, model: Sequential) -> None:
+        if not isinstance(model, Sequential):
+            raise ConfigurationError("GradCAM expects a Sequential model")
+        self.model = model
+
+    def explain(self, x: np.ndarray, target_class: int = 1) -> GradCAMResult:
+        """Compute attributions for ``target_class`` over probe rows ``x``."""
+        if target_class not in (0, 1):
+            raise ConfigurationError("target_class must be 0 or 1")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ShapeError(f"probe batch must be 2-D, got {x.shape}")
+
+        self.model.eval()
+        inputs = Tensor(x, requires_grad=True)
+        logits, activations = self.model.forward_with_activations(inputs)
+        if logits.ndim != 2 or logits.shape[1] != 1:
+            raise ShapeError(
+                f"GradCAM needs a single-logit model, got output {logits.shape}"
+            )
+        # Class score y^c: the logit for "occupied", its negation for "empty".
+        sign = 1.0 if target_class == 1 else -1.0
+        score = (logits * sign).sum()
+        score.backward()
+
+        assert inputs.grad is not None
+        # Input-level attribution: gradient x activation, batch-averaged.
+        signed = np.mean(inputs.grad * x, axis=0)
+        importance = np.maximum(signed, 0.0)
+
+        alphas: list[float] = []
+        maps: list[np.ndarray] = []
+        for act in activations[:-1]:  # exclude the output logit itself
+            if act.grad is None:
+                continue
+            # Eq. 5: average the gradients over units (and the batch).
+            alpha = float(np.mean(act.grad))
+            alphas.append(alpha)
+            # Eq. 6: rectified coefficient-weighted feature map.
+            maps.append(np.maximum(alpha * np.mean(act.data, axis=0), 0.0))
+
+        return GradCAMResult(
+            target_class=target_class,
+            feature_importance=importance,
+            signed_relevance=signed,
+            layer_alphas=tuple(alphas),
+            layer_maps=tuple(maps),
+        )
+
+    def feature_ranking(self, x: np.ndarray, target_class: int = 1) -> np.ndarray:
+        """Feature indices sorted by decreasing importance."""
+        result = self.explain(x, target_class)
+        return np.argsort(result.feature_importance)[::-1]

@@ -1,0 +1,37 @@
+"""Plain input-gradient saliency.
+
+The simplest attribution: the batch-averaged absolute gradient of the
+class score with respect to each input feature.  Used as the comparison
+point for Grad-CAM in the "sanity checks for saliency maps" sense the
+paper cites ([25]) — both methods should broadly agree on which features
+matter for a model that genuinely uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+
+
+def input_gradient_saliency(
+    model: Module, x: np.ndarray, target_class: int = 1
+) -> np.ndarray:
+    """Mean |d score / d x_i| per input feature over a probe batch."""
+    if target_class not in (0, 1):
+        raise ConfigurationError("target_class must be 0 or 1")
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ShapeError(f"probe batch must be 2-D, got {x.shape}")
+
+    model.eval()
+    inputs = Tensor(x, requires_grad=True)
+    logits = model(inputs)
+    if logits.ndim != 2 or logits.shape[1] != 1:
+        raise ShapeError(f"saliency needs a single-logit model, got {logits.shape}")
+    sign = 1.0 if target_class == 1 else -1.0
+    (logits * sign).sum().backward()
+    assert inputs.grad is not None
+    return np.mean(np.abs(inputs.grad), axis=0)

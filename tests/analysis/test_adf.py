@@ -1,0 +1,100 @@
+"""Tests for the Augmented Dickey-Fuller test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.adf import ADFResult, adf_test
+from repro.exceptions import ShapeError
+
+
+def ar1(phi: float, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = phi * x[t - 1] + rng.normal()
+    return x
+
+
+class TestDecisions:
+    def test_white_noise_is_stationary(self):
+        result = adf_test(np.random.default_rng(0).normal(size=1000))
+        assert result.is_stationary
+        assert result.p_value < 0.05
+
+    def test_random_walk_is_not_stationary(self):
+        walk = np.cumsum(np.random.default_rng(0).normal(size=1000))
+        result = adf_test(walk)
+        assert not result.is_stationary
+        assert result.p_value > 0.05
+
+    def test_strong_ar_process_is_stationary(self):
+        result = adf_test(ar1(0.5, 1000))
+        assert result.is_stationary
+
+    def test_near_unit_root_is_ambiguous_or_nonstationary(self):
+        # phi=0.999 over 300 points is statistically indistinguishable
+        # from a unit root.
+        result = adf_test(ar1(0.999, 300))
+        assert result.p_value > 0.01
+
+    def test_trend_stationary_sine_rejected_unit_root(self):
+        t = np.arange(2000)
+        series = np.sin(2 * np.pi * t / 50) + 0.1 * np.random.default_rng(0).normal(size=2000)
+        assert adf_test(series).is_stationary
+
+    def test_constant_series_trivially_stationary(self):
+        result = adf_test(np.full(100, 3.0))
+        assert result.is_stationary
+        assert result.p_value == 0.0
+
+
+class TestMechanics:
+    def test_critical_values_ordered(self):
+        result = adf_test(np.random.default_rng(0).normal(size=200))
+        crit = result.critical_values
+        assert crit[0.01] < crit[0.05] < crit[0.10]
+
+    def test_critical_values_near_asymptotic(self):
+        result = adf_test(np.random.default_rng(0).normal(size=5000))
+        assert result.critical_values[0.05] == pytest.approx(-2.86, abs=0.02)
+
+    def test_lag_selection_bounded(self):
+        result = adf_test(np.random.default_rng(0).normal(size=500), maxlag=5)
+        assert 0 <= result.used_lags <= 5
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ShapeError):
+            adf_test(np.ones(5))
+
+    def test_nan_rejected(self):
+        series = np.random.default_rng(0).normal(size=100)
+        series[3] = np.nan
+        with pytest.raises(ShapeError):
+            adf_test(series)
+
+    def test_p_value_in_unit_interval(self):
+        for seed in range(5):
+            r = adf_test(np.random.default_rng(seed).normal(size=100))
+            assert 0.0 <= r.p_value <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(50, 400), st.floats(0.0, 0.7))
+    def test_property_stationary_ar_detected(self, n, phi):
+        result = adf_test(ar1(phi, n, seed=n))
+        # AR(phi<=0.7) over 50+ points: expect rejection of the unit root
+        # in the overwhelming majority of draws; assert the statistic is at
+        # least negative (directionally correct) and p is not ~1.
+        assert result.statistic < 0
+        assert result.p_value < 0.9
+
+
+class TestCampaignSeries:
+    def test_paper_series_are_stationary(self, day_dataset):
+        # Section V-A: "all the time series treated in this problem are
+        # stationary" — verify on a campaign long enough to span the
+        # daily climate cycle (a 6 h snippet is a trend, not a cycle).
+        # Low lag order: see repro.analysis.profiling's adf_maxlag note.
+        assert adf_test(day_dataset.temperature_c, maxlag=1).is_stationary
+        assert adf_test(day_dataset.humidity_rh, maxlag=1).is_stationary
+        assert adf_test(day_dataset.csi[:, 20], maxlag=1).is_stationary

@@ -1,0 +1,62 @@
+"""Tests for the Section V-A profiling pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiling import profile_dataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def profile(day_dataset):
+    return profile_dataset(day_dataset, start_hour_of_day=15.13)
+
+
+class TestProfile:
+    def test_row_accounting(self, profile, day_dataset):
+        assert profile.n_rows == len(day_dataset)
+        assert profile.n_non_finite == 0
+        assert profile.n_duplicate_timestamps == 0
+
+    def test_occupant_distribution_sums_to_rows(self, profile):
+        assert sum(profile.occupant_distribution.values()) == profile.n_rows
+
+    def test_fractions_sum_to_one(self, profile):
+        assert profile.empty_fraction + profile.occupied_fraction == pytest.approx(1.0)
+
+    def test_empty_dominates(self, profile):
+        # Table II: the empty class is the majority (63.2 % in the paper).
+        assert profile.empty_fraction > 0.5
+
+    def test_all_series_stationary(self, profile):
+        # The paper's headline profiling claim (Section V-A).
+        assert profile.all_series_stationary
+
+    def test_occupancy_env_correlations_positive(self, profile):
+        # The paper: T-occ 0.44, H-occ 0.35 — occupants warm and humidify.
+        assert profile.corr_temperature_occupancy > 0.1
+        assert profile.corr_humidity_occupancy > 0.0
+
+    def test_temperature_humidity_correlated(self, profile):
+        # The paper reports +0.45; heater + occupants couple them.
+        assert abs(profile.corr_temperature_humidity) > 0.1
+
+    def test_time_env_correlation_strong(self, profile):
+        # The paper: 0.77 between time and environment.
+        assert profile.corr_time_environment() > 0.3
+
+    def test_subcarrier_correlations_shape(self, profile, day_dataset):
+        assert profile.subcarrier_temperature_corr.shape == (day_dataset.n_subcarriers,)
+        assert np.all(np.abs(profile.subcarrier_temperature_corr) <= 1.0)
+
+    def test_some_subcarriers_track_environment(self, profile):
+        # Sec V-A: mid-to-high band carriers correlate ~0.2-0.3 with T/H.
+        assert np.max(np.abs(profile.subcarrier_temperature_corr)) > 0.1
+
+    def test_tiny_dataset_rejected(self, smoke_dataset):
+        with pytest.raises(DatasetError):
+            profile_dataset(smoke_dataset.select(np.arange(10)))
+
+    def test_adf_covers_requested_subcarriers(self, day_dataset):
+        profile = profile_dataset(day_dataset, adf_subcarriers=(1, 2))
+        assert "a1" in profile.adf and "a2" in profile.adf

@@ -1,0 +1,119 @@
+"""Tests for the spectral analysis of CSI series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    SpectrogramBuilder,
+    doppler_spread,
+    motion_energy,
+    welch_psd,
+)
+from repro.exceptions import ShapeError
+
+
+def tone(freq_hz: float, fs: float = 20.0, seconds: float = 60.0, amp: float = 1.0):
+    t = np.arange(0, seconds, 1.0 / fs)
+    return amp * np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestWelchPsd:
+    def test_peak_at_tone_frequency(self):
+        freqs, psd = welch_psd(tone(3.0), 20.0)
+        assert freqs[np.argmax(psd)] == pytest.approx(3.0, abs=0.2)
+
+    def test_nyquist_range(self):
+        freqs, _ = welch_psd(tone(1.0), 20.0)
+        assert freqs.max() == pytest.approx(10.0)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ShapeError):
+            welch_psd(np.zeros(4), 20.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ShapeError):
+            welch_psd(np.zeros(100), 0.0)
+
+
+class TestDopplerSpread:
+    def test_faster_motion_wider_spread(self):
+        # Doppler spread characterises motion *speed*: a faster amplitude
+        # modulation yields a wider spectrum.
+        slow = tone(0.5) + 0.001 * np.random.default_rng(0).normal(size=1200)
+        fast = tone(4.0) + 0.001 * np.random.default_rng(1).normal(size=1200)
+        assert doppler_spread(fast, 20.0) > doppler_spread(slow, 20.0)
+
+    def test_tone_spread_matches_frequency(self):
+        spread = doppler_spread(tone(3.0), 20.0)
+        assert spread == pytest.approx(3.0, abs=0.3)
+
+    def test_constant_series_zero(self):
+        assert doppler_spread(np.full(600, 2.5), 20.0) == 0.0
+
+
+class TestMotionEnergy:
+    def test_in_band_tone_detected(self):
+        energetic = motion_energy(tone(2.0), 20.0)
+        quiet = motion_energy(np.full(1200, 1.0), 20.0)
+        assert energetic > 100 * max(quiet, 1e-12)
+
+    def test_out_of_band_tone_suppressed(self):
+        in_band = motion_energy(tone(2.0), 20.0, band_hz=(0.1, 5.0))
+        out_band = motion_energy(tone(8.0), 20.0, band_hz=(0.1, 5.0))
+        assert in_band > 10 * out_band
+
+    def test_invalid_band(self):
+        with pytest.raises(ShapeError):
+            motion_energy(np.zeros(100), 20.0, band_hz=(5.0, 1.0))
+
+
+class TestSpectrogram:
+    def test_shapes_consistent(self):
+        builder = SpectrogramBuilder(window_s=4.0)
+        freqs, times, mag = builder.build(tone(2.0), 20.0)
+        assert mag.shape == (len(freqs), len(times))
+
+    def test_tone_ridge_at_right_frequency(self):
+        builder = SpectrogramBuilder(window_s=8.0)
+        freqs, _, mag = builder.build(tone(3.0, seconds=120.0), 20.0)
+        ridge = freqs[np.argmax(mag.mean(axis=1))]
+        assert ridge == pytest.approx(3.0, abs=0.3)
+
+    def test_chirp_ridge_moves(self):
+        fs = 20.0
+        t = np.arange(0, 120, 1 / fs)
+        chirp = np.sin(2 * np.pi * (0.5 + 0.02 * t) * t)
+        freqs, times, mag = SpectrogramBuilder(window_s=8.0).build(chirp, fs)
+        early = freqs[np.argmax(mag[:, 2])]
+        late = freqs[np.argmax(mag[:, -3])]
+        assert late > early
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ShapeError):
+            SpectrogramBuilder(window_s=10.0).build(np.zeros(50), 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            SpectrogramBuilder(window_s=0.0)
+        with pytest.raises(ShapeError):
+            SpectrogramBuilder(overlap=1.0)
+
+
+class TestOnCampaignData:
+    def test_occupied_periods_have_more_motion_energy(self, day_dataset):
+        # Find long occupied and empty stretches; compare the AC power in
+        # a band scaled to the campaign's (reduced) Nyquist frequency.
+        occ = day_dataset.occupancy
+        series = day_dataset.csi[:, 20]
+        rate = 1.0 / float(np.median(np.diff(day_dataset.timestamps_s)))
+        band = (rate / 50.0, rate / 2.5)  # inside Nyquist at any rate
+        changes = np.flatnonzero(np.diff(occ)) + 1
+        bounds = np.concatenate([[0], changes, [len(occ)]])
+        energies = {0: [], 1: []}
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if b - a >= 300:
+                energies[int(occ[a])].append(
+                    motion_energy(series[a:b], rate, band_hz=band)
+                )
+        assert energies[0] and energies[1], "need long stretches of both states"
+        assert float(np.mean(energies[1])) > float(np.mean(energies[0]))

@@ -1,0 +1,97 @@
+"""Tests for Pearson correlation and descriptive statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.stats import correlation_matrix, describe, pearson
+from repro.exceptions import ShapeError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson(rng.normal(size=5000), rng.normal(size=5000))) < 0.05
+
+    def test_constant_series_returns_zero(self):
+        assert pearson(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        y = 0.5 * x + rng.normal(size=100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1], rel=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            pearson(np.ones(3), np.ones(4))
+
+    def test_too_short(self):
+        with pytest.raises(ShapeError):
+            pearson(np.ones(1), np.ones(1))
+
+    @settings(max_examples=40)
+    @given(
+        arrays(np.float64, 30, elements=st.floats(-1e3, 1e3)),
+        arrays(np.float64, 30, elements=st.floats(-1e3, 1e3)),
+    )
+    def test_property_bounded_and_symmetric(self, x, y):
+        r = pearson(x, y)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert r == pytest.approx(pearson(y, x), abs=1e-12)
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        x = np.random.default_rng(0).normal(size=(50, 4))
+        np.testing.assert_allclose(np.diag(correlation_matrix(x)), 1.0)
+
+    def test_symmetric(self):
+        x = np.random.default_rng(0).normal(size=(50, 4))
+        corr = correlation_matrix(x)
+        np.testing.assert_allclose(corr, corr.T)
+
+    def test_matches_pairwise_pearson(self):
+        x = np.random.default_rng(0).normal(size=(80, 3))
+        corr = correlation_matrix(x)
+        assert corr[0, 2] == pytest.approx(pearson(x[:, 0], x[:, 2]), rel=1e-9)
+
+    def test_constant_column_zeroed(self):
+        x = np.column_stack([np.ones(20), np.arange(20.0)])
+        corr = correlation_matrix(x)
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            correlation_matrix(np.ones(5))
+
+
+class TestDescribe:
+    def test_summary_fields(self):
+        summary = describe(np.arange(101.0))
+        assert summary.n == 101
+        assert summary.mean == pytest.approx(50.0)
+        assert summary.median == pytest.approx(50.0)
+        assert summary.minimum == 0.0
+        assert summary.maximum == 100.0
+        assert summary.q25 == pytest.approx(25.0)
+        assert summary.q75 == pytest.approx(75.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            describe(np.array([]))
+
+    @given(arrays(np.float64, st.integers(1, 50), elements=st.floats(-1e6, 1e6)))
+    def test_property_quantile_ordering(self, x):
+        s = describe(x)
+        assert s.minimum <= s.q25 <= s.median <= s.q75 <= s.maximum

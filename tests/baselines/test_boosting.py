@@ -1,0 +1,85 @@
+"""Tests for the gradient-boosting classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.boosting import GradientBoostingClassifier
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def xor_data(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+    return x, y
+
+
+class TestGradientBoosting:
+    def test_solves_xor(self):
+        x, y = xor_data()
+        model = GradientBoostingClassifier(n_estimators=40, max_depth=3).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_base_score_is_log_odds(self):
+        x = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([1] * 80 + [0] * 20)
+        model = GradientBoostingClassifier(n_estimators=1).fit(x, y)
+        assert model.base_score_ == pytest.approx(np.log(0.8 / 0.2), rel=1e-6)
+
+    def test_proba_in_unit_interval(self):
+        x, y = xor_data(300)
+        proba = GradientBoostingClassifier(n_estimators=10).fit(x, y).predict_proba(x)
+        assert np.all((0 < proba) & (proba < 1))
+
+    def test_staged_accuracy_improves(self):
+        # A single shallow tree solves XOR outright, so use a boundary a
+        # depth-2 learner cannot express in one round.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1000, 3))
+        y = ((np.sin(2 * x[:, 0]) + x[:, 1] ** 2 - 0.5 * x[:, 2]) > 0.8).astype(int)
+        model = GradientBoostingClassifier(n_estimators=40, max_depth=2).fit(x, y)
+        curve = model.staged_accuracy(x, y)
+        assert len(curve) == 40
+        assert curve[-1] > curve[0]
+        assert curve[-1] > 0.85
+
+    def test_more_rounds_fit_tighter(self):
+        x, y = xor_data()
+        weak = GradientBoostingClassifier(n_estimators=3, max_depth=2).fit(x, y)
+        strong = GradientBoostingClassifier(n_estimators=60, max_depth=3).fit(x, y)
+        assert (strong.predict(x) == y).mean() > (weak.predict(x) == y).mean()
+
+    def test_subsample_still_learns(self):
+        x, y = xor_data()
+        model = GradientBoostingClassifier(
+            n_estimators=50, max_depth=3, subsample=0.5
+        ).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_deterministic_in_seed(self):
+        x, y = xor_data(300)
+        a = GradientBoostingClassifier(n_estimators=5, subsample=0.7, seed=3).fit(x, y)
+        b = GradientBoostingClassifier(n_estimators=5, subsample=0.7, seed=3).fit(x, y)
+        np.testing.assert_array_equal(a.predict_proba(x), b.predict_proba(x))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict(np.ones((2, 2)))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ShapeError):
+            GradientBoostingClassifier().fit(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_estimators": 0}, {"learning_rate": 0.0}, {"subsample": 0.0}],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(**kwargs)
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = xor_data(300)
+        model = GradientBoostingClassifier(n_estimators=15).fit(x, y)
+        scores = model.decision_function(x)
+        np.testing.assert_array_equal((scores >= 0).astype(int), model.predict(x))

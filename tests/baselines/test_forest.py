@@ -1,0 +1,90 @@
+"""Tests for the random forests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.forest import RandomForestClassifier, RandomForestRegressor
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def xor_data(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+    return x, y
+
+
+class TestClassifier:
+    def test_solves_xor(self):
+        x, y = xor_data()
+        model = RandomForestClassifier(n_estimators=15, max_depth=8).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_ensemble_beats_single_tree_on_noise(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(600, 6))
+        y = ((x[:, 0] + 0.8 * rng.normal(size=600)) > 0).astype(int)
+        x_test = rng.normal(size=(600, 6))
+        y_test = (x_test[:, 0] > 0).astype(int)
+        single = RandomForestClassifier(n_estimators=1, max_depth=10, seed=1).fit(x, y)
+        forest = RandomForestClassifier(n_estimators=25, max_depth=10, seed=1).fit(x, y)
+        acc_single = (single.predict(x_test) == y_test).mean()
+        acc_forest = (forest.predict(x_test) == y_test).mean()
+        assert acc_forest >= acc_single
+
+    def test_proba_averaged_over_trees(self):
+        x, y = xor_data(300)
+        model = RandomForestClassifier(n_estimators=5).fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.all((0 <= proba) & (proba <= 1))
+
+    def test_max_samples_fraction(self):
+        x, y = xor_data(200)
+        model = RandomForestClassifier(n_estimators=3, max_samples=0.5).fit(x, y)
+        assert len(model.trees_) == 3
+
+    def test_max_samples_int_capped_at_n(self):
+        x, y = xor_data(100)
+        RandomForestClassifier(n_estimators=2, max_samples=10_000).fit(x, y)
+
+    def test_deterministic_in_seed(self):
+        x, y = xor_data(300)
+        a = RandomForestClassifier(n_estimators=4, seed=7).fit(x, y).predict_proba(x)
+        b = RandomForestClassifier(n_estimators=4, seed=7).fit(x, y).predict_proba(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.ones((2, 2)))
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_rejects_bad_max_samples(self):
+        x, y = xor_data(50)
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(max_samples=0.0).fit(x, y)
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(max_samples=-3).fit(x, y)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ShapeError):
+            RandomForestClassifier().fit(np.ones(5), np.zeros(5))
+
+
+class TestRegressor:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(800, 1))
+        y = np.sin(2 * x[:, 0])
+        model = RandomForestRegressor(n_estimators=20, max_depth=8).fit(x, y)
+        assert np.abs(model.predict(x) - y).mean() < 0.2
+
+    def test_prediction_within_target_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 2))
+        y = rng.uniform(10, 20, 300)
+        pred = RandomForestRegressor(n_estimators=5).fit(x, y).predict(x)
+        assert pred.min() >= 10.0
+        assert pred.max() <= 20.0

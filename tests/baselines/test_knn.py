@@ -1,0 +1,70 @@
+"""Tests for the k-NN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNeighborsClassifier
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def blobs(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(-2, 0), scale=0.5, size=(n // 2, 2))
+    b = rng.normal(loc=(2, 0), scale=0.5, size=(n // 2, 2))
+    x = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        x, y = blobs()
+        model = KNeighborsClassifier(5).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.99
+
+    def test_one_neighbor_memorizes(self):
+        x, y = blobs(50)
+        model = KNeighborsClassifier(1).fit(x, y)
+        np.testing.assert_array_equal(model.predict(x), y)
+
+    def test_proba_is_vote_fraction(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNeighborsClassifier(3).fit(x, y)
+        # Query at 1.5: neighbors are 1.0 (y=0), 2.0 (y=1), 0.0 (y=0).
+        assert model.predict_proba(np.array([[1.5]]))[0] == pytest.approx(1 / 3)
+
+    def test_chunking_matches_single_pass(self):
+        x, y = blobs(200)
+        big = KNeighborsClassifier(5, chunk_size=1000).fit(x, y)
+        small = KNeighborsClassifier(5, chunk_size=7).fit(x, y)
+        np.testing.assert_allclose(big.predict_proba(x), small.predict_proba(x))
+
+    def test_solves_xor_unlike_logistic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(600, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        model = KNeighborsClassifier(7).fit(x[:400], y[:400])
+        assert (model.predict(x[400:]) == y[400:]).mean() > 0.85
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.ones((2, 2)))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(0)
+
+    def test_rejects_k_above_train_size(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(10).fit(np.ones((3, 2)), np.array([0, 1, 0]))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ShapeError):
+            KNeighborsClassifier(1).fit(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_query_width_validated(self):
+        x, y = blobs(50)
+        model = KNeighborsClassifier(3).fit(x, y)
+        with pytest.raises(ShapeError):
+            model.predict(np.ones((2, 5)))

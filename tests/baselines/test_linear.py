@@ -1,0 +1,101 @@
+"""Tests for OLS and ridge regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.linear import LinearRegression, RidgeRegression
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def linear_data(n=200, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    coef = np.array([[2.0], [-1.0], [0.5]])
+    y = x @ coef + 4.0 + noise * rng.normal(size=(n, 1))
+    return x, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self):
+        x, y, coef = linear_data()
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-10)
+        np.testing.assert_allclose(model.intercept_, [4.0], atol=1e-10)
+
+    def test_multi_output(self):
+        # One fit covers temperature and humidity simultaneously (Sec. V-D).
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 4))
+        w = rng.normal(size=(4, 2))
+        y = x @ w + np.array([20.0, 40.0])
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-9)
+
+    def test_1d_targets_accepted(self):
+        x, y, _ = linear_data()
+        model = LinearRegression().fit(x, y.ravel())
+        assert model.predict(x).shape == (200, 1)
+
+    def test_without_intercept(self):
+        x, y, _ = linear_data()
+        model = LinearRegression(fit_intercept=False).fit(x, y)
+        np.testing.assert_allclose(model.intercept_, 0.0)
+
+    def test_residuals_orthogonal_to_features(self):
+        x, y, _ = linear_data(noise=0.5)
+        model = LinearRegression().fit(x, y)
+        residuals = y - model.predict(x)
+        # Normal-equation property of least squares.
+        np.testing.assert_allclose(x.T @ residuals, 0.0, atol=1e-8)
+
+    def test_underdetermined_system_does_not_crash(self):
+        x = np.random.default_rng(0).normal(size=(3, 10))
+        y = np.ones((3, 1))
+        pred = LinearRegression().fit(x, y).predict(x)
+        np.testing.assert_allclose(pred, 1.0, atol=1e-8)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            LinearRegression().fit(np.ones(5), np.ones(5))
+        model = LinearRegression().fit(np.ones((4, 2)), np.ones(4))
+        with pytest.raises(ShapeError):
+            model.predict(np.ones((4, 3)))
+
+
+class TestRidgeRegression:
+    def test_alpha_zero_matches_ols(self):
+        x, y, _ = linear_data(noise=0.3)
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_large_alpha_shrinks_coefficients(self):
+        x, y, _ = linear_data(noise=0.3)
+        small = RidgeRegression(alpha=0.01).fit(x, y)
+        big = RidgeRegression(alpha=1e4).fit(x, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_handles_collinear_features(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(100, 1))
+        x = np.hstack([base, base, rng.normal(size=(100, 1))])
+        y = base * 2
+        model = RidgeRegression(alpha=1.0).fit(x, y)
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(alpha=-1.0)
+
+    @settings(max_examples=25)
+    @given(st.floats(0.0, 100.0))
+    def test_property_shrinkage_monotone_in_alpha(self, alpha):
+        x, y, _ = linear_data(noise=0.5, seed=3)
+        norm_a = np.linalg.norm(RidgeRegression(alpha=alpha).fit(x, y).coef_)
+        norm_b = np.linalg.norm(RidgeRegression(alpha=alpha + 10).fit(x, y).coef_)
+        assert norm_b <= norm_a + 1e-9

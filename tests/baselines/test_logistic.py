@@ -1,0 +1,90 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.logistic import LogisticRegression
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def separable_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x @ np.array([2.0, -1.0, 0.5]) + 0.2 > 0).astype(int)
+    return x, y
+
+
+class TestFitPredict:
+    def test_learns_linearly_separable_data(self):
+        x, y = separable_data()
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.97
+
+    def test_probabilities_in_unit_interval(self):
+        x, y = separable_data()
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.all((0 <= p) & (p <= 1))
+
+    def test_decision_function_sign_matches_prediction(self):
+        x, y = separable_data()
+        model = LogisticRegression().fit(x, y)
+        z = model.decision_function(x)
+        np.testing.assert_array_equal((z >= 0).astype(int), model.predict(x))
+
+    def test_cannot_fit_xor(self):
+        # A linear model fails on multiplicative interaction — the paper's
+        # core observation about CSI data (Section V-B).
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(500, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() < 0.65
+
+    def test_l2_shrinks_weights(self):
+        x, y = separable_data()
+        free = LogisticRegression(l2=0.0).fit(x, y)
+        ridge = LogisticRegression(l2=1.0).fit(x, y)
+        assert np.linalg.norm(ridge.weights_) < np.linalg.norm(free.weights_)
+
+    def test_converges_and_reports_iterations(self):
+        x, y = separable_data()
+        model = LogisticRegression(max_iter=500).fit(x, y)
+        assert 1 <= model.n_iter_ <= 500
+
+    def test_deterministic(self):
+        x, y = separable_data()
+        a = LogisticRegression().fit(x, y)
+        b = LogisticRegression().fit(x, y)
+        np.testing.assert_array_equal(a.weights_, b.weights_)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.ones((2, 2)))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ShapeError):
+            LogisticRegression().fit(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ShapeError):
+            LogisticRegression().fit(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ShapeError):
+            LogisticRegression().fit(np.ones(3), np.array([0, 1, 0]))
+
+    def test_feature_mismatch_at_predict(self):
+        x, y = separable_data()
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(ShapeError):
+            model.predict(np.ones((2, 5)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"l2": -1.0}, {"lr": 0.0}, {"max_iter": 0}],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(**kwargs)

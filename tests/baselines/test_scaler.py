@@ -1,0 +1,98 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.scaler import MinMaxScaler, StandardScaler
+from repro.exceptions import NotFittedError, ShapeError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, rtol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ShapeError):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_state_round_trip(self):
+        x = np.random.default_rng(1).normal(size=(50, 3))
+        a = StandardScaler().fit(x)
+        b = StandardScaler.from_state(a.state)
+        np.testing.assert_allclose(a.transform(x), b.transform(x))
+
+    def test_state_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().state
+
+    @settings(max_examples=30)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.integers(1, 5)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_inverse_round_trip(self, x):
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, rtol=1e-6, atol=1e-6
+        )
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        x = np.random.default_rng(0).normal(size=(100, 3)) * 10
+        z = MinMaxScaler().fit_transform(x)
+        assert z.min() >= 0.0
+        assert z.max() <= 1.0
+        np.testing.assert_allclose(z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.max(axis=0), 1.0, rtol=1e-9)
+
+    def test_constant_feature_stays_finite(self):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        z = MinMaxScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        scaler = MinMaxScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ShapeError):
+            scaler.transform(np.ones((5, 2)))
+
+    @settings(max_examples=30)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.integers(1, 5)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_property_inverse_round_trip(self, x):
+        scaler = MinMaxScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, rtol=1e-6, atol=1e-3
+        )

@@ -1,0 +1,169 @@
+"""Tests for the histogram-binned CART trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    apply_bins,
+    quantile_bin_edges,
+)
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def make_classifier(**kwargs) -> DecisionTreeClassifier:
+    kwargs.setdefault("rng", np.random.default_rng(0))
+    return DecisionTreeClassifier(**kwargs)
+
+
+class TestBinning:
+    def test_edges_monotone_and_deduplicated(self):
+        x = np.random.default_rng(0).normal(size=(200, 3))
+        edges = quantile_bin_edges(x, 16)
+        assert len(edges) == 3
+        for col in edges:
+            assert np.all(np.diff(col) > 0)
+
+    def test_constant_column_collapses(self):
+        x = np.column_stack([np.ones(50), np.arange(50.0)])
+        edges = quantile_bin_edges(x, 8)
+        assert len(edges[0]) <= 1
+
+    def test_apply_bins_range(self):
+        x = np.random.default_rng(0).normal(size=(100, 2))
+        edges = quantile_bin_edges(x, 16)
+        binned = apply_bins(x, edges)
+        assert binned.min() >= 0
+        assert binned.max() <= 16
+
+    def test_apply_bins_shape_mismatch(self):
+        x = np.ones((5, 2))
+        with pytest.raises(ShapeError):
+            apply_bins(x, [np.array([0.5])])
+
+
+class TestClassifier:
+    def test_fits_axis_aligned_boundary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(500, 4))
+        y = (x[:, 2] > 0.3).astype(int)
+        tree = make_classifier(max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.97
+
+    def test_fits_xor_with_depth(self):
+        # Unlike the linear baseline, a depth-2+ tree solves XOR.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1000, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        tree = make_classifier(max_depth=6).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.9
+
+    def test_pure_node_becomes_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.zeros(50, dtype=int)
+        tree = make_classifier().fit(x, y)
+        assert tree.n_nodes == 1
+        assert np.all(tree.predict(x) == 0)
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(500, 4))
+        y = rng.integers(0, 2, 500)
+        tree = make_classifier(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_split_limits_growth(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 2))
+        y = rng.integers(0, 2, 30)
+        tree = make_classifier(min_samples_split=100).fit(x, y)
+        assert tree.n_nodes == 1
+
+    def test_predict_proba_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 3))
+        y = (x[:, 0] > 0).astype(int)
+        proba = make_classifier().fit(x, y).predict_proba(x)
+        assert np.all((0 <= proba) & (proba <= 1))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            make_classifier().predict(np.ones((2, 2)))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ShapeError):
+            make_classifier().fit(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_feature_subsampling_sqrt(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 16))
+        y = (x[:, 0] > 0).astype(int)
+        tree = make_classifier(max_features="sqrt").fit(x, y)
+        assert tree.n_nodes >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depth": 0},
+            {"min_samples_leaf": 0},
+            {"n_bins": 1},
+            {"n_bins": 500},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(**kwargs)
+
+    def test_rejects_bad_max_features(self):
+        x = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        with pytest.raises(ConfigurationError):
+            make_classifier(max_features=10).fit(x, y)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(20, 80))
+    def test_property_training_accuracy_beats_majority(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 3))
+        y = (x[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(int)
+        if y.min() == y.max():
+            return  # degenerate draw
+        tree = make_classifier(max_depth=4, min_samples_leaf=2).fit(x, y)
+        accuracy = (tree.predict(x) == y).mean()
+        majority = max(y.mean(), 1 - y.mean())
+        assert accuracy >= majority - 1e-9
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(500, 1))
+        y = np.where(x[:, 0] > 0, 5.0, -5.0)
+        tree = DecisionTreeRegressor(max_depth=2, rng=np.random.default_rng(0)).fit(x, y)
+        pred = tree.predict(x)
+        assert np.abs(pred - y).mean() < 0.5
+
+    def test_fits_nonlinear_surface_better_than_mean(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(800, 2))
+        y = x[:, 0] ** 2 + np.sin(3 * x[:, 1])
+        tree = DecisionTreeRegressor(max_depth=8, rng=np.random.default_rng(0)).fit(x, y)
+        residual = np.abs(tree.predict(x) - y).mean()
+        baseline = np.abs(y - y.mean()).mean()
+        assert residual < baseline / 2
+
+    def test_leaf_predicts_mean(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float)
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_leaf=5,
+                                     rng=np.random.default_rng(0)).fit(x, y)
+        pred = tree.predict(x)
+        # Two leaves, each predicting its half's mean.
+        assert set(np.round(np.unique(pred), 6)).issubset({2.0, 7.0, 4.5})
+
+    def test_accepts_float_targets(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.random.default_rng(1).normal(size=50)
+        DecisionTreeRegressor(rng=np.random.default_rng(0)).fit(x, y)

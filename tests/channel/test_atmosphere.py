@@ -1,0 +1,89 @@
+"""Tests for the environmental (T/H) coupling into the radio chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.atmosphere import (
+    REFERENCE_HUMIDITY_RH,
+    REFERENCE_TEMPERATURE_C,
+    AtmosphereState,
+    EnvironmentalGainModel,
+    environmental_gain,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAtmosphereState:
+    def test_valid_state(self):
+        s = AtmosphereState(21.0, 40.0)
+        assert s.temperature_c == 21.0
+
+    def test_rejects_absurd_temperature(self):
+        with pytest.raises(ConfigurationError):
+            AtmosphereState(200.0, 40.0)
+
+    def test_rejects_humidity_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            AtmosphereState(21.0, 101.0)
+
+
+class TestEnvironmentalGainModel:
+    def test_reference_state_is_near_unity(self):
+        model = EnvironmentalGainModel(64)
+        g = model.gain(AtmosphereState(REFERENCE_TEMPERATURE_C, REFERENCE_HUMIDITY_RH))
+        # At the reference only the centred quadratic offsets remain
+        # (|d_k|/2, bounded by the quadratic magnitude times the signature
+        # peak of ~3 RMS).
+        assert np.all(np.abs(g - 1.0) < 0.2)
+
+    def test_deterministic_in_seed(self):
+        a = EnvironmentalGainModel(64, seed=3).gain(AtmosphereState(25, 55))
+        b = EnvironmentalGainModel(64, seed=3).gain(AtmosphereState(25, 55))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = EnvironmentalGainModel(64, seed=3).gain(AtmosphereState(25, 55))
+        b = EnvironmentalGainModel(64, seed=4).gain(AtmosphereState(25, 55))
+        assert not np.allclose(a, b)
+
+    def test_temperature_changes_the_gain(self):
+        model = EnvironmentalGainModel(64)
+        cold = model.gain(AtmosphereState(17.0, 40.0))
+        warm = model.gain(AtmosphereState(25.0, 40.0))
+        assert not np.allclose(cold, warm)
+
+    def test_humidity_changes_the_gain(self):
+        model = EnvironmentalGainModel(64)
+        dry = model.gain(AtmosphereState(21.0, 20.0))
+        humid = model.gain(AtmosphereState(21.0, 60.0))
+        assert not np.allclose(dry, humid)
+
+    def test_coupling_is_nonlinear_in_temperature(self):
+        # The even (quadratic) component makes g(T0-dT) != mirror of
+        # g(T0+dT) impossible to reproduce with a purely linear map: the
+        # midpoint gain differs from the average of the endpoint gains.
+        model = EnvironmentalGainModel(64)
+        lo = model.gain(AtmosphereState(REFERENCE_TEMPERATURE_C - 4, 40.0))
+        hi = model.gain(AtmosphereState(REFERENCE_TEMPERATURE_C + 4, 40.0))
+        mid = model.gain(AtmosphereState(REFERENCE_TEMPERATURE_C, 40.0))
+        assert not np.allclose((lo + hi) / 2, mid, atol=1e-4)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            EnvironmentalGainModel(0)
+        with pytest.raises(ConfigurationError):
+            EnvironmentalGainModel(64, temperature_scale_c=0.0)
+
+    @settings(max_examples=50)
+    @given(st.floats(-10, 45), st.floats(0, 100))
+    def test_property_gain_bounded(self, t, h):
+        model = EnvironmentalGainModel(64)
+        g = model.gain(AtmosphereState(t, h))
+        assert np.all((0.5 <= g) & (g <= 1.5))
+        assert g.shape == (64,)
+
+
+def test_environmental_gain_wrapper():
+    g = environmental_gain(AtmosphereState(23, 50), 32, seed=1)
+    assert g.shape == (32,)

@@ -1,0 +1,108 @@
+"""Tests for the CSI frame/matrix containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.channel.csi import CSIFrame, CSIMatrix
+from repro.exceptions import ShapeError
+
+
+def frame(t=0.0, n=64, seed=0) -> CSIFrame:
+    rng = np.random.default_rng(seed)
+    return CSIFrame(t, rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+class TestCSIFrame:
+    def test_amplitude_and_phase(self):
+        f = CSIFrame(0.0, np.array([3 + 4j, 1 + 0j]))
+        assert f.amplitude == pytest.approx([5.0, 1.0])
+        assert f.phase[1] == pytest.approx(0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ShapeError):
+            CSIFrame(0.0, np.ones((2, 64)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            CSIFrame(0.0, np.array([]))
+
+    def test_power_db_floors_zero(self):
+        f = CSIFrame(0.0, np.array([0.0 + 0j, 1.0 + 0j]))
+        p = f.power_db()
+        assert np.isfinite(p).all()
+        assert p[1] == pytest.approx(0.0)
+
+    def test_n_subcarriers(self):
+        assert frame(n=32).n_subcarriers == 32
+
+
+class TestCSIMatrix:
+    def test_from_frames_round_trip(self):
+        frames = [frame(t=float(i), seed=i) for i in range(5)]
+        matrix = CSIMatrix.from_frames(frames)
+        assert len(matrix) == 5
+        assert matrix[2].timestamp_s == 2.0
+        assert np.allclose(matrix[2].h, frames[2].h)
+
+    def test_iteration_yields_frames(self):
+        matrix = CSIMatrix.from_frames([frame(t=float(i)) for i in range(3)])
+        assert [f.timestamp_s for f in matrix] == [0.0, 1.0, 2.0]
+
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(ShapeError):
+            CSIMatrix(np.array([1.0, 0.0]), np.ones((2, 4), dtype=complex))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ShapeError):
+            CSIMatrix(np.array([0.0]), np.ones((2, 4), dtype=complex))
+
+    def test_rejects_inconsistent_widths(self):
+        with pytest.raises(ShapeError):
+            CSIMatrix.from_frames([frame(n=64), frame(t=1.0, n=32)])
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ShapeError):
+            CSIMatrix.from_frames([])
+
+    def test_subcarrier_series(self):
+        matrix = CSIMatrix.from_frames([frame(t=float(i), seed=i) for i in range(4)])
+        series = matrix.subcarrier_series(10)
+        assert series.shape == (4,)
+        assert series[1] == pytest.approx(abs(matrix[1].h[10]))
+
+    def test_subcarrier_series_bounds(self):
+        matrix = CSIMatrix.from_frames([frame()])
+        with pytest.raises(ShapeError):
+            matrix.subcarrier_series(64)
+
+    def test_window_selects_half_open_interval(self):
+        matrix = CSIMatrix.from_frames([frame(t=float(i)) for i in range(10)])
+        window = matrix.window(2.0, 5.0)
+        assert len(window) == 3
+        assert window.timestamps_s[0] == 2.0
+
+    def test_window_empty_raises(self):
+        matrix = CSIMatrix.from_frames([frame(t=float(i)) for i in range(3)])
+        with pytest.raises(ShapeError):
+            matrix.window(100.0, 200.0)
+
+    def test_window_inverted_raises(self):
+        matrix = CSIMatrix.from_frames([frame(t=float(i)) for i in range(3)])
+        with pytest.raises(ShapeError):
+            matrix.window(2.0, 1.0)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(0, 100, allow_nan=False),
+        )
+    )
+    def test_property_amplitude_non_negative(self, magnitudes):
+        t = np.arange(len(magnitudes), dtype=float)
+        h = magnitudes[:, None] * np.exp(1j * 0.3) * np.ones((1, 8))
+        matrix = CSIMatrix(t, h)
+        assert np.all(matrix.amplitude >= 0)
+        assert matrix.amplitude.shape == (len(magnitudes), 8)

@@ -1,0 +1,102 @@
+"""Tests for the three-component Rician fading model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import RicianFading
+from repro.exceptions import ChannelError
+
+
+def make(seed=0, **kwargs) -> RicianFading:
+    return RicianFading(64, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ChannelError):
+            RicianFading(0)
+        with pytest.raises(ChannelError):
+            RicianFading(64, drift_fraction=1.5)
+        with pytest.raises(ChannelError):
+            RicianFading(64, drift_tau_s=0.0)
+        with pytest.raises(ChannelError):
+            RicianFading(64, mobility_power_boost=-1.0)
+
+
+class TestDiffuseSigma:
+    def test_k_factor_sets_power_ratio(self):
+        fading = make(k_factor_db=10.0)
+        sigma = fading.diffuse_sigma(specular_power=1.0)
+        assert sigma == pytest.approx(np.sqrt(0.1))
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ChannelError):
+            make().diffuse_sigma(-1.0)
+
+
+class TestTemporalStructure:
+    def test_static_room_is_quasi_frozen(self):
+        # Two frames 1 s apart in an empty room are nearly identical.
+        fading = make()
+        a = fading.step(1.0, mobility=0.0).copy()
+        b = fading.step(1.0, mobility=0.0)
+        assert np.abs(a - b).max() < 0.2
+
+    def test_motion_decorrelates_frames(self):
+        fading = make()
+        a = fading.step(1.0, mobility=1.0).copy()
+        b = fading.step(1.0, mobility=1.0)
+        # At full mobility the motion component redraws every frame.
+        assert np.abs(a - b).mean() > 0.3
+
+    def test_empty_room_stays_near_campaign_clutter(self):
+        # Over a simulated day the static diffuse field stays close to the
+        # frozen clutter vector (drift is a small fraction of the power).
+        fading = make()
+        start = fading.step(1.0, 0.0).copy()
+        for _ in range(24):
+            state = fading.step(3600.0, 0.0)
+        drift_dist = np.abs(state - start).mean()
+        assert drift_dist < 0.6
+
+    def test_mobility_adds_power(self):
+        fading = make()
+        static_frames = [fading.step(1.0, 0.0).copy() for _ in range(50)]
+        moving_frames = [fading.step(1.0, 1.0).copy() for _ in range(50)]
+        p_static = np.mean([np.mean(np.abs(f) ** 2) for f in static_frames])
+        p_moving = np.mean([np.mean(np.abs(f) ** 2) for f in moving_frames])
+        assert p_moving > 1.5 * p_static
+
+    def test_rejects_bad_step_arguments(self):
+        fading = make()
+        with pytest.raises(ChannelError):
+            fading.step(-1.0)
+        with pytest.raises(ChannelError):
+            fading.step(1.0, mobility=2.0)
+
+
+class TestApply:
+    def test_shape_check(self):
+        fading = make()
+        with pytest.raises(ChannelError):
+            fading.apply(np.ones(32, dtype=complex), 1.0)
+
+    def test_output_near_specular_for_high_k(self):
+        fading = make(k_factor_db=30.0)
+        specular = np.full(64, 1.0 + 0j)
+        faded = fading.apply(specular, 1.0)
+        assert np.abs(faded - specular).max() < 0.2
+
+    @settings(max_examples=20)
+    @given(st.floats(0, 1), st.floats(0.01, 10.0))
+    def test_property_apply_preserves_shape(self, mobility, dt):
+        fading = make()
+        out = fading.apply(np.ones(64, dtype=complex), dt, mobility)
+        assert out.shape == (64,)
+        assert np.all(np.isfinite(out.real)) and np.all(np.isfinite(out.imag))
+
+    def test_reproducible_with_seeded_rng(self):
+        a = make(seed=5).apply(np.ones(64, dtype=complex), 0.5, 0.3)
+        b = make(seed=5).apply(np.ones(64, dtype=complex), 0.5, 0.3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,161 @@
+"""Tests for the 3D primitives and image-method geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.geometry import (
+    Room,
+    Vec3,
+    WallPlane,
+    fresnel_radius_m,
+    reflect_point,
+    segment_point_distance,
+    segment_vertical_cylinder_distance,
+)
+from repro.exceptions import GeometryError
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        a = Vec3(1, 2, 3)
+        b = Vec3(4, 5, 6)
+        assert (a + b) == Vec3(5, 7, 9)
+        assert (b - a) == Vec3(3, 3, 3)
+        assert (a * 2) == Vec3(2, 4, 6)
+        assert (2 * a) == Vec3(2, 4, 6)
+
+    def test_norm_and_distance(self):
+        assert Vec3(3, 4, 0).norm() == pytest.approx(5.0)
+        assert Vec3(0, 0, 0).distance_to(Vec3(1, 1, 1)) == pytest.approx(np.sqrt(3))
+
+    def test_normalized(self):
+        n = Vec3(0, 0, 5).normalized()
+        assert n == Vec3(0, 0, 1)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(GeometryError):
+            Vec3(0, 0, 0).normalized()
+
+    def test_array_round_trip(self):
+        v = Vec3(1.5, -2.5, 3.25)
+        assert Vec3.from_array(v.as_array()) == v
+
+    @given(finite, finite, finite)
+    def test_property_norm_non_negative(self, x, y, z):
+        assert Vec3(x, y, z).norm() >= 0
+
+    @given(finite, finite, finite)
+    def test_property_dot_with_self_is_norm_squared(self, x, y, z):
+        v = Vec3(x, y, z)
+        assert v.dot(v) == pytest.approx(v.norm() ** 2, abs=1e-6, rel=1e-6)
+
+
+class TestWallPlane:
+    def test_mirror_across_x_plane(self):
+        plane = WallPlane(0, 2.0, "concrete", "w")
+        assert plane.mirror(Vec3(1, 5, 5)) == Vec3(3, 5, 5)
+
+    def test_mirror_is_involution(self):
+        plane = WallPlane(2, 3.0, "glass", "ceiling")
+        p = Vec3(1.2, 3.4, 0.5)
+        assert plane.mirror(plane.mirror(p)) == p
+
+    def test_reflect_point_alias(self):
+        plane = WallPlane(1, 0.0, "concrete", "w")
+        assert reflect_point(Vec3(1, 2, 3), plane) == Vec3(1, -2, 3)
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(GeometryError):
+            WallPlane(3, 0.0, "concrete", "w")
+
+
+class TestRoom:
+    def test_paper_office_dimensions(self):
+        room = Room(12.0, 6.0, 3.0)
+        assert room.contains(Vec3(5, 0.5, 1.4))
+        assert not room.contains(Vec3(13, 0.5, 1.4))
+        assert room.diagonal_m() == pytest.approx(np.sqrt(144 + 36 + 9))
+
+    def test_six_walls_with_materials(self):
+        walls = list(Room(12, 6, 3).walls())
+        assert len(walls) == 6
+        materials = {w.material_key for w in walls}
+        assert materials == {"plasterboard", "concrete", "glass"}
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(GeometryError):
+            Room(0.0, 6, 3)
+
+    def test_boundary_tolerance(self):
+        room = Room(12, 6, 3)
+        assert room.contains(Vec3(12.0, 6.0, 3.0))
+        assert room.contains(Vec3(0.0, 0.0, 0.0))
+
+
+class TestSegmentDistances:
+    def test_point_on_segment(self):
+        assert segment_point_distance(Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(1, 0, 0)) == 0
+
+    def test_point_beside_segment(self):
+        d = segment_point_distance(Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(1, 3, 0))
+        assert d == pytest.approx(3.0)
+
+    def test_point_beyond_endpoint_clamps(self):
+        d = segment_point_distance(Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(5, 0, 0))
+        assert d == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        d = segment_point_distance(Vec3(1, 1, 1), Vec3(1, 1, 1), Vec3(1, 1, 2))
+        assert d == pytest.approx(1.0)
+
+    def test_cylinder_through_segment(self):
+        # A vertical cylinder axis crossing the segment's midpoint.
+        d = segment_vertical_cylinder_distance(
+            Vec3(0, 0, 1), Vec3(2, 0, 1), (1.0, 0.0), (0.0, 2.0)
+        )
+        assert d == pytest.approx(0.0, abs=0.15)
+
+    def test_cylinder_below_segment(self):
+        # Cylinder spans z in [0, 1]; the segment is at z = 2.
+        d = segment_vertical_cylinder_distance(
+            Vec3(0, 0, 2), Vec3(2, 0, 2), (1.0, 0.0), (0.0, 1.0)
+        )
+        assert d == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_z_range(self):
+        with pytest.raises(GeometryError):
+            segment_vertical_cylinder_distance(
+                Vec3(0, 0, 0), Vec3(1, 0, 0), (0, 0), (2.0, 1.0)
+            )
+
+
+class TestFresnelRadius:
+    def test_midpoint_of_2m_link_at_2_4ghz(self):
+        # The paper's link: 2 m TX-RX separation at ~12.4 cm wavelength.
+        r = fresnel_radius_m(0.124, 1.0, 1.0)
+        assert r == pytest.approx(np.sqrt(0.124 * 0.5), rel=1e-6)
+
+    def test_radius_vanishes_at_endpoints(self):
+        assert fresnel_radius_m(0.124, 0.0, 2.0) == 0.0
+
+    def test_rejects_negative_segments(self):
+        with pytest.raises(GeometryError):
+            fresnel_radius_m(0.124, -1.0, 2.0)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(GeometryError):
+            fresnel_radius_m(0.124, 0.0, 0.0)
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(0.01, 50.0),
+        st.floats(0.01, 50.0),
+    )
+    def test_property_maximal_at_midpoint(self, wavelength, d1, d2):
+        total = d1 + d2
+        r = fresnel_radius_m(wavelength, d1, d2)
+        r_mid = fresnel_radius_m(wavelength, total / 2, total / 2)
+        assert r <= r_mid + 1e-12

@@ -1,0 +1,53 @@
+"""Tests for the material catalogue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.materials import MATERIALS, Material, get_material
+from repro.exceptions import ConfigurationError
+
+
+class TestCatalogue:
+    def test_office_materials_present(self):
+        # The paper's office: plasterboard internal walls, concrete external
+        # walls, glass windows; plus furniture wood and the human body.
+        for key in ("plasterboard", "concrete", "glass", "wood", "human"):
+            assert key in MATERIALS
+
+    def test_get_material_error_lists_known_keys(self):
+        with pytest.raises(ConfigurationError, match="plasterboard"):
+            get_material("adamantium")
+
+    def test_concrete_reflects_stronger_than_plasterboard(self):
+        # Reinforced concrete is the better 2.4 GHz reflector.
+        concrete = get_material("concrete").reflection_coefficient()
+        plaster = get_material("plasterboard").reflection_coefficient()
+        assert concrete > plaster
+
+    def test_concrete_blocks_transmission(self):
+        assert get_material("concrete").penetration_loss_db > 20
+
+
+class TestReflectionCoefficient:
+    def test_reference_humidity_matches_loss(self):
+        m = Material("m", reflection_loss_db=6.0)
+        assert m.reflection_coefficient(40.0) == pytest.approx(10 ** (-6.0 / 20.0))
+
+    def test_hygroscopic_material_weakens_when_wet(self):
+        plaster = get_material("plasterboard")
+        dry = plaster.reflection_coefficient(20.0)
+        wet = plaster.reflection_coefficient(60.0)
+        assert wet < dry
+
+    def test_glass_is_humidity_insensitive(self):
+        glass = get_material("glass")
+        assert glass.reflection_coefficient(10.0) == glass.reflection_coefficient(90.0)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", reflection_loss_db=-1.0)
+
+    @given(st.sampled_from(sorted(MATERIALS)), st.floats(0, 100))
+    def test_property_coefficient_in_unit_interval(self, key, humidity):
+        coeff = get_material(key).reflection_coefficient(humidity)
+        assert 0.0 <= coeff <= 1.0

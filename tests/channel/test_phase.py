@@ -1,0 +1,105 @@
+"""Tests for CSI phase sanitization."""
+
+import numpy as np
+import pytest
+
+from repro.channel.phase import phase_difference, sanitize_phase, unwrap_phase
+from repro.exceptions import ShapeError
+
+
+def synth_frame(slope=0.0, offset=0.0, signal=None, d=64):
+    """Complex frame with a phase ramp slope*k + offset plus a signal term."""
+    k = np.arange(d)
+    phase = slope * k + offset
+    if signal is not None:
+        phase = phase + signal
+    return np.exp(1j * phase)
+
+
+class TestUnwrap:
+    def test_continuous_ramp_recovered(self):
+        phase = np.linspace(0, 6 * np.pi, 64)
+        wrapped = np.angle(np.exp(1j * phase))
+        unwrapped = unwrap_phase(wrapped)
+        np.testing.assert_allclose(np.diff(unwrapped), np.diff(phase), atol=1e-9)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            unwrap_phase(np.zeros((2, 2, 2)))
+
+
+class TestSanitizePhase:
+    def test_removes_linear_ramp(self):
+        # Pure STO ramp sanitizes to (near) zero.
+        frame = synth_frame(slope=0.3, offset=1.2)
+        sanitized = sanitize_phase(frame)
+        assert np.abs(sanitized).max() < 1e-9
+
+    def test_preserves_nonlinear_structure(self):
+        k = np.arange(64)
+        signal = 0.4 * np.sin(2 * np.pi * k / 16)
+        frame = synth_frame(slope=0.2, offset=-0.5, signal=signal)
+        sanitized = sanitize_phase(frame)
+        # The sinusoid survives (up to its own mean/slope components).
+        assert np.std(sanitized) > 0.1
+        assert np.corrcoef(sanitized, signal)[0, 1] > 0.95
+
+    def test_batch_and_single_agree(self):
+        rng = np.random.default_rng(0)
+        frames = np.exp(1j * rng.uniform(-1, 1, size=(5, 64)))
+        batch = sanitize_phase(frames)
+        single = np.stack([sanitize_phase(f) for f in frames])
+        np.testing.assert_allclose(batch, single, atol=1e-12)
+
+    def test_guard_mask_excluded_from_fit(self):
+        frame = synth_frame(slope=0.1)
+        # Corrupt guard bins with huge phase noise.
+        corrupted = frame.copy()
+        corrupted[:6] *= np.exp(1j * 2.5)
+        mask = np.zeros(64, dtype=bool)
+        mask[:6] = True
+        sanitized = sanitize_phase(corrupted, guard_mask=mask)
+        # Non-guard bins stay near zero despite the corrupted guards.
+        assert np.abs(sanitized[6:]).max() < 1e-6
+
+    def test_invariant_to_sto_and_cpo(self):
+        # Two captures of the same channel with different receiver offsets
+        # sanitize to the same result — the whole point.
+        k = np.arange(64)
+        signal = 0.3 * np.cos(2 * np.pi * k / 10)
+        a = sanitize_phase(synth_frame(slope=0.05, offset=0.3, signal=signal))
+        b = sanitize_phase(synth_frame(slope=-0.2, offset=2.0, signal=signal))
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ShapeError):
+            sanitize_phase(synth_frame(), guard_mask=np.zeros(10, dtype=bool))
+
+    def test_too_few_fit_bins(self):
+        mask = np.ones(64, dtype=bool)
+        mask[5] = False
+        with pytest.raises(ShapeError):
+            sanitize_phase(synth_frame(), guard_mask=mask)
+
+
+class TestPhaseDifference:
+    def test_static_channel_zero_difference(self):
+        frame = synth_frame(slope=0.1, offset=0.5,
+                            signal=0.2 * np.sin(np.arange(64) / 5))
+        # Same channel, different receiver offsets between frames.
+        frame2 = frame * np.exp(1j * (0.8 + 0.03 * np.arange(64)))
+        delta = phase_difference(frame2, frame)
+        assert np.abs(delta).max() < 1e-6
+
+    def test_motion_produces_difference(self):
+        k = np.arange(64)
+        before = synth_frame(signal=0.3 * np.sin(2 * np.pi * k / 12))
+        after = synth_frame(signal=0.3 * np.sin(2 * np.pi * k / 12 + 0.8))
+        delta = phase_difference(after, before)
+        assert np.abs(delta).max() > 0.05
+
+    def test_wrapped_into_pi(self):
+        a = synth_frame(signal=np.zeros(64))
+        b = synth_frame(signal=np.full(64, 0.0))
+        delta = phase_difference(a, b)
+        assert np.all(np.abs(delta) <= np.pi + 1e-12)

@@ -1,0 +1,190 @@
+"""Tests for the multipath ray tracer."""
+
+import numpy as np
+import pytest
+
+from repro.channel.atmosphere import AtmosphereState
+from repro.channel.geometry import Room, Vec3
+from repro.channel.propagation import MultipathChannel, PathComponent, Scatterer
+from repro.channel.subcarriers import SubcarrierGrid
+from repro.exceptions import ChannelError, GeometryError
+
+
+@pytest.fixture
+def channel() -> MultipathChannel:
+    grid = SubcarrierGrid(20e6, 2.412e9)
+    room = Room(12, 6, 3)
+    return MultipathChannel(room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4))
+
+
+class TestConstruction:
+    def test_antennas_must_be_inside(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        with pytest.raises(GeometryError):
+            MultipathChannel(room, grid, Vec3(-1, 0, 0), Vec3(7, 0.5, 1.4))
+
+    def test_coincident_antennas_rejected(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        p = Vec3(5, 0.5, 1.4)
+        with pytest.raises(GeometryError):
+            MultipathChannel(room, grid, p, p)
+
+    def test_unsupported_reflection_order(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        with pytest.raises(ChannelError):
+            MultipathChannel(room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), max_reflection_order=3)
+
+
+class TestStaticPaths:
+    def test_los_plus_six_reflections(self, channel):
+        paths = channel.static_paths
+        assert len(paths) == 7
+        assert paths[0].kind == "los"
+        assert sum(p.kind.startswith("reflection") for p in paths) == 6
+
+    def test_los_is_shortest(self, channel):
+        paths = channel.static_paths
+        assert all(paths[0].length_m <= p.length_m for p in paths)
+        assert paths[0].length_m == pytest.approx(2.0)
+
+    def test_los_amplitude_follows_inverse_distance(self, channel):
+        assert channel.static_paths[0].base_amplitude == pytest.approx(0.5)
+
+    def test_reflection_lengths_match_image_method(self, channel):
+        # Floor bounce: TX and RX at z=1.4 -> image at z=-1.4, path length
+        # = sqrt(2^2 + 2.8^2).
+        floor = next(p for p in channel.static_paths if p.kind == "reflection:floor")
+        assert floor.length_m == pytest.approx(np.hypot(2.0, 2.8))
+
+    def test_reflection_segments_touch_the_wall(self, channel):
+        ceiling = next(p for p in channel.static_paths if p.kind == "reflection:ceiling")
+        (a, bounce1), (bounce2, b) = ceiling.segments
+        assert bounce1 == bounce2
+        assert bounce1.z == pytest.approx(3.0)
+
+    def test_order_zero_keeps_only_los(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        ch = MultipathChannel(room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), max_reflection_order=0)
+        assert len(ch.static_paths) == 1
+
+    def test_order_two_adds_double_bounces(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        ch = MultipathChannel(
+            room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), max_reflection_order=2
+        )
+        # 1 LoS + 6 single bounces + 6*5 ordered wall pairs.
+        assert len(ch.static_paths) == 37
+        doubles = [p for p in ch.static_paths if p.kind.startswith("reflection2")]
+        assert len(doubles) == 30
+        # Each double bounce has three physical segments and two materials.
+        for p in doubles:
+            assert len(p.segments) == 3
+            assert len(p.materials) == 2
+
+    def test_floor_ceiling_double_bounce_length(self):
+        # Image method by hand: TX mirrored across the floor (z -> -1.4)
+        # then the ceiling (z -> 7.4); straight distance to RX.
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        ch = MultipathChannel(
+            room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), max_reflection_order=2
+        )
+        path = next(
+            p for p in ch.static_paths if p.kind == "reflection2:floor+ceiling"
+        )
+        assert path.length_m == pytest.approx(np.sqrt(2.0**2 + 6.0**2))
+
+    def test_double_bounces_weaker_than_singles(self):
+        grid = SubcarrierGrid(20e6, 2.412e9)
+        room = Room(12, 6, 3)
+        ch = MultipathChannel(
+            room, grid, Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), max_reflection_order=2
+        )
+        max_double = max(
+            p.base_amplitude for p in ch.static_paths if p.kind.startswith("reflection2")
+        )
+        max_single = max(
+            p.base_amplitude
+            for p in ch.static_paths
+            if p.kind.startswith("reflection:")
+        )
+        assert max_double < max_single
+
+
+class TestResponse:
+    def test_shape_and_dtype(self, channel):
+        h = channel.response()
+        assert h.shape == (64,)
+        assert np.iscomplexobj(h)
+
+    def test_frequency_selectivity(self, channel):
+        # Multipath interference must vary across the band.
+        amp = channel.amplitude()
+        assert amp.std() > 0.01
+
+    def test_deterministic(self, channel):
+        assert np.array_equal(channel.response(), channel.response())
+
+    def test_occupant_changes_response(self, channel):
+        empty = channel.amplitude()
+        occupied = channel.amplitude(scatterers=[Scatterer(Vec3(6, 3, 0))])
+        assert not np.allclose(empty, occupied)
+
+    def test_occupant_far_corner_still_perturbs(self, channel):
+        # A body far from the direct link still shadows wall reflections —
+        # the mechanism that makes WiFi sensing work room-wide.
+        empty = channel.amplitude()
+        far = channel.amplitude(scatterers=[Scatterer(Vec3(11, 5.5, 0))])
+        assert np.max(np.abs(far - empty)) > 1e-4
+
+    def test_body_on_los_attenuates_strongly(self, channel):
+        empty = channel.amplitude()
+        blocking = channel.amplitude(scatterers=[Scatterer(Vec3(6.0, 0.5, 0))])
+        far = channel.amplitude(scatterers=[Scatterer(Vec3(11, 5.5, 0))])
+        delta_blocking = np.mean(np.abs(blocking - empty))
+        delta_far = np.mean(np.abs(far - empty))
+        assert delta_blocking > delta_far
+
+    def test_environment_changes_response(self, channel):
+        cold = channel.amplitude(atmosphere=AtmosphereState(17, 30))
+        warm = channel.amplitude(atmosphere=AtmosphereState(25, 30))
+        assert not np.allclose(cold, warm)
+
+    def test_response_composes_from_fields(self, channel):
+        scatterers = [Scatterer(Vec3(6, 3, 0))]
+        atmosphere = AtmosphereState(23, 45)
+        composed = (
+            channel.static_field(scatterers, atmosphere)
+            + channel.scattered_field(scatterers)
+        ) * channel.environmental_gain(atmosphere)
+        assert np.allclose(composed, channel.response(scatterers, atmosphere))
+
+    def test_scattered_field_empty_list_is_zero(self, channel):
+        assert np.allclose(channel.scattered_field([]), 0.0)
+
+
+class TestScatterer:
+    def test_center_is_mid_height(self):
+        s = Scatterer(Vec3(1, 1, 0), height_m=1.8)
+        assert s.center.z == pytest.approx(0.9)
+
+    def test_rejects_bad_build(self):
+        with pytest.raises(GeometryError):
+            Scatterer(Vec3(0, 0, 0), radius_m=-0.1)
+        with pytest.raises(GeometryError):
+            Scatterer(Vec3(0, 0, 0), reflectivity=1.5)
+
+
+class TestPathComponent:
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ChannelError):
+            PathComponent(length_m=0.0, base_amplitude=1.0, kind="los")
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ChannelError):
+            PathComponent(length_m=1.0, base_amplitude=-0.1, kind="los")

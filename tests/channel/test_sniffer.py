@@ -1,0 +1,119 @@
+"""Tests for the Nexmon-like receiver front end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.sniffer import NexmonSniffer, SnifferConfig
+from repro.channel.subcarriers import SubcarrierGrid
+from repro.exceptions import ChannelError, ShapeError
+
+
+@pytest.fixture
+def grid() -> SubcarrierGrid:
+    return SubcarrierGrid(20e6, 2.412e9)
+
+
+def make_sniffer(grid, seed=0, **overrides) -> NexmonSniffer:
+    return NexmonSniffer(grid, SnifferConfig(**overrides), rng=np.random.default_rng(seed))
+
+
+class TestSnifferConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"noise_sigma": -0.1},
+            {"agc_target": 0.0},
+            {"agc_step_db": 0.0},
+            {"amplitude_lsb": 0.0},
+            {"frame_loss_rate": 1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ChannelError):
+            SnifferConfig(**kwargs)
+
+
+class TestCapture:
+    def test_output_shape_and_nonnegativity(self, grid):
+        sniffer = make_sniffer(grid)
+        amp = sniffer.capture(np.ones(64, dtype=complex))
+        assert amp is not None
+        assert amp.shape == (64,)
+        assert np.all(amp >= 0)
+
+    def test_guard_bins_report_leakage_floor(self, grid):
+        sniffer = make_sniffer(grid)
+        amp = sniffer.capture(np.ones(64, dtype=complex))
+        assert np.all(amp[grid.is_guard] == sniffer.config.guard_floor)
+
+    def test_amplitudes_are_quantized(self, grid):
+        sniffer = make_sniffer(grid, amplitude_lsb=0.01)
+        amp = sniffer.capture(np.ones(64, dtype=complex))
+        assert np.allclose(amp, np.round(amp / 0.01) * 0.01)
+
+    def test_agc_normalizes_scale(self, grid):
+        # Two frames differing by 20 dB produce nearly the same output RMS.
+        sniffer = make_sniffer(grid, noise_sigma=0.0)
+        weak = sniffer.capture(0.1 * np.ones(64, dtype=complex))
+        strong = sniffer.capture(10.0 * np.ones(64, dtype=complex))
+        mask = ~grid.is_guard
+        rms_weak = np.sqrt(np.mean(weak[mask] ** 2))
+        rms_strong = np.sqrt(np.mean(strong[mask] ** 2))
+        assert rms_weak == pytest.approx(rms_strong, rel=0.05)
+
+    def test_agc_preserves_spectral_shape(self, grid):
+        sniffer = make_sniffer(grid, noise_sigma=0.0)
+        rng = np.random.default_rng(1)
+        h = rng.normal(1, 0.2, 64) + 0j
+        amp = sniffer.capture(h)
+        mask = ~grid.is_guard
+        corr = np.corrcoef(amp[mask], np.abs(h)[mask])[0, 1]
+        assert corr > 0.99
+
+    def test_wrong_shape_rejected(self, grid):
+        with pytest.raises(ShapeError):
+            make_sniffer(grid).capture(np.ones(32, dtype=complex))
+
+    def test_frame_loss(self, grid):
+        sniffer = make_sniffer(grid, frame_loss_rate=0.5)
+        results = [sniffer.capture(np.ones(64, dtype=complex)) for _ in range(200)]
+        lost = sum(r is None for r in results)
+        assert 50 < lost < 150
+
+    def test_zero_frame_loss_never_drops(self, grid):
+        sniffer = make_sniffer(grid, frame_loss_rate=0.0)
+        assert all(
+            sniffer.capture(np.ones(64, dtype=complex)) is not None for _ in range(50)
+        )
+
+
+class TestCaptureMany:
+    def test_matches_scalar_path_statistics(self, grid):
+        h = np.tile(np.linspace(0.5, 1.5, 64) + 0j, (100, 1))
+        amps, kept = make_sniffer(grid).capture_many(h)
+        assert kept.all()
+        assert amps.shape == (100, 64)
+        single = make_sniffer(grid, seed=1).capture(h[0])
+        mask = ~grid.is_guard
+        assert np.allclose(amps[:, mask].mean(axis=0), single[mask], atol=0.1)
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ShapeError):
+            make_sniffer(grid).capture_many(np.ones((10, 32), dtype=complex))
+
+    def test_frame_loss_mask(self, grid):
+        sniffer = make_sniffer(grid, frame_loss_rate=0.3)
+        amps, kept = sniffer.capture_many(np.ones((500, 64), dtype=complex))
+        assert amps.shape[0] == kept.sum()
+        assert 250 < kept.sum() < 450
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 30))
+    def test_property_row_count_preserved_without_loss(self, n):
+        local_grid = SubcarrierGrid(20e6, 2.412e9)
+        amps, kept = make_sniffer(local_grid).capture_many(
+            np.ones((n, 64), dtype=complex)
+        )
+        assert amps.shape == (n, 64)
+        assert kept.all()

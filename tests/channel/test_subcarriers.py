@@ -1,0 +1,92 @@
+"""Tests for the OFDM subcarrier grid (Section II-A's d_H rule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.subcarriers import SubcarrierGrid, csi_dimension
+from repro.exceptions import ConfigurationError
+
+
+class TestCsiDimension:
+    def test_paper_example_20mhz(self):
+        # Section II-A: "if we transmit ... over a 20MHz channel, we obtain
+        # a CSI vector H(t_i) of dimension d_H = 64".
+        assert csi_dimension(20e6) == 64
+
+    @pytest.mark.parametrize(
+        "bandwidth_mhz,expected", [(20, 64), (40, 128), (80, 256), (160, 512)]
+    )
+    def test_all_80211ac_widths(self, bandwidth_mhz, expected):
+        assert csi_dimension(bandwidth_mhz * 1e6) == expected
+
+
+class TestSubcarrierGrid:
+    def make(self, bandwidth_mhz=20) -> SubcarrierGrid:
+        return SubcarrierGrid(bandwidth_mhz * 1e6, 2.412e9)
+
+    def test_n_subcarriers_matches_formula(self):
+        assert self.make().n_subcarriers == 64
+        assert self.make(40).n_subcarriers == 128
+
+    def test_spacing_is_312_5_khz(self):
+        # 802.11 OFDM spacing is bandwidth / n = 312.5 kHz at every width.
+        assert self.make().spacing_hz == pytest.approx(312_500.0)
+        assert self.make(80).spacing_hz == pytest.approx(312_500.0)
+
+    def test_rejects_non_standard_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierGrid(30e6, 2.412e9)
+
+    def test_rejects_carrier_below_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierGrid(20e6, 10e6)
+
+    def test_frequencies_center_on_carrier(self):
+        grid = self.make()
+        freqs = grid.frequencies_hz
+        assert len(freqs) == 64
+        # Mean offset is half a spacing below the carrier (even FFT size).
+        assert abs(freqs.mean() - grid.carrier_hz) <= grid.spacing_hz
+
+    def test_offsets_span_the_bandwidth(self):
+        grid = self.make()
+        offsets = grid.baseband_offsets_hz
+        assert offsets[0] == pytest.approx(-grid.bandwidth_hz / 2)
+        assert offsets[-1] == pytest.approx(grid.bandwidth_hz / 2 - grid.spacing_hz)
+        assert np.all(np.diff(offsets) == pytest.approx(grid.spacing_hz))
+
+    def test_guard_mask_legacy_layout(self):
+        grid = self.make()
+        mask = grid.is_guard
+        assert mask[:6].all(), "6 low guard bins"
+        assert mask[-5:].all(), "5 high guard bins"
+        assert mask[32], "DC bin is null"
+        assert not mask[10], "data bins are not guards"
+        assert grid.n_data_subcarriers == 64 - 6 - 5 - 1
+
+    def test_guard_mask_scales_with_width(self):
+        grid = self.make(40)
+        mask = grid.is_guard
+        assert mask[:12].all()
+        assert mask[-10:].all()
+        assert mask[64]
+
+    def test_wavelengths_near_12_5_cm(self):
+        # 2.4 GHz wavelength is ~12.4 cm; all subcarriers are close.
+        wl = self.make().wavelengths_m()
+        assert np.all((0.120 < wl) & (wl < 0.130))
+        # Higher frequency -> shorter wavelength, strictly monotone.
+        assert np.all(np.diff(wl) < 0)
+
+    def test_indices_are_nexmon_order(self):
+        grid = self.make()
+        assert grid.indices[0] == 0
+        assert grid.indices[-1] == 63
+
+    @given(st.sampled_from([20, 40, 80, 160]))
+    def test_property_dimension_rule_holds(self, mhz):
+        grid = SubcarrierGrid(mhz * 1e6, 5.5e9)
+        assert grid.n_subcarriers == int(3.2 * mhz)
+        assert grid.frequencies_hz.shape == (grid.n_subcarriers,)
+        assert grid.is_guard.sum() < grid.n_subcarriers / 2

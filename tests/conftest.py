@@ -1,0 +1,64 @@
+"""Shared fixtures for the repro test suite.
+
+Expensive artifacts (a recorded campaign, a fold split, a trained
+detector) are session-scoped: the campaign recorder is deterministic in
+its seed, so sharing one dataset across tests loses no coverage while
+keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BehaviorConfig, CampaignConfig
+from repro.data.folds import FoldSplit, make_paper_folds
+from repro.data.recording import CollectionCampaign
+from repro.data.dataset import OccupancyDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smoke_config() -> CampaignConfig:
+    """A tiny but structure-complete campaign configuration."""
+    return CampaignConfig(
+        duration_h=6.0,
+        sample_rate_hz=0.2,
+        start_hour_of_day=8.0,
+        seed=99,
+        behavior=BehaviorConfig(mean_stay_h=1.0, mean_gap_h=1.5),
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset(smoke_config: CampaignConfig) -> OccupancyDataset:
+    """One recorded 6-hour campaign (~4300 rows) shared by the suite."""
+    return CollectionCampaign(smoke_config).run()
+
+
+@pytest.fixture(scope="session")
+def smoke_split(smoke_dataset: OccupancyDataset) -> FoldSplit:
+    """The paper's 70/30 fold split of the smoke campaign."""
+    return make_paper_folds(smoke_dataset)
+
+
+@pytest.fixture(scope="session")
+def day_dataset() -> OccupancyDataset:
+    """A 40-hour campaign covering a full day/night cycle.
+
+    Long enough that the last 30 % (the test region of the paper's split)
+    includes a night — used by tests that need both warm occupied
+    afternoons and cold empty nights.
+    """
+    config = CampaignConfig(duration_h=40.0, sample_rate_hz=0.1, seed=7)
+    return CollectionCampaign(config).run()
+
+
+@pytest.fixture(scope="session")
+def day_split(day_dataset: OccupancyDataset) -> FoldSplit:
+    return make_paper_folds(day_dataset)

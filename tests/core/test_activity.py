@@ -1,0 +1,65 @@
+"""Tests for the activity-recognition extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.activity import ACTIVITY_LABELS, ActivityRecognizer
+from repro.exceptions import ShapeError
+
+
+FAST = TrainingConfig(epochs=6, hidden_sizes=(32, 32), batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def trained(day_dataset):
+    recognizer = ActivityRecognizer(64, FAST)
+    recognizer.fit(day_dataset.csi, day_dataset.activity)
+    return recognizer, day_dataset
+
+
+class TestActivityRecognizer:
+    def test_label_order(self):
+        assert ACTIVITY_LABELS == ("empty", "walking", "standing", "sitting")
+
+    def test_simultaneous_occupancy_detection(self, trained):
+        # The paper's future-work goal: one model doing both tasks.
+        recognizer, ds = trained
+        assert recognizer.occupancy_score(ds.csi, ds.occupancy) > 0.85
+
+    def test_activity_accuracy_above_majority(self, trained):
+        recognizer, ds = trained
+        majority = np.bincount(ds.activity).max() / len(ds)
+        assert recognizer.score(ds.csi, ds.activity) > majority
+
+    def test_confusion_matrix_accounting(self, trained):
+        recognizer, ds = trained
+        matrix = recognizer.confusion(ds.csi, ds.activity)
+        assert matrix.shape == (4, 4)
+        assert matrix.sum() == len(ds)
+        # Row sums equal class supports.
+        np.testing.assert_array_equal(matrix.sum(axis=1), np.bincount(ds.activity, minlength=4))
+
+    def test_reliability_report_keys(self, trained):
+        recognizer, ds = trained
+        report = recognizer.reliability_report(ds.csi, ds.activity)
+        present = {ACTIVITY_LABELS[c] for c in np.unique(ds.activity)}
+        assert set(report) == present
+        assert all(0.0 <= v <= 1.0 for v in report.values())
+
+    def test_empty_class_reliable(self, trained):
+        # An empty room is the easiest state to recognise.
+        recognizer, ds = trained
+        report = recognizer.reliability_report(ds.csi, ds.activity)
+        assert report["empty"] > 0.8
+
+    def test_rejects_bad_codes(self):
+        recognizer = ActivityRecognizer(4, FAST)
+        with pytest.raises(ShapeError):
+            recognizer.fit(np.ones((3, 4)), np.array([0, 1, 9]))
+
+    def test_probabilities_shape(self, trained):
+        recognizer, ds = trained
+        proba = recognizer.predict_proba(ds.csi[:20])
+        assert proba.shape == (20, 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)

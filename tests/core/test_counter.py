@@ -1,0 +1,66 @@
+"""Tests for the occupant counter extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.counter import OccupantCounter
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+FAST = TrainingConfig(epochs=6, hidden_sizes=(32, 32), batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def trained(day_dataset):
+    counter = OccupantCounter(64, max_count=4, config=FAST)
+    counter.fit(day_dataset.csi, day_dataset.occupant_count)
+    return counter, day_dataset
+
+
+class TestOccupantCounter:
+    def test_counts_in_range(self, trained):
+        counter, ds = trained
+        predictions = counter.predict(ds.csi[:500])
+        assert predictions.min() >= 0
+        assert predictions.max() <= 4
+
+    def test_training_performance(self, trained):
+        counter, ds = trained
+        scores = counter.score(ds.csi, ds.occupant_count)
+        assert scores["within_one"] > 0.85
+        assert scores["count_mae"] < 1.0
+        assert 0.0 <= scores["accuracy"] <= 1.0
+
+    def test_occupancy_reduction_consistent(self, trained):
+        counter, ds = trained
+        occupancy_acc = counter.occupancy_score(ds.csi, ds.occupancy)
+        assert occupancy_acc > 0.8
+
+    def test_expected_count_fractional(self, trained):
+        counter, ds = trained
+        expected = counter.expected_count(ds.csi[:100])
+        assert expected.shape == (100,)
+        assert np.all((0.0 <= expected) & (expected <= 4.0))
+
+    def test_counts_above_max_clipped(self):
+        counter = OccupantCounter(4, max_count=2, config=FAST)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4))
+        counts = rng.integers(0, 6, 200)
+        counter.fit(x, counts)  # must not raise
+        assert counter.predict(x).max() <= 2
+
+    def test_rejects_negative_counts(self):
+        counter = OccupantCounter(4, config=FAST)
+        with pytest.raises(ShapeError):
+            counter.fit(np.ones((3, 4)), np.array([0, -1, 2]))
+
+    def test_rejects_zero_max_count(self):
+        with pytest.raises(ConfigurationError):
+            OccupantCounter(4, max_count=0)
+
+    def test_score_shape_mismatch(self, trained):
+        counter, ds = trained
+        with pytest.raises(ShapeError):
+            counter.score(ds.csi[:10], ds.occupant_count[:5])

@@ -1,0 +1,114 @@
+"""Tests for the OccupancyDetector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.detector import OccupancyDetector
+from repro.core.features import FeatureSet, extract_features
+from repro.exceptions import NotFittedError, ShapeError
+
+
+FAST = TrainingConfig(epochs=4, hidden_sizes=(32, 32), batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def trained(smoke_dataset):
+    """A detector trained on the smoke campaign's CSI features."""
+    x = extract_features(smoke_dataset, FeatureSet.CSI)
+    detector = OccupancyDetector(64, FAST)
+    detector.fit(x, smoke_dataset.occupancy)
+    return detector, x, smoke_dataset.occupancy
+
+
+class TestFitPredict:
+    def test_training_accuracy_high(self, trained):
+        detector, x, y = trained
+        assert detector.score(x, y) > 0.9
+
+    def test_predict_proba_bounds(self, trained):
+        detector, x, _ = trained
+        proba = detector.predict_proba(x[:100])
+        assert proba.shape == (100,)
+        assert np.all((0 <= proba) & (proba <= 1))
+
+    def test_predictions_binary(self, trained):
+        detector, x, _ = trained
+        assert set(np.unique(detector.predict(x[:50]))) <= {0, 1}
+
+    def test_history_recorded(self, trained):
+        detector, _, _ = trained
+        assert detector.history is not None
+        assert detector.history.n_epochs == FAST.epochs
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OccupancyDetector(4, FAST).predict(np.ones((2, 4)))
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ShapeError):
+            OccupancyDetector(4, FAST).fit(np.ones((10, 5)), np.zeros(10))
+
+    def test_n_parameters_reported(self):
+        detector = OccupancyDetector(64)  # paper-size network
+        assert detector.n_parameters() == 74369
+
+
+class TestPartialFit:
+    def test_online_training_improves_on_new_regime(self, smoke_dataset):
+        # Train on the first half, then absorb the second half online —
+        # the Section V-B argument for the MLP over the random forest.
+        x = smoke_dataset.csi
+        y = smoke_dataset.occupancy
+        half = len(x) // 2
+        detector = OccupancyDetector(64, FAST)
+        detector.fit(x[:half], y[:half])
+        before = detector.score(x[half:], y[half:])
+        detector.partial_fit(x[half:], y[half:], epochs=2)
+        after = detector.score(x[half:], y[half:])
+        assert after >= before - 0.01
+
+    def test_partial_fit_extends_history(self, smoke_dataset):
+        x, y = smoke_dataset.csi, smoke_dataset.occupancy
+        detector = OccupancyDetector(64, FAST).fit(x[:500], y[:500])
+        n_before = detector.history.n_epochs
+        detector.partial_fit(x[500:900], y[500:900], epochs=3)
+        assert detector.history.n_epochs == n_before + 3
+
+    def test_partial_fit_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            OccupancyDetector(4, FAST).partial_fit(np.ones((2, 4)), np.zeros(2))
+
+    def test_partial_fit_validates_width(self, smoke_dataset):
+        detector = OccupancyDetector(64, FAST).fit(
+            smoke_dataset.csi[:500], smoke_dataset.occupancy[:500]
+        )
+        with pytest.raises(ShapeError):
+            detector.partial_fit(np.ones((5, 3)), np.zeros(5))
+
+
+class TestExplain:
+    def test_gradcam_shapes(self, trained):
+        detector, x, y = trained
+        probe = x[y == 1][:64]
+        result = detector.explain(probe, target_class=1)
+        assert result.feature_importance.shape == (64,)
+        assert np.all(result.feature_importance >= 0)
+
+    def test_explain_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            OccupancyDetector(4, FAST).explain(np.ones((2, 4)))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, trained, tmp_path):
+        detector, x, _ = trained
+        path = detector.save(tmp_path / "detector.npz")
+        restored = OccupancyDetector(64, FAST).load(path)
+        np.testing.assert_allclose(
+            restored.predict_proba(x[:50]), detector.predict_proba(x[:50])
+        )
+
+    def test_save_requires_fit(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            OccupancyDetector(4, FAST).save(tmp_path / "d.npz")

@@ -1,0 +1,104 @@
+"""Tests for the Table IV / Table V experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.experiment import (
+    DEFAULT_FEATURE_SETS,
+    MODEL_NAMES,
+    OccupancyExperiment,
+    RegressionExperiment,
+    TableIVResult,
+    TableVResult,
+)
+from repro.core.features import FeatureSet
+from repro.exceptions import ConfigurationError
+
+
+FAST = TrainingConfig(epochs=3, hidden_sizes=(32, 32), batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def table_iv(day_split):
+    experiment = OccupancyExperiment(
+        day_split,
+        training=FAST,
+        max_train_rows=4000,
+        forest_kwargs={"n_estimators": 8, "max_samples": 4000},
+    )
+    return experiment.run(models=("logistic", "mlp"), feature_sets=(FeatureSet.CSI,))
+
+
+class TestOccupancyExperiment:
+    def test_result_covers_grid(self, table_iv):
+        assert set(table_iv.accuracies) == {"logistic", "mlp"}
+        assert set(table_iv.accuracies["mlp"]) == {"CSI"}
+        assert len(table_iv.accuracies["mlp"]["CSI"]) == 5
+
+    def test_accuracies_are_percentages(self, table_iv):
+        for folds in table_iv.accuracies["mlp"].values():
+            assert all(0.0 <= a <= 100.0 for a in folds)
+
+    def test_average(self, table_iv):
+        avg = table_iv.average("mlp", FeatureSet.CSI)
+        assert avg == pytest.approx(np.mean(table_iv.accuracies["mlp"]["CSI"]))
+
+    def test_rows_layout(self, table_iv):
+        rows = table_iv.rows()
+        assert len(rows) == 6  # five folds + Avg.
+        assert rows[-1]["fold"] == "Avg."
+        assert "mlp/CSI" in rows[0]
+
+    def test_mlp_generalizes_on_csi(self, table_iv):
+        # The paper's headline: non-linear model on CSI averages >= 90 %.
+        assert table_iv.average("mlp", FeatureSet.CSI) > 85.0
+
+    def test_unknown_model_rejected(self, day_split):
+        experiment = OccupancyExperiment(day_split, training=FAST)
+        with pytest.raises(ConfigurationError):
+            experiment.run(models=("svm",), feature_sets=(FeatureSet.ENV,))
+
+    def test_time_only_ablation_runs(self, day_split):
+        experiment = OccupancyExperiment(day_split, training=FAST, max_train_rows=3000)
+        acc = experiment.run_time_only()
+        assert 0.0 <= acc <= 100.0
+
+    def test_defaults_exported(self):
+        assert MODEL_NAMES == ("logistic", "random_forest", "mlp")
+        assert len(DEFAULT_FEATURE_SETS) == 3
+
+
+class TestRegressionExperiment:
+    @pytest.fixture(scope="class")
+    def table_v(self, day_split):
+        return RegressionExperiment(day_split, training=FAST, max_train_rows=4000).run()
+
+    def test_result_covers_both_models(self, table_v):
+        assert set(table_v.scores) == {"linear", "neural"}
+        assert len(table_v.scores["linear"]) == 5
+
+    def test_score_keys(self, table_v):
+        for fold_scores in table_v.scores["neural"]:
+            assert set(fold_scores) == {
+                "mae_temperature",
+                "mae_humidity",
+                "mape_temperature",
+                "mape_humidity",
+            }
+
+    def test_average(self, table_v):
+        avg = table_v.average("linear", "mae_temperature")
+        per_fold = [f["mae_temperature"] for f in table_v.scores["linear"]]
+        assert avg == pytest.approx(np.mean(per_fold))
+
+    def test_rows_layout(self, table_v):
+        rows = table_v.rows()
+        assert len(rows) == 6
+        assert "linear MAE (T/H)" in rows[0]
+        assert rows[-1]["fold"] == "Avg."
+
+    def test_errors_physically_plausible(self, table_v):
+        # Temperature MAE of even a weak model stays below 10 degC.
+        assert table_v.average("linear", "mae_temperature") < 10.0
+        assert table_v.average("neural", "mae_temperature") < 10.0

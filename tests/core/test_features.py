@@ -1,0 +1,55 @@
+"""Tests for the Table IV feature subsets."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSet, extract_features, feature_names
+
+
+class TestExtractFeatures:
+    def test_csi_width(self, smoke_dataset):
+        x = extract_features(smoke_dataset, FeatureSet.CSI)
+        assert x.shape == (len(smoke_dataset), 64)
+
+    def test_env_width(self, smoke_dataset):
+        x = extract_features(smoke_dataset, FeatureSet.ENV)
+        assert x.shape == (len(smoke_dataset), 2)
+        np.testing.assert_array_equal(x[:, 0], smoke_dataset.temperature_c)
+        np.testing.assert_array_equal(x[:, 1], smoke_dataset.humidity_rh)
+
+    def test_csi_env_width_66(self, smoke_dataset):
+        # The paper's full feature set F = S(x,t) u S(e,t) u S(h,t).
+        x = extract_features(smoke_dataset, FeatureSet.CSI_ENV)
+        assert x.shape == (len(smoke_dataset), 66)
+        np.testing.assert_array_equal(x[:, :64], smoke_dataset.csi)
+        np.testing.assert_array_equal(x[:, 64], smoke_dataset.temperature_c)
+
+    def test_time_feature_is_hour_of_day(self, smoke_dataset):
+        x = extract_features(smoke_dataset, FeatureSet.TIME, start_hour_of_day=8.0)
+        assert x.shape == (len(smoke_dataset), 1)
+        assert np.all((0 <= x) & (x < 24))
+        expected0 = (8.0 + smoke_dataset.timestamps_s[0] / 3600.0) % 24.0
+        assert x[0, 0] == pytest.approx(expected0)
+
+    def test_csi_copy_is_defensive(self, smoke_dataset):
+        x = extract_features(smoke_dataset, FeatureSet.CSI)
+        x[0, 0] = -99.0
+        assert smoke_dataset.csi[0, 0] != -99.0
+
+
+class TestFeatureNames:
+    def test_labels_match_table_iv(self):
+        assert FeatureSet.CSI.label == "CSI"
+        assert FeatureSet.ENV.label == "Env"
+        assert FeatureSet.CSI_ENV.label == "C+E"
+
+    def test_names_lengths(self):
+        assert len(feature_names(FeatureSet.CSI)) == 64
+        assert feature_names(FeatureSet.ENV) == ["e", "h"]
+        assert len(feature_names(FeatureSet.CSI_ENV)) == 66
+        assert feature_names(FeatureSet.CSI_ENV)[-2:] == ["e", "h"]
+        assert feature_names(FeatureSet.TIME) == ["hour_of_day"]
+
+    def test_subcarrier_naming(self):
+        names = feature_names(FeatureSet.CSI, n_subcarriers=4)
+        assert names == ["a0", "a1", "a2", "a3"]

@@ -1,0 +1,74 @@
+"""Tests for the paper's MLP architecture (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_zoo import (
+    PAPER_HIDDEN_SIZES,
+    build_paper_mlp,
+    paper_layer_parameter_counts,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn.modules import Linear, ReLU
+from repro.nn.tensor import Tensor
+
+
+class TestArchitecture:
+    def test_four_linear_layers(self):
+        model = build_paper_mlp(64)
+        linears = [m for m in model.layers if isinstance(m, Linear)]
+        assert len(linears) == 4
+        widths = [(l.in_features, l.out_features) for l in linears]
+        assert widths == [(64, 128), (128, 256), (256, 128), (128, 1)]
+
+    def test_relu_between_layers_not_after_output(self):
+        model = build_paper_mlp(64)
+        assert isinstance(model.layers[1], ReLU)
+        assert isinstance(model.layers[-1], Linear), "raw logit output"
+
+    def test_paper_per_layer_parameter_counts(self):
+        # Section IV-B lists 8.320 / 33.024 / 32.846 / 129 — the first,
+        # second and fourth match exactly; the third is a typo for 32,896
+        # (see DESIGN.md "Known paper discrepancies").
+        counts = paper_layer_parameter_counts(64)
+        assert counts == [8320, 33024, 32896, 129]
+
+    def test_total_parameter_count(self):
+        model = build_paper_mlp(64)
+        assert model.n_parameters() == sum(paper_layer_parameter_counts(64))
+        assert model.n_parameters() == 74369
+
+    def test_csi_env_input_width(self):
+        model = build_paper_mlp(66)
+        assert model.n_parameters() == sum(paper_layer_parameter_counts(66))
+
+    def test_forward_pass(self):
+        model = build_paper_mlp(64)
+        out = model(Tensor(np.zeros((7, 64))))
+        assert out.shape == (7, 1)
+
+    def test_multi_output_head(self):
+        model = build_paper_mlp(64, n_outputs=2)
+        assert model(Tensor(np.zeros((3, 64)))).shape == (3, 2)
+
+    def test_deterministic_in_seed(self):
+        a = build_paper_mlp(8, seed=3)
+        b = build_paper_mlp(8, seed=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 8)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_custom_hidden_sizes(self):
+        model = build_paper_mlp(10, hidden_sizes=(4, 4))
+        assert model.n_parameters() == (10 * 4 + 4) + (4 * 4 + 4) + (4 * 1 + 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_inputs": 0},
+        {"n_inputs": 4, "n_outputs": 0},
+        {"n_inputs": 4, "hidden_sizes": ()},
+    ])
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            build_paper_mlp(**kwargs)
+
+    def test_default_hidden_sizes_are_papers(self):
+        assert PAPER_HIDDEN_SIZES == (128, 256, 128)

@@ -1,0 +1,99 @@
+"""Tests for the multi-class MLP head."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.multiclass import MulticlassMLP
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.nn.losses import cross_entropy_loss, one_hot
+from repro.nn.tensor import Tensor
+
+
+FAST = TrainingConfig(epochs=15, hidden_sizes=(32, 32), batch_size=64)
+
+
+def ring_data(n=600, n_classes=3, seed=0):
+    """Classes separable by radius — non-linear, like CSI occupancy."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    radius = np.linalg.norm(x, axis=1)
+    edges = np.quantile(radius, np.linspace(0, 1, n_classes + 1)[1:-1])
+    labels = np.digitize(radius, edges)
+    return x, labels
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        targets = Tensor(one_hot(np.array([0, 1]), 2))
+        assert cross_entropy_loss(logits, targets).item() < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = Tensor(np.zeros((4, 3)))
+        targets = Tensor(one_hot(np.array([0, 1, 2, 0]), 3))
+        assert cross_entropy_loss(logits, targets).item() == pytest.approx(np.log(3))
+
+    def test_stable_for_huge_logits(self):
+        logits = Tensor(np.array([[1e4, 0.0]]))
+        targets = Tensor(one_hot(np.array([0]), 2))
+        assert cross_entropy_loss(logits, targets).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_flows(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        targets = Tensor(one_hot(np.array([0, 2]), 3))
+        cross_entropy_loss(logits, targets).backward()
+        assert logits.grad is not None
+        # Gradient rows sum to zero (softmax simplex constraint).
+        np.testing.assert_allclose(logits.grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ShapeError):
+            cross_entropy_loss(Tensor(np.zeros(3)), Tensor(np.zeros(3)))
+
+
+class TestMulticlassMLP:
+    def test_learns_ring_classes(self):
+        x, labels = ring_data()
+        model = MulticlassMLP(2, 3, FAST).fit(x, labels)
+        assert model.score(x, labels) > 0.85
+
+    def test_proba_rows_sum_to_one(self):
+        x, labels = ring_data()
+        model = MulticlassMLP(2, 3, FAST).fit(x, labels)
+        proba = model.predict_proba(x[:50])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(proba >= 0)
+
+    def test_predictions_in_class_range(self):
+        x, labels = ring_data()
+        model = MulticlassMLP(2, 3, FAST).fit(x, labels)
+        predictions = model.predict(x[:50])
+        assert predictions.min() >= 0 and predictions.max() < 3
+
+    def test_binary_occupancy_score(self):
+        x, labels = ring_data()
+        model = MulticlassMLP(2, 3, FAST).fit(x, labels)
+        occupancy = (labels > 0).astype(int)
+        score = model.binary_occupancy_score(x, occupancy)
+        assert score > 0.85
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MulticlassMLP(2, 3, FAST).predict(np.ones((2, 2)))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ConfigurationError):
+            MulticlassMLP(2, 1, FAST)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ShapeError):
+            MulticlassMLP(2, 3, FAST).fit(np.ones((5, 3)), np.zeros(5, dtype=int))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ShapeError):
+            MulticlassMLP(2, 3, FAST).fit(np.ones((5, 2)), np.full(5, 7))

@@ -1,0 +1,72 @@
+"""Tests for the EnvironmentRegressor (Section V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.regressor import EnvironmentRegressor, TARGET_NAMES
+from repro.exceptions import NotFittedError, ShapeError
+
+
+FAST = TrainingConfig(epochs=5, hidden_sizes=(32, 32), batch_size=128)
+
+
+@pytest.fixture(scope="module")
+def trained(day_dataset):
+    x = day_dataset.csi
+    y = np.column_stack([day_dataset.temperature_c, day_dataset.humidity_rh])
+    model = EnvironmentRegressor(64, FAST).fit(x, y)
+    return model, x, y
+
+
+class TestFitPredict:
+    def test_outputs_in_physical_units(self, trained):
+        model, x, y = trained
+        pred = model.predict(x[:200])
+        assert pred.shape == (200, 2)
+        # Temperatures in degC, humidity in %RH — physical ranges.
+        assert 10 < pred[:, 0].mean() < 30
+        assert 10 < pred[:, 1].mean() < 70
+
+    def test_beats_constant_predictor(self, trained):
+        model, x, y = trained
+        pred = model.predict(x)
+        mae_model = np.abs(pred[:, 0] - y[:, 0]).mean()
+        mae_mean = np.abs(y[:, 0].mean() - y[:, 0]).mean()
+        assert mae_model < mae_mean
+
+    def test_score_returns_table_v_keys(self, trained):
+        model, x, y = trained
+        scores = model.score(x[:500], y[:500])
+        assert set(scores) == {
+            "mae_temperature",
+            "mae_humidity",
+            "mape_temperature",
+            "mape_humidity",
+        }
+        assert all(v >= 0 for v in scores.values())
+
+    def test_mape_reported_in_percent(self, trained):
+        model, x, y = trained
+        scores = model.score(x[:500], y[:500])
+        # A degC-scale MAE around ~20 degC targets implies MAPE of a few
+        # percent — the x100 convention of Table V.
+        ratio = scores["mape_temperature"] / (
+            scores["mae_temperature"] / np.mean(y[:500, 0]) + 1e-12
+        )
+        assert 50 < ratio < 200
+
+    def test_target_names_order(self):
+        assert TARGET_NAMES == ("temperature", "humidity")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EnvironmentRegressor(4, FAST).predict(np.ones((2, 4)))
+
+    def test_rejects_wrong_target_shape(self):
+        with pytest.raises(ShapeError):
+            EnvironmentRegressor(4, FAST).fit(np.ones((10, 4)), np.ones((10, 3)))
+
+    def test_rejects_wrong_feature_width(self):
+        with pytest.raises(ShapeError):
+            EnvironmentRegressor(4, FAST).fit(np.ones((10, 5)), np.ones((10, 2)))

@@ -1,0 +1,63 @@
+"""Tests for the Table IV / Table V result containers (pure logic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import TableIVResult, TableVResult
+from repro.core.features import FeatureSet
+
+
+class TestTableIVResult:
+    def make(self) -> TableIVResult:
+        result = TableIVResult(fold_indices=[1, 2, 3])
+        result.record("mlp", FeatureSet.CSI, [90.0, 95.0, 100.0])
+        result.record("mlp", FeatureSet.ENV, [50.0, 60.0, 70.0])
+        result.record("logistic", FeatureSet.CSI, [80.0, 80.0, 80.0])
+        return result
+
+    def test_average(self):
+        result = self.make()
+        assert result.average("mlp", FeatureSet.CSI) == pytest.approx(95.0)
+        assert result.average("logistic", FeatureSet.CSI) == pytest.approx(80.0)
+
+    def test_rows_have_fold_plus_average(self):
+        rows = self.make().rows()
+        assert len(rows) == 4
+        assert [r["fold"] for r in rows] == [1, 2, 3, "Avg."]
+
+    def test_rows_column_naming(self):
+        rows = self.make().rows()
+        assert rows[0]["mlp/CSI"] == 90.0
+        assert rows[-1]["mlp/Env"] == pytest.approx(60.0)
+
+    def test_missing_cells_left_blank(self):
+        # logistic/Env was never recorded; rows() must not crash.
+        rows = self.make().rows()
+        assert "logistic/Env" not in rows[0]
+
+
+class TestTableVResult:
+    def make(self) -> TableVResult:
+        result = TableVResult(fold_indices=[1, 2])
+        result.scores["linear"] = [
+            {"mae_temperature": 2.0, "mae_humidity": 4.0,
+             "mape_temperature": 10.0, "mape_humidity": 12.0},
+            {"mae_temperature": 4.0, "mae_humidity": 6.0,
+             "mape_temperature": 20.0, "mape_humidity": 18.0},
+        ]
+        return result
+
+    def test_average(self):
+        result = self.make()
+        assert result.average("linear", "mae_temperature") == pytest.approx(3.0)
+        assert result.average("linear", "mape_humidity") == pytest.approx(15.0)
+
+    def test_rows_format_pairs(self):
+        rows = self.make().rows()
+        assert rows[0]["linear MAE (T/H)"] == "2.00/4.00"
+        assert rows[-1]["fold"] == "Avg."
+        assert rows[-1]["linear MAE (T/H)"] == "3.00/5.00"
+
+    def test_rows_mape_column(self):
+        rows = self.make().rows()
+        assert rows[1]["linear MAPE (T/H)"] == "20.00/18.00"

@@ -1,0 +1,65 @@
+"""Tests for the unsupervised variance-threshold detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.unsupervised import VarianceThresholdDetector
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def calibrated(day_dataset):
+    """Detector calibrated on the campaign's first empty stretch."""
+    occ = day_dataset.occupancy
+    empty_idx = np.flatnonzero(occ == 0)
+    reference = day_dataset.csi[empty_idx[:800]]
+    detector = VarianceThresholdDetector(window=8)
+    detector.fit_reference(reference)
+    return detector
+
+
+class TestVarianceThresholdDetector:
+    def test_beats_majority_without_labels(self, calibrated, day_dataset):
+        accuracy = calibrated.score(day_dataset.csi, day_dataset.occupancy)
+        majority = max(
+            day_dataset.class_balance()["empty"], day_dataset.class_balance()["occupied"]
+        )
+        assert accuracy > majority - 0.05
+
+    def test_statistic_higher_when_occupied(self, calibrated, day_dataset):
+        statistic = calibrated.decision_statistic(day_dataset.csi)
+        occ = day_dataset.occupancy
+        assert statistic[occ == 1].mean() > statistic[occ == 0].mean()
+
+    def test_empty_reference_mostly_below_threshold(self, calibrated, day_dataset):
+        occ = day_dataset.occupancy
+        empty_idx = np.flatnonzero(occ == 0)
+        predictions = calibrated.predict(day_dataset.csi[empty_idx[:800]])
+        assert predictions.mean() < 0.10
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            VarianceThresholdDetector().predict(np.ones((20, 4)))
+
+    def test_shape_validation(self, calibrated):
+        with pytest.raises(ShapeError):
+            calibrated.predict(np.ones(30))
+        with pytest.raises(ShapeError):
+            calibrated.predict(np.ones((3, 4)))  # shorter than window
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"window": 1}, {"quantile": 0.0}, {"quantile": 1.0}, {"margin": 0.0}],
+    )
+    def test_construction_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            VarianceThresholdDetector(**kwargs)
+
+    def test_synthetic_separation(self):
+        # Quiet stream vs jittering stream: threshold must separate them.
+        rng = np.random.default_rng(0)
+        quiet = 1.0 + 0.01 * rng.normal(size=(400, 8))
+        busy = 1.0 + 0.2 * rng.normal(size=(400, 8))
+        detector = VarianceThresholdDetector(window=10).fit_reference(quiet)
+        assert detector.predict(busy).mean() > 0.9
+        assert detector.predict(quiet).mean() < 0.1

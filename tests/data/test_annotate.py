@@ -1,0 +1,99 @@
+"""Tests for the semi-automatic annotator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.annotate import AnnotationEvent, IntervalAnnotator, inject_label_noise
+from repro.exceptions import DatasetError
+
+
+class TestIntervalAnnotator:
+    def test_expands_events_to_dense_labels(self):
+        annotator = IntervalAnnotator(initial_occupied=False)
+        annotator.mark(10.0, True)
+        annotator.mark(20.0, False)
+        t = np.arange(0.0, 30.0, 5.0)
+        labels = annotator.labels(t)
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1, 0, 0])
+
+    def test_initial_state_used_before_first_event(self):
+        annotator = IntervalAnnotator(initial_occupied=True)
+        annotator.mark(100.0, False)
+        labels = annotator.labels(np.array([0.0, 50.0, 150.0]))
+        np.testing.assert_array_equal(labels, [1, 1, 0])
+
+    def test_no_events_gives_constant(self):
+        annotator = IntervalAnnotator(initial_occupied=False)
+        labels = annotator.labels(np.arange(5.0))
+        np.testing.assert_array_equal(labels, 0)
+
+    def test_out_of_order_marking_sorted(self):
+        annotator = IntervalAnnotator()
+        annotator.mark(20.0, False)
+        annotator.mark(10.0, True)
+        assert [e.t_s for e in annotator.events] == [10.0, 20.0]
+
+    def test_event_at_exact_timestamp_applies(self):
+        annotator = IntervalAnnotator()
+        annotator.mark(5.0, True)
+        labels = annotator.labels(np.array([5.0]))
+        assert labels[0] == 1
+
+
+class TestFromDense:
+    def test_round_trip(self):
+        t = np.arange(100.0)
+        labels = np.zeros(100, dtype=int)
+        labels[30:60] = 1
+        labels[80:] = 1
+        annotator = IntervalAnnotator.from_dense(t, labels)
+        np.testing.assert_array_equal(annotator.labels(t), labels)
+
+    def test_compression_is_sparse(self):
+        # A 74-hour campaign has millions of rows but few transitions —
+        # the whole point of the paper's semi-automatic tool.
+        t = np.arange(10_000.0)
+        labels = (t // 2500).astype(int) % 2
+        annotator = IntervalAnnotator.from_dense(t, labels)
+        assert annotator.n_events() <= 4
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(DatasetError):
+            IntervalAnnotator.from_dense(np.arange(5.0), np.zeros(4, dtype=int))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(DatasetError):
+            IntervalAnnotator.from_dense(np.arange(3.0), np.array([0, 1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            IntervalAnnotator.from_dense(np.array([]), np.array([], dtype=int))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=200))
+    def test_property_round_trip(self, raw):
+        labels = np.array(raw, dtype=int)
+        t = np.arange(len(labels), dtype=float)
+        annotator = IntervalAnnotator.from_dense(t, labels)
+        np.testing.assert_array_equal(annotator.labels(t), labels)
+
+
+class TestLabelNoise:
+    def test_flips_exact_fraction(self, rng):
+        labels = np.zeros(1000, dtype=int)
+        noisy = inject_label_noise(labels, 0.1, rng)
+        assert np.count_nonzero(noisy != labels) == 100
+
+    def test_zero_fraction_is_identity(self, rng):
+        labels = np.ones(50, dtype=int)
+        np.testing.assert_array_equal(inject_label_noise(labels, 0.0, rng), labels)
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(DatasetError):
+            inject_label_noise(np.zeros(5, dtype=int), 1.5, rng)
+
+    def test_does_not_mutate_input(self, rng):
+        labels = np.zeros(100, dtype=int)
+        inject_label_noise(labels, 0.5, rng)
+        assert labels.sum() == 0

@@ -1,0 +1,166 @@
+"""Tests for the OccupancyDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import OccupancyDataset
+from repro.exceptions import DatasetError, ShapeError
+
+
+def make_dataset(n=10, d=4, seed=0, with_count=True) -> OccupancyDataset:
+    rng = np.random.default_rng(seed)
+    count = rng.integers(0, 3, n) if with_count else None
+    occ = (count > 0).astype(int) if with_count else rng.integers(0, 2, n)
+    return OccupancyDataset(
+        np.arange(n, dtype=float),
+        rng.uniform(0, 1, (n, d)),
+        rng.uniform(18, 24, n),
+        rng.uniform(20, 50, n),
+        occ,
+        count,
+    )
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        ds = make_dataset(n=20, d=8)
+        assert len(ds) == 20
+        assert ds.n_subcarriers == 8
+        assert ds.csi.shape == (20, 8)
+        assert ds.environment.shape == (20, 2)
+
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset(
+                np.array([1.0, 0.0]),
+                np.ones((2, 4)),
+                np.full(2, 21.0),
+                np.full(2, 40.0),
+                np.zeros(2, dtype=int),
+            )
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset(
+                np.arange(2.0), np.ones((2, 4)), np.full(2, 21.0),
+                np.full(2, 40.0), np.array([0, 2]),
+            )
+
+    def test_rejects_negative_csi(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset(
+                np.arange(2.0), -np.ones((2, 4)), np.full(2, 21.0),
+                np.full(2, 40.0), np.zeros(2, dtype=int),
+            )
+
+    def test_rejects_humidity_out_of_range(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset(
+                np.arange(2.0), np.ones((2, 4)), np.full(2, 21.0),
+                np.full(2, 200.0), np.zeros(2, dtype=int),
+            )
+
+    def test_rejects_count_label_disagreement(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset(
+                np.arange(2.0), np.ones((2, 4)), np.full(2, 21.0),
+                np.full(2, 40.0), np.array([0, 0]), np.array([0, 2]),
+            )
+
+    def test_rejects_shape_mismatches(self):
+        with pytest.raises(ShapeError):
+            OccupancyDataset(
+                np.arange(3.0), np.ones((2, 4)), np.full(2, 21.0),
+                np.full(2, 40.0), np.zeros(2, dtype=int),
+            )
+
+
+class TestSelection:
+    def test_window_half_open(self):
+        ds = make_dataset(n=10)
+        w = ds.window(2.0, 5.0)
+        assert len(w) == 3
+        assert w.timestamps_s[0] == 2.0
+
+    def test_window_empty_raises(self):
+        with pytest.raises(DatasetError):
+            make_dataset().window(100.0, 200.0)
+
+    def test_select_by_mask(self):
+        ds = make_dataset(n=10)
+        sub = ds.select(ds.occupancy == ds.occupancy)  # all-true mask
+        assert len(sub) == 10
+
+    def test_select_preserves_counts(self):
+        ds = make_dataset(n=10)
+        sub = ds.select(np.arange(0, 10, 2))
+        assert sub.occupant_count is not None
+        assert len(sub) == 5
+
+    def test_select_rejects_reordering(self):
+        ds = make_dataset(n=10)
+        with pytest.raises(DatasetError):
+            ds.select(np.array([3, 1]))
+
+    def test_select_empty_raises(self):
+        ds = make_dataset(n=10)
+        with pytest.raises(DatasetError):
+            ds.select(np.zeros(10, dtype=bool))
+
+
+class TestConcatenate:
+    def test_stacks_in_order(self):
+        a = make_dataset(n=5, seed=1)
+        b = OccupancyDataset(
+            a.timestamps_s + 100.0, a.csi, a.temperature_c, a.humidity_rh,
+            a.occupancy, a.occupant_count,
+        )
+        merged = OccupancyDataset.concatenate([a, b])
+        assert len(merged) == 10
+        assert merged.occupant_count is not None
+
+    def test_drops_counts_if_any_missing(self):
+        a = make_dataset(n=5, seed=1)
+        b = make_dataset(n=5, seed=2, with_count=False)
+        b = OccupancyDataset(
+            b.timestamps_s + 100.0, b.csi, b.temperature_c, b.humidity_rh, b.occupancy
+        )
+        merged = OccupancyDataset.concatenate([a, b])
+        assert merged.occupant_count is None
+
+    def test_rejects_mixed_widths(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset.concatenate([make_dataset(d=4), make_dataset(d=8)])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(DatasetError):
+            OccupancyDataset.concatenate([])
+
+
+class TestStatistics:
+    def test_class_balance_sums_to_one(self):
+        balance = make_dataset(n=50).class_balance()
+        assert balance["empty"] + balance["occupied"] == pytest.approx(1.0)
+
+    def test_count_histogram(self):
+        ds = make_dataset(n=100)
+        hist = ds.count_histogram()
+        assert sum(hist.values()) == 100
+
+    def test_count_histogram_requires_counts(self):
+        ds = make_dataset(n=10, with_count=False)
+        with pytest.raises(DatasetError):
+            ds.count_histogram()
+
+    def test_duration(self):
+        assert make_dataset(n=10).duration_s() == 9.0
+
+    def test_matrix_round_trip(self):
+        ds = make_dataset(n=12, d=6)
+        back = OccupancyDataset.from_matrix(ds.to_matrix(), 6)
+        np.testing.assert_allclose(back.csi, ds.csi)
+        np.testing.assert_array_equal(back.occupancy, ds.occupancy)
+
+    def test_from_matrix_validates_width(self):
+        with pytest.raises(ShapeError):
+            OccupancyDataset.from_matrix(np.ones((3, 10)), 64)

@@ -1,0 +1,128 @@
+"""Tests for the Table III temporal fold split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import OccupancyDataset
+from repro.data.folds import Fold, FoldSplit, make_paper_folds
+from repro.exceptions import DatasetError
+
+
+def make_dataset(n=1000, seed=0) -> OccupancyDataset:
+    rng = np.random.default_rng(seed)
+    count = rng.integers(0, 3, n)
+    return OccupancyDataset(
+        np.arange(n, dtype=float) * 10.0,
+        rng.uniform(0, 1, (n, 4)),
+        rng.uniform(18, 24, n),
+        rng.uniform(20, 50, n),
+        (count > 0).astype(int),
+        count,
+    )
+
+
+class TestMakePaperFolds:
+    def test_train_plus_five_tests(self):
+        split = make_paper_folds(make_dataset())
+        assert split.train.index == 0
+        assert [f.index for f in split.tests] == [1, 2, 3, 4, 5]
+
+    def test_partition_is_complete_and_disjoint(self):
+        ds = make_dataset()
+        split = make_paper_folds(ds)
+        total = sum(len(f.data) for f in split.all_folds)
+        assert total == len(ds)
+        # Timestamps never overlap between folds.
+        boundaries = [(f.start_s, f.end_s) for f in split.all_folds]
+        for (s1, e1), (s2, e2) in zip(boundaries, boundaries[1:]):
+            assert e1 == pytest.approx(s2)
+
+    def test_temporal_order(self):
+        split = make_paper_folds(make_dataset())
+        last_train_t = split.train.data.timestamps_s[-1]
+        first_test_t = split.tests[0].data.timestamps_s[0]
+        assert last_train_t < first_test_t
+
+    def test_train_fraction_respected(self):
+        ds = make_dataset()
+        split = make_paper_folds(ds, train_fraction=0.7)
+        assert len(split.train.data) == pytest.approx(0.7 * len(ds), rel=0.02)
+
+    def test_test_folds_equal_duration(self):
+        split = make_paper_folds(make_dataset())
+        durations = [f.end_s - f.start_s for f in split.tests]
+        assert max(durations) - min(durations) < durations[0] * 0.01
+
+    def test_custom_fold_count(self):
+        split = make_paper_folds(make_dataset(), n_test_folds=3)
+        assert len(split.tests) == 3
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            make_paper_folds(make_dataset(), train_fraction=1.5)
+
+    def test_rejects_tiny_dataset(self):
+        with pytest.raises(DatasetError):
+            make_paper_folds(make_dataset(n=5))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.3, 0.9), st.integers(1, 8))
+    def test_property_partition_invariants(self, fraction, k):
+        ds = make_dataset(n=500, seed=1)
+        split = make_paper_folds(ds, train_fraction=fraction, n_test_folds=k)
+        assert sum(len(f.data) for f in split.all_folds) == len(ds)
+        assert len(split.tests) == k
+
+
+class TestFoldBookkeeping:
+    def test_describe_matches_table_iii_columns(self):
+        split = make_paper_folds(make_dataset())
+        row = split.tests[0].describe()
+        assert set(row) == {"fold", "role", "start_h", "end_h", "empty", "occupied", "T", "H"}
+
+    def test_counts_sum_to_rows(self):
+        split = make_paper_folds(make_dataset())
+        for fold in split.all_folds:
+            assert fold.n_empty + fold.n_occupied == len(fold.data)
+
+    def test_ranges_bound_the_data(self):
+        fold = make_paper_folds(make_dataset()).train
+        t_lo, t_hi = fold.temperature_range()
+        assert t_lo <= fold.data.temperature_c.min()
+        assert t_hi >= fold.data.temperature_c.max()
+
+    def test_table_iii_has_one_row_per_fold(self):
+        split = make_paper_folds(make_dataset())
+        assert len(split.table_iii()) == 6
+
+    def test_fold_role_validation(self):
+        ds = make_dataset(n=20)
+        with pytest.raises(DatasetError):
+            Fold(0, "validation", ds, 0.0, 10.0)
+
+    def test_fold_span_validation(self):
+        ds = make_dataset(n=20)
+        with pytest.raises(DatasetError):
+            Fold(0, "train", ds, 10.0, 10.0)
+
+    def test_split_numbering_validation(self):
+        ds = make_dataset(n=100)
+        train = Fold(0, "train", ds, 0.0, 10.0)
+        bad_test = Fold(3, "test", ds, 10.0, 20.0)
+        with pytest.raises(DatasetError):
+            FoldSplit(train=train, tests=(bad_test,))
+
+
+class TestPaperStructure:
+    def test_smoke_campaign_folds(self, smoke_split):
+        # The recorded campaign must split cleanly.
+        assert len(smoke_split.tests) == 5
+        for fold in smoke_split.tests:
+            assert len(fold.data) > 0
+
+    def test_day_campaign_has_empty_night_fold(self, day_split):
+        # A 30 h campaign starting 15:08 puts at least one all-empty night
+        # window in the test region, mirroring Table III folds 2-3.
+        empty_folds = [f for f in day_split.tests if f.n_occupied == 0]
+        assert empty_folds, "expected an all-empty night fold"

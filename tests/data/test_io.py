@@ -1,0 +1,97 @@
+"""Tests for dataset persistence (NPZ and Table I CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import OccupancyDataset
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.exceptions import DatasetError, SerializationError
+
+
+def make_dataset(n=20, d=8, seed=0) -> OccupancyDataset:
+    rng = np.random.default_rng(seed)
+    count = rng.integers(0, 3, n)
+    return OccupancyDataset(
+        np.arange(n, dtype=float) * 0.05,
+        rng.uniform(0, 1, (n, d)).round(6),
+        rng.uniform(18, 24, n).round(2),
+        np.round(rng.uniform(20, 50, n)),
+        (count > 0).astype(int),
+        count,
+    )
+
+
+class TestNpz:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        ds = make_dataset()
+        path = save_npz(ds, tmp_path / "data.npz")
+        back = load_npz(path)
+        np.testing.assert_allclose(back.csi, ds.csi)
+        np.testing.assert_allclose(back.timestamps_s, ds.timestamps_s)
+        np.testing.assert_array_equal(back.occupancy, ds.occupancy)
+        np.testing.assert_array_equal(back.occupant_count, ds.occupant_count)
+
+    def test_round_trip_without_counts(self, tmp_path):
+        ds = make_dataset()
+        stripped = OccupancyDataset(
+            ds.timestamps_s, ds.csi, ds.temperature_c, ds.humidity_rh, ds.occupancy
+        )
+        back = load_npz(save_npz(stripped, tmp_path / "d.npz"))
+        assert back.occupant_count is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_incomplete_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, csi=np.ones((2, 4)))
+        with pytest.raises(SerializationError):
+            load_npz(path)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        ds = make_dataset()
+        path = save_csv(ds, tmp_path / "data.csv")
+        back = load_csv(path)
+        assert len(back) == len(ds)
+        assert back.n_subcarriers == ds.n_subcarriers
+        np.testing.assert_allclose(back.csi, ds.csi, atol=1e-5)
+        np.testing.assert_array_equal(back.occupancy, ds.occupancy)
+
+    def test_header_matches_table_i(self, tmp_path):
+        ds = make_dataset(d=4)
+        path = save_csv(ds, tmp_path / "data.csv")
+        header = path.read_text().splitlines()[0].split(",")
+        assert header == ["timestamp", "a0", "a1", "a2", "a3",
+                          "temperature", "humidity", "occupancy"]
+
+    def test_csv_drops_latent_counts(self, tmp_path):
+        # Table I has no occupant-count column; CSV is the paper's format.
+        ds = make_dataset()
+        back = load_csv(save_csv(ds, tmp_path / "d.csv"))
+        assert back.occupant_count is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_rejects_foreign_header(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text("time,x,y\n1,2,3\n")
+        with pytest.raises(SerializationError):
+            load_csv(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            load_csv(path)
+
+    def test_rejects_header_only(self, tmp_path):
+        ds = make_dataset(d=2)
+        path = save_csv(ds, tmp_path / "h.csv")
+        path.write_text(path.read_text().splitlines()[0] + "\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)

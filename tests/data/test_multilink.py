@@ -1,0 +1,62 @@
+"""Tests for the multi-receiver (multi-link) recording extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import CampaignConfig, RoomConfig
+from repro.data.recording import CollectionCampaign
+from repro.exceptions import ConfigurationError
+
+
+TWO_LINK_ROOM = RoomConfig(extra_rx_positions=((10.0, 5.0, 1.4),))
+
+
+@pytest.fixture(scope="module")
+def two_link_dataset():
+    config = CampaignConfig(
+        duration_h=2.0, sample_rate_hz=0.3, seed=21, room=TWO_LINK_ROOM
+    )
+    return CollectionCampaign(config).run()
+
+
+class TestMultiLink:
+    def test_row_width_scales_with_links(self, two_link_dataset):
+        assert two_link_dataset.csi.shape[1] == 128
+
+    def test_n_links_property(self):
+        config = CampaignConfig(duration_h=1.0, sample_rate_hz=0.3, room=TWO_LINK_ROOM)
+        assert CollectionCampaign(config).n_links == 2
+
+    def test_links_see_different_channels(self, two_link_dataset):
+        link_a = two_link_dataset.csi[:, :64]
+        link_b = two_link_dataset.csi[:, 64:]
+        assert not np.allclose(link_a, link_b)
+
+    def test_both_links_respond_to_occupancy(self, two_link_dataset):
+        occ = two_link_dataset.occupancy
+        if occ.min() == occ.max():
+            pytest.skip("campaign draw contains a single class")
+        for start in (0, 64):
+            block = two_link_dataset.csi[:, start + 6 : start + 59]
+            empty_mean = block[occ == 0].mean(axis=0)
+            occupied_mean = block[occ == 1].mean(axis=0)
+            assert np.abs(empty_mean - occupied_mean).max() > 1e-3
+
+    def test_guard_bins_per_link(self, two_link_dataset):
+        # Each link carries its own guard-bin floor columns.
+        for guard in (0, 32, 63, 64, 96, 127):
+            assert two_link_dataset.csi[:, guard].std() == 0.0
+
+    def test_extra_rx_outside_room_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoomConfig(extra_rx_positions=((99.0, 0.0, 0.0),))
+
+    def test_all_rx_positions_order(self):
+        room = TWO_LINK_ROOM
+        assert room.all_rx_positions[0] == room.rx_position
+        assert room.all_rx_positions[1] == (10.0, 5.0, 1.4)
+
+    def test_default_single_link_unchanged(self):
+        config = CampaignConfig(duration_h=1.0, sample_rate_hz=0.3, seed=3)
+        dataset = CollectionCampaign(config).run()
+        assert dataset.csi.shape[1] == 64

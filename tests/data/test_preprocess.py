@@ -1,0 +1,153 @@
+"""Tests for the CSI preprocessing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.preprocess import (
+    WindowFeatureExtractor,
+    hampel_filter,
+    moving_average,
+    select_subcarriers,
+)
+from repro.exceptions import DatasetError, ShapeError
+
+
+class TestHampelFilter:
+    def test_removes_spike(self):
+        series = np.zeros(50)
+        series[20] = 100.0
+        cleaned, mask = hampel_filter(series)
+        assert cleaned[20] == pytest.approx(0.0)
+        assert mask[20]
+        assert mask.sum() == 1
+
+    def test_preserves_clean_signal(self):
+        rng = np.random.default_rng(0)
+        series = np.sin(np.linspace(0, 4 * np.pi, 200)) + 0.01 * rng.normal(size=200)
+        cleaned, mask = hampel_filter(series)
+        assert mask.sum() < 10
+        np.testing.assert_allclose(cleaned[~mask], series[~mask])
+
+    def test_2d_operates_per_column(self):
+        block = np.zeros((50, 3))
+        block[10, 1] = 50.0
+        cleaned, mask = hampel_filter(block)
+        assert mask[10, 1]
+        assert not mask[:, 0].any()
+        assert not mask[:, 2].any()
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ShapeError):
+            hampel_filter(np.zeros(20), window=4)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ShapeError):
+            hampel_filter(np.zeros(3), window=7)
+
+    @settings(max_examples=25)
+    @given(arrays(np.float64, 40, elements=st.floats(-100, 100)))
+    def test_property_output_bounded_by_input_range(self, series):
+        # Replacement values are local medians, so the cleaned series can
+        # never exceed the original's range, and untouched rows are exact.
+        cleaned, mask = hampel_filter(series)
+        assert cleaned.min() >= series.min() - 1e-12
+        assert cleaned.max() <= series.max() + 1e-12
+        np.testing.assert_array_equal(cleaned[~mask], series[~mask])
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        np.testing.assert_allclose(moving_average(np.full(20, 3.0), 5), 3.0)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.normal(size=500)
+        smooth = moving_average(noisy, 9)
+        assert smooth.std() < noisy.std() / 2
+
+    def test_window_one_is_identity(self):
+        x = np.random.default_rng(0).normal(size=30)
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_2d_columns_independent(self):
+        block = np.column_stack([np.zeros(30), np.ones(30)])
+        out = moving_average(block, 5)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+        np.testing.assert_allclose(out[:, 1], 1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ShapeError):
+            moving_average(np.zeros(10), 0)
+
+
+class TestSelectSubcarriers:
+    def test_drop_guards_keeps_data_bins(self):
+        csi = np.random.default_rng(0).uniform(0, 1, (20, 64))
+        selected, idx = select_subcarriers(csi)
+        assert selected.shape == (20, 52)  # 64 - 6 - 5 - 1
+        assert 0 not in idx and 32 not in idx and 63 not in idx
+
+    def test_band_selection(self):
+        csi = np.random.default_rng(0).uniform(0, 1, (10, 64))
+        selected, idx = select_subcarriers(csi, drop_guards=False, band=(8, 16))
+        assert selected.shape == (10, 8)
+        np.testing.assert_array_equal(idx, np.arange(8, 16))
+
+    def test_band_intersects_guards(self):
+        csi = np.random.default_rng(0).uniform(0, 1, (10, 64))
+        selected, idx = select_subcarriers(csi, drop_guards=True, band=(0, 8))
+        np.testing.assert_array_equal(idx, np.arange(6, 8))
+
+    def test_empty_selection_raises(self):
+        csi = np.ones((5, 64))
+        with pytest.raises(DatasetError):
+            select_subcarriers(csi, drop_guards=True, band=(0, 3))
+
+    def test_bad_band(self):
+        with pytest.raises(ShapeError):
+            select_subcarriers(np.ones((5, 64)), band=(10, 5))
+
+    def test_wrong_width(self):
+        with pytest.raises(ShapeError):
+            select_subcarriers(np.ones((5, 32)))
+
+
+class TestWindowFeatureExtractor:
+    def test_feature_count(self):
+        extractor = WindowFeatureExtractor(window=10, stats=("mean", "std", "range"))
+        assert extractor.n_features(64) == 3 * 64
+
+    def test_transform_shapes(self, smoke_dataset):
+        extractor = WindowFeatureExtractor(window=8)
+        x, y, t = extractor.transform(smoke_dataset)
+        assert x.shape == (len(smoke_dataset) // 8, 2 * 64)
+        assert y.shape == t.shape == (x.shape[0],)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_window_statistics_correct(self, smoke_dataset):
+        extractor = WindowFeatureExtractor(window=5, stats=("mean",))
+        x, _, _ = extractor.transform(smoke_dataset)
+        expected = smoke_dataset.csi[:5].mean(axis=0)
+        np.testing.assert_allclose(x[0], expected)
+
+    def test_timestamps_are_window_ends(self, smoke_dataset):
+        extractor = WindowFeatureExtractor(window=4)
+        _, _, t = extractor.transform(smoke_dataset)
+        assert t[0] == smoke_dataset.timestamps_s[3]
+        assert np.all(np.diff(t) > 0)
+
+    def test_rejects_unknown_stat(self):
+        with pytest.raises(ShapeError):
+            WindowFeatureExtractor(stats=("kurtosis",))
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ShapeError):
+            WindowFeatureExtractor(window=1)
+
+    def test_rejects_short_dataset(self, smoke_dataset):
+        extractor = WindowFeatureExtractor(window=10)
+        tiny = smoke_dataset.select(np.arange(5))
+        with pytest.raises(DatasetError):
+            extractor.transform(tiny)

@@ -1,0 +1,88 @@
+"""Tests for the campaign recorder (the full acquisition chain)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.sniffer import SnifferConfig
+from repro.config import CampaignConfig
+from repro.data.recording import CollectionCampaign
+from repro.exceptions import DatasetError
+
+
+class TestRun:
+    def test_row_count_matches_config(self, smoke_config, smoke_dataset):
+        assert len(smoke_dataset) == smoke_config.n_samples
+
+    def test_schema_shape(self, smoke_dataset):
+        assert smoke_dataset.n_subcarriers == 64
+        assert smoke_dataset.occupant_count is not None
+
+    def test_timestamps_uniform(self, smoke_config, smoke_dataset):
+        dt = np.diff(smoke_dataset.timestamps_s)
+        np.testing.assert_allclose(dt, 1.0 / smoke_config.sample_rate_hz, rtol=1e-9)
+
+    def test_labels_match_counts(self, smoke_dataset):
+        np.testing.assert_array_equal(
+            smoke_dataset.occupancy, (smoke_dataset.occupant_count > 0).astype(int)
+        )
+
+    def test_environment_in_physical_range(self, smoke_dataset):
+        assert smoke_dataset.temperature_c.min() > 5.0
+        assert smoke_dataset.temperature_c.max() < 35.0
+        assert smoke_dataset.humidity_rh.min() >= 0.0
+        assert smoke_dataset.humidity_rh.max() <= 100.0
+
+    def test_humidity_integer_resolution(self, smoke_dataset):
+        # The Thingy reports whole %RH (Table I).
+        np.testing.assert_allclose(
+            smoke_dataset.humidity_rh, np.round(smoke_dataset.humidity_rh)
+        )
+
+    def test_csi_non_negative(self, smoke_dataset):
+        assert np.all(smoke_dataset.csi >= 0)
+
+    def test_guard_bins_constant(self, smoke_dataset):
+        # Guard bins carry only the deterministic leakage floor.
+        assert smoke_dataset.csi[:, 0].std() == 0.0
+        assert smoke_dataset.csi[:, 63].std() == 0.0
+
+    def test_occupied_frames_more_variable_than_empty(self, smoke_dataset):
+        # Motion jitter: per-frame differences are larger while occupied —
+        # the temporal signature WiFi sensing relies on.
+        occ = smoke_dataset.occupancy
+        # Subcarrier 20 is a data bin (32 is the DC guard, which is constant).
+        diffs = np.abs(np.diff(smoke_dataset.csi[:, 20]))
+        both_occ = (occ[1:] == 1) & (occ[:-1] == 1)
+        both_empty = (occ[1:] == 0) & (occ[:-1] == 0)
+        if both_occ.sum() > 10 and both_empty.sum() > 10:
+            assert diffs[both_occ].mean() > diffs[both_empty].mean()
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = CampaignConfig(duration_h=1.0, sample_rate_hz=0.2, seed=5)
+        a = CollectionCampaign(config).run()
+        b = CollectionCampaign(config).run()
+        np.testing.assert_array_equal(a.csi, b.csi)
+        np.testing.assert_array_equal(a.occupancy, b.occupancy)
+
+    def test_different_seed_different_dataset(self):
+        a = CollectionCampaign(CampaignConfig(duration_h=1.0, sample_rate_hz=0.2, seed=5)).run()
+        b = CollectionCampaign(CampaignConfig(duration_h=1.0, sample_rate_hz=0.2, seed=6)).run()
+        assert not np.allclose(a.csi, b.csi)
+
+
+class TestFrameLoss:
+    def test_lossy_link_drops_rows(self):
+        config = CampaignConfig(duration_h=1.0, sample_rate_hz=0.5, seed=1)
+        lossless = CollectionCampaign(config).run()
+        lossy = CollectionCampaign(
+            config, sniffer_config=SnifferConfig(frame_loss_rate=0.3)
+        ).run()
+        assert len(lossy) < len(lossless)
+
+    def test_tiny_campaign_rejected(self):
+        with pytest.raises(DatasetError):
+            CollectionCampaign(
+                CampaignConfig(duration_h=0.0003, sample_rate_hz=1.0)
+            ).run()

@@ -1,0 +1,64 @@
+"""Tests for the Table I schema."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import SCHEMA, TableISchema
+from repro.exceptions import SchemaError
+
+
+class TestTableISchema:
+    def test_default_64_subcarriers(self):
+        assert SCHEMA.n_subcarriers == 64
+        assert SCHEMA.n_columns == 68
+
+    def test_column_order_matches_table_i(self):
+        cols = SCHEMA.columns
+        assert cols[0] == "timestamp"
+        assert cols[1] == "a0"
+        assert cols[64] == "a63"
+        assert cols[-3:] == ["temperature", "humidity", "occupancy"]
+
+    def test_csi_columns(self):
+        schema = TableISchema(n_subcarriers=4)
+        assert schema.csi_columns == ["a0", "a1", "a2", "a3"]
+
+    def test_rejects_zero_subcarriers(self):
+        with pytest.raises(SchemaError):
+            TableISchema(n_subcarriers=0)
+
+
+class TestRowValidation:
+    def valid_row(self) -> np.ndarray:
+        return np.concatenate([[0.0], np.full(64, 0.5), [21.5, 43.0, 1.0]])
+
+    def test_accepts_valid_row(self):
+        SCHEMA.validate_row(self.valid_row())
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(SchemaError):
+            SCHEMA.validate_row(np.ones(10))
+
+    def test_rejects_nan(self):
+        row = self.valid_row()
+        row[5] = np.nan
+        with pytest.raises(SchemaError):
+            SCHEMA.validate_row(row)
+
+    def test_rejects_non_binary_occupancy(self):
+        row = self.valid_row()
+        row[-1] = 2.0
+        with pytest.raises(SchemaError):
+            SCHEMA.validate_row(row)
+
+    def test_rejects_humidity_out_of_range(self):
+        row = self.valid_row()
+        row[-2] = 150.0
+        with pytest.raises(SchemaError):
+            SCHEMA.validate_row(row)
+
+    def test_rejects_negative_csi(self):
+        row = self.valid_row()
+        row[3] = -0.1
+        with pytest.raises(SchemaError):
+            SCHEMA.validate_row(row)

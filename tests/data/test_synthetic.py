@@ -1,0 +1,50 @@
+"""Tests for the one-call benchmark dataset generator and its cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import CampaignConfig
+from repro.data.synthetic import (
+    _config_digest,
+    generate_benchmark_dataset,
+    generate_benchmark_folds,
+)
+
+
+@pytest.fixture
+def tiny_config() -> CampaignConfig:
+    return CampaignConfig(duration_h=1.0, sample_rate_hz=0.2, seed=3)
+
+
+class TestGeneration:
+    def test_generates_and_caches(self, tiny_config, tmp_path):
+        ds = generate_benchmark_dataset(tiny_config, cache_dir=tmp_path)
+        cached = list(tmp_path.glob("campaign-*.npz"))
+        assert len(cached) == 1
+        again = generate_benchmark_dataset(tiny_config, cache_dir=tmp_path)
+        np.testing.assert_array_equal(ds.csi, again.csi)
+
+    def test_cache_can_be_bypassed(self, tiny_config, tmp_path):
+        generate_benchmark_dataset(tiny_config, cache_dir=tmp_path, use_cache=False)
+        assert not list(tmp_path.glob("campaign-*.npz"))
+
+    def test_folds_entry_point(self, tiny_config, tmp_path):
+        ds, split = generate_benchmark_folds(tiny_config, cache_dir=tmp_path)
+        assert len(split.tests) == 5
+        assert sum(len(f.data) for f in split.all_folds) == len(ds)
+
+
+class TestConfigDigest:
+    def test_stable(self, tiny_config):
+        assert _config_digest(tiny_config) == _config_digest(tiny_config)
+
+    def test_sensitive_to_any_field(self, tiny_config):
+        other = CampaignConfig(duration_h=1.0, sample_rate_hz=0.2, seed=4)
+        assert _config_digest(tiny_config) != _config_digest(other)
+
+    def test_sensitive_to_nested_config(self, tiny_config):
+        from dataclasses import replace
+        from repro.config import ThermalConfig
+
+        other = replace(tiny_config, thermal=ThermalConfig(setpoint_day_c=25.0))
+        assert _config_digest(tiny_config) != _config_digest(other)

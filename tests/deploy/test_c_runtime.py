@@ -1,0 +1,80 @@
+"""Tests for the generated C inference runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_zoo import build_paper_mlp
+from repro.deploy.c_runtime import (
+    compile_firmware,
+    generate_inference_source,
+    host_compiler,
+    run_firmware,
+    validate_against_python,
+    write_firmware_bundle,
+)
+from repro.deploy.quantize import quantize_model
+from repro.exceptions import DeploymentError
+
+HAS_CC = host_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAS_CC, reason="no host C compiler")
+
+
+@pytest.fixture(scope="module")
+def small_quantized():
+    return quantize_model(build_paper_mlp(8, hidden_sizes=(16, 8)))
+
+
+class TestSourceGeneration:
+    def test_source_structure(self, small_quantized):
+        source = generate_inference_source(small_quantized)
+        assert '#include "model.h"' in source
+        assert "static void infer(" in source
+        assert "int main(void)" in source
+        # One matmul block per layer.
+        assert source.count("/* layer") == 3
+
+    def test_activations_emitted(self, small_quantized):
+        source = generate_inference_source(small_quantized)
+        assert "v > 0.0f ? v : 0.0f" in source  # ReLU kernels
+
+    def test_bundle_written(self, small_quantized, tmp_path):
+        header, source = write_firmware_bundle(small_quantized, tmp_path / "fw")
+        assert header.exists() and source.exists()
+        assert header.parent == source.parent
+
+
+@needs_cc
+class TestCompileAndRun:
+    def test_end_to_end_matches_python(self, small_quantized, tmp_path):
+        deviation = validate_against_python(small_quantized, tmp_path, n_probes=32)
+        assert deviation < 1e-3
+
+    def test_paper_network_matches(self, tmp_path):
+        quantized = quantize_model(build_paper_mlp(66))
+        deviation = validate_against_python(quantized, tmp_path, n_probes=16)
+        assert deviation < 1e-3
+
+    def test_run_firmware_row_accounting(self, small_quantized, tmp_path):
+        _, source = write_firmware_bundle(small_quantized, tmp_path)
+        binary = compile_firmware(source, tmp_path / "fw")
+        out = run_firmware(binary, np.zeros((5, 8)))
+        assert out.shape == (5, 1)
+        # Same input rows -> identical outputs.
+        assert np.all(out == out[0])
+
+    def test_broken_source_raises(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) { return 0 }")  # missing semicolon
+        with pytest.raises(DeploymentError):
+            compile_firmware(bad, tmp_path / "bad")
+
+
+class TestValidationErrors:
+    def test_unknown_activation_rejected(self, small_quantized):
+        from dataclasses import replace
+
+        from repro.deploy.quantize import QuantizedMLP
+
+        broken = QuantizedMLP(small_quantized.layers, ("relu", "swish", "none"))
+        with pytest.raises(DeploymentError):
+            generate_inference_source(broken)

@@ -1,0 +1,59 @@
+"""Tests for the C header export."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.export import export_c_header
+from repro.deploy.quantize import quantize_model
+from repro.exceptions import DeploymentError
+from repro.nn.modules import Linear, ReLU, Sequential
+
+
+def quantized(seed=0):
+    rng = np.random.default_rng(seed)
+    return quantize_model(
+        Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+    )
+
+
+class TestExport:
+    def test_header_structure(self, tmp_path):
+        path = export_c_header(quantized(), tmp_path / "model.h")
+        text = path.read_text()
+        assert text.startswith("#ifndef REPRO_MODEL_H")
+        assert text.rstrip().endswith("#endif /* REPRO_MODEL_H */")
+        assert "#define REPRO_N_LAYERS 2" in text
+        assert "#define REPRO_N_INPUTS 4" in text
+        assert "#define REPRO_N_OUTPUTS 1" in text
+
+    def test_weight_arrays_emitted(self, tmp_path):
+        text = export_c_header(quantized(), tmp_path / "m.h").read_text()
+        assert "static const int8_t repro_w0[32]" in text
+        assert "static const float repro_b0[8]" in text
+        assert "static const float repro_s0" in text
+        assert "static const int8_t repro_w1[8]" in text
+
+    def test_layer_metadata(self, tmp_path):
+        text = export_c_header(quantized(), tmp_path / "m.h").read_text()
+        assert "repro_layer_widths[3] = {4,8,1};" in text
+        assert '"relu"' in text and '"none"' in text
+
+    def test_values_round_trip(self, tmp_path):
+        q = quantized()
+        text = export_c_header(q, tmp_path / "m.h").read_text()
+        line = next(l for l in text.splitlines() if "repro_w0" in l)
+        body = line.split("{")[1].split("}")[0]
+        values = np.array([int(v) for v in body.split(",")])
+        np.testing.assert_array_equal(values, q.layers[0].weight_q.ravel())
+
+    def test_custom_guard(self, tmp_path):
+        text = export_c_header(quantized(), tmp_path / "m.h", guard="MY_NET_H").read_text()
+        assert "#ifndef MY_NET_H" in text
+
+    def test_invalid_guard_rejected(self, tmp_path):
+        with pytest.raises(DeploymentError):
+            export_c_header(quantized(), tmp_path / "m.h", guard="bad guard!")
+
+    def test_braces_balanced(self, tmp_path):
+        text = export_c_header(quantized(), tmp_path / "m.h").read_text()
+        assert text.count("{") == text.count("}")

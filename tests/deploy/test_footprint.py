@@ -1,0 +1,81 @@
+"""Tests for the flash/RAM footprint accounting."""
+
+import pytest
+
+from repro.core.model_zoo import build_paper_mlp
+from repro.deploy.footprint import (
+    NUCLEO_L432KC,
+    DeviceProfile,
+    estimate_footprint,
+)
+from repro.deploy.quantize import quantize_model
+from repro.exceptions import DeploymentError
+from repro.nn.modules import Sequential, ReLU
+
+
+class TestNucleoProfile:
+    def test_l432kc_resources(self):
+        assert NUCLEO_L432KC.flash_bytes == 256 * 1024
+        assert NUCLEO_L432KC.ram_bytes == 64 * 1024
+        assert NUCLEO_L432KC.clock_hz == 80e6
+
+    def test_rejects_degenerate_device(self):
+        with pytest.raises(DeploymentError):
+            DeviceProfile("bad", 0, 1024, 1e6)
+
+
+class TestEstimateFootprint:
+    def test_quantized_paper_mlp_fits_l432kc(self):
+        # The paper's deployability claim: the occupancy MLP runs on the
+        # Nucleo-L432KC.  Quantized, ~74 k int8 weights ~= 76 KiB flash.
+        q = quantize_model(build_paper_mlp(66))
+        report = estimate_footprint(q)
+        assert report.fits
+        assert report.model_flash_kib < 100.0
+        assert report.model_ram_kib < 8.0
+
+    def test_float_model_is_4x_larger(self):
+        model = build_paper_mlp(64)
+        q = quantize_model(model)
+        float_report = estimate_footprint(model)
+        quant_report = estimate_footprint(q)
+        ratio = float_report.model_flash_bytes / quant_report.model_flash_bytes
+        assert 3.5 < ratio < 4.1
+
+    def test_model_size_same_ballpark_as_paper(self):
+        # The paper reports 15.18 KiB; exact match is impossible (their
+        # count includes framework overhead) but the order matches for the
+        # quantized net within ~10x and for int8 the KiB range is right.
+        q = quantize_model(build_paper_mlp(66, hidden_sizes=(64, 64)))
+        report = estimate_footprint(q)
+        assert 1.0 < report.model_flash_kib < 50.0
+
+    def test_oversized_model_reported_not_fitting(self):
+        huge = build_paper_mlp(64, hidden_sizes=(512, 512, 512))
+        report = estimate_footprint(huge)  # float path: ~2.4 MB
+        assert not report.fits
+
+    def test_describe_mentions_device(self):
+        report = estimate_footprint(quantize_model(build_paper_mlp(64)))
+        text = report.describe()
+        assert "Nucleo-L432KC" in text
+        assert "FITS" in text
+
+    def test_utilisation_fractions(self):
+        report = estimate_footprint(quantize_model(build_paper_mlp(64)))
+        assert 0.0 < report.flash_utilisation < 1.0
+        assert 0.0 < report.ram_utilisation < 1.0
+
+    def test_batch_buffer_scales_ram(self):
+        q = quantize_model(build_paper_mlp(64))
+        single = estimate_footprint(q, batch_buffer_rows=1)
+        double = estimate_footprint(q, batch_buffer_rows=2)
+        assert double.model_ram_bytes == 2 * single.model_ram_bytes
+
+    def test_rejects_parameterless_model(self):
+        with pytest.raises(DeploymentError):
+            estimate_footprint(Sequential(ReLU()))
+
+    def test_rejects_bad_batch_rows(self):
+        with pytest.raises(DeploymentError):
+            estimate_footprint(build_paper_mlp(8), batch_buffer_rows=0)

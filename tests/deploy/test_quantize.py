@@ -1,0 +1,105 @@
+"""Tests for int8 post-training quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model_zoo import build_paper_mlp
+from repro.deploy.quantize import QuantizedLinear, QuantizedMLP, quantize_model
+from repro.exceptions import DeploymentError
+from repro.nn.modules import Dropout, Linear, ReLU, Sequential, Sigmoid
+from repro.nn.tensor import Tensor
+
+
+def tiny_model(seed=0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(8, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng))
+
+
+class TestQuantizeModel:
+    def test_structure_preserved(self):
+        q = quantize_model(tiny_model())
+        assert len(q.layers) == 2
+        assert q.activations == ("relu", "none")
+        assert q.layers[0].weight_q.dtype == np.int8
+
+    def test_outputs_close_to_float_model(self):
+        model = tiny_model()
+        q = quantize_model(model)
+        x = np.random.default_rng(1).normal(size=(50, 8))
+        float_out = model(Tensor(x)).data
+        quant_out = q.forward(x)
+        # Int8 symmetric quantization keeps relative error small.
+        scale = np.abs(float_out).mean() + 1e-9
+        assert np.abs(quant_out - float_out).mean() / scale < 0.05
+
+    def test_paper_mlp_quantizes(self):
+        q = quantize_model(build_paper_mlp(64))
+        assert q.n_parameters() == 74369
+
+    def test_sigmoid_tagged(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 4, rng=rng), Sigmoid())
+        assert quantize_model(model).activations == ("sigmoid",)
+
+    def test_rejects_dropout(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 4, rng=rng), Dropout(0.5), Linear(4, 1, rng=rng))
+        with pytest.raises(DeploymentError):
+            quantize_model(model)
+
+    def test_rejects_leading_activation(self):
+        with pytest.raises(DeploymentError):
+            quantize_model(Sequential(ReLU()))
+
+    def test_zero_weight_layer(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 3, rng=rng)
+        layer.weight.data = np.zeros((3, 3))
+        q = quantize_model(Sequential(layer))
+        assert np.all(q.layers[0].weight_q == 0)
+
+    @settings(max_examples=20)
+    @given(st.floats(0.01, 100.0))
+    def test_property_quantization_error_bounded_by_half_lsb(self, magnitude):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 4, rng=rng)
+        layer.weight.data = layer.weight.data * magnitude
+        q = quantize_model(Sequential(layer))
+        dequantized = q.layers[0].weight_q.astype(float) * q.layers[0].weight_scale
+        max_error = np.abs(dequantized - layer.weight.data).max()
+        assert max_error <= q.layers[0].weight_scale / 2 + 1e-12
+
+
+class TestQuantizedStructures:
+    def test_flash_accounting(self):
+        q = quantize_model(tiny_model())
+        expected = (8 * 16 + 4 * 16 + 4) + (16 * 1 + 4 * 1 + 4)
+        assert q.flash_bytes() == expected
+
+    def test_working_ram_uses_widest_pair(self):
+        q = quantize_model(tiny_model())
+        assert q.working_ram_bytes() == 4 * (16 + 8)
+
+    def test_forward_accepts_single_row(self):
+        q = quantize_model(tiny_model())
+        out = q.forward(np.zeros(8))
+        assert out.shape == (1, 1)
+
+    def test_layer_width_mismatch_rejected(self):
+        a = QuantizedLinear(np.zeros((4, 8), dtype=np.int8), 1.0, np.zeros(8, dtype=np.float32))
+        b = QuantizedLinear(np.zeros((9, 2), dtype=np.int8), 1.0, np.zeros(2, dtype=np.float32))
+        with pytest.raises(DeploymentError):
+            QuantizedMLP((a, b), ("relu", "none"))
+
+    def test_bad_activation_tag_rejected_at_forward(self):
+        a = QuantizedLinear(np.zeros((4, 2), dtype=np.int8), 1.0, np.zeros(2, dtype=np.float32))
+        mlp = QuantizedMLP((a,), ("swish",))
+        with pytest.raises(DeploymentError):
+            mlp.forward(np.zeros((1, 4)))
+
+    def test_quantized_linear_validation(self):
+        with pytest.raises(DeploymentError):
+            QuantizedLinear(np.zeros((2, 2), dtype=np.float32), 1.0, np.zeros(2, dtype=np.float32))
+        with pytest.raises(DeploymentError):
+            QuantizedLinear(np.zeros((2, 2), dtype=np.int8), 0.0, np.zeros(2, dtype=np.float32))

@@ -1,0 +1,94 @@
+"""Tests for the world simulator that ties the substrate together."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Room, Vec3
+from repro.config import BehaviorConfig, ThermalConfig
+from repro.environment.behavior import BehaviorSimulator
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def simulator(rng) -> BehaviorSimulator:
+    return BehaviorSimulator(
+        Room(12, 6, 3),
+        BehaviorConfig(),
+        ThermalConfig(),
+        Vec3(5, 0.5, 1.4),
+        Vec3(7, 0.5, 1.4),
+        start_hour_of_day=8.0,
+        duration_h=12.0,
+        rng=rng,
+    )
+
+
+class TestStep:
+    def test_state_fields_consistent(self, simulator):
+        state = simulator.step(60.0)
+        assert state.t_s == pytest.approx(60.0)
+        assert state.occupied == (state.n_occupants > 0)
+        assert len(state.occupant_scatterers) == state.n_occupants
+        assert 0.0 <= state.mobility <= 1.0
+        assert len(state.furniture_scatterers) == len(simulator.layout.items)
+
+    def test_time_advances(self, simulator):
+        simulator.step(30.0)
+        simulator.step(30.0)
+        assert simulator.t_s == pytest.approx(60.0)
+
+    def test_rejects_non_positive_dt(self, simulator):
+        with pytest.raises(ConfigurationError):
+            simulator.step(0.0)
+
+    def test_combined_scatterers_property(self, simulator):
+        state = simulator.step(60.0)
+        assert state.scatterers == state.occupant_scatterers + state.furniture_scatterers
+
+    def test_environment_evolves(self, simulator):
+        first = simulator.step(60.0)
+        for _ in range(240):
+            last = simulator.step(60.0)
+        assert last.temperature_c != first.temperature_c
+
+    def test_occupancy_appears_during_workday(self, simulator):
+        # Starting 08:00 with a 12 h horizon, someone shows up eventually.
+        counts = [simulator.step(60.0).n_occupants for _ in range(600)]
+        assert max(counts) > 0
+
+    def test_mobility_zero_when_room_empty(self, simulator):
+        for _ in range(600):
+            state = simulator.step(60.0)
+            if state.n_occupants == 0:
+                assert state.mobility == 0.0
+
+    def test_occupants_outside_exclusion_zone(self, simulator):
+        for _ in range(400):
+            state = simulator.step(60.0)
+            for s in state.occupant_scatterers:
+                assert not simulator.exclusion.contains(s.position)
+
+    def test_furniture_version_monotone(self, simulator):
+        versions = [simulator.step(60.0).furniture_version for _ in range(600)]
+        assert all(b >= a for a, b in zip(versions, versions[1:]))
+
+
+class TestReproducibility:
+    def _trace(self, seed: int) -> list[tuple[int, float]]:
+        sim = BehaviorSimulator(
+            Room(12, 6, 3),
+            BehaviorConfig(),
+            ThermalConfig(),
+            Vec3(5, 0.5, 1.4),
+            Vec3(7, 0.5, 1.4),
+            8.0,
+            6.0,
+            np.random.default_rng(seed),
+        )
+        return [(s.n_occupants, s.temperature_c) for s in (sim.step(60.0) for _ in range(200))]
+
+    def test_same_seed_same_world(self):
+        assert self._trace(42) == self._trace(42)
+
+    def test_different_seed_different_world(self):
+        assert self._trace(42) != self._trace(43)

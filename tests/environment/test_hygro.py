@@ -1,0 +1,65 @@
+"""Tests for the humidity dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.config import ThermalConfig
+from repro.environment.hygro import HumiditySimulator
+from repro.exceptions import ConfigurationError
+
+
+def run(hours, n_occupants, temperature_c=21.0, config=None, dt_s=60.0):
+    sim = HumiditySimulator(config or ThermalConfig())
+    trace = []
+    for _ in range(int(hours * 3600 / dt_s)):
+        trace.append(sim.step(dt_s, n_occupants, temperature_c))
+    return np.array(trace)
+
+
+class TestHumidityDynamics:
+    def test_empty_room_relaxes_to_baseline(self):
+        cfg = ThermalConfig()
+        trace = run(24.0, n_occupants=0)
+        assert trace[-1] == pytest.approx(cfg.humidity_base_rh, abs=1.0)
+
+    def test_occupants_raise_humidity(self):
+        empty = run(6.0, 0)
+        crowded = run(6.0, 6)
+        assert crowded[-1] > empty[-1]
+
+    def test_heating_dries_the_air(self):
+        # Psychrometric coupling: rising temperature at fixed moisture
+        # content lowers relative humidity.
+        sim = HumiditySimulator(ThermalConfig())
+        sim.step(60.0, 0, 20.0)
+        before = sim.humidity_rh
+        sim.step(60.0, 0, 22.0)  # +2 degC in one tick
+        assert sim.humidity_rh < before
+
+    def test_stays_within_physical_bounds(self):
+        trace = run(48.0, 6)
+        assert trace.min() >= 5.0
+        assert trace.max() <= 95.0
+
+    def test_table_iii_envelope(self):
+        # Table III observed 16-49 %RH; a nominal simulation should stay
+        # inside a slightly wider band.
+        trace = run(48.0, 3)
+        assert trace.min() > 10.0
+        assert trace.max() < 65.0
+
+    def test_rejects_negative_dt(self):
+        sim = HumiditySimulator(ThermalConfig())
+        with pytest.raises(ConfigurationError):
+            sim.step(-1.0, 0, 21.0)
+
+    def test_rejects_negative_occupants(self):
+        sim = HumiditySimulator(ThermalConfig())
+        with pytest.raises(ConfigurationError):
+            sim.step(1.0, -1, 21.0)
+
+    def test_first_step_has_no_psychrometric_jump(self):
+        # No previous temperature -> no dT term on the first tick.
+        sim = HumiditySimulator(ThermalConfig())
+        first = sim.step(60.0, 0, 35.0)
+        assert abs(first - ThermalConfig().initial_humidity_rh) < 1.0

@@ -1,0 +1,119 @@
+"""Tests for the occupant kinematics and radar signature."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Room, Vec3
+from repro.environment.occupants import (
+    Activity,
+    ExclusionBox,
+    Occupant,
+    default_population,
+)
+from repro.exceptions import GeometryError
+
+
+@pytest.fixture
+def room() -> Room:
+    return Room(12, 6, 3)
+
+
+@pytest.fixture
+def forbidden() -> ExclusionBox:
+    return ExclusionBox.around_link(Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4))
+
+
+def make_occupant(**kwargs) -> Occupant:
+    defaults = dict(subject_id=0, height_m=1.75, radius_m=0.22, desk=Vec3(3, 3, 0))
+    defaults.update(kwargs)
+    return Occupant(**defaults)
+
+
+class TestOccupant:
+    def test_away_by_default(self):
+        occupant = make_occupant()
+        assert not occupant.present
+        assert occupant.as_scatterer() is None
+
+    def test_present_when_active(self):
+        occupant = make_occupant(activity=Activity.SITTING)
+        assert occupant.present
+        assert occupant.as_scatterer() is not None
+
+    def test_sitting_reduces_effective_height(self):
+        occupant = make_occupant(activity=Activity.SITTING)
+        assert occupant.effective_height_m() == pytest.approx(0.75 * 1.75)
+        occupant.activity = Activity.STANDING
+        assert occupant.effective_height_m() == pytest.approx(1.75)
+
+    def test_mobility_ordering(self):
+        # Walking decorrelates the channel more than standing than sitting.
+        values = {}
+        for activity in Activity:
+            occupant = make_occupant(activity=activity)
+            values[activity] = occupant.mobility()
+        assert values[Activity.AWAY] == 0.0
+        assert (
+            values[Activity.SITTING]
+            < values[Activity.STANDING]
+            < values[Activity.WALKING]
+        )
+
+    def test_rejects_bad_build(self):
+        with pytest.raises(GeometryError):
+            make_occupant(height_m=-1.0)
+
+    def test_sitting_pins_to_desk(self, room, forbidden, rng):
+        occupant = make_occupant(activity=Activity.SITTING, position=Vec3(1, 1, 0))
+        occupant.step(1.0, room, rng, forbidden)
+        assert occupant.position == occupant.desk
+
+    def test_walking_moves_at_walk_speed(self, room, forbidden, rng):
+        occupant = make_occupant(activity=Activity.WALKING, walk_speed_mps=1.0)
+        start = occupant.position
+        occupant.step(1.0, room, rng, forbidden)
+        assert start.distance_to(occupant.position) <= 1.0 + 1e-9
+        assert start.distance_to(occupant.position) > 0.0
+
+    def test_walking_avoids_exclusion_box(self, room, forbidden, rng):
+        occupant = make_occupant(activity=Activity.WALKING, position=Vec3(4, 1, 0))
+        for _ in range(300):
+            occupant.step(0.5, room, rng, forbidden)
+            assert not forbidden.contains(occupant.position)
+
+    def test_away_does_not_move(self, room, forbidden, rng):
+        occupant = make_occupant()
+        start = occupant.position
+        occupant.step(10.0, room, rng, forbidden)
+        assert occupant.position == start
+
+
+class TestExclusionBox:
+    def test_around_link_includes_margin(self):
+        box = ExclusionBox.around_link(Vec3(5, 0.5, 1.4), Vec3(7, 0.5, 1.4), margin_m=0.4)
+        assert box.contains(Vec3(6, 0.5, 0))
+        assert box.contains(Vec3(4.7, 0.3, 0))
+        assert not box.contains(Vec3(4.0, 0.5, 0))
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(GeometryError):
+            ExclusionBox(1, 1, 0, 2)
+
+
+class TestDefaultPopulation:
+    def test_six_subjects(self, room, rng):
+        population = default_population(rng, room)
+        assert len(population) == 6
+        assert {o.subject_id for o in population} == set(range(6))
+
+    def test_varied_builds(self, room, rng):
+        population = default_population(rng, room)
+        heights = {o.height_m for o in population}
+        assert len(heights) == 6
+
+    def test_desks_inside_room(self, room, rng):
+        for occupant in default_population(rng, room):
+            assert room.contains(occupant.desk)
+
+    def test_all_start_away(self, room, rng):
+        assert all(o.activity is Activity.AWAY for o in default_population(rng, room))

@@ -1,0 +1,109 @@
+"""Tests for the office layout and movable furniture."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Room, Vec3
+from repro.environment.room import FurnitureItem, OfficeLayout, default_furniture
+from repro.exceptions import GeometryError
+
+
+@pytest.fixture
+def room() -> Room:
+    return Room(12, 6, 3)
+
+
+@pytest.fixture
+def layout(room, rng) -> OfficeLayout:
+    return OfficeLayout(room, rng=rng)
+
+
+class TestFurnitureItem:
+    def test_position_defaults_to_home(self):
+        item = FurnitureItem("chair", Vec3(1, 1, 0), 0.05, 1.0)
+        assert item.position == item.home
+
+    def test_rejects_bad_reflectivity(self):
+        with pytest.raises(GeometryError):
+            FurnitureItem("x", Vec3(0, 0, 0), 1.5, 1.0)
+
+    def test_displacement_bounded_by_radius(self, room, rng):
+        item = FurnitureItem("chair", Vec3(6, 3, 0), 0.05, 1.0, movable_radius_m=0.4)
+        for _ in range(20):
+            moved = item.displaced(rng, room)
+            assert moved.position.distance_to(item.home) <= 0.4 + 1e-9
+
+    def test_immovable_item_never_moves(self, room, rng):
+        item = FurnitureItem("cabinet", Vec3(6, 3, 0), 0.08, 2.0, movable_radius_m=0.0)
+        assert item.displaced(rng, room) is item
+
+    def test_displacement_stays_inside_room(self, rng):
+        small = Room(1.0, 1.0, 3.0)
+        item = FurnitureItem("chair", Vec3(0.5, 0.5, 0), 0.05, 1.0, movable_radius_m=5.0)
+        for _ in range(50):
+            moved = item.displaced(rng, small)
+            assert small.contains(moved.position)
+
+    def test_as_scatterer_weakly_blocking(self):
+        item = FurnitureItem("desk", Vec3(1, 1, 0), 0.05, 0.75)
+        s = item.as_scatterer()
+        assert s.blocking_db <= 3.0
+        assert s.reflectivity == 0.05
+
+
+class TestDefaultFurniture:
+    def test_office_inventory(self):
+        items = default_furniture()
+        names = [i.name for i in items]
+        assert sum(n.startswith("desk") for n in names) == 6
+        assert sum(n.startswith("chair") for n in names) == 6
+        assert sum(n.startswith("curtain") for n in names) == 3
+        assert "cabinet" in names
+
+    def test_all_inside_paper_office(self):
+        room = Room(12, 6, 3)
+        for item in default_furniture():
+            assert room.contains(item.position), item.name
+
+
+class TestOfficeLayout:
+    def test_version_bumps_on_perturb(self, layout):
+        v0 = layout.version
+        moved = layout.perturb(2)
+        assert moved
+        assert layout.version == v0 + 1
+
+    def test_perturb_zero_is_noop(self, layout):
+        v0 = layout.version
+        assert layout.perturb(0) == []
+        assert layout.version == v0
+
+    def test_curtain_toggle_changes_reflectivity(self, layout):
+        before = {i.name: i.reflectivity for i in layout.items}
+        name = layout.toggle_curtain()
+        assert name is not None and name.startswith("curtain")
+        after = {i.name: i.reflectivity for i in layout.items}
+        assert before[name] != after[name]
+
+    def test_toggle_is_reversible(self, rng):
+        room = Room(12, 6, 3)
+        curtain = FurnitureItem("curtain_0", Vec3(2, 5.9, 0), 0.03, 2.2, movable_radius_m=0.0)
+        layout = OfficeLayout(room, [curtain], rng=rng)
+        layout.toggle_curtain()
+        layout.toggle_curtain()
+        assert layout.items[0].reflectivity == pytest.approx(0.03)
+
+    def test_static_scatterers_one_per_item(self, layout):
+        assert len(layout.static_scatterers()) == len(layout.items)
+
+    def test_rejects_furniture_outside_room(self, rng):
+        room = Room(2, 2, 3)
+        bad = FurnitureItem("x", Vec3(5, 5, 0), 0.05, 1.0)
+        with pytest.raises(GeometryError):
+            OfficeLayout(room, [bad], rng=rng)
+
+    def test_perturbation_moves_only_movables(self, layout):
+        movable_names = {i.name for i in layout.items if i.movable_radius_m > 0}
+        for _ in range(30):
+            for name in layout.perturb(1):
+                assert name in movable_names

@@ -1,0 +1,123 @@
+"""Tests for the presence-schedule generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BehaviorConfig
+from repro.environment.schedule import (
+    PresenceInterval,
+    ScheduleGenerator,
+    occupancy_count,
+    occupancy_counts,
+)
+from repro.exceptions import ConfigurationError
+
+
+def make_generator(seed=0, duration_h=74.0, start=15.13, **behavior) -> ScheduleGenerator:
+    return ScheduleGenerator(
+        BehaviorConfig(**behavior), start, duration_h, np.random.default_rng(seed)
+    )
+
+
+class TestPresenceInterval:
+    def test_covers_half_open(self):
+        iv = PresenceInterval(0, 10.0, 20.0)
+        assert iv.covers(10.0)
+        assert iv.covers(19.999)
+        assert not iv.covers(20.0)
+
+    def test_duration(self):
+        assert PresenceInterval(0, 5.0, 8.0).duration_s == 3.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            PresenceInterval(0, 10.0, 10.0)
+
+
+class TestClockHelpers:
+    def test_hour_of_day_wraps(self):
+        gen = make_generator(start=23.0)
+        assert gen.hour_of_day(0.0) == pytest.approx(23.0)
+        assert gen.hour_of_day(2 * 3600.0) == pytest.approx(1.0)
+
+    def test_day_index(self):
+        gen = make_generator(start=15.0)
+        assert gen.day_index(0.0) == 0
+        assert gen.day_index(10 * 3600.0) == 1  # past midnight
+
+
+class TestGenerate:
+    def test_intervals_sorted_and_within_campaign(self):
+        gen = make_generator()
+        intervals = gen.generate()
+        assert intervals
+        starts = [iv.start_s for iv in intervals]
+        assert starts == sorted(starts)
+        campaign_end = 74.0 * 3600.0
+        assert all(0 <= iv.start_s < iv.end_s <= campaign_end for iv in intervals)
+
+    def test_nights_are_empty(self):
+        # Nobody is present outside the workday window: probe 02:00.
+        gen = make_generator()
+        intervals = gen.generate()
+        for day in range(1, 3):
+            t_2am = ((day * 24.0 + 2.0) - 15.13) * 3600.0
+            assert occupancy_count(intervals, t_2am) == 0
+
+    def test_deterministic_in_seed(self):
+        a = make_generator(seed=5).generate()
+        b = make_generator(seed=5).generate()
+        assert [(iv.subject_id, iv.start_s) for iv in a] == [
+            (iv.subject_id, iv.start_s) for iv in b
+        ]
+
+    def test_empty_fraction_near_table_ii(self):
+        # Table II: 63.2 % of the campaign has an empty office.  The
+        # generator is tuned to land near that; accept a generous band.
+        gen = make_generator(seed=1)
+        intervals = gen.generate()
+        times = np.arange(0, 74 * 3600, 60.0)
+        counts = occupancy_counts(intervals, times)
+        empty = float(np.mean(counts == 0))
+        assert 0.5 < empty < 0.8
+
+    def test_occupant_histogram_decays(self):
+        # More simultaneous occupants are rarer (Table II's shape).
+        gen = make_generator(seed=2)
+        counts = occupancy_counts(gen.generate(), np.arange(0, 74 * 3600, 60.0))
+        hist = np.bincount(counts, minlength=5)
+        assert hist[1] > hist[3]
+
+    def test_subject_ids_within_population(self):
+        gen = make_generator(n_subjects=3)
+        assert all(iv.subject_id < 3 for iv in gen.generate())
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleGenerator(BehaviorConfig(), 15.0, 0.0, np.random.default_rng(0))
+
+
+class TestOccupancyCounts:
+    def test_vectorised_matches_scalar(self):
+        gen = make_generator(seed=3, duration_h=24.0)
+        intervals = gen.generate()
+        times = np.linspace(0, 24 * 3600, 500)
+        vectorised = occupancy_counts(intervals, times)
+        scalar = np.array([occupancy_count(intervals, float(t)) for t in times])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_empty_schedule(self):
+        assert np.array_equal(occupancy_counts([], np.array([0.0, 1.0])), [0, 0])
+
+    @settings(max_examples=25)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 50)), max_size=20))
+    def test_property_counts_bounded_by_interval_count(self, raw):
+        intervals = [
+            PresenceInterval(i, start, start + length)
+            for i, (start, length) in enumerate(raw)
+        ]
+        times = np.linspace(0, 200, 50)
+        counts = occupancy_counts(intervals, times)
+        assert np.all(counts >= 0)
+        assert np.all(counts <= len(intervals))

@@ -1,0 +1,67 @@
+"""Tests for the Thingy-like T/H sensor model."""
+
+import numpy as np
+import pytest
+
+from repro.environment.sensors import ThingySensor
+from repro.exceptions import ConfigurationError
+
+
+def make(seed=0, **kwargs) -> ThingySensor:
+    return ThingySensor(rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestThingySensor:
+    def test_humidity_reported_as_integer_percent(self):
+        # Table I logs humidity as whole percents.
+        sensor = make()
+        readings = [sensor.read(21.0, 43.3, 1.0)[1] for _ in range(20)]
+        assert all(r == round(r) for r in readings)
+
+    def test_temperature_resolution(self):
+        sensor = make(temperature_noise_c=0.0)
+        t, _ = sensor.read(21.12345, 40.0, 1.0)
+        assert t == pytest.approx(round(21.12345 / 0.01) * 0.01, abs=1e-9)
+
+    def test_noise_spreads_readings(self):
+        sensor = make(temperature_noise_c=0.2)
+        readings = [sensor.read(21.0, 40.0, 1000.0)[0] for _ in range(100)]
+        assert np.std(readings) > 0.05
+
+    def test_calibration_offset_applied(self):
+        sensor = make(temperature_noise_c=0.0, humidity_noise_rh=0.0,
+                      temperature_offset_c=0.5, humidity_offset_rh=-2.0)
+        t, h = sensor.read(20.0, 40.0, 1e9)
+        assert t == pytest.approx(20.5, abs=0.02)
+        assert h == pytest.approx(38.0, abs=1.0)
+
+    def test_response_lag_smooths_steps(self):
+        # A step change in truth is followed only gradually (tau = 60 s).
+        sensor = make(temperature_noise_c=0.0, humidity_noise_rh=0.0)
+        sensor.read(20.0, 40.0, 1.0)
+        t_after_step, _ = sensor.read(25.0, 40.0, 1.0)
+        assert t_after_step < 21.0
+
+    def test_lag_converges_eventually(self):
+        sensor = make(temperature_noise_c=0.0, humidity_noise_rh=0.0)
+        sensor.read(20.0, 40.0, 1.0)
+        for _ in range(100):
+            t, _ = sensor.read(25.0, 40.0, 10.0)
+        assert t == pytest.approx(25.0, abs=0.1)
+
+    def test_humidity_clipped_to_percent_range(self):
+        sensor = make(humidity_noise_rh=0.0, humidity_offset_rh=20.0)
+        _, h = sensor.read(21.0, 95.0, 1e9)
+        assert h <= 100.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature_noise_c": -0.1},
+            {"response_tau_s": 0.0},
+            {"temperature_resolution_c": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ThingySensor(**kwargs)

@@ -1,0 +1,87 @@
+"""Tests for the thermostat-driven temperature model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ThermalConfig
+from repro.environment.thermal import ThermalSimulator
+from repro.exceptions import ConfigurationError
+
+
+def simulate(hours, n_occupants=0, start_hour=0.0, config=None, dt_s=60.0):
+    sim = ThermalSimulator(config or ThermalConfig(), start_hour)
+    trace = []
+    steps = int(hours * 3600 / dt_s)
+    for i in range(steps):
+        trace.append(sim.step(i * dt_s, dt_s, n_occupants))
+    return np.array(trace), sim
+
+
+class TestSetpointSchedule:
+    def test_day_and_night_setpoints(self):
+        sim = ThermalSimulator(ThermalConfig(), start_hour_of_day=0.0)
+        assert sim.setpoint_c(3 * 3600.0) == ThermalConfig().setpoint_night_c
+        assert sim.setpoint_c(12 * 3600.0) == ThermalConfig().setpoint_day_c
+
+    def test_outdoor_peaks_mid_afternoon(self):
+        sim = ThermalSimulator(ThermalConfig(), start_hour_of_day=0.0)
+        t_peak = sim.outdoor_c(15 * 3600.0)
+        t_trough = sim.outdoor_c(3 * 3600.0)
+        assert t_peak > t_trough
+
+    def test_invalid_start_hour(self):
+        with pytest.raises(ConfigurationError):
+            ThermalSimulator(ThermalConfig(), 24.0)
+
+
+class TestDynamics:
+    def test_stays_within_plausible_indoor_band(self):
+        trace, _ = simulate(48.0)
+        assert trace.min() > 10.0
+        assert trace.max() < 30.0
+
+    def test_thermostat_regulates_towards_setpoint(self):
+        trace, _ = simulate(24.0, start_hour=8.0)
+        cfg = ThermalConfig()
+        # After warm-up, wall-clock daytime (simulated hours 2-10 map to
+        # 10:00-18:00) hovers near the day setpoint.
+        daytime = trace[2 * 60 : 10 * 60]
+        assert abs(daytime.mean() - cfg.setpoint_day_c) < 2.5
+
+    def test_night_setback_cools_the_room(self):
+        trace, _ = simulate(24.0, start_hour=0.0)
+        night = trace[2 * 60 : 5 * 60]  # 02:00-05:00
+        day = trace[13 * 60 : 16 * 60]  # 13:00-16:00
+        assert night.mean() < day.mean()
+
+    def test_occupants_warm_the_room(self):
+        empty, _ = simulate(8.0, n_occupants=0, start_hour=8.0)
+        crowded, _ = simulate(8.0, n_occupants=6, start_hour=8.0)
+        assert crowded.mean() > empty.mean()
+
+    def test_hysteresis_prevents_fast_cycling(self):
+        _, sim = simulate(2.0)
+        config = ThermalConfig()
+        # Drive the temperature just above the setpoint: heater must not
+        # flip until the hysteresis band is crossed.
+        sim.temperature_c = config.setpoint_night_c + config.hysteresis_c / 2
+        sim.heater_on = True
+        sim._update_thermostat(3 * 3600.0)
+        assert sim.heater_on
+
+    def test_rejects_negative_dt(self):
+        sim = ThermalSimulator(ThermalConfig(), 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.step(0.0, -1.0, 0)
+
+    def test_rejects_negative_occupants(self):
+        sim = ThermalSimulator(ThermalConfig(), 0.0)
+        with pytest.raises(ConfigurationError):
+            sim.step(0.0, 1.0, -1)
+
+    def test_heater_cycle_produces_sawtooth(self):
+        # The bang-bang controller yields temperature oscillation whose
+        # peak-to-peak spans at least the hysteresis band.
+        trace, _ = simulate(12.0, start_hour=9.0)
+        settled = trace[4 * 60 :]
+        assert settled.max() - settled.min() >= ThermalConfig().hysteresis_c

@@ -1,0 +1,55 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.metrics.bootstrap import bootstrap_ci
+from repro.metrics.classification import accuracy
+from repro.metrics.regression import mae
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate(self, rng):
+        y = rng.integers(0, 2, 500)
+        pred = np.where(rng.uniform(size=500) < 0.9, y, 1 - y)
+        estimate, low, high = bootstrap_ci(accuracy, y, pred, rng=rng)
+        assert low <= estimate <= high
+        assert estimate == pytest.approx(0.9, abs=0.05)
+
+    def test_interval_narrows_with_data(self, rng):
+        def width(n: int) -> float:
+            y = rng.integers(0, 2, n)
+            pred = np.where(rng.uniform(size=n) < 0.8, y, 1 - y)
+            _, low, high = bootstrap_ci(accuracy, y, pred, rng=rng)
+            return high - low
+
+        assert width(4000) < width(100)
+
+    def test_deterministic_prediction_zero_width(self, rng):
+        y = np.ones(50, dtype=int)
+        estimate, low, high = bootstrap_ci(accuracy, y, y, rng=rng)
+        assert estimate == low == high == 1.0
+
+    def test_works_with_regression_metric(self, rng):
+        y = rng.normal(size=300)
+        pred = y + rng.normal(0, 0.5, 300)
+        estimate, low, high = bootstrap_ci(mae, y, pred, rng=rng)
+        assert 0 < low <= estimate <= high
+
+    def test_confidence_changes_width(self, rng):
+        y = rng.integers(0, 2, 300)
+        pred = np.where(rng.uniform(size=300) < 0.7, y, 1 - y)
+        _, low90, high90 = bootstrap_ci(accuracy, y, pred, confidence=0.90, rng=rng)
+        _, low99, high99 = bootstrap_ci(accuracy, y, pred, confidence=0.99, rng=rng)
+        assert (high99 - low99) >= (high90 - low90) - 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            bootstrap_ci(accuracy, np.ones(3), np.ones(2), rng=rng)
+        with pytest.raises(ShapeError):
+            bootstrap_ci(accuracy, np.ones(3), np.ones(3), n_resamples=2, rng=rng)
+        with pytest.raises(ShapeError):
+            bootstrap_ci(accuracy, np.ones(3), np.ones(3), confidence=1.5, rng=rng)
+        with pytest.raises(ShapeError):
+            bootstrap_ci(accuracy, np.array([]), np.array([]), rng=rng)

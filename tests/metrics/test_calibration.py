@@ -1,0 +1,85 @@
+"""Tests for probability-calibration metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ShapeError
+from repro.metrics.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def calibrated_sample(n=5000, seed=0):
+    """Labels drawn from their own predicted probabilities."""
+    rng = np.random.default_rng(seed)
+    proba = rng.uniform(0, 1, n)
+    y = (rng.uniform(0, 1, n) < proba).astype(int)
+    return y, proba
+
+
+class TestReliabilityCurve:
+    def test_calibrated_predictions_on_diagonal(self):
+        y, proba = calibrated_sample()
+        predicted, empirical, counts = reliability_curve(y, proba)
+        np.testing.assert_allclose(predicted, empirical, atol=0.08)
+        assert counts.sum() == len(y)
+
+    def test_overconfident_off_diagonal(self):
+        y, proba = calibrated_sample()
+        sharpened = np.clip(proba * 2 - 0.5, 0, 1)  # push toward extremes
+        predicted, empirical, _ = reliability_curve(y, sharpened)
+        assert np.abs(predicted - empirical).max() > 0.05
+
+    def test_empty_bins_dropped(self):
+        y = np.array([0, 1])
+        proba = np.array([0.05, 0.95])
+        predicted, empirical, counts = reliability_curve(y, proba, n_bins=10)
+        assert len(predicted) == 2
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            reliability_curve([0, 1], [0.5, 1.5])
+        with pytest.raises(ShapeError):
+            reliability_curve([0, 2], [0.5, 0.5])
+        with pytest.raises(ShapeError):
+            reliability_curve([0, 1], [0.5, 0.5], n_bins=0)
+
+
+class TestECE:
+    def test_calibrated_near_zero(self):
+        y, proba = calibrated_sample()
+        assert expected_calibration_error(y, proba) < 0.05
+
+    def test_constant_wrong_probability_large(self):
+        y = np.array([0] * 90 + [1] * 10)
+        proba = np.full(100, 0.9)
+        assert expected_calibration_error(y, proba) == pytest.approx(0.8)
+
+    @given(
+        arrays(np.int64, 30, elements=st.sampled_from([0, 1])),
+        arrays(np.float64, 30, elements=st.floats(0, 1)),
+    )
+    def test_property_bounded(self, y, proba):
+        assert 0.0 <= expected_calibration_error(y, proba) <= 1.0
+
+
+class TestBrier:
+    def test_perfect_certainty(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_worst_case(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_coin_flip(self):
+        assert brier_score([1, 0], [0.5, 0.5]) == pytest.approx(0.25)
+
+    @given(
+        arrays(np.int64, 20, elements=st.sampled_from([0, 1])),
+        arrays(np.float64, 20, elements=st.floats(0, 1)),
+    )
+    def test_property_bounded(self, y, proba):
+        assert 0.0 <= brier_score(y, proba) <= 1.0

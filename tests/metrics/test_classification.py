@@ -1,0 +1,102 @@
+"""Tests for the classification metrics (Table IV's accuracy and friends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ShapeError
+from repro.metrics.classification import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+)
+
+binary = arrays(np.int64, 20, elements=st.sampled_from([0, 1]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        assert accuracy(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([0, 1, 1, 0])
+        assert accuracy(y, 1 - y) == 0.0
+
+    def test_partial(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ShapeError):
+            accuracy([0, 2], [0, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy([0, 1], [0, 1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            accuracy([], [])
+
+    @given(binary, binary)
+    def test_property_bounded_and_complementary(self, y, p):
+        a = accuracy(y, p)
+        assert 0.0 <= a <= 1.0
+        assert a + accuracy(y, 1 - p) == pytest.approx(1.0)
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 0, 1])
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    @given(binary, binary)
+    def test_property_entries_sum_to_n(self, y, p):
+        assert confusion_matrix(y, p).sum() == len(y)
+
+
+class TestPrecisionRecallF1:
+    def test_by_hand(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_no_positives_predicted(self):
+        precision, recall, f1 = precision_recall_f1([1, 1], [0, 0])
+        assert precision == 0.0
+        assert recall == 0.0
+        assert f1 == 0.0
+
+    @given(binary, binary)
+    def test_property_f1_between_precision_and_recall_bounds(self, y, p):
+        precision, recall, f1 = precision_recall_f1(y, p)
+        assert 0.0 <= f1 <= 1.0
+        assert min(precision, recall) - 1e-12 <= f1 <= max(precision, recall) + 1e-12
+
+
+class TestBalancedAccuracy:
+    def test_imbalanced_dataset(self):
+        # 90 empty + 10 occupied; predicting all-empty gets 90 % raw
+        # accuracy but only 50 % balanced accuracy.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert accuracy(y_true, y_pred) == 0.9
+        assert balanced_accuracy(y_true, y_pred) == 0.5
+
+    def test_single_class_fold(self):
+        # Table III folds 2-3 are all-empty: balanced accuracy reduces to
+        # the empty-class recall.
+        y_true = np.zeros(10, dtype=int)
+        y_pred = np.array([0] * 8 + [1] * 2)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.8)
+
+    @given(binary, binary)
+    def test_property_bounded(self, y, p):
+        assert 0.0 <= balanced_accuracy(y, p) <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for the regression metrics (paper Eqs. 2-3 and friends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ShapeError
+from repro.metrics.regression import mae, mape, r2_score, rmse
+
+vectors = arrays(np.float64, 15, elements=st.floats(-1e4, 1e4))
+
+
+class TestMae:
+    def test_eq2_by_hand(self):
+        assert mae([1.0, 2.0, 3.0], [2.0, 2.0, 5.0]) == pytest.approx(1.0)
+
+    def test_zero_at_equality(self):
+        assert mae([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mae([1.0], [1.0, 2.0])
+
+    @given(vectors, vectors)
+    def test_property_symmetric_and_non_negative(self, a, b):
+        assert mae(a, b) >= 0.0
+        assert mae(a, b) == pytest.approx(mae(b, a))
+
+    @given(vectors, vectors)
+    def test_property_triangle_via_shift(self, a, b):
+        # Shifting both by a constant leaves MAE unchanged.
+        assert mae(a + 5.0, b + 5.0) == pytest.approx(mae(a, b), abs=1e-9)
+
+
+class TestMape:
+    def test_eq3_by_hand(self):
+        # |10-9|/10 = 0.1, |20-24|/20 = 0.2 -> mean 0.15.
+        assert mape([10.0, 20.0], [9.0, 24.0]) == pytest.approx(0.15)
+
+    def test_zero_target_uses_epsilon_guard(self):
+        value = mape([0.0], [1.0], eps=1e-9)
+        assert np.isfinite(value)
+        assert value > 1.0  # huge but not infinite
+
+    def test_scale_invariance(self):
+        # The paper chose MAPE because it "is not affected by a global
+        # scaling of the target variable".
+        y = np.array([10.0, 20.0, 30.0])
+        p = np.array([11.0, 18.0, 33.0])
+        assert mape(y, p) == pytest.approx(mape(10 * y, 10 * p))
+
+    def test_rejects_non_positive_eps(self):
+        with pytest.raises(ShapeError):
+            mape([1.0], [1.0], eps=0.0)
+
+    @given(vectors, vectors)
+    def test_property_non_negative(self, a, b):
+        assert mape(a, b) >= 0.0
+
+
+class TestRmse:
+    def test_by_hand(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    @given(vectors, vectors)
+    def test_property_dominates_mae(self, a, b):
+        # RMSE >= MAE always (Jensen).
+        assert rmse(a, b) >= mae(a, b) - 1e-9
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 1.0, -2.0])) < 0.0
+
+    def test_constant_target_conventions(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 0.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == -1.0
+
+    @given(vectors)
+    def test_property_perfect_is_one_or_constant_zero(self, y):
+        constant = bool(np.all(y == y[0])) or float(np.sum((y - y.mean()) ** 2)) == 0.0
+        expected = 0.0 if constant else 1.0
+        assert r2_score(y, y) == pytest.approx(expected)

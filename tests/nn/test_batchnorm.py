@@ -1,0 +1,118 @@
+"""Tests for BatchNorm1d and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.modules import BatchNorm1d, Linear, ReLU, Sequential
+from repro.nn.optim import SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class TestBatchNorm1d:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm1d(3)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(5.0, 2.0, size=(256, 3)))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, rtol=1e-2)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            bn(Tensor(rng.normal(3.0, 1.5, size=(128, 2))))
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.3)
+        np.testing.assert_allclose(np.sqrt(bn.running_var), 1.5, atol=0.3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2)
+        rng = np.random.default_rng(0)
+        # Enough batches for the momentum-0.1 running mean to converge:
+        # 1 - 0.9^60 ~ 0.998 of the way to the true mean.
+        for _ in range(60):
+            bn(Tensor(rng.normal(3.0, 1.0, size=(128, 2))))
+        bn.eval()
+        single = bn(Tensor(np.array([[3.0, 3.0]])))
+        np.testing.assert_allclose(single.data, 0.0, atol=0.3)
+
+    def test_eval_deterministic_single_sample(self):
+        bn = BatchNorm1d(2)
+        bn(Tensor(np.random.default_rng(0).normal(size=(64, 2))))
+        bn.eval()
+        x = Tensor(np.array([[0.5, -0.5]]))
+        np.testing.assert_array_equal(bn(x).data, bn(x).data)
+
+    def test_affine_parameters_trainable(self):
+        bn = BatchNorm1d(2)
+        params = list(bn.parameters())
+        assert len(params) == 2
+        out = bn(Tensor(np.random.default_rng(0).normal(size=(32, 2))))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_inside_sequential(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Linear(4, 8, rng=rng), BatchNorm1d(8), ReLU(), Linear(8, 1, rng=rng)
+        )
+        out = model(Tensor(rng.normal(size=(16, 4))))
+        assert out.shape == (16, 1)
+        out.sum().backward()
+        assert model.layers[0].weight.grad is not None
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1d(3)(Tensor(np.ones((4, 5))))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_features": 0}, {"n_features": 2, "momentum": 0.0}, {"n_features": 2, "eps": 0.0}],
+    )
+    def test_construction_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(**kwargs)
+
+
+class TestClipGradNorm:
+    def test_large_gradient_scaled_to_max(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradient_untouched(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_global_norm_across_parameters(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_gradients_returns_zero(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_rejects_bad_max_norm(self):
+        with pytest.raises(ConfigurationError):
+            clip_grad_norm([], 0.0)
+
+    def test_stabilizes_training_step(self):
+        # One pathological batch must not fling the weights away.
+        w = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        w.grad = np.full(2, 1e6)
+        clip_grad_norm([w], max_norm=1.0)
+        opt.step()
+        assert np.all(np.abs(w.data - 1.0) < 0.2)

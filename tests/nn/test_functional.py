@@ -1,0 +1,55 @@
+"""Tests for the functional namespace."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestFunctional:
+    def test_relu(self):
+        out = F.relu(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_sigmoid_midpoint(self):
+        assert F.sigmoid(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+
+    def test_tanh(self):
+        np.testing.assert_allclose(
+            F.tanh(Tensor(np.array([0.5]))).data, np.tanh([0.5])
+        )
+
+    def test_exp_log_inverse(self):
+        x = Tensor(np.array([0.5, 1.5]))
+        np.testing.assert_allclose(F.log(F.exp(x)).data, x.data, rtol=1e-12)
+
+    def test_linear_with_bias(self):
+        x = Tensor(np.ones((2, 3)))
+        w = Tensor(np.ones((3, 4)))
+        b = Tensor(np.ones(4))
+        np.testing.assert_allclose(F.linear(x, w, b).data, 4.0)
+
+    def test_linear_without_bias(self):
+        x = Tensor(np.ones((2, 3)))
+        w = Tensor(np.ones((3, 4)))
+        np.testing.assert_allclose(F.linear(x, w).data, 3.0)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        np.testing.assert_allclose(out.data, 0.5)
+
+    def test_softmax_gradient_flows(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        (F.softmax(x) * Tensor(np.array([[1.0, 0.0, 0.0]]))).sum().backward()
+        assert x.grad is not None
+        # Softmax gradient rows sum to ~0.
+        assert abs(x.grad.sum()) < 1e-9
+
+    def test_mean(self):
+        assert F.mean(Tensor(np.array([1.0, 3.0]))).item() == 2.0

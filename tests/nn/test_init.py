@@ -1,0 +1,64 @@
+"""Tests for weight initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.init import (
+    INITIALIZERS,
+    get_initializer,
+    kaiming_normal,
+    kaiming_uniform,
+    xavier_normal,
+    xavier_uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestShapesAndScales:
+    @pytest.mark.parametrize("fn", list(INITIALIZERS.values()))
+    def test_shape(self, fn, rng):
+        assert fn(64, 128, rng).shape == (64, 128)
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = kaiming_uniform(100, 50, rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_kaiming_normal_std(self, rng):
+        w = kaiming_normal(1000, 200, rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_xavier_uniform_bound(self, rng):
+        w = xavier_uniform(60, 40, rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 100))
+
+    def test_xavier_normal_std(self, rng):
+        w = xavier_normal(500, 500, rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_kaiming_preserves_relu_second_moment(self, rng):
+        # He init: E[relu(xW)^2] = Var(xW)/2 = fan * var_x * (2/fan) / 2
+        # = var_x, so the signal magnitude is preserved layer to layer.
+        x = rng.normal(size=(2000, 256))
+        w = kaiming_normal(256, 256, rng)
+        out = np.maximum(x @ w, 0)
+        assert np.mean(out**2) == pytest.approx(x.var(), rel=0.15)
+
+
+class TestLookup:
+    def test_get_by_name(self):
+        assert get_initializer("kaiming_uniform") is kaiming_uniform
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_initializer("glorot")
+
+    @pytest.mark.parametrize("fn", list(INITIALIZERS.values()))
+    def test_rejects_bad_fans(self, fn, rng):
+        with pytest.raises(ConfigurationError):
+            fn(0, 8, rng)

@@ -1,0 +1,101 @@
+"""Tests for the loss functions (paper Eq. 4 and the regression losses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ShapeError
+from repro.nn.losses import bce_loss, bce_with_logits_loss, bce_value, l1_loss, mse_loss
+from repro.nn.tensor import Tensor
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        p = Tensor(np.array([[0.9999], [0.0001]]))
+        y = Tensor(np.array([[1.0], [0.0]]))
+        assert bce_loss(p, y).item() < 0.001
+
+    def test_worst_prediction_large(self):
+        p = Tensor(np.array([[0.0001]]))
+        y = Tensor(np.array([[1.0]]))
+        assert bce_loss(p, y).item() > 5.0
+
+    def test_matches_eq4_by_hand(self):
+        # BCE = -(y log p + (1-y) log(1-p)) averaged.
+        p = Tensor(np.array([[0.8], [0.3]]))
+        y = Tensor(np.array([[1.0], [0.0]]))
+        expected = -0.5 * (np.log(0.8) + np.log(0.7))
+        assert bce_loss(p, y).item() == pytest.approx(expected, rel=1e-6)
+
+    def test_logits_form_matches_probability_form(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(20, 1))
+        y = rng.integers(0, 2, size=(20, 1)).astype(float)
+        a = bce_with_logits_loss(Tensor(z), Tensor(y)).item()
+        b = bce_loss(Tensor(1 / (1 + np.exp(-z))), Tensor(y)).item()
+        assert a == pytest.approx(b, rel=1e-5)
+
+    def test_logits_form_stable_at_extremes(self):
+        z = Tensor(np.array([[1000.0], [-1000.0]]))
+        y = Tensor(np.array([[1.0], [0.0]]))
+        assert bce_with_logits_loss(z, y).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_matches_sigmoid_minus_target(self):
+        # d BCE / d z = (sigmoid(z) - y) / N away from the z=0 kink.
+        z_val = np.full((4, 1), 0.3)
+        z = Tensor(z_val, requires_grad=True)
+        y = Tensor(np.ones((4, 1)))
+        bce_with_logits_loss(z, y).backward()
+        expected = (1 / (1 + np.exp(-z_val)) - 1.0) / 4
+        np.testing.assert_allclose(z.grad, expected, rtol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            bce_loss(Tensor(np.ones((2, 1))), Tensor(np.ones((3, 1))))
+
+    def test_bce_value_numpy_path(self):
+        p = np.array([0.8, 0.3])
+        y = np.array([1.0, 0.0])
+        expected = -0.5 * (np.log(0.8) + np.log(0.7))
+        assert bce_value(p, y) == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=30)
+    @given(
+        arrays(np.float64, (5, 1), elements=st.floats(-10, 10)),
+        arrays(np.float64, (5, 1), elements=st.sampled_from([0.0, 1.0])),
+    )
+    def test_property_bce_non_negative(self, z, y):
+        assert bce_with_logits_loss(Tensor(z), Tensor(y)).item() >= 0.0
+
+
+class TestRegressionLosses:
+    def test_mse_by_hand(self):
+        a = Tensor(np.array([[1.0], [3.0]]))
+        b = Tensor(np.array([[2.0], [1.0]]))
+        assert mse_loss(a, b).item() == pytest.approx((1 + 4) / 2)
+
+    def test_l1_by_hand(self):
+        a = Tensor(np.array([[1.0], [3.0]]))
+        b = Tensor(np.array([[2.0], [1.0]]))
+        assert l1_loss(a, b).item() == pytest.approx(1.5)
+
+    def test_zero_at_equality(self):
+        x = Tensor(np.ones((3, 2)))
+        assert mse_loss(x, x).item() == 0.0
+        assert l1_loss(x, x).item() == 0.0
+
+    def test_mse_gradient(self):
+        a = Tensor(np.array([[2.0]]), requires_grad=True)
+        b = Tensor(np.array([[0.0]]))
+        mse_loss(a, b).backward()
+        np.testing.assert_allclose(a.grad, [[4.0]])
+
+    @settings(max_examples=30)
+    @given(arrays(np.float64, (4, 2), elements=st.floats(-100, 100)))
+    def test_property_mse_dominates_squared_l1_per_element(self, x):
+        # RMS >= mean absolute (Jensen): mse >= l1^2.
+        zero = Tensor(np.zeros_like(x))
+        mse = mse_loss(Tensor(x), zero).item()
+        l1 = l1_loss(Tensor(x), zero).item()
+        assert mse >= l1**2 - 1e-9

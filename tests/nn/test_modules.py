@@ -1,0 +1,172 @@
+"""Tests for the module system."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.modules import Dropout, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.tensor import Tensor
+
+
+def make_mlp(seed=0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng), Sigmoid()
+    )
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 8, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 8)
+
+    def test_parameter_count_formula(self):
+        # The paper's per-layer counts: in*out + out (e.g. 64*128+128=8320).
+        layer = Linear(64, 128, rng=np.random.default_rng(0))
+        assert layer.weight.size + layer.bias.size == 8320
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 8, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data == pytest.approx(np.zeros((2, 8)))
+
+    def test_wrong_input_width_raises(self):
+        layer = Linear(4, 8, rng=np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.ones((5, 3))))
+
+    def test_rejects_bad_features(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 8)
+
+    def test_unknown_initializer(self):
+        with pytest.raises(ConfigurationError):
+            Linear(4, 8, init="fancy_init")
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (Tanh(), np.tanh),
+        ],
+    )
+    def test_elementwise(self, module, fn):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_allclose(module(Tensor(x)).data, fn(x), rtol=1e-12)
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_masks_in_train(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100))))
+        kept = np.count_nonzero(out.data)
+        assert 0 < kept < 100 * 100
+
+    def test_inverted_scaling_preserves_mean(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((200, 200))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_p_of_one(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        model = make_mlp()
+        out = model(Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 3)
+        assert np.all((0 < out.data) & (out.data < 1))
+
+    def test_len_and_getitem(self):
+        model = make_mlp()
+        assert len(model) == 4
+        assert isinstance(model[0], Linear)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential()
+
+    def test_forward_with_activations(self):
+        model = make_mlp()
+        out, activations = model.forward_with_activations(Tensor(np.ones((2, 4))))
+        assert len(activations) == 4
+        np.testing.assert_array_equal(activations[-1].data, out.data)
+        assert activations[0].shape == (2, 8)
+
+    def test_repr_lists_layers(self):
+        assert "Linear" in repr(make_mlp())
+
+
+class TestModulePlumbing:
+    def test_parameters_found_recursively(self):
+        model = make_mlp()
+        params = list(model.parameters())
+        assert len(params) == 4  # two weights + two biases
+
+    def test_named_parameters_stable_paths(self):
+        model = make_mlp()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == [
+            "layers.0.weight",
+            "layers.0.bias",
+            "layers.2.weight",
+            "layers.2.bias",
+        ]
+
+    def test_n_parameters(self):
+        model = make_mlp()
+        assert model.n_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), Dropout(0.5))
+        model.eval()
+        assert not model.layers[1].training
+        model.train()
+        assert model.layers[1].training
+
+    def test_zero_grad_clears_all(self):
+        model = make_mlp()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_round_trip(self):
+        a = make_mlp(seed=1)
+        b = make_mlp(seed=2)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        model = make_mlp()
+        state = model.state_dict()
+        state["layers.0.weight"][:] = 0.0
+        assert not np.allclose(model.layers[0].weight.data, 0.0)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = make_mlp()
+        state = model.state_dict()
+        del state["layers.0.bias"]
+        with pytest.raises(ConfigurationError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_wrong_shape(self):
+        model = make_mlp()
+        state = model.state_dict()
+        state["layers.0.weight"] = np.zeros((2, 2))
+        with pytest.raises(ShapeError):
+            model.load_state_dict(state)

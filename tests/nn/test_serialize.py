@@ -1,0 +1,53 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.serialize import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+def make_model(seed=0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_outputs(self, tmp_path):
+        a = make_model(seed=1)
+        path = save_state_dict(a, tmp_path / "model.npz")
+        b = make_model(seed=2)
+        load_state_dict(b, path)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_returns_path(self, tmp_path):
+        path = save_state_dict(make_model(), tmp_path / "m.npz")
+        assert path.exists()
+
+
+class TestErrors:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_state_dict(make_model(), tmp_path / "nope.npz")
+
+    def test_load_non_model_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(SerializationError):
+            load_state_dict(make_model(), path)
+
+    def test_tampered_manifest_detected(self, tmp_path):
+        path = save_state_dict(make_model(), tmp_path / "m.npz")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["layers.0.weight"] = np.zeros((1, 1))
+        np.savez(path, **payload)
+        with pytest.raises(SerializationError):
+            load_state_dict(make_model(), path)
+
+    def test_save_parameterless_model(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_state_dict(Sequential(ReLU()), tmp_path / "m.npz")

@@ -1,0 +1,240 @@
+"""Autograd engine tests, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import AutogradError, ShapeError
+from repro.nn.tensor import Tensor, grad_enabled, no_grad
+
+
+def finite_difference(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=float)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        x_hi = x.copy()
+        x_lo = x.copy()
+        x_hi[idx] += eps
+        x_lo[idx] -= eps
+        grad[idx] = (f(x_hi) - f(x_lo)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, tolerance: float = 1e-5) -> None:
+    """Compare autograd and finite-difference gradients for y = sum(op(x))."""
+    t = Tensor(x, requires_grad=True)
+    op(t).sum().backward()
+    expected = finite_difference(lambda v: float(np.sum(op(Tensor(v)).data)), x)
+    np.testing.assert_allclose(t.grad, expected, rtol=tolerance, atol=tolerance)
+
+
+class TestGradcheckUnary:
+    X = np.array([[0.5, -1.2, 2.0], [0.3, 1.7, -0.4]])
+
+    def test_relu(self):
+        check_gradient(lambda t: t.relu(), self.X)
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid(), self.X)
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh(), self.X)
+
+    def test_exp(self):
+        check_gradient(lambda t: t.exp(), self.X)
+
+    def test_log(self):
+        check_gradient(lambda t: t.log(), np.abs(self.X) + 0.5)
+
+    def test_abs(self):
+        check_gradient(lambda t: t.abs(), self.X)
+
+    def test_neg(self):
+        check_gradient(lambda t: -t, self.X)
+
+    def test_pow(self):
+        check_gradient(lambda t: t**3, self.X)
+
+    def test_clip(self):
+        check_gradient(lambda t: t.clip(-1.0, 1.5), self.X)
+
+    def test_reshape(self):
+        check_gradient(lambda t: t.reshape(3, 2).sigmoid(), self.X)
+
+    def test_transpose(self):
+        check_gradient(lambda t: t.transpose().tanh(), self.X)
+
+    def test_getitem(self):
+        check_gradient(lambda t: t[0:1] * 3.0, self.X)
+
+    def test_mean_axis(self):
+        check_gradient(lambda t: t.mean(axis=1).sigmoid(), self.X)
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda t: t.sum(axis=0, keepdims=True).tanh(), self.X)
+
+
+class TestGradcheckBinary:
+    A = np.array([[0.5, -1.2], [0.3, 1.7]])
+    B = np.array([[1.5, 0.2], [-0.3, 0.7]])
+
+    def _check_pair(self, op):
+        ta = Tensor(self.A, requires_grad=True)
+        tb = Tensor(self.B, requires_grad=True)
+        op(ta, tb).sum().backward()
+        fa = finite_difference(
+            lambda v: float(np.sum(op(Tensor(v), Tensor(self.B)).data)), self.A
+        )
+        fb = finite_difference(
+            lambda v: float(np.sum(op(Tensor(self.A), Tensor(v)).data)), self.B
+        )
+        np.testing.assert_allclose(ta.grad, fa, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(tb.grad, fb, rtol=1e-5, atol=1e-6)
+
+    def test_add(self):
+        self._check_pair(lambda a, b: a + b)
+
+    def test_sub(self):
+        self._check_pair(lambda a, b: a - b)
+
+    def test_mul(self):
+        self._check_pair(lambda a, b: a * b)
+
+    def test_div(self):
+        self._check_pair(lambda a, b: a / (b + 2.0))
+
+    def test_matmul(self):
+        self._check_pair(lambda a, b: a @ b)
+
+    def test_composite_expression(self):
+        self._check_pair(lambda a, b: ((a @ b).relu() * a).sigmoid())
+
+
+class TestBroadcasting:
+    def test_bias_broadcast_gradient(self):
+        x = Tensor(np.ones((4, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_scalar_broadcast_gradient(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((3, 3)))
+        (x * s).sum().backward()
+        assert s.grad == pytest.approx(9.0)
+
+    def test_keepdim_column_broadcast(self):
+        c = Tensor(np.ones((4, 1)), requires_grad=True)
+        x = Tensor(np.full((4, 3), 2.0))
+        (x * c).sum().backward()
+        np.testing.assert_allclose(c.grad, np.full((4, 1), 6.0))
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_property_broadcast_grad_shape_matches_input(self, n, m):
+        row = Tensor(np.ones(m), requires_grad=True)
+        x = Tensor(np.ones((n, m)))
+        (x + row).sum().backward()
+        assert row.grad.shape == (m,)
+        np.testing.assert_allclose(row.grad, n)
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.ones(3)).sum().backward()
+
+    def test_backward_non_scalar_needs_gradient(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(AutogradError):
+            (t * 2).backward()
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3 + x * 4  # x used twice
+        y.sum().backward()
+        assert x.grad == pytest.approx([7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2
+        b = x * 3
+        (a * b).sum().backward()
+        # d/dx (6 x^2) = 12 x
+        assert x.grad == pytest.approx([18.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+
+    def test_deep_chain_does_not_overflow(self):
+        # The iterative topological sort must handle graphs deeper than the
+        # Python recursion limit.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.0001
+        y.sum().backward()
+        assert x.grad == pytest.approx([1.0])
+
+
+class TestNoGrad:
+    def test_context_disables_taping(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_context_restores_state(self):
+        assert grad_enabled()
+        with no_grad():
+            assert not grad_enabled()
+        assert grad_enabled()
+
+    def test_nested_contexts(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not grad_enabled()
+
+
+class TestShapesAndErrors:
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_item_requires_single_element(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(2)).item()
+
+    def test_log_of_negative_raises(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.array([-1.0])).log()
+
+    def test_clip_inverted_bounds(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.ones(2)).clip(1.0, 0.0)
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(1), requires_grad=True))
+
+    def test_len_and_size(self):
+        t = Tensor(np.ones((4, 2)))
+        assert len(t) == 4
+        assert t.size == 8
+        assert t.ndim == 2

@@ -1,0 +1,139 @@
+"""Tests for the mini-batch trainer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import bce_with_logits_loss, mse_loss
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.optim import AdamW
+from repro.nn.train import Trainer, TrainingHistory
+
+
+def make_trainer(seed=0, in_dim=2, out_dim=1, loss=bce_with_logits_loss, batch_size=32):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(in_dim, 16, rng=rng), ReLU(), Linear(16, out_dim, rng=rng))
+    opt = AdamW(model.parameters(), lr=1e-2, weight_decay=1e-4)
+    return Trainer(model, opt, loss, batch_size=batch_size, rng=rng)
+
+
+def xor_data(n=512, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(float)
+    return x, y
+
+
+class TestFit:
+    def test_learns_xor(self):
+        x, y = xor_data()
+        trainer = make_trainer()
+        history = trainer.fit(x, y, epochs=30)
+        pred = (trainer.predict(x).ravel() > 0).astype(float)
+        assert (pred == y).mean() > 0.95
+        assert history.n_epochs == 30
+
+    def test_loss_decreases(self):
+        x, y = xor_data()
+        trainer = make_trainer()
+        history = trainer.fit(x, y, epochs=20)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_validation_tracking(self):
+        x, y = xor_data()
+        trainer = make_trainer()
+        history = trainer.fit(x[:400], y[:400], epochs=5, x_val=x[400:], y_val=y[400:])
+        assert len(history.val_loss) == 5
+
+    def test_metric_fn_recorded(self):
+        x, y = xor_data()
+        trainer = make_trainer()
+
+        def accuracy(y_true, y_pred):
+            return float(((y_pred.ravel() > 0) == y_true.ravel()).mean())
+
+        history = trainer.fit(
+            x[:400], y[:400], epochs=3, x_val=x[400:], y_val=y[400:], metric_fn=accuracy
+        )
+        assert len(history.val_metric) == 3
+        assert all(0 <= m <= 1 for m in history.val_metric)
+
+    def test_early_stopping_halts(self):
+        x, y = xor_data()
+        trainer = make_trainer()
+        # Validation on training data converges; a tiny patience must stop
+        # before the full epoch budget once improvement stalls.
+        history = trainer.fit(
+            x, y, epochs=200, x_val=x, y_val=y, early_stopping_patience=2
+        )
+        assert history.n_epochs < 200
+
+    def test_regression_path(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(256, 3))
+        y = x @ np.array([[1.0], [2.0], [-1.0]])
+        trainer = make_trainer(in_dim=3, loss=mse_loss)
+        trainer.fit(x, y, epochs=50)
+        assert trainer.evaluate_loss(x, y) < 0.1
+
+    def test_scheduler_steps_per_epoch(self):
+        from repro.nn.schedulers import ExponentialLR
+
+        x, y = xor_data(128)
+        trainer = make_trainer()
+        scheduler = ExponentialLR(trainer.optimizer, gamma=0.5)
+        trainer.fit(x, y, epochs=3, scheduler=scheduler)
+        assert trainer.optimizer.lr == pytest.approx(1e-2 * 0.5**3)
+
+    def test_deterministic_given_seed(self):
+        x, y = xor_data()
+        h1 = make_trainer(seed=9).fit(x, y, epochs=3)
+        h2 = make_trainer(seed=9).fit(x, y, epochs=3)
+        assert h1.train_loss == h2.train_loss
+
+
+class TestValidationAndErrors:
+    def test_rejects_1d_inputs(self):
+        trainer = make_trainer()
+        with pytest.raises(ShapeError):
+            trainer.fit(np.ones(10), np.ones(10), epochs=1)
+
+    def test_rejects_mismatched_lengths(self):
+        trainer = make_trainer()
+        with pytest.raises(ShapeError):
+            trainer.fit(np.ones((10, 2)), np.ones(5), epochs=1)
+
+    def test_rejects_zero_epochs(self):
+        trainer = make_trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.fit(np.ones((4, 2)), np.ones(4), epochs=0)
+
+    def test_rejects_bad_patience(self):
+        trainer = make_trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.fit(np.ones((4, 2)), np.ones(4), epochs=1, early_stopping_patience=0)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            make_trainer(batch_size=0)
+
+    def test_predict_batches_large_input(self):
+        trainer = make_trainer()
+        x, y = xor_data(64)
+        trainer.fit(x, y, epochs=1)
+        out = trainer.predict(np.ones((5000, 2)))
+        assert out.shape == (5000, 1)
+
+
+class TestTrainingHistory:
+    def test_best_epoch_prefers_validation(self):
+        history = TrainingHistory(train_loss=[3, 2, 1], val_loss=[1.0, 0.5, 0.8])
+        assert history.best_epoch() == 1
+
+    def test_best_epoch_falls_back_to_train(self):
+        history = TrainingHistory(train_loss=[3, 1, 2])
+        assert history.best_epoch() == 1
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ConfigurationError):
+            TrainingHistory().best_epoch()

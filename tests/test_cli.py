@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_csv, load_npz, save_npz
+from repro.data.recording import CollectionCampaign
+from repro.config import CampaignConfig
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    """A small saved campaign for the dataset-consuming commands."""
+    path = tmp_path_factory.mktemp("cli") / "campaign.npz"
+    dataset = CollectionCampaign(
+        CampaignConfig(duration_h=8.0, sample_rate_hz=0.2, seed=4)
+    ).run()
+    save_npz(dataset, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["generate", "out.npz", "--hours", "1", "--rate", "0.5"],
+            ["profile", "data.npz"],
+            ["folds", "data.npz"],
+            ["table4", "data.npz", "--epochs", "2"],
+            ["table5", "data.npz"],
+            ["footprint", "--inputs", "64"],
+        ],
+    )
+    def test_all_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestCommands:
+    def test_generate_npz(self, tmp_path, capsys):
+        out = tmp_path / "c.npz"
+        code = main(["generate", str(out), "--hours", "0.5", "--rate", "1", "--seed", "1"])
+        assert code == 0
+        assert len(load_npz(out)) == 1800
+        assert "Saved" in capsys.readouterr().out
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "c.csv"
+        assert main(["generate", str(out), "--hours", "0.2", "--rate", "1"]) == 0
+        assert load_csv(out).n_subcarriers == 64
+
+    def test_profile(self, campaign_file, capsys):
+        assert main(["profile", str(campaign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "corr(T, H)" in out
+        assert "ADF" in out
+
+    def test_folds(self, campaign_file, capsys):
+        assert main(["folds", str(campaign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "train" in out and "test" in out
+
+    def test_table4_quick(self, campaign_file, capsys):
+        code = main([
+            "table4", str(campaign_file), "--epochs", "1", "--max-train-rows", "1500",
+        ])
+        assert code == 0
+        assert "Avg." in capsys.readouterr().out
+
+    def test_table5_quick(self, campaign_file, capsys):
+        code = main([
+            "table5", str(campaign_file), "--epochs", "1", "--max-train-rows", "1500",
+        ])
+        assert code == 0
+        assert "MAE" in capsys.readouterr().out
+
+    def test_footprint(self, capsys):
+        assert main(["footprint", "--inputs", "66"]) == 0
+        out = capsys.readouterr().out
+        assert "Nucleo-L432KC" in out
+        assert "FITS" in out

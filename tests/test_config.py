@@ -1,0 +1,109 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    BehaviorConfig,
+    CampaignConfig,
+    RadioConfig,
+    RoomConfig,
+    ThermalConfig,
+    TrainingConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRadioConfig:
+    def test_paper_defaults(self):
+        radio = RadioConfig()
+        assert radio.n_subcarriers == 64
+        assert radio.wavelength_m == pytest.approx(0.1243, abs=1e-3)
+
+    def test_subcarrier_rule_other_bandwidths(self):
+        assert RadioConfig(bandwidth_hz=40e6).n_subcarriers == 128
+
+    def test_rejects_bandwidth_above_carrier(self):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(carrier_hz=10e6, bandwidth_hz=20e6)
+
+
+class TestRoomConfig:
+    def test_paper_office(self):
+        room = RoomConfig()
+        assert (room.length_m, room.width_m, room.height_m) == (12.0, 6.0, 3.0)
+        # AP and RP1 2 m apart at 1.4 m height (Sec. IV-A).
+        tx, rx = room.tx_position, room.rx_position
+        assert tx[2] == rx[2] == 1.4
+        assert abs(tx[0] - rx[0]) == 2.0
+
+    def test_rejects_antenna_outside(self):
+        with pytest.raises(ConfigurationError):
+            RoomConfig(tx_position=(99.0, 0.5, 1.4))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            RoomConfig(length_m=-1.0)
+
+
+class TestThermalConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(hysteresis_c=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(leakage_tau_h=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(humidity_base_rh=150.0)
+
+
+class TestBehaviorConfig:
+    def test_paper_population(self):
+        assert BehaviorConfig().n_subjects == 6
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorConfig(workday_start_h=20.0, workday_end_h=8.0)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorConfig(n_subjects=0)
+
+
+class TestCampaignConfig:
+    def test_paper_scale_row_arithmetic(self):
+        # Section V-A: 74 h at 20 Hz -> 5,328,000 rows, within rounding of
+        # the reported 5,362,340 (their campaign slightly exceeds 74 h).
+        full = CampaignConfig.paper_scale()
+        assert full.n_samples == 74 * 3600 * 20
+
+    def test_default_is_scaled_down(self):
+        assert CampaignConfig().n_samples < CampaignConfig.paper_scale().n_samples
+
+    def test_smoke_scale_tiny(self):
+        assert CampaignConfig.smoke_scale().n_samples < 10_000
+
+    def test_overrides_pass_through(self):
+        cfg = CampaignConfig.paper_scale(seed=7)
+        assert cfg.seed == 7
+        assert cfg.sample_rate_hz == 20.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(duration_h=0.0)
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(start_hour_of_day=25.0)
+
+
+class TestTrainingConfig:
+    def test_paper_hyperparameters(self):
+        cfg = TrainingConfig()
+        assert cfg.epochs == 10  # "trained for 10 epochs"
+        assert cfg.learning_rate == pytest.approx(5e-3)  # "lr of 5e-3"
+        assert cfg.hidden_sizes == (128, 256, 128)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(learning_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(hidden_sizes=(0,))

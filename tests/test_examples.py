@@ -1,0 +1,55 @@
+"""Smoke checks for the example scripts.
+
+Full example runs simulate multi-hour campaigns and train paper-size
+models — too slow for the unit suite (they run in CI-style usage via
+``python examples/<name>.py``).  Here we verify each script compiles,
+exposes a ``main`` entry point, and documents itself.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {
+        "quickstart.py",
+        "smart_building_monitor.py",
+        "environment_sensing.py",
+        "explain_and_deploy.py",
+        "activity_and_counting.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleScript:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_has_main_guard_and_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions
+        assert '__name__ == "__main__"' in path.read_text()
+
+    def test_imports_only_public_api(self, path):
+        # Examples must demonstrate the public surface: imports come from
+        # `repro` (any depth) or numpy, nothing private.
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in ("repro", "numpy"), f"{path.name} imports {node.module}"
+                assert not any(part.startswith("_") for part in node.module.split(".")), (
+                    f"{path.name} imports private module {node.module}"
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    assert alias.name.split(".")[0] in ("repro", "numpy")

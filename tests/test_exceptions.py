@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ConfigurationError",
+            "GeometryError",
+            "ChannelError",
+            "DatasetError",
+            "SchemaError",
+            "NotFittedError",
+            "ShapeError",
+            "AutogradError",
+            "DeploymentError",
+            "SerializationError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        cls = getattr(exceptions, name)
+        assert issubclass(cls, exceptions.ReproError)
+
+    def test_schema_error_is_dataset_error(self):
+        # A schema violation is a kind of dataset problem.
+        assert issubclass(exceptions.SchemaError, exceptions.DatasetError)
+
+    def test_value_like_errors_are_value_errors(self):
+        # Callers using plain ValueError handling still catch config and
+        # shape problems.
+        assert issubclass(exceptions.ConfigurationError, ValueError)
+        assert issubclass(exceptions.GeometryError, ValueError)
+        assert issubclass(exceptions.ShapeError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(exceptions.NotFittedError, RuntimeError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.ChannelError("boom")

@@ -1,0 +1,85 @@
+"""Tests for the Grad-CAM explainer (paper Eqs. 5-6 / Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import bce_with_logits_loss
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.optim import AdamW
+from repro.nn.train import Trainer
+from repro.xai.gradcam import GradCAM
+
+
+def train_model_on_feature(informative: int, n_features: int = 6, seed: int = 0):
+    """A model trained so only one input feature carries the label."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(800, n_features))
+    y = (x[:, informative] > 0).astype(float)
+    model = Sequential(
+        Linear(n_features, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng)
+    )
+    trainer = Trainer(model, AdamW(model.parameters(), lr=1e-2),
+                      bce_with_logits_loss, batch_size=64, rng=rng)
+    trainer.fit(x, y, epochs=30)
+    return model, x
+
+
+class TestExplain:
+    def test_informative_feature_ranks_first(self):
+        # Grad-CAM for class c is evaluated on class-c samples (as in the
+        # paper's Figure 3, computed for the "occupied" decision).
+        model, x = train_model_on_feature(informative=3)
+        probe = x[x[:, 3] > 0][:200]
+        ranking = GradCAM(model).feature_ranking(probe, target_class=1)
+        assert ranking[0] == 3
+
+    def test_uninformative_features_score_lower(self):
+        model, x = train_model_on_feature(informative=2)
+        probe = x[x[:, 2] > 0][:200]
+        result = GradCAM(model).explain(probe, target_class=1)
+        importance = result.feature_importance
+        others = np.delete(importance, 2)
+        assert importance[2] > others.max()
+
+    def test_importance_rectified(self):
+        model, x = train_model_on_feature(informative=0)
+        result = GradCAM(model).explain(x[:100])
+        assert np.all(result.feature_importance >= 0)
+
+    def test_signed_relevance_can_be_negative(self):
+        model, x = train_model_on_feature(informative=0)
+        pos = GradCAM(model).explain(x[:100], target_class=1)
+        neg = GradCAM(model).explain(x[:100], target_class=0)
+        # The two class scores are negatives of each other, so signed
+        # relevances flip sign.
+        np.testing.assert_allclose(pos.signed_relevance, -neg.signed_relevance, atol=1e-9)
+
+    def test_layer_maps_rectified_and_shaped(self):
+        model, x = train_model_on_feature(informative=0)
+        result = GradCAM(model).explain(x[:50])
+        # Hidden layers: Linear(6->16) and ReLU(16), excluding the logit.
+        assert len(result.layer_maps) == 2
+        assert result.layer_maps[0].shape == (16,)
+        assert all(np.all(m >= 0) for m in result.layer_maps)
+        assert len(result.layer_alphas) == len(result.layer_maps)
+
+    def test_rejects_bad_class(self):
+        model, x = train_model_on_feature(informative=0)
+        with pytest.raises(ConfigurationError):
+            GradCAM(model).explain(x[:10], target_class=2)
+
+    def test_rejects_1d_probe(self):
+        model, x = train_model_on_feature(informative=0)
+        with pytest.raises(ShapeError):
+            GradCAM(model).explain(x[0])
+
+    def test_rejects_multi_output_model(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+        with pytest.raises(ShapeError):
+            GradCAM(model).explain(np.ones((5, 4)))
+
+    def test_rejects_non_sequential(self):
+        with pytest.raises(ConfigurationError):
+            GradCAM(Linear(4, 1, rng=np.random.default_rng(0)))

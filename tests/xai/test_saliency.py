@@ -1,0 +1,46 @@
+"""Tests for the gradient-saliency baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.xai.saliency import input_gradient_saliency
+from tests.xai.test_gradcam import train_model_on_feature
+
+
+class TestSaliency:
+    def test_informative_feature_dominates(self):
+        model, x = train_model_on_feature(informative=4)
+        saliency = input_gradient_saliency(model, x[:200])
+        assert np.argmax(saliency) == 4
+
+    def test_non_negative(self):
+        model, x = train_model_on_feature(informative=0)
+        assert np.all(input_gradient_saliency(model, x[:50]) >= 0)
+
+    def test_agrees_with_gradcam_on_top_feature(self):
+        # The "sanity check" property: both attribution methods identify
+        # the same dominant input on a model that genuinely uses it.
+        from repro.xai.gradcam import GradCAM
+
+        model, x = train_model_on_feature(informative=1)
+        saliency_top = int(np.argmax(input_gradient_saliency(model, x[:200])))
+        gradcam_top = int(GradCAM(model).feature_ranking(x[:200])[0])
+        assert saliency_top == gradcam_top == 1
+
+    def test_class_argument_validated(self):
+        model, x = train_model_on_feature(informative=0)
+        with pytest.raises(ConfigurationError):
+            input_gradient_saliency(model, x[:5], target_class=5)
+
+    def test_probe_must_be_2d(self):
+        model, x = train_model_on_feature(informative=0)
+        with pytest.raises(ShapeError):
+            input_gradient_saliency(model, x[0])
+
+    def test_multi_output_rejected(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        with pytest.raises(ShapeError):
+            input_gradient_saliency(model, np.ones((3, 4)))
