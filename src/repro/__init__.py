@@ -34,6 +34,7 @@ from .config import (
     TrainingConfig,
 )
 from .core.detector import OccupancyDetector
+from .core.estimator import Estimator, PersistentEstimator
 from .core.regressor import EnvironmentRegressor
 from .core.counter import OccupantCounter
 from .core.activity import ActivityRecognizer
@@ -53,6 +54,8 @@ __all__ = [
     "ThermalConfig",
     "TrainingConfig",
     "OccupancyDetector",
+    "Estimator",
+    "PersistentEstimator",
     "EnvironmentRegressor",
     "OccupantCounter",
     "ActivityRecognizer",

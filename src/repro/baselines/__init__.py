@@ -10,13 +10,16 @@ available here, so this subpackage provides:
 * :mod:`repro.baselines.tree` — histogram-binned CART decision trees
   (classification and regression);
 * :mod:`repro.baselines.forest` — bootstrap-aggregated random forests;
-* :mod:`repro.baselines.linear` — closed-form OLS / ridge regression.
+* :mod:`repro.baselines.linear` — closed-form OLS / ridge regression;
+* :mod:`repro.baselines.pipeline` — public scaled pipelines
+  (standardisation fused with logistic regression or k-NN).
 """
 
 from .scaler import StandardScaler, MinMaxScaler
 from .knn import KNeighborsClassifier
 from .boosting import GradientBoostingClassifier
 from .logistic import LogisticRegression
+from .pipeline import ScaledKNN, ScaledLogistic
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor
 from .forest import RandomForestClassifier, RandomForestRegressor
 from .linear import LinearRegression, RidgeRegression
@@ -26,6 +29,8 @@ __all__ = [
     "KNeighborsClassifier",
     "GradientBoostingClassifier",
     "MinMaxScaler",
+    "ScaledKNN",
+    "ScaledLogistic",
     "LogisticRegression",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",

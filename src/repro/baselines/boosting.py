@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..metrics.classification import accuracy
 from .tree import DecisionTreeRegressor
 
 
@@ -116,6 +117,10 @@ class GradientBoostingClassifier:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Hard 0/1 decisions at the 0.5 threshold."""
         return (self.decision_function(x) >= 0.0).astype(int)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set (Estimator protocol)."""
+        return accuracy(np.asarray(y), self.predict(x))
 
     def staged_accuracy(self, x: np.ndarray, y: np.ndarray) -> list[float]:
         """Accuracy after each boosting round (learning-curve diagnostics)."""

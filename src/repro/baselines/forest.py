@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..metrics.classification import accuracy
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor, _BaseDecisionTree
 
 
@@ -100,6 +101,10 @@ class RandomForestClassifier(_BaseForest):
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Hard 0/1 decisions at the 0.5 threshold."""
         return (self._mean_raw(x) >= 0.5).astype(int)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set (Estimator protocol)."""
+        return accuracy(np.asarray(y), self.predict(x))
 
 
 class RandomForestRegressor(_BaseForest):

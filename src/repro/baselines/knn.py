@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..metrics.classification import accuracy
 
 
 class KNeighborsClassifier:
@@ -81,3 +82,7 @@ class KNeighborsClassifier:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Majority-vote labels (ties -> occupied)."""
         return (self.predict_proba(x) >= 0.5).astype(int)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set (Estimator protocol)."""
+        return accuracy(np.asarray(y), self.predict(x))

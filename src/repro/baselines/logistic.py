@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..metrics.classification import accuracy
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -120,6 +121,10 @@ class LogisticRegression:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Hard 0/1 decisions at the 0.5 threshold."""
         return (self.predict_proba(x) >= 0.5).astype(int)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set (Estimator protocol)."""
+        return accuracy(np.asarray(y), self.predict(x))
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         """Raw logits ``x @ w + b``."""

@@ -1,0 +1,142 @@
+"""Scaled model pipelines: standardisation fused with a classifier.
+
+Raw CSI amplitudes and degC/%RH environment columns differ by orders of
+magnitude, so the distance-based and gradient-descent baselines need
+standardised inputs.  Scaling is *part of the model* (fitted on the
+training fold only, applied at predict time), which keeps the baseline
+linear/metric in the original features and keeps the leakage boundary
+honest.  These classes were previously private to the fold harness
+(``core/experiment.py``); they are public now so the serving engine and
+user code can treat them as ordinary
+:class:`~repro.core.estimator.Estimator` conformers.
+
+Both pipelines persist to a single NPZ archive (scaler statistics plus
+the wrapped model's fitted state), giving them the same ``save``/``load``
+surface as the neural :class:`~repro.core.detector.OccupancyDetector`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import NotFittedError, SerializationError
+from ..metrics.classification import accuracy
+from .knn import KNeighborsClassifier
+from .logistic import LogisticRegression
+from .scaler import StandardScaler
+
+
+def _load_archive(path: str | Path, kind: str) -> dict[str, np.ndarray]:
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such model file: {path}")
+    with np.load(path) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    if payload.get("__kind__", np.array("")).item() != kind:
+        raise SerializationError(f"{path} is not a saved {kind} pipeline")
+    return payload
+
+
+class ScaledLogistic:
+    """Logistic regression with internal standardisation.
+
+    Our gradient-descent solver wants standardised inputs (sklearn's copes
+    via conditioning); the model stays linear in the original features.
+    """
+
+    def __init__(self, **logistic_kwargs: float) -> None:
+        self._scaler = StandardScaler()
+        self._model = LogisticRegression(**logistic_kwargs)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ScaledLogistic":
+        self._model.fit(self._scaler.fit_transform(x), y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict(self._scaler.transform(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict_proba(self._scaler.transform(x))
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set."""
+        return accuracy(np.asarray(y), self.predict(x))
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the scaler statistics and the fitted weights."""
+        if self._model.weights_ is None:
+            raise NotFittedError("ScaledLogistic.save before fit")
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            __kind__=np.array("scaled_logistic"),
+            weights=self._model.weights_,
+            intercept=np.array(self._model.intercept_),
+            **self._scaler.state,
+        )
+        return path
+
+    def load(self, path: str | Path) -> "ScaledLogistic":
+        """Restore a pipeline saved with :meth:`save`."""
+        payload = _load_archive(path, "scaled_logistic")
+        self._scaler = StandardScaler.from_state(
+            {"mean": payload["mean"], "scale": payload["scale"]}
+        )
+        self._model.weights_ = payload["weights"]
+        self._model.intercept_ = float(payload["intercept"])
+        return self
+
+
+class ScaledKNN:
+    """k-NN with internal standardisation (distances need equal scales).
+
+    ``max_train_rows`` strides the training set down so brute-force
+    distance evaluation stays fast at campaign scale.
+    """
+
+    def __init__(self, n_neighbors: int = 7, max_train_rows: int = 8000) -> None:
+        self._scaler = StandardScaler()
+        self._model = KNeighborsClassifier(n_neighbors)
+        self._max_train_rows = max_train_rows
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ScaledKNN":
+        stride = max(1, x.shape[0] // self._max_train_rows)
+        self._model.fit(self._scaler.fit_transform(x)[::stride], np.asarray(y)[::stride])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict(self._scaler.transform(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._model.predict_proba(self._scaler.transform(x))
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set."""
+        return accuracy(np.asarray(y), self.predict(x))
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the scaler statistics and the (strided) reference set."""
+        if self._model._x is None or self._model._y is None:
+            raise NotFittedError("ScaledKNN.save before fit")
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            __kind__=np.array("scaled_knn"),
+            x=self._model._x,
+            y=self._model._y,
+            n_neighbors=np.array(self._model.n_neighbors),
+            **self._scaler.state,
+        )
+        return path
+
+    def load(self, path: str | Path) -> "ScaledKNN":
+        """Restore a pipeline saved with :meth:`save`."""
+        payload = _load_archive(path, "scaled_knn")
+        self._scaler = StandardScaler.from_state(
+            {"mean": payload["mean"], "scale": payload["scale"]}
+        )
+        self._model = KNeighborsClassifier(int(payload["n_neighbors"]))
+        self._model.fit(payload["x"], payload["y"])
+        return self

@@ -7,10 +7,14 @@
 * ``folds`` — print the Table III fold table of a saved campaign;
 * ``table4`` — train/evaluate the occupancy grid on a saved campaign;
 * ``table5`` — the linear-vs-neural T/H regression comparison;
-* ``footprint`` — quantize the paper MLP and print the Nucleo budget.
+* ``footprint`` — quantize the paper MLP and print the Nucleo budget;
+* ``serve-bench`` — per-frame vs. micro-batched serving throughput.
 
 Every command is a thin shell over the public API, so scripts and
-notebooks can do the same with imports.
+notebooks can do the same with imports.  Flags shared between
+subcommands (``--seed``, ``--rate``, ``--output``) are spelled and
+defaulted identically everywhere; each subcommand's ``--help`` epilog
+restates them.
 """
 
 from __future__ import annotations
@@ -18,8 +22,6 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-
-import numpy as np
 
 from .config import CampaignConfig, TrainingConfig
 from .core.experiment import OccupancyExperiment, RegressionExperiment
@@ -31,15 +33,36 @@ from .deploy.footprint import estimate_footprint
 from .deploy.quantize import quantize_model
 from .deploy.timing import cortex_m4_latency_ms
 
+#: Shared flag defaults — single source of truth for every subcommand.
+DEFAULT_SEED = 2022
+DEFAULT_RATE_HZ = 0.5
 
-def _print_rows(rows: list[dict[str, object]]) -> None:
+#: Epilog appended to every subcommand that takes the common flags.
+COMMON_FLAGS_EPILOG = """\
+common flags (spelled and defaulted identically across subcommands):
+  --seed N      RNG seed (default 2022)
+  --rate HZ     sample rate in rows per second (default 0.5)
+  --output PATH where to write this command's artifact
+"""
+
+
+def _format_rows(rows: list[dict[str, object]]) -> str:
     if not rows:
-        return
+        return ""
     columns = list(rows[0])
     widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
-    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
     for row in rows:
-        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _emit(text: str, output: str | None) -> None:
+    """Print ``text`` and, when ``--output`` was given, also write it there."""
+    print(text)
+    if output:
+        Path(output).write_text(text + "\n")
+        print(f"(written to {output})")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -82,12 +105,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_folds(args: argparse.Namespace) -> int:
     dataset = load_npz(args.dataset)
     split = make_paper_folds(dataset)
-    _print_rows([dict(f.describe()) for f in split.all_folds])
+    print(_format_rows([dict(f.describe()) for f in split.all_folds]))
     return 0
 
 
 def _training_from_args(args: argparse.Namespace) -> TrainingConfig:
-    return TrainingConfig(epochs=args.epochs)
+    return TrainingConfig(epochs=args.epochs, seed=args.seed)
 
 
 def cmd_table4(args: argparse.Namespace) -> int:
@@ -97,7 +120,7 @@ def cmd_table4(args: argparse.Namespace) -> int:
         split, training=_training_from_args(args), max_train_rows=args.max_train_rows
     )
     result = experiment.run(verbose=True)
-    _print_rows(result.rows())
+    _emit(_format_rows(result.rows()), args.output)
     return 0
 
 
@@ -108,7 +131,7 @@ def cmd_table5(args: argparse.Namespace) -> int:
         split, training=_training_from_args(args), max_train_rows=args.max_train_rows
     )
     result = experiment.run()
-    _print_rows(result.rows())
+    _emit(_format_rows(result.rows()), args.output)
     return 0
 
 
@@ -122,6 +145,66 @@ def cmd_footprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .baselines.pipeline import ScaledLogistic
+    from .core.detector import OccupancyDetector
+    from .serve.bench import run_serve_bench
+    from .serve.robustness import PriorFallback
+
+    # Fail on bad knobs before paying for simulation + training.
+    if args.links < 1:
+        print("serve-bench: --links must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print("serve-bench: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+
+    config = CampaignConfig(
+        duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
+    )
+    print(f"Simulating {config.duration_h} h at {config.sample_rate_hz} Hz "
+          f"({config.n_samples} rows, seed {config.seed})...")
+    dataset = CollectionCampaign(config).run()
+    split = make_paper_folds(dataset)
+    train = split.train.data
+
+    if args.model == "mlp":
+        estimator = OccupancyDetector(
+            dataset.n_subcarriers, TrainingConfig(epochs=args.epochs, seed=args.seed)
+        )
+    else:
+        estimator = ScaledLogistic()
+    print(f"Training the {args.model} estimator on fold 0 ({len(train)} rows)...")
+    estimator.fit(train.csi, train.occupancy)
+
+    fallback = PriorFallback().fit(train.csi, train.occupancy)
+    print(f"Replaying {len(dataset)} frames over {args.links} link(s)...\n")
+    report = run_serve_bench(
+        estimator,
+        dataset,
+        n_links=args.links,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms if args.max_latency_ms > 0 else None,
+        fallback=fallback,
+    )
+    _emit(report.describe(), args.output)
+    return 0
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"RNG seed (default {DEFAULT_SEED})")
+
+
+def _add_rate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rate", type=float, default=DEFAULT_RATE_HZ,
+                        help=f"rows per second (default {DEFAULT_RATE_HZ})")
+
+
+def _add_output(parser: argparse.ArgumentParser, default: str | None, help_text: str) -> None:
+    parser.add_argument("--output", default=default, help=help_text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,31 +212,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="simulate a campaign and save it")
-    p.add_argument("output", help="output path (.npz, or .csv for Table I format)")
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        return sub.add_parser(
+            name,
+            help=help_text,
+            epilog=COMMON_FLAGS_EPILOG,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+
+    p = add_command("generate", "simulate a campaign and save it")
+    _add_output(p, "campaign.npz",
+                "output path (.npz, or .csv for Table I format; default campaign.npz)")
     p.add_argument("--hours", type=float, default=74.0)
-    p.add_argument("--rate", type=float, default=0.1, help="rows per second")
-    p.add_argument("--seed", type=int, default=2022)
+    _add_rate(p)
+    _add_seed(p)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("profile", help="Section V-A profiling of a saved campaign")
+    p = add_command("profile", "Section V-A profiling of a saved campaign")
     p.add_argument("dataset", help="path to a .npz campaign")
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("folds", help="print the Table III fold table")
+    p = add_command("folds", "print the Table III fold table")
     p.add_argument("dataset")
     p.set_defaults(func=cmd_folds)
 
     for name, func in (("table4", cmd_table4), ("table5", cmd_table5)):
-        p = sub.add_parser(name, help=f"regenerate {name} on a saved campaign")
+        p = add_command(name, f"regenerate {name} on a saved campaign")
         p.add_argument("dataset")
         p.add_argument("--epochs", type=int, default=10)
         p.add_argument("--max-train-rows", type=int, default=12_000)
+        _add_seed(p)
+        _add_output(p, None, "also write the printed table to this path")
         p.set_defaults(func=func)
 
-    p = sub.add_parser("footprint", help="Nucleo-L432KC deployment accounting")
+    p = add_command("footprint", "Nucleo-L432KC deployment accounting")
     p.add_argument("--inputs", type=int, default=66)
     p.set_defaults(func=cmd_footprint)
+
+    p = add_command("serve-bench", "per-frame vs. micro-batched serving throughput")
+    p.add_argument("--hours", type=float, default=2.0,
+                   help="synthetic campaign length (default 2.0)")
+    p.add_argument("--epochs", type=int, default=3,
+                   help="training epochs for the mlp estimator (default 3)")
+    p.add_argument("--model", choices=("mlp", "logistic"), default="mlp",
+                   help="estimator served by both paths (default mlp)")
+    p.add_argument("--links", type=int, default=4,
+                   help="simulated sniffer links (default 4)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch flush size (default 64)")
+    p.add_argument("--max-latency-ms", type=float, default=0.0,
+                   help="micro-batch latency budget in stream time; "
+                        "0 disables the trigger and benchmarks the "
+                        "backlogged regime (default 0)")
+    _add_rate(p)
+    _add_seed(p)
+    _add_output(p, None, "also write the benchmark report to this path")
+    p.set_defaults(func=cmd_serve_bench)
 
     return parser
 

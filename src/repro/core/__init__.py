@@ -13,9 +13,12 @@
   :mod:`repro.core.activity` — the extension heads: occupant counting
   and the Section VI future-work activity-recognition task;
 * :mod:`repro.core.unsupervised` — the label-free variance-threshold
-  baseline.
+  baseline;
+* :mod:`repro.core.estimator` — the :class:`Estimator` protocol every
+  model family (detector, baselines, scaled pipelines) conforms to.
 """
 
+from .estimator import Estimator, PersistentEstimator, validate_estimator
 from .features import FeatureSet, extract_features, feature_names
 from .model_zoo import build_paper_mlp, paper_layer_parameter_counts
 from .detector import OccupancyDetector
@@ -32,6 +35,9 @@ from .experiment import (
 )
 
 __all__ = [
+    "Estimator",
+    "PersistentEstimator",
+    "validate_estimator",
     "FeatureSet",
     "extract_features",
     "feature_names",

@@ -13,6 +13,7 @@ Grad-CAM explanation behind a scikit-learn-style interface:
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -23,7 +24,7 @@ from ..metrics.classification import accuracy
 from ..nn.losses import bce_with_logits_loss
 from ..nn.optim import AdamW
 from ..nn.serialize import load_state_dict, save_state_dict
-from ..nn.train import Trainer, TrainingHistory
+from ..nn.train import Trainer, TrainerCallback, TrainingHistory
 from ..xai.gradcam import GradCAM, GradCAMResult
 from .model_zoo import build_paper_mlp
 
@@ -58,9 +59,15 @@ class OccupancyDetector:
         y: np.ndarray,
         x_val: np.ndarray | None = None,
         y_val: np.ndarray | None = None,
+        callbacks: Sequence[TrainerCallback] | None = None,
         verbose: bool = False,
     ) -> "OccupancyDetector":
-        """Train on features ``x`` and binary labels ``y``."""
+        """Train on features ``x`` and binary labels ``y``.
+
+        ``callbacks`` are forwarded to :meth:`repro.nn.train.Trainer.fit`
+        (e.g. :class:`repro.serve.metrics.TrainingMetricsCallback` to
+        record per-epoch loss/timing in a metrics registry).
+        """
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[1] != self.n_inputs:
             raise ShapeError(f"expected (n, {self.n_inputs}) features, got {x.shape}")
@@ -85,6 +92,7 @@ class OccupancyDetector:
             epochs=self.config.epochs,
             x_val=x_val_scaled,
             y_val=np.asarray(y_val, dtype=float) if y_val is not None else None,
+            callbacks=callbacks,
             verbose=verbose,
         )
         return self

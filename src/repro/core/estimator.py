@@ -1,0 +1,78 @@
+"""The unified estimator surface every model family conforms to.
+
+Historically each model grew its own fit/predict shape: the MLP detector
+had ``predict_proba`` + ``score``, the baselines had one or the other,
+and the fold harness papered over the differences with private wrappers.
+:class:`Estimator` pins down the contract once:
+
+* ``fit(x, y)`` — train on a feature matrix and 0/1 labels;
+* ``predict(x)`` — hard 0/1 decisions, shape ``(n,)``;
+* ``predict_proba(x)`` — P(occupied) per row, shape ``(n,)``;
+* ``score(x, y)`` — accuracy on a labelled set.
+
+Conformers: :class:`~repro.core.detector.OccupancyDetector`,
+:class:`~repro.baselines.logistic.LogisticRegression`,
+:class:`~repro.baselines.forest.RandomForestClassifier`,
+:class:`~repro.baselines.knn.KNeighborsClassifier`,
+:class:`~repro.baselines.boosting.GradientBoostingClassifier` and the
+scaled pipelines in :mod:`repro.baselines.pipeline`.  The serving engine
+(:mod:`repro.serve`) accepts any of them interchangeably.
+
+Models that can round-trip to disk additionally satisfy
+:class:`PersistentEstimator` (``save``/``load``); neural models delegate
+to :mod:`repro.nn.serialize`, the classical ones to plain NPZ archives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: The method names that define the estimator contract, in call order.
+ESTIMATOR_METHODS = ("fit", "predict", "predict_proba", "score")
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Structural type of every occupancy classifier in the library."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Estimator":  # pragma: no cover
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:  # pragma: no cover
+        ...
+
+
+@runtime_checkable
+class PersistentEstimator(Protocol):
+    """An estimator that can round-trip its fitted state to disk."""
+
+    def save(self, path: str | Path) -> Path:  # pragma: no cover
+        ...
+
+    def load(self, path: str | Path) -> "PersistentEstimator":  # pragma: no cover
+        ...
+
+
+def validate_estimator(model: object, *, require: tuple[str, ...] = ESTIMATOR_METHODS) -> None:
+    """Raise :class:`ConfigurationError` naming any missing protocol methods.
+
+    ``isinstance(model, Estimator)`` answers yes/no; this answers *what is
+    missing*, which is the error message an integrator actually needs.
+    """
+    missing = [name for name in require if not callable(getattr(model, name, None))]
+    if missing:
+        raise ConfigurationError(
+            f"{type(model).__name__} does not satisfy the Estimator protocol: "
+            f"missing {', '.join(missing)}"
+        )

@@ -15,9 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..baselines.forest import RandomForestClassifier
-from ..baselines.logistic import LogisticRegression
 from ..baselines.linear import LinearRegression
-from ..baselines.scaler import StandardScaler
+from ..baselines.pipeline import ScaledKNN, ScaledLogistic
 from ..config import TrainingConfig
 from ..data.folds import FoldSplit
 from ..exceptions import ConfigurationError
@@ -122,7 +121,7 @@ class OccupancyExperiment:
 
     def _build_model(self, name: str, n_inputs: int):
         if name == "logistic":
-            return _ScaledLogistic()
+            return ScaledLogistic()
         if name == "random_forest":
             return RandomForestClassifier(**self.forest_kwargs)  # type: ignore[arg-type]
         if name == "mlp":
@@ -134,7 +133,7 @@ class OccupancyExperiment:
                 n_estimators=40, max_depth=3, subsample=0.7, seed=self.training.seed
             )
         if name == "knn":
-            return _ScaledKNN()
+            return ScaledKNN()
         raise ConfigurationError(
             f"unknown model {name!r}; known: {MODEL_NAMES + ('gradient_boosting', 'knn')}"
         )
@@ -181,49 +180,6 @@ class OccupancyExperiment:
             x_test = extract_features(fold.data, FeatureSet.TIME, self.start_hour_of_day)
             accs.append(100.0 * accuracy(fold.data.occupancy, model.predict(x_test)))
         return float(np.mean(accs))
-
-
-class _ScaledKNN:
-    """k-NN with internal standardisation (distances need equal scales)."""
-
-    def __init__(self, n_neighbors: int = 7, max_train_rows: int = 8000) -> None:
-        from ..baselines.knn import KNeighborsClassifier
-
-        self._scaler = StandardScaler()
-        self._model = KNeighborsClassifier(n_neighbors)
-        self._max_train_rows = max_train_rows
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "_ScaledKNN":
-        stride = max(1, x.shape[0] // self._max_train_rows)
-        self._model.fit(self._scaler.fit_transform(x)[::stride], np.asarray(y)[::stride])
-        return self
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        return self._model.predict(self._scaler.transform(x))
-
-
-class _ScaledLogistic:
-    """Logistic regression with internal standardisation.
-
-    Raw CSI amplitudes and degC/%RH scales differ by orders of magnitude;
-    sklearn's solver copes via conditioning, our gradient descent wants
-    standardised inputs.  Scaling is part of the model, so the baseline
-    remains linear in the original features.
-    """
-
-    def __init__(self) -> None:
-        self._scaler = StandardScaler()
-        self._model = LogisticRegression()
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "_ScaledLogistic":
-        self._model.fit(self._scaler.fit_transform(x), y)
-        return self
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        return self._model.predict(self._scaler.transform(x))
-
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        return self._model.predict_proba(self._scaler.transform(x))
 
 
 @dataclass

@@ -19,7 +19,7 @@ from .folds import FoldSplit, Fold, make_paper_folds
 from .io import save_npz, load_npz, save_csv, load_csv
 from .annotate import IntervalAnnotator
 from .synthetic import generate_benchmark_dataset
-from .streaming import FrameStream, StreamingDetector, Transition
+from .streaming import FrameStream, SmoothingDebouncer, StreamingDetector, Transition
 from .preprocess import (
     hampel_filter,
     moving_average,
@@ -46,6 +46,7 @@ __all__ = [
     "select_subcarriers",
     "WindowFeatureExtractor",
     "FrameStream",
+    "SmoothingDebouncer",
     "StreamingDetector",
     "Transition",
 ]

@@ -2,24 +2,26 @@
 
 A deployed detector consumes CSI frame by frame, not as a matrix.
 :class:`FrameStream` replays an :class:`~repro.data.dataset.OccupancyDataset`
-in that shape, and :class:`StreamingDetector` wraps a fitted
-:class:`~repro.core.detector.OccupancyDetector` with the state a real
-controller keeps: per-frame probability, a majority-vote smoothing window
-and debounced occupancy transitions.  The smart-building example uses the
-same logic; here it is a reusable, tested component.
+in that shape, and :class:`StreamingDetector` wraps a fitted estimator with
+the state a real controller keeps: per-frame probability, a majority-vote
+smoothing window and debounced occupancy transitions.  That state machine
+lives in :class:`SmoothingDebouncer` so the micro-batched serving engine
+(:mod:`repro.serve.engine`) can run the identical logic per link.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from ..core.detector import OccupancyDetector
-from ..exceptions import ConfigurationError, ShapeError
+from ..exceptions import ConfigurationError, ShapeError, StreamError
 from .dataset import OccupancyDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.estimator import Estimator
 
 
 @dataclass(frozen=True)
@@ -56,31 +58,31 @@ class Transition:
     occupied: bool
 
 
-class StreamingDetector:
-    """Stateful frame-by-frame wrapper around a fitted detector.
+class SmoothingDebouncer:
+    """Majority-vote smoothing + debounce over a stream of raw 0/1 votes.
+
+    The anti-flicker state machine every controller needs: raw per-frame
+    decisions enter, a majority vote over the last ``window`` frames
+    smooths them, and a state flip is only committed after the smoothed
+    value has disagreed with the current state for ``hold_frames``
+    consecutive frames.  Ties in an even window round toward occupied
+    (mean exactly 0.5 counts as 1), matching the >= 0.5 decision rule of
+    the classifiers.
 
     Parameters
     ----------
-    detector:
-        A fitted :class:`OccupancyDetector`.
     window:
         Majority-vote length in frames (1 disables smoothing).
     hold_frames:
-        A state change must persist this many frames before a
-        :class:`Transition` is emitted (debounce, prevents flicker).
+        A state change must persist this many frames before it commits
+        (debounce, prevents flicker).
     """
 
-    def __init__(
-        self,
-        detector: OccupancyDetector,
-        window: int = 5,
-        hold_frames: int = 3,
-    ) -> None:
+    def __init__(self, window: int = 5, hold_frames: int = 3) -> None:
         if window < 1:
             raise ConfigurationError("window must be >= 1")
         if hold_frames < 1:
             raise ConfigurationError("hold_frames must be >= 1")
-        self.detector = detector
         self.window = window
         self.hold_frames = hold_frames
         self._votes: deque[int] = deque(maxlen=window)
@@ -93,13 +95,16 @@ class StreamingDetector:
         """The current debounced occupancy state (0/1)."""
         return self._state
 
-    def update(self, t_s: float, csi_row: np.ndarray) -> Transition | None:
-        """Consume one frame; returns a transition when the state flips."""
-        csi_row = np.asarray(csi_row, dtype=float)
-        if csi_row.ndim != 1:
-            raise ShapeError(f"expected a 1-D CSI row, got shape {csi_row.shape}")
-        raw = int(self.detector.predict(csi_row[None, :])[0])
-        self._votes.append(raw)
+    def reset(self) -> None:
+        """Forget all votes and return to the empty state."""
+        self._votes.clear()
+        self._state = 0
+        self._pending_state = None
+        self._pending_count = 0
+
+    def update(self, raw: int) -> int | None:
+        """Consume one raw vote; returns the new state when a flip commits."""
+        self._votes.append(int(raw))
         smoothed = int(np.mean(self._votes) >= 0.5)
 
         if smoothed == self._state:
@@ -115,10 +120,67 @@ class StreamingDetector:
             self._state = smoothed
             self._pending_state = None
             self._pending_count = 0
-            return Transition(t_s, bool(smoothed))
+            return smoothed
         return None
 
-    def run(self, stream: FrameStream) -> list[Transition]:
+
+def check_csi_row(csi_row: np.ndarray) -> np.ndarray:
+    """Validate one streamed CSI row: 1-D and finite.
+
+    Raises :class:`~repro.exceptions.ShapeError` on wrong dimensionality
+    and :class:`~repro.exceptions.StreamError` on NaN/inf amplitudes — a
+    real sniffer occasionally emits garbage rows, and they must be
+    rejected before they poison a smoothing window.
+    """
+    csi_row = np.asarray(csi_row, dtype=float)
+    if csi_row.ndim != 1:
+        raise ShapeError(f"expected a 1-D CSI row, got shape {csi_row.shape}")
+    if not np.all(np.isfinite(csi_row)):
+        raise StreamError("CSI frame contains non-finite values")
+    return csi_row
+
+
+class StreamingDetector:
+    """Stateful frame-by-frame wrapper around a fitted estimator.
+
+    Parameters
+    ----------
+    detector:
+        Any fitted :class:`~repro.core.estimator.Estimator` (the paper's
+        :class:`~repro.core.detector.OccupancyDetector` or a baseline).
+    window:
+        Majority-vote length in frames (1 disables smoothing).
+    hold_frames:
+        A state change must persist this many frames before a
+        :class:`Transition` is emitted (debounce, prevents flicker).
+    """
+
+    def __init__(
+        self,
+        detector: "Estimator",
+        window: int = 5,
+        hold_frames: int = 3,
+    ) -> None:
+        self.detector = detector
+        self.window = window
+        self.hold_frames = hold_frames
+        self._debouncer = SmoothingDebouncer(window, hold_frames)
+
+    @property
+    def state(self) -> int:
+        """The current debounced occupancy state (0/1)."""
+        return self._debouncer.state
+
+    def update(self, t_s: float, csi_row: np.ndarray) -> Transition | None:
+        """Consume one frame; returns a transition when the state flips."""
+        csi_row = check_csi_row(csi_row)
+        raw = int(self.detector.predict(csi_row[None, :])[0])
+        flipped = self._debouncer.update(raw)
+        if flipped is None:
+            return None
+        return Transition(t_s, bool(flipped))
+
+    def run(self, stream: Iterable[Frame]) -> list[Transition]:
         """Replay a whole stream; returns the emitted transitions."""
         return [
             event

@@ -50,3 +50,11 @@ class DeploymentError(ReproError):
 
 class SerializationError(ReproError):
     """A model or dataset artifact could not be (de)serialized."""
+
+
+class StreamError(ReproError, ValueError):
+    """A streamed CSI frame is malformed (e.g. non-finite values)."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The inference engine cannot make progress (primary and fallback failed)."""

@@ -10,8 +10,9 @@ occupancy classifier and the T/H regressor.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -42,6 +43,21 @@ class TrainingHistory:
         if not series:
             raise ConfigurationError("history is empty")
         return int(np.argmin(series))
+
+
+class TrainerCallback:
+    """Observer hook invoked by :meth:`Trainer.fit` after every epoch.
+
+    ``logs`` always carries ``train_loss`` and ``duration_s`` (epoch wall
+    time); ``val_loss`` and ``val_metric`` appear when validation data /
+    a metric function were supplied.  Subclass and override; the base
+    implementation is a no-op so callbacks only implement what they need.
+    The serving layer's ``TrainingMetricsCallback`` routes these logs into
+    the same metrics registry the inference engine reports through.
+    """
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float]) -> None:
+        """Called with the 0-based epoch index and that epoch's logs."""
 
 
 class Trainer:
@@ -144,6 +160,7 @@ class Trainer:
         metric_fn: Callable[[np.ndarray, np.ndarray], float] | None = None,
         early_stopping_patience: int | None = None,
         scheduler: "Scheduler | None" = None,
+        callbacks: Sequence[TrainerCallback] | None = None,
         verbose: bool = False,
     ) -> TrainingHistory:
         """Full training run; returns the per-epoch history.
@@ -151,7 +168,9 @@ class Trainer:
         Early stopping (optional) watches the validation loss and restores
         nothing — the paper trains a fixed 10 epochs, so restoration is the
         caller's business via ``model.state_dict()``.  A scheduler, if
-        given, steps once after every epoch.
+        given, steps once after every epoch.  Callbacks receive the epoch
+        index and a logs dict (loss, wall time) after every epoch, before
+        an early stop is taken.
         """
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
@@ -163,18 +182,23 @@ class Trainer:
         best_val = np.inf
         stale = 0
         for epoch in range(epochs):
+            epoch_start = time.perf_counter()
             train_loss = self.train_epoch(x, y)
             history.train_loss.append(train_loss)
+            logs: dict[str, float] = {"train_loss": train_loss}
+            stop = False
             line = f"epoch {epoch + 1}/{epochs}  train_loss={train_loss:.4f}"
             if has_val:
                 assert x_val is not None and y_val is not None
                 val_loss = self.evaluate_loss(x_val, y_val)
                 history.val_loss.append(val_loss)
+                logs["val_loss"] = val_loss
                 line += f"  val_loss={val_loss:.4f}"
                 if metric_fn is not None:
                     pred = self.predict(x_val)
                     metric = float(metric_fn(np.asarray(y_val), pred))
                     history.val_metric.append(metric)
+                    logs["val_metric"] = metric
                     line += f"  val_metric={metric:.4f}"
                 if early_stopping_patience is not None:
                     if val_loss < best_val - 1e-12:
@@ -183,11 +207,15 @@ class Trainer:
                     else:
                         stale += 1
                         if stale >= early_stopping_patience:
-                            if verbose:
-                                print(line + "  (early stop)")
-                            break
-            if scheduler is not None:
-                scheduler.step()
+                            stop = True
+                            line += "  (early stop)"
+            logs["duration_s"] = time.perf_counter() - epoch_start
+            for callback in callbacks or ():
+                callback.on_epoch_end(epoch, logs)
             if verbose:
                 print(line)
+            if stop:
+                break
+            if scheduler is not None:
+                scheduler.step()
         return history

@@ -1,0 +1,156 @@
+"""serve-bench: per-frame vs. micro-batched serving throughput.
+
+The benchmark replays one recorded campaign as ``n_links`` interleaved
+frame streams (round-robin, as a building with several sniffers would
+produce) and pushes the identical frames through
+
+1. the per-frame path — one :class:`~repro.data.streaming.StreamingDetector`
+   per link, one ``predict`` call per frame; and
+2. the micro-batched path — a single
+   :class:`~repro.serve.engine.InferenceEngine` shared by all links.
+
+Both paths run the same model and the same smoothing/debounce state
+machine, so the frames/s ratio isolates exactly what micro-batching buys:
+vectorizing the model forward pass over the batch.  The engine's metrics
+registry comes back inside the report, so queue depth and batch-latency
+percentiles print alongside the throughput numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import OccupancyDataset
+from ..data.streaming import StreamingDetector
+from ..exceptions import ConfigurationError
+from .engine import InferenceEngine
+from .metrics import MetricsRegistry
+from .robustness import FallbackPredictor
+
+
+@dataclass
+class ServeBenchReport:
+    """Timing and metrics from one serve-bench run."""
+
+    n_frames: int
+    n_links: int
+    max_batch: int
+    per_frame_s: float
+    batched_s: float
+    per_frame_transitions: int
+    batched_transitions: int
+    registry: MetricsRegistry = field(repr=False)
+
+    @property
+    def per_frame_fps(self) -> float:
+        return self.n_frames / self.per_frame_s if self.per_frame_s > 0 else float("inf")
+
+    @property
+    def batched_fps(self) -> float:
+        return self.n_frames / self.batched_s if self.batched_s > 0 else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        return self.batched_fps / self.per_frame_fps if self.per_frame_fps > 0 else float("inf")
+
+    def describe(self) -> str:
+        lines = [
+            f"frames replayed      : {self.n_frames} across {self.n_links} link(s)",
+            f"per-frame path       : {self.per_frame_fps:10.1f} frames/s "
+            f"({self.per_frame_s:.3f} s, {self.per_frame_transitions} transitions)",
+            f"micro-batched path   : {self.batched_fps:10.1f} frames/s "
+            f"({self.batched_s:.3f} s, {self.batched_transitions} transitions, "
+            f"max_batch={self.max_batch})",
+            f"speedup              : {self.speedup:10.2f}x",
+            "",
+            self.registry.report("engine metrics:"),
+        ]
+        return "\n".join(lines)
+
+
+def _interleaved_frames(
+    dataset: OccupancyDataset, n_links: int
+) -> list[tuple[str, float, np.ndarray]]:
+    """Round-robin the campaign rows over ``n_links`` simulated sniffers."""
+    link_ids = [f"link-{i}" for i in range(n_links)]
+    t = dataset.timestamps_s
+    csi = dataset.csi
+    return [
+        (link_ids[i % n_links], float(t[i]), csi[i])
+        for i in range(len(dataset))
+    ]
+
+
+def run_serve_bench(
+    estimator,
+    dataset: OccupancyDataset,
+    *,
+    n_links: int = 4,
+    max_batch: int = 64,
+    max_latency_ms: float | None = None,
+    queue_capacity: int | None = None,
+    window: int = 5,
+    hold_frames: int = 3,
+    fallback: FallbackPredictor | None = None,
+) -> ServeBenchReport:
+    """Replay ``dataset`` through both serving paths and time them.
+
+    The estimator must already be fitted; it is shared (read-only) by both
+    paths.  The default ``max_latency_ms=None`` benchmarks the backlogged
+    regime (every batch fills to ``max_batch``) — heavy traffic is exactly
+    where micro-batching earns its keep; pass a budget to model a lightly
+    loaded deployment instead.  Returns the :class:`ServeBenchReport`
+    with the engine's metrics registry attached.
+    """
+    if n_links < 1:
+        raise ConfigurationError("n_links must be >= 1")
+    if len(dataset) == 0:
+        raise ConfigurationError("dataset is empty; nothing to replay")
+    frames = _interleaved_frames(dataset, n_links)
+
+    # Per-frame path: one stateful detector per link, one predict per frame.
+    detectors = {
+        f"link-{i}": StreamingDetector(estimator, window=window, hold_frames=hold_frames)
+        for i in range(n_links)
+    }
+    start = time.perf_counter()
+    per_frame_transitions = 0
+    for link_id, t_s, csi_row in frames:
+        if detectors[link_id].update(t_s, csi_row) is not None:
+            per_frame_transitions += 1
+    per_frame_s = time.perf_counter() - start
+
+    # Micro-batched path: one shared engine, vectorized over the batch.
+    engine = InferenceEngine(
+        estimator,
+        max_batch=max_batch,
+        max_latency_ms=max_latency_ms,
+        queue_capacity=queue_capacity if queue_capacity is not None else 4 * max_batch,
+        window=window,
+        hold_frames=hold_frames,
+        fallback=fallback,
+    )
+    start = time.perf_counter()
+    batched_transitions = 0
+    for link_id, t_s, csi_row in frames:
+        for result in engine.submit(link_id, t_s, csi_row):
+            if result.transition is not None:
+                batched_transitions += 1
+    for result in engine.flush():
+        if result.transition is not None:
+            batched_transitions += 1
+    batched_s = time.perf_counter() - start
+
+    return ServeBenchReport(
+        n_frames=len(frames),
+        n_links=n_links,
+        max_batch=max_batch,
+        per_frame_s=per_frame_s,
+        batched_s=batched_s,
+        per_frame_transitions=per_frame_transitions,
+        batched_transitions=batched_transitions,
+        registry=engine.registry,
+    )

@@ -1,0 +1,111 @@
+"""Bounded frame queue with micro-batching flush policy.
+
+The engine's admission path: frames from all links land in one
+:class:`MicroBatchQueue`, a fixed-capacity ring buffer.  Under
+backpressure (producers outrunning inference) the *oldest* pending frame
+is evicted — in live occupancy sensing a fresh frame is always worth more
+than a stale one, so drop-oldest is the only sane overflow policy.
+
+A batch becomes ready when either
+
+* ``max_batch`` frames are pending (throughput trigger), or
+* the oldest pending frame has waited ``max_latency_s`` of stream time
+  (latency trigger — a lone link at 1 Hz must not wait forever for 63
+  friends).  ``max_latency_s=None`` disables the trigger for backlogged
+  / offline-reprocessing workloads where only throughput matters.
+
+Stream time means frame timestamps, not wall clock: the queue is fully
+deterministic, which keeps replay tests exact and lets simulations run
+faster than real time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PendingFrame:
+    """One enqueued observation awaiting inference."""
+
+    link_id: str
+    t_s: float
+    csi: np.ndarray
+
+
+class MicroBatchQueue:
+    """Fixed-capacity FIFO of :class:`PendingFrame` with flush triggers.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as this many frames are pending.
+    max_latency_s:
+        Flush once the oldest pending frame is this old in stream time;
+        ``None`` disables the latency trigger (flush on ``max_batch`` only).
+    capacity:
+        Hard bound on pending frames; pushing beyond it evicts the oldest.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_latency_s: float | None = 0.25,
+        capacity: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if max_latency_s is not None and max_latency_s <= 0:
+            raise ConfigurationError("max_latency_s must be positive (or None)")
+        if capacity < max_batch:
+            raise ConfigurationError(
+                f"capacity ({capacity}) must be >= max_batch ({max_batch})"
+            )
+        self.max_batch = max_batch
+        self.max_latency_s = max_latency_s
+        self.capacity = capacity
+        self._pending: deque[PendingFrame] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        """Number of frames currently pending."""
+        return len(self._pending)
+
+    def push(self, frame: PendingFrame) -> PendingFrame | None:
+        """Enqueue a frame; returns the evicted frame when at capacity."""
+        evicted = None
+        if len(self._pending) >= self.capacity:
+            evicted = self._pending.popleft()
+        self._pending.append(frame)
+        return evicted
+
+    def ready(self, now_s: float) -> bool:
+        """Should the engine flush, given the current stream time?"""
+        if len(self._pending) >= self.max_batch:
+            return True
+        if (
+            self.max_latency_s is not None
+            and self._pending
+            and now_s - self._pending[0].t_s >= self.max_latency_s
+        ):
+            return True
+        return False
+
+    def drain(self, limit: int | None = None) -> list[PendingFrame]:
+        """Pop up to ``limit`` frames (default ``max_batch``) in FIFO order."""
+        n = min(len(self._pending), limit if limit is not None else self.max_batch)
+        return [self._pending.popleft() for _ in range(n)]
+
+    def drain_all(self) -> list[PendingFrame]:
+        """Pop everything — used by the engine's final flush."""
+        out = list(self._pending)
+        self._pending.clear()
+        return out

@@ -1,0 +1,77 @@
+"""Tests for the public scaled pipelines (standardisation fused with a model)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pipeline import ScaledKNN, ScaledLogistic
+from repro.exceptions import NotFittedError, SerializationError
+
+
+@pytest.fixture()
+def separable(rng):
+    # Two clusters whose feature scales differ by orders of magnitude, so
+    # the internal standardisation actually matters.
+    x = rng.normal(size=(200, 6))
+    x[:, 0] *= 1000.0
+    y = (x[:, 1] > 0).astype(int)
+    x[y == 1, 1] += 2.0
+    return x, y
+
+
+class TestScaledLogistic:
+    def test_fit_predict_score(self, separable):
+        x, y = separable
+        model = ScaledLogistic().fit(x, y)
+        assert model.score(x, y) > 0.9
+        proba = model.predict_proba(x)
+        assert proba.shape == (len(x),)
+        assert np.all((proba >= 0) & (proba <= 1))
+        np.testing.assert_array_equal(model.predict(x), (proba >= 0.5).astype(int))
+
+    def test_save_before_fit_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            ScaledLogistic().save(tmp_path / "model.npz")
+
+    def test_round_trip(self, separable, tmp_path):
+        x, y = separable
+        model = ScaledLogistic().fit(x, y)
+        path = model.save(tmp_path / "model.npz")
+        restored = ScaledLogistic().load(path)
+        np.testing.assert_allclose(restored.predict_proba(x), model.predict_proba(x))
+
+
+class TestScaledKNN:
+    def test_fit_predict_score(self, separable):
+        x, y = separable
+        model = ScaledKNN(n_neighbors=3).fit(x, y)
+        assert model.score(x, y) > 0.9
+        assert model.predict_proba(x).shape == (len(x),)
+
+    def test_strides_large_training_sets(self, rng):
+        x = rng.normal(size=(100, 4))
+        y = (x[:, 0] > 0).astype(int)
+        model = ScaledKNN(n_neighbors=3, max_train_rows=25).fit(x, y)
+        assert model._model._x.shape[0] <= 25
+
+    def test_save_before_fit_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            ScaledKNN().save(tmp_path / "model.npz")
+
+    def test_round_trip(self, separable, tmp_path):
+        x, y = separable
+        model = ScaledKNN(n_neighbors=3).fit(x, y)
+        path = model.save(tmp_path / "model.npz")
+        restored = ScaledKNN().load(path)
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+
+class TestArchiveValidation:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            ScaledLogistic().load(tmp_path / "nope.npz")
+
+    def test_wrong_kind_rejected(self, separable, tmp_path):
+        x, y = separable
+        path = ScaledKNN(n_neighbors=3).fit(x, y).save(tmp_path / "knn.npz")
+        with pytest.raises(SerializationError):
+            ScaledLogistic().load(path)

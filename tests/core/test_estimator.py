@@ -1,0 +1,105 @@
+"""Tests for the Estimator protocol and the unified persistence surface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.boosting import GradientBoostingClassifier
+from repro.baselines.forest import RandomForestClassifier
+from repro.baselines.knn import KNeighborsClassifier
+from repro.baselines.logistic import LogisticRegression
+from repro.baselines.pipeline import ScaledKNN, ScaledLogistic
+from repro.config import TrainingConfig
+from repro.core.detector import OccupancyDetector
+from repro.core.estimator import (
+    ESTIMATOR_METHODS,
+    Estimator,
+    PersistentEstimator,
+    validate_estimator,
+)
+from repro.exceptions import ConfigurationError
+
+
+ALL_FAMILIES = [
+    OccupancyDetector(8),
+    LogisticRegression(),
+    RandomForestClassifier(n_estimators=2),
+    KNeighborsClassifier(3),
+    GradientBoostingClassifier(n_estimators=2),
+    ScaledLogistic(),
+    ScaledKNN(n_neighbors=3),
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "model", ALL_FAMILIES, ids=lambda m: type(m).__name__
+    )
+    def test_every_family_conforms(self, model):
+        assert isinstance(model, Estimator)
+        validate_estimator(model)
+
+    @pytest.mark.parametrize(
+        "model",
+        [OccupancyDetector(8), ScaledLogistic(), ScaledKNN(n_neighbors=3)],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_persistence_surface(self, model):
+        assert isinstance(model, PersistentEstimator)
+
+    def test_non_conformer_rejected(self):
+        class HalfModel:
+            def fit(self, x, y):
+                return self
+
+            def predict(self, x):
+                return np.zeros(len(x), dtype=int)
+
+        assert not isinstance(HalfModel(), Estimator)
+        with pytest.raises(ConfigurationError) as excinfo:
+            validate_estimator(HalfModel())
+        message = str(excinfo.value)
+        assert "predict_proba" in message and "score" in message
+
+    def test_partial_requirements(self):
+        class ProbaOnly:
+            def predict_proba(self, x):
+                return np.zeros(len(x))
+
+        validate_estimator(ProbaOnly(), require=("predict_proba",))
+        with pytest.raises(ConfigurationError):
+            validate_estimator(ProbaOnly(), require=ESTIMATOR_METHODS)
+
+
+@pytest.fixture()
+def toy_problem(rng):
+    x = rng.normal(size=(120, 8))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    x[y == 1] += 0.8
+    return x, y
+
+
+class TestRoundTrips:
+    def test_scaled_logistic_round_trip(self, toy_problem, tmp_path):
+        x, y = toy_problem
+        model = ScaledLogistic().fit(x, y)
+        path = model.save(tmp_path / "logistic.npz")
+        restored = ScaledLogistic().load(path)
+        np.testing.assert_allclose(restored.predict_proba(x), model.predict_proba(x))
+        assert restored.score(x, y) == model.score(x, y)
+
+    def test_scaled_knn_round_trip(self, toy_problem, tmp_path):
+        x, y = toy_problem
+        model = ScaledKNN(n_neighbors=3).fit(x, y)
+        path = model.save(tmp_path / "knn.npz")
+        restored = ScaledKNN().load(path)
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+    def test_detector_round_trip(self, toy_problem, tmp_path):
+        x, y = toy_problem
+        config = TrainingConfig(epochs=2, hidden_sizes=(8,), batch_size=32)
+        detector = OccupancyDetector(8, config).fit(x, y)
+        path = detector.save(tmp_path / "detector.npz")
+        restored = OccupancyDetector(8, config).load(path)
+        np.testing.assert_allclose(
+            restored.predict_proba(x), detector.predict_proba(x)
+        )

@@ -5,8 +5,28 @@ import pytest
 
 from repro.config import TrainingConfig
 from repro.core.detector import OccupancyDetector
-from repro.data.streaming import FrameStream, StreamingDetector, Transition
-from repro.exceptions import ConfigurationError, ShapeError
+from repro.data.streaming import (
+    Frame,
+    FrameStream,
+    SmoothingDebouncer,
+    StreamingDetector,
+    Transition,
+    check_csi_row,
+)
+from repro.exceptions import ConfigurationError, ShapeError, StreamError
+
+
+class ScriptedPredictor:
+    """Duck-typed estimator emitting a pre-scripted 0/1 vote per call."""
+
+    def __init__(self, votes):
+        self.votes = list(votes)
+        self.calls = 0
+
+    def predict(self, x):
+        vote = self.votes[self.calls % len(self.votes)] if self.votes else 0
+        self.calls += 1
+        return np.array([vote])
 
 
 FAST = TrainingConfig(epochs=4, hidden_sizes=(32,), batch_size=128)
@@ -83,3 +103,71 @@ class TestStreamingDetector:
         streaming = StreamingDetector(fitted)
         with pytest.raises(ShapeError):
             streaming.update(0.0, np.ones((2, 64)))
+
+
+class TestSmoothingDebouncer:
+    def test_tie_in_even_window_rounds_to_occupied(self):
+        # With window=2 the votes [0, 1] average to exactly 0.5, which must
+        # count as occupied — matching the classifiers' >= 0.5 rule.
+        debouncer = SmoothingDebouncer(window=2, hold_frames=1)
+        assert debouncer.update(0) is None
+        assert debouncer.update(1) == 1
+        assert debouncer.state == 1
+
+    def test_flip_commits_exactly_at_hold_frames(self):
+        debouncer = SmoothingDebouncer(window=1, hold_frames=3)
+        assert debouncer.update(1) is None  # pending 1/3
+        assert debouncer.update(1) is None  # pending 2/3
+        assert debouncer.update(1) == 1     # commits on the 3rd
+        assert debouncer.state == 1
+
+    def test_flicker_resets_the_hold_counter(self):
+        debouncer = SmoothingDebouncer(window=1, hold_frames=3)
+        debouncer.update(1)
+        debouncer.update(1)
+        debouncer.update(0)  # back in agreement: pending cleared
+        assert debouncer.update(1) is None  # restarts at 1/3
+        assert debouncer.state == 0
+
+    def test_reset(self):
+        debouncer = SmoothingDebouncer(window=1, hold_frames=1)
+        debouncer.update(1)
+        assert debouncer.state == 1
+        debouncer.reset()
+        assert debouncer.state == 0
+        assert debouncer.update(1) == 1
+
+
+class TestStreamEdgeCases:
+    def test_empty_stream_yields_no_transitions(self):
+        streaming = StreamingDetector(ScriptedPredictor([1]))
+        assert streaming.run([]) == []
+        assert streaming.state == 0
+
+    def test_single_frame_stream(self):
+        # One occupied frame with no smoothing/debounce flips immediately.
+        streaming = StreamingDetector(ScriptedPredictor([1]), window=1, hold_frames=1)
+        transitions = streaming.run([Frame(5.0, np.ones(4), 1)])
+        assert transitions == [Transition(5.0, True)]
+        assert streaming.state == 1
+        # The same frame under the default debounce does not flip yet.
+        cautious = StreamingDetector(ScriptedPredictor([1]))
+        assert cautious.run([Frame(5.0, np.ones(4), 1)]) == []
+        assert cautious.state == 0
+
+    def test_nan_frame_rejected(self):
+        streaming = StreamingDetector(ScriptedPredictor([1]))
+        bad = np.ones(4)
+        bad[2] = np.nan
+        with pytest.raises(StreamError):
+            streaming.update(0.0, bad)
+        with pytest.raises(StreamError):
+            streaming.update(0.0, np.full(4, np.inf))
+
+    def test_check_csi_row(self):
+        row = check_csi_row([1.0, 2.0, 3.0])
+        assert row.dtype == float and row.shape == (3,)
+        with pytest.raises(ShapeError):
+            check_csi_row(np.ones((2, 3)))
+        with pytest.raises(StreamError):
+            check_csi_row([1.0, np.nan])

@@ -7,7 +7,7 @@ from repro.exceptions import ConfigurationError, ShapeError
 from repro.nn.losses import bce_with_logits_loss, mse_loss
 from repro.nn.modules import Linear, ReLU, Sequential
 from repro.nn.optim import AdamW
-from repro.nn.train import Trainer, TrainingHistory
+from repro.nn.train import Trainer, TrainerCallback, TrainingHistory
 
 
 def make_trainer(seed=0, in_dim=2, out_dim=1, loss=bce_with_logits_loss, batch_size=32):
@@ -123,6 +123,63 @@ class TestValidationAndErrors:
         trainer.fit(x, y, epochs=1)
         out = trainer.predict(np.ones((5000, 2)))
         assert out.shape == (5000, 1)
+
+
+class RecordingCallback(TrainerCallback):
+    def __init__(self):
+        self.calls = []
+
+    def on_epoch_end(self, epoch, logs):
+        self.calls.append((epoch, dict(logs)))
+
+
+class TestCallbacks:
+    def test_called_once_per_epoch_with_logs(self):
+        x, y = xor_data(128)
+        trainer = make_trainer()
+        callback = RecordingCallback()
+        trainer.fit(x, y, epochs=3, callbacks=[callback])
+        assert [epoch for epoch, _ in callback.calls] == [0, 1, 2]
+        for _, logs in callback.calls:
+            assert set(logs) == {"train_loss", "duration_s"}
+            assert logs["duration_s"] >= 0
+
+    def test_validation_logs_included(self):
+        x, y = xor_data(128)
+        trainer = make_trainer()
+        callback = RecordingCallback()
+
+        def accuracy(y_true, y_pred):
+            return float(((y_pred.ravel() > 0) == y_true.ravel()).mean())
+
+        trainer.fit(
+            x[:96], y[:96], epochs=2, x_val=x[96:], y_val=y[96:],
+            metric_fn=accuracy, callbacks=[callback],
+        )
+        for _, logs in callback.calls:
+            assert {"train_loss", "val_loss", "val_metric", "duration_s"} <= set(logs)
+
+    def test_early_stop_epoch_still_reported(self):
+        x, y = xor_data(128)
+        trainer = make_trainer()
+        callback = RecordingCallback()
+        history = trainer.fit(
+            x, y, epochs=200, x_val=x, y_val=y,
+            early_stopping_patience=2, callbacks=[callback],
+        )
+        # The epoch that triggered the stop is observed too.
+        assert len(callback.calls) == history.n_epochs
+
+    def test_multiple_callbacks_all_fire(self):
+        x, y = xor_data(64)
+        trainer = make_trainer()
+        first, second = RecordingCallback(), RecordingCallback()
+        trainer.fit(x, y, epochs=2, callbacks=[first, second])
+        assert len(first.calls) == len(second.calls) == 2
+
+    def test_base_callback_is_noop(self):
+        x, y = xor_data(64)
+        make_trainer().fit(x, y, epochs=1, callbacks=[TrainerCallback()])
 
 
 class TestTrainingHistory:

@@ -1,0 +1,63 @@
+"""Tests for the serve-bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.bench import ServeBenchReport, _interleaved_frames, run_serve_bench
+from repro.serve.metrics import MetricsRegistry
+
+
+class ThresholdEstimator:
+    """Cheap deterministic stand-in: occupied when mean amplitude is high."""
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        margin = np.mean(np.asarray(x, dtype=float), axis=1) - self.threshold
+        return 1.0 / (1.0 + np.exp(-np.clip(margin, -500, 500)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(int)
+
+
+class TestInterleaving:
+    def test_round_robin_assignment(self, smoke_dataset):
+        frames = _interleaved_frames(smoke_dataset, n_links=3)
+        assert len(frames) == len(smoke_dataset)
+        assert [f[0] for f in frames[:4]] == ["link-0", "link-1", "link-2", "link-0"]
+        assert frames[5][1] == float(smoke_dataset.timestamps_s[5])
+
+
+class TestRunServeBench:
+    def test_rejects_bad_link_count(self, smoke_dataset):
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(ThresholdEstimator(0.0), smoke_dataset, n_links=0)
+
+    def test_replays_and_reports(self, smoke_dataset):
+        estimator = ThresholdEstimator(float(np.mean(smoke_dataset.csi)))
+        report = run_serve_bench(
+            estimator, smoke_dataset, n_links=2, max_batch=64
+        )
+        assert report.n_frames == len(smoke_dataset)
+        assert report.n_links == 2
+        assert report.per_frame_s > 0 and report.batched_s > 0
+        # Identical model + identical smoothing: same behaviour, batched.
+        assert report.batched_transitions == report.per_frame_transitions
+        assert report.registry.counter("frames_out").value == len(smoke_dataset)
+        assert report.registry.counter("frames_in").value == len(smoke_dataset)
+        text = report.describe()
+        for token in ("frames/s", "speedup", "batch_latency_ms", "queue_depth"):
+            assert token in text
+
+    def test_fps_properties(self):
+        report = ServeBenchReport(
+            n_frames=100, n_links=1, max_batch=8,
+            per_frame_s=2.0, batched_s=0.5,
+            per_frame_transitions=3, batched_transitions=3,
+            registry=MetricsRegistry(),
+        )
+        assert report.per_frame_fps == pytest.approx(50.0)
+        assert report.batched_fps == pytest.approx(200.0)
+        assert report.speedup == pytest.approx(4.0)

@@ -1,0 +1,249 @@
+"""Tests for the micro-batched inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pipeline import ScaledLogistic
+from repro.config import TrainingConfig
+from repro.core.detector import OccupancyDetector
+from repro.data.streaming import StreamingDetector
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serve.engine import InferenceEngine
+from repro.serve.queue import PendingFrame
+from repro.serve.robustness import LinkHealth, PriorFallback
+
+
+class ConstantEstimator:
+    """Always answers the same probability — cheap and deterministic."""
+
+    def __init__(self, p: float = 0.9) -> None:
+        self.p = p
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(x).shape[0], self.p)
+
+
+class EchoEstimator:
+    """Probability = first feature of each row (frames script their vote)."""
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)[:, 0]
+
+
+class BrokenEstimator:
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        raise RuntimeError("weights corrupted")
+
+
+class WrongLengthEstimator:
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(x).shape[0] + 1, 0.5)
+
+
+def _row(value: float = 0.9, width: int = 4) -> np.ndarray:
+    return np.full(width, value)
+
+
+class TestBatching:
+    def test_flushes_on_max_batch(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=4, max_latency_ms=None)
+        for i in range(3):
+            assert engine.submit("a", float(i), _row()) == []
+        results = engine.submit("a", 3.0, _row())
+        assert len(results) == 4
+        assert [r.t_s for r in results] == [0.0, 1.0, 2.0, 3.0]
+        assert all(r.source == "primary" for r in results)
+        assert engine.registry.counter("batches").value == 1
+        assert engine.registry.histogram("batch_size").percentile(50) == 4
+
+    def test_latency_trigger_uses_stream_time(self):
+        engine = InferenceEngine(
+            ConstantEstimator(), max_batch=100, max_latency_ms=1000.0
+        )
+        assert engine.submit("a", 0.0, _row()) == []
+        # Second frame advances stream time past the 1 s budget of the first.
+        results = engine.submit("a", 2.0, _row())
+        assert len(results) == 2
+
+    def test_flush_drains_everything(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=100, max_latency_ms=None)
+        for i in range(5):
+            engine.submit("a", float(i), _row())
+        results = engine.flush()
+        assert len(results) == 5
+        assert engine.queue.depth == 0
+        assert engine.registry.counter("frames_out").value == 5
+
+    def test_overflow_evicts_oldest_and_counts(self):
+        engine = InferenceEngine(
+            ConstantEstimator(), max_batch=4, max_latency_ms=None, queue_capacity=4
+        )
+        # Pre-load the queue to capacity behind the engine's back, so the
+        # next admission exercises the drop-oldest backpressure path.
+        for i in range(4):
+            engine.queue._pending.append(PendingFrame("a", float(i), _row()))
+        results = engine.submit("a", 4.0, _row())
+        assert engine.registry.counter("frames_dropped_overflow").value == 1
+        # The oldest (t=0) was evicted; the surviving four were served.
+        assert [r.t_s for r in results] == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestAdmission:
+    def test_rejects_non_finite_frames(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        bad = _row()
+        bad[1] = np.nan
+        assert engine.submit("a", 0.0, bad) == []
+        assert engine.registry.counter("frames_rejected").value == 1
+        assert engine.registry.counter("frames_in").value == 0
+
+    def test_rejects_wrong_shape(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        assert engine.submit("a", 0.0, np.ones((2, 4))) == []
+        assert engine.registry.counter("frames_rejected").value == 1
+
+    def test_stale_frames_dropped_and_link_degraded(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            max_batch=3,
+            max_latency_ms=None,
+            stale_after_s=5.0,
+        )
+        engine.submit("old", 0.0, _row())
+        engine.submit("fresh", 100.0, _row())
+        results = engine.submit("fresh", 100.1, _row())
+        assert len(results) == 2
+        assert all(r.link_id == "fresh" for r in results)
+        assert engine.registry.counter("frames_dropped_stale").value == 1
+        assert engine.health("old") is LinkHealth.DEGRADED
+        assert engine.health("fresh") is LinkHealth.HEALTHY
+
+
+class TestRobustness:
+    def test_fallback_keeps_stream_alive(self):
+        engine = InferenceEngine(
+            BrokenEstimator(),
+            max_batch=4,
+            max_latency_ms=None,
+            fallback=PriorFallback(prior=0.8),
+        )
+        results = [r for i in range(8) for r in engine.submit("a", float(i), _row())]
+        assert len(results) == 8  # no frame dropped on model failure
+        assert all(r.source == "fallback" for r in results)
+        assert all(r.probability == pytest.approx(0.8) for r in results)
+        assert engine.health("a") is LinkHealth.DEGRADED
+        assert engine.registry.counter("primary_failures").value == 2
+        assert engine.registry.counter("fallback_frames").value == 8
+
+    def test_both_tiers_failing_raises(self):
+        engine = InferenceEngine(
+            BrokenEstimator(),
+            max_batch=2,
+            max_latency_ms=None,
+            fallback=BrokenEstimator(),
+        )
+        engine.submit("a", 0.0, _row())
+        with pytest.raises(ServingError):
+            engine.submit("a", 1.0, _row())
+
+    def test_wrong_length_probabilities_raise(self):
+        engine = InferenceEngine(WrongLengthEstimator(), max_batch=2, max_latency_ms=None)
+        engine.submit("a", 0.0, _row())
+        with pytest.raises(ServingError):
+            engine.submit("a", 1.0, _row())
+
+    def test_estimator_without_predict_proba_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InferenceEngine(object())
+
+
+class TestLinks:
+    def test_unknown_link_rejected(self):
+        engine = InferenceEngine(ConstantEstimator())
+        with pytest.raises(ConfigurationError):
+            engine.health("ghost")
+        with pytest.raises(ConfigurationError):
+            engine.state("ghost")
+
+    def test_links_are_idle_until_first_result(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=8, max_latency_ms=None)
+        engine.submit("a", 0.0, _row())
+        assert engine.health("a") is LinkHealth.IDLE
+        engine.flush()
+        assert engine.health("a") is LinkHealth.HEALTHY
+        assert engine.link_ids == ("a",)
+
+    def test_per_link_debounce_is_independent(self):
+        # Link "on" streams occupied votes, link "off" empty votes; each
+        # link's debouncer must see only its own frames.
+        engine = InferenceEngine(
+            EchoEstimator(), max_batch=4, max_latency_ms=None,
+            window=1, hold_frames=1,
+        )
+        results = []
+        for i in range(8):
+            link, value = ("on", 0.9) if i % 2 == 0 else ("off", 0.1)
+            results.extend(engine.submit(link, float(i), _row(value)))
+        results.extend(engine.flush())
+        assert engine.state("on") == 1
+        assert engine.state("off") == 0
+        on_transitions = [r.transition for r in results
+                         if r.link_id == "on" and r.transition is not None]
+        assert len(on_transitions) == 1 and on_transitions[0].occupied
+        assert not any(r.transition for r in results if r.link_id == "off")
+
+
+@pytest.fixture(scope="module")
+def fitted_logistic(smoke_dataset):
+    half = len(smoke_dataset) // 2
+    model = ScaledLogistic()
+    model.fit(smoke_dataset.csi[:half], smoke_dataset.occupancy[:half])
+    return model
+
+
+class TestEquivalence:
+    def test_matches_streaming_detector_transitions(self, smoke_dataset, fitted_logistic):
+        """Micro-batching must not change the answer, only the cost."""
+        start = len(smoke_dataset) // 2
+        t = smoke_dataset.timestamps_s
+        csi = smoke_dataset.csi
+        n = min(600, len(smoke_dataset) - start)
+
+        reference = StreamingDetector(fitted_logistic, window=5, hold_frames=3)
+        expected = []
+        for i in range(start, start + n):
+            event = reference.update(float(t[i]), csi[i])
+            if event is not None:
+                expected.append((event.t_s, event.occupied))
+
+        engine = InferenceEngine(
+            fitted_logistic, max_batch=64, max_latency_ms=None,
+            window=5, hold_frames=3,
+        )
+        got = []
+        for i in range(start, start + n):
+            for r in engine.submit("link-0", float(t[i]), csi[i]):
+                if r.transition is not None:
+                    got.append((r.transition.t_s, r.transition.occupied))
+        for r in engine.flush():
+            if r.transition is not None:
+                got.append((r.transition.t_s, r.transition.occupied))
+
+        assert got == expected
+        assert engine.state("link-0") == reference.state
+
+    def test_serves_the_neural_detector(self, smoke_dataset):
+        config = TrainingConfig(epochs=2, hidden_sizes=(16,), batch_size=256)
+        detector = OccupancyDetector(smoke_dataset.n_subcarriers, config)
+        detector.fit(smoke_dataset.csi[:800], smoke_dataset.occupancy[:800])
+
+        engine = InferenceEngine(detector, max_batch=32, max_latency_ms=None)
+        results = []
+        for i in range(64):
+            results.extend(
+                engine.submit(f"link-{i % 2}", float(smoke_dataset.timestamps_s[i]),
+                              smoke_dataset.csi[i])
+            )
+        assert len(results) == 64
+        assert all(0.0 <= r.probability <= 1.0 for r in results)
+        assert all(r.source == "primary" for r in results)

@@ -1,0 +1,122 @@
+"""Tests for the serving metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TrainingMetricsCallback,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_last_value(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p95"] == pytest.approx(95.05)
+        assert s["max"] == 100
+
+    def test_empty_percentile_is_nan(self):
+        assert np.isnan(Histogram().percentile(50))
+        assert np.isnan(Histogram().mean)
+
+    def test_bounded_window_keeps_exact_totals(self):
+        h = Histogram(max_samples=4)
+        for v in (1, 2, 3, 4, 100, 100, 100, 100):
+            h.observe(v)
+        # Lifetime totals are exact; the percentile window holds the
+        # most recent max_samples values only.
+        assert h.count == 8
+        assert h.total == 410
+        assert h.percentile(50) == 100
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(max_samples=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+
+    def test_kind_collision_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ConfigurationError):
+            r.gauge("x")
+        with pytest.raises(ConfigurationError):
+            r.histogram("x")
+
+    def test_as_dict_and_report(self):
+        r = MetricsRegistry()
+        r.counter("frames_in").inc(7)
+        r.gauge("queue_depth").set(2)
+        r.histogram("latency_ms").observe(1.0)
+        snapshot = r.as_dict()
+        assert snapshot["frames_in"] == 7
+        assert snapshot["queue_depth"] == 2
+        assert snapshot["latency_ms"]["count"] == 1
+        text = r.report("title:")
+        assert text.startswith("title:")
+        for name in ("frames_in", "queue_depth", "latency_ms", "p95"):
+            assert name in text
+
+
+class TestTrainingMetricsCallback:
+    def test_records_epochs(self):
+        r = MetricsRegistry()
+        cb = TrainingMetricsCallback(r, prefix="t")
+        cb.on_epoch_end(0, {"train_loss": 0.5, "duration_s": 0.1})
+        cb.on_epoch_end(1, {"train_loss": 0.25, "duration_s": 0.2, "val_loss": 0.3})
+        assert r.counter("t_epochs").value == 2
+        assert r.gauge("t_loss").value == 0.25
+        assert r.gauge("t_val_loss").value == 0.3
+        assert r.histogram("t_epoch_time_s").count == 2
+
+    def test_integrates_with_trainer(self, rng):
+        from repro.nn.losses import mse_loss
+        from repro.nn.modules import Linear
+        from repro.nn.optim import SGD
+        from repro.nn.train import Trainer
+
+        x = rng.normal(size=(32, 3))
+        y = x @ np.array([[1.0], [-2.0], [0.5]])
+        registry = MetricsRegistry()
+        model = Linear(3, 1)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01),
+                          mse_loss, batch_size=8, rng=rng)
+        trainer.fit(x, y, epochs=3, callbacks=[TrainingMetricsCallback(registry)])
+        assert registry.counter("train_epochs").value == 3
+        assert registry.histogram("train_epoch_time_s").count == 3

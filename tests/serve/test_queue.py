@@ -1,0 +1,94 @@
+"""Tests for the bounded micro-batch queue."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.queue import MicroBatchQueue, PendingFrame
+
+
+def _frame(i: int, t_s: float | None = None) -> PendingFrame:
+    return PendingFrame(f"link-{i % 2}", float(i if t_s is None else t_s),
+                        np.full(4, float(i)))
+
+
+class TestValidation:
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatchQueue(max_batch=0)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatchQueue(max_latency_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MicroBatchQueue(max_latency_s=-1.0)
+
+    def test_rejects_capacity_below_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatchQueue(max_batch=8, capacity=4)
+
+
+class TestBackpressure:
+    def test_push_within_capacity_evicts_nothing(self):
+        q = MicroBatchQueue(max_batch=2, max_latency_s=None, capacity=3)
+        assert q.push(_frame(0)) is None
+        assert q.depth == 1
+
+    def test_push_at_capacity_evicts_oldest(self):
+        q = MicroBatchQueue(max_batch=2, max_latency_s=None, capacity=3)
+        for i in range(3):
+            q.push(_frame(i))
+        evicted = q.push(_frame(3))
+        assert evicted is not None
+        assert evicted.t_s == 0.0  # drop-oldest
+        assert q.depth == 3
+
+
+class TestFlushTriggers:
+    def test_max_batch_trigger(self):
+        q = MicroBatchQueue(max_batch=3, max_latency_s=None)
+        q.push(_frame(0))
+        q.push(_frame(1))
+        assert not q.ready(now_s=1e9)
+        q.push(_frame(2))
+        assert q.ready(now_s=0.0)
+
+    def test_latency_trigger_in_stream_time(self):
+        q = MicroBatchQueue(max_batch=100, max_latency_s=2.0)
+        q.push(_frame(0, t_s=10.0))
+        assert not q.ready(now_s=11.9)
+        assert q.ready(now_s=12.0)  # inclusive at the budget
+
+    def test_none_latency_disables_trigger(self):
+        q = MicroBatchQueue(max_batch=100, max_latency_s=None)
+        q.push(_frame(0, t_s=0.0))
+        assert not q.ready(now_s=1e9)
+
+    def test_empty_queue_never_ready(self):
+        assert not MicroBatchQueue(max_latency_s=0.1).ready(now_s=1e9)
+
+
+class TestDrain:
+    def test_drain_is_fifo_and_capped_at_max_batch(self):
+        q = MicroBatchQueue(max_batch=3, max_latency_s=None, capacity=16)
+        for i in range(5):
+            q.push(_frame(i))
+        batch = q.drain()
+        assert [f.t_s for f in batch] == [0.0, 1.0, 2.0]
+        assert q.depth == 2
+
+    def test_drain_with_explicit_limit(self):
+        q = MicroBatchQueue(max_batch=3, max_latency_s=None, capacity=16)
+        for i in range(5):
+            q.push(_frame(i))
+        assert len(q.drain(limit=1)) == 1
+        assert q.depth == 4
+
+    def test_drain_all_empties(self):
+        q = MicroBatchQueue(max_batch=3, max_latency_s=None, capacity=16)
+        for i in range(5):
+            q.push(_frame(i))
+        batch = q.drain_all()
+        assert [f.t_s for f in batch] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert q.depth == 0
+        assert len(q) == 0

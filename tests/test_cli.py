@@ -32,30 +32,54 @@ class TestParser:
     @pytest.mark.parametrize(
         "argv",
         [
-            ["generate", "out.npz", "--hours", "1", "--rate", "0.5"],
+            ["generate", "--output", "out.npz", "--hours", "1", "--rate", "0.5"],
             ["profile", "data.npz"],
             ["folds", "data.npz"],
-            ["table4", "data.npz", "--epochs", "2"],
-            ["table5", "data.npz"],
+            ["table4", "data.npz", "--epochs", "2", "--seed", "7"],
+            ["table5", "data.npz", "--output", "t5.txt"],
             ["footprint", "--inputs", "64"],
+            ["serve-bench", "--hours", "0.5", "--model", "logistic"],
         ],
     )
     def test_all_commands_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.func)
 
+    def test_common_flags_spelled_identically(self):
+        parser = build_parser()
+        for argv, attr, default in [
+            (["generate"], "seed", 2022),
+            (["table4", "d.npz"], "seed", 2022),
+            (["table5", "d.npz"], "seed", 2022),
+            (["serve-bench"], "seed", 2022),
+            (["generate"], "rate", 0.5),
+            (["serve-bench"], "rate", 0.5),
+        ]:
+            assert getattr(parser.parse_args(argv), attr) == default
+
+    def test_epilog_documents_common_flags(self, capsys):
+        for command in ("generate", "table4", "serve-bench"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--help"])
+            out = capsys.readouterr().out
+            assert "common flags" in out
+            assert "--seed" in out
+
 
 class TestCommands:
     def test_generate_npz(self, tmp_path, capsys):
         out = tmp_path / "c.npz"
-        code = main(["generate", str(out), "--hours", "0.5", "--rate", "1", "--seed", "1"])
+        code = main([
+            "generate", "--output", str(out), "--hours", "0.5", "--rate", "1",
+            "--seed", "1",
+        ])
         assert code == 0
         assert len(load_npz(out)) == 1800
         assert "Saved" in capsys.readouterr().out
 
     def test_generate_csv(self, tmp_path):
         out = tmp_path / "c.csv"
-        assert main(["generate", str(out), "--hours", "0.2", "--rate", "1"]) == 0
+        assert main(["generate", "--output", str(out), "--hours", "0.2", "--rate", "1"]) == 0
         assert load_csv(out).n_subcarriers == 64
 
     def test_profile(self, campaign_file, capsys):
@@ -88,3 +112,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Nucleo-L432KC" in out
         assert "FITS" in out
+
+    def test_serve_bench_quick(self, tmp_path, capsys):
+        report_path = tmp_path / "bench.txt"
+        code = main([
+            "serve-bench", "--hours", "0.2", "--rate", "0.5", "--model", "logistic",
+            "--links", "2", "--max-batch", "16", "--output", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert "speedup" in out
+        assert "batch_latency_ms" in out
+        assert "frames/s" in report_path.read_text()

@@ -24,6 +24,7 @@ def test_expected_examples_present():
         "environment_sensing.py",
         "explain_and_deploy.py",
         "activity_and_counting.py",
+        "streaming_service.py",
     } <= names
 
 
