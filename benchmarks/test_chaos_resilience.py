@@ -1,0 +1,80 @@
+"""Robustness benchmark — accuracy under injected faults (chaos-bench).
+
+The paper's models are evaluated on clean test folds; a deployment never
+gets that luxury.  This benchmark replays a test fold through the default
+chaos-bench scenario suite (subcarrier dropout, amplitude bursts, gain
+drift, link outage, clock skew + reordering, primary-model crash) and
+records how far accuracy falls under each fault while the serving
+invariants hold: no admitted frame goes unanswered, outages suppress
+frames but never lose them, and a crashed primary is caught by the
+fallback tier.
+"""
+
+import pytest
+
+from repro.baselines.pipeline import ScaledLogistic
+from repro.faults import run_chaos_bench
+from repro.serve import PriorFallback
+
+from .conftest import MAX_TRAIN_ROWS, print_table
+
+#: Clean-replay accuracy the logistic baseline must clear on this fold.
+#: Fold 0 opens with the cold-morning trap, so the logistic lands well
+#: below its Table IV average here — the floor guards against collapse,
+#: not against the fold being hard.
+BASELINE_FLOOR = 0.75
+
+#: Hours of the test fold replayed per scenario (keeps 7 replays quick).
+REPLAY_HOURS = 6.0
+
+
+@pytest.fixture(scope="module")
+def report(bench_split):
+    train = bench_split.train.data
+    stride = max(1, len(train) // MAX_TRAIN_ROWS)
+    estimator = ScaledLogistic().fit(
+        train.csi[::stride], train.occupancy[::stride]
+    )
+    fallback = PriorFallback().fit(train.csi, train.occupancy)
+    live = bench_split.tests[0].data
+    t0 = float(live.timestamps_s[0])
+    live = live.window(t0, t0 + REPLAY_HOURS * 3600.0)
+    return run_chaos_bench(
+        estimator, live, n_links=2, max_batch=32, fallback=fallback, seed=3
+    )
+
+
+class TestChaosResilience:
+    def test_suite_and_invariants(self, report, benchmark):
+        benchmark.pedantic(lambda: report, rounds=1, iterations=1)
+        print_table("chaos-bench: accuracy under fault", [r.row() for r in report.results])
+        assert len(report.results) == 7
+        for result in report.results:
+            assert result.n_unanswered == 0, f"{result.name} lost frames"
+            assert result.n_answered == result.n_submitted
+
+    def test_clean_baseline_clears_floor(self, report):
+        assert report.result("baseline").accuracy >= BASELINE_FLOOR
+
+    def test_delivery_faults_barely_move_accuracy(self, report):
+        # Clock skew and reordering shuffle *when* frames arrive, not what
+        # they contain, so accuracy must track the clean replay closely.
+        # (Feature-corrupting faults may move accuracy either way — gain
+        # drift can even flatter a miscalibrated model — so no ordering is
+        # asserted for them.)
+        baseline = report.result("baseline").accuracy
+        assert abs(report.result("clock-chaos").accuracy - baseline) <= 0.1
+
+    def test_outage_suppresses_but_never_loses(self, report):
+        outage = report.result("link-outage")
+        assert outage.n_submitted < report.result("baseline").n_submitted
+        assert outage.n_unanswered == 0
+
+    def test_crash_is_absorbed_by_fallback(self, report):
+        crash = report.result("model-crash")
+        assert crash.n_fallback > 0
+        assert crash.n_primary_failures > 0
+        assert crash.n_recovered >= 1
+        # The fallback answers with the prior, so accuracy dips but the
+        # scenario stays above the majority-class floor.
+        assert crash.accuracy >= 0.5

@@ -8,7 +8,8 @@
 * ``table4`` — train/evaluate the occupancy grid on a saved campaign;
 * ``table5`` — the linear-vs-neural T/H regression comparison;
 * ``footprint`` — quantize the paper MLP and print the Nucleo budget;
-* ``serve-bench`` — per-frame vs. micro-batched serving throughput.
+* ``serve-bench`` — per-frame vs. micro-batched serving throughput;
+* ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite.
 
 Every command is a thin shell over the public API, so scripts and
 notebooks can do the same with imports.  Flags shared between
@@ -191,6 +192,65 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_bench(args: argparse.Namespace) -> int:
+    from .baselines.pipeline import ScaledLogistic
+    from .core.detector import OccupancyDetector
+    from .faults.bench import default_scenario_suite, run_chaos_bench
+    from .serve.robustness import PriorFallback
+
+    if args.links < 1:
+        print("chaos-bench: --links must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print("chaos-bench: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+
+    config = CampaignConfig(
+        duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
+    )
+    print(f"Simulating {config.duration_h} h at {config.sample_rate_hz} Hz "
+          f"({config.n_samples} rows, seed {config.seed})...")
+    dataset = CollectionCampaign(config).run()
+    split = make_paper_folds(dataset)
+    train = split.train.data
+
+    if args.model == "mlp":
+        estimator = OccupancyDetector(
+            dataset.n_subcarriers, TrainingConfig(epochs=args.epochs, seed=args.seed)
+        )
+    else:
+        estimator = ScaledLogistic()
+    print(f"Training the {args.model} estimator on fold 0 ({len(train)} rows)...")
+    estimator.fit(train.csi, train.occupancy)
+    fallback = PriorFallback().fit(train.csi, train.occupancy)
+
+    t = dataset.timestamps_s
+    scenarios = default_scenario_suite(
+        float(t[0]), float(t[-1]), n_csi=dataset.n_subcarriers
+    )
+    if args.scenario:
+        known = {s.name for s in scenarios}
+        unknown = [name for name in args.scenario if name not in known]
+        if unknown:
+            print(f"chaos-bench: unknown scenario(s) {unknown}; "
+                  f"choose from {sorted(known)}", file=sys.stderr)
+            return 2
+        scenarios = [s for s in scenarios if s.name in args.scenario]
+    print(f"Replaying {len(dataset)} frames over {args.links} link(s) "
+          f"through {len(scenarios)} scenario(s)...\n")
+    report = run_chaos_bench(
+        estimator,
+        dataset,
+        scenarios,
+        n_links=args.links,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        fallback=fallback,
+    )
+    _emit(report.describe(), args.output)
+    return 0
+
+
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help=f"RNG seed (default {DEFAULT_SEED})")
@@ -268,6 +328,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p)
     _add_output(p, None, "also write the benchmark report to this path")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = add_command("chaos-bench", "accuracy-under-fault across the chaos suite")
+    p.add_argument("--hours", type=float, default=2.0,
+                   help="synthetic campaign length (default 2.0)")
+    p.add_argument("--epochs", type=int, default=3,
+                   help="training epochs for the mlp estimator (default 3)")
+    p.add_argument("--model", choices=("mlp", "logistic"), default="logistic",
+                   help="primary estimator under test (default logistic)")
+    p.add_argument("--links", type=int, default=2,
+                   help="simulated sniffer links (default 2)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="micro-batch flush size (default 32)")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="run only this scenario (repeatable; default: all)")
+    _add_rate(p)
+    _add_seed(p)
+    _add_output(p, None, "also write the chaos report to this path")
+    p.set_defaults(func=cmd_chaos_bench)
 
     return parser
 

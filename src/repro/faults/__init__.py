@@ -1,0 +1,59 @@
+"""Fault injection: seedable, composable corruption of CSI/env streams.
+
+The paper's claim is occupancy detection in *unconstrained* environments,
+so the repo needs a way to manufacture the unconstrained part on demand:
+subcarriers dropping out, a Thingy:52 sensor sticking, a sniffer link
+going dark, timestamps skewing.  This subpackage provides
+
+* :mod:`repro.faults.base` — the :class:`FaultInjector` contract and the
+  :class:`ChaosFrame` unit that flows through every injector;
+* :mod:`repro.faults.row` — feature-row corruptions
+  (:class:`SubcarrierDropout`, :class:`BurstNoise`, :class:`GainDrift`,
+  :class:`SensorStuckAt`, :class:`SensorDropout`);
+* :mod:`repro.faults.stream` — frame-delivery faults
+  (:class:`LinkOutage`, :class:`ClockSkew`, :class:`FrameReorder`);
+* :mod:`repro.faults.schedule` — :class:`ChaosSchedule`, which activates
+  injectors over declared time windows of any frame stream;
+* :mod:`repro.faults.bench` — the ``chaos-bench`` harness replaying a
+  scenario suite through :class:`~repro.serve.engine.InferenceEngine`
+  and reporting accuracy under fault.
+
+Everything is deterministic in ``(seed, schedule)``: replaying the same
+scenario over the same frames yields a byte-identical corrupted stream,
+so chaos campaigns are reproducible scripts, not dice rolls.
+"""
+
+from .base import ChaosFrame, FaultInjector, RowFault
+from .bench import (
+    ChaosBenchReport,
+    ChaosScenario,
+    ChaosScenarioResult,
+    FlakyPrimary,
+    default_scenario_suite,
+    run_chaos_bench,
+)
+from .row import BurstNoise, GainDrift, SensorDropout, SensorStuckAt, SubcarrierDropout
+from .schedule import ChaosSchedule, FaultWindow
+from .stream import ClockSkew, FrameReorder, LinkOutage
+
+__all__ = [
+    "ChaosFrame",
+    "FaultInjector",
+    "RowFault",
+    "SubcarrierDropout",
+    "BurstNoise",
+    "GainDrift",
+    "SensorStuckAt",
+    "SensorDropout",
+    "LinkOutage",
+    "ClockSkew",
+    "FrameReorder",
+    "FaultWindow",
+    "ChaosSchedule",
+    "ChaosScenario",
+    "ChaosScenarioResult",
+    "ChaosBenchReport",
+    "FlakyPrimary",
+    "default_scenario_suite",
+    "run_chaos_bench",
+]

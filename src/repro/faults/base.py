@@ -1,0 +1,144 @@
+"""The fault-injector contract.
+
+A fault injector is a small state machine over a stream of
+:class:`ChaosFrame` observations.  Its lifecycle is driven by
+:class:`~repro.faults.schedule.ChaosSchedule`:
+
+1. ``bind(rng)`` — receive a dedicated, deterministically derived RNG
+   before a replay starts (all randomness must come from it);
+2. ``activate(t_s)`` — the schedule entered this injector's window;
+3. ``process(frame)`` — transform one frame into zero or more frames
+   while active (drop, corrupt, retime, buffer);
+4. ``deactivate()`` — the window closed; any buffered frames flush out.
+
+Row-level corruptions (the common case) subclass :class:`RowFault` and
+implement only ``apply_row``; frame-delivery faults override
+``process``/``flush`` directly.  Injectors never mutate the incoming
+frame or its feature array — every corruption lands on a copy, so the
+clean stream stays available for side-by-side scoring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class ChaosFrame:
+    """One observation flowing through the fault pipeline.
+
+    ``features`` is the model-input row (CSI amplitudes, optionally with
+    the T/H environment columns appended); ``label`` is the ground-truth
+    occupancy riding along so accuracy-under-fault can be scored after
+    timestamps have been skewed or frames reordered.
+    """
+
+    link_id: str
+    t_s: float
+    features: np.ndarray
+    label: int | None = None
+
+    def with_features(self, features: np.ndarray) -> "ChaosFrame":
+        return dataclasses.replace(self, features=features)
+
+    def with_time(self, t_s: float) -> "ChaosFrame":
+        return dataclasses.replace(self, t_s=float(t_s))
+
+
+class FaultInjector:
+    """Base class: RNG binding and the activate/process/flush lifecycle."""
+
+    def __init__(self) -> None:
+        self._rng: np.random.Generator | None = None
+        self._active_since: float | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no RNG bound; call bind() "
+                "(ChaosSchedule does this before every replay)"
+            )
+        return self._rng
+
+    @property
+    def active(self) -> bool:
+        return self._active_since is not None
+
+    @property
+    def active_since_s(self) -> float:
+        if self._active_since is None:
+            raise ConfigurationError(f"{type(self).__name__} is not active")
+        return self._active_since
+
+    def bind(self, rng: np.random.Generator) -> None:
+        """Attach the replay RNG and reset all per-replay state."""
+        self._rng = rng
+        self._active_since = None
+        self._on_bind()
+
+    def activate(self, t_s: float) -> None:
+        """Enter the fault window at stream time ``t_s``."""
+        self._active_since = float(t_s)
+        self._on_activate(t_s)
+
+    def deactivate(self) -> list[ChaosFrame]:
+        """Leave the window; returns any frames the injector buffered."""
+        flushed = self.flush()
+        self._active_since = None
+        return flushed
+
+    # ---------------------------------------------------------------- hooks
+
+    def _on_bind(self) -> None:
+        """Reset injector-specific state; called by :meth:`bind`."""
+
+    def _on_activate(self, t_s: float) -> None:
+        """Injector-specific window entry; called by :meth:`activate`."""
+
+    def process(self, frame: ChaosFrame) -> list[ChaosFrame]:  # pragma: no cover
+        """Transform one frame while active; may emit 0..n frames."""
+        raise NotImplementedError
+
+    def flush(self) -> list[ChaosFrame]:
+        """Emit any buffered frames (window close / end of stream)."""
+        return []
+
+
+class RowFault(FaultInjector):
+    """A fault that corrupts the feature row of every frame it sees."""
+
+    def process(self, frame: ChaosFrame) -> list[ChaosFrame]:
+        row = np.array(frame.features, dtype=float, copy=True)
+        return [frame.with_features(self.apply_row(frame.t_s, row))]
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:  # pragma: no cover
+        """Corrupt one feature row (already a private copy) and return it."""
+        raise NotImplementedError
+
+
+def resolve_columns(env_slice: slice, width: int, owner: str) -> slice:
+    """Validate that ``env_slice`` addresses real columns of a ``width`` row.
+
+    Shared by the sensor faults and the serving fallback: a CSI-only row
+    has no T/H columns, and silently producing an empty slice is how the
+    original ``EnvThresholdFallback`` bug crashed — fail with a clear
+    message instead.
+    """
+    start, stop, step = env_slice.indices(width)
+    wanted_stop = env_slice.stop
+    if (wanted_stop is not None and wanted_stop > width) or len(range(start, stop, step)) < 1:
+        raise ShapeError(
+            f"{owner} expects feature rows carrying environment columns at "
+            f"{env_slice.start}:{env_slice.stop} (e.g. 64 CSI subcarriers "
+            f"followed by temperature and humidity), got width {width} — "
+            "CSI-only rows have no T/H columns"
+        )
+    return slice(start, stop, step)

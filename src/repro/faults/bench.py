@@ -1,0 +1,353 @@
+"""chaos-bench: accuracy-under-fault for the serving engine.
+
+The harness replays one recorded campaign through
+:class:`~repro.serve.engine.InferenceEngine` once per
+:class:`ChaosScenario`, each scenario corrupting the stream with a
+:class:`~repro.faults.schedule.ChaosSchedule` (and optionally crashing
+the primary model for a stretch of batches).  The report answers the
+question the paper's "unconstrained environments" claim raises: when
+subcarriers die, links go dark or the model itself falls over, does the
+stack *degrade* — keep answering every deliverable frame, route around
+the failure, recover — or does it die?
+
+Reconciliation is exact: per scenario,
+
+``submitted == answered + rejected + stale + overflow + unanswered``
+
+and a healthy engine keeps ``unanswered`` at zero — every admitted frame
+yields an :class:`~repro.serve.engine.InferenceResult` from the primary
+or the fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import OccupancyDataset
+from ..exceptions import ConfigurationError
+from ..serve.engine import InferenceEngine
+from ..serve.metrics import MetricsRegistry
+from ..serve.robustness import FallbackPredictor
+from .base import ChaosFrame
+from .row import BurstNoise, GainDrift, SensorDropout, SensorStuckAt, SubcarrierDropout
+from .schedule import ChaosSchedule, FaultWindow
+from .stream import ClockSkew, FrameReorder, LinkOutage
+
+
+class FlakyPrimary:
+    """Wraps an estimator; raises for a declared window of calls.
+
+    Models the OTA-update-gone-wrong scenario: the primary model starts
+    throwing after ``fail_from`` batch calls and recovers ``fail_calls``
+    later, which must show up in the report as fallback share followed by
+    ``link_recovered_total`` increments.
+    """
+
+    def __init__(self, inner, fail_from: int, fail_calls: int) -> None:
+        if fail_from < 0 or fail_calls < 1:
+            raise ConfigurationError("need fail_from >= 0 and fail_calls >= 1")
+        self.inner = inner
+        self.fail_from = fail_from
+        self.fail_until = fail_from + fail_calls
+        self.calls = 0
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        call = self.calls
+        self.calls += 1
+        if self.fail_from <= call < self.fail_until:
+            raise RuntimeError("chaos: simulated primary-model crash")
+        return self.inner.predict_proba(x)
+
+
+@dataclass
+class ChaosScenario:
+    """One named chaos campaign: fault windows plus an optional model crash.
+
+    ``crash_fraction`` is a ``(start, stop)`` fraction of the replay's
+    expected batch count during which the primary raises — expressed as
+    fractions so the same scenario scales to any campaign length.
+    """
+
+    name: str
+    description: str
+    windows: list[FaultWindow] = field(default_factory=list)
+    crash_fraction: tuple[float, float] | None = None
+
+
+@dataclass
+class ChaosScenarioResult:
+    """Outcome of replaying one scenario through the engine."""
+
+    name: str
+    n_frames: int
+    n_submitted: int
+    n_answered: int
+    n_correct: int
+    n_fallback: int
+    n_rejected: int
+    n_stale: int
+    n_overflow: int
+    n_recovered: int
+    n_primary_failures: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.n_correct / self.n_answered if self.n_answered else float("nan")
+
+    @property
+    def fallback_share(self) -> float:
+        return self.n_fallback / self.n_answered if self.n_answered else 0.0
+
+    @property
+    def n_unanswered(self) -> int:
+        """Admitted frames that never produced a result — should be 0."""
+        return (
+            self.n_submitted
+            - self.n_answered
+            - self.n_rejected
+            - self.n_stale
+            - self.n_overflow
+        )
+
+    def row(self) -> dict[str, object]:
+        return {
+            "scenario": self.name,
+            "frames": self.n_frames,
+            "submitted": self.n_submitted,
+            "answered": self.n_answered,
+            "accuracy": f"{self.accuracy:.3f}",
+            "fallback%": f"{100.0 * self.fallback_share:.1f}",
+            "rejected": self.n_rejected,
+            "stale": self.n_stale,
+            "overflow": self.n_overflow,
+            "recovered": self.n_recovered,
+            "unanswered": self.n_unanswered,
+        }
+
+
+@dataclass
+class ChaosBenchReport:
+    """All scenario results of one chaos-bench run."""
+
+    results: list[ChaosScenarioResult]
+
+    def result(self, name: str) -> ChaosScenarioResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise ConfigurationError(f"no scenario named {name!r} in this report")
+
+    def describe(self) -> str:
+        rows = [r.row() for r in self.results]
+        columns = list(rows[0]) if rows else []
+        widths = {
+            c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns
+        }
+        lines = ["accuracy under fault (chaos-bench):"]
+        lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+        for row in rows:
+            lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+        degraded = [r for r in self.results if r.n_unanswered]
+        lines.append("")
+        if degraded:
+            lines.append(
+                "WARNING: unanswered frames in "
+                + ", ".join(r.name for r in degraded)
+                + " — the engine lost admitted frames"
+            )
+        else:
+            lines.append("every admitted frame was answered (primary or fallback)")
+        return "\n".join(lines)
+
+
+def default_scenario_suite(
+    t0_s: float,
+    t1_s: float,
+    *,
+    n_csi: int = 64,
+    include_env: bool = False,
+    jitter_s: float = 5.0,
+) -> list[ChaosScenario]:
+    """The standard chaos campaign over a stream spanning ``[t0_s, t1_s]``.
+
+    All windows are placed at fixed fractions of the span so the suite
+    scales from CI smoke streams to multi-day campaigns.  The default
+    (CSI-only) suite keeps corrupted rows finite, so a healthy engine
+    answers *every* admitted frame; ``include_env=True`` adds the sensor
+    faults (requires feature rows that carry the T/H columns), of which
+    ``sensor-dropout`` intentionally emits NaN rows to drill the
+    admission-rejection path.
+    """
+    if not t1_s > t0_s:
+        raise ConfigurationError("need t1_s > t0_s")
+    span = t1_s - t0_s
+
+    def at(f0: float, f1: float, injector) -> FaultWindow:
+        return FaultWindow(t0_s + f0 * span, t0_s + f1 * span, injector)
+
+    scenarios = [
+        ChaosScenario("baseline", "clean replay, reference accuracy"),
+        ChaosScenario(
+            "subcarrier-dropout",
+            "a 16-subcarrier band reads zero for the middle 60% of the stream",
+            [at(0.2, 0.8, SubcarrierDropout(band_width=16, mode="zero", n_csi=n_csi))],
+        ),
+        ChaosScenario(
+            "burst-noise",
+            "impulse-noise bursts across all subcarriers",
+            [at(0.3, 0.7, BurstNoise(amplitude=4.0, burst_frames=5, p_start=0.1, n_csi=n_csi))],
+        ),
+        ChaosScenario(
+            "gain-drift",
+            "front-end gain drifts up through the second half",
+            [at(0.5, 1.0, GainDrift(rate_per_s=1e-3, n_csi=n_csi))],
+        ),
+        ChaosScenario(
+            "link-outage",
+            "all links dark for the middle 20% of the stream, then recover",
+            [at(0.4, 0.6, LinkOutage())],
+        ),
+        ChaosScenario(
+            "clock-chaos",
+            "timestamp jitter, then out-of-order delivery",
+            [at(0.2, 0.5, ClockSkew(jitter_s=jitter_s)), at(0.5, 0.8, FrameReorder(depth=4))],
+        ),
+        ChaosScenario(
+            "model-crash",
+            "primary model raises for the middle 20% of batches",
+            crash_fraction=(0.4, 0.6),
+        ),
+    ]
+    if include_env:
+        scenarios.extend(
+            [
+                ChaosScenario(
+                    "sensor-stuck",
+                    "T/H sensor sticks at its last reading",
+                    [at(0.3, 0.9, SensorStuckAt(slice(n_csi, n_csi + 2)))],
+                ),
+                ChaosScenario(
+                    "sensor-dropout",
+                    "T/H columns go NaN; frames are rejected at admission",
+                    [at(0.4, 0.7, SensorDropout(slice(n_csi, n_csi + 2)))],
+                ),
+            ]
+        )
+    return scenarios
+
+
+def _interleaved_chaos_frames(
+    dataset: OccupancyDataset, n_links: int, include_env: bool
+) -> list[ChaosFrame]:
+    """Round-robin the campaign rows over ``n_links`` simulated sniffers."""
+    link_ids = [f"link-{i}" for i in range(n_links)]
+    t = dataset.timestamps_s
+    features = (
+        np.hstack([dataset.csi, dataset.environment]) if include_env else dataset.csi
+    )
+    occupancy = dataset.occupancy
+    return [
+        ChaosFrame(link_ids[i % n_links], float(t[i]), features[i], int(occupancy[i]))
+        for i in range(len(dataset))
+    ]
+
+
+def run_chaos_bench(
+    estimator,
+    dataset: OccupancyDataset,
+    scenarios: list[ChaosScenario] | None = None,
+    *,
+    n_links: int = 2,
+    max_batch: int = 32,
+    max_latency_ms: float | None = None,
+    stale_after_s: float | None = None,
+    window: int = 5,
+    hold_frames: int = 3,
+    seed: int = 0,
+    fallback: FallbackPredictor | None = None,
+    include_env: bool = False,
+) -> ChaosBenchReport:
+    """Replay every scenario through a fresh engine; returns the report.
+
+    The estimator must already be fitted on features matching the replay
+    layout (CSI-only by default, CSI+T/H with ``include_env=True``).  Each
+    scenario gets its own engine and metrics registry, so counters never
+    bleed between scenarios; the fault schedule is reseeded per replay,
+    so the whole campaign is deterministic in ``seed``.
+    """
+    if n_links < 1:
+        raise ConfigurationError("n_links must be >= 1")
+    if len(dataset) == 0:
+        raise ConfigurationError("dataset is empty; nothing to replay")
+    frames = _interleaved_chaos_frames(dataset, n_links, include_env)
+    t0, t1 = frames[0].t_s, frames[-1].t_s
+    if scenarios is None:
+        scenarios = default_scenario_suite(
+            t0, max(t1, t0 + 1.0), n_csi=dataset.n_subcarriers, include_env=include_env
+        )
+
+    results: list[ChaosScenarioResult] = []
+    for scenario in scenarios:
+        primary = estimator
+        if scenario.crash_fraction is not None:
+            expected_batches = max(1, math.ceil(len(frames) / max_batch))
+            f0, f1 = scenario.crash_fraction
+            fail_from = int(f0 * expected_batches)
+            fail_calls = max(1, int((f1 - f0) * expected_batches))
+            primary = FlakyPrimary(estimator, fail_from, fail_calls)
+        registry = MetricsRegistry()
+        engine = InferenceEngine(
+            primary,
+            max_batch=max_batch,
+            max_latency_ms=max_latency_ms,
+            queue_capacity=4 * max_batch,
+            window=window,
+            hold_frames=hold_frames,
+            stale_after_s=stale_after_s,
+            fallback=fallback,
+            registry=registry,
+        )
+        schedule = ChaosSchedule(scenario.windows, seed=seed)
+
+        labels: dict[tuple[str, float], deque[int | None]] = {}
+        n_submitted = 0
+        n_answered = n_correct = n_fallback = 0
+
+        def score(batch) -> None:
+            nonlocal n_answered, n_correct, n_fallback
+            for result in batch:
+                n_answered += 1
+                if result.source == "fallback":
+                    n_fallback += 1
+                queued = labels.get((result.link_id, result.t_s))
+                label = queued.popleft() if queued else None
+                if label is not None and (result.probability >= 0.5) == bool(label):
+                    n_correct += 1
+
+        for frame in schedule.run(frames):
+            n_submitted += 1
+            labels.setdefault((frame.link_id, frame.t_s), deque()).append(frame.label)
+            score(engine.submit(frame.link_id, frame.t_s, frame.features))
+        score(engine.flush())
+
+        counters = registry.as_dict()
+        results.append(
+            ChaosScenarioResult(
+                name=scenario.name,
+                n_frames=len(frames),
+                n_submitted=n_submitted,
+                n_answered=n_answered,
+                n_correct=n_correct,
+                n_fallback=n_fallback,
+                n_rejected=int(counters.get("frames_rejected", 0.0)),
+                n_stale=int(counters.get("frames_dropped_stale", 0.0)),
+                n_overflow=int(counters.get("frames_dropped_overflow", 0.0)),
+                n_recovered=int(counters.get("link_recovered_total", 0.0)),
+                n_primary_failures=int(counters.get("primary_failures", 0.0)),
+            )
+        )
+    return ChaosBenchReport(results)

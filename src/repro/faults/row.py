@@ -1,0 +1,186 @@
+"""Feature-row corruptions: the hardware faults a real testbed produces.
+
+Each injector models one published failure mode of WiFi-sensing rigs:
+attenuated/noisy subcarrier bands (the central obstacle in Shen et al.'s
+multi-room CSI work), slow gain drift after thermal cycling, and the
+Thingy:52 environment sensor freezing or dropping readings.  All of them
+are :class:`~repro.faults.base.RowFault` subclasses, so they compose in
+any order under a :class:`~repro.faults.schedule.ChaosSchedule`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import RowFault, resolve_columns
+
+#: Feature layout of the paper's CSI+Env rows: 64 subcarriers, then T, H.
+DEFAULT_ENV_SLICE = slice(64, 66)
+
+
+class SubcarrierDropout(RowFault):
+    """Zero (or NaN) a band of subcarrier columns — a detuned/blocked band.
+
+    Parameters
+    ----------
+    band:
+        Fixed column slice to kill.  ``None`` picks a random contiguous
+        band of ``band_width`` columns once per activation, so repeated
+        windows hit different bands while staying seed-deterministic.
+    band_width:
+        Width of the randomly placed band (ignored when ``band`` given).
+    mode:
+        ``"zero"`` keeps rows finite (the model sees silence);
+        ``"nan"`` emits non-finite rows, which the serving engine rejects
+        at admission — both paths are worth drilling.
+    n_csi:
+        Number of leading CSI columns a random band may land in.
+    """
+
+    def __init__(
+        self,
+        band: slice | None = None,
+        band_width: int = 8,
+        mode: str = "zero",
+        n_csi: int = 64,
+    ) -> None:
+        super().__init__()
+        if mode not in ("zero", "nan"):
+            raise ConfigurationError(f"mode must be 'zero' or 'nan', got {mode!r}")
+        if band is None and band_width < 1:
+            raise ConfigurationError("band_width must be >= 1")
+        if n_csi < 1:
+            raise ConfigurationError("n_csi must be >= 1")
+        self.band = band
+        self.band_width = band_width
+        self.mode = mode
+        self.n_csi = n_csi
+        self._chosen: slice | None = None
+
+    def _on_bind(self) -> None:
+        self._chosen = None
+
+    def _on_activate(self, t_s: float) -> None:
+        if self.band is not None:
+            self._chosen = self.band
+        else:
+            width = min(self.band_width, self.n_csi)
+            start = int(self.rng.integers(0, self.n_csi - width + 1))
+            self._chosen = slice(start, start + width)
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:
+        assert self._chosen is not None
+        row[self._chosen] = 0.0 if self.mode == "zero" else np.nan
+        return row
+
+
+class BurstNoise(RowFault):
+    """Impulse-noise windows: short bursts of heavy additive noise.
+
+    Each active frame starts a new burst with probability ``p_start``;
+    a burst adds zero-mean Gaussian noise of ``amplitude`` standard
+    deviation to every CSI column for ``burst_frames`` consecutive
+    frames.  Amplitudes are clipped at zero to stay physically shaped.
+    """
+
+    def __init__(
+        self,
+        amplitude: float = 4.0,
+        burst_frames: int = 5,
+        p_start: float = 0.1,
+        n_csi: int = 64,
+    ) -> None:
+        super().__init__()
+        if amplitude <= 0:
+            raise ConfigurationError("amplitude must be positive")
+        if burst_frames < 1:
+            raise ConfigurationError("burst_frames must be >= 1")
+        if not 0.0 < p_start <= 1.0:
+            raise ConfigurationError("p_start must be in (0, 1]")
+        self.amplitude = amplitude
+        self.burst_frames = burst_frames
+        self.p_start = p_start
+        self.n_csi = n_csi
+        self._remaining = 0
+
+    def _on_bind(self) -> None:
+        self._remaining = 0
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:
+        if self._remaining == 0 and self.rng.random() < self.p_start:
+            self._remaining = self.burst_frames
+        if self._remaining > 0:
+            self._remaining -= 1
+            n = min(self.n_csi, row.shape[0])
+            row[:n] = np.maximum(0.0, row[:n] + self.rng.normal(0.0, self.amplitude, n))
+        return row
+
+
+class GainDrift(RowFault):
+    """Slow multiplicative gain drift, linear in time since activation.
+
+    Models RF front-end gain wandering with temperature: after ``dt``
+    seconds in the window every CSI amplitude is scaled by
+    ``1 + rate_per_s * dt``.  Negative rates model fading gain; the
+    factor is floored at zero.
+    """
+
+    def __init__(self, rate_per_s: float = 1e-3, n_csi: int = 64) -> None:
+        super().__init__()
+        if rate_per_s == 0:
+            raise ConfigurationError("rate_per_s must be non-zero")
+        self.rate_per_s = rate_per_s
+        self.n_csi = n_csi
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:
+        gain = max(0.0, 1.0 + self.rate_per_s * (t_s - self.active_since_s))
+        n = min(self.n_csi, row.shape[0])
+        row[:n] *= gain
+        return row
+
+
+class SensorStuckAt(RowFault):
+    """Freeze the environment columns at their first in-window values.
+
+    The classic stuck-at fault of cheap T/H sensors: readings stop
+    updating but keep reporting the last value, so nothing looks broken
+    until the model quietly loses its environment signal.
+    """
+
+    def __init__(self, env_slice: slice = DEFAULT_ENV_SLICE) -> None:
+        super().__init__()
+        self.env_slice = env_slice
+        self._frozen: np.ndarray | None = None
+
+    def _on_bind(self) -> None:
+        self._frozen = None
+
+    def _on_activate(self, t_s: float) -> None:
+        self._frozen = None  # captured from the first frame seen in-window
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:
+        columns = resolve_columns(self.env_slice, row.shape[0], type(self).__name__)
+        if self._frozen is None:
+            self._frozen = row[columns].copy()
+        row[columns] = self._frozen
+        return row
+
+
+class SensorDropout(RowFault):
+    """Replace the environment columns with NaN (sensor link dead).
+
+    NaN rows are rejected by the serving engine's admission check, so
+    this drills the *rejected* path; pass a finite ``value`` (e.g. 0.0)
+    to drill the silently-wrong path instead.
+    """
+
+    def __init__(self, env_slice: slice = DEFAULT_ENV_SLICE, value: float = np.nan) -> None:
+        super().__init__()
+        self.env_slice = env_slice
+        self.value = value
+
+    def apply_row(self, t_s: float, row: np.ndarray) -> np.ndarray:
+        columns = resolve_columns(self.env_slice, row.shape[0], type(self).__name__)
+        row[columns] = self.value
+        return row

@@ -1,0 +1,94 @@
+"""The chaos scenario runner: injectors activated over declared windows.
+
+A :class:`ChaosSchedule` is the reproducible script of a chaos campaign:
+a list of :class:`FaultWindow` entries, each naming a stream-time window
+and the injector active inside it.  :meth:`ChaosSchedule.run` wraps any
+iterator of :class:`~repro.faults.base.ChaosFrame` and drives every
+injector's lifecycle — bind a derived RNG, activate on window entry,
+route frames through all active injectors in declaration order, flush on
+window exit and at end of stream.
+
+Determinism contract: every injector's RNG is derived as
+``default_rng([seed, window_index])``, and window entry/exit is decided
+by the *incoming* frame's timestamp.  Same frames + same windows + same
+seed therefore yield a byte-identical corrupted stream — the property
+``tests/faults`` pins down and chaos reports rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import ChaosFrame, FaultInjector
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault: ``injector`` is active for ``start_s <= t < end_s``."""
+
+    start_s: float
+    end_s: float
+    injector: FaultInjector
+
+    def __post_init__(self) -> None:
+        if not self.end_s > self.start_s:
+            raise ConfigurationError(
+                f"fault window must have end_s > start_s, got [{self.start_s}, {self.end_s})"
+            )
+
+    def contains(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+class ChaosSchedule:
+    """Activates fault injectors over declared time windows of a stream.
+
+    Parameters
+    ----------
+    windows:
+        The campaign script.  Windows may overlap; frames pass through
+        all currently active injectors in declaration order, so the list
+        order is the corruption order.
+    seed:
+        Root seed; each window's injector gets an independent generator
+        derived from ``(seed, window_index)``.
+
+    Notes
+    -----
+    Frames a buffering injector (e.g. ``FrameReorder``) flushes on window
+    close are emitted as-is, bypassing injectors later in the chain —
+    the window has ended, the transport healed.
+    """
+
+    def __init__(self, windows: Sequence[FaultWindow], seed: int = 0) -> None:
+        self.windows = list(windows)
+        self.seed = int(seed)
+
+    def run(self, frames: Iterable[ChaosFrame]) -> Iterator[ChaosFrame]:
+        """Replay ``frames`` through the schedule; yields corrupted frames."""
+        for i, window in enumerate(self.windows):
+            window.injector.bind(np.random.default_rng([self.seed, i]))
+        active = [False] * len(self.windows)
+
+        for frame in frames:
+            t = frame.t_s
+            for i, window in enumerate(self.windows):
+                if active[i] and t >= window.end_s:
+                    active[i] = False
+                    yield from window.injector.deactivate()
+                elif not active[i] and window.contains(t):
+                    active[i] = True
+                    window.injector.activate(t)
+            out = [frame]
+            for i, window in enumerate(self.windows):
+                if active[i]:
+                    out = [o for f in out for o in window.injector.process(f)]
+            yield from out
+
+        for i, window in enumerate(self.windows):
+            if active[i]:
+                yield from window.injector.deactivate()

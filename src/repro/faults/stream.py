@@ -1,0 +1,102 @@
+"""Frame-delivery faults: outages, clock trouble, out-of-order frames.
+
+These injectors corrupt *when and whether* frames arrive rather than what
+they contain — the failure modes of the transport between sniffer and
+server.  They exercise the serving engine's admission and batching
+machinery: an outage starves links (and ends, which must flip health back
+to HEALTHY), clock skew feeds the stale-drop policy, and reordering
+stresses the stream-time bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import ChaosFrame, FaultInjector
+
+
+class LinkOutage(FaultInjector):
+    """Suppress every frame (optionally of specific links) while active.
+
+    The dropped-frame count is exposed as :attr:`suppressed` so a chaos
+    report can reconcile submitted vs. answered frames exactly.
+    """
+
+    def __init__(self, link_ids: Collection[str] | None = None) -> None:
+        super().__init__()
+        self.link_ids = None if link_ids is None else frozenset(link_ids)
+        self.suppressed = 0
+
+    def _on_bind(self) -> None:
+        self.suppressed = 0
+
+    def process(self, frame: ChaosFrame) -> list[ChaosFrame]:
+        if self.link_ids is None or frame.link_id in self.link_ids:
+            self.suppressed += 1
+            return []
+        return [frame]
+
+
+class ClockSkew(FaultInjector):
+    """Timestamp corruption: uniform jitter plus cumulative drift.
+
+    Each in-window frame's timestamp becomes
+    ``t + drift_per_s * (t - window_start) + U(-jitter_s, +jitter_s)``.
+    With jitter comparable to the frame period this produces locally
+    out-of-order timestamps — exactly what NTP hiccups on a sniffer do.
+    """
+
+    def __init__(self, jitter_s: float = 0.5, drift_per_s: float = 0.0) -> None:
+        super().__init__()
+        if jitter_s < 0:
+            raise ConfigurationError("jitter_s must be >= 0")
+        if jitter_s == 0 and drift_per_s == 0:
+            raise ConfigurationError("ClockSkew with no jitter and no drift is a no-op")
+        self.jitter_s = jitter_s
+        self.drift_per_s = drift_per_s
+
+    def process(self, frame: ChaosFrame) -> list[ChaosFrame]:
+        t = frame.t_s + self.drift_per_s * (frame.t_s - self.active_since_s)
+        if self.jitter_s:
+            t += float(self.rng.uniform(-self.jitter_s, self.jitter_s))
+        return [frame.with_time(t)]
+
+
+class FrameReorder(FaultInjector):
+    """Deliver frames out of order: permute every ``depth`` buffered frames.
+
+    Models a bursty transport that batches and re-sends: frames are held
+    until ``depth`` accumulate, then released in a random permutation.
+    Whatever is still buffered when the window closes flushes out (also
+    permuted), so no frame is ever lost to reordering.
+    """
+
+    def __init__(self, depth: int = 4) -> None:
+        super().__init__()
+        if depth < 2:
+            raise ConfigurationError("depth must be >= 2 (1 would be a no-op)")
+        self.depth = depth
+        self._buffer: list[ChaosFrame] = []
+
+    def _on_bind(self) -> None:
+        self._buffer = []
+
+    def _emit(self) -> list[ChaosFrame]:
+        order = self.rng.permutation(len(self._buffer))
+        out = [self._buffer[i] for i in order]
+        self._buffer = []
+        return out
+
+    def process(self, frame: ChaosFrame) -> list[ChaosFrame]:
+        self._buffer.append(frame)
+        if len(self._buffer) >= self.depth:
+            return self._emit()
+        return []
+
+    def flush(self) -> list[ChaosFrame]:
+        if not self._buffer:
+            return []
+        return self._emit()

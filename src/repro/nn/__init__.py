@@ -13,7 +13,9 @@ first principles:
 * :mod:`repro.nn.optim` — SGD, Adam and AdamW (decoupled weight decay,
   the paper's reference [23]);
 * :mod:`repro.nn.train` — mini-batch trainer with loss/metric histories;
-* :mod:`repro.nn.serialize` — state-dict save/load.
+* :mod:`repro.nn.serialize` — crash-safe (atomic) state-dict save/load;
+* :mod:`repro.nn.checkpoint` — last-k/best training checkpoints,
+  ``Trainer.fit(resume_from=...)`` support and the divergence guard.
 
 Gradients are validated against finite differences in the test suite.
 """
@@ -32,8 +34,14 @@ from .modules import (
 from .losses import bce_loss, bce_with_logits_loss, mse_loss, l1_loss
 from .optim import SGD, Adam, AdamW, clip_grad_norm
 from .schedulers import StepLR, CosineAnnealingLR, ExponentialLR
-from .train import Trainer, TrainingHistory
+from .train import Trainer, TrainerCallback, TrainingHistory
 from .serialize import save_state_dict, load_state_dict
+from .checkpoint import (
+    Checkpoint,
+    CheckpointCallback,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "Tensor",
@@ -58,7 +66,12 @@ __all__ = [
     "CosineAnnealingLR",
     "ExponentialLR",
     "Trainer",
+    "TrainerCallback",
     "TrainingHistory",
     "save_state_dict",
     "load_state_dict",
+    "Checkpoint",
+    "CheckpointCallback",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

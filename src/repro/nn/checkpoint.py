@@ -1,0 +1,301 @@
+"""Crash-safe training checkpoints.
+
+A checkpoint is one atomic ``.npz`` archive holding everything needed to
+continue a :class:`~repro.nn.train.Trainer` run bit-for-bit: model
+parameters, optimizer state (Adam moments, momentum buffers, step count,
+learning rate), the shuffle RNG's bit-generator state, the 0-based epoch
+index it was taken after, and the full
+:class:`~repro.nn.train.TrainingHistory` so far.  Because the shuffle
+RNG resumes from its saved state, a run killed after epoch ``k`` and
+resumed via ``Trainer.fit(resume_from=...)`` replays exactly the batch
+order the uninterrupted run would have used — final parameters match to
+floating-point identity, not just "roughly converged".
+
+:class:`CheckpointCallback` plugs this into the training loop: atomic
+last-``k`` checkpoints every epoch, a separate best-validation
+checkpoint, and a divergence guard that rolls the model back to the last
+good checkpoint (instead of leaving NaN-poisoned weights) and stops the
+run when a loss goes non-finite or explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SerializationError
+from .modules import Module
+from .optim import Optimizer
+from .serialize import atomic_savez, decode_meta, encode_meta, open_archive
+from .train import TrainerCallback, TrainingHistory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .train import Trainer
+
+#: Format tag stored in every checkpoint's metadata.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+_META_KEY = "__meta__"
+
+
+@dataclass
+class Checkpoint:
+    """A loaded checkpoint, ready to restore into a model/optimizer/RNG."""
+
+    path: Path
+    #: 0-based index of the last completed epoch.
+    epoch: int
+    history: TrainingHistory
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict[str, object]
+    #: ``Generator.bit_generator.state`` of the trainer's shuffle RNG.
+    rng_state: dict | None
+
+    def restore(
+        self,
+        model: Module | None = None,
+        optimizer: Optimizer | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "Checkpoint":
+        """Load the saved state into any subset of (model, optimizer, rng).
+
+        The RNG must use the same bit generator the checkpoint was taken
+        from (the library default is PCG64); a mismatch raises
+        :class:`~repro.exceptions.SerializationError`.
+        """
+        if model is not None:
+            model.load_state_dict(self.model_state)
+        if optimizer is not None:
+            optimizer.load_state_dict(self.optimizer_state)
+        if rng is not None:
+            if self.rng_state is None:
+                raise SerializationError(
+                    f"{self.path} carries no RNG state to restore"
+                )
+            if rng.bit_generator.state["bit_generator"] != self.rng_state["bit_generator"]:
+                raise SerializationError(
+                    f"{self.path} was taken from a "
+                    f"{self.rng_state['bit_generator']} generator, cannot restore "
+                    f"into {rng.bit_generator.state['bit_generator']}"
+                )
+            rng.bit_generator.state = self.rng_state
+        return self
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    model: Module,
+    optimizer: Optimizer,
+    epoch: int,
+    history: TrainingHistory,
+    rng: np.random.Generator | None = None,
+) -> Path:
+    """Atomically write one checkpoint; returns the normalized path."""
+    model_state = model.state_dict()
+    if not model_state:
+        raise SerializationError("model has no parameters to checkpoint")
+    payload: dict[str, np.ndarray] = {
+        f"model/{name}": array for name, array in model_state.items()
+    }
+    optim_meta: dict[str, object] = {}
+    for key, value in optimizer.state_dict().items():
+        if isinstance(value, list) and all(isinstance(v, np.ndarray) for v in value):
+            for i, array in enumerate(value):
+                payload[f"optim/{key}/{i}"] = array
+            optim_meta[key] = {"__arrays__": len(value)}
+        else:
+            optim_meta[key] = value
+    meta = {
+        "format": CHECKPOINT_FORMAT,
+        "epoch": int(epoch),
+        "history": {
+            "train_loss": list(map(float, history.train_loss)),
+            "val_loss": list(map(float, history.val_loss)),
+            "val_metric": list(map(float, history.val_metric)),
+        },
+        "optim": optim_meta,
+        "rng_state": None if rng is None else rng.bit_generator.state,
+        "model": {name: list(array.shape) for name, array in model_state.items()},
+    }
+    payload[_META_KEY] = encode_meta(meta)
+    return atomic_savez(path, payload)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with open_archive(path) as archive:
+        if _META_KEY not in archive:
+            raise SerializationError(f"{path} is not a repro checkpoint archive")
+        meta = decode_meta(archive[_META_KEY], path)
+        arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise SerializationError(
+            f"{path}: unknown checkpoint format {meta.get('format')!r}"
+        )
+    model_state: dict[str, np.ndarray] = {}
+    for name, shape in meta["model"].items():
+        key = f"model/{name}"
+        if key not in arrays:
+            raise SerializationError(f"{path} manifest lists {name!r} but array missing")
+        if list(arrays[key].shape) != shape:
+            raise SerializationError(
+                f"{path}: array {name!r} shape {arrays[key].shape} != manifest {shape}"
+            )
+        model_state[name] = arrays[key]
+    optimizer_state: dict[str, object] = {}
+    for key, value in meta["optim"].items():
+        if isinstance(value, dict) and "__arrays__" in value:
+            optimizer_state[key] = [
+                arrays[f"optim/{key}/{i}"] for i in range(int(value["__arrays__"]))
+            ]
+        else:
+            optimizer_state[key] = value
+    history = TrainingHistory(
+        train_loss=list(meta["history"]["train_loss"]),
+        val_loss=list(meta["history"]["val_loss"]),
+        val_metric=list(meta["history"]["val_metric"]),
+    )
+    return Checkpoint(
+        path=path,
+        epoch=int(meta["epoch"]),
+        history=history,
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        rng_state=meta["rng_state"],
+    )
+
+
+class CheckpointCallback(TrainerCallback):
+    """Last-``k`` + best-validation checkpoints with a divergence guard.
+
+    Attach to :meth:`Trainer.fit` via ``callbacks=[...]``.  After every
+    epoch it atomically writes ``epoch-NNNN.npz`` into ``directory`` and
+    prunes to the newest ``keep_last``; when the monitored log value
+    (``val_loss`` when present, else ``train_loss``) improves it also
+    rewrites ``best.npz``.
+
+    The guard watches every reported loss: if one goes non-finite — or
+    exceeds ``divergence_factor`` times the best monitored value seen,
+    when a factor is set — the callback restores the newest checkpoint
+    into the trainer's model, optimizer and RNG (so the weights are the
+    last *good* ones, not the poisoned ones) and stops the run.  The
+    returned history still shows the diverged epoch; the model does not.
+
+    Parameters
+    ----------
+    trainer:
+        The trainer being observed; the callback reads its model,
+        optimizer, shuffle RNG and in-progress history.
+    directory:
+        Where checkpoints land (created if missing).
+    keep_last:
+        How many epoch checkpoints to retain.
+    monitor:
+        Log key watched for ``best.npz`` (falls back to ``train_loss``
+        when the key is absent, e.g. no validation data).
+    guard:
+        Enable the non-finite/divergence rollback.
+    divergence_factor:
+        Optional explosion threshold relative to the best monitored
+        value (e.g. ``1e3``); ``None`` guards against non-finite losses
+        only.
+    """
+
+    #: Filename of the best-validation checkpoint inside ``directory``.
+    BEST_NAME = "best.npz"
+
+    def __init__(
+        self,
+        trainer: "Trainer",
+        directory: str | Path,
+        *,
+        keep_last: int = 3,
+        monitor: str = "val_loss",
+        guard: bool = True,
+        divergence_factor: float | None = None,
+    ) -> None:
+        if keep_last < 1:
+            raise ConfigurationError("keep_last must be >= 1")
+        if divergence_factor is not None and divergence_factor <= 1:
+            raise ConfigurationError("divergence_factor must be > 1 (or None)")
+        self.trainer = trainer
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.monitor = monitor
+        self.guard = guard
+        self.divergence_factor = divergence_factor
+        self.saved: list[Path] = []
+        self.best_path: Path | None = None
+        self.rollbacks = 0
+        self.restored_from: Path | None = None
+        self._best = np.inf
+
+    # ----------------------------------------------------------------- guard
+
+    def _diverged(self, logs: dict[str, float]) -> bool:
+        losses = [logs["train_loss"]] + (
+            [logs["val_loss"]] if "val_loss" in logs else []
+        )
+        if any(not np.isfinite(loss) for loss in losses):
+            return True
+        if self.divergence_factor is not None and np.isfinite(self._best):
+            monitored = logs.get(self.monitor, logs["train_loss"])
+            return monitored > self.divergence_factor * self._best
+        return False
+
+    def _rollback(self) -> bool:
+        self.rollbacks += 1
+        if self.saved:
+            self.restored_from = self.saved[-1]
+            load_checkpoint(self.restored_from).restore(
+                model=self.trainer.model,
+                optimizer=self.trainer.optimizer,
+                rng=self.trainer._rng,
+            )
+        return True  # stop the run
+
+    # -------------------------------------------------------------- callback
+
+    def on_epoch_end(self, epoch: int, logs: dict[str, float]) -> bool | None:
+        if self.guard and self._diverged(logs):
+            return self._rollback()
+        history = self.trainer.history
+        if history is None:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                "CheckpointCallback must be attached to Trainer.fit(callbacks=...)"
+            )
+        path = save_checkpoint(
+            self.directory / f"epoch-{epoch:04d}.npz",
+            model=self.trainer.model,
+            optimizer=self.trainer.optimizer,
+            epoch=epoch,
+            history=history,
+            rng=self.trainer._rng,
+        )
+        self.saved.append(path)
+        while len(self.saved) > self.keep_last:
+            stale = self.saved.pop(0)
+            stale.unlink(missing_ok=True)
+        monitored = logs.get(self.monitor, logs["train_loss"])
+        if monitored < self._best:
+            self._best = float(monitored)
+            self.best_path = save_checkpoint(
+                self.directory / self.BEST_NAME,
+                model=self.trainer.model,
+                optimizer=self.trainer.optimizer,
+                epoch=epoch,
+                history=history,
+                rng=self.trainer._rng,
+            )
+        return None
+
+    @property
+    def latest(self) -> Path | None:
+        """The newest epoch checkpoint on disk (resume target)."""
+        return self.saved[-1] if self.saved else None

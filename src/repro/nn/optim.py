@@ -55,6 +55,39 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------ state dict
+
+    def state_dict(self) -> dict[str, object]:
+        """Snapshot of the optimizer's mutable state (for checkpointing).
+
+        Array-valued entries (momentum buffers, Adam moments) are lists of
+        arrays aligned with :attr:`parameters`; everything else is a plain
+        scalar.  Subclasses extend the dict rather than replacing it.
+        """
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])  # type: ignore[arg-type]
+
+    def _check_aligned(self, name: str, arrays: list[np.ndarray]) -> list[np.ndarray]:
+        """Validate per-parameter buffers against the current parameters."""
+        if len(arrays) != len(self.parameters):
+            raise ConfigurationError(
+                f"optimizer state {name!r} has {len(arrays)} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        out: list[np.ndarray] = []
+        for i, (array, p) in enumerate(zip(arrays, self.parameters)):
+            array = np.asarray(array, dtype=float)
+            if array.shape != p.data.shape:
+                raise ConfigurationError(
+                    f"optimizer state {name!r}[{i}] has shape {array.shape}, "
+                    f"parameter has {p.data.shape}"
+                )
+            out.append(array.copy())
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional Nesterov-free momentum."""
@@ -74,6 +107,15 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._check_aligned("velocity", list(state["velocity"]))  # type: ignore[arg-type]
 
     def step(self) -> None:
         for p, v in zip(self.parameters, self._velocity):
@@ -112,6 +154,19 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+
+    def state_dict(self) -> dict[str, object]:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = int(self._t)
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._m = self._check_aligned("m", list(state["m"]))  # type: ignore[arg-type]
+        self._v = self._check_aligned("v", list(state["v"]))  # type: ignore[arg-type]
+        self._t = int(state["t"])  # type: ignore[arg-type]
 
     def _decayed_gradient(self, p: Tensor) -> np.ndarray:
         assert p.grad is not None

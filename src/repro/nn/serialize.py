@@ -3,11 +3,21 @@
 State dicts are saved as ``.npz`` archives with a tiny JSON sidecar of
 metadata (parameter names and shapes), which is enough to rebuild any of
 the library's MLPs deterministically and to verify integrity on load.
+
+Writes are crash-safe: the archive is written to a temporary file in the
+destination directory and atomically renamed over the final path, so a
+crash mid-write can never leave a truncated archive under the real name.
+The returned path is always the normalized ``*.npz`` path actually
+written (``np.savez_compressed`` silently appends the suffix, which used
+to make the returned path wrong for suffix-less arguments).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -19,28 +29,84 @@ from .modules import Module
 _META_KEY = "__meta__"
 
 
-def save_state_dict(model: Module, path: str | Path) -> Path:
-    """Write a model's parameters (and shape manifest) to ``path``."""
+def normalize_npz_path(path: str | Path) -> Path:
+    """The path numpy will actually write: ensure a ``.npz`` suffix."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def atomic_savez(path: str | Path, payload: dict[str, np.ndarray]) -> Path:
+    """Write an ``.npz`` archive atomically; returns the normalized path.
+
+    The payload lands in a temp file in the same directory (same
+    filesystem, so the final ``os.replace`` is atomic); passing the open
+    file object to numpy also stops it appending a second suffix.
+    """
+    path = normalize_npz_path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def encode_meta(meta: dict) -> np.ndarray:
+    """Pack a JSON-serializable dict into an npz-storable byte array."""
+    return np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+
+
+def decode_meta(array: np.ndarray, path: Path) -> dict:
+    """Unpack :func:`encode_meta`; corrupt JSON becomes SerializationError."""
+    try:
+        return json.loads(bytes(array).decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise SerializationError(f"{path}: corrupt metadata ({error})") from error
+
+
+def open_archive(path: str | Path):
+    """``np.load`` with truncation/corruption mapped to SerializationError."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such model file: {path}")
+    try:
+        return np.load(path)
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise SerializationError(
+            f"{path} is not a readable archive (truncated or corrupt?)"
+        ) from error
+
+
+def save_state_dict(model: Module, path: str | Path) -> Path:
+    """Write a model's parameters (and shape manifest) to ``path``.
+
+    Returns the normalized ``*.npz`` path actually written; the write is
+    atomic (temp file + rename), so readers never observe a partial file.
+    """
     state = model.state_dict()
     if not state:
         raise SerializationError("model has no parameters to save")
     meta = {name: list(array.shape) for name, array in state.items()}
     payload = {name: array for name, array in state.items()}
-    payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
-    return path
+    payload[_META_KEY] = encode_meta(meta)
+    return atomic_savez(path, payload)
 
 
 def load_state_dict(model: Module, path: str | Path) -> Module:
     """Load parameters saved by :func:`save_state_dict` into ``model``."""
     path = Path(path)
-    if not path.exists():
-        raise SerializationError(f"no such model file: {path}")
-    with np.load(path) as archive:
+    with open_archive(path) as archive:
         if _META_KEY not in archive:
             raise SerializationError(f"{path} is not a repro model archive")
-        meta = json.loads(bytes(archive[_META_KEY]).decode())
+        meta = decode_meta(archive[_META_KEY], path)
         state = {name: archive[name] for name in archive.files if name != _META_KEY}
     for name, shape in meta.items():
         if name not in state:

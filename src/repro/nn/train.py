@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
     from .schedulers import Scheduler
 
 from ..exceptions import ConfigurationError, ShapeError
@@ -53,10 +55,16 @@ class TrainerCallback:
     a metric function were supplied.  Subclass and override; the base
     implementation is a no-op so callbacks only implement what they need.
     The serving layer's ``TrainingMetricsCallback`` routes these logs into
-    the same metrics registry the inference engine reports through.
+    the same metrics registry the inference engine reports through, and
+    :class:`~repro.nn.checkpoint.CheckpointCallback` writes crash-safe
+    checkpoints from the same hook.
+
+    A callback may return a truthy value to request that training stop
+    after the current epoch (e.g. the checkpoint divergence guard rolling
+    back a NaN run); returning ``None``/``False`` continues as before.
     """
 
-    def on_epoch_end(self, epoch: int, logs: dict[str, float]) -> None:
+    def on_epoch_end(self, epoch: int, logs: dict[str, float]) -> bool | None:
         """Called with the 0-based epoch index and that epoch's logs."""
 
 
@@ -92,6 +100,10 @@ class Trainer:
         self.loss_fn = loss_fn
         self.batch_size = batch_size
         self._rng = rng or np.random.default_rng()
+        #: The in-progress (or most recent) :meth:`fit` history — the live
+        #: object the loop appends to, so checkpoint callbacks can persist
+        #: it mid-run.
+        self.history: TrainingHistory | None = None
 
     def _check_xy(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x = np.asarray(x, dtype=float)
@@ -161,6 +173,7 @@ class Trainer:
         early_stopping_patience: int | None = None,
         scheduler: "Scheduler | None" = None,
         callbacks: Sequence[TrainerCallback] | None = None,
+        resume_from: "str | Path | None" = None,
         verbose: bool = False,
     ) -> TrainingHistory:
         """Full training run; returns the per-epoch history.
@@ -170,7 +183,19 @@ class Trainer:
         caller's business via ``model.state_dict()``.  A scheduler, if
         given, steps once after every epoch.  Callbacks receive the epoch
         index and a logs dict (loss, wall time) after every epoch, before
-        an early stop is taken.
+        an early stop is taken; any callback returning a truthy value
+        stops the run after that epoch.
+
+        ``resume_from`` restarts a killed run from a checkpoint written
+        by :class:`~repro.nn.checkpoint.CheckpointCallback` (or
+        :func:`~repro.nn.checkpoint.save_checkpoint`): model parameters,
+        optimizer state and the shuffle RNG are restored, the saved
+        history is extended in place, and training continues at the epoch
+        after the checkpoint — with the same data and ``epochs`` the
+        resumed run reproduces the uninterrupted run exactly.  Scheduler
+        state is *not* checkpointed (the restored optimizer carries the
+        checkpoint-time learning rate); re-create and fast-forward the
+        scheduler when resuming a scheduled run.
         """
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
@@ -181,7 +206,21 @@ class Trainer:
         history = TrainingHistory()
         best_val = np.inf
         stale = 0
-        for epoch in range(epochs):
+        start_epoch = 0
+        if resume_from is not None:
+            from .checkpoint import load_checkpoint  # deferred: avoids cycle
+
+            checkpoint = load_checkpoint(resume_from)
+            checkpoint.restore(
+                model=self.model, optimizer=self.optimizer, rng=self._rng
+            )
+            history = checkpoint.history
+            start_epoch = checkpoint.epoch + 1
+            if history.val_loss:
+                best_val = float(np.min(history.val_loss))
+                stale = len(history.val_loss) - 1 - int(np.argmin(history.val_loss))
+        self.history = history
+        for epoch in range(start_epoch, epochs):
             epoch_start = time.perf_counter()
             train_loss = self.train_epoch(x, y)
             history.train_loss.append(train_loss)
@@ -211,7 +250,9 @@ class Trainer:
                             line += "  (early stop)"
             logs["duration_s"] = time.perf_counter() - epoch_start
             for callback in callbacks or ():
-                callback.on_epoch_end(epoch, logs)
+                if callback.on_epoch_end(epoch, logs):
+                    stop = True
+                    line += f"  (stopped by {type(callback).__name__})"
             if verbose:
                 print(line)
             if stop:

@@ -17,7 +17,11 @@ Degradation is explicit rather than accidental:
 * frames older than ``stale_after_s`` at flush time are dropped and the
   link marked DEGRADED — late answers are worse than no answers;
 * a primary-model exception reroutes the batch to the fallback predictor
-  (see :mod:`repro.serve.robustness`) instead of killing the stream.
+  (see :mod:`repro.serve.robustness`) instead of killing the stream;
+* DEGRADED is not a terminal state: the next batch a link completes from
+  the *primary* model flips it back to HEALTHY and increments the
+  ``link_recovered_total`` counter — an outage or fallback stretch ends
+  the moment good answers flow again.
 
 Every decision increments the engine's :class:`~repro.serve.metrics.MetricsRegistry`.
 """
@@ -242,6 +246,8 @@ class InferenceEngine:
                 link.fallback_frames += 1
                 link.health = LinkHealth.DEGRADED
             else:
+                if link.health is LinkHealth.DEGRADED:
+                    self.registry.counter("link_recovered_total").inc()
                 link.health = LinkHealth.HEALTHY
             flipped = link.debouncer.update(int(p >= 0.5))
             transition = None

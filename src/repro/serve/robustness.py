@@ -21,7 +21,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ShapeError
 
 
 class LinkHealth(enum.Enum):
@@ -90,9 +90,29 @@ class EnvThresholdFallback:
         self.threshold_c = threshold_c
         self.scale_c = scale_c
 
+    def _env_columns(self, width: int) -> slice:
+        """Validate the feature width before touching ``env_slice``.
+
+        A CSI-only batch (64 columns with the default layout) used to
+        produce an *empty* slice here and crash with a bare IndexError —
+        the one failure mode a fallback predictor must not have.
+        """
+        start, stop, step = self.env_slice.indices(width)
+        wanted_stop = self.env_slice.stop
+        if (wanted_stop is not None and wanted_stop > width) or not range(start, stop, step):
+            raise ShapeError(
+                f"EnvThresholdFallback expects feature rows carrying environment "
+                f"columns at {self.env_slice.start}:{self.env_slice.stop} (e.g. 64 "
+                f"CSI subcarriers followed by temperature and humidity), got width "
+                f"{width} — CSI-only rows have no T/H columns; use PriorFallback"
+            )
+        return slice(start, stop, step)
+
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        temperature = x[:, self.env_slice][:, 0]
+        if x.ndim != 2:
+            raise ShapeError(f"expected a 2-D feature batch, got shape {x.shape}")
+        temperature = x[:, self._env_columns(x.shape[1])][:, 0]
         z = (temperature - self.threshold_c) / self.scale_c
         return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
 

@@ -1,0 +1,141 @@
+"""Tests for the feature-row fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.faults.base import ChaosFrame
+from repro.faults.row import (
+    BurstNoise,
+    GainDrift,
+    SensorDropout,
+    SensorStuckAt,
+    SubcarrierDropout,
+)
+
+
+def bound(injector, seed=0, t=0.0):
+    injector.bind(np.random.default_rng(seed))
+    injector.activate(t)
+    return injector
+
+
+def frame(values, t=0.0, link="a", label=1):
+    return ChaosFrame(link, t, np.asarray(values, dtype=float), label)
+
+
+class TestSubcarrierDropout:
+    def test_fixed_band_zeroed(self):
+        fault = bound(SubcarrierDropout(band=slice(2, 5)))
+        (out,) = fault.process(frame(np.ones(8)))
+        np.testing.assert_array_equal(out.features, [1, 1, 0, 0, 0, 1, 1, 1])
+
+    def test_nan_mode(self):
+        fault = bound(SubcarrierDropout(band=slice(0, 2), mode="nan"))
+        (out,) = fault.process(frame(np.ones(4)))
+        assert np.isnan(out.features[:2]).all()
+        assert np.isfinite(out.features[2:]).all()
+
+    def test_random_band_within_csi_columns(self):
+        fault = bound(SubcarrierDropout(band_width=8, n_csi=64))
+        (out,) = fault.process(frame(np.ones(66)))
+        killed = np.flatnonzero(out.features == 0.0)
+        assert len(killed) == 8
+        assert killed.max() < 64  # never touches the env columns
+        assert np.array_equal(killed, np.arange(killed[0], killed[0] + 8))
+
+    def test_random_band_redrawn_per_activation(self):
+        fault = SubcarrierDropout(band_width=4, n_csi=64)
+        fault.bind(np.random.default_rng(1))
+        bands = []
+        for _ in range(8):
+            fault.activate(0.0)
+            (out,) = fault.process(frame(np.ones(64)))
+            bands.append(tuple(np.flatnonzero(out.features == 0.0)))
+            fault.deactivate()
+        assert len(set(bands)) > 1
+
+    def test_does_not_mutate_input(self):
+        fault = bound(SubcarrierDropout(band=slice(0, 4)))
+        row = np.ones(8)
+        fault.process(frame(row))
+        np.testing.assert_array_equal(row, np.ones(8))
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierDropout(mode="half")
+
+
+class TestBurstNoise:
+    def test_bursts_hit_some_frames_not_all(self):
+        fault = bound(BurstNoise(amplitude=5.0, burst_frames=3, p_start=0.2))
+        corrupted = 0
+        for i in range(200):
+            (out,) = fault.process(frame(np.full(16, 10.0), t=float(i)))
+            if not np.allclose(out.features, 10.0):
+                corrupted += 1
+        assert 0 < corrupted < 200
+
+    def test_amplitudes_stay_non_negative(self):
+        fault = bound(BurstNoise(amplitude=50.0, burst_frames=10, p_start=1.0))
+        for i in range(20):
+            (out,) = fault.process(frame(np.full(16, 0.5), t=float(i)))
+            assert (out.features >= 0.0).all()
+
+
+class TestGainDrift:
+    def test_gain_grows_linearly_from_activation(self):
+        fault = bound(GainDrift(rate_per_s=0.1), t=100.0)
+        (at_start,) = fault.process(frame(np.ones(4), t=100.0))
+        (later,) = fault.process(frame(np.ones(4), t=110.0))
+        np.testing.assert_allclose(at_start.features, 1.0)
+        np.testing.assert_allclose(later.features, 2.0)
+
+    def test_negative_rate_floors_at_zero(self):
+        fault = bound(GainDrift(rate_per_s=-1.0), t=0.0)
+        (out,) = fault.process(frame(np.ones(4), t=10.0))
+        np.testing.assert_array_equal(out.features, 0.0)
+
+    def test_env_columns_untouched(self):
+        fault = bound(GainDrift(rate_per_s=0.1, n_csi=2), t=0.0)
+        (out,) = fault.process(frame([1.0, 1.0, 21.0, 40.0], t=10.0))
+        np.testing.assert_allclose(out.features[2:], [21.0, 40.0])
+
+
+class TestSensorFaults:
+    def test_stuck_at_freezes_first_in_window_value(self):
+        fault = bound(SensorStuckAt(env_slice=slice(2, 4)))
+        fault.process(frame([1, 1, 20.0, 40.0]))
+        (out,) = fault.process(frame([2, 2, 25.0, 55.0]))
+        np.testing.assert_allclose(out.features, [2, 2, 20.0, 40.0])
+
+    def test_stuck_resets_between_activations(self):
+        fault = bound(SensorStuckAt(env_slice=slice(2, 4)))
+        fault.process(frame([0, 0, 20.0, 40.0]))
+        fault.deactivate()
+        fault.activate(50.0)
+        (out,) = fault.process(frame([0, 0, 30.0, 60.0], t=50.0))
+        np.testing.assert_allclose(out.features[2:], [30.0, 60.0])
+
+    def test_dropout_nans_env_columns(self):
+        fault = bound(SensorDropout(env_slice=slice(2, 4)))
+        (out,) = fault.process(frame([1, 1, 20.0, 40.0]))
+        assert np.isnan(out.features[2:]).all()
+        assert np.isfinite(out.features[:2]).all()
+
+    def test_csi_only_rows_raise_shape_error(self):
+        fault = bound(SensorDropout(env_slice=slice(64, 66)))
+        with pytest.raises(ShapeError, match="T/H"):
+            fault.process(frame(np.ones(64)))
+
+
+class TestLifecycle:
+    def test_unbound_injector_has_no_rng(self):
+        with pytest.raises(ConfigurationError, match="no RNG"):
+            SubcarrierDropout().rng
+
+    def test_active_since_requires_activation(self):
+        fault = SubcarrierDropout()
+        fault.bind(np.random.default_rng(0))
+        with pytest.raises(ConfigurationError, match="not active"):
+            fault.active_since_s

@@ -1,0 +1,105 @@
+"""Tests for ChaosSchedule — window lifecycle and the determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.base import ChaosFrame
+from repro.faults.row import BurstNoise, GainDrift, SubcarrierDropout
+from repro.faults.schedule import ChaosSchedule, FaultWindow
+from repro.faults.stream import FrameReorder, LinkOutage
+
+
+def stream(n=100, dt=1.0):
+    rng = np.random.default_rng(42)
+    rows = rng.uniform(1.0, 5.0, size=(n, 8))
+    return [ChaosFrame("a", i * dt, rows[i], int(i % 2)) for i in range(n)]
+
+
+class TestWindows:
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(10.0, 10.0, LinkOutage())
+
+    def test_fault_only_applies_inside_window(self):
+        schedule = ChaosSchedule(
+            [FaultWindow(20.0, 40.0, SubcarrierDropout(band=slice(0, 8)))]
+        )
+        out = list(schedule.run(stream()))
+        assert len(out) == 100
+        for clean, frame in zip(stream(), out):
+            zeroed = np.all(frame.features == 0.0)
+            if 20.0 <= clean.t_s < 40.0:
+                assert zeroed
+            else:
+                np.testing.assert_array_equal(frame.features, clean.features)
+
+    def test_outage_window_drops_exactly_its_frames(self):
+        schedule = ChaosSchedule([FaultWindow(10.0, 30.0, LinkOutage())])
+        out = list(schedule.run(stream()))
+        assert len(out) == 80
+        assert all(not 10.0 <= f.t_s < 30.0 for f in out)
+
+    def test_overlapping_windows_compose_in_order(self):
+        schedule = ChaosSchedule(
+            [
+                FaultWindow(0.0, 100.0, GainDrift(rate_per_s=0.01, n_csi=8)),
+                FaultWindow(0.0, 100.0, SubcarrierDropout(band=slice(0, 4))),
+            ]
+        )
+        out = list(schedule.run(stream()))
+        clean = stream()
+        # Band is zeroed after the drift, drift applies to the rest.
+        for c, f in zip(clean[1:], out[1:]):
+            assert np.all(f.features[:4] == 0.0)
+            np.testing.assert_allclose(
+                f.features[4:], c.features[4:] * (1 + 0.01 * c.t_s)
+            )
+
+    def test_buffering_fault_flushes_on_window_close(self):
+        # depth 4 over a 10-frame window: 2 full emissions + 2 buffered
+        # frames that must flush when the window ends, not vanish.
+        schedule = ChaosSchedule([FaultWindow(0.0, 10.0, FrameReorder(depth=4))])
+        out = list(schedule.run(stream(n=20)))
+        assert len(out) == 20
+        assert {f.t_s for f in out} == {float(i) for i in range(20)}
+
+    def test_flush_at_end_of_stream(self):
+        schedule = ChaosSchedule([FaultWindow(0.0, 1000.0, FrameReorder(depth=7))])
+        out = list(schedule.run(stream(n=10)))
+        assert len(out) == 10
+
+
+class TestDeterminism:
+    def windows(self):
+        return [
+            FaultWindow(10.0, 60.0, SubcarrierDropout(band_width=3, n_csi=8)),
+            FaultWindow(30.0, 80.0, BurstNoise(amplitude=2.0, p_start=0.3, n_csi=8)),
+            FaultWindow(50.0, 90.0, FrameReorder(depth=4)),
+        ]
+
+    def replay(self, seed):
+        return list(ChaosSchedule(self.windows(), seed=seed).run(stream()))
+
+    def test_same_seed_is_byte_identical(self):
+        a, b = self.replay(seed=7), self.replay(seed=7)
+        assert len(a) == len(b)
+        for fa, fb in zip(a, b):
+            assert fa.link_id == fb.link_id
+            assert fa.t_s == fb.t_s
+            assert fa.label == fb.label
+            assert fa.features.tobytes() == fb.features.tobytes()
+
+    def test_rerunning_one_schedule_object_is_stable(self):
+        schedule = ChaosSchedule(self.windows(), seed=3)
+        a = list(schedule.run(stream()))
+        b = list(schedule.run(stream()))
+        assert [f.features.tobytes() for f in a] == [f.features.tobytes() for f in b]
+
+    def test_different_seeds_differ(self):
+        a, b = self.replay(seed=1), self.replay(seed=2)
+        assert [f.features.tobytes() for f in a] != [f.features.tobytes() for f in b]
+
+    def test_labels_ride_along_uncorrupted(self):
+        out = self.replay(seed=7)
+        assert sorted(f.label for f in out) == sorted(f.label for f in stream())

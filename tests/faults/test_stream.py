@@ -1,0 +1,86 @@
+"""Tests for the frame-delivery fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.base import ChaosFrame
+from repro.faults.stream import ClockSkew, FrameReorder, LinkOutage
+
+
+def bound(injector, seed=0, t=0.0):
+    injector.bind(np.random.default_rng(seed))
+    injector.activate(t)
+    return injector
+
+
+def frames(n, link="a"):
+    return [ChaosFrame(link, float(i), np.full(4, float(i)), i % 2) for i in range(n)]
+
+
+class TestLinkOutage:
+    def test_suppresses_everything_by_default(self):
+        fault = bound(LinkOutage())
+        for f in frames(5):
+            assert fault.process(f) == []
+        assert fault.suppressed == 5
+
+    def test_targets_named_links_only(self):
+        fault = bound(LinkOutage(link_ids=["b"]))
+        assert fault.process(ChaosFrame("a", 0.0, np.ones(4))) != []
+        assert fault.process(ChaosFrame("b", 0.0, np.ones(4))) == []
+        assert fault.suppressed == 1
+
+    def test_suppressed_resets_on_bind(self):
+        fault = bound(LinkOutage())
+        fault.process(ChaosFrame("a", 0.0, np.ones(4)))
+        fault.bind(np.random.default_rng(0))
+        assert fault.suppressed == 0
+
+
+class TestClockSkew:
+    def test_jitter_bounded(self):
+        fault = bound(ClockSkew(jitter_s=0.5))
+        for f in frames(50):
+            (out,) = fault.process(f)
+            assert abs(out.t_s - f.t_s) <= 0.5
+            np.testing.assert_array_equal(out.features, f.features)
+
+    def test_drift_accumulates_from_window_start(self):
+        fault = bound(ClockSkew(jitter_s=0.0, drift_per_s=0.1), t=100.0)
+        (out,) = fault.process(ChaosFrame("a", 120.0, np.ones(4)))
+        assert out.t_s == pytest.approx(122.0)
+
+    def test_no_op_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockSkew(jitter_s=0.0, drift_per_s=0.0)
+
+
+class TestFrameReorder:
+    def test_no_frame_lost_and_order_permuted(self):
+        fault = bound(FrameReorder(depth=4))
+        out = []
+        incoming = frames(10)
+        for f in incoming:
+            out.extend(fault.process(f))
+        out.extend(fault.flush())
+        assert len(out) == 10
+        assert {f.t_s for f in out} == {f.t_s for f in incoming}
+        assert [f.t_s for f in out] != [f.t_s for f in incoming]
+
+    def test_permutes_within_depth_windows(self):
+        fault = bound(FrameReorder(depth=5))
+        out = []
+        for f in frames(10):
+            out.extend(fault.process(f))
+        first, second = out[:5], out[5:]
+        assert {f.t_s for f in first} == {0.0, 1.0, 2.0, 3.0, 4.0}
+        assert {f.t_s for f in second} == {5.0, 6.0, 7.0, 8.0, 9.0}
+
+    def test_flush_empty_buffer(self):
+        fault = bound(FrameReorder(depth=3))
+        assert fault.flush() == []
+
+    def test_depth_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameReorder(depth=1)

@@ -1,0 +1,239 @@
+"""Tests for crash-safe checkpoints and kill-and-resume training."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.nn.checkpoint import (
+    CheckpointCallback,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.nn.losses import mse_loss
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.optim import SGD, AdamW
+from repro.nn.train import Trainer, TrainingHistory
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 12, rng=rng), ReLU(), Linear(12, 1, rng=rng))
+
+
+def make_data(n=128, seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 6))
+    y = (x @ rng.normal(size=6) + 0.1 * rng.normal(size=n))[:, None]
+    return x, y
+
+
+def make_trainer(seed=0):
+    model = make_model(seed=seed)
+    optimizer = AdamW(model.parameters(), lr=1e-2, weight_decay=1e-2)
+    return Trainer(model, optimizer, mse_loss, batch_size=32,
+                   rng=np.random.default_rng(11))
+
+
+def flat_params(model):
+    return np.concatenate([p.data.ravel() for p in model.parameters()])
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_restores_everything(self, tmp_path):
+        trainer = make_trainer()
+        x, y = make_data()
+        history = trainer.fit(x, y, epochs=3)
+        path = save_checkpoint(
+            tmp_path / "ckpt.npz",
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            epoch=2,
+            history=history,
+            rng=trainer._rng,
+        )
+        fresh = make_trainer(seed=99)
+        checkpoint = load_checkpoint(path)
+        checkpoint.restore(model=fresh.model, optimizer=fresh.optimizer, rng=fresh._rng)
+        np.testing.assert_array_equal(flat_params(fresh.model), flat_params(trainer.model))
+        assert fresh.optimizer._t == trainer.optimizer._t
+        for a, b in zip(fresh.optimizer._m, trainer.optimizer._m):
+            np.testing.assert_array_equal(a, b)
+        assert fresh._rng.bit_generator.state == trainer._rng.bit_generator.state
+        assert checkpoint.epoch == 2
+        assert checkpoint.history.train_loss == history.train_loss
+
+    def test_suffix_normalized(self, tmp_path):
+        trainer = make_trainer()
+        path = save_checkpoint(
+            tmp_path / "ckpt",
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            epoch=0,
+            history=TrainingHistory(train_loss=[1.0]),
+        )
+        assert path.name == "ckpt.npz"
+        assert path.exists()
+
+    def test_truncated_archive_is_serialization_error(self, tmp_path):
+        trainer = make_trainer()
+        path = save_checkpoint(
+            tmp_path / "ckpt.npz",
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            epoch=0,
+            history=TrainingHistory(train_loss=[1.0]),
+        )
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)
+
+    def test_missing_rng_state_raises_on_restore(self, tmp_path):
+        trainer = make_trainer()
+        path = save_checkpoint(
+            tmp_path / "ckpt.npz",
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            epoch=0,
+            history=TrainingHistory(train_loss=[1.0]),
+            rng=None,
+        )
+        with pytest.raises(SerializationError, match="no RNG state"):
+            load_checkpoint(path).restore(rng=np.random.default_rng(0))
+
+    def test_sgd_momentum_round_trips(self, tmp_path):
+        model = make_model()
+        optimizer = SGD(model.parameters(), lr=1e-2, momentum=0.9)
+        trainer = Trainer(model, optimizer, mse_loss, batch_size=32,
+                          rng=np.random.default_rng(1))
+        x, y = make_data()
+        trainer.fit(x, y, epochs=2)
+        path = save_checkpoint(
+            tmp_path / "sgd.npz", model=model, optimizer=optimizer,
+            epoch=1, history=TrainingHistory(train_loss=[1.0, 0.5]),
+        )
+        fresh_model = make_model(seed=5)
+        fresh_opt = SGD(fresh_model.parameters(), lr=5e-3, momentum=0.9)
+        load_checkpoint(path).restore(model=fresh_model, optimizer=fresh_opt)
+        assert fresh_opt.lr == optimizer.lr
+        for a, b in zip(fresh_opt._velocity, optimizer._velocity):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestKillAndResume:
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        """Checkpoint at epoch k, kill, resume ⇒ identical tail and params."""
+        x, y = make_data()
+        x_val, y_val = make_data(n=48, seed=7)
+
+        uninterrupted = make_trainer()
+        full_history = uninterrupted.fit(x, y, epochs=6, x_val=x_val, y_val=y_val)
+
+        killed = make_trainer()
+        callback = CheckpointCallback(killed, tmp_path / "ckpts", keep_last=2)
+        killed.fit(x, y, epochs=3, x_val=x_val, y_val=y_val, callbacks=[callback])
+        assert callback.latest is not None and callback.latest.name == "epoch-0002.npz"
+
+        resumed = make_trainer(seed=42)  # different init: checkpoint overrides
+        resumed_history = resumed.fit(
+            x, y, epochs=6, x_val=x_val, y_val=y_val, resume_from=callback.latest
+        )
+
+        np.testing.assert_allclose(
+            flat_params(resumed.model), flat_params(uninterrupted.model), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            resumed_history.train_loss, full_history.train_loss, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            resumed_history.val_loss, full_history.val_loss, atol=1e-6
+        )
+        assert resumed_history.n_epochs == 6
+
+    def test_resume_past_target_epochs_is_a_no_op(self, tmp_path):
+        trainer = make_trainer()
+        x, y = make_data()
+        callback = CheckpointCallback(trainer, tmp_path)
+        trainer.fit(x, y, epochs=4, callbacks=[callback])
+        resumed = make_trainer()
+        history = resumed.fit(x, y, epochs=4, resume_from=callback.latest)
+        assert history.n_epochs == 4  # restored history, no extra epochs
+
+
+class TestCheckpointCallback:
+    def test_keeps_last_k_and_best(self, tmp_path):
+        trainer = make_trainer()
+        x, y = make_data()
+        x_val, y_val = make_data(n=48, seed=7)
+        callback = CheckpointCallback(trainer, tmp_path, keep_last=2)
+        trainer.fit(x, y, epochs=5, x_val=x_val, y_val=y_val, callbacks=[callback])
+        on_disk = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert on_disk == ["best.npz", "epoch-0003.npz", "epoch-0004.npz"]
+        best = load_checkpoint(tmp_path / "best.npz")
+        assert best.epoch == int(np.argmin(trainer.history.val_loss))
+
+    def test_monitor_falls_back_to_train_loss(self, tmp_path):
+        trainer = make_trainer()
+        x, y = make_data()
+        callback = CheckpointCallback(trainer, tmp_path, keep_last=1)
+        trainer.fit(x, y, epochs=3, callbacks=[callback])
+        assert callback.best_path is not None
+
+    def test_validation(self, tmp_path):
+        trainer = make_trainer()
+        with pytest.raises(ConfigurationError):
+            CheckpointCallback(trainer, tmp_path, keep_last=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointCallback(trainer, tmp_path, divergence_factor=1.0)
+
+
+class PoisonAfter:
+    """Loss function that turns NaN after ``n_calls`` training batches."""
+
+    def __init__(self, inner, n_calls: int) -> None:
+        self.inner = inner
+        self.n_calls = n_calls
+        self.calls = 0
+
+    def __call__(self, output, target):
+        self.calls += 1
+        loss = self.inner(output, target)
+        if self.calls > self.n_calls:
+            return loss * float("nan")
+        return loss
+
+
+class TestDivergenceGuard:
+    def test_nan_epoch_rolls_back_and_stops(self, tmp_path):
+        x, y = make_data()
+        model = make_model()
+        optimizer = AdamW(model.parameters(), lr=1e-2)
+        loss = PoisonAfter(mse_loss, n_calls=2 * (len(x) // 32 + 1))
+        trainer = Trainer(model, optimizer, loss, batch_size=32,
+                          rng=np.random.default_rng(11))
+        callback = CheckpointCallback(trainer, tmp_path / "ckpts", keep_last=3)
+        history = trainer.fit(x, y, epochs=10, callbacks=[callback])
+
+        assert callback.rollbacks == 1
+        assert history.n_epochs < 10  # stopped, did not grind through NaN
+        assert not np.isfinite(history.train_loss[-1])  # honest history
+        assert np.isfinite(flat_params(trainer.model)).all()  # clean weights
+        good = load_checkpoint(callback.restored_from)
+        np.testing.assert_array_equal(
+            flat_params(trainer.model),
+            np.concatenate([good.model_state[k].ravel() for k in good.model_state]),
+        )
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_divergence_factor_triggers_on_explosion(self, tmp_path):
+        x, y = make_data()
+        model = make_model()
+        # Absurd learning rate: loss explodes without going NaN immediately.
+        optimizer = SGD(model.parameters(), lr=50.0)
+        trainer = Trainer(model, optimizer, mse_loss, batch_size=32,
+                          rng=np.random.default_rng(11))
+        callback = CheckpointCallback(
+            trainer, tmp_path, keep_last=3, divergence_factor=10.0
+        )
+        history = trainer.fit(x, y, epochs=10, callbacks=[callback])
+        assert callback.rollbacks == 1
+        assert history.n_epochs < 10

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import SerializationError
 from repro.nn.modules import Linear, ReLU, Sequential
-from repro.nn.serialize import load_state_dict, save_state_dict
+from repro.nn.serialize import _META_KEY, load_state_dict, save_state_dict
 from repro.nn.tensor import Tensor
 
 
@@ -26,6 +26,27 @@ class TestRoundTrip:
     def test_returns_path(self, tmp_path):
         path = save_state_dict(make_model(), tmp_path / "m.npz")
         assert path.exists()
+
+    def test_suffixless_path_normalized_to_npz(self, tmp_path):
+        path = save_state_dict(make_model(), tmp_path / "model")
+        assert path.name == "model.npz"
+        assert path.exists()
+        load_state_dict(make_model(seed=3), path)
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        save_state_dict(make_model(), tmp_path / "m.npz")
+        # A crash-safe writer leaves exactly the final artifact behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["m.npz"]
+
+    def test_overwrite_existing_file(self, tmp_path):
+        a = make_model(seed=1)
+        path = save_state_dict(a, tmp_path / "m.npz")
+        b = make_model(seed=2)
+        save_state_dict(b, path)
+        c = make_model(seed=3)
+        load_state_dict(c, path)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        np.testing.assert_allclose(b(x).data, c(x).data)
 
 
 class TestErrors:
@@ -51,3 +72,18 @@ class TestErrors:
     def test_save_parameterless_model(self, tmp_path):
         with pytest.raises(SerializationError):
             save_state_dict(Sequential(ReLU()), tmp_path / "m.npz")
+
+    def test_truncated_archive(self, tmp_path):
+        path = save_state_dict(make_model(), tmp_path / "m.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        with pytest.raises(SerializationError, match="truncated or corrupt"):
+            load_state_dict(make_model(), path)
+
+    def test_corrupt_json_metadata(self, tmp_path):
+        path = save_state_dict(make_model(), tmp_path / "m.npz")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload[_META_KEY] = np.frombuffer(b"{not json!", dtype=np.uint8)
+        np.savez(path, **payload)
+        with pytest.raises(SerializationError, match="metadata"):
+            load_state_dict(make_model(), path)

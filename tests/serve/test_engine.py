@@ -40,6 +40,21 @@ class WrongLengthEstimator:
         return np.full(np.asarray(x).shape[0] + 1, 0.5)
 
 
+class FailNTimesEstimator:
+    """Primary that dies for the first ``n`` calls, then comes back."""
+
+    def __init__(self, n: int, p: float = 0.6) -> None:
+        self.n = n
+        self.p = p
+        self.calls = 0
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        if self.calls <= self.n:
+            raise RuntimeError("transient outage")
+        return np.full(np.asarray(x).shape[0], self.p)
+
+
 def _row(value: float = 0.9, width: int = 4) -> np.ndarray:
     return np.full(width, value)
 
@@ -134,6 +149,45 @@ class TestRobustness:
         assert engine.health("a") is LinkHealth.DEGRADED
         assert engine.registry.counter("primary_failures").value == 2
         assert engine.registry.counter("fallback_frames").value == 8
+
+    def test_degraded_link_recovers_on_next_primary_batch(self):
+        engine = InferenceEngine(
+            FailNTimesEstimator(n=1),
+            max_batch=2,
+            max_latency_ms=None,
+            fallback=PriorFallback(prior=0.8),
+        )
+        engine.submit("a", 0.0, _row())
+        first = engine.submit("a", 1.0, _row())  # primary dies -> fallback
+        assert all(r.source == "fallback" for r in first)
+        assert engine.health("a") is LinkHealth.DEGRADED
+        assert engine.registry.counter("link_recovered_total").value == 0
+
+        engine.submit("a", 2.0, _row())
+        second = engine.submit("a", 3.0, _row())  # primary back -> recovery
+        assert all(r.source == "primary" for r in second)
+        assert engine.health("a") is LinkHealth.HEALTHY
+        assert engine.registry.counter("link_recovered_total").value == 1
+
+        engine.submit("a", 4.0, _row())
+        engine.submit("a", 5.0, _row())  # stays healthy: no double count
+        assert engine.registry.counter("link_recovered_total").value == 1
+
+    def test_stale_degraded_link_recovers_with_fresh_frames(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            max_batch=2,
+            max_latency_ms=None,
+            stale_after_s=5.0,
+        )
+        engine.submit("old", 0.0, _row())
+        engine.submit("fresh", 100.0, _row())
+        engine.submit("fresh", 100.1, _row())  # drops the stale frame
+        assert engine.health("old") is LinkHealth.DEGRADED
+        engine.submit("old", 100.2, _row())
+        engine.submit("old", 100.3, _row())  # fresh frames, primary batch
+        assert engine.health("old") is LinkHealth.HEALTHY
+        assert engine.registry.counter("link_recovered_total").value == 1
 
     def test_both_tiers_failing_raises(self):
         engine = InferenceEngine(

@@ -1,0 +1,48 @@
+"""Tests for the fallback predictors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.serve.robustness import EnvThresholdFallback, PriorFallback
+
+
+class TestPriorFallback:
+    def test_fit_uses_empirical_rate(self):
+        fallback = PriorFallback().fit(np.ones((4, 2)), np.array([1, 1, 1, 0]))
+        assert fallback.prior == pytest.approx(0.75)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ConfigurationError):
+            PriorFallback(prior=1.5)
+
+
+class TestEnvThresholdFallback:
+    def test_warm_room_reads_occupied(self):
+        rows = np.hstack([np.ones((2, 64)), [[25.0, 50.0], [18.0, 35.0]]])
+        p = EnvThresholdFallback().predict_proba(rows)
+        assert p[0] > 0.9  # 25 C, well above the 21.5 C threshold
+        assert p[1] < 0.1  # 18 C office is empty
+
+    def test_csi_only_rows_raise_clear_shape_error(self):
+        # 64-wide rows have no T/H columns; the old code crashed with a
+        # bare IndexError from an empty slice.
+        with pytest.raises(ShapeError, match="CSI-only rows have no T/H"):
+            EnvThresholdFallback().predict_proba(np.ones((3, 64)))
+
+    def test_error_names_expected_layout(self):
+        with pytest.raises(ShapeError, match="64:66"):
+            EnvThresholdFallback().predict_proba(np.ones((1, 10)))
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ShapeError, match="2-D"):
+            EnvThresholdFallback().predict_proba(np.ones(66))
+
+    def test_custom_env_slice(self):
+        fallback = EnvThresholdFallback(env_slice=slice(2, 4))
+        rows = np.array([[0.0, 0.0, 30.0, 60.0]])
+        assert fallback.predict_proba(rows)[0] > 0.99
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ConfigurationError):
+            EnvThresholdFallback(scale_c=0.0)

@@ -39,6 +39,7 @@ class TestParser:
             ["table5", "data.npz", "--output", "t5.txt"],
             ["footprint", "--inputs", "64"],
             ["serve-bench", "--hours", "0.5", "--model", "logistic"],
+            ["chaos-bench", "--hours", "0.5", "--scenario", "baseline"],
         ],
     )
     def test_all_commands_parse(self, argv):
@@ -52,13 +53,15 @@ class TestParser:
             (["table4", "d.npz"], "seed", 2022),
             (["table5", "d.npz"], "seed", 2022),
             (["serve-bench"], "seed", 2022),
+            (["chaos-bench"], "seed", 2022),
             (["generate"], "rate", 0.5),
             (["serve-bench"], "rate", 0.5),
+            (["chaos-bench"], "rate", 0.5),
         ]:
             assert getattr(parser.parse_args(argv), attr) == default
 
     def test_epilog_documents_common_flags(self, capsys):
-        for command in ("generate", "table4", "serve-bench"):
+        for command in ("generate", "table4", "serve-bench", "chaos-bench"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args([command, "--help"])
             out = capsys.readouterr().out
@@ -125,3 +128,24 @@ class TestCommands:
         assert "speedup" in out
         assert "batch_latency_ms" in out
         assert "frames/s" in report_path.read_text()
+
+    def test_chaos_bench_quick(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.txt"
+        code = main([
+            "chaos-bench", "--hours", "0.2", "--rate", "0.5",
+            "--scenario", "baseline", "--scenario", "model-crash",
+            "--max-batch", "16", "--output", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "model-crash" in out
+        assert "every admitted frame was answered" in out
+        assert "accuracy" in report_path.read_text()
+
+    def test_chaos_bench_unknown_scenario(self, capsys):
+        code = main([
+            "chaos-bench", "--hours", "0.2", "--rate", "0.5",
+            "--scenario", "frobnicate",
+        ])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err

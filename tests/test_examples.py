@@ -25,6 +25,7 @@ def test_expected_examples_present():
         "explain_and_deploy.py",
         "activity_and_counting.py",
         "streaming_service.py",
+        "chaos_drill.py",
     } <= names
 
 
