@@ -1,0 +1,119 @@
+"""Self-healing benchmark — does the guard stack pay for itself? (guard-bench)
+
+The ablation the ISSUE demands: replay chaos scenarios through the
+serving engine with the :mod:`repro.guard` stack off, then on, and
+compare **coverage** (correct answers over all campaign frames, measured
+plus repaired — a metric that charges shed load, so it cannot be gamed by
+dropping frames).  The recovery machinery must earn its keep on the
+outage-shaped scenarios, reconcile the frame ledger exactly, and be
+byte-identical across same-seed runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pipeline import ScaledLogistic
+from repro.faults.bench import default_scenario_suite
+from repro.guard import GuardPolicy, ReferenceStats, run_guard_bench
+from repro.serve import PriorFallback
+
+from .conftest import MAX_TRAIN_ROWS, print_table
+
+#: Hours of the test fold replayed per scenario (each scenario replays
+#: twice — guard off, guard on — so the window is kept modest).
+REPLAY_HOURS = 6.0
+
+#: The scenarios the guard is graded on.  ``link-outage`` and
+#: ``sensor-dropout`` carry the acceptance bar; ``model-crash`` exercises
+#: the breaker; ``baseline`` proves the guard is harmless when nothing
+#: is wrong.
+SCENARIO_NAMES = {"baseline", "link-outage", "sensor-dropout", "model-crash"}
+
+
+def _fit(bench_split):
+    train = bench_split.train.data
+    stride = max(1, len(train) // MAX_TRAIN_ROWS)
+    features = np.hstack([train.csi, train.environment])[::stride]
+    labels = train.occupancy[::stride]
+    estimator = ScaledLogistic().fit(features, labels)
+    fallback = PriorFallback().fit(features, labels)
+    return estimator, fallback, ReferenceStats.fit(features)
+
+
+def _run(bench_split, hours: float = REPLAY_HOURS):
+    estimator, fallback, reference = _fit(bench_split)
+    live = bench_split.tests[0].data
+    t0 = float(live.timestamps_s[0])
+    live = live.window(t0, t0 + hours * 3600.0)
+    n_csi = live.n_subcarriers
+    policy = GuardPolicy(
+        reference=reference,
+        n_features=n_csi + 2,
+        env_slice=slice(n_csi, n_csi + 2),
+        seed=3,
+    )
+    t = live.timestamps_s
+    scenarios = [
+        s
+        for s in default_scenario_suite(
+            float(t[0]), float(t[-1]), n_csi=n_csi, include_env=True
+        )
+        if s.name in SCENARIO_NAMES
+    ]
+    return run_guard_bench(
+        estimator,
+        live,
+        policy,
+        scenarios=scenarios,
+        n_links=2,
+        max_batch=32,
+        fallback=fallback,
+        include_env=True,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(bench_split):
+    return _run(bench_split)
+
+
+class TestGuardRecovery:
+    def test_ablation_table_and_ledger(self, report, benchmark):
+        benchmark.pedantic(lambda: report, rounds=1, iterations=1)
+        print_table(
+            "guard-bench: self-healing ablation",
+            [c.row() for c in report.comparisons],
+        )
+        assert len(report.comparisons) == len(SCENARIO_NAMES)
+        # The acceptance bar: every frame of both replays is accounted for.
+        assert report.unaccounted_total == 0
+
+    def test_recovery_does_not_lose_coverage_on_outages(self, report):
+        for name in ("link-outage", "sensor-dropout"):
+            comparison = report.comparison(name)
+            assert comparison.coverage_on >= comparison.coverage_off, (
+                f"{name}: guard on ({comparison.coverage_on:.3f}) fell below "
+                f"guard off ({comparison.coverage_off:.3f})"
+            )
+
+    def test_guard_is_harmless_on_the_clean_scenario(self, report):
+        baseline = report.comparison("baseline")
+        assert baseline.n_quarantined == 0
+        assert baseline.n_drift_trip == 0
+        assert abs(baseline.coverage_gain) <= 0.01
+
+    def test_breaker_engages_on_model_crash(self, report):
+        crash = report.comparison("model-crash")
+        assert crash.n_breaker_trips >= 1
+        # Breaker short-circuits trade a few primary answers for not
+        # hammering a dead model; coverage must stay in the same band.
+        assert crash.coverage_gain >= -0.05
+
+    def test_same_seed_replays_are_byte_identical(self, bench_split):
+        first = _run(bench_split, hours=2.0)
+        second = _run(bench_split, hours=2.0)
+        assert [c.row() for c in first.comparisons] == [
+            c.row() for c in second.comparisons
+        ]
+        assert first.describe() == second.describe()

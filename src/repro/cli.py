@@ -9,7 +9,9 @@
 * ``table5`` — the linear-vs-neural T/H regression comparison;
 * ``footprint`` — quantize the paper MLP and print the Nucleo budget;
 * ``serve-bench`` — per-frame vs. micro-batched serving throughput;
-* ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite.
+* ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite;
+* ``guard-bench`` — the self-healing ablation: chaos suite with the
+  guard stack off vs on, plus an exact frame-ledger reconciliation.
 
 Every command is a thin shell over the public API, so scripts and
 notebooks can do the same with imports.  Flags shared between
@@ -251,6 +253,66 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_guard_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .baselines.pipeline import ScaledLogistic
+    from .guard import GuardPolicy, ReferenceStats, run_guard_bench
+    from .serve.robustness import PriorFallback
+
+    if args.links < 1:
+        print("guard-bench: --links must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_batch < 1:
+        print("guard-bench: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+
+    config = CampaignConfig(
+        duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
+    )
+    print(f"Simulating {config.duration_h} h at {config.sample_rate_hz} Hz "
+          f"({config.n_samples} rows, seed {config.seed})...")
+    dataset = CollectionCampaign(config).run()
+    split = make_paper_folds(dataset)
+    train = split.train.data
+
+    # The guarded replay carries the T/H columns, so train on CSI + env.
+    features = np.hstack([train.csi, train.environment])
+    estimator = ScaledLogistic()
+    print(f"Training the estimator on fold 0 ({len(train)} rows, CSI+env)...")
+    estimator.fit(features, train.occupancy)
+    fallback = PriorFallback().fit(features, train.occupancy)
+
+    reference = ReferenceStats.fit(features)
+    if args.stats:
+        path = reference.save(args.stats)
+        print(f"Reference statistics written to {path}")
+    n_csi = dataset.n_subcarriers
+    policy = GuardPolicy(
+        reference=reference,
+        n_features=n_csi + 2,
+        env_slice=slice(n_csi, n_csi + 2),
+        seed=args.seed,
+    )
+    print(f"Replaying {len(dataset)} frames over {args.links} link(s), "
+          f"guard off then on...\n")
+    report = run_guard_bench(
+        estimator,
+        dataset,
+        policy,
+        n_links=args.links,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        fallback=fallback,
+    )
+    _emit(report.describe(), args.output)
+    if report.unaccounted_total:
+        print(f"guard-bench: {report.unaccounted_total} unaccounted frames",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help=f"RNG seed (default {DEFAULT_SEED})")
@@ -346,6 +408,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p)
     _add_output(p, None, "also write the chaos report to this path")
     p.set_defaults(func=cmd_chaos_bench)
+
+    p = add_command("guard-bench", "self-healing ablation: chaos suite, guard off vs on")
+    p.add_argument("--hours", type=float, default=2.0,
+                   help="synthetic campaign length (default 2.0)")
+    p.add_argument("--links", type=int, default=2,
+                   help="simulated sniffer links (default 2)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="micro-batch flush size (default 32)")
+    p.add_argument("--stats", metavar="PATH", default=None,
+                   help="also persist the training-fold reference statistics "
+                        "(.npz) used by the drift sentinel")
+    _add_rate(p)
+    _add_seed(p)
+    _add_output(p, None, "also write the ablation report to this path")
+    p.set_defaults(func=cmd_guard_bench)
 
     return parser
 

@@ -8,11 +8,12 @@ the latent occupant count the simulator provides.
 from __future__ import annotations
 
 import csv
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import DatasetError, SerializationError
+from ..exceptions import DatasetError, SchemaError, SerializationError
 from .dataset import OccupancyDataset
 from .schema import TableISchema
 
@@ -36,11 +37,22 @@ def save_npz(dataset: OccupancyDataset, path: str | Path) -> Path:
 
 
 def load_npz(path: str | Path) -> OccupancyDataset:
-    """Inverse of :func:`save_npz`."""
+    """Inverse of :func:`save_npz`.
+
+    A truncated or otherwise unreadable archive surfaces as a typed
+    :class:`~repro.exceptions.SchemaError` naming the file, instead of a
+    raw ``zipfile``/``numpy`` error from deep inside the loader.
+    """
     path = Path(path)
     if not path.exists():
         raise SerializationError(f"no such dataset file: {path}")
-    with np.load(path) as archive:
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise SchemaError(
+            f"{path} is not a readable .npz dataset (truncated or corrupt?): {exc}"
+        ) from exc
+    with archive:
         required = ("timestamps_s", "csi", "temperature_c", "humidity_rh", "occupancy")
         missing = [k for k in required if k not in archive]
         if missing:
@@ -79,7 +91,10 @@ def load_csv(path: str | Path) -> OccupancyDataset:
     """Read a Table I CSV back into a dataset.
 
     The subcarrier count is inferred from the header (columns between
-    ``timestamp`` and ``temperature``).
+    ``timestamp`` and ``temperature``).  A malformed body — a ragged or
+    non-numeric row, e.g. from a truncated download — raises a typed
+    :class:`~repro.exceptions.SchemaError` naming the file and the first
+    bad row, instead of a raw ``ValueError`` from ``float``/``numpy``.
     """
     path = Path(path)
     if not path.exists():
@@ -97,7 +112,21 @@ def load_csv(path: str | Path) -> OccupancyDataset:
         n_subcarriers = len(header) - 4
         if n_subcarriers < 1:
             raise SerializationError(f"{path} header has no CSI columns")
-        rows = [[float(v) for v in row] for row in reader if row]
+        rows: list[list[float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}: row {line_no} has {len(row)} columns, header "
+                    f"declares {len(header)} (truncated file?)"
+                )
+            try:
+                rows.append([float(v) for v in row])
+            except ValueError as exc:
+                raise SchemaError(
+                    f"{path}: row {line_no} contains a non-numeric value ({exc})"
+                ) from exc
     if not rows:
         raise DatasetError(f"{path} contains a header but no data rows")
     matrix = np.array(rows, dtype=float)

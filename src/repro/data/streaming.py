@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, ShapeError, StreamError
+from ..exceptions import ConfigurationError, ShapeError, ValidationError
 from .dataset import OccupancyDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -124,19 +124,30 @@ class SmoothingDebouncer:
         return None
 
 
-def check_csi_row(csi_row: np.ndarray) -> np.ndarray:
+def check_csi_row(csi_row: np.ndarray, row_index: int | None = None) -> np.ndarray:
     """Validate one streamed CSI row: 1-D and finite.
 
     Raises :class:`~repro.exceptions.ShapeError` on wrong dimensionality
-    and :class:`~repro.exceptions.StreamError` on NaN/inf amplitudes — a
-    real sniffer occasionally emits garbage rows, and they must be
-    rejected before they poison a smoothing window.
+    and :class:`~repro.exceptions.ValidationError` (a
+    :class:`~repro.exceptions.StreamError` subclass, so existing handlers
+    keep working) on NaN/inf amplitudes — a real sniffer occasionally
+    emits garbage rows, and they must be rejected before they poison a
+    smoothing window.  The error names the first offending column and,
+    when the caller passes ``row_index``, the stream position.
     """
     csi_row = np.asarray(csi_row, dtype=float)
     if csi_row.ndim != 1:
         raise ShapeError(f"expected a 1-D CSI row, got shape {csi_row.shape}")
-    if not np.all(np.isfinite(csi_row)):
-        raise StreamError("CSI frame contains non-finite values")
+    finite = np.isfinite(csi_row)
+    if not finite.all():
+        column = int(np.flatnonzero(~finite)[0])
+        where = f"row {row_index}, " if row_index is not None else ""
+        raise ValidationError(
+            f"CSI frame ({where}column {column}) contains a non-finite value "
+            f"({csi_row[column]})",
+            row_index=row_index,
+            column=column,
+        )
     return csi_row
 
 

@@ -56,5 +56,26 @@ class StreamError(ReproError, ValueError):
     """A streamed CSI frame is malformed (e.g. non-finite values)."""
 
 
+class ValidationError(StreamError):
+    """A streamed row failed a validation check.
+
+    Subclasses :class:`StreamError` so existing admission-rejection
+    handlers keep working, while carrying enough context to debug the
+    offending sniffer: ``row_index`` (position in the stream, when the
+    caller knows it) and ``column`` (first offending feature column).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        row_index: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.row_index = row_index
+        self.column = column
+
+
 class ServingError(ReproError, RuntimeError):
     """The inference engine cannot make progress (primary and fallback failed)."""

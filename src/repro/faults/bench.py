@@ -12,16 +12,20 @@ the failure, recover — or does it die?
 
 Reconciliation is exact: per scenario,
 
-``submitted == answered + rejected + stale + overflow + unanswered``
+``submitted + repaired == answered + answered_repaired + rejected
++ quarantined + policy_rejected + stale + overflow + unanswered``
 
 and a healthy engine keeps ``unanswered`` at zero — every admitted frame
 yields an :class:`~repro.serve.engine.InferenceResult` from the primary
-or the fallback.
+or the fallback.  The ``repaired``/``quarantined``/``policy_rejected``
+legs are only non-zero when the replay runs with a
+:class:`~repro.guard.policy.GuardPolicy` attached (``guard=``), which
+stands up the full validation → quarantine → gap-repair →
+circuit-breaker stack in front of each scenario's engine.
 """
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -63,6 +67,40 @@ class FlakyPrimary:
         return self.inner.predict_proba(x)
 
 
+class _StreamClock:
+    """Mutable stream-time holder the replay loop advances per frame."""
+
+    def __init__(self, t_s: float) -> None:
+        self.t_s = t_s
+
+
+class TimedFlakyPrimary:
+    """Wraps an estimator; raises inside a *stream-time* window.
+
+    Unlike :class:`FlakyPrimary` (whose call counter freezes when a
+    circuit breaker short-circuits the primary, so the crash would never
+    "end"), the outage here is anchored to the replay clock: the model is
+    down for the same stretch of the campaign whether or not anything
+    calls it.  That makes recovery-on vs recovery-off replays directly
+    comparable.
+    """
+
+    def __init__(self, inner, clock: _StreamClock, fail_t0_s: float, fail_t1_s: float) -> None:
+        if not fail_t1_s > fail_t0_s:
+            raise ConfigurationError("need fail_t1_s > fail_t0_s")
+        self.inner = inner
+        self.clock = clock
+        self.fail_t0_s = fail_t0_s
+        self.fail_t1_s = fail_t1_s
+        self.failed_calls = 0
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.fail_t0_s <= self.clock.t_s < self.fail_t1_s:
+            self.failed_calls += 1
+            raise RuntimeError("chaos: simulated primary-model crash")
+        return self.inner.predict_proba(x)
+
+
 @dataclass
 class ChaosScenario:
     """One named chaos campaign: fault windows plus an optional model crash.
@@ -93,22 +131,50 @@ class ChaosScenarioResult:
     n_overflow: int
     n_recovered: int
     n_primary_failures: int
+    # Guard-path legs; all zero when the replay runs without a guard.
+    n_quarantined: int = 0
+    n_repaired: int = 0
+    n_answered_repaired: int = 0
+    n_correct_repaired: int = 0
+    n_policy_rejected: int = 0
+    n_breaker_trips: int = 0
+    n_drift_warn: int = 0
+    n_drift_trip: int = 0
 
     @property
     def accuracy(self) -> float:
+        """Accuracy over answered *measured* frames (repairs excluded)."""
         return self.n_correct / self.n_answered if self.n_answered else float("nan")
 
     @property
+    def coverage(self) -> float:
+        """Correct answers (measured + repaired) over the whole campaign.
+
+        Accuracy alone hides shed load: an engine that drops 90 % of the
+        stream and nails the remainder scores 1.0.  Coverage charges
+        every campaign frame, so gap repair and breaker recovery show up
+        as gains rather than noise.
+        """
+        if not self.n_frames:
+            return float("nan")
+        return (self.n_correct + self.n_correct_repaired) / self.n_frames
+
+    @property
     def fallback_share(self) -> float:
-        return self.n_fallback / self.n_answered if self.n_answered else 0.0
+        answered = self.n_answered + self.n_answered_repaired
+        return self.n_fallback / answered if answered else 0.0
 
     @property
     def n_unanswered(self) -> int:
         """Admitted frames that never produced a result — should be 0."""
         return (
             self.n_submitted
+            + self.n_repaired
             - self.n_answered
+            - self.n_answered_repaired
             - self.n_rejected
+            - self.n_quarantined
+            - self.n_policy_rejected
             - self.n_stale
             - self.n_overflow
         )
@@ -120,8 +186,11 @@ class ChaosScenarioResult:
             "submitted": self.n_submitted,
             "answered": self.n_answered,
             "accuracy": f"{self.accuracy:.3f}",
+            "coverage": f"{self.coverage:.3f}",
             "fallback%": f"{100.0 * self.fallback_share:.1f}",
             "rejected": self.n_rejected,
+            "quarantined": self.n_quarantined,
+            "repaired": self.n_repaired,
             "stale": self.n_stale,
             "overflow": self.n_overflow,
             "recovered": self.n_recovered,
@@ -270,6 +339,7 @@ def run_chaos_bench(
     seed: int = 0,
     fallback: FallbackPredictor | None = None,
     include_env: bool = False,
+    guard=None,
 ) -> ChaosBenchReport:
     """Replay every scenario through a fresh engine; returns the report.
 
@@ -278,6 +348,15 @@ def run_chaos_bench(
     scenario gets its own engine and metrics registry, so counters never
     bleed between scenarios; the fault schedule is reseeded per replay,
     so the whole campaign is deterministic in ``seed``.
+
+    ``guard`` is any object with a ``build(registry)`` method returning
+    ``(validator, repairer, supervisor)`` — canonically a
+    :class:`~repro.guard.policy.GuardPolicy` (duck-typed here so this
+    module never imports :mod:`repro.guard`).  Fresh components are built
+    per scenario, so per-link state cannot leak between replays.
+    Repaired answers are scored against the *clean* campaign labels at
+    their grid timestamps — a fill is "correct" when it matches what the
+    lost frame would have been labelled.
     """
     if n_links < 1:
         raise ConfigurationError("n_links must be >= 1")
@@ -290,16 +369,22 @@ def run_chaos_bench(
             t0, max(t1, t0 + 1.0), n_csi=dataset.n_subcarriers, include_env=include_env
         )
 
+    # Clean-campaign labels keyed by (link, grid timestamp): repaired fills
+    # land exactly on the lost frames' grid, so this is their ground truth.
+    clean_labels = {(f.link_id, f.t_s): f.label for f in frames}
+
     results: list[ChaosScenarioResult] = []
     for scenario in scenarios:
+        clock = _StreamClock(t0)
         primary = estimator
         if scenario.crash_fraction is not None:
-            expected_batches = max(1, math.ceil(len(frames) / max_batch))
+            span = max(t1, t0 + 1.0) - t0
             f0, f1 = scenario.crash_fraction
-            fail_from = int(f0 * expected_batches)
-            fail_calls = max(1, int((f1 - f0) * expected_batches))
-            primary = FlakyPrimary(estimator, fail_from, fail_calls)
+            primary = TimedFlakyPrimary(estimator, clock, t0 + f0 * span, t0 + f1 * span)
         registry = MetricsRegistry()
+        validator = repairer = supervisor = None
+        if guard is not None:
+            validator, repairer, supervisor = guard.build(registry)
         engine = InferenceEngine(
             primary,
             max_batch=max_batch,
@@ -310,29 +395,58 @@ def run_chaos_bench(
             stale_after_s=stale_after_s,
             fallback=fallback,
             registry=registry,
+            validator=validator,
+            repairer=repairer,
+            supervisor=supervisor,
         )
         schedule = ChaosSchedule(scenario.windows, seed=seed)
 
         labels: dict[tuple[str, float], deque[int | None]] = {}
+        answered_keys: set[tuple[str, float]] = set()
+        repaired_answers: list = []
         n_submitted = 0
         n_answered = n_correct = n_fallback = 0
+        n_answered_repaired = n_correct_repaired = 0
 
         def score(batch) -> None:
-            nonlocal n_answered, n_correct, n_fallback
+            nonlocal n_answered, n_correct, n_fallback, n_answered_repaired
             for result in batch:
-                n_answered += 1
                 if result.source == "fallback":
                     n_fallback += 1
-                queued = labels.get((result.link_id, result.t_s))
+                if result.repaired:
+                    # Correctness is settled after the replay: a fill only
+                    # earns credit for a slot no real frame answered.
+                    n_answered_repaired += 1
+                    repaired_answers.append(result)
+                    continue
+                n_answered += 1
+                key = (result.link_id, result.t_s)
+                answered_keys.add(key)
+                queued = labels.get(key)
                 label = queued.popleft() if queued else None
                 if label is not None and (result.probability >= 0.5) == bool(label):
                     n_correct += 1
 
         for frame in schedule.run(frames):
             n_submitted += 1
+            clock.t_s = max(clock.t_s, frame.t_s)
             labels.setdefault((frame.link_id, frame.t_s), deque()).append(frame.label)
             score(engine.submit(frame.link_id, frame.t_s, frame.features))
         score(engine.flush())
+
+        # A repaired answer counts as correct only when (a) it sits on a
+        # clean grid slot, (b) no real frame answered that slot (reordered
+        # originals must not be double-counted), and (c) no earlier fill
+        # already claimed it.
+        credited: set[tuple[str, float]] = set()
+        for result in repaired_answers:
+            key = (result.link_id, result.t_s)
+            if key in answered_keys or key in credited:
+                continue
+            label = clean_labels.get(key)
+            if label is not None and (result.probability >= 0.5) == bool(label):
+                credited.add(key)
+                n_correct_repaired += 1
 
         counters = registry.as_dict()
         results.append(
@@ -348,6 +462,14 @@ def run_chaos_bench(
                 n_overflow=int(counters.get("frames_dropped_overflow", 0.0)),
                 n_recovered=int(counters.get("link_recovered_total", 0.0)),
                 n_primary_failures=int(counters.get("primary_failures", 0.0)),
+                n_quarantined=int(counters.get("frames_quarantined", 0.0)),
+                n_repaired=int(counters.get("frames_repaired", 0.0)),
+                n_answered_repaired=n_answered_repaired,
+                n_correct_repaired=n_correct_repaired,
+                n_policy_rejected=int(counters.get("frames_rejected_policy", 0.0)),
+                n_breaker_trips=int(counters.get("primary_breaker_opened_total", 0.0)),
+                n_drift_warn=int(counters.get("drift_warn_total", 0.0)),
+                n_drift_trip=int(counters.get("drift_trip_total", 0.0)),
             )
         )
     return ChaosBenchReport(results)

@@ -1,0 +1,87 @@
+"""Self-healing serving guard: detect → contain → recover.
+
+The serving stack (:mod:`repro.serve`) answers "how do frames become
+predictions"; this package answers "what happens when the frames, the
+sensors, or the model go wrong":
+
+* **detect** — :mod:`repro.guard.validation` gates admission with a
+  typed check chain; :mod:`repro.guard.drift` watches the serving
+  distribution against persisted training-fold reference statistics;
+* **contain** — refused frames land in a bounded
+  :class:`~repro.guard.validation.QuarantineBuffer` with the verdict
+  attached; short per-link dropouts are filled by the
+  :class:`~repro.guard.repair.GapRepairer` (every fill flagged);
+* **recover** — :class:`~repro.guard.breaker.CircuitBreaker` plus
+  :class:`~repro.guard.supervisor.RecoverySupervisor` run the
+  primary → fallback → reject degradation ladder with backed-off,
+  probed re-entry instead of hammer-and-hope.
+
+:class:`~repro.guard.policy.GuardPolicy` bundles the whole stack into
+one declarative recipe; :func:`~repro.guard.bench.run_guard_bench`
+(lazily exported — it pulls in :mod:`repro.faults`) replays the chaos
+suite with the guard off and on and reports the recovery margin.
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerState, CircuitBreaker
+from .drift import DriftEvent, DriftSentinel, DriftState, ReferenceStats, psi
+from .policy import GuardPolicy
+from .repair import REPAIR_MODES, FillFrame, GapRepairer
+from .supervisor import RecoverySupervisor, ServingMode
+from .validation import (
+    AmplitudeRangeCheck,
+    EnvPlausibilityCheck,
+    FiniteCheck,
+    FrameCheck,
+    FrameValidator,
+    QuarantineBuffer,
+    QuarantinedFrame,
+    SubcarrierCountCheck,
+    TimestampMonotonicityCheck,
+    ValidationFailure,
+)
+
+#: Names served lazily from :mod:`repro.guard.bench` (imports repro.faults,
+#: which imports repro.serve — eager import here would complete a cycle).
+_LAZY_BENCH = ("GuardBenchReport", "run_guard_bench")
+
+__all__ = [
+    "AmplitudeRangeCheck",
+    "BreakerState",
+    "CircuitBreaker",
+    "DriftEvent",
+    "DriftSentinel",
+    "DriftState",
+    "EnvPlausibilityCheck",
+    "FillFrame",
+    "FiniteCheck",
+    "FrameCheck",
+    "FrameValidator",
+    "GapRepairer",
+    "GuardBenchReport",
+    "GuardPolicy",
+    "QuarantineBuffer",
+    "QuarantinedFrame",
+    "REPAIR_MODES",
+    "RecoverySupervisor",
+    "ReferenceStats",
+    "ServingMode",
+    "SubcarrierCountCheck",
+    "TimestampMonotonicityCheck",
+    "ValidationFailure",
+    "psi",
+    "run_guard_bench",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_BENCH:
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

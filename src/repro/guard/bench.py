@@ -1,0 +1,170 @@
+"""guard-bench: does the self-healing stack actually help under chaos?
+
+The honest way to evaluate a recovery subsystem is an ablation: replay
+the identical chaos campaign twice — once through a bare engine, once
+with the full :class:`~repro.guard.policy.GuardPolicy` stack (validation,
+quarantine, gap repair, breakers, drift sentinel) — and compare per
+scenario.  The metric that matters is **coverage** (correct answers over
+*all* campaign frames, measured + repaired), because plain accuracy can
+be gamed by shedding load.
+
+The report also reconciles the frame ledger of every replay: any
+unaccounted frame (``n_unanswered != 0``) is a bug in the pipeline, and
+:attr:`GuardBenchReport.unaccounted_total` exists so CI can assert it is
+exactly zero.
+
+This module imports :mod:`repro.faults` (which imports the serving
+stack), so the :mod:`repro.guard` package exposes it lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..faults.bench import ChaosBenchReport, ChaosScenario, run_chaos_bench
+from .policy import GuardPolicy
+
+
+@dataclass(frozen=True)
+class GuardScenarioComparison:
+    """One scenario's outcome with the guard off vs on."""
+
+    name: str
+    accuracy_off: float
+    accuracy_on: float
+    coverage_off: float
+    coverage_on: float
+    n_quarantined: int
+    n_repaired: int
+    n_recovered: int
+    n_breaker_trips: int
+    n_drift_warn: int
+    n_drift_trip: int
+    n_unanswered_off: int
+    n_unanswered_on: int
+
+    @property
+    def coverage_gain(self) -> float:
+        return self.coverage_on - self.coverage_off
+
+    def row(self) -> dict[str, object]:
+        return {
+            "scenario": self.name,
+            "acc off": f"{self.accuracy_off:.3f}",
+            "acc on": f"{self.accuracy_on:.3f}",
+            "cov off": f"{self.coverage_off:.3f}",
+            "cov on": f"{self.coverage_on:.3f}",
+            "gain": f"{self.coverage_gain:+.3f}",
+            "quarantined": self.n_quarantined,
+            "repaired": self.n_repaired,
+            "recovered": self.n_recovered,
+            "trips": self.n_breaker_trips,
+            "drift": f"{self.n_drift_warn}w/{self.n_drift_trip}t",
+        }
+
+
+@dataclass
+class GuardBenchReport:
+    """Paired off/on chaos replays plus the per-scenario comparison."""
+
+    baseline: ChaosBenchReport
+    guarded: ChaosBenchReport
+    comparisons: list[GuardScenarioComparison]
+
+    def comparison(self, name: str) -> GuardScenarioComparison:
+        for c in self.comparisons:
+            if c.name == name:
+                return c
+        raise ConfigurationError(f"no scenario named {name!r} in this report")
+
+    @property
+    def unaccounted_total(self) -> int:
+        """Frames unaccounted for across *both* replays; must be zero."""
+        return sum(
+            abs(c.n_unanswered_off) + abs(c.n_unanswered_on)
+            for c in self.comparisons
+        )
+
+    def describe(self) -> str:
+        rows = [c.row() for c in self.comparisons]
+        columns = list(rows[0]) if rows else []
+        widths = {
+            c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns
+        }
+        lines = ["self-healing ablation (guard-bench), coverage = correct/frames:"]
+        lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+        for row in rows:
+            lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+        lines.append("")
+        if self.unaccounted_total:
+            lines.append(
+                f"WARNING: {self.unaccounted_total} unaccounted frames — "
+                "the ledger does not reconcile"
+            )
+        else:
+            lines.append("frame ledger reconciles: zero unaccounted frames")
+        return "\n".join(lines)
+
+
+def run_guard_bench(
+    estimator,
+    dataset,
+    policy: GuardPolicy,
+    scenarios: list[ChaosScenario] | None = None,
+    *,
+    n_links: int = 2,
+    max_batch: int = 32,
+    max_latency_ms: float | None = None,
+    stale_after_s: float | None = None,
+    window: int = 5,
+    hold_frames: int = 3,
+    seed: int = 0,
+    fallback=None,
+    include_env: bool = True,
+) -> GuardBenchReport:
+    """Replay the chaos suite with the guard off, then on; compare.
+
+    Parameters mirror :func:`~repro.faults.bench.run_chaos_bench`;
+    ``include_env`` defaults to True here because the sensor-fault
+    scenarios are exactly where quarantine and repair earn their keep.
+    Both replays share one ``seed`` so they see byte-identical fault
+    streams, and the policy builds fresh components per scenario, so the
+    whole ablation is deterministic.
+    """
+    common = dict(
+        scenarios=scenarios,
+        n_links=n_links,
+        max_batch=max_batch,
+        max_latency_ms=max_latency_ms,
+        stale_after_s=stale_after_s,
+        window=window,
+        hold_frames=hold_frames,
+        seed=seed,
+        fallback=fallback,
+        include_env=include_env,
+    )
+    baseline = run_chaos_bench(estimator, dataset, guard=None, **common)
+    guarded = run_chaos_bench(estimator, dataset, guard=policy, **common)
+
+    comparisons = []
+    for off in baseline.results:
+        on = guarded.result(off.name)
+        comparisons.append(
+            GuardScenarioComparison(
+                name=off.name,
+                accuracy_off=off.accuracy,
+                accuracy_on=on.accuracy,
+                coverage_off=off.coverage,
+                coverage_on=on.coverage,
+                n_quarantined=on.n_quarantined,
+                n_repaired=on.n_repaired,
+                n_recovered=on.n_recovered,
+                n_breaker_trips=on.n_breaker_trips,
+                n_drift_warn=on.n_drift_warn,
+                n_drift_trip=on.n_drift_trip,
+                n_unanswered_off=off.n_unanswered,
+                n_unanswered_on=on.n_unanswered,
+            )
+        )
+    return GuardBenchReport(baseline, guarded, comparisons)

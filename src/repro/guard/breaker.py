@@ -1,0 +1,176 @@
+"""Circuit breaker: stop hammering a failing model, probe before trusting it.
+
+The serving engine's original recovery story was a single health flip —
+primary raises, link goes DEGRADED, next clean batch flips it back.  That
+retries the primary on *every* batch even when it is hard-down, and
+re-trusts it after one lucky success.  The classic fix is the circuit
+breaker (Nygard's *Release It!* pattern, standard in service meshes):
+
+* **CLOSED** — traffic flows; consecutive failures are counted.
+* **OPEN** — after ``failure_threshold`` consecutive failures the breaker
+  trips; all calls are short-circuited for a cooldown period.  Repeated
+  trips back off exponentially (with jitter, so replicas don't retry in
+  lockstep) up to ``max_cooldown_s``.
+* **HALF_OPEN** — when the cooldown expires the next call is let through
+  as a probe; ``probe_batches`` consecutive successes close the breaker
+  and reset the backoff, a single failure re-opens it at the next longer
+  cooldown.
+
+All timing is **stream time** (frame timestamps), never wall clock, so a
+6-hour replay exercises realistic cooldowns in milliseconds and results
+are bit-identical run to run.  Jitter comes from a seeded generator for
+the same reason.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with exponential backoff.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while CLOSED) that trip the breaker.
+    cooldown_s:
+        Base OPEN duration in stream seconds.
+    backoff_factor:
+        Each re-trip without an intervening recovery multiplies the
+        cooldown by this factor.
+    max_cooldown_s:
+        Ceiling on the backed-off cooldown.
+    jitter:
+        Fractional cooldown randomisation (0.1 → ±10 %), drawn from a
+        seeded generator for reproducibility.
+    probe_batches:
+        Consecutive HALF_OPEN successes required to close the breaker.
+    seed:
+        Seed for the jitter generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 60.0,
+        backoff_factor: float = 2.0,
+        max_cooldown_s: float = 900.0,
+        jitter: float = 0.1,
+        probe_batches: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown_s <= 0 or max_cooldown_s < cooldown_s:
+            raise ConfigurationError("need 0 < cooldown_s <= max_cooldown_s")
+        if backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if probe_batches < 1:
+            raise ConfigurationError("probe_batches must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.backoff_factor = backoff_factor
+        self.max_cooldown_s = max_cooldown_s
+        self.jitter = jitter
+        self.probe_batches = probe_batches
+        self._rng = np.random.default_rng(seed)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._trip_streak = 0  # re-trips without a full recovery
+        self._open_until_s = -np.inf
+        #: Lifetime number of CLOSED/HALF_OPEN → OPEN transitions.
+        self.trip_count = 0
+        #: Lifetime number of HALF_OPEN → CLOSED recoveries.
+        self.recovery_count = 0
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def allow(self, now_s: float) -> bool:
+        """May the protected call be attempted at stream time ``now_s``?
+
+        While OPEN this also performs the OPEN → HALF_OPEN transition
+        once the cooldown has elapsed, admitting the probe call.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if now_s < self._open_until_s:
+                return False
+            self._state = BreakerState.HALF_OPEN
+            self._probe_successes = 0
+        return True  # HALF_OPEN: admit the probe
+
+    def record_success(self, now_s: float) -> None:
+        """The protected call succeeded."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.probe_batches:
+                self._state = BreakerState.CLOSED
+                self._trip_streak = 0
+                self._probe_successes = 0
+                self.recovery_count += 1
+        self._consecutive_failures = 0
+
+    def record_failure(self, now_s: float) -> None:
+        """The protected call failed."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip(now_s)  # the probe failed — straight back to OPEN
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now_s)
+
+    def _trip(self, now_s: float) -> None:
+        cooldown = min(
+            self.max_cooldown_s,
+            self.cooldown_s * self.backoff_factor**self._trip_streak,
+        )
+        if self.jitter:
+            cooldown *= 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        self._state = BreakerState.OPEN
+        self._open_until_s = now_s + cooldown
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._trip_streak += 1
+        self.trip_count += 1
+
+    def snapshot(self) -> dict:
+        """Current state for metrics/diagnostics (JSON-friendly)."""
+        return {
+            "state": self._state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "trip_count": self.trip_count,
+            "recovery_count": self.recovery_count,
+            "trip_streak": self._trip_streak,
+            "open_until_s": float(self._open_until_s),
+        }
+
+    def reset(self) -> None:
+        """Return to pristine CLOSED (new stream / post-incident)."""
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._trip_streak = 0
+        self._open_until_s = -np.inf

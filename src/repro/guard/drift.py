@@ -1,0 +1,324 @@
+"""Drift sentinels: is the serving distribution still the training one?
+
+The paper's own Table IV shows the failure mode (the Env-only model
+collapses on fold 4 when conditions leave the training range), and the
+domain-shift literature the ROADMAP cites calls environment drift the
+dominant deployed-CSI failure.  Models do not announce that their inputs
+have wandered; a sentinel has to measure it.
+
+Two complementary signals, both scored against training-fold
+:class:`ReferenceStats` (persisted next to the model through the same
+atomic-write machinery as :mod:`repro.nn.serialize`):
+
+* a per-feature **EWMA of the serving mean** — cheap, per-batch, catches
+  sustained level shifts (gain drift, a stuck sensor) as a z-score
+  against the reference mean/std;
+* a rolling-window **PSI** (population stability index, the binned
+  KS-style score) against the reference decile histogram — catches shape
+  changes the mean alone misses.
+
+Crossing the WARN/TRIP thresholds emits :class:`DriftEvent` state
+changes, which the :class:`~repro.guard.supervisor.RecoverySupervisor`
+turns into metrics-registry counters and (optionally) a degraded serving
+mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SerializationError
+from ..nn.serialize import atomic_savez, decode_meta, encode_meta, open_archive
+
+_META_KEY = "__meta__"
+_KIND = "repro-reference-stats"
+
+
+@dataclass(frozen=True)
+class ReferenceStats:
+    """Training-fold feature statistics: the envelope serving is judged by.
+
+    Carries per-feature mean/std/min/max plus a decile histogram
+    (``bin_edges``/``bin_probs``) for PSI scoring.  Fitted once on the
+    training fold and persisted alongside the model weights.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+    bin_edges: np.ndarray  # (n_features, n_bins + 1)
+    bin_probs: np.ndarray  # (n_features, n_bins)
+    n_rows: int
+
+    @property
+    def n_features(self) -> int:
+        return int(self.mean.shape[0])
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.bin_probs.shape[1])
+
+    @classmethod
+    def fit(cls, x: np.ndarray, n_bins: int = 10) -> "ReferenceStats":
+        """Compute reference statistics over a (rows, features) matrix."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ConfigurationError(
+                f"need a 2-D matrix with >= 2 rows to fit reference stats, got {x.shape}"
+            )
+        if n_bins < 2:
+            raise ConfigurationError("n_bins must be >= 2")
+        mean = x.mean(axis=0)
+        std = np.maximum(x.std(axis=0), 1e-8)
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+        edges = np.quantile(x, quantiles, axis=0).T  # (features, bins+1)
+        probs = np.empty((x.shape[1], n_bins))
+        for j in range(x.shape[1]):
+            probs[j] = _bin_counts(x[:, j], edges[j]) / x.shape[0]
+        return cls(
+            mean=mean,
+            std=std,
+            minimum=x.min(axis=0),
+            maximum=x.max(axis=0),
+            bin_edges=edges,
+            bin_probs=probs,
+            n_rows=int(x.shape[0]),
+        )
+
+    def amplitude_envelope(self, margin: float = 4.0) -> tuple[np.ndarray, np.ndarray]:
+        """Per-feature [low, high] admission bounds: min/max plus headroom.
+
+        ``margin`` is expressed in multiples of each feature's observed
+        range, so quiet subcarriers get tight gates and busy ones stay
+        permissive.
+        """
+        if margin < 0:
+            raise ConfigurationError("margin must be >= 0")
+        span = np.maximum(self.maximum - self.minimum, 1e-8)
+        return self.minimum - margin * span, self.maximum + margin * span
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the stats next to the model (``*.npz``)."""
+        payload = {
+            "mean": self.mean,
+            "std": self.std,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "bin_edges": self.bin_edges,
+            "bin_probs": self.bin_probs,
+            _META_KEY: encode_meta(
+                {
+                    "kind": _KIND,
+                    "version": 1,
+                    "n_rows": self.n_rows,
+                    "n_features": self.n_features,
+                    "n_bins": self.n_bins,
+                }
+            ),
+        }
+        return atomic_savez(path, payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReferenceStats":
+        """Inverse of :meth:`save`; corrupt archives raise SerializationError."""
+        path = Path(path)
+        with open_archive(path) as archive:
+            if _META_KEY not in archive:
+                raise SerializationError(f"{path} is not a reference-stats archive")
+            meta = decode_meta(archive[_META_KEY], path)
+            if meta.get("kind") != _KIND:
+                raise SerializationError(
+                    f"{path} holds {meta.get('kind')!r}, not {_KIND!r}"
+                )
+            arrays = {}
+            for key in ("mean", "std", "minimum", "maximum", "bin_edges", "bin_probs"):
+                if key not in archive:
+                    raise SerializationError(f"{path} is missing array {key!r}")
+                arrays[key] = archive[key]
+        stats = cls(n_rows=int(meta["n_rows"]), **arrays)
+        if stats.mean.shape[0] != int(meta["n_features"]):
+            raise SerializationError(
+                f"{path}: manifest says {meta['n_features']} features, "
+                f"arrays carry {stats.mean.shape[0]}"
+            )
+        return stats
+
+
+def _bin_counts(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Histogram counts over quantile edges, outer bins open-ended."""
+    idx = np.searchsorted(edges[1:-1], values, side="right")
+    return np.bincount(idx, minlength=edges.shape[0] - 1).astype(float)
+
+
+def psi(reference_probs: np.ndarray, observed_probs: np.ndarray, eps: float = 1e-4) -> float:
+    """Population Stability Index between two binned distributions.
+
+    The standard scorecard-monitoring statistic: 0 for identical
+    distributions, ~0.1 for mild shift, > 0.25 conventionally "major
+    shift".  Probabilities are floored at ``eps`` so empty bins cannot
+    produce infinities.
+    """
+    p = np.maximum(np.asarray(reference_probs, dtype=float), eps)
+    q = np.maximum(np.asarray(observed_probs, dtype=float), eps)
+    p, q = p / p.sum(), q / q.sum()
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+class DriftState(enum.Enum):
+    """Sentinel severity ladder."""
+
+    OK = "ok"
+    WARN = "warn"
+    TRIP = "trip"
+
+
+_STATE_ORDER = {DriftState.OK: 0, DriftState.WARN: 1, DriftState.TRIP: 2}
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One sentinel state change, with the scores that caused it."""
+
+    t_s: float
+    state: DriftState
+    previous: DriftState
+    z_score: float
+    psi_score: float
+
+    @property
+    def escalation(self) -> bool:
+        """True when severity increased (OK→WARN, WARN→TRIP, OK→TRIP)."""
+        return _STATE_ORDER[self.state] > _STATE_ORDER[self.previous]
+
+
+class DriftSentinel:
+    """Streaming drift detector against fixed reference statistics.
+
+    Parameters
+    ----------
+    reference:
+        Training-fold :class:`ReferenceStats`.
+    alpha:
+        EWMA smoothing factor per frame (0.02 ≈ a ~50-frame memory).
+    warn_z / trip_z:
+        Thresholds on the worst per-feature z-score of the EWMA mean.
+    warn_psi / trip_psi:
+        Thresholds on the mean per-feature PSI of the rolling window.
+        Note the defaults are far above the textbook 0.1/0.25 guidance:
+        occupancy CSI is strongly autocorrelated, so any short window
+        sits in *one* occupancy regime while the reference histogram is
+        the whole-campaign mixture — clean streams score PSI ≈ 1–4
+        against it depending on how long the current stay lasts.  The
+        defaults make a long single-regime stretch at most a WARN and
+        reserve TRIP for genuine level shifts (a ×4 gain error scores
+        ≈ 6.8).
+    window:
+        Rolling-window length (frames) for the PSI score.
+    check_every:
+        Recompute PSI every this many observed frames (it is the
+        expensive half; the EWMA updates on every frame).
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceStats,
+        *,
+        alpha: float = 0.02,
+        warn_z: float = 6.0,
+        trip_z: float = 12.0,
+        warn_psi: float = 3.0,
+        trip_psi: float = 6.0,
+        window: int = 256,
+        check_every: int = 64,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if not 0 < warn_z < trip_z:
+            raise ConfigurationError("need 0 < warn_z < trip_z")
+        if not 0 < warn_psi < trip_psi:
+            raise ConfigurationError("need 0 < warn_psi < trip_psi")
+        if window < 8 or check_every < 1:
+            raise ConfigurationError("need window >= 8 and check_every >= 1")
+        self.reference = reference
+        self.alpha = alpha
+        self.warn_z, self.trip_z = warn_z, trip_z
+        self.warn_psi, self.trip_psi = warn_psi, trip_psi
+        self.window = window
+        self.check_every = check_every
+        self._ewma = reference.mean.copy()
+        self._buffer: deque[np.ndarray] = deque(maxlen=window)
+        self._since_check = 0
+        self._state = DriftState.OK
+        self._z = 0.0
+        self._psi = 0.0
+
+    @property
+    def state(self) -> DriftState:
+        return self._state
+
+    @property
+    def z_score(self) -> float:
+        """Worst per-feature |EWMA mean − reference mean| / reference std."""
+        return self._z
+
+    @property
+    def psi_score(self) -> float:
+        """Mean per-feature PSI of the rolling window (0 until it fills)."""
+        return self._psi
+
+    def observe(self, rows: np.ndarray, t_s: float = 0.0) -> list[DriftEvent]:
+        """Feed served rows; returns state-change events (usually empty)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self.reference.n_features:
+            raise ConfigurationError(
+                f"rows have {rows.shape[1]} features, reference has "
+                f"{self.reference.n_features}"
+            )
+        for row in rows:
+            self._ewma = (1.0 - self.alpha) * self._ewma + self.alpha * row
+            self._buffer.append(row)
+        self._since_check += rows.shape[0]
+        self._z = float(
+            np.max(np.abs(self._ewma - self.reference.mean) / self.reference.std)
+        )
+        if self._since_check >= self.check_every and len(self._buffer) >= self.window // 2:
+            self._since_check = 0
+            self._psi = self._window_psi()
+        new_state = self._classify()
+        if new_state is self._state:
+            return []
+        event = DriftEvent(float(t_s), new_state, self._state, self._z, self._psi)
+        self._state = new_state
+        return [event]
+
+    def _window_psi(self) -> float:
+        window = np.asarray(self._buffer)
+        scores = np.empty(self.reference.n_features)
+        for j in range(self.reference.n_features):
+            observed = _bin_counts(window[:, j], self.reference.bin_edges[j])
+            scores[j] = psi(self.reference.bin_probs[j], observed / window.shape[0])
+        return float(scores.mean())
+
+    def _classify(self) -> DriftState:
+        if self._z >= self.trip_z or self._psi >= self.trip_psi:
+            return DriftState.TRIP
+        if self._z >= self.warn_z or self._psi >= self.warn_psi:
+            return DriftState.WARN
+        return DriftState.OK
+
+    def reset(self) -> None:
+        """Return to the reference state (new stream, post-incident)."""
+        self._ewma = self.reference.mean.copy()
+        self._buffer.clear()
+        self._since_check = 0
+        self._state = DriftState.OK
+        self._z = 0.0
+        self._psi = 0.0

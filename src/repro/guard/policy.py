@@ -1,0 +1,153 @@
+"""One declarative bundle of guard configuration.
+
+Benchmarks and the CLI need to stand up the whole detect→contain→recover
+stack — validator chain, gap repairer, breakers, drift sentinel — many
+times with identical settings (once per chaos scenario, so scenarios
+can't contaminate each other through shared per-link state).
+:class:`GuardPolicy` is that recipe: a frozen dataclass of knobs plus
+:meth:`build`, which manufactures *fresh* component instances each call.
+
+The dataclass is deliberately serialisation-friendly (numbers, strings,
+one :class:`~repro.guard.drift.ReferenceStats`) so a policy can be logged
+next to the benchmark results that used it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .breaker import CircuitBreaker
+from .drift import DriftSentinel, ReferenceStats
+from .repair import GapRepairer
+from .supervisor import RecoverySupervisor
+from .validation import (
+    AmplitudeRangeCheck,
+    EnvPlausibilityCheck,
+    FiniteCheck,
+    FrameValidator,
+    SubcarrierCountCheck,
+    TimestampMonotonicityCheck,
+)
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Recipe for a full self-healing stack; :meth:`build` instantiates it.
+
+    Parameters mirror the component constructors; see
+    :class:`~repro.guard.validation.FrameValidator`,
+    :class:`~repro.guard.repair.GapRepairer`,
+    :class:`~repro.guard.breaker.CircuitBreaker` and
+    :class:`~repro.guard.drift.DriftSentinel` for semantics.
+    """
+
+    #: Training-fold statistics; drives the amplitude envelope and drift.
+    reference: ReferenceStats
+    #: Feature width the validator admits (CSI, or CSI + T/H).
+    n_features: int
+    # --- validation ---
+    amplitude_margin: float = 8.0
+    #: Where the T/H columns sit; ``None`` skips the plausibility check
+    #: (CSI-only feature layouts).
+    env_slice: slice | None = None
+    monotonic_tolerance_s: float = 60.0
+    quarantine_capacity: int = 256
+    # --- repair ---
+    expected_interval_s: float | None = None
+    max_fill: int = 8
+    repair_mode: str = "hold"
+    # --- circuit breaker ---
+    failure_threshold: int = 3
+    cooldown_s: float = 60.0
+    backoff_factor: float = 2.0
+    #: Kept deliberately short relative to outage scales: the cost of a
+    #: probe is one batch on a maybe-dead model, the cost of a long
+    #: cooldown is serving the fallback after the primary already healed.
+    max_cooldown_s: float = 240.0
+    jitter: float = 0.1
+    probe_batches: int = 2
+    guard_fallback: bool = True
+    # --- drift ---
+    drift_alpha: float = 0.02
+    warn_z: float = 6.0
+    trip_z: float = 12.0
+    drift_action: str = "warn"
+    drift_window: int = 256
+    drift_check_every: int = 64
+    # --- determinism ---
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_features != self.reference.n_features:
+            raise ConfigurationError(
+                f"policy covers {self.n_features} features but the reference "
+                f"stats carry {self.reference.n_features}"
+            )
+
+    def build_validator(self) -> FrameValidator:
+        low, high = self.reference.amplitude_envelope(self.amplitude_margin)
+        checks = [
+            SubcarrierCountCheck(self.n_features),
+            FiniteCheck(),
+            AmplitudeRangeCheck(low, high),
+            TimestampMonotonicityCheck(self.monotonic_tolerance_s),
+        ]
+        if self.env_slice is not None:
+            checks.append(EnvPlausibilityCheck(self.env_slice))
+        return FrameValidator(checks)
+
+    def build_repairer(self) -> GapRepairer:
+        return GapRepairer(
+            self.expected_interval_s, max_fill=self.max_fill, mode=self.repair_mode
+        )
+
+    def build_supervisor(self, registry=None) -> RecoverySupervisor:
+        breaker = CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            cooldown_s=self.cooldown_s,
+            backoff_factor=self.backoff_factor,
+            max_cooldown_s=self.max_cooldown_s,
+            jitter=self.jitter,
+            probe_batches=self.probe_batches,
+            seed=self.seed,
+        )
+        fallback_breaker = None
+        if self.guard_fallback:
+            fallback_breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                backoff_factor=self.backoff_factor,
+                max_cooldown_s=self.max_cooldown_s,
+                jitter=self.jitter,
+                probe_batches=self.probe_batches,
+                seed=self.seed + 1,
+            )
+        sentinel = DriftSentinel(
+            self.reference,
+            alpha=self.drift_alpha,
+            warn_z=self.warn_z,
+            trip_z=self.trip_z,
+            window=self.drift_window,
+            check_every=self.drift_check_every,
+        )
+        return RecoverySupervisor(
+            breaker=breaker,
+            fallback_breaker=fallback_breaker,
+            sentinel=sentinel,
+            drift_action=self.drift_action,
+            registry=registry,
+        )
+
+    def build(self, registry=None) -> tuple[FrameValidator, GapRepairer, RecoverySupervisor]:
+        """Fresh validator/repairer/supervisor instances for one stream.
+
+        Always build per scenario/replay: the components carry per-link
+        state (timestamps, cadences, breaker clocks) that must not leak
+        between runs.
+        """
+        return (
+            self.build_validator(),
+            self.build_repairer(),
+            self.build_supervisor(registry),
+        )

@@ -1,0 +1,157 @@
+"""Gap repair: fill short per-link CSI dropouts with synthetic frames.
+
+A quarantined burst or a few lost packets leave holes in a link's frame
+cadence.  Downstream, holes starve the smoothing window and make the
+debouncer sluggish exactly when the controller needs continuity.  For
+*short* gaps the physically honest fix is interpolation: room state
+changes on the scale of seconds-to-minutes, so holding the last frame (or
+linearly blending into the next) is a far better estimate than silence.
+
+:class:`GapRepairer` watches each link's admitted frames, learns the
+nominal inter-frame interval (or takes it as config), and when a frame
+arrives late it emits fill frames on the missing grid points — every fill
+flagged ``repaired`` end to end (:class:`~repro.serve.queue.PendingFrame`
+through :class:`~repro.serve.engine.InferenceResult`), so metrics and
+benchmarks can always separate measured answers from manufactured ones.
+Long outages are *not* repaired: inventing an hour of CSI would be
+fiction, so gaps beyond ``max_fill`` frames are counted and left open.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: Supported fill strategies.
+REPAIR_MODES = ("hold", "linear")
+
+
+@dataclass(frozen=True)
+class FillFrame:
+    """One synthetic frame emitted into a gap."""
+
+    t_s: float
+    row: np.ndarray
+
+
+class _LinkCadence:
+    """Per-link repair state: last good frame plus learned cadence."""
+
+    def __init__(self) -> None:
+        self.last_t: float | None = None
+        self.last_row: np.ndarray | None = None
+        self.deltas: list[float] = []
+        self.interval_s: float | None = None
+
+
+class GapRepairer:
+    """Detect and fill short frame dropouts, per link.
+
+    Parameters
+    ----------
+    expected_interval_s:
+        Nominal inter-frame interval.  ``None`` learns it per link as the
+        median of the first ``learn_frames`` observed deltas — sniffers
+        at different rates coexist behind one engine.
+    max_fill:
+        Longest gap (in missing frames) that is repaired; longer gaps are
+        counted in :attr:`gaps_unrepaired` and left open.
+    mode:
+        ``"hold"`` repeats the last good row into the gap; ``"linear"``
+        blends linearly between the frames bracketing the gap.
+    tolerance:
+        A delta counts as a gap once it exceeds
+        ``interval * (1 + tolerance)`` — absorbs normal jitter.
+    """
+
+    def __init__(
+        self,
+        expected_interval_s: float | None = None,
+        *,
+        max_fill: int = 8,
+        mode: str = "hold",
+        tolerance: float = 0.5,
+        learn_frames: int = 5,
+    ) -> None:
+        if expected_interval_s is not None and expected_interval_s <= 0:
+            raise ConfigurationError("expected_interval_s must be positive (or None)")
+        if max_fill < 1:
+            raise ConfigurationError("max_fill must be >= 1")
+        if mode not in REPAIR_MODES:
+            raise ConfigurationError(f"mode must be one of {REPAIR_MODES}, got {mode!r}")
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be >= 0")
+        if learn_frames < 2:
+            raise ConfigurationError("learn_frames must be >= 2")
+        self.expected_interval_s = expected_interval_s
+        self.max_fill = max_fill
+        self.mode = mode
+        self.tolerance = tolerance
+        self.learn_frames = learn_frames
+        self._links: dict[str, _LinkCadence] = {}
+        #: Lifetime repair ledger.
+        self.gaps_repaired = 0
+        self.frames_filled = 0
+        self.gaps_unrepaired = 0
+
+    def interval_s(self, link_id: str) -> float | None:
+        """The cadence in use for one link (None while still learning)."""
+        if self.expected_interval_s is not None:
+            return self.expected_interval_s
+        state = self._links.get(link_id)
+        return None if state is None else state.interval_s
+
+    def observe(self, link_id: str, t_s: float, row: np.ndarray) -> list[FillFrame]:
+        """Consume one admitted frame; returns fills for any gap it closes.
+
+        Fill frames carry timestamps on the missing cadence grid
+        (``last_t + k * interval``) so replay scoring can line them up
+        with the frames that were actually lost.
+        """
+        t_s = float(t_s)
+        row = np.asarray(row, dtype=float)
+        state = self._links.setdefault(link_id, _LinkCadence())
+        if state.last_t is None:
+            state.last_t, state.last_row = t_s, row
+            return []
+        dt = t_s - state.last_t
+        if dt <= 0:  # reordered duplicate — keep the newest frame as anchor
+            return []
+
+        interval = self.expected_interval_s
+        if interval is None:
+            if state.interval_s is None:
+                state.deltas.append(dt)
+                if len(state.deltas) >= self.learn_frames:
+                    state.interval_s = statistics.median(state.deltas)
+            interval = state.interval_s
+
+        fills: list[FillFrame] = []
+        if interval is not None and dt > interval * (1.0 + self.tolerance):
+            n_missing = int(round(dt / interval)) - 1
+            if 1 <= n_missing <= self.max_fill:
+                last_row = state.last_row
+                for k in range(1, n_missing + 1):
+                    if self.mode == "hold":
+                        fill_row = last_row.copy()
+                    else:
+                        weight = k / (n_missing + 1)
+                        fill_row = last_row + (row - last_row) * weight
+                    fills.append(FillFrame(state.last_t + k * interval, fill_row))
+                self.gaps_repaired += 1
+                self.frames_filled += n_missing
+            elif n_missing > self.max_fill:
+                self.gaps_unrepaired += 1
+        state.last_t, state.last_row = t_s, row
+        return fills
+
+    def reset(self) -> None:
+        """Forget all per-link state and the repair ledger."""
+        self._links.clear()
+        self.gaps_repaired = 0
+        self.frames_filled = 0
+        self.gaps_unrepaired = 0

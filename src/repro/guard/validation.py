@@ -1,0 +1,291 @@
+"""Validated ingestion: a frame-check chain plus a quarantine buffer.
+
+The serving engine's original admission test (:func:`~repro.data.streaming.check_csi_row`)
+answers one question — is this row 1-D and finite?  A deployment needs a
+richer gate: does the row have the width the model was trained on, do the
+amplitudes sit inside the training envelope, is the timestamp moving
+forward, are the environment columns physically plausible?  Each of those
+is one :class:`FrameCheck`; a :class:`FrameValidator` runs them in order
+and reports the *first* failure, so the quarantine ledger names the check
+that fired rather than a generic "bad frame".
+
+Rejected frames are not discarded silently: the engine parks them in a
+bounded :class:`QuarantineBuffer` with the failing check and message, so
+an operator (or a test) can audit exactly what was refused and why — the
+"contain" step of the detect→contain→recover loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class ValidationFailure:
+    """Why a frame was refused: the check that fired and its message."""
+
+    check: str
+    message: str
+    #: First offending feature column, when the check can name one.
+    column: int | None = None
+
+
+class FrameCheck:
+    """One admission predicate over ``(link_id, t_s, row)``.
+
+    Subclasses set :attr:`name` and implement :meth:`check`, returning
+    ``None`` to pass or a :class:`ValidationFailure` to reject.  Checks
+    may keep per-link state (see :class:`TimestampMonotonicityCheck`);
+    :meth:`reset` must clear it.
+    """
+
+    name = "check"
+
+    def check(
+        self, link_id: str, t_s: float, row: np.ndarray
+    ) -> ValidationFailure | None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any per-stream state (new replay, new campaign)."""
+
+    def _fail(self, message: str, column: int | None = None) -> ValidationFailure:
+        return ValidationFailure(self.name, message, column)
+
+
+class FiniteCheck(FrameCheck):
+    """Reject rows carrying NaN/inf anywhere."""
+
+    name = "finite"
+
+    def check(self, link_id: str, t_s: float, row: np.ndarray) -> ValidationFailure | None:
+        finite = np.isfinite(row)
+        if finite.all():
+            return None
+        column = int(np.flatnonzero(~finite)[0])
+        return self._fail(f"non-finite value at column {column}", column)
+
+
+class SubcarrierCountCheck(FrameCheck):
+    """Reject rows whose width does not match the model's feature layout."""
+
+    name = "width"
+
+    def __init__(self, expected: int) -> None:
+        if expected < 1:
+            raise ConfigurationError("expected width must be >= 1")
+        self.expected = expected
+
+    def check(self, link_id: str, t_s: float, row: np.ndarray) -> ValidationFailure | None:
+        if row.ndim != 1:
+            return self._fail(f"expected a 1-D row, got shape {row.shape}")
+        if row.shape[0] != self.expected:
+            return self._fail(
+                f"row has {row.shape[0]} features, model expects {self.expected}"
+            )
+        return None
+
+
+class AmplitudeRangeCheck(FrameCheck):
+    """Reject rows with features outside a per-column [low, high] envelope.
+
+    The envelope normally comes from training-fold
+    :class:`~repro.guard.drift.ReferenceStats` plus a margin — a frame
+    far outside everything the model ever saw is more likely a sniffer
+    glitch than a new physical regime, and either way the prediction
+    would be extrapolation.
+    """
+
+    name = "amplitude"
+
+    def __init__(self, low, high) -> None:
+        self.low = np.asarray(low, dtype=float)
+        self.high = np.asarray(high, dtype=float)
+        if np.any(self.low > self.high):
+            raise ConfigurationError("amplitude envelope must have low <= high")
+
+    def check(self, link_id: str, t_s: float, row: np.ndarray) -> ValidationFailure | None:
+        if self.low.ndim == 1 and row.shape[0] != self.low.shape[0]:
+            return self._fail(
+                f"row has {row.shape[0]} features, envelope covers {self.low.shape[0]}"
+            )
+        out = (row < self.low) | (row > self.high)
+        if not out.any():
+            return None
+        column = int(np.flatnonzero(out)[0])
+        return self._fail(
+            f"column {column} value {row[column]:.4g} outside "
+            f"[{np.min(self.low):.4g}, {np.max(self.high):.4g}] envelope",
+            column,
+        )
+
+
+class TimestampMonotonicityCheck(FrameCheck):
+    """Reject frames whose timestamp jumps backwards beyond a tolerance.
+
+    Per link: mild reordering (NTP jitter, bursty transports) is normal
+    and the micro-batch queue absorbs it, so the check only fires when a
+    frame arrives more than ``tolerance_s`` *behind* the newest accepted
+    frame of its link — the signature of a wedged sniffer clock.
+    """
+
+    name = "monotonic"
+
+    def __init__(self, tolerance_s: float = 0.0) -> None:
+        if tolerance_s < 0:
+            raise ConfigurationError("tolerance_s must be >= 0")
+        self.tolerance_s = tolerance_s
+        self._latest: dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._latest.clear()
+
+    def check(self, link_id: str, t_s: float, row: np.ndarray) -> ValidationFailure | None:
+        latest = self._latest.get(link_id)
+        if latest is not None and t_s < latest - self.tolerance_s:
+            return self._fail(
+                f"timestamp {t_s:.3f} is {latest - t_s:.3f}s behind link "
+                f"{link_id!r}'s newest frame ({latest:.3f}), beyond the "
+                f"{self.tolerance_s:.3f}s tolerance"
+            )
+        self._latest[link_id] = max(latest, t_s) if latest is not None else t_s
+        return None
+
+
+class EnvPlausibilityCheck(FrameCheck):
+    """Reject rows whose environment columns are physically implausible.
+
+    Applies only to feature layouts that carry the T/H columns
+    (``env_slice``); an indoor office is never at -40 degC or 180 %RH, so
+    such readings mean the Thingy (or its parser) is broken.
+    """
+
+    name = "env"
+
+    def __init__(
+        self,
+        env_slice: slice = slice(64, 66),
+        temperature_c: tuple[float, float] = (-10.0, 50.0),
+        humidity_rh: tuple[float, float] = (0.0, 100.0),
+    ) -> None:
+        self.env_slice = env_slice
+        self.temperature_c = temperature_c
+        self.humidity_rh = humidity_rh
+
+    def check(self, link_id: str, t_s: float, row: np.ndarray) -> ValidationFailure | None:
+        start, stop, step = self.env_slice.indices(row.shape[0])
+        wanted_stop = self.env_slice.stop
+        if (wanted_stop is not None and wanted_stop > row.shape[0]) or len(
+            range(start, stop, step)
+        ) < 2:
+            return self._fail(
+                f"row width {row.shape[0]} does not carry T/H columns at "
+                f"{self.env_slice.start}:{self.env_slice.stop}"
+            )
+        temperature, humidity = row[start], row[start + 1]
+        lo_t, hi_t = self.temperature_c
+        if not lo_t <= temperature <= hi_t:
+            return self._fail(
+                f"temperature {temperature:.2f} degC outside [{lo_t}, {hi_t}]", start
+            )
+        lo_h, hi_h = self.humidity_rh
+        if not lo_h <= humidity <= hi_h:
+            return self._fail(
+                f"humidity {humidity:.2f} %RH outside [{lo_h}, {hi_h}]", start + 1
+            )
+        return None
+
+
+class FrameValidator:
+    """Run a chain of :class:`FrameCheck` objects; first failure wins.
+
+    ``validate`` is the non-raising hot-path form the engine uses;
+    ``check`` raises the failure as a typed
+    :class:`~repro.exceptions.ValidationError` for callers that prefer
+    exceptions.
+    """
+
+    def __init__(self, checks: list[FrameCheck]) -> None:
+        if not checks:
+            raise ConfigurationError("FrameValidator needs at least one check")
+        names = [c.name for c in checks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate check names in chain: {names}")
+        self.checks = list(checks)
+
+    def validate(self, link_id: str, t_s: float, row) -> ValidationFailure | None:
+        """``None`` when every check passes, else the first failure."""
+        try:
+            row = np.asarray(row, dtype=float)
+        except (TypeError, ValueError):
+            return ValidationFailure("coerce", "row is not coercible to a float array")
+        for chk in self.checks:
+            failure = chk.check(link_id, float(t_s), row)
+            if failure is not None:
+                return failure
+        return None
+
+    def check(self, link_id: str, t_s: float, row) -> np.ndarray:
+        """Raising form: returns the coerced row or raises ValidationError."""
+        failure = self.validate(link_id, t_s, row)
+        if failure is not None:
+            raise ValidationError(
+                f"frame from link {link_id!r} at t={t_s} failed the "
+                f"{failure.check!r} check: {failure.message}",
+                column=failure.column,
+            )
+        return np.asarray(row, dtype=float)
+
+    def reset(self) -> None:
+        for chk in self.checks:
+            chk.reset()
+
+
+@dataclass(frozen=True)
+class QuarantinedFrame:
+    """One refused frame plus the verdict that refused it."""
+
+    link_id: str
+    t_s: float
+    row: object
+    failure: ValidationFailure
+
+
+class QuarantineBuffer:
+    """Bounded holding pen for refused frames (drop-oldest on overflow).
+
+    Lifetime totals (:attr:`total`, :meth:`counts_by_check`) survive
+    eviction, so the ledger stays exact even when the buffer wraps.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._frames: deque[QuarantinedFrame] = deque(maxlen=capacity)
+        self.total = 0
+        self._by_check: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def add(self, frame: QuarantinedFrame) -> None:
+        self.total += 1
+        check = frame.failure.check
+        self._by_check[check] = self._by_check.get(check, 0) + 1
+        self._frames.append(frame)
+
+    def counts_by_check(self) -> dict[str, int]:
+        """Lifetime quarantine counts keyed by the check that fired."""
+        return dict(self._by_check)
+
+    def drain(self) -> list[QuarantinedFrame]:
+        """Pop every retained frame (oldest first) for offline audit."""
+        out = list(self._frames)
+        self._frames.clear()
+        return out

@@ -23,6 +23,21 @@ Degradation is explicit rather than accidental:
   ``link_recovered_total`` counter — an outage or fallback stretch ends
   the moment good answers flow again.
 
+The engine optionally composes with the :mod:`repro.guard` subsystem:
+
+* a :class:`~repro.guard.validation.FrameValidator` gates admission with
+  a richer check chain (width, amplitude envelope, timestamp
+  monotonicity, environment plausibility); refused frames land in a
+  bounded :class:`~repro.guard.validation.QuarantineBuffer` with the
+  verdict attached instead of vanishing;
+* a :class:`~repro.guard.repair.GapRepairer` fills short per-link
+  dropouts with synthetic frames, each flagged ``repaired`` end to end;
+* a :class:`~repro.guard.supervisor.RecoverySupervisor` decides per
+  batch which tier serves (primary / fallback / reject) from circuit
+  breakers and a drift sentinel, and owns the link-health transition
+  rule.  The default supervisor is a strict passthrough, so an engine
+  built without guard components behaves exactly as before.
+
 Every decision increments the engine's :class:`~repro.serve.metrics.MetricsRegistry`.
 """
 
@@ -36,6 +51,9 @@ import numpy as np
 from ..core.estimator import validate_estimator
 from ..data.streaming import SmoothingDebouncer, Transition, check_csi_row
 from ..exceptions import ConfigurationError, ServingError, ShapeError, StreamError
+from ..guard.repair import GapRepairer
+from ..guard.supervisor import RecoverySupervisor, ServingMode
+from ..guard.validation import FrameValidator, QuarantineBuffer, QuarantinedFrame
 from .metrics import MetricsRegistry
 from .queue import MicroBatchQueue, PendingFrame
 from .robustness import FallbackPredictor, LinkHealth, PriorFallback
@@ -52,6 +70,8 @@ class InferenceResult:
     transition: Transition | None
     #: "primary" or "fallback" — which model produced the probability.
     source: str
+    #: True when the frame was synthesised by the gap repairer.
+    repaired: bool = False
 
 
 class _LinkState:
@@ -65,6 +85,9 @@ class _LinkState:
         self.fallback_frames = 0
         self.stale_dropped = 0
         self.rejected = 0
+        self.quarantined = 0
+        self.repaired = 0
+        self.policy_rejected = 0
 
 
 class InferenceEngine:
@@ -91,6 +114,22 @@ class InferenceEngine:
         :class:`~repro.serve.robustness.PriorFallback`.
     registry:
         Metrics sink; a private one is created when not shared.
+    validator:
+        Optional :class:`~repro.guard.validation.FrameValidator` run on
+        every submitted frame after the basic shape/finite gate; failed
+        frames are parked in :attr:`quarantine` and counted, never
+        enqueued.
+    repairer:
+        Optional :class:`~repro.guard.repair.GapRepairer`; short gaps in
+        a link's cadence are filled with synthetic frames flagged
+        ``repaired``.
+    supervisor:
+        Optional :class:`~repro.guard.supervisor.RecoverySupervisor`
+        deciding per batch which tier serves.  Defaults to a passthrough
+        supervisor that reproduces the legacy behaviour exactly.
+    quarantine:
+        Holding pen for refused frames; auto-created when a validator is
+        supplied without one.
     """
 
     def __init__(
@@ -105,6 +144,10 @@ class InferenceEngine:
         stale_after_s: float | None = None,
         fallback: FallbackPredictor | None = None,
         registry: MetricsRegistry | None = None,
+        validator: FrameValidator | None = None,
+        repairer: GapRepairer | None = None,
+        supervisor: RecoverySupervisor | None = None,
+        quarantine: QuarantineBuffer | None = None,
     ) -> None:
         validate_estimator(estimator, require=("predict_proba",))
         if stale_after_s is not None and stale_after_s <= 0:
@@ -121,6 +164,13 @@ class InferenceEngine:
             capacity=queue_capacity,
         )
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.validator = validator
+        self.repairer = repairer
+        self.supervisor = supervisor if supervisor is not None else RecoverySupervisor()
+        self.supervisor.bind_registry(self.registry)
+        if quarantine is None and validator is not None:
+            quarantine = QuarantineBuffer()
+        self.quarantine = quarantine
         self._links: dict[str, _LinkState] = {}
         self._now_s = -np.inf
 
@@ -156,7 +206,11 @@ class InferenceEngine:
 
         Malformed frames (wrong shape, NaN/inf) are rejected and counted,
         never enqueued — one broken sniffer row must not take down the
-        shared pipeline.
+        shared pipeline.  With a validator attached, frames that fail its
+        richer check chain are quarantined (with the verdict) instead;
+        with a repairer attached, an admitted frame that closes a short
+        cadence gap first enqueues the synthetic fill frames, flagged
+        ``repaired``.
         """
         link = self._link(link_id)
         try:
@@ -165,13 +219,33 @@ class InferenceEngine:
             link.rejected += 1
             self.registry.counter("frames_rejected").inc()
             return []
+        if self.validator is not None:
+            failure = self.validator.validate(link_id, float(t_s), csi_row)
+            if failure is not None:
+                link.quarantined += 1
+                self.registry.counter("frames_quarantined").inc()
+                self.quarantine.add(
+                    QuarantinedFrame(link_id, float(t_s), csi_row, failure)
+                )
+                return []
         link.frames_in += 1
         self.registry.counter("frames_in").inc()
         self._now_s = max(self._now_s, float(t_s))
 
-        evicted = self.queue.push(PendingFrame(link_id, float(t_s), csi_row))
-        if evicted is not None:
-            self.registry.counter("frames_dropped_overflow").inc()
+        pending = [PendingFrame(link_id, float(t_s), csi_row)]
+        if self.repairer is not None:
+            fills = self.repairer.observe(link_id, float(t_s), csi_row)
+            if fills:
+                link.repaired += len(fills)
+                self.registry.counter("frames_repaired").inc(len(fills))
+                pending = [
+                    PendingFrame(link_id, fill.t_s, fill.row, repaired=True)
+                    for fill in fills
+                ] + pending
+        for frame in pending:
+            evicted = self.queue.push(frame)
+            if evicted is not None:
+                self.registry.counter("frames_dropped_overflow").inc()
         self.registry.gauge("queue_depth").set(self.queue.depth)
         self.registry.histogram("queue_depth_dist").observe(self.queue.depth)
 
@@ -203,17 +277,33 @@ class InferenceEngine:
                 fresh.append(frame)
         return fresh
 
-    def _predict(self, x: np.ndarray) -> tuple[np.ndarray, str]:
+    def _predict(self, x: np.ndarray) -> tuple[np.ndarray, str] | None:
+        """Run the supervisor-selected tier; ``None`` means batch rejected."""
+        mode = self.supervisor.decide(self._now_s)
+        if mode is ServingMode.REJECT:
+            return None
+        if mode is ServingMode.PRIMARY:
+            try:
+                probabilities = np.asarray(
+                    self.estimator.predict_proba(x), dtype=float
+                ).ravel()
+            except Exception:
+                self.registry.counter("primary_failures").inc()
+                self.supervisor.record_primary_failure(self._now_s)
+            else:
+                self.supervisor.record_primary_success(self._now_s)
+                return probabilities, "primary"
         try:
-            return np.asarray(self.estimator.predict_proba(x), dtype=float).ravel(), "primary"
-        except Exception:
-            self.registry.counter("primary_failures").inc()
-        try:
-            return np.asarray(self.fallback.predict_proba(x), dtype=float).ravel(), "fallback"
+            probabilities = np.asarray(
+                self.fallback.predict_proba(x), dtype=float
+            ).ravel()
         except Exception as error:  # both tiers dead: surface loudly
+            self.supervisor.record_fallback_failure(self._now_s)
             raise ServingError(
                 "primary estimator and fallback predictor both failed"
             ) from error
+        self.supervisor.record_fallback_success(self._now_s)
+        return probabilities, "fallback"
 
     def _run_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:
         frames = self._drop_stale(frames)
@@ -221,9 +311,13 @@ class InferenceEngine:
         if not frames:
             return []
         x = np.stack([frame.csi for frame in frames])
+        self.supervisor.observe(x, self._now_s)
 
         start = time.perf_counter()
-        probabilities, source = self._predict(x)
+        predicted = self._predict(x)
+        if predicted is None:
+            return self._reject_batch(frames)
+        probabilities, source = predicted
         latency_ms = 1000.0 * (time.perf_counter() - start)
 
         if probabilities.shape[0] != len(frames):
@@ -244,11 +338,10 @@ class InferenceEngine:
             link.frames_out += 1
             if source == "fallback":
                 link.fallback_frames += 1
-                link.health = LinkHealth.DEGRADED
-            else:
-                if link.health is LinkHealth.DEGRADED:
-                    self.registry.counter("link_recovered_total").inc()
-                link.health = LinkHealth.HEALTHY
+            new_health, recovered = self.supervisor.resolve_health(link.health, source)
+            if recovered:
+                self.registry.counter("link_recovered_total").inc()
+            link.health = new_health
             flipped = link.debouncer.update(int(p >= 0.5))
             transition = None
             if flipped is not None:
@@ -262,6 +355,16 @@ class InferenceEngine:
                     state=link.debouncer.state,
                     transition=transition,
                     source=source,
+                    repaired=frame.repaired,
                 )
             )
         return results
+
+    def _reject_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:
+        """Both tiers circuit-broken: shed the batch, mark links DEGRADED."""
+        self.registry.counter("frames_rejected_policy").inc(len(frames))
+        for frame in frames:
+            link = self._link(frame.link_id)
+            link.policy_rejected += 1
+            link.health = LinkHealth.DEGRADED
+        return []

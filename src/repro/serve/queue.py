@@ -36,6 +36,10 @@ class PendingFrame:
     link_id: str
     t_s: float
     csi: np.ndarray
+    #: True for synthetic frames the gap repairer manufactured; the flag
+    #: rides through to :class:`~repro.serve.engine.InferenceResult` so
+    #: downstream consumers can always separate measured from filled.
+    repaired: bool = False
 
 
 class MicroBatchQueue:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data.dataset import OccupancyDataset
 from repro.data.io import load_csv, load_npz, save_csv, save_npz
-from repro.exceptions import DatasetError, SerializationError
+from repro.exceptions import DatasetError, SchemaError, SerializationError
 
 
 def make_dataset(n=20, d=8, seed=0) -> OccupancyDataset:
@@ -49,6 +49,19 @@ class TestNpz:
         with pytest.raises(SerializationError):
             load_npz(path)
 
+    def test_truncated_archive_raises_schema_error_naming_file(self, tmp_path):
+        ds = make_dataset()
+        path = save_npz(ds, tmp_path / "data.npz")
+        path.write_bytes(path.read_bytes()[:40])  # chop mid-zip
+        with pytest.raises(SchemaError, match="data.npz"):
+            load_npz(path)
+
+    def test_non_zip_bytes_raise_schema_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this was never a zip archive")
+        with pytest.raises(SchemaError, match="truncated or corrupt"):
+            load_npz(path)
+
 
 class TestCsv:
     def test_round_trip(self, tmp_path):
@@ -87,6 +100,26 @@ class TestCsv:
         path = tmp_path / "empty.csv"
         path.write_text("")
         with pytest.raises(SerializationError):
+            load_csv(path)
+
+    def test_ragged_row_raises_schema_error_naming_the_line(self, tmp_path):
+        ds = make_dataset(d=2)
+        path = save_csv(ds, tmp_path / "ragged.csv")
+        lines = path.read_text().splitlines()
+        lines[3] = lines[3].rsplit(",", 2)[0]  # drop two trailing columns
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError, match="row 4"):
+            load_csv(path)
+
+    def test_non_numeric_value_raises_schema_error_naming_the_line(self, tmp_path):
+        ds = make_dataset(d=2)
+        path = save_csv(ds, tmp_path / "text.csv")
+        lines = path.read_text().splitlines()
+        parts = lines[2].split(",")
+        parts[1] = "oops"
+        lines[2] = ",".join(parts)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError, match="row 3.*non-numeric"):
             load_csv(path)
 
     def test_rejects_header_only(self, tmp_path):

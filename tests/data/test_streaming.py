@@ -13,7 +13,12 @@ from repro.data.streaming import (
     Transition,
     check_csi_row,
 )
-from repro.exceptions import ConfigurationError, ShapeError, StreamError
+from repro.exceptions import (
+    ConfigurationError,
+    ShapeError,
+    StreamError,
+    ValidationError,
+)
 
 
 class ScriptedPredictor:
@@ -171,3 +176,20 @@ class TestStreamEdgeCases:
             check_csi_row(np.ones((2, 3)))
         with pytest.raises(StreamError):
             check_csi_row([1.0, np.nan])
+
+    def test_check_csi_row_raises_typed_validation_error(self):
+        # ValidationError subclasses StreamError, so pre-existing handlers
+        # keep working while new code can read the structured fields.
+        with pytest.raises(ValidationError) as excinfo:
+            check_csi_row([1.0, np.inf, 3.0], row_index=42)
+        assert isinstance(excinfo.value, StreamError)
+        assert excinfo.value.row_index == 42
+        assert excinfo.value.column == 1
+        assert "row 42" in str(excinfo.value)
+        assert "column 1" in str(excinfo.value)
+
+    def test_check_csi_row_error_without_position_context(self):
+        with pytest.raises(ValidationError) as excinfo:
+            check_csi_row([np.nan])
+        assert excinfo.value.row_index is None
+        assert excinfo.value.column == 0

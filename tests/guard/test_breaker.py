@@ -1,0 +1,138 @@
+"""Tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.guard.breaker import BreakerState, CircuitBreaker
+
+
+def _breaker(**kwargs) -> CircuitBreaker:
+    defaults = dict(
+        failure_threshold=3,
+        cooldown_s=10.0,
+        backoff_factor=2.0,
+        max_cooldown_s=100.0,
+        jitter=0.0,  # deterministic cooldowns for exact assertions
+        probe_batches=2,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows_traffic(self):
+        breaker = _breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = _breaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)  # success resets the streak
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(5.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trip_count == 1
+
+    def test_open_short_circuits_until_cooldown_expires(self):
+        breaker = _breaker(cooldown_s=10.0)
+        for t in range(3):
+            breaker.record_failure(float(t))
+        assert not breaker.allow(5.0)
+        assert not breaker.allow(11.9)  # tripped at t=2, open until t=12
+        assert breaker.allow(12.0)  # cooldown over: admit the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_successes_close_the_breaker(self):
+        breaker = _breaker(probe_batches=2)
+        for t in range(3):
+            breaker.record_failure(float(t))
+        breaker.allow(100.0)  # -> HALF_OPEN
+        breaker.record_success(100.0)
+        assert breaker.state is BreakerState.HALF_OPEN  # one probe is not enough
+        breaker.record_success(101.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recovery_count == 1
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = _breaker()
+        for t in range(3):
+            breaker.record_failure(float(t))
+        breaker.allow(100.0)
+        breaker.record_failure(100.0)  # probe dies: no three-strikes grace
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trip_count == 2
+
+    def test_backoff_doubles_per_retrip_and_is_capped(self):
+        breaker = _breaker(cooldown_s=10.0, backoff_factor=2.0, max_cooldown_s=25.0)
+        for t in range(3):
+            breaker.record_failure(float(t))  # trip 1 at t=2: cooldown 10
+        assert not breaker.allow(11.0)
+        assert breaker.allow(12.0)
+        breaker.record_failure(12.0)  # trip 2: cooldown 20
+        assert not breaker.allow(31.0)
+        assert breaker.allow(32.0)
+        breaker.record_failure(32.0)  # trip 3: 40 capped to 25
+        assert not breaker.allow(56.0)
+        assert breaker.allow(57.0)
+
+    def test_recovery_resets_the_backoff_ladder(self):
+        breaker = _breaker(cooldown_s=10.0, probe_batches=1)
+        for t in range(3):
+            breaker.record_failure(float(t))
+        breaker.allow(100.0)
+        breaker.record_success(100.0)  # full recovery
+        assert breaker.state is BreakerState.CLOSED
+        for t in range(3):
+            breaker.record_failure(200.0 + t)  # re-trip after recovery
+        assert not breaker.allow(211.9)  # base cooldown again, not 20 s
+        assert breaker.allow(212.0)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        def open_until(seed: int) -> float:
+            breaker = _breaker(jitter=0.1, seed=seed)
+            for t in range(3):
+                breaker.record_failure(0.0)
+            return breaker.snapshot()["open_until_s"]
+
+        assert open_until(1) == open_until(1)  # same seed, same cooldown
+        assert 9.0 <= open_until(1) <= 11.0  # within +-10% of 10 s
+        assert open_until(1) != open_until(2)
+
+    def test_snapshot_reports_live_state(self):
+        breaker = _breaker()
+        breaker.record_failure(0.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["trip_count"] == 0
+
+    def test_reset_returns_to_pristine_closed(self):
+        breaker = _breaker()
+        for t in range(3):
+            breaker.record_failure(float(t))
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+        # lifetime counters intentionally survive reset
+        assert breaker.trip_count == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_s": 0.0},
+            {"cooldown_s": 50.0, "max_cooldown_s": 10.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"probe_batches": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            _breaker(**kwargs)

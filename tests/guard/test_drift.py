@@ -1,0 +1,185 @@
+"""Tests for reference statistics, PSI, and the drift sentinel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.guard.drift import (
+    DriftSentinel,
+    DriftState,
+    ReferenceStats,
+    psi,
+)
+from repro.nn.serialize import atomic_savez, encode_meta
+
+
+@pytest.fixture
+def gaussian_reference() -> ReferenceStats:
+    rng = np.random.default_rng(0)
+    return ReferenceStats.fit(rng.normal(0.0, 1.0, size=(2000, 3)))
+
+
+class TestReferenceStats:
+    def test_fit_summarises_each_feature(self, gaussian_reference):
+        ref = gaussian_reference
+        assert ref.n_features == 3
+        assert ref.n_rows == 2000
+        np.testing.assert_allclose(ref.mean, np.zeros(3), atol=0.1)
+        np.testing.assert_allclose(ref.std, np.ones(3), atol=0.1)
+        # decile histogram: each bin holds ~10% of the fitting rows
+        np.testing.assert_allclose(ref.bin_probs.sum(axis=1), 1.0)
+        assert ref.bin_probs.min() > 0.05
+
+    def test_fit_rejects_degenerate_input(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceStats.fit(np.ones((1, 3)))
+        with pytest.raises(ConfigurationError):
+            ReferenceStats.fit(np.ones(10))
+        with pytest.raises(ConfigurationError):
+            ReferenceStats.fit(np.ones((10, 3)), n_bins=1)
+
+    def test_constant_feature_gets_floored_std(self):
+        x = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+        ref = ReferenceStats.fit(x)
+        assert ref.std[1] == pytest.approx(1e-8)
+
+    def test_amplitude_envelope_scales_with_feature_range(self):
+        x = np.array([[0.0, 100.0], [1.0, 300.0]])
+        low, high = ReferenceStats.fit(x).amplitude_envelope(margin=2.0)
+        np.testing.assert_allclose(low, [-2.0, -300.0])
+        np.testing.assert_allclose(high, [3.0, 700.0])
+        with pytest.raises(ConfigurationError):
+            ReferenceStats.fit(x).amplitude_envelope(margin=-1.0)
+
+    def test_save_load_round_trip(self, gaussian_reference, tmp_path):
+        path = gaussian_reference.save(tmp_path / "stats.npz")
+        loaded = ReferenceStats.load(path)
+        np.testing.assert_array_equal(loaded.mean, gaussian_reference.mean)
+        np.testing.assert_array_equal(loaded.bin_edges, gaussian_reference.bin_edges)
+        np.testing.assert_array_equal(loaded.bin_probs, gaussian_reference.bin_probs)
+        assert loaded.n_rows == gaussian_reference.n_rows
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, weights=np.ones(3))
+        with pytest.raises(SerializationError, match="not a reference-stats"):
+            ReferenceStats.load(path)
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "model.npz"
+        atomic_savez(
+            path, {"__meta__": encode_meta({"kind": "something-else", "version": 1})}
+        )
+        with pytest.raises(SerializationError, match="something-else"):
+            ReferenceStats.load(path)
+
+    def test_load_rejects_missing_arrays(self, gaussian_reference, tmp_path):
+        import zipfile
+
+        path = gaussian_reference.save(tmp_path / "stats.npz")
+        clipped = tmp_path / "clipped.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(clipped, "w") as dst:
+            for name in src.namelist():
+                if name != "bin_probs.npy":
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(SerializationError, match="bin_probs"):
+            ReferenceStats.load(clipped)
+
+
+class TestPsi:
+    def test_identical_distributions_score_zero(self):
+        p = np.full(10, 0.1)
+        assert psi(p, p) == pytest.approx(0.0)
+
+    def test_shift_scores_positive_and_symmetric_in_sign(self):
+        p = np.array([0.5, 0.3, 0.2])
+        q = np.array([0.2, 0.3, 0.5])
+        assert psi(p, q) > 0.1
+        assert psi(p, q) == pytest.approx(psi(q, p))
+
+    def test_empty_bins_do_not_blow_up(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert np.isfinite(psi(p, q))
+
+
+class TestDriftSentinel:
+    def test_clean_stream_stays_ok(self, gaussian_reference):
+        sentinel = DriftSentinel(gaussian_reference, window=64, check_every=16)
+        rng = np.random.default_rng(1)
+        events = sentinel.observe(rng.normal(0.0, 1.0, size=(256, 3)))
+        assert events == []
+        assert sentinel.state is DriftState.OK
+        assert sentinel.z_score < 1.0
+
+    def test_level_shift_escalates_through_warn_to_trip(self, gaussian_reference):
+        sentinel = DriftSentinel(
+            gaussian_reference, alpha=0.2, warn_z=6.0, trip_z=12.0
+        )
+        shifted = np.full((1, 3), 20.0)  # 20 sigma off the reference mean
+        states = []
+        for t in range(60):
+            for event in sentinel.observe(shifted, t_s=float(t)):
+                states.append((event.previous, event.state, event.escalation))
+        assert states == [
+            (DriftState.OK, DriftState.WARN, True),
+            (DriftState.WARN, DriftState.TRIP, True),
+        ]
+        assert sentinel.state is DriftState.TRIP
+        assert sentinel.z_score > 12.0
+
+    def test_shape_change_trips_via_psi(self, gaussian_reference):
+        # Rows squeezed into one decile: the mean barely moves but the
+        # histogram collapses, which only the PSI channel can see.
+        sentinel = DriftSentinel(
+            gaussian_reference,
+            alpha=0.001,  # EWMA effectively frozen: isolate the PSI channel
+            warn_psi=0.5,
+            trip_psi=1.0,
+            window=64,
+            check_every=16,
+        )
+        events = sentinel.observe(np.full((64, 3), 0.01), t_s=5.0)
+        assert sentinel.psi_score > 1.0
+        assert sentinel.z_score < 1.0
+        assert events[-1].state is DriftState.TRIP
+        assert events[-1].t_s == 5.0
+
+    def test_recovery_emits_deescalation_event(self, gaussian_reference):
+        sentinel = DriftSentinel(gaussian_reference, alpha=0.5)
+        sentinel.observe(np.full((30, 3), 50.0))
+        assert sentinel.state is DriftState.TRIP
+        rng = np.random.default_rng(2)
+        events = []
+        for _ in range(40):
+            events += sentinel.observe(rng.normal(0.0, 1.0, size=(4, 3)))
+        assert sentinel.state is DriftState.OK
+        assert not events[-1].escalation
+
+    def test_reset_restores_reference_state(self, gaussian_reference):
+        sentinel = DriftSentinel(gaussian_reference, alpha=0.5)
+        sentinel.observe(np.full((30, 3), 50.0))
+        sentinel.reset()
+        assert sentinel.state is DriftState.OK
+        assert sentinel.z_score == 0.0
+        assert sentinel.psi_score == 0.0
+
+    def test_feature_mismatch_rejected(self, gaussian_reference):
+        sentinel = DriftSentinel(gaussian_reference)
+        with pytest.raises(ConfigurationError, match="features"):
+            sentinel.observe(np.ones((4, 5)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"warn_z": 12.0, "trip_z": 6.0},
+            {"warn_psi": 6.0, "trip_psi": 3.0},
+            {"window": 4},
+            {"check_every": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, gaussian_reference, kwargs):
+        with pytest.raises(ConfigurationError):
+            DriftSentinel(gaussian_reference, **kwargs)

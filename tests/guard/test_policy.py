@@ -1,0 +1,76 @@
+"""Tests for the declarative guard policy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.guard.drift import ReferenceStats
+from repro.guard.policy import GuardPolicy
+from repro.guard.validation import EnvPlausibilityCheck
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def reference() -> ReferenceStats:
+    rng = np.random.default_rng(0)
+    return ReferenceStats.fit(rng.normal(0.0, 1.0, size=(200, 6)))
+
+
+class TestGuardPolicy:
+    def test_rejects_feature_width_mismatch(self, reference):
+        with pytest.raises(ConfigurationError, match="8 features"):
+            GuardPolicy(reference=reference, n_features=8)
+
+    def test_build_manufactures_the_full_stack(self, reference):
+        policy = GuardPolicy(
+            reference=reference, n_features=6, env_slice=slice(4, 6)
+        )
+        validator, repairer, supervisor = policy.build(MetricsRegistry())
+        names = [c.name for c in validator.checks]
+        assert names == ["width", "finite", "amplitude", "monotonic", "env"]
+        assert repairer.max_fill == policy.max_fill
+        assert supervisor.breaker is not None
+        assert supervisor.fallback_breaker is not None
+        assert supervisor.sentinel is not None
+
+    def test_env_check_skipped_for_csi_only_layouts(self, reference):
+        policy = GuardPolicy(reference=reference, n_features=6)
+        validator = policy.build_validator()
+        assert not any(
+            isinstance(c, EnvPlausibilityCheck) for c in validator.checks
+        )
+
+    def test_guard_fallback_off_drops_the_second_breaker(self, reference):
+        policy = GuardPolicy(reference=reference, n_features=6, guard_fallback=False)
+        supervisor = policy.build_supervisor()
+        assert supervisor.fallback_breaker is None
+
+    def test_breakers_get_distinct_jitter_seeds(self, reference):
+        policy = GuardPolicy(reference=reference, n_features=6, seed=3)
+        supervisor = policy.build_supervisor()
+        primary, fallback = supervisor.breaker, supervisor.fallback_breaker
+        for t in range(policy.failure_threshold):
+            primary.record_failure(0.0)
+            fallback.record_failure(0.0)
+        assert (
+            primary.snapshot()["open_until_s"] != fallback.snapshot()["open_until_s"]
+        )
+
+    def test_build_returns_fresh_instances_each_call(self, reference):
+        # Per-link state must not leak between replays: two builds, two
+        # distinct stateful objects all the way down.
+        policy = GuardPolicy(reference=reference, n_features=6)
+        first = policy.build()
+        second = policy.build()
+        for a, b in zip(first, second):
+            assert a is not b
+        first[1].observe("a", 0.0, np.zeros(6))
+        assert second[1].interval_s("a") is None  # no shared cadence state
+
+    def test_validator_envelope_comes_from_the_reference(self, reference):
+        policy = GuardPolicy(reference=reference, n_features=6, amplitude_margin=0.0)
+        validator = policy.build_validator()
+        inside = np.clip(np.zeros(6), reference.minimum, reference.maximum)
+        assert validator.validate("a", 0.0, inside) is None
+        outside = reference.maximum + 1.0
+        assert validator.validate("a", 1.0, outside).check == "amplitude"

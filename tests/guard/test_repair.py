@@ -1,0 +1,92 @@
+"""Tests for the gap repairer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.guard.repair import GapRepairer
+
+
+class TestGapRepairer:
+    def test_no_fill_on_nominal_cadence(self):
+        repairer = GapRepairer(1.0)
+        for t in range(5):
+            assert repairer.observe("a", float(t), np.full(2, t)) == []
+        assert repairer.gaps_repaired == 0
+
+    def test_hold_mode_repeats_the_last_good_row(self):
+        repairer = GapRepairer(1.0, mode="hold")
+        repairer.observe("a", 0.0, np.array([1.0, 2.0]))
+        fills = repairer.observe("a", 4.0, np.array([9.0, 9.0]))  # 3 missing
+        assert [f.t_s for f in fills] == [1.0, 2.0, 3.0]  # on the grid
+        for fill in fills:
+            np.testing.assert_allclose(fill.row, [1.0, 2.0])
+        assert repairer.gaps_repaired == 1
+        assert repairer.frames_filled == 3
+
+    def test_linear_mode_blends_between_bracketing_frames(self):
+        repairer = GapRepairer(1.0, mode="linear")
+        repairer.observe("a", 0.0, np.array([0.0]))
+        fills = repairer.observe("a", 4.0, np.array([4.0]))
+        np.testing.assert_allclose([f.row[0] for f in fills], [1.0, 2.0, 3.0])
+
+    def test_long_gaps_left_open_and_counted(self):
+        repairer = GapRepairer(1.0, max_fill=2)
+        repairer.observe("a", 0.0, np.zeros(1))
+        assert repairer.observe("a", 10.0, np.zeros(1)) == []  # 9 missing > 2
+        assert repairer.gaps_unrepaired == 1
+        assert repairer.frames_filled == 0
+
+    def test_interval_learned_per_link_from_median_delta(self):
+        repairer = GapRepairer(None, learn_frames=3)
+        for t in (0.0, 2.0, 4.0, 6.0):
+            repairer.observe("slow", t, np.zeros(1))
+        for t in (0.0, 0.5, 1.0, 1.5):
+            repairer.observe("fast", t, np.zeros(1))
+        assert repairer.interval_s("slow") == pytest.approx(2.0)
+        assert repairer.interval_s("fast") == pytest.approx(0.5)
+        assert repairer.interval_s("unseen") is None
+        # the learned cadence drives repair: a 3-interval hole on "slow"
+        fills = repairer.observe("slow", 12.0, np.zeros(1))
+        assert [f.t_s for f in fills] == [8.0, 10.0]
+
+    def test_no_repair_while_still_learning(self):
+        repairer = GapRepairer(None, learn_frames=5)
+        repairer.observe("a", 0.0, np.zeros(1))
+        assert repairer.observe("a", 7.0, np.zeros(1)) == []  # no cadence yet
+        assert repairer.gaps_repaired == 0
+
+    def test_reordered_duplicate_keeps_newest_anchor(self):
+        repairer = GapRepairer(1.0)
+        repairer.observe("a", 5.0, np.array([5.0]))
+        assert repairer.observe("a", 3.0, np.array([3.0])) == []  # dt <= 0
+        fills = repairer.observe("a", 8.0, np.array([8.0]))
+        assert [f.t_s for f in fills] == [6.0, 7.0]  # anchored at t=5, not 3
+
+    def test_jitter_within_tolerance_is_not_a_gap(self):
+        repairer = GapRepairer(1.0, tolerance=0.5)
+        repairer.observe("a", 0.0, np.zeros(1))
+        assert repairer.observe("a", 1.4, np.zeros(1)) == []
+
+    def test_reset_clears_links_and_ledger(self):
+        repairer = GapRepairer(1.0)
+        repairer.observe("a", 0.0, np.zeros(1))
+        repairer.observe("a", 3.0, np.zeros(1))
+        assert repairer.gaps_repaired == 1
+        repairer.reset()
+        assert repairer.gaps_repaired == 0
+        assert repairer.observe("a", 100.0, np.zeros(1)) == []  # fresh anchor
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"expected_interval_s": 0.0},
+            {"max_fill": 0},
+            {"mode": "spline"},
+            {"tolerance": -0.1},
+            {"learn_frames": 1},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GapRepairer(**{"expected_interval_s": 1.0, **kwargs})

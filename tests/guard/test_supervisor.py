@@ -1,0 +1,141 @@
+"""Tests for the recovery supervisor's routing, feedback, and health rules."""
+
+import numpy as np
+import pytest
+
+from repro.guard.breaker import BreakerState, CircuitBreaker
+from repro.guard.drift import DriftSentinel, DriftState, ReferenceStats
+from repro.guard.supervisor import RecoverySupervisor, ServingMode
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.robustness import LinkHealth
+
+
+def _breaker(seed: int = 0) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=2, cooldown_s=10.0, jitter=0.0, probe_batches=1, seed=seed
+    )
+
+
+def _reference() -> ReferenceStats:
+    rng = np.random.default_rng(0)
+    return ReferenceStats.fit(rng.normal(0.0, 1.0, size=(500, 2)))
+
+
+class TestRouting:
+    def test_default_supervisor_is_a_passthrough(self):
+        supervisor = RecoverySupervisor()
+        assert supervisor.decide(0.0) is ServingMode.PRIMARY
+        supervisor.record_primary_failure(0.0)  # no breaker: a no-op
+        assert supervisor.decide(1.0) is ServingMode.PRIMARY
+        assert supervisor.resolve_health(LinkHealth.DEGRADED, "primary") == (
+            LinkHealth.HEALTHY,
+            True,
+        )
+
+    def test_open_primary_breaker_short_circuits_to_fallback(self):
+        registry = MetricsRegistry()
+        supervisor = RecoverySupervisor(breaker=_breaker(), registry=registry)
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)
+        assert supervisor.breaker.state is BreakerState.OPEN
+        assert supervisor.decide(2.0) is ServingMode.FALLBACK
+        assert registry.counter("guard_short_circuits").value == 1
+        assert registry.counter("primary_breaker_opened_total").value == 1
+
+    def test_both_breakers_open_means_reject(self):
+        registry = MetricsRegistry()
+        supervisor = RecoverySupervisor(
+            breaker=_breaker(), fallback_breaker=_breaker(1), registry=registry
+        )
+        for t in (0.0, 1.0):
+            supervisor.record_primary_failure(t)
+            supervisor.record_fallback_failure(t)
+        assert supervisor.decide(2.0) is ServingMode.REJECT
+        assert registry.counter("guard_rejected_batches").value == 1
+
+    def test_primary_recovers_through_probe(self):
+        registry = MetricsRegistry()
+        supervisor = RecoverySupervisor(breaker=_breaker(), registry=registry)
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)  # trips at t=1, open 10 s
+        assert supervisor.decide(5.0) is ServingMode.FALLBACK
+        assert supervisor.decide(11.5) is ServingMode.PRIMARY  # the probe
+        supervisor.record_primary_success(11.5)
+        assert supervisor.breaker.state is BreakerState.CLOSED
+        assert registry.counter("primary_breaker_closed_total").value == 1
+        assert registry.counter("primary_breaker_probes_total").value == 1
+
+    def test_drift_trip_reroutes_only_under_fallback_action(self):
+        tripped = DriftSentinel(_reference(), alpha=0.9)
+        tripped.observe(np.full((20, 2), 99.0))
+        assert tripped.state is DriftState.TRIP
+
+        warn_only = RecoverySupervisor(sentinel=tripped, drift_action="warn")
+        assert warn_only.decide(0.0) is ServingMode.PRIMARY
+
+        rerouting = RecoverySupervisor(sentinel=tripped, drift_action="fallback")
+        assert rerouting.decide(0.0) is ServingMode.FALLBACK
+
+    def test_rejects_unknown_drift_action(self):
+        with pytest.raises(ValueError, match="drift_action"):
+            RecoverySupervisor(drift_action="panic")
+
+
+class TestDriftReporting:
+    def test_observe_publishes_scores_and_counts_events(self):
+        registry = MetricsRegistry()
+        supervisor = RecoverySupervisor(
+            sentinel=DriftSentinel(_reference(), alpha=0.9), registry=registry
+        )
+        supervisor.observe(np.full((20, 2), 99.0), now_s=3.0)
+        assert registry.counter("drift_trip_total").value == 1
+        assert registry.gauge("drift_state").value == 2
+        assert registry.gauge("drift_z_score").value > 12.0
+
+    def test_observe_without_sentinel_is_a_no_op(self):
+        supervisor = RecoverySupervisor(registry=MetricsRegistry())
+        supervisor.observe(np.ones((4, 2)), now_s=0.0)  # must not raise
+
+
+class TestHealthAndBinding:
+    def test_fallback_batches_keep_links_degraded(self):
+        supervisor = RecoverySupervisor()
+        assert supervisor.resolve_health(LinkHealth.HEALTHY, "fallback") == (
+            LinkHealth.DEGRADED,
+            False,
+        )
+        assert supervisor.resolve_health(LinkHealth.DEGRADED, "fallback") == (
+            LinkHealth.DEGRADED,
+            False,
+        )
+
+    def test_primary_batches_heal_and_report_the_edge_once(self):
+        supervisor = RecoverySupervisor()
+        health, recovered = supervisor.resolve_health(LinkHealth.DEGRADED, "primary")
+        assert (health, recovered) == (LinkHealth.HEALTHY, True)
+        health, recovered = supervisor.resolve_health(health, "primary")
+        assert (health, recovered) == (LinkHealth.HEALTHY, False)
+
+    def test_bind_registry_does_not_clobber_an_explicit_one(self):
+        mine = MetricsRegistry()
+        supervisor = RecoverySupervisor(breaker=_breaker(), registry=mine)
+        supervisor.bind_registry(MetricsRegistry())
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)
+        assert mine.counter("primary_breaker_opened_total").value == 1
+
+    def test_bind_registry_adopts_when_unset(self):
+        adopted = MetricsRegistry()
+        supervisor = RecoverySupervisor(breaker=_breaker())
+        supervisor.bind_registry(adopted)
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)
+        assert adopted.counter("primary_breaker_opened_total").value == 1
+
+    def test_snapshot_is_json_friendly(self):
+        supervisor = RecoverySupervisor(breaker=_breaker())
+        snap = supervisor.snapshot()
+        assert snap["primary_breaker"]["state"] == "closed"
+        assert snap["fallback_breaker"] is None
+        assert snap["drift_state"] is None
+        assert snap["drift_action"] == "warn"

@@ -1,0 +1,163 @@
+"""Tests for the frame-validation chain and the quarantine buffer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.guard.validation import (
+    AmplitudeRangeCheck,
+    EnvPlausibilityCheck,
+    FiniteCheck,
+    FrameValidator,
+    QuarantineBuffer,
+    QuarantinedFrame,
+    SubcarrierCountCheck,
+    TimestampMonotonicityCheck,
+    ValidationFailure,
+)
+
+
+def _row(width: int = 4, value: float = 1.0) -> np.ndarray:
+    return np.full(width, value)
+
+
+class TestChecks:
+    def test_finite_names_the_first_bad_column(self):
+        row = np.array([1.0, np.nan, np.inf])
+        failure = FiniteCheck().check("a", 0.0, row)
+        assert failure.check == "finite"
+        assert failure.column == 1
+
+    def test_finite_passes_clean_rows(self):
+        assert FiniteCheck().check("a", 0.0, _row()) is None
+
+    def test_width_rejects_wrong_count_and_non_1d(self):
+        check = SubcarrierCountCheck(4)
+        assert check.check("a", 0.0, _row(4)) is None
+        assert "3 features" in check.check("a", 0.0, _row(3)).message
+        assert "1-D" in check.check("a", 0.0, np.ones((2, 4))).message
+
+    def test_width_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierCountCheck(0)
+
+    def test_amplitude_envelope_is_per_column(self):
+        check = AmplitudeRangeCheck([0.0, 10.0], [1.0, 20.0])
+        assert check.check("a", 0.0, np.array([0.5, 15.0])) is None
+        failure = check.check("a", 0.0, np.array([0.5, 25.0]))
+        assert failure.check == "amplitude"
+        assert failure.column == 1
+
+    def test_amplitude_rejects_inverted_envelope(self):
+        with pytest.raises(ConfigurationError):
+            AmplitudeRangeCheck([1.0], [0.0])
+
+    def test_monotonicity_is_per_link(self):
+        check = TimestampMonotonicityCheck(tolerance_s=1.0)
+        assert check.check("a", 100.0, _row()) is None
+        assert check.check("b", 5.0, _row()) is None  # other link, own clock
+        assert check.check("a", 99.5, _row()) is None  # within tolerance
+        failure = check.check("a", 50.0, _row())
+        assert failure.check == "monotonic"
+        assert "behind" in failure.message
+
+    def test_monotonicity_anchor_never_moves_backwards(self):
+        check = TimestampMonotonicityCheck(tolerance_s=1.0)
+        check.check("a", 100.0, _row())
+        check.check("a", 99.5, _row())  # tolerated, but must not lower anchor
+        assert check.check("a", 98.0, _row()) is not None
+
+    def test_monotonicity_reset_forgets_links(self):
+        check = TimestampMonotonicityCheck()
+        check.check("a", 100.0, _row())
+        check.reset()
+        assert check.check("a", 0.0, _row()) is None
+
+    def test_env_plausibility_bounds(self):
+        check = EnvPlausibilityCheck(env_slice=slice(2, 4))
+        good = np.array([1.0, 1.0, 22.0, 50.0])
+        assert check.check("a", 0.0, good) is None
+        cold = np.array([1.0, 1.0, -40.0, 50.0])
+        assert check.check("a", 0.0, cold).column == 2
+        soaked = np.array([1.0, 1.0, 22.0, 180.0])
+        assert check.check("a", 0.0, soaked).column == 3
+
+    def test_env_plausibility_rejects_rows_without_env_columns(self):
+        check = EnvPlausibilityCheck(env_slice=slice(64, 66))
+        assert "does not carry T/H" in check.check("a", 0.0, _row(64)).message
+
+
+class TestFrameValidator:
+    def _validator(self) -> FrameValidator:
+        return FrameValidator(
+            [
+                SubcarrierCountCheck(4),
+                FiniteCheck(),
+                AmplitudeRangeCheck(np.zeros(4), np.full(4, 10.0)),
+            ]
+        )
+
+    def test_first_failure_wins(self):
+        # A NaN row that is also out of envelope: finite fires first
+        # because it sits earlier in the chain.
+        failure = self._validator().validate("a", 0.0, [np.nan, 50.0, 1.0, 1.0])
+        assert failure.check == "finite"
+
+    def test_clean_row_passes_every_check(self):
+        assert self._validator().validate("a", 0.0, _row(4)) is None
+
+    def test_uncoercible_rows_fail_soft(self):
+        failure = self._validator().validate("a", 0.0, ["not", "numbers", "!", "?"])
+        assert failure.check == "coerce"
+
+    def test_check_raises_typed_validation_error(self):
+        with pytest.raises(ValidationError, match="'amplitude'") as excinfo:
+            self._validator().check("a", 0.0, [1.0, 50.0, 1.0, 1.0])
+        assert excinfo.value.column == 1
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameValidator([])
+
+    def test_duplicate_check_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FrameValidator([FiniteCheck(), FiniteCheck()])
+
+    def test_reset_propagates_to_stateful_checks(self):
+        validator = FrameValidator([TimestampMonotonicityCheck()])
+        validator.check("a", 100.0, _row())
+        validator.reset()
+        assert validator.validate("a", 0.0, _row()) is None
+
+
+class TestQuarantineBuffer:
+    def _frame(self, check: str = "finite", t_s: float = 0.0) -> QuarantinedFrame:
+        return QuarantinedFrame("a", t_s, _row(), ValidationFailure(check, "bad"))
+
+    def test_lifetime_counts_survive_eviction(self):
+        buffer = QuarantineBuffer(capacity=2)
+        for i in range(5):
+            buffer.add(self._frame(t_s=float(i)))
+        assert len(buffer) == 2  # only the newest two retained...
+        assert buffer.total == 5  # ...but the ledger never forgets
+        assert buffer.counts_by_check() == {"finite": 5}
+
+    def test_counts_keyed_by_check(self):
+        buffer = QuarantineBuffer()
+        buffer.add(self._frame("finite"))
+        buffer.add(self._frame("amplitude"))
+        buffer.add(self._frame("amplitude"))
+        assert buffer.counts_by_check() == {"finite": 1, "amplitude": 2}
+
+    def test_drain_empties_retained_but_not_totals(self):
+        buffer = QuarantineBuffer()
+        buffer.add(self._frame(t_s=1.0))
+        buffer.add(self._frame(t_s=2.0))
+        drained = buffer.drain()
+        assert [f.t_s for f in drained] == [1.0, 2.0]  # oldest first
+        assert len(buffer) == 0
+        assert buffer.total == 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            QuarantineBuffer(capacity=0)

@@ -173,6 +173,51 @@ class TestRobustness:
         engine.submit("a", 5.0, _row())  # stays healthy: no double count
         assert engine.registry.counter("link_recovered_total").value == 1
 
+    def test_flush_recovers_degraded_link_exactly_once(self):
+        # A flush batch holding several frames of one DEGRADED link must
+        # bump link_recovered_total once, not once per frame.
+        engine = InferenceEngine(
+            FailNTimesEstimator(n=1),
+            max_batch=4,
+            max_latency_ms=None,
+            fallback=PriorFallback(prior=0.8),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row())  # full batch -> primary dies
+        assert engine.health("a") is LinkHealth.DEGRADED
+        assert engine.registry.counter("link_recovered_total").value == 0
+
+        engine.submit("a", 4.0, _row())
+        engine.submit("a", 5.0, _row())  # two pending frames, no batch yet
+        results = engine.flush()  # primary healed: one batch, one recovery
+        assert len(results) == 2
+        assert all(r.source == "primary" for r in results)
+        assert engine.health("a") is LinkHealth.HEALTHY
+        assert engine.registry.counter("link_recovered_total").value == 1
+
+        engine.submit("a", 6.0, _row())
+        assert engine.flush()  # healthy link: flush must not count again
+        assert engine.registry.counter("link_recovered_total").value == 1
+
+    def test_flush_counts_one_recovery_per_degraded_link(self):
+        engine = InferenceEngine(
+            FailNTimesEstimator(n=1),
+            max_batch=2,
+            max_latency_ms=None,
+            fallback=PriorFallback(prior=0.8),
+        )
+        engine.submit("a", 0.0, _row())
+        engine.submit("b", 0.5, _row())  # full batch -> both links degrade
+        assert engine.health("a") is LinkHealth.DEGRADED
+        assert engine.health("b") is LinkHealth.DEGRADED
+
+        engine.submit("a", 1.0, _row())
+        results = engine.submit("b", 1.5, _row())
+        if not results:
+            results = engine.flush()
+        assert all(r.source == "primary" for r in results)
+        assert engine.registry.counter("link_recovered_total").value == 2
+
     def test_stale_degraded_link_recovers_with_fresh_frames(self):
         engine = InferenceEngine(
             ConstantEstimator(),

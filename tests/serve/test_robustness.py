@@ -46,3 +46,28 @@ class TestEnvThresholdFallback:
     def test_rejects_non_positive_scale(self):
         with pytest.raises(ConfigurationError):
             EnvThresholdFallback(scale_c=0.0)
+
+    def test_exactly_at_threshold_reads_occupied(self):
+        # 21.5 C exactly -> z = 0 -> p = 0.5; the >= 0.5 decision rule
+        # resolves the boundary toward "occupied".
+        rows = np.hstack([np.ones((1, 64)), [[21.5, 50.0]]])
+        fallback = EnvThresholdFallback()
+        assert fallback.predict_proba(rows)[0] == pytest.approx(0.5)
+        assert fallback.predict(rows)[0] == 1
+
+    def test_width_65_rows_rejected_not_silently_missing_humidity(self):
+        # One column short of the 64+2 layout: slice(64, 66) on width 65
+        # is *non-empty* (it yields column 64 alone), so only the explicit
+        # stop > width check stands between us and reading humidity as
+        # temperature.  Pin it.
+        with pytest.raises(ShapeError, match="width 65"):
+            EnvThresholdFallback().predict_proba(np.ones((1, 65)))
+
+    def test_width_66_is_the_minimum_accepted(self):
+        rows = np.hstack([np.ones((1, 64)), [[25.0, 50.0]]])
+        assert EnvThresholdFallback().predict_proba(rows).shape == (1,)
+
+    def test_extra_trailing_columns_do_not_shift_the_env_read(self):
+        # Wider rows are fine as long as T/H still sit at 64:66.
+        rows = np.hstack([np.ones((1, 64)), [[25.0, 50.0, 99.0, -3.0]]])
+        assert EnvThresholdFallback().predict_proba(rows)[0] > 0.9

@@ -40,6 +40,7 @@ class TestParser:
             ["footprint", "--inputs", "64"],
             ["serve-bench", "--hours", "0.5", "--model", "logistic"],
             ["chaos-bench", "--hours", "0.5", "--scenario", "baseline"],
+            ["guard-bench", "--hours", "0.5", "--links", "2"],
         ],
     )
     def test_all_commands_parse(self, argv):
@@ -54,9 +55,11 @@ class TestParser:
             (["table5", "d.npz"], "seed", 2022),
             (["serve-bench"], "seed", 2022),
             (["chaos-bench"], "seed", 2022),
+            (["guard-bench"], "seed", 2022),
             (["generate"], "rate", 0.5),
             (["serve-bench"], "rate", 0.5),
             (["chaos-bench"], "rate", 0.5),
+            (["guard-bench"], "rate", 0.5),
         ]:
             assert getattr(parser.parse_args(argv), attr) == default
 
@@ -141,6 +144,30 @@ class TestCommands:
         assert "baseline" in out and "model-crash" in out
         assert "every admitted frame was answered" in out
         assert "accuracy" in report_path.read_text()
+
+    def test_guard_bench_quick(self, tmp_path, capsys):
+        report_path = tmp_path / "guard.txt"
+        stats_path = tmp_path / "reference.npz"
+        code = main([
+            "guard-bench", "--hours", "0.2", "--rate", "0.5",
+            "--max-batch", "16", "--stats", str(stats_path),
+            "--output", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guard off then on" in out
+        assert "cov on" in out
+        assert "zero unaccounted frames" in out
+        assert "cov off" in report_path.read_text()
+        # --stats persists the training reference for deployment reuse
+        from repro.guard import ReferenceStats
+
+        assert ReferenceStats.load(stats_path).n_features > 0
+
+    def test_guard_bench_rejects_bad_links(self, capsys):
+        code = main(["guard-bench", "--hours", "0.2", "--links", "0"])
+        assert code == 2
+        assert "--links" in capsys.readouterr().err
 
     def test_chaos_bench_unknown_scenario(self, capsys):
         code = main([

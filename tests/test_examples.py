@@ -26,6 +26,7 @@ def test_expected_examples_present():
         "activity_and_counting.py",
         "streaming_service.py",
         "chaos_drill.py",
+        "self_healing_service.py",
     } <= names
 
 
