@@ -11,7 +11,9 @@
 * ``serve-bench`` — per-frame vs. micro-batched serving throughput;
 * ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite;
 * ``guard-bench`` — the self-healing ablation: chaos suite with the
-  guard stack off vs on, plus an exact frame-ledger reconciliation.
+  guard stack off vs on, plus an exact frame-ledger reconciliation;
+* ``obs-report`` — render a trace dump (``--trace-dump`` on the bench
+  commands) back into per-stage latency tables and the event-log tail.
 
 Every command is a thin shell over the public API, so scripts and
 notebooks can do the same with imports.  Flags shared between
@@ -194,6 +196,47 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observer_factory(trace_dump: str | None):
+    """``name -> Observer`` factory when ``--trace-dump`` was given, else None."""
+    if not trace_dump:
+        return None
+    from .obs import Observer
+
+    return lambda name: Observer(label=name)
+
+
+def _write_trace_dump(trace_dump: str | None, observers: dict) -> None:
+    if not trace_dump:
+        return
+    from .obs import write_dump
+
+    path = write_dump(trace_dump, observers)
+    print(f"(trace dump written to {path}; render with `python -m repro obs-report {path}`)")
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from .exceptions import SerializationError
+    from .obs import load_dump, render_report
+
+    try:
+        dump = load_dump(args.dump)
+    except SerializationError as error:
+        print(f"obs-report: {error}", file=sys.stderr)
+        return 2
+    if args.prom:
+        blocks = [
+            run["prometheus"] for run in dump.get("runs", []) if run.get("prometheus")
+        ]
+        if not blocks:
+            print("obs-report: dump carries no Prometheus exposition "
+                  "(run was not registry-bound)", file=sys.stderr)
+            return 1
+        _emit("\n".join(blocks).rstrip("\n"), args.output)
+        return 0
+    _emit(render_report(dump, events_tail=args.events), args.output)
+    return 0
+
+
 def cmd_chaos_bench(args: argparse.Namespace) -> int:
     from .baselines.pipeline import ScaledLogistic
     from .core.detector import OccupancyDetector
@@ -248,8 +291,10 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         seed=args.seed,
         fallback=fallback,
+        observer_factory=_observer_factory(args.trace_dump),
     )
     _emit(report.describe(), args.output)
+    _write_trace_dump(args.trace_dump, report.observers)
     return 0
 
 
@@ -304,8 +349,10 @@ def cmd_guard_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         seed=args.seed,
         fallback=fallback,
+        observer_factory=_observer_factory(args.trace_dump),
     )
     _emit(report.describe(), args.output)
+    _write_trace_dump(args.trace_dump, report.guarded.observers)
     if report.unaccounted_total:
         print(f"guard-bench: {report.unaccounted_total} unaccounted frames",
               file=sys.stderr)
@@ -325,6 +372,12 @@ def _add_rate(parser: argparse.ArgumentParser) -> None:
 
 def _add_output(parser: argparse.ArgumentParser, default: str | None, help_text: str) -> None:
     parser.add_argument("--output", default=default, help=help_text)
+
+
+def _add_trace_dump(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-dump", metavar="PATH", default=None,
+                        help="trace the replay and write an obs dump here "
+                             "(render with `repro obs-report PATH`)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -404,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch flush size (default 32)")
     p.add_argument("--scenario", action="append", metavar="NAME",
                    help="run only this scenario (repeatable; default: all)")
+    _add_trace_dump(p)
     _add_rate(p)
     _add_seed(p)
     _add_output(p, None, "also write the chaos report to this path")
@@ -419,10 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", metavar="PATH", default=None,
                    help="also persist the training-fold reference statistics "
                         "(.npz) used by the drift sentinel")
+    _add_trace_dump(p)
     _add_rate(p)
     _add_seed(p)
     _add_output(p, None, "also write the ablation report to this path")
     p.set_defaults(func=cmd_guard_bench)
+
+    p = add_command("obs-report", "render a bench trace dump (ledger, stages, events)")
+    p.add_argument("dump", help="path to a dump written via --trace-dump")
+    p.add_argument("--events", type=int, default=20, metavar="N",
+                   help="event-log tail length per run (default 20)")
+    p.add_argument("--prom", action="store_true",
+                   help="print the stored Prometheus exposition instead of the report")
+    _add_output(p, None, "also write the rendered report to this path")
+    p.set_defaults(func=cmd_obs_report)
 
     return parser
 

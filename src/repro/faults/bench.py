@@ -200,9 +200,16 @@ class ChaosScenarioResult:
 
 @dataclass
 class ChaosBenchReport:
-    """All scenario results of one chaos-bench run."""
+    """All scenario results of one chaos-bench run.
+
+    When the run was traced (``observer_factory``), :attr:`observers`
+    maps scenario name → its :class:`~repro.obs.observer.Observer`, so
+    callers can dump per-scenario event logs and stage breakdowns via
+    :func:`repro.obs.write_dump`.
+    """
 
     results: list[ChaosScenarioResult]
+    observers: dict[str, object] = field(default_factory=dict)
 
     def result(self, name: str) -> ChaosScenarioResult:
         for r in self.results:
@@ -340,6 +347,7 @@ def run_chaos_bench(
     fallback: FallbackPredictor | None = None,
     include_env: bool = False,
     guard=None,
+    observer_factory=None,
 ) -> ChaosBenchReport:
     """Replay every scenario through a fresh engine; returns the report.
 
@@ -357,6 +365,11 @@ def run_chaos_bench(
     Repaired answers are scored against the *clean* campaign labels at
     their grid timestamps — a fill is "correct" when it matches what the
     lost frame would have been labelled.
+
+    ``observer_factory`` is an optional ``name -> Observer`` callable
+    (duck-typed; canonically ``lambda name: repro.obs.Observer(label=name)``).
+    When given, each scenario's engine runs fully traced and the built
+    observers come back on :attr:`ChaosBenchReport.observers`.
     """
     if n_links < 1:
         raise ConfigurationError("n_links must be >= 1")
@@ -374,6 +387,7 @@ def run_chaos_bench(
     clean_labels = {(f.link_id, f.t_s): f.label for f in frames}
 
     results: list[ChaosScenarioResult] = []
+    observers: dict[str, object] = {}
     for scenario in scenarios:
         clock = _StreamClock(t0)
         primary = estimator
@@ -385,6 +399,10 @@ def run_chaos_bench(
         validator = repairer = supervisor = None
         if guard is not None:
             validator, repairer, supervisor = guard.build(registry)
+        observer = None
+        if observer_factory is not None:
+            observer = observer_factory(scenario.name)
+            observers[scenario.name] = observer
         engine = InferenceEngine(
             primary,
             max_batch=max_batch,
@@ -398,6 +416,7 @@ def run_chaos_bench(
             validator=validator,
             repairer=repairer,
             supervisor=supervisor,
+            observer=observer,
         )
         schedule = ChaosSchedule(scenario.windows, seed=seed)
 
@@ -472,4 +491,4 @@ def run_chaos_bench(
                 n_drift_trip=int(counters.get("drift_trip_total", 0.0)),
             )
         )
-    return ChaosBenchReport(results)
+    return ChaosBenchReport(results, observers=observers)

@@ -122,6 +122,7 @@ def run_guard_bench(
     seed: int = 0,
     fallback=None,
     include_env: bool = True,
+    observer_factory=None,
 ) -> GuardBenchReport:
     """Replay the chaos suite with the guard off, then on; compare.
 
@@ -131,6 +132,12 @@ def run_guard_bench(
     Both replays share one ``seed`` so they see byte-identical fault
     streams, and the policy builds fresh components per scenario, so the
     whole ablation is deterministic.
+
+    ``observer_factory`` (``name -> Observer``) traces the *guarded*
+    replay only — that is the leg whose quarantine/repair/breaker events
+    the observability layer exists to explain; the bare baseline stays
+    untraced so the ablation's off-leg remains the zero-overhead
+    reference.  The observers land on ``report.guarded.observers``.
     """
     common = dict(
         scenarios=scenarios,
@@ -145,7 +152,9 @@ def run_guard_bench(
         include_env=include_env,
     )
     baseline = run_chaos_bench(estimator, dataset, guard=None, **common)
-    guarded = run_chaos_bench(estimator, dataset, guard=policy, **common)
+    guarded = run_chaos_bench(
+        estimator, dataset, guard=policy, observer_factory=observer_factory, **common
+    )
 
     comparisons = []
     for off in baseline.results:

@@ -67,6 +67,11 @@ class RecoverySupervisor:
         duck-typed).  May also be attached later via
         :meth:`bind_registry` — the engine does this so a supervisor
         built before the engine shares the engine's registry.
+    observer:
+        Optional event sink (an :class:`~repro.obs.observer.Observer`,
+        duck-typed).  When live, breaker transitions and drift state
+        changes land in the structured event log with stream-time
+        stamps; attached by the engine via :meth:`bind_observer`.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class RecoverySupervisor:
         sentinel: DriftSentinel | None = None,
         drift_action: str = "warn",
         registry=None,
+        observer=None,
     ) -> None:
         if drift_action not in ("warn", "fallback"):
             raise ValueError(f"drift_action must be 'warn' or 'fallback', got {drift_action!r}")
@@ -85,11 +91,17 @@ class RecoverySupervisor:
         self.sentinel = sentinel
         self.drift_action = drift_action
         self.registry = registry
+        self.observer = observer
 
     def bind_registry(self, registry) -> None:
         """Adopt the engine's metrics registry unless one was given."""
         if self.registry is None:
             self.registry = registry
+
+    def bind_observer(self, observer) -> None:
+        """Adopt the engine's observer unless one was given."""
+        if self.observer is None:
+            self.observer = observer
 
     def _inc(self, name: str, amount: float = 1.0) -> None:
         if self.registry is not None:
@@ -98,6 +110,11 @@ class RecoverySupervisor:
     def _set(self, name: str, value: float) -> None:
         if self.registry is not None:
             self.registry.gauge(name).set(value)
+
+    def _event(self, kind: str, t_s: float, **data) -> None:
+        observer = self.observer
+        if observer is not None and observer.enabled:
+            observer.emit(kind, t_s=t_s, **data)
 
     # --------------------------------------------------------------- routing
 
@@ -131,10 +148,19 @@ class RecoverySupervisor:
         if before is not after:
             if after is BreakerState.OPEN:
                 self._inc(f"{label}_breaker_opened_total")
+                self._event(
+                    "breaker.opened", now_s, breaker=label,
+                    trip_count=breaker.trip_count,
+                )
             elif after is BreakerState.CLOSED:
                 self._inc(f"{label}_breaker_closed_total")
+                self._event(
+                    "breaker.closed", now_s, breaker=label,
+                    recovery_count=breaker.recovery_count,
+                )
         if before is BreakerState.HALF_OPEN and ok:
             self._inc(f"{label}_breaker_probes_total")
+            self._event("breaker.probe", now_s, breaker=label, ok=True)
 
     def record_primary_success(self, now_s: float) -> None:
         self._feed(self.breaker, now_s, True, "primary")
@@ -158,8 +184,18 @@ class RecoverySupervisor:
         for event in events:
             if event.state is DriftState.TRIP:
                 self._inc("drift_trip_total")
+                self._event(
+                    "drift.trip", event.t_s,
+                    z=event.z_score, psi=event.psi_score,
+                    previous=event.previous.value,
+                )
             elif event.state is DriftState.WARN:
                 self._inc("drift_warn_total")
+                self._event(
+                    "drift.warn", event.t_s,
+                    z=event.z_score, psi=event.psi_score,
+                    previous=event.previous.value,
+                )
         self._set("drift_z_score", self.sentinel.z_score)
         self._set("drift_psi_score", self.sentinel.psi_score)
         order = {DriftState.OK: 0, DriftState.WARN: 1, DriftState.TRIP: 2}

@@ -204,6 +204,15 @@ class CheckpointCallback(TrainerCallback):
         Optional explosion threshold relative to the best monitored
         value (e.g. ``1e3``); ``None`` guards against non-finite losses
         only.
+    observer:
+        Optional event sink (duck-typed
+        :class:`~repro.obs.observer.Observer`; this module never imports
+        :mod:`repro.obs`).  When live, every save lands in the structured
+        event log as ``checkpoint.saved`` / ``checkpoint.best`` and a
+        divergence rollback as ``checkpoint.rollback``, each stamped with
+        the epoch index as its stream time and carrying *filenames* only
+        — never absolute paths, which would differ across machines and
+        break byte-identical dump comparison.
     """
 
     #: Filename of the best-validation checkpoint inside ``directory``.
@@ -218,6 +227,7 @@ class CheckpointCallback(TrainerCallback):
         monitor: str = "val_loss",
         guard: bool = True,
         divergence_factor: float | None = None,
+        observer=None,
     ) -> None:
         if keep_last < 1:
             raise ConfigurationError("keep_last must be >= 1")
@@ -230,11 +240,17 @@ class CheckpointCallback(TrainerCallback):
         self.monitor = monitor
         self.guard = guard
         self.divergence_factor = divergence_factor
+        self.observer = observer
         self.saved: list[Path] = []
         self.best_path: Path | None = None
         self.rollbacks = 0
         self.restored_from: Path | None = None
         self._best = np.inf
+
+    def _event(self, kind: str, epoch: int, **data) -> None:
+        observer = self.observer
+        if observer is not None and observer.enabled:
+            observer.emit(kind, t_s=float(epoch), **data)
 
     # ----------------------------------------------------------------- guard
 
@@ -249,7 +265,7 @@ class CheckpointCallback(TrainerCallback):
             return monitored > self.divergence_factor * self._best
         return False
 
-    def _rollback(self) -> bool:
+    def _rollback(self, epoch: int) -> bool:
         self.rollbacks += 1
         if self.saved:
             self.restored_from = self.saved[-1]
@@ -258,13 +274,18 @@ class CheckpointCallback(TrainerCallback):
                 optimizer=self.trainer.optimizer,
                 rng=self.trainer._rng,
             )
+        self._event(
+            "checkpoint.rollback", epoch,
+            restored_from=None if self.restored_from is None else self.restored_from.name,
+            rollbacks=self.rollbacks,
+        )
         return True  # stop the run
 
     # -------------------------------------------------------------- callback
 
     def on_epoch_end(self, epoch: int, logs: dict[str, float]) -> bool | None:
         if self.guard and self._diverged(logs):
-            return self._rollback()
+            return self._rollback(epoch)
         history = self.trainer.history
         if history is None:  # pragma: no cover - defensive
             raise ConfigurationError(
@@ -279,6 +300,7 @@ class CheckpointCallback(TrainerCallback):
             rng=self.trainer._rng,
         )
         self.saved.append(path)
+        self._event("checkpoint.saved", epoch, file=path.name)
         while len(self.saved) > self.keep_last:
             stale = self.saved.pop(0)
             stale.unlink(missing_ok=True)
@@ -292,6 +314,10 @@ class CheckpointCallback(TrainerCallback):
                 epoch=epoch,
                 history=history,
                 rng=self.trainer._rng,
+            )
+            self._event(
+                "checkpoint.best", epoch,
+                file=self.BEST_NAME, monitored=float(monitored),
             )
         return None
 

@@ -174,6 +174,7 @@ class Trainer:
         scheduler: "Scheduler | None" = None,
         callbacks: Sequence[TrainerCallback] | None = None,
         resume_from: "str | Path | None" = None,
+        observer=None,
         verbose: bool = False,
     ) -> TrainingHistory:
         """Full training run; returns the per-epoch history.
@@ -196,6 +197,13 @@ class Trainer:
         state is *not* checkpointed (the restored optimizer carries the
         checkpoint-time learning rate); re-create and fast-forward the
         scheduler when resuming a scheduled run.
+
+        ``observer`` is an optional event sink (duck-typed
+        :class:`~repro.obs.observer.Observer` — this module never imports
+        :mod:`repro.obs`).  When live, every epoch lands in the structured
+        event log as a ``train.epoch`` event stamped with the epoch index
+        as its stream time and carrying the losses — but *not* the wall
+        durations, which would break byte-identical replay.
         """
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
@@ -249,6 +257,12 @@ class Trainer:
                             stop = True
                             line += "  (early stop)"
             logs["duration_s"] = time.perf_counter() - epoch_start
+            if observer is not None and observer.enabled:
+                observer.emit(
+                    "train.epoch",
+                    t_s=float(epoch),
+                    **{k: v for k, v in logs.items() if k != "duration_s"},
+                )
             for callback in callbacks or ():
                 if callback.on_epoch_end(epoch, logs):
                     stop = True

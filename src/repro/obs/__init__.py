@@ -1,0 +1,59 @@
+"""Frame-level observability: trace spans, structured events, exposition.
+
+The serving stack (:mod:`repro.serve`) and the guard stack
+(:mod:`repro.guard`) count everything; this package makes them
+*accountable*.  Three layers, one facade:
+
+* :mod:`repro.obs.tracer` — per-frame **trace spans** keyed by the
+  monotonic frame id the engine assigns at ``submit``: wall-clock
+  milliseconds per pipeline stage (validate → repair → enqueue →
+  queue_wait → supervise → predict → emit) in a bounded ring, plus
+  lifetime stage histograms;
+* :mod:`repro.obs.events` — a bounded **structured event log** of typed,
+  stream-time-stamped records (quarantine verdicts, gap fills, breaker
+  transitions, fallback switches, checkpoint saves/rollbacks) whose
+  JSONL dump is byte-identical under same-seed replay;
+* :mod:`repro.obs.exposition` — Prometheus text exposition of any
+  :class:`~repro.serve.metrics.MetricsRegistry`, including the derived
+  ``stage_<name>_ms`` latency histograms the tracer feeds.
+
+:class:`~repro.obs.observer.Observer` bundles the sinks and owns the
+obs-side frame ledger; :data:`~repro.obs.observer.NULL_OBSERVER` is the
+zero-cost default every engine runs with unless handed a live observer.
+:mod:`repro.obs.report` round-trips observer state through JSON dump
+files and renders the ``obs-report`` CLI view.
+"""
+
+from .events import EVENT_KINDS, Event, EventLog
+from .exposition import QUANTILES, render_prometheus, sanitize_metric_name
+from .observer import NULL_OBSERVER, NullObserver, Observer
+from .report import (
+    DUMP_FORMAT,
+    build_dump,
+    load_dump,
+    render_report,
+    render_run,
+    write_dump,
+)
+from .tracer import STAGES, FrameTrace, FrameTracer
+
+__all__ = [
+    "DUMP_FORMAT",
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "FrameTrace",
+    "FrameTracer",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "QUANTILES",
+    "STAGES",
+    "build_dump",
+    "load_dump",
+    "render_prometheus",
+    "render_report",
+    "render_run",
+    "sanitize_metric_name",
+    "write_dump",
+]

@@ -1,0 +1,83 @@
+"""Prometheus text exposition of a :class:`~repro.serve.metrics.MetricsRegistry`.
+
+The registry's native ``report()`` is for humans at a terminal; scrapers
+want the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_.
+:func:`render_prometheus` maps the registry's three primitives onto it:
+
+* :class:`~repro.serve.metrics.Counter` → ``counter`` samples;
+* :class:`~repro.serve.metrics.Gauge` → ``gauge`` samples;
+* :class:`~repro.serve.metrics.Histogram` → a ``summary``: quantile
+  samples over the retained window plus lifetime-exact ``_sum``/``_count``
+  (matching the histogram's own windowed-percentiles / exact-totals split).
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``) and prefixed with a namespace, so
+``batch_latency_ms`` becomes ``repro_batch_latency_ms``.  Output is
+sorted by sample name — stable across runs for diffable scrapes.
+
+No HTTP server ships here: the renderer is the hard part, and serving the
+string from any framework (or writing it to a node-exporter textfile) is
+one line at the deployment edge.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Summary quantiles exported for every histogram.
+QUANTILES = ((0.5, 50.0), (0.95, 95.0), (0.99, 99.0))
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """Map an arbitrary registry name onto the Prometheus grammar."""
+    cleaned = _INVALID.sub("_", name)
+    if namespace:
+        cleaned = f"{_INVALID.sub('_', namespace)}_{cleaned}"
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry, namespace: str = "repro") -> str:
+    """The registry's current state in Prometheus text exposition format.
+
+    Accepts any object with ``counters``/``gauges``/``histograms``
+    mapping properties (canonically a
+    :class:`~repro.serve.metrics.MetricsRegistry`).  Returns the full
+    page, newline-terminated.
+    """
+    blocks: list[tuple[str, list[str]]] = []
+    for name, counter in registry.counters.items():
+        metric = sanitize_metric_name(name, namespace)
+        blocks.append(
+            (metric, [f"# TYPE {metric} counter", f"{metric} {_format_value(counter.value)}"])
+        )
+    for name, gauge in registry.gauges.items():
+        metric = sanitize_metric_name(name, namespace)
+        blocks.append(
+            (metric, [f"# TYPE {metric} gauge", f"{metric} {_format_value(gauge.value)}"])
+        )
+    for name, hist in registry.histograms.items():
+        metric = sanitize_metric_name(name, namespace)
+        lines = [f"# TYPE {metric} summary"]
+        for q, pct in QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_format_value(hist.percentile(pct))}'
+            )
+        lines.append(f"{metric}_sum {_format_value(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+        blocks.append((metric, lines))
+    blocks.sort(key=lambda block: block[0])
+    return "\n".join(line for _, lines in blocks for line in lines) + "\n"

@@ -1,0 +1,171 @@
+"""Trace dumps on disk and the ``obs-report`` renderer.
+
+A bench run (or a live engine at shutdown) serialises its
+:class:`~repro.obs.observer.Observer` state to one JSON **dump file**:
+
+.. code-block:: json
+
+    {"format": "repro-obs-dump-v1",
+     "runs": [{"label": "...", "ledger": {...}, "stages": {...},
+               "events_total": 0, "events_by_kind": {...},
+               "events": [...], "metrics": {...}, "prometheus": "..."}]}
+
+``runs`` is always a list so one file can carry a whole chaos campaign
+(one run per scenario).  :func:`render_report` turns a dump back into the
+operator view: per-run frame-ledger reconciliation, the per-stage
+wall-time breakdown (count / mean / p50 / p95 / max ms) and the tail of
+the structured event log — everything needed to answer "which frame went
+where, and what did it cost" from a file attached to a CI artifact.
+
+The ``events`` section of each run is deterministic under same-seed
+replay; ``stages``/``metrics``/``prometheus`` carry wall-clock numbers
+and are not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import ConfigurationError, SerializationError
+
+#: Format tag stored in every dump file.
+DUMP_FORMAT = "repro-obs-dump-v1"
+
+
+def build_dump(observers) -> dict:
+    """Assemble the dump dict from one observer, a list, or a name→observer map."""
+    if hasattr(observers, "dump"):
+        runs = [observers.dump()]
+    elif isinstance(observers, dict):
+        runs = []
+        for label, observer in observers.items():
+            run = observer.dump()
+            if run.get("label") is None:
+                run["label"] = label
+            runs.append(run)
+    else:
+        runs = [observer.dump() for observer in observers]
+    return {"format": DUMP_FORMAT, "runs": runs}
+
+
+def write_dump(path: str | Path, observers) -> Path:
+    """Serialise observers (or a prebuilt dump dict) to ``path`` as JSON."""
+    dump = (
+        observers
+        if isinstance(observers, dict) and observers.get("format") == DUMP_FORMAT
+        else build_dump(observers)
+    )
+    path = Path(path)
+    path.write_text(json.dumps(dump, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def load_dump(path: str | Path) -> dict:
+    """Read and validate a dump written by :func:`write_dump`."""
+    path = Path(path)
+    try:
+        dump = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SerializationError(f"cannot read obs dump {path}: {error}") from error
+    if not isinstance(dump, dict) or dump.get("format") != DUMP_FORMAT:
+        raise SerializationError(
+            f"{path} is not a {DUMP_FORMAT} dump "
+            f"(format={dump.get('format')!r})" if isinstance(dump, dict)
+            else f"{path} is not a {DUMP_FORMAT} dump"
+        )
+    if not isinstance(dump.get("runs"), list):
+        raise SerializationError(f"{path}: dump carries no 'runs' list")
+    return dump
+
+
+def _format_table(rows: list[dict[str, object]]) -> list[str]:
+    if not rows:
+        return []
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns}
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return lines
+
+
+def _render_stage_table(stages: dict) -> list[str]:
+    rows = []
+    for stage, s in stages.items():
+        rows.append(
+            {
+                "stage": stage,
+                "count": f"{s.get('count', float('nan')):g}",
+                "mean ms": f"{s.get('mean', float('nan')):.3f}",
+                "p50 ms": f"{s.get('p50', float('nan')):.3f}",
+                "p95 ms": f"{s.get('p95', float('nan')):.3f}",
+                "max ms": f"{s.get('max', float('nan')):.3f}",
+            }
+        )
+    return _format_table(rows)
+
+
+def _render_event(event: dict) -> str:
+    parts = [f"[{event.get('seq', '?'):>6}]", f"t={event.get('t_s', float('nan')):.3f}s"]
+    parts.append(str(event.get("kind", "?")))
+    if event.get("frame_id") is not None:
+        parts.append(f"frame={event['frame_id']}")
+    if event.get("link_id") is not None:
+        parts.append(f"link={event['link_id']}")
+    data = event.get("data") or {}
+    parts.extend(f"{key}={data[key]}" for key in sorted(data))
+    return " ".join(parts)
+
+
+def render_run(run: dict, *, events_tail: int = 20) -> str:
+    """One run's operator view: ledger, stage breakdown, event tail."""
+    if events_tail < 0:
+        raise ConfigurationError("events_tail must be >= 0")
+    label = run.get("label") or "(unlabelled run)"
+    lines = [f"== {label} =="]
+
+    ledger = run.get("ledger") or {}
+    if ledger:
+        lines.append(
+            "frame ledger: "
+            + "  ".join(f"{key}={ledger[key]}" for key in ledger)
+        )
+        unaccounted = int(ledger.get("unaccounted", 0)) + int(ledger.get("pending", 0))
+        lines.append(
+            "ledger reconciles: every frame accounted for"
+            if unaccounted == 0
+            else f"WARNING: {unaccounted} frame(s) pending or unaccounted"
+        )
+
+    stages = run.get("stages") or {}
+    if stages:
+        lines.append("")
+        lines.append("per-stage wall time:")
+        lines.extend("  " + line for line in _render_stage_table(stages))
+
+    total = run.get("events_total", 0)
+    events = run.get("events") or []
+    by_kind = run.get("events_by_kind") or {}
+    lines.append("")
+    lines.append(
+        f"event log: {total} event(s) lifetime, {len(events)} retained"
+        + (
+            " (" + ", ".join(f"{k}={by_kind[k]}" for k in sorted(by_kind)) + ")"
+            if by_kind
+            else ""
+        )
+    )
+    tail = events[-events_tail:] if events_tail else []
+    if tail:
+        lines.append(f"last {len(tail)} event(s):")
+        lines.extend("  " + _render_event(event) for event in tail)
+    return "\n".join(lines)
+
+
+def render_report(dump: dict, *, events_tail: int = 20) -> str:
+    """The full ``obs-report`` text for one dump (all runs)."""
+    runs = dump.get("runs") or []
+    if not runs:
+        return "obs-report: dump carries no runs"
+    return "\n\n".join(render_run(run, events_tail=events_tail) for run in runs)

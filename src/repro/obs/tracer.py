@@ -1,0 +1,173 @@
+"""Frame-level trace spans: where did each frame's time actually go?
+
+The serving engine's aggregate histograms say a batch took 3 ms; they
+cannot say that frame 8231 spent 40 ms waiting in the queue, 2 ms in the
+validator and 1 ms in predict before the debouncer emitted its state.
+:class:`FrameTracer` records exactly that: per frame (keyed by the
+monotonic frame id :meth:`~repro.serve.engine.InferenceEngine.submit`
+assigns), a map of pipeline stage → wall-clock milliseconds, plus the
+frame's terminal outcome.
+
+Two sinks, two contracts:
+
+* a bounded ring of :class:`FrameTrace` records (drop-oldest) for
+  per-frame postmortems — wall-clock timings, explicitly **outside** the
+  byte-identical determinism guarantee of the event log;
+* per-stage :class:`~repro.serve.metrics.Histogram` aggregates, exact
+  over the run's lifetime, which also mirror into a bound
+  :class:`~repro.serve.metrics.MetricsRegistry` as ``stage_<name>_ms``
+  so they ride along in the Prometheus exposition and ``obs-report``.
+
+The tracer is only ever touched behind the engine's
+``observer.enabled`` check — a disabled (null) observer keeps the hot
+path free of ``perf_counter`` calls entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+
+def _new_histogram():
+    # Deferred: the engine imports repro.obs at module level, so an eager
+    # import of repro.serve.metrics here would complete a cycle whenever
+    # repro.obs loads first.
+    from ..serve.metrics import Histogram
+
+    return Histogram()
+
+#: Pipeline stages in hot-path order.  ``queue_wait`` is the span between
+#: enqueue and batch drain; ``predict``/``supervise`` are batch-level and
+#: attributed whole to every frame in the batch (each frame really did
+#: wait the full batch call).
+STAGES = (
+    "validate",
+    "repair",
+    "enqueue",
+    "queue_wait",
+    "supervise",
+    "predict",
+    "emit",
+)
+
+
+@dataclass
+class FrameTrace:
+    """One frame's journey: stage → wall ms, plus the terminal outcome."""
+
+    frame_id: int
+    link_id: str
+    t_s: float
+    #: True for synthetic gap-fill frames.
+    repaired: bool = False
+    #: Stage name → wall-clock milliseconds spent in that stage.
+    stages: dict[str, float] = field(default_factory=dict)
+    #: ``answered`` / ``rejected`` / ``quarantined`` / ``policy_rejected``
+    #: / ``stale`` / ``overflow``; ``None`` while still in flight.
+    outcome: str | None = None
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.stages.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "frame_id": self.frame_id,
+            "link_id": self.link_id,
+            "t_s": self.t_s,
+            "repaired": self.repaired,
+            "outcome": self.outcome,
+            "stages": dict(self.stages),
+        }
+
+
+class FrameTracer:
+    """Bounded per-frame span recorder plus lifetime stage histograms."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: dict[int, FrameTrace] = {}
+        self._enqueued_at: dict[int, float] = {}
+        self._stage_hist: dict = {}
+        self._registry = None
+        #: Lifetime counts (exact under ring eviction).
+        self.started = 0
+        self.finished = 0
+
+    def bind_registry(self, registry) -> None:
+        """Mirror stage timings into ``stage_<name>_ms`` registry histograms."""
+        if self._registry is None:
+            self._registry = registry
+
+    # ---------------------------------------------------------------- spans
+
+    def start(self, frame_id: int, link_id: str, t_s: float, *, repaired: bool = False) -> None:
+        """Open a trace for one frame (evicting the oldest at capacity)."""
+        if len(self._traces) >= self.capacity:
+            # dicts preserve insertion order: the first key is the oldest.
+            self._traces.pop(next(iter(self._traces)))
+        self._traces[frame_id] = FrameTrace(frame_id, link_id, float(t_s), repaired=repaired)
+        self.started += 1
+
+    def add_stage(self, frame_id: int, stage: str, wall_ms: float) -> None:
+        """Record wall time for one stage of one frame.
+
+        The lifetime histogram is always fed; the per-frame record only
+        when the trace is still retained in the ring.
+        """
+        wall_ms = float(wall_ms)
+        hist = self._stage_hist.get(stage)
+        if hist is None:
+            hist = self._stage_hist[stage] = _new_histogram()
+        hist.observe(wall_ms)
+        if self._registry is not None:
+            self._registry.histogram(f"stage_{stage}_ms").observe(wall_ms)
+        trace = self._traces.get(frame_id)
+        if trace is not None:
+            trace.stages[stage] = trace.stages.get(stage, 0.0) + wall_ms
+
+    def mark_enqueued(self, frame_id: int) -> None:
+        """Stamp the enqueue wall clock; closed later by :meth:`queue_wait`."""
+        self._enqueued_at[frame_id] = time.perf_counter()
+
+    def queue_wait(self, frame_id: int) -> None:
+        """Close the enqueue→drain span as the ``queue_wait`` stage."""
+        t0 = self._enqueued_at.pop(frame_id, None)
+        if t0 is not None:
+            self.add_stage(frame_id, "queue_wait", 1000.0 * (time.perf_counter() - t0))
+
+    def finish(self, frame_id: int, outcome: str) -> None:
+        """Seal a frame's trace with its terminal outcome."""
+        self._enqueued_at.pop(frame_id, None)  # overflow/stale never drain
+        self.finished += 1
+        trace = self._traces.get(frame_id)
+        if trace is not None:
+            trace.outcome = outcome
+
+    # ------------------------------------------------------------- read side
+
+    @property
+    def open_frames(self) -> int:
+        """Frames started but not yet finished (still in the pipeline)."""
+        return self.started - self.finished
+
+    def trace(self, frame_id: int) -> FrameTrace | None:
+        """The retained trace for one frame id (None once evicted)."""
+        return self._traces.get(frame_id)
+
+    def traces(self) -> list[FrameTrace]:
+        """All retained traces, oldest first."""
+        return list(self._traces.values())
+
+    def stage_summary(self) -> dict[str, dict[str, float]]:
+        """Per-stage latency summary (count/mean/p50/p95/max), hot-path order."""
+        order = {name: i for i, name in enumerate(STAGES)}
+        return {
+            stage: self._stage_hist[stage].summary()
+            for stage in sorted(self._stage_hist, key=lambda s: (order.get(s, len(order)), s))
+        }

@@ -14,6 +14,12 @@ loop around any :class:`~repro.core.estimator.Estimator`:
   shared with the training loop;
 * :mod:`repro.serve.bench` — the ``serve-bench`` harness comparing
   per-frame and micro-batched throughput.
+
+Frame-level tracing lives one package over, in :mod:`repro.obs`: pass
+``InferenceEngine(..., observer=Observer())`` to record per-stage spans
+and structured events.  The default is the no-op
+:data:`~repro.obs.NULL_OBSERVER` — every instrumentation site is gated
+on ``observer.enabled``, so an untraced engine does no timing work.
 """
 
 from .bench import ServeBenchReport, run_serve_bench

@@ -39,6 +39,20 @@ The engine optionally composes with the :mod:`repro.guard` subsystem:
   built without guard components behaves exactly as before.
 
 Every decision increments the engine's :class:`~repro.serve.metrics.MetricsRegistry`.
+
+Accountability goes beyond counters: ``submit`` assigns every frame a
+monotonic **frame id** (threaded through
+:class:`~repro.serve.queue.PendingFrame` to :class:`InferenceResult`),
+and when a live :class:`~repro.obs.observer.Observer` is attached the
+engine records per-frame trace spans (wall time per stage: validate →
+repair → enqueue → queue_wait → supervise → predict → emit) and emits
+structured, stream-time-stamped events for every quarantine, gap fill,
+overflow eviction, stale drop, batch flush, policy rejection and link
+recovery.  The default observer is the no-op
+:data:`~repro.obs.observer.NULL_OBSERVER`; every timing block hides
+behind its ``enabled`` flag, so an untraced engine performs no clock
+reads beyond the pre-existing batch-latency measurement and tier-1
+throughput is untouched.
 """
 
 from __future__ import annotations
@@ -54,6 +68,7 @@ from ..exceptions import ConfigurationError, ServingError, ShapeError, StreamErr
 from ..guard.repair import GapRepairer
 from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import FrameValidator, QuarantineBuffer, QuarantinedFrame
+from ..obs.observer import NULL_OBSERVER
 from .metrics import MetricsRegistry
 from .queue import MicroBatchQueue, PendingFrame
 from .robustness import FallbackPredictor, LinkHealth, PriorFallback
@@ -72,6 +87,9 @@ class InferenceResult:
     source: str
     #: True when the frame was synthesised by the gap repairer.
     repaired: bool = False
+    #: The monotonic id ``submit`` assigned to this frame — the key that
+    #: joins the result to its trace spans and events in :mod:`repro.obs`.
+    frame_id: int = -1
 
 
 class _LinkState:
@@ -130,6 +148,11 @@ class InferenceEngine:
     quarantine:
         Holding pen for refused frames; auto-created when a validator is
         supplied without one.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` receiving per-frame
+        trace spans and structured events.  Defaults to the no-op
+        :data:`~repro.obs.observer.NULL_OBSERVER` (zero-cost: no clock
+        reads, no allocations on the hot path).
     """
 
     def __init__(
@@ -148,6 +171,7 @@ class InferenceEngine:
         repairer: GapRepairer | None = None,
         supervisor: RecoverySupervisor | None = None,
         quarantine: QuarantineBuffer | None = None,
+        observer=None,
     ) -> None:
         validate_estimator(estimator, require=("predict_proba",))
         if stale_after_s is not None and stale_after_s <= 0:
@@ -168,11 +192,15 @@ class InferenceEngine:
         self.repairer = repairer
         self.supervisor = supervisor if supervisor is not None else RecoverySupervisor()
         self.supervisor.bind_registry(self.registry)
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.observer.bind_registry(self.registry)
+        self.supervisor.bind_observer(self.observer)
         if quarantine is None and validator is not None:
             quarantine = QuarantineBuffer()
         self.quarantine = quarantine
         self._links: dict[str, _LinkState] = {}
         self._now_s = -np.inf
+        self._frame_seq = 0
 
     # ---------------------------------------------------------------- links
 
@@ -213,39 +241,83 @@ class InferenceEngine:
         ``repaired``.
         """
         link = self._link(link_id)
+        obs = self.observer
+        tracing = obs.enabled
+        frame_id = self._frame_seq
+        self._frame_seq += 1
+        t_f = float(t_s)
+        if tracing:
+            obs.frame_submitted(frame_id, link_id, t_f)
         try:
             csi_row = check_csi_row(csi_row)
         except (ShapeError, StreamError):
             link.rejected += 1
             self.registry.counter("frames_rejected").inc()
+            if tracing:
+                obs.frame_outcome("rejected", frame_id, link_id, t_f, gate="shape")
             return []
         if self.validator is not None:
-            failure = self.validator.validate(link_id, float(t_s), csi_row)
+            if tracing:
+                t0 = time.perf_counter()
+            failure = self.validator.validate(link_id, t_f, csi_row)
+            if tracing:
+                obs.tracer.add_stage(
+                    frame_id, "validate", 1000.0 * (time.perf_counter() - t0)
+                )
             if failure is not None:
                 link.quarantined += 1
                 self.registry.counter("frames_quarantined").inc()
                 self.quarantine.add(
-                    QuarantinedFrame(link_id, float(t_s), csi_row, failure)
+                    QuarantinedFrame(link_id, t_f, csi_row, failure)
                 )
+                if tracing:
+                    obs.frame_outcome(
+                        "quarantined", frame_id, link_id, t_f, check=failure.check
+                    )
                 return []
         link.frames_in += 1
         self.registry.counter("frames_in").inc()
-        self._now_s = max(self._now_s, float(t_s))
+        self._now_s = max(self._now_s, t_f)
 
-        pending = [PendingFrame(link_id, float(t_s), csi_row)]
+        pending = [PendingFrame(link_id, t_f, csi_row, frame_id=frame_id)]
         if self.repairer is not None:
-            fills = self.repairer.observe(link_id, float(t_s), csi_row)
+            if tracing:
+                t0 = time.perf_counter()
+            fills = self.repairer.observe(link_id, t_f, csi_row)
+            if tracing:
+                obs.tracer.add_stage(
+                    frame_id, "repair", 1000.0 * (time.perf_counter() - t0)
+                )
             if fills:
                 link.repaired += len(fills)
                 self.registry.counter("frames_repaired").inc(len(fills))
-                pending = [
-                    PendingFrame(link_id, fill.t_s, fill.row, repaired=True)
-                    for fill in fills
-                ] + pending
+                filled: list[PendingFrame] = []
+                for fill in fills:
+                    fill_id = self._frame_seq
+                    self._frame_seq += 1
+                    filled.append(
+                        PendingFrame(
+                            link_id, fill.t_s, fill.row, repaired=True, frame_id=fill_id
+                        )
+                    )
+                    if tracing:
+                        obs.frame_filled(fill_id, link_id, fill.t_s, source_frame=frame_id)
+                pending = filled + pending
         for frame in pending:
+            if tracing:
+                t0 = time.perf_counter()
             evicted = self.queue.push(frame)
             if evicted is not None:
                 self.registry.counter("frames_dropped_overflow").inc()
+                if tracing:
+                    obs.frame_outcome(
+                        "overflow", evicted.frame_id, evicted.link_id, evicted.t_s
+                    )
+            if tracing:
+                obs.tracer.add_stage(
+                    frame.frame_id, "enqueue", 1000.0 * (time.perf_counter() - t0)
+                )
+                obs.tracer.mark_enqueued(frame.frame_id)
         self.registry.gauge("queue_depth").set(self.queue.depth)
         self.registry.histogram("queue_depth_dist").observe(self.queue.depth)
 
@@ -266,6 +338,7 @@ class InferenceEngine:
     def _drop_stale(self, frames: list[PendingFrame]) -> list[PendingFrame]:
         if self.stale_after_s is None:
             return frames
+        obs = self.observer
         fresh: list[PendingFrame] = []
         for frame in frames:
             if self._now_s - frame.t_s > self.stale_after_s:
@@ -273,6 +346,14 @@ class InferenceEngine:
                 link.stale_dropped += 1
                 link.health = LinkHealth.DEGRADED
                 self.registry.counter("frames_dropped_stale").inc()
+                if obs.enabled:
+                    obs.frame_outcome(
+                        "stale",
+                        frame.frame_id,
+                        frame.link_id,
+                        frame.t_s,
+                        age_s=self._now_s - frame.t_s,
+                    )
             else:
                 fresh.append(frame)
         return fresh
@@ -310,8 +391,18 @@ class InferenceEngine:
         self.registry.gauge("queue_depth").set(self.queue.depth)
         if not frames:
             return []
+        obs = self.observer
+        tracing = obs.enabled
+        if tracing:
+            for frame in frames:
+                obs.tracer.queue_wait(frame.frame_id)
+            t0 = time.perf_counter()
         x = np.stack([frame.csi for frame in frames])
         self.supervisor.observe(x, self._now_s)
+        if tracing:
+            supervise_ms = 1000.0 * (time.perf_counter() - t0)
+            for frame in frames:
+                obs.tracer.add_stage(frame.frame_id, "supervise", supervise_ms)
 
         start = time.perf_counter()
         predicted = self._predict(x)
@@ -331,6 +422,13 @@ class InferenceEngine:
         self.registry.counter("frames_out").inc(len(frames))
         if source == "fallback":
             self.registry.counter("fallback_frames").inc(len(frames))
+        if tracing:
+            # Every frame in the batch really did wait out the whole
+            # predict call, so each gets the full batch latency.
+            for frame in frames:
+                obs.tracer.add_stage(frame.frame_id, "predict", latency_ms)
+            obs.emit("batch.flush", t_s=self._now_s, n=len(frames), source=source)
+            emit_t0 = time.perf_counter()
 
         results: list[InferenceResult] = []
         for frame, p in zip(frames, probabilities):
@@ -341,6 +439,13 @@ class InferenceEngine:
             new_health, recovered = self.supervisor.resolve_health(link.health, source)
             if recovered:
                 self.registry.counter("link_recovered_total").inc()
+                if tracing:
+                    obs.emit(
+                        "link.recovered",
+                        t_s=frame.t_s,
+                        frame_id=frame.frame_id,
+                        link_id=frame.link_id,
+                    )
             link.health = new_health
             flipped = link.debouncer.update(int(p >= 0.5))
             transition = None
@@ -356,15 +461,38 @@ class InferenceEngine:
                     transition=transition,
                     source=source,
                     repaired=frame.repaired,
+                    frame_id=frame.frame_id,
                 )
             )
+            if tracing:
+                obs.frame_outcome(
+                    "answered",
+                    frame.frame_id,
+                    frame.link_id,
+                    frame.t_s,
+                    source=source,
+                    repaired=frame.repaired,
+                )
+        if tracing:
+            # The emit loop is one pass over the batch; attribute each
+            # frame its share so per-stage sums stay comparable.
+            emit_ms = 1000.0 * (time.perf_counter() - emit_t0) / len(frames)
+            for frame in frames:
+                obs.tracer.add_stage(frame.frame_id, "emit", emit_ms)
         return results
 
     def _reject_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:
         """Both tiers circuit-broken: shed the batch, mark links DEGRADED."""
         self.registry.counter("frames_rejected_policy").inc(len(frames))
+        obs = self.observer
+        if obs.enabled:
+            obs.emit("batch.rejected", t_s=self._now_s, n=len(frames))
         for frame in frames:
             link = self._link(frame.link_id)
             link.policy_rejected += 1
             link.health = LinkHealth.DEGRADED
+            if obs.enabled:
+                obs.frame_outcome(
+                    "policy_rejected", frame.frame_id, frame.link_id, frame.t_s
+                )
         return []

@@ -84,6 +84,16 @@ class Histogram:
             return float("nan")
         return float(np.percentile(self._samples, q))
 
+    def values(self) -> list[float]:
+        """The retained window in observation order (oldest first).
+
+        Before the ring wraps this is simply the samples as observed;
+        after wrapping, the oldest surviving sample leads.  Summary
+        percentiles/``max`` are computed over exactly this window, while
+        ``count``/``total`` keep counting evicted samples.
+        """
+        return self._samples[self._write :] + self._samples[: self._write]
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -130,6 +140,25 @@ class MetricsRegistry:
         return self._get_or_create(
             self._histograms, name, lambda: Histogram(max_samples)
         )
+
+    # Read-only views by kind: the Prometheus exposition renderer
+    # (:mod:`repro.obs.exposition`) needs to know counter from gauge,
+    # which the flat ``as_dict`` snapshot erases.
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        """Snapshot copy of the registered counters by name."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        """Snapshot copy of the registered gauges by name."""
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """Snapshot copy of the registered histograms by name."""
+        return dict(self._histograms)
 
     def as_dict(self) -> dict[str, object]:
         """Flat snapshot: counters/gauges -> float, histograms -> summary."""

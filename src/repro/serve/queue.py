@@ -40,6 +40,10 @@ class PendingFrame:
     #: rides through to :class:`~repro.serve.engine.InferenceResult` so
     #: downstream consumers can always separate measured from filled.
     repaired: bool = False
+    #: Monotonic id assigned by :meth:`~repro.serve.engine.InferenceEngine.submit`
+    #: (-1 for frames built outside an engine).  The id keys the frame's
+    #: trace spans and structured events in :mod:`repro.obs`.
+    frame_id: int = -1
 
 
 class MicroBatchQueue:

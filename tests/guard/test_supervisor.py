@@ -139,3 +139,61 @@ class TestHealthAndBinding:
         assert snap["fallback_breaker"] is None
         assert snap["drift_state"] is None
         assert snap["drift_action"] == "warn"
+
+
+class TestObserverEvents:
+    def test_breaker_transitions_land_in_the_event_log(self):
+        from repro.obs import Observer
+
+        obs = Observer(label="t")
+        supervisor = RecoverySupervisor(breaker=_breaker(), observer=obs)
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)   # trips OPEN
+        assert obs.events.count("breaker.opened") == 1
+        opened = obs.events.tail(1)[0]
+        assert opened.data == {"breaker": "primary", "trip_count": 1}
+        assert opened.t_s == 1.0
+        # Cooldown elapses; decide() lets a probe through (HALF_OPEN) and
+        # its success closes the breaker.
+        assert supervisor.decide(12.0) is ServingMode.PRIMARY
+        supervisor.record_primary_success(12.0)
+        assert obs.events.count("breaker.probe") == 1
+        assert obs.events.count("breaker.closed") == 1
+        closed = next(e for e in obs.events if e.kind == "breaker.closed")
+        assert closed.data == {"breaker": "primary", "recovery_count": 1}
+
+    def test_drift_events_carry_scores(self):
+        from repro.obs import Observer
+
+        obs = Observer(label="t")
+        sentinel = DriftSentinel(
+            _reference(), warn_z=1.0, trip_z=2.0, warn_psi=0.5, trip_psi=1.0,
+            window=32, check_every=16,
+        )
+        supervisor = RecoverySupervisor(sentinel=sentinel, observer=obs)
+        rng = np.random.default_rng(1)
+        t = 0.0
+        # One shifted row per observe() so the EWMA ramps through WARN
+        # before TRIP instead of jumping both thresholds in one batch.
+        while obs.events.count("drift.trip") == 0 and t < 200.0:
+            supervisor.observe(rng.normal(25.0, 1.0, size=(1, 2)), t)
+            t += 1.0
+        assert obs.events.count("drift.warn") >= 1
+        assert obs.events.count("drift.trip") == 1
+        trip = next(e for e in obs.events if e.kind == "drift.trip")
+        assert set(trip.data) == {"z", "psi", "previous"}
+        assert trip.data["previous"] == "warn"
+        assert trip.data["z"] >= 2.0
+
+    def test_bind_observer_does_not_clobber_an_explicit_one(self):
+        from repro.obs import Observer
+
+        mine = Observer(label="mine")
+        supervisor = RecoverySupervisor(breaker=_breaker(), observer=mine)
+        supervisor.bind_observer(Observer(label="other"))
+        assert supervisor.observer is mine
+
+    def test_no_observer_is_safe(self):
+        supervisor = RecoverySupervisor(breaker=_breaker())
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_primary_failure(1.0)  # must not raise

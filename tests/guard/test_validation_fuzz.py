@@ -1,0 +1,174 @@
+"""Property-based fuzzing of the frame-check chain and quarantine ledger.
+
+Hand-rolled seeded-RNG generators (no hypothesis dependency): thousands
+of adversarial rows — NaN/Inf spikes, ragged widths, wrong dimensions,
+out-of-order timestamps, non-numeric junk — driven through the full
+:class:`FrameValidator` chain.  The properties under test:
+
+* ``validate`` never raises, whatever the row (first failure wins or the
+  row passes);
+* the raising form ``check`` only ever raises ``ValidationError``;
+* the quarantine ledger reconciles exactly under ring eviction:
+  lifetime ``total`` == sum of per-check counts == refusals fed in,
+  while the retained window never exceeds capacity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.guard.validation import (
+    AmplitudeRangeCheck,
+    EnvPlausibilityCheck,
+    FiniteCheck,
+    FrameValidator,
+    QuarantineBuffer,
+    QuarantinedFrame,
+    SubcarrierCountCheck,
+    TimestampMonotonicityCheck,
+)
+
+N_FEATURES = 16
+
+
+def _full_chain() -> FrameValidator:
+    # Amplitude envelope: tight over the CSI columns, wide over the T/H
+    # tail so implausible-but-in-range env rows reach the env check.
+    low = np.full(N_FEATURES, -10.0)
+    high = np.full(N_FEATURES, 10.0)
+    low[-2:], high[-2:] = -500.0, 500.0
+    return FrameValidator(
+        [
+            SubcarrierCountCheck(N_FEATURES),
+            FiniteCheck(),
+            AmplitudeRangeCheck(low=low, high=high),
+            TimestampMonotonicityCheck(tolerance_s=2.0),
+            EnvPlausibilityCheck(env_slice=slice(N_FEATURES - 2, N_FEATURES)),
+        ]
+    )
+
+
+def _adversarial_row(rng: np.random.Generator):
+    """One random row drawn from a zoo of malformed and healthy shapes."""
+    kind = rng.integers(0, 8)
+    if kind == 0:  # healthy
+        row = rng.normal(scale=2.0, size=N_FEATURES)
+        row[-2:] = (22.0, 45.0)
+        return row
+    if kind == 1:  # NaN/Inf spikes
+        row = rng.normal(size=N_FEATURES)
+        idx = rng.integers(0, N_FEATURES, size=rng.integers(1, 4))
+        row[idx] = rng.choice([np.nan, np.inf, -np.inf])
+        return row
+    if kind == 2:  # ragged width
+        return rng.normal(size=int(rng.integers(0, 3 * N_FEATURES)))
+    if kind == 3:  # wrong dimensionality
+        return rng.normal(size=(int(rng.integers(1, 4)), N_FEATURES))
+    if kind == 4:  # amplitude blow-up
+        row = rng.normal(size=N_FEATURES)
+        row[rng.integers(0, N_FEATURES)] = float(rng.choice([-1.0, 1.0])) * 10.0 ** rng.integers(2, 30)
+        return row
+    if kind == 5:  # implausible environment columns
+        row = rng.normal(size=N_FEATURES)
+        row[-2:] = (float(rng.uniform(-200, 200)), float(rng.uniform(-50, 300)))
+        return row
+    if kind == 6:  # non-numeric junk
+        return rng.choice(
+            np.array(["junk", None, object()], dtype=object),
+            size=rng.integers(1, N_FEATURES + 1),
+        )
+    return np.array([])  # empty
+
+
+class TestValidateNeverRaises:
+    def test_fuzzed_rows_never_escape_the_chain(self):
+        rng = np.random.default_rng(20260805)
+        validator = _full_chain()
+        t_s = 0.0
+        verdicts = {"pass": 0, "fail": 0}
+        for _ in range(3000):
+            # Timestamps mostly advance, sometimes jump far backwards.
+            t_s += float(rng.exponential(1.0)) - (
+                10.0 if rng.random() < 0.05 else 0.0
+            )
+            failure = validator.validate("link-fuzz", t_s, _adversarial_row(rng))
+            if failure is None:
+                verdicts["pass"] += 1
+            else:
+                verdicts["fail"] += 1
+                assert isinstance(failure.check, str) and failure.check
+                assert isinstance(failure.message, str) and failure.message
+        # The zoo must actually exercise both verdicts.
+        assert verdicts["pass"] > 0 and verdicts["fail"] > 0
+
+    def test_every_check_in_the_chain_fires_at_least_once(self):
+        rng = np.random.default_rng(7)
+        validator = _full_chain()
+        fired = set()
+        t_s = 0.0
+        for _ in range(5000):
+            t_s += float(rng.exponential(1.0)) - (
+                15.0 if rng.random() < 0.1 else 0.0
+            )
+            failure = validator.validate("link-a", t_s, _adversarial_row(rng))
+            if failure is not None:
+                fired.add(failure.check)
+        assert {"coerce", "finite", "width", "amplitude", "monotonic", "env"} <= fired
+
+    def test_raising_form_only_raises_validation_error(self):
+        rng = np.random.default_rng(99)
+        validator = _full_chain()
+        for i in range(500):
+            row = _adversarial_row(rng)
+            try:
+                out = validator.check("link-b", float(i), row)
+            except ValidationError:
+                continue
+            assert isinstance(out, np.ndarray) and out.dtype == float
+
+    def test_reset_clears_per_link_state(self):
+        validator = _full_chain()
+        good = np.zeros(N_FEATURES)
+        good[-2:] = (20.0, 50.0)
+        assert validator.validate("a", 100.0, good) is None
+        assert validator.validate("a", 10.0, good).check == "monotonic"
+        validator.reset()
+        assert validator.validate("a", 10.0, good) is None
+
+
+class TestQuarantineLedgerFuzz:
+    @pytest.mark.parametrize("capacity", [1, 7, 64])
+    def test_ledger_reconciles_under_eviction(self, capacity):
+        rng = np.random.default_rng(capacity)
+        validator = _full_chain()
+        buffer = QuarantineBuffer(capacity=capacity)
+        refused = 0
+        t_s = 0.0
+        for _ in range(2000):
+            t_s += float(rng.exponential(1.0)) - (
+                10.0 if rng.random() < 0.05 else 0.0
+            )
+            row = _adversarial_row(rng)
+            failure = validator.validate("link-q", t_s, row)
+            if failure is not None:
+                refused += 1
+                buffer.add(QuarantinedFrame("link-q", t_s, row, failure))
+                assert len(buffer) <= capacity
+        counts = buffer.counts_by_check()
+        assert buffer.total == refused
+        assert sum(counts.values()) == refused
+        assert all(count > 0 for count in counts.values())
+        # Draining empties the window but never the lifetime ledger.
+        drained = buffer.drain()
+        assert len(drained) == min(capacity, refused)
+        assert len(buffer) == 0
+        assert buffer.total == refused
+        assert buffer.counts_by_check() == counts
+
+    def test_retained_frames_are_the_newest(self):
+        buffer = QuarantineBuffer(capacity=3)
+        validator = _full_chain()
+        for i in range(10):
+            failure = validator.validate("l", float(i), np.full(N_FEATURES, np.nan))
+            buffer.add(QuarantinedFrame("l", float(i), None, failure))
+        assert [f.t_s for f in buffer.drain()] == [7.0, 8.0, 9.0]

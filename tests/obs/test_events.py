@@ -1,0 +1,94 @@
+"""Tests for the structured event log."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import EVENT_KINDS, Event, EventLog
+
+
+class TestEvent:
+    def test_to_json_is_canonical(self):
+        event = Event(seq=3, kind="frame.answered", t_s=1.5, frame_id=7,
+                      link_id="link-0", data={"b": 1, "a": 2})
+        text = event.to_json()
+        # Sorted keys, no whitespace: the byte-identical dump contract.
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  separators=(",", ":"))
+        assert '"a":2' in text and text.index('"a"') < text.index('"b"')
+
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_seq(self):
+        log = EventLog()
+        events = [log.emit("batch.flush", t_s=float(i)) for i in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            EventLog().emit("frame.answred")  # typo must fail loudly
+
+    def test_extra_kinds_extend_taxonomy(self):
+        log = EventLog(extra_kinds=("custom.thing",))
+        assert log.emit("custom.thing").kind == "custom.thing"
+        with pytest.raises(ConfigurationError):
+            EventLog().emit("custom.thing")
+
+    def test_taxonomy_is_closed_and_frame_outcomes_present(self):
+        for kind in ("frame.answered", "frame.rejected", "frame.quarantined",
+                     "frame.policy_rejected", "frame.stale", "frame.overflow",
+                     "breaker.opened", "checkpoint.rollback"):
+            assert kind in EVENT_KINDS
+
+    def test_numpy_payloads_become_plain_json(self):
+        log = EventLog()
+        event = log.emit("drift.warn", z=np.float64(2.5), n=np.int64(3),
+                         state=None, flag=np.bool_(True))
+        assert event.data == {"z": 2.5, "n": 3, "state": None, "flag": True}
+        json.dumps(event.to_dict())  # must not raise
+
+    def test_ring_evicts_oldest_but_totals_are_lifetime(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("batch.flush", t_s=float(i))
+        log.emit("breaker.opened", t_s=10.0)
+        assert len(log) == 4
+        assert log.total == 11
+        assert log.counts_by_kind() == {"batch.flush": 10, "breaker.opened": 1}
+        assert log.count("batch.flush") == 10
+        assert log.count("drift.trip") == 0
+        # Retained window is the newest 4, oldest first, seq preserved.
+        assert [e.seq for e in log] == [7, 8, 9, 10]
+
+    def test_tail(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("batch.flush", t_s=float(i))
+        assert [e.seq for e in log.tail(2)] == [4, 5]
+        assert log.tail(0) == []
+        assert len(log.tail(100)) == 6
+        with pytest.raises(ConfigurationError):
+            log.tail(-1)
+
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.emit("frame.answered", t_s=1.0, frame_id=0, link_id="a", source="primary")
+        log.emit("frame.stale", t_s=2.0, frame_id=1, link_id="b", age_s=9.0)
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "frame.answered"
+        assert json.loads(lines[1])["data"]["age_s"] == 9.0
+
+    def test_drain_empties_but_keeps_totals(self):
+        log = EventLog()
+        log.emit("batch.flush")
+        log.emit("batch.flush")
+        drained = log.drain()
+        assert len(drained) == 2 and len(log) == 0
+        assert log.total == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)

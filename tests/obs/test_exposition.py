@@ -1,0 +1,69 @@
+"""Tests for the Prometheus text exposition renderer."""
+
+from repro.obs import render_prometheus, sanitize_metric_name
+from repro.serve.metrics import MetricsRegistry
+
+
+class TestSanitizeMetricName:
+    def test_prefixes_namespace(self):
+        assert sanitize_metric_name("batch_latency_ms") == "repro_batch_latency_ms"
+
+    def test_replaces_invalid_characters(self):
+        assert sanitize_metric_name("p95 latency.ms") == "repro_p95_latency_ms"
+
+    def test_no_namespace_keeps_grammar(self):
+        assert sanitize_metric_name("9lives", namespace="") == "_9lives"
+        assert sanitize_metric_name("ok:name", namespace="") == "ok:name"
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_summary_blocks(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_in").inc(3)
+        registry.gauge("queue_depth").set(2.5)
+        hist = registry.histogram("batch_latency_ms")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_frames_in counter" in text
+        assert "repro_frames_in 3.0" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2.5" in text
+        assert "# TYPE repro_batch_latency_ms summary" in text
+        assert 'repro_batch_latency_ms{quantile="0.5"} 2.5' in text
+        assert "repro_batch_latency_ms_sum 10.0" in text
+        assert "repro_batch_latency_ms_count 4" in text
+        assert text.endswith("\n")
+
+    def test_summary_count_is_lifetime_not_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", max_samples=2)
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        text = render_prometheus(registry)
+        assert "repro_h_count 3" in text
+        assert "repro_h_sum 6.0" in text
+        # Quantiles come from the retained window {2, 3} only.
+        assert 'repro_h{quantile="0.5"} 2.5' in text
+
+    def test_output_sorted_by_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.gauge("alpha").set(1)
+        text = render_prometheus(registry)
+        assert text.index("repro_alpha") < text.index("repro_zebra")
+
+    def test_empty_histogram_renders_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_ms")
+        text = render_prometheus(registry)
+        assert 'repro_empty_ms{quantile="0.5"} NaN' in text
+        assert "repro_empty_ms_count 0" in text
+
+    def test_empty_registry_is_just_a_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_custom_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "wifi_c 1.0" in render_prometheus(registry, namespace="wifi")

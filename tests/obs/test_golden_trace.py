@@ -1,0 +1,154 @@
+"""Golden-trace determinism: same-seed replays dump identical event logs.
+
+The event log stamps stream time only, so two chaos replays with the same
+seed must produce byte-for-byte equal ``EventLog.to_jsonl()`` dumps per
+scenario — the observability layer extends the fault layer's
+byte-identical stream guarantee all the way to the postmortem artifact.
+The same runs also cross-check the obs-side frame ledger against the
+bench's independently counted result legs, frame for frame.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BehaviorConfig, CampaignConfig
+from repro.data.recording import CollectionCampaign
+from repro.faults.bench import default_scenario_suite, run_chaos_bench
+from repro.guard import GuardPolicy, ReferenceStats
+from repro.guard.bench import run_guard_bench
+from repro.obs import Observer, build_dump
+
+
+class ConstantEstimator:
+    def __init__(self, p: float = 0.9) -> None:
+        self.p = p
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(x).shape[0], self.p)
+
+
+@pytest.fixture(scope="module")
+def trace_dataset():
+    config = CampaignConfig(
+        duration_h=1.0,
+        sample_rate_hz=0.2,
+        seed=41,
+        behavior=BehaviorConfig(mean_stay_h=0.5, mean_gap_h=0.5),
+    )
+    return CollectionCampaign(config).run()
+
+
+def _scenarios(dataset, names, include_env=False):
+    t = dataset.timestamps_s
+    suite = default_scenario_suite(
+        float(t[0]), float(t[-1]), n_csi=dataset.n_subcarriers,
+        include_env=include_env,
+    )
+    return [s for s in suite if s.name in names]
+
+
+def _chaos(dataset, seed=5):
+    return run_chaos_bench(
+        ConstantEstimator(),
+        dataset,
+        _scenarios(dataset, {"baseline", "clock-chaos", "model-crash"}),
+        n_links=2,
+        max_batch=16,
+        seed=seed,
+        observer_factory=lambda name: Observer(label=name),
+    )
+
+
+class TestGoldenTrace:
+    def test_same_seed_replays_dump_identical_event_logs(self, trace_dataset):
+        first = _chaos(trace_dataset)
+        second = _chaos(trace_dataset)
+        assert set(first.observers) == set(second.observers)
+        for name, obs_a in first.observers.items():
+            obs_b = second.observers[name]
+            jsonl_a = obs_a.events.to_jsonl()
+            assert jsonl_a, f"{name}: empty event log"
+            assert jsonl_a.encode() == obs_b.events.to_jsonl().encode(), (
+                f"{name}: same-seed replays diverged"
+            )
+
+    def test_different_seed_changes_the_faulted_trace(self, trace_dataset):
+        # Sanity check that the golden comparison has teeth: reseeding the
+        # fault schedule must move the clock-chaos event stream.
+        a = _chaos(trace_dataset, seed=5).observers["clock-chaos"]
+        b = _chaos(trace_dataset, seed=6).observers["clock-chaos"]
+        assert a.events.to_jsonl() != b.events.to_jsonl()
+
+    def test_observer_ledger_reconciles_with_bench_counters(self, trace_dataset):
+        report = _chaos(trace_dataset)
+        for result in report.results:
+            ledger = report.observers[result.name].ledger()
+            assert ledger["unaccounted"] == 0, result.name
+            assert ledger["pending"] == 0, result.name
+            assert ledger["submitted"] == result.n_submitted
+            assert ledger["fills"] == result.n_repaired
+            assert ledger["answered"] == result.n_answered + result.n_answered_repaired
+            assert ledger["rejected"] == result.n_rejected
+            assert ledger["quarantined"] == result.n_quarantined
+            assert ledger["policy_rejected"] == result.n_policy_rejected
+            assert ledger["stale"] == result.n_stale
+            assert ledger["overflow"] == result.n_overflow
+
+    def test_answered_event_ids_are_unique_and_complete(self, trace_dataset):
+        report = _chaos(trace_dataset)
+        for name, obs in report.observers.items():
+            result = report.result(name)
+            answered = [e for e in obs.events if e.kind == "frame.answered"]
+            ids = [e.frame_id for e in answered]
+            # Event log capacity exceeds this campaign, so nothing evicted:
+            # every answered frame appears exactly once, under its own id.
+            assert len(ids) == len(set(ids))
+            assert len(ids) == result.n_answered + result.n_answered_repaired
+
+
+class TestGoldenTraceGuarded:
+    def test_guarded_replay_is_deterministic_and_reconciles(self, trace_dataset):
+        features = np.hstack([trace_dataset.csi, trace_dataset.environment])
+        n_csi = trace_dataset.n_subcarriers
+        policy = GuardPolicy(
+            reference=ReferenceStats.fit(features),
+            n_features=n_csi + 2,
+            env_slice=slice(n_csi, n_csi + 2),
+            seed=3,
+        )
+        scenarios = _scenarios(
+            trace_dataset, {"baseline", "sensor-dropout"}, include_env=True
+        )
+
+        def run():
+            return run_guard_bench(
+                ConstantEstimator(),
+                trace_dataset,
+                policy,
+                scenarios=scenarios,
+                n_links=2,
+                max_batch=16,
+                seed=5,
+                observer_factory=lambda name: Observer(label=name),
+            )
+
+        first, second = run(), run()
+        assert first.baseline.observers == {}  # off-leg stays untraced
+        assert set(first.guarded.observers) == {"baseline", "sensor-dropout"}
+        for name, obs in first.guarded.observers.items():
+            twin = second.guarded.observers[name]
+            assert obs.events.to_jsonl() == twin.events.to_jsonl()
+            ledger = obs.ledger()
+            result = first.guarded.result(name)
+            assert ledger["unaccounted"] == 0 and ledger["pending"] == 0
+            assert ledger["submitted"] == result.n_submitted
+            assert ledger["quarantined"] == result.n_quarantined
+
+        # The deterministic halves of the dump match too (events + ledger);
+        # wall-clock stages are explicitly outside the guarantee.
+        dump_a = build_dump(first.guarded.observers)
+        dump_b = build_dump(second.guarded.observers)
+        for run_a, run_b in zip(dump_a["runs"], dump_b["runs"]):
+            assert run_a["events"] == run_b["events"]
+            assert run_a["ledger"] == run_b["ledger"]
+            assert run_a["events_by_kind"] == run_b["events_by_kind"]

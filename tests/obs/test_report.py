@@ -1,0 +1,116 @@
+"""Tests for dump serialisation and the obs-report renderer."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.obs import (
+    DUMP_FORMAT,
+    Observer,
+    build_dump,
+    load_dump,
+    render_report,
+    render_run,
+    write_dump,
+)
+
+
+def _live_observer(label="run-a"):
+    obs = Observer(label=label)
+    obs.frame_submitted(0, "link-0", 10.0)
+    obs.frame_outcome("answered", 0, "link-0", 10.0, source="primary")
+    obs.frame_submitted(1, "link-1", 11.0)
+    obs.frame_outcome("stale", 1, "link-1", 11.0, age_s=30.0)
+    obs.tracer.add_stage(0, "predict", 1.25)
+    obs.emit("batch.flush", t_s=10.0, n=1, source="primary")
+    return obs
+
+
+class TestBuildDump:
+    def test_single_observer(self):
+        dump = build_dump(_live_observer())
+        assert dump["format"] == DUMP_FORMAT
+        assert [run["label"] for run in dump["runs"]] == ["run-a"]
+
+    def test_mapping_fills_missing_labels(self):
+        dump = build_dump({"scenario-x": Observer()})
+        assert dump["runs"][0]["label"] == "scenario-x"
+
+    def test_iterable_of_observers(self):
+        dump = build_dump([_live_observer("a"), _live_observer("b")])
+        assert [run["label"] for run in dump["runs"]] == ["a", "b"]
+
+
+class TestWriteLoadDump:
+    def test_round_trip(self, tmp_path):
+        path = write_dump(tmp_path / "dump.json", _live_observer())
+        dump = load_dump(path)
+        assert dump["format"] == DUMP_FORMAT
+        run = dump["runs"][0]
+        assert run["ledger"]["submitted"] == 2
+        assert run["events_total"] == 3
+        assert run["events"][0]["kind"] == "frame.answered"
+
+    def test_accepts_prebuilt_dump_dict(self, tmp_path):
+        dump = build_dump(_live_observer())
+        path = write_dump(tmp_path / "dump.json", dump)
+        assert load_dump(path)["runs"] == dump["runs"]
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_dump(tmp_path / "nope.json")
+
+    def test_load_rejects_non_dump_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else", "runs": []}))
+        with pytest.raises(SerializationError):
+            load_dump(path)
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(SerializationError):
+            load_dump(path)
+
+    def test_load_rejects_missing_runs(self, tmp_path):
+        path = tmp_path / "no_runs.json"
+        path.write_text(json.dumps({"format": DUMP_FORMAT}))
+        with pytest.raises(SerializationError):
+            load_dump(path)
+
+
+class TestRenderReport:
+    def test_renders_ledger_stages_and_events(self):
+        text = render_run(_live_observer().dump())
+        assert text.startswith("== run-a ==")
+        assert "submitted=2" in text
+        assert "ledger reconciles" in text
+        assert "predict" in text and "p95 ms" in text
+        assert "frame.answered" in text and "age_s=30.0" in text
+
+    def test_warns_on_pending_frames(self):
+        obs = Observer(label="stuck")
+        obs.frame_submitted(0, "link-0", 0.0)  # never sealed
+        text = render_run(obs.dump())
+        assert "WARNING" in text and "pending or unaccounted" in text
+
+    def test_events_tail_limits_lines(self):
+        obs = Observer(label="t")
+        for i in range(30):
+            obs.emit("batch.flush", t_s=float(i), n=1)
+        text = render_run(obs.dump(), events_tail=3)
+        assert "last 3 event(s):" in text
+        assert "30 event(s) lifetime" in text
+        with pytest.raises(ConfigurationError):
+            render_run(obs.dump(), events_tail=-1)
+
+    def test_zero_tail_hides_events(self):
+        obs = Observer(label="t")
+        obs.emit("batch.flush")
+        assert "last" not in render_run(obs.dump(), events_tail=0)
+
+    def test_multi_run_report(self):
+        dump = build_dump({"a": _live_observer("a"), "b": _live_observer("b")})
+        text = render_report(dump)
+        assert "== a ==" in text and "== b ==" in text
+
+    def test_empty_dump_report(self):
+        assert "no runs" in render_report({"format": DUMP_FORMAT, "runs": []})

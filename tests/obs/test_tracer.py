@@ -1,0 +1,145 @@
+"""Tests for the per-frame span tracer and the observer facade."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import STAGES, FrameTracer, NULL_OBSERVER, Observer
+from repro.serve.metrics import MetricsRegistry
+
+
+class TestFrameTracer:
+    def test_records_stages_per_frame(self):
+        tracer = FrameTracer()
+        tracer.start(0, "link-0", 10.0)
+        tracer.add_stage(0, "validate", 0.5)
+        tracer.add_stage(0, "predict", 1.5)
+        tracer.finish(0, "answered")
+        trace = tracer.trace(0)
+        assert trace.stages == {"validate": 0.5, "predict": 1.5}
+        assert trace.outcome == "answered"
+        assert trace.total_ms == pytest.approx(2.0)
+
+    def test_repeated_stage_accumulates(self):
+        tracer = FrameTracer()
+        tracer.start(0, "link-0", 0.0)
+        tracer.add_stage(0, "enqueue", 1.0)
+        tracer.add_stage(0, "enqueue", 2.0)
+        assert tracer.trace(0).stages["enqueue"] == pytest.approx(3.0)
+
+    def test_ring_evicts_oldest_trace_keeps_lifetime_histograms(self):
+        tracer = FrameTracer(capacity=2)
+        for fid in range(4):
+            tracer.start(fid, "link-0", float(fid))
+            tracer.add_stage(fid, "predict", 1.0)
+            tracer.finish(fid, "answered")
+        assert tracer.trace(0) is None and tracer.trace(1) is None
+        assert [t.frame_id for t in tracer.traces()] == [2, 3]
+        # Lifetime stage histogram counts evicted frames too.
+        assert tracer.stage_summary()["predict"]["count"] == 4
+        assert tracer.started == 4 and tracer.finished == 4
+        assert tracer.open_frames == 0
+
+    def test_stage_after_eviction_is_safe(self):
+        tracer = FrameTracer(capacity=1)
+        tracer.start(0, "link-0", 0.0)
+        tracer.start(1, "link-0", 1.0)  # evicts frame 0
+        tracer.add_stage(0, "emit", 1.0)  # no trace retained; histogram only
+        assert tracer.trace(0) is None
+        assert tracer.stage_summary()["emit"]["count"] == 1
+
+    def test_queue_wait_span(self):
+        tracer = FrameTracer()
+        tracer.start(0, "link-0", 0.0)
+        tracer.mark_enqueued(0)
+        tracer.queue_wait(0)
+        assert tracer.trace(0).stages["queue_wait"] >= 0.0
+        # Closing an unmarked frame is a no-op, not an error.
+        tracer.queue_wait(99)
+
+    def test_finish_clears_pending_enqueue_mark(self):
+        tracer = FrameTracer()
+        tracer.start(0, "link-0", 0.0)
+        tracer.mark_enqueued(0)
+        tracer.finish(0, "overflow")
+        tracer.queue_wait(0)  # must not add a stage after finish cleared it
+        assert "queue_wait" not in tracer.trace(0).stages
+
+    def test_stage_summary_orders_hot_path_first(self):
+        tracer = FrameTracer()
+        tracer.start(0, "link-0", 0.0)
+        for stage in ("emit", "validate", "queue_wait"):
+            tracer.add_stage(0, stage, 1.0)
+        names = list(tracer.stage_summary())
+        assert names == ["validate", "queue_wait", "emit"]
+        assert all(s in STAGES for s in names)
+
+    def test_bound_registry_mirrors_stage_histograms(self):
+        tracer = FrameTracer()
+        registry = MetricsRegistry()
+        tracer.bind_registry(registry)
+        tracer.start(0, "link-0", 0.0)
+        tracer.add_stage(0, "validate", 2.0)
+        assert registry.histogram("stage_validate_ms").count == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FrameTracer(capacity=0)
+
+
+class TestObserver:
+    def test_ledger_reconciles(self):
+        obs = Observer(label="t")
+        obs.frame_submitted(0, "a", 0.0)
+        obs.frame_submitted(1, "a", 1.0)
+        obs.frame_filled(2, "a", 0.5, source_frame=0)
+        obs.frame_outcome("answered", 0, "a", 0.0, source="primary")
+        obs.frame_outcome("rejected", 1, "a", 1.0)
+        obs.frame_outcome("answered", 2, "a", 0.5, source="primary")
+        ledger = obs.ledger()
+        assert ledger["submitted"] == 2 and ledger["fills"] == 1
+        assert ledger["answered"] == 2 and ledger["rejected"] == 1
+        assert ledger["pending"] == 0 and ledger["unaccounted"] == 0
+
+    def test_pending_counts_open_frames(self):
+        obs = Observer()
+        obs.frame_submitted(0, "a", 0.0)
+        assert obs.ledger()["pending"] == 1
+        assert obs.ledger()["unaccounted"] == 0
+
+    def test_unknown_outcome_raises(self):
+        obs = Observer()
+        obs.frame_submitted(0, "a", 0.0)
+        with pytest.raises(ConfigurationError):
+            obs.frame_outcome("vanished", 0, "a", 0.0)
+
+    def test_fill_emits_repaired_event(self):
+        obs = Observer()
+        obs.frame_filled(5, "b", 2.0, source_frame=4)
+        assert obs.events.count("frame.repaired") == 1
+        event = obs.events.tail(1)[0]
+        assert event.frame_id == 5 and event.data["source_frame"] == 4
+
+    def test_dump_carries_prometheus_only_when_registry_bound(self):
+        obs = Observer(label="x")
+        assert "prometheus" not in obs.dump()
+        registry = MetricsRegistry()
+        registry.counter("frames_in").inc()
+        obs.bind_registry(registry)
+        dump = obs.dump()
+        assert dump["label"] == "x"
+        assert "repro_frames_in 1.0" in dump["prometheus"]
+        assert dump["metrics"]["frames_in"] == 1
+
+
+class TestNullObserver:
+    def test_disabled_and_inert(self):
+        assert NULL_OBSERVER.enabled is False
+        # Full surface, all no-ops: nothing raises, nothing accumulates.
+        NULL_OBSERVER.bind_registry(MetricsRegistry())
+        NULL_OBSERVER.frame_submitted(0, "a", 0.0)
+        NULL_OBSERVER.frame_filled(1, "a", 0.0, source_frame=0)
+        NULL_OBSERVER.frame_outcome("answered", 0, "a", 0.0)
+        NULL_OBSERVER.emit("batch.flush")
+        assert NULL_OBSERVER.ledger() == {}
+        assert NULL_OBSERVER.frames_submitted == 0
+        assert NULL_OBSERVER.dump()["events"] == []

@@ -346,3 +346,103 @@ class TestEquivalence:
         assert len(results) == 64
         assert all(0.0 <= r.probability <= 1.0 for r in results)
         assert all(r.source == "primary" for r in results)
+
+
+class TestObserverIntegration:
+    def _engine(self, **kwargs):
+        from repro.obs import Observer
+
+        obs = Observer(label="t")
+        engine = InferenceEngine(
+            ConstantEstimator(), observer=obs, max_latency_ms=None, **kwargs
+        )
+        return engine, obs
+
+    def test_frame_ids_are_monotonic_and_returned(self):
+        engine, obs = self._engine(max_batch=4)
+        results = []
+        for i in range(8):
+            results.extend(engine.submit("a", float(i), _row()))
+        results.extend(engine.flush())
+        assert [r.frame_id for r in results] == list(range(8))
+        assert obs.ledger()["answered"] == 8
+
+    def test_ids_assigned_even_without_observer(self):
+        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        assert engine.observer.enabled is False
+        results = engine.submit("a", 0.0, _row()) + engine.submit("a", 1.0, _row())
+        assert [r.frame_id for r in results] == [0, 1]
+
+    def test_rejected_frame_sealed_with_rejected_outcome(self):
+        engine, obs = self._engine(max_batch=4)
+        engine.submit("a", 0.0, np.full(4, np.nan))
+        assert obs.events.count("frame.rejected") == 1
+        event = obs.events.tail(1)[0]
+        assert event.frame_id == 0 and event.data["gate"] == "shape"
+        assert obs.tracer.trace(0).outcome == "rejected"
+
+    def test_overflow_eviction_seals_the_evicted_frame(self):
+        engine, obs = self._engine(max_batch=4, queue_capacity=4)
+        for i in range(6):  # two evictions before any flush trigger at 4+
+            engine.submit("a", float(i), _row())
+            engine.queue.max_batch = 100  # hold the queue closed
+        assert obs.events.count("frame.overflow") == 2
+        evicted = [e.frame_id for e in obs.events if e.kind == "frame.overflow"]
+        assert evicted == [0, 1]  # drop-oldest
+        ledger = obs.ledger()
+        assert ledger["overflow"] == 2 and ledger["unaccounted"] == 0
+
+    def test_stale_drop_emits_age(self):
+        engine, obs = self._engine(max_batch=100, stale_after_s=5.0)
+        engine.submit("a", 0.0, _row())
+        engine.submit("a", 100.0, _row())
+        engine.flush()
+        assert obs.events.count("frame.stale") == 1
+        event = next(e for e in obs.events if e.kind == "frame.stale")
+        assert event.frame_id == 0 and event.data["age_s"] == 100.0
+        assert obs.ledger()["unaccounted"] == 0
+
+    def test_batch_flush_event_carries_size_and_source(self):
+        engine, obs = self._engine(max_batch=3)
+        for i in range(3):
+            engine.submit("a", float(i), _row())
+        event = next(e for e in obs.events if e.kind == "batch.flush")
+        assert event.data == {"n": 3, "source": "primary"}
+
+    def test_fallback_recovery_emits_link_recovered(self):
+        from repro.obs import Observer
+
+        obs = Observer(label="t")
+        engine = InferenceEngine(
+            FailNTimesEstimator(1),
+            observer=obs,
+            max_batch=2,
+            max_latency_ms=None,
+            fallback=PriorFallback(),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row())
+        assert obs.events.count("link.recovered") == 1
+        answered = [e for e in obs.events if e.kind == "frame.answered"]
+        assert [e.data["source"] for e in answered] == [
+            "fallback", "fallback", "primary", "primary",
+        ]
+
+    def test_traces_record_pipeline_stages(self):
+        engine, obs = self._engine(max_batch=2)
+        engine.submit("a", 0.0, _row())
+        engine.submit("a", 1.0, _row())
+        trace = obs.tracer.trace(0)
+        assert trace.outcome == "answered"
+        for stage in ("enqueue", "queue_wait", "supervise", "predict", "emit"):
+            assert stage in trace.stages, stage
+        assert trace.total_ms > 0.0
+
+    def test_observer_shares_engine_registry(self):
+        engine, obs = self._engine(max_batch=2)
+        engine.submit("a", 0.0, _row())
+        engine.submit("a", 1.0, _row())
+        assert obs.registry is engine.registry
+        assert engine.registry.histogram("stage_predict_ms").count == 2
+        dump = obs.dump()
+        assert "repro_frames_in" in dump["prometheus"]

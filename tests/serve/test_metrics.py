@@ -63,6 +63,50 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             Histogram(max_samples=0)
 
+    def test_summary_max_reflects_retained_window_only(self):
+        h = Histogram(max_samples=3)
+        for v in (100, 1, 2, 3):  # the 100 is evicted by the wrap
+            h.observe(v)
+        s = h.summary()
+        assert s["max"] == 3
+        assert s["p95"] <= 3
+        assert h.percentile(50) == 2
+        # ...while count/mean stay lifetime-exact, including the evicted 100.
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(106 / 4)
+
+    def test_values_preserve_observation_order_across_wrap(self):
+        h = Histogram(max_samples=4)
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        assert h.values() == [1, 2, 3, 4]
+        h.observe(5)  # overwrites 1; oldest survivor must lead
+        h.observe(6)  # overwrites 2
+        assert h.values() == [3, 4, 5, 6]
+        assert Histogram().values() == []
+
+    def test_capacity_one_window_tracks_newest_sample(self):
+        h = Histogram(max_samples=1)
+        for v in (7, 8, 9):
+            h.observe(v)
+        assert h.values() == [9]
+        assert h.summary()["max"] == 9
+        assert h.percentile(0) == 9 and h.percentile(100) == 9
+        assert h.count == 3 and h.total == 24
+
+    def test_exactly_full_window_does_not_wrap(self):
+        h = Histogram(max_samples=3)
+        for v in (1, 2, 3):
+            h.observe(v)
+        assert h.values() == [1, 2, 3]
+        assert h.summary()["max"] == 3
+
+    def test_empty_summary_is_all_nan_but_zero_count(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        for key in ("mean", "p50", "p95", "max"):
+            assert np.isnan(s[key])
+
 
 class TestMetricsRegistry:
     def test_get_or_create(self):
@@ -92,6 +136,29 @@ class TestMetricsRegistry:
         assert text.startswith("title:")
         for name in ("frames_in", "queue_depth", "latency_ms", "p95"):
             assert name in text
+
+    def test_report_formats_empty_histogram(self):
+        r = MetricsRegistry()
+        r.histogram("never_observed_ms")
+        text = r.report()
+        assert "never_observed_ms" in text
+        assert "count=0" in text and "nan" in text
+
+    def test_empty_registry_report(self):
+        assert MetricsRegistry().report() == ""
+        assert MetricsRegistry().report("title:") == "title:"
+
+    def test_kind_views_are_snapshots(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(1)
+        r.histogram("h").observe(2.0)
+        assert set(r.counters) == {"c"}
+        assert set(r.gauges) == {"g"}
+        assert set(r.histograms) == {"h"}
+        # Mutating the snapshot must not touch the registry.
+        r.counters["rogue"] = Counter()
+        assert "rogue" not in r.counters
 
 
 class TestTrainingMetricsCallback:

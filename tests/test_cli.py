@@ -41,11 +41,25 @@ class TestParser:
             ["serve-bench", "--hours", "0.5", "--model", "logistic"],
             ["chaos-bench", "--hours", "0.5", "--scenario", "baseline"],
             ["guard-bench", "--hours", "0.5", "--links", "2"],
+            ["chaos-bench", "--trace-dump", "trace.json"],
+            ["guard-bench", "--trace-dump", "trace.json"],
+            ["obs-report", "trace.json", "--events", "5"],
+            ["obs-report", "trace.json", "--prom"],
         ],
     )
     def test_all_commands_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.func)
+
+    def test_every_subcommand_help_exits_zero(self, capsys):
+        parser = build_parser()
+        commands = list(parser._subparsers._group_actions[0].choices)
+        assert "obs-report" in commands and len(commands) >= 10
+        for command in commands:
+            with pytest.raises(SystemExit) as excinfo:
+                parser.parse_args([command, "--help"])
+            assert excinfo.value.code == 0, command
+            assert capsys.readouterr().out, command
 
     def test_common_flags_spelled_identically(self):
         parser = build_parser()
@@ -176,3 +190,61 @@ class TestCommands:
         ])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestObsReport:
+    @pytest.fixture(scope="class")
+    def trace_dump(self, tmp_path_factory):
+        """A dump written by a tiny traced guard-bench run."""
+        path = tmp_path_factory.mktemp("obs") / "trace.json"
+        code = main([
+            "guard-bench", "--hours", "0.2", "--rate", "0.5",
+            "--max-batch", "16", "--trace-dump", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_round_trips_a_guard_bench_dump(self, trace_dump, capsys):
+        assert main(["obs-report", str(trace_dump)]) == 0
+        out = capsys.readouterr().out
+        assert "== baseline ==" in out
+        assert "ledger reconciles" in out
+        assert "per-stage wall time" in out
+        assert "frame.answered" in out
+
+    def test_chaos_bench_trace_dump_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "chaos_trace.json"
+        code = main([
+            "chaos-bench", "--hours", "0.2", "--rate", "0.5",
+            "--scenario", "baseline", "--max-batch", "16",
+            "--trace-dump", str(path),
+        ])
+        assert code == 0
+        assert "trace dump written" in capsys.readouterr().out
+        assert main(["obs-report", str(path), "--events", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "== baseline ==" in out and "last 3 event(s):" in out
+
+    def test_prom_mode_prints_exposition(self, trace_dump, capsys):
+        assert main(["obs-report", str(trace_dump), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_frames_in counter" in out
+        assert "repro_stage_predict_ms" in out
+
+    def test_output_flag_writes_report(self, trace_dump, tmp_path, capsys):
+        out_path = tmp_path / "report.txt"
+        assert main(["obs-report", str(trace_dump), "--output", str(out_path)]) == 0
+        capsys.readouterr()
+        assert "ledger reconciles" in out_path.read_text()
+
+    def test_rejects_missing_dump(self, tmp_path, capsys):
+        code = main(["obs-report", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "obs-report:" in capsys.readouterr().err
+
+    def test_rejects_non_dump_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "other", "runs": []}')
+        code = main(["obs-report", str(path)])
+        assert code == 2
+        assert "obs-report:" in capsys.readouterr().err
