@@ -9,6 +9,9 @@
 * ``table5`` — the linear-vs-neural T/H regression comparison;
 * ``footprint`` — quantize the paper MLP and print the Nucleo budget;
 * ``serve-bench`` — per-frame vs. micro-batched serving throughput;
+* ``perf-bench`` — fastpath (frozen-plan) vs. tensor-path inference
+  latency/throughput, with a hard numerical-equivalence gate and a
+  JSON report (``BENCH_serve.json``) for CI;
 * ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite;
 * ``guard-bench`` — the self-healing ablation: chaos suite with the
   guard stack off vs on, plus an exact frame-ledger reconciliation;
@@ -193,6 +196,28 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         fallback=fallback,
     )
     _emit(report.describe(), args.output)
+    return 0
+
+
+def cmd_perf_bench(args: argparse.Namespace) -> int:
+    from .fastpath import run_perf_bench
+
+    if args.inputs < 1:
+        print("perf-bench: --inputs must be >= 1", file=sys.stderr)
+        return 2
+    mode = "quick (CI smoke)" if args.quick else "full"
+    print(f"Benchmarking the {args.inputs}-input paper MLP, fastpath vs "
+          f"tensor path ({mode}, seed {args.seed})...\n")
+    report = run_perf_bench(n_inputs=args.inputs, seed=args.seed, quick=args.quick)
+    print(report.describe())
+    if args.output:
+        path = report.save_json(args.output)
+        print(f"(JSON report written to {path})")
+    if not report.equivalent:
+        print(f"perf-bench: fastpath DIVERGED from the tensor path "
+              f"(max |dp| = {report.max_divergence:.3g} > "
+              f"tolerance {report.tolerance:g})", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -443,6 +468,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p)
     _add_output(p, None, "also write the benchmark report to this path")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = add_command("perf-bench", "fastpath vs tensor-path inference regression")
+    p.add_argument("--inputs", type=int, default=64,
+                   help="feature width of the benchmarked MLP "
+                        "(default 64; use 66 for CSI+Env)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: fewer timing repeats, identical "
+                        "equivalence assertion")
+    _add_seed(p)
+    _add_output(p, "BENCH_serve.json",
+                "where to write the JSON report (default BENCH_serve.json)")
+    p.set_defaults(func=cmd_perf_bench)
 
     p = add_command("chaos-bench", "accuracy-under-fault across the chaos suite")
     p.add_argument("--hours", type=float, default=2.0,

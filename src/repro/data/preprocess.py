@@ -26,6 +26,50 @@ from ..exceptions import DatasetError, ShapeError
 from .dataset import OccupancyDataset
 
 
+def hampel_filter_scalar(
+    series: np.ndarray, window: int = 7, n_sigmas: float = 3.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference (per-window Python loop) form of :func:`hampel_filter`.
+
+    This is the readable specification: one rolling window at a time,
+    median / MAD / threshold spelled out.  :func:`hampel_filter` is the
+    stride-trick vectorization of exactly this computation, and the test
+    suite asserts the two are *byte-identical* on every input — keep them
+    in lockstep when editing either.  Use the vectorized form in real
+    pipelines; this one exists for verification and for reading.
+    """
+    if window < 3 or window % 2 == 0:
+        raise ShapeError("window must be an odd integer >= 3")
+    if n_sigmas <= 0:
+        raise ShapeError("n_sigmas must be positive")
+    x = np.asarray(series, dtype=float)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    if x.ndim != 2:
+        raise ShapeError(f"expected 1-D or 2-D input, got shape {x.shape}")
+    n = x.shape[0]
+    if n < window:
+        raise ShapeError(f"series of {n} rows shorter than window {window}")
+
+    half = window // 2
+    cleaned = x.copy()
+    mask = np.zeros(x.shape, dtype=bool)
+    for j in range(x.shape[1]):
+        padded = np.pad(x[:, j], (half, half), mode="edge")
+        for i in range(n):
+            values = padded[i : i + window]
+            median = np.median(values)
+            mad = np.median(np.abs(values - median))
+            threshold = n_sigmas * max(1.4826 * mad, 1e-12)
+            if np.abs(x[i, j] - median) > threshold:
+                cleaned[i, j] = median
+                mask[i, j] = True
+    if squeeze:
+        return cleaned[:, 0], mask[:, 0]
+    return cleaned, mask
+
+
 def hampel_filter(
     series: np.ndarray, window: int = 7, n_sigmas: float = 3.0
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -75,11 +119,22 @@ def moving_average(series: np.ndarray, window: int = 5) -> np.ndarray:
     squeeze = x.ndim == 1
     if squeeze:
         x = x[:, None]
-    kernel = np.ones(window)
-    counts = np.convolve(np.ones(x.shape[0]), kernel, mode="same")
-    out = np.empty_like(x)
-    for j in range(x.shape[1]):
-        out[:, j] = np.convolve(x[:, j], kernel, mode="same") / counts
+    n = x.shape[0]
+    if n < 1:
+        raise ShapeError("series must have at least one row")
+    # One strided windowed sum over all columns at once, replacing the old
+    # per-column np.convolve loop.  ``lo``/``hi`` reproduce np.convolve's
+    # mode="same" alignment (window [i - lo, i + hi]); zero padding plus an
+    # analytic per-row sample count gives the shorter-window edge average.
+    lo = window - 1 - (window - 1) // 2
+    hi = (window - 1) // 2
+    padded = np.zeros((n + window - 1, x.shape[1]))
+    padded[lo : lo + n] = x
+    windows = np.lib.stride_tricks.sliding_window_view(padded, window, axis=0)
+    sums = windows.sum(axis=-1)
+    idx = np.arange(n)
+    counts = np.minimum(idx + hi, n - 1) - np.maximum(idx - lo, 0) + 1
+    out = sums / counts[:, None]
     return out[:, 0] if squeeze else out
 
 
@@ -170,13 +225,26 @@ class WindowFeatureExtractor:
         if n < self.window:
             raise DatasetError(f"dataset of {n} rows shorter than window {self.window}")
         n_windows = n // self.window
-        d = dataset.n_subcarriers
-        x = np.empty((n_windows, self.n_features(d)))
-        y = np.empty(n_windows, dtype=int)
-        t = np.empty(n_windows)
-        for w in range(n_windows):
-            rows = slice(w * self.window, (w + 1) * self.window)
-            x[w] = self._compute(dataset.csi[rows])
-            y[w] = int(round(dataset.occupancy[rows].mean()))
-            t[w] = dataset.timestamps_s[w * self.window + self.window - 1]
+        used = n_windows * self.window
+        # One reshape to (n_windows, window, d) and reductions along axis 1
+        # replace the old per-window Python loop; numpy's round is
+        # half-to-even like Python's round(), so majority labels match the
+        # scalar int(round(mean)) exactly.
+        blocks = dataset.csi[:used].reshape(n_windows, self.window, -1)
+        features = []
+        for stat in self.stats:
+            if stat == "mean":
+                features.append(blocks.mean(axis=1))
+            elif stat == "std":
+                features.append(blocks.std(axis=1))
+            elif stat == "min":
+                features.append(blocks.min(axis=1))
+            elif stat == "max":
+                features.append(blocks.max(axis=1))
+            elif stat == "range":
+                features.append(blocks.max(axis=1) - blocks.min(axis=1))
+        x = np.concatenate(features, axis=1)
+        occupancy = dataset.occupancy[:used].reshape(n_windows, self.window)
+        y = np.round(occupancy.mean(axis=1)).astype(int)
+        t = dataset.timestamps_s[self.window - 1 : used : self.window].copy()
         return x, y, t

@@ -13,7 +13,7 @@ subpackage reproduces that resource accounting without the physical board:
 """
 
 from .quantize import QuantizedLinear, QuantizedMLP, quantize_model
-from .export import export_c_header
+from .export import export_c_header, export_plan, load_plan
 from .footprint import FootprintReport, estimate_footprint, NUCLEO_L432KC
 from .timing import cortex_m4_latency_ms, measure_inference_ms
 from .c_runtime import (
@@ -30,6 +30,8 @@ __all__ = [
     "QuantizedMLP",
     "quantize_model",
     "export_c_header",
+    "export_plan",
+    "load_plan",
     "FootprintReport",
     "estimate_footprint",
     "NUCLEO_L432KC",

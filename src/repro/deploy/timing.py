@@ -17,6 +17,7 @@ import time
 import numpy as np
 
 from ..exceptions import DeploymentError
+from ..fastpath.plan import InferencePlan
 from ..nn.modules import Module
 from ..nn.tensor import Tensor, no_grad
 from .footprint import NUCLEO_L432KC, DeviceProfile
@@ -45,18 +46,27 @@ def cortex_m4_latency_ms(
 
 
 def measure_inference_ms(
-    model: Module | QuantizedMLP,
+    model: Module | QuantizedMLP | InferencePlan,
     n_inputs: int,
     n_repeats: int = 200,
     warmup: int = 20,
 ) -> float:
-    """Median wall-clock single-sample inference time on the host [ms]."""
+    """Median wall-clock single-sample inference time on the host [ms].
+
+    Accepts all three execution forms — the autograd :class:`Module`, the
+    int8 :class:`QuantizedMLP` and the frozen
+    :class:`~repro.fastpath.plan.InferencePlan` — so the tensor-path,
+    quantized and fastpath latencies print from one helper.
+    """
     if n_repeats < 1 or warmup < 0:
         raise DeploymentError("invalid timing parameters")
     rng = np.random.default_rng(0)
     x = rng.normal(size=(1, n_inputs))
 
-    if isinstance(model, QuantizedMLP):
+    if isinstance(model, InferencePlan):
+        def run() -> None:
+            model.forward(x)
+    elif isinstance(model, QuantizedMLP):
         def run() -> None:
             model.forward(x)
     else:

@@ -1,0 +1,432 @@
+"""Frozen inference plans: the serving-only forward pass.
+
+Training needs the autograd :class:`~repro.nn.tensor.Tensor` graph; serving
+does not.  The paper's pitch is a *lightweight* MLP streaming 64-subcarrier
+CSI at 20 Hz, yet running every micro-batch through the full tape — one
+Python dispatch per layer, one ``Tensor`` allocation per op — pays training
+overheads on a path that never calls ``backward``.  An
+:class:`InferencePlan` freezes a trained :class:`~repro.nn.modules.Sequential`
+(and, optionally, the :class:`~repro.baselines.scaler.StandardScaler` that
+fed it) into the minimum the forward pass actually is:
+
+* a flat list of fused steps, each one contiguous float32 weight matrix,
+  bias vector and activation tag (``matmul + bias + activation`` executed
+  as three in-place numpy calls);
+* one preallocated float32 scratch buffer per step, reused across calls
+  and grown geometrically when a larger batch arrives — steady-state
+  inference allocates nothing;
+* ``np.matmul(..., out=)`` into those buffers, so no intermediate arrays,
+  no autograd bookkeeping and no per-call Python-level layer dispatch.
+
+The plan is an *eval-mode snapshot*: dropout layers are dropped (they are
+identity at inference), and the module must be one of the shapes this
+library's MLPs take (``Linear`` + ReLU/Sigmoid/Tanh/Dropout).  Freezing is
+explicit and one-way — the plan holds copies, so later training steps on
+the source model do not leak into a deployed plan.
+
+Equivalence is a contract, not a hope: ``tests/fastpath`` asserts the plan
+matches the tensor path to ≤1e-5 elementwise over random architectures,
+and the ``perf-bench`` CLI (:mod:`repro.fastpath.bench`) re-asserts it on
+every benchmark run before reporting any speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.scaler import StandardScaler
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn.modules import Dropout, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+
+#: Activation tags a plan step may carry (applied in place after the GEMM).
+PLAN_ACTIVATIONS = ("none", "relu", "sigmoid", "tanh")
+
+#: Logit clip bound shared with :class:`~repro.core.detector.OccupancyDetector`
+#: so fastpath probabilities saturate at exactly the same point.
+_LOGIT_CLIP = 500.0
+
+_F32_ZERO = np.float32(0.0)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One fused layer: ``y = activation(x @ weight + bias)``."""
+
+    weight: np.ndarray  # float32, C-contiguous, shape (in, out)
+    bias: np.ndarray | None  # float32, shape (out,)
+    activation: str
+
+    def __post_init__(self) -> None:
+        if self.weight.dtype != np.float32 or not self.weight.flags["C_CONTIGUOUS"]:
+            raise ConfigurationError("step weight must be contiguous float32")
+        if self.weight.ndim != 2:
+            raise ShapeError(f"step weight must be 2-D, got {self.weight.shape}")
+        if self.bias is not None and (
+            self.bias.dtype != np.float32 or self.bias.shape != (self.weight.shape[1],)
+        ):
+            raise ConfigurationError("step bias must be float32 of the output width")
+        if self.activation not in PLAN_ACTIVATIONS:
+            raise ConfigurationError(
+                f"activation must be one of {PLAN_ACTIVATIONS}, got {self.activation!r}"
+            )
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[1])
+
+
+def _apply_activation_inplace(out: np.ndarray, activation: str) -> None:
+    """Apply a :data:`PLAN_ACTIVATIONS` tag to ``out`` without allocating."""
+    if activation == "relu":
+        np.maximum(out, np.float32(0.0), out=out)
+    elif activation == "sigmoid":
+        # Stable in-place logistic: clip, negate, exp, 1+, reciprocal.
+        # (maximum+minimum is np.clip's result without np.clip's Python
+        # dispatch overhead, which dominates at single-frame sizes.)
+        np.maximum(out, -_LOGIT_CLIP, out=out)
+        np.minimum(out, _LOGIT_CLIP, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += np.float32(1.0)
+        np.reciprocal(out, out=out)
+    elif activation == "tanh":
+        np.tanh(out, out=out)
+
+
+class InferencePlan:
+    """A frozen, buffer-reusing forward pass over float32 arrays.
+
+    Build one with :meth:`from_model` (or restore one with
+    :func:`repro.deploy.export.load_plan`).  The plan conforms to the
+    ``predict_proba`` half of the :class:`~repro.core.estimator.Estimator`
+    protocol, so it drops straight into
+    :class:`~repro.serve.engine.InferenceEngine` as the primary estimator.
+
+    Parameters
+    ----------
+    steps:
+        The fused layers, widths chained (``out`` of step *k* equals
+        ``in`` of step *k+1*).
+    input_mean / input_scale:
+        Optional standardisation — the frozen form of a fitted
+        :class:`~repro.baselines.scaler.StandardScaler`.  Folded
+        algebraically into the first GEMM at construction time
+        (``(x - m)/s @ W == x @ (W/s) - (m/s) @ W``), so the hot path
+        pays zero extra ops for it; the raw statistics are kept for
+        serialization round-trips.
+    capacity:
+        Initial batch capacity of the scratch buffers; grows
+        geometrically on demand and never shrinks.
+    """
+
+    def __init__(
+        self,
+        steps: list[PlanStep],
+        input_mean: np.ndarray | None = None,
+        input_scale: np.ndarray | None = None,
+        capacity: int = 64,
+    ) -> None:
+        if not steps:
+            raise ConfigurationError("InferencePlan needs at least one step")
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        for a, b in zip(steps[:-1], steps[1:]):
+            if a.out_features != b.in_features:
+                raise ConfigurationError(
+                    f"step widths mismatch: {a.out_features} -> {b.in_features}"
+                )
+        if (input_mean is None) != (input_scale is None):
+            raise ConfigurationError("input_mean and input_scale come together")
+        self.steps = list(steps)
+        if input_mean is not None:
+            input_mean = np.ascontiguousarray(input_mean, dtype=np.float32)
+            input_scale = np.ascontiguousarray(input_scale, dtype=np.float32)
+            if input_mean.shape != (self.n_inputs,) or input_scale.shape != (
+                self.n_inputs,
+            ):
+                raise ShapeError(
+                    f"scaler statistics must have shape ({self.n_inputs},)"
+                )
+            if np.any(input_scale == 0.0):
+                raise ConfigurationError("input_scale must be non-zero")
+        self.input_mean = input_mean
+        self.input_scale = input_scale
+        # The executable form: (weight, bias, activation) tuples with the
+        # scaler folded into step 0, so the hot loop touches no properties
+        # and runs no normalization ops.
+        self._exec: list[tuple[np.ndarray, np.ndarray | None, str]] = [
+            (s.weight, s.bias, s.activation) for s in self.steps
+        ]
+        if input_mean is not None:
+            inv_scale = np.float32(1.0) / input_scale
+            first = self.steps[0]
+            folded_w = np.ascontiguousarray(first.weight * inv_scale[:, None])
+            shift = (input_mean * inv_scale) @ first.weight
+            folded_b = np.ascontiguousarray(
+                (first.bias - shift) if first.bias is not None else -shift,
+                dtype=np.float32,
+            )
+            self._exec[0] = (folded_w, folded_b, first.activation)
+        self._n_inputs = self.steps[0].in_features
+        self._capacity = 0
+        self._buffers: list[np.ndarray] = []
+        # Views of the buffers at the last-seen batch size, so steady-state
+        # serving (a fixed micro-batch size, or single frames) re-slices
+        # nothing per call.
+        self._views: list[np.ndarray] = []
+        self._views_n = -1
+        self._ensure_capacity(capacity)
+
+    # -------------------------------------------------------------- freezing
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Sequential,
+        scaler: StandardScaler | None = None,
+        capacity: int = 64,
+    ) -> "InferencePlan":
+        """Freeze a ``Sequential`` MLP (and optional fitted scaler).
+
+        Supported layers: :class:`~repro.nn.modules.Linear` with a
+        ReLU/Sigmoid/Tanh directly after it, and
+        :class:`~repro.nn.modules.Dropout` anywhere (identity at
+        inference, so it is simply dropped).  Anything else — BatchNorm,
+        custom modules, stacked activations — raises
+        :class:`~repro.exceptions.ConfigurationError`: a plan that
+        silently diverged from its source model would be worse than no
+        plan at all.
+        """
+        if not isinstance(model, Sequential):
+            raise ConfigurationError(
+                f"InferencePlan freezes Sequential models, got {type(model).__name__}"
+            )
+        tags = {ReLU: "relu", Sigmoid: "sigmoid", Tanh: "tanh"}
+        steps: list[PlanStep] = []
+        for layer in model.layers:
+            if isinstance(layer, Dropout):
+                continue
+            if isinstance(layer, Linear):
+                weight = np.ascontiguousarray(layer.weight.data, dtype=np.float32)
+                bias = (
+                    None
+                    if layer.bias is None
+                    else np.ascontiguousarray(layer.bias.data, dtype=np.float32)
+                )
+                steps.append(PlanStep(weight, bias, "none"))
+                continue
+            tag = tags.get(type(layer))
+            if tag is None:
+                raise ConfigurationError(
+                    f"cannot freeze layer {layer!r}: InferencePlan supports "
+                    "Linear, ReLU, Sigmoid, Tanh and Dropout"
+                )
+            if not steps:
+                raise ConfigurationError(
+                    f"cannot freeze {layer!r} before any Linear layer"
+                )
+            if steps[-1].activation != "none":
+                raise ConfigurationError(
+                    f"cannot fuse {layer!r}: step already carries "
+                    f"{steps[-1].activation!r}"
+                )
+            steps[-1] = PlanStep(steps[-1].weight, steps[-1].bias, tag)
+        if not steps:
+            raise ConfigurationError("model contains no Linear layers to freeze")
+        mean = scale = None
+        if scaler is not None:
+            state = scaler.state  # raises NotFittedError on an unfitted scaler
+            mean, scale = state["mean"], state["scale"]
+        return cls(steps, input_mean=mean, input_scale=scale, capacity=capacity)
+
+    # ------------------------------------------------------------- geometry
+
+    @property
+    def n_inputs(self) -> int:
+        """Feature width the plan consumes."""
+        return self.steps[0].in_features
+
+    @property
+    def n_outputs(self) -> int:
+        """Output width the final step produces."""
+        return self.steps[-1].out_features
+
+    @property
+    def capacity(self) -> int:
+        """Largest batch the current buffers hold without reallocating."""
+        return self._capacity
+
+    def n_parameters(self) -> int:
+        """Total frozen scalar count (matches the source model's)."""
+        return sum(
+            s.weight.size + (0 if s.bias is None else s.bias.size) for s in self.steps
+        )
+
+    def nbytes(self) -> int:
+        """Bytes held by weights, biases and scratch buffers."""
+        weights = sum(
+            w.nbytes + (0 if b is None else b.nbytes) for w, b, _ in self._exec
+        )
+        scratch = sum(b.nbytes for b in self._buffers)
+        return weights + scratch
+
+    def __repr__(self) -> str:
+        widths = [self.n_inputs] + [s.out_features for s in self.steps]
+        arch = "->".join(str(w) for w in widths)
+        scaled = ", scaled" if self.input_mean is not None else ""
+        return f"InferencePlan({arch}{scaled}, capacity={self._capacity})"
+
+    # ------------------------------------------------------------- hot path
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        capacity = max(n, 2 * self._capacity, 1)
+        self._buffers = [
+            np.empty((capacity, step.out_features), dtype=np.float32)
+            for step in self.steps
+        ]
+        self._capacity = capacity
+        self._views_n = -1
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the frozen forward pass; returns raw outputs, shape (n, out).
+
+        The returned array is a **view into a reused scratch buffer** —
+        valid until the next ``forward`` call.  Copy it if you keep it;
+        :meth:`predict_proba` / :meth:`predict_logits` already do.
+        """
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self._n_inputs:
+            raise ShapeError(
+                f"InferencePlan({self._n_inputs} inputs) got input {x.shape}"
+            )
+        n = x.shape[0]
+        if n != self._views_n:
+            if n > self._capacity:
+                self._ensure_capacity(n)
+            self._views = [buffer[:n] for buffer in self._buffers]
+            self._views_n = n
+        current = x
+        for (weight, bias, activation), out in zip(self._exec, self._views):
+            # np.dot hits the same BLAS GEMM as np.matmul but with less
+            # Python dispatch — worth ~0.5 us/layer at single-frame sizes.
+            np.dot(current, weight, out=out)
+            if bias is not None:
+                out += bias
+            if activation == "relu":
+                np.maximum(out, _F32_ZERO, out=out)
+            elif activation != "none":
+                _apply_activation_inplace(out, activation)
+            current = out
+        return current
+
+    __call__ = forward
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Raw model outputs as a fresh (owned) array, shape (n, out)."""
+        return self.forward(x).copy()
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(occupied) per row, shape (n,) — single-logit plans only.
+
+        Matches :meth:`repro.core.detector.OccupancyDetector.predict_proba`
+        numerics (clipped logistic) so a frozen detector serves byte-alike.
+        A plan whose final step already ends in ``sigmoid`` is returned
+        as-is (re-squashing probabilities would be wrong).
+        """
+        if self.n_outputs != 1:
+            raise ShapeError(
+                f"predict_proba needs a single-output plan, this one has "
+                f"{self.n_outputs}"
+            )
+        out = self.forward(x)[:, 0].astype(float)
+        if self.steps[-1].activation == "sigmoid":
+            return out
+        # In-place float64 clipped logistic — bit-identical to the
+        # detector's 1/(1 + exp(-clip(logits))) but allocation-free
+        # (maximum+minimum computes np.clip's result without its
+        # Python dispatch overhead).
+        np.maximum(out, -_LOGIT_CLIP, out=out)
+        np.minimum(out, _LOGIT_CLIP, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 decisions at the 0.5 threshold."""
+        return (self.predict_proba(x) >= 0.5).astype(int)
+
+    # ---------------------------------------------------------- persistence
+
+    def payload(self) -> tuple[dict[str, np.ndarray], dict]:
+        """``(arrays, meta)`` for :func:`repro.deploy.export.export_plan`."""
+        arrays: dict[str, np.ndarray] = {}
+        for i, step in enumerate(self.steps):
+            arrays[f"w{i}"] = step.weight
+            if step.bias is not None:
+                arrays[f"b{i}"] = step.bias
+        if self.input_mean is not None:
+            arrays["input_mean"] = self.input_mean
+            arrays["input_scale"] = self.input_scale
+        meta = {
+            "kind": "inference_plan",
+            "version": 1,
+            "n_steps": len(self.steps),
+            "activations": [s.activation for s in self.steps],
+            "has_bias": [s.bias is not None for s in self.steps],
+            "has_scaler": self.input_mean is not None,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_payload(
+        cls, arrays: dict[str, np.ndarray], meta: dict, capacity: int = 64
+    ) -> "InferencePlan":
+        """Rebuild a plan from :meth:`payload` output (load-side)."""
+        if meta.get("kind") != "inference_plan":
+            raise ConfigurationError("payload is not an inference plan")
+        steps = []
+        for i in range(int(meta["n_steps"])):
+            weight = np.ascontiguousarray(arrays[f"w{i}"], dtype=np.float32)
+            bias = (
+                np.ascontiguousarray(arrays[f"b{i}"], dtype=np.float32)
+                if meta["has_bias"][i]
+                else None
+            )
+            steps.append(PlanStep(weight, bias, meta["activations"][i]))
+        mean = scale = None
+        if meta["has_scaler"]:
+            mean, scale = arrays["input_mean"], arrays["input_scale"]
+        return cls(steps, input_mean=mean, input_scale=scale, capacity=capacity)
+
+
+def freeze_detector(detector) -> InferencePlan:
+    """Freeze an :class:`~repro.core.detector.OccupancyDetector` end to end.
+
+    Captures both halves of the detector's predict path — the fitted
+    scaler and the MLP — so ``plan.predict_proba`` reproduces
+    ``detector.predict_proba`` to float32 precision.  Duck-typed: any
+    object with a fitted ``.scaler`` and a Sequential ``.model`` works.
+    """
+    model = getattr(detector, "model", None)
+    scaler = getattr(detector, "scaler", None)
+    if model is None:
+        raise ConfigurationError(
+            f"{type(detector).__name__} has no .model attribute to freeze"
+        )
+    if not isinstance(model, Module):
+        raise ConfigurationError(
+            f"{type(detector).__name__}.model is not a Module"
+        )
+    return InferencePlan.from_model(model, scaler=scaler)

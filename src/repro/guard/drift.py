@@ -276,7 +276,9 @@ class DriftSentinel:
 
     def observe(self, rows: np.ndarray, t_s: float = 0.0) -> list[DriftEvent]:
         """Feed served rows; returns state-change events (usually empty)."""
-        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        # Copy, don't view: buffered rows outlive this call, and the serving
+        # engine reuses (overwrites) its batch buffers between flushes.
+        rows = np.atleast_2d(np.array(rows, dtype=float))
         if rows.shape[1] != self.reference.n_features:
             raise ConfigurationError(
                 f"rows have {rows.shape[1]} features, reference has "

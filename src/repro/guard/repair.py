@@ -149,6 +149,94 @@ class GapRepairer:
         state.last_t, state.last_row = t_s, row
         return fills
 
+    def observe_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray
+    ) -> list[list[FillFrame]]:
+        """Batch form of :meth:`observe`: fills per frame of one link's block.
+
+        Semantically identical to calling :meth:`observe` on each
+        ``(t_s[i], rows[i])`` in order — same fill timestamps, rows,
+        ledger counts and final cadence state (tests assert exact
+        equality) — but gap detection over the block is one vectorized
+        pass instead of n Python calls.  Anchor seeding and cadence
+        learning are inherently sequential, so the first frames run the
+        scalar path until the link's interval is known; fills themselves
+        are built per gap, which is fine because gaps are rare by
+        definition.
+        """
+        t = np.asarray(t_s, dtype=float)
+        block = np.asarray(rows, dtype=float)
+        if t.ndim != 1 or block.ndim != 2 or block.shape[0] != t.shape[0]:
+            raise ConfigurationError(
+                f"observe_batch needs (n,) timestamps and (n, d) rows, got "
+                f"{t.shape} and {block.shape}"
+            )
+        n = t.shape[0]
+        fills: list[list[FillFrame]] = [[] for _ in range(n)]
+        i = 0
+        while i < n:
+            state = self._links.get(link_id)
+            if (
+                state is not None
+                and state.last_t is not None
+                and self.interval_s(link_id) is not None
+            ):
+                break
+            fills[i] = self.observe(link_id, t[i], block[i])
+            i += 1
+        if i >= n:
+            return fills
+
+        state = self._links[link_id]
+        interval = self.interval_s(link_id)
+        assert interval is not None and state.last_t is not None
+        tail = t[i:]
+        # The anchor a frame is measured against is the running max of
+        # (pre-batch anchor, earlier tail timestamps): reordered frames
+        # (dt <= 0) never advance the anchor, and an advancing frame's
+        # timestamp is by definition the new max.
+        prev = np.empty(tail.size)
+        prev[0] = state.last_t
+        if tail.size > 1:
+            np.maximum(np.maximum.accumulate(tail[:-1]), state.last_t, out=prev[1:])
+        dt = tail - prev
+        advancing = dt > 0
+        # Index (within the tail) of the latest advancing frame strictly
+        # before each position; -1 means the pre-batch anchor row.
+        anchor_idx = np.empty(tail.size, dtype=np.int64)
+        anchor_idx[0] = -1
+        if tail.size > 1:
+            positions = np.where(advancing, np.arange(tail.size), -1)
+            np.maximum.accumulate(positions[:-1], out=anchor_idx[1:])
+
+        for k in np.flatnonzero(dt > interval * (1.0 + self.tolerance)):
+            n_missing = int(round(float(dt[k]) / interval)) - 1
+            if 1 <= n_missing <= self.max_fill:
+                j = int(anchor_idx[k])
+                last_row = state.last_row if j < 0 else block[i + j]
+                last_t = float(prev[k])
+                row = block[i + k]
+                gap_fills: list[FillFrame] = []
+                for m in range(1, n_missing + 1):
+                    if self.mode == "hold":
+                        fill_row = last_row.copy()
+                    else:
+                        weight = m / (n_missing + 1)
+                        fill_row = last_row + (row - last_row) * weight
+                    gap_fills.append(FillFrame(last_t + m * interval, fill_row))
+                fills[i + k] = gap_fills
+                self.gaps_repaired += 1
+                self.frames_filled += n_missing
+            elif n_missing > self.max_fill:
+                self.gaps_unrepaired += 1
+
+        advanced = np.flatnonzero(advancing)
+        if advanced.size:
+            final = int(advanced[-1])
+            state.last_t = float(tail[final])
+            state.last_row = block[i + final]
+        return fills
+
     def reset(self) -> None:
         """Forget all per-link state and the repair ledger."""
         self._links.clear()

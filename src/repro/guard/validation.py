@@ -51,11 +51,47 @@ class FrameCheck:
     ) -> ValidationFailure | None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def check_batch(
+        self,
+        link_id: str,
+        t_s: np.ndarray,
+        rows: np.ndarray,
+        active: np.ndarray,
+    ) -> list[ValidationFailure | None]:
+        """Vectorizable form: one verdict per row of a (n, d) block.
+
+        ``active[i]`` marks rows still in play (no earlier check failed
+        them); results at inactive positions are ignored by the caller
+        and must not advance per-link state.  The base implementation
+        replays :meth:`check` row by row — exactly the scalar semantics —
+        so custom checks stay correct without writing a batch kernel;
+        the built-in checks override it with vectorized mask computation
+        and build the (byte-identical) failure messages only for the
+        rows that actually fail.
+        """
+        out: list[ValidationFailure | None] = [None] * len(t_s)
+        for i in np.flatnonzero(active):
+            out[i] = self.check(link_id, float(t_s[i]), rows[i])
+        return out
+
     def reset(self) -> None:
         """Forget any per-stream state (new replay, new campaign)."""
 
     def _fail(self, message: str, column: int | None = None) -> ValidationFailure:
         return ValidationFailure(self.name, message, column)
+
+    def _mask_to_failures(
+        self,
+        link_id: str,
+        t_s: np.ndarray,
+        rows: np.ndarray,
+        fail_mask: np.ndarray,
+    ) -> list[ValidationFailure | None]:
+        """Build scalar-path failures for the rows a batch mask rejected."""
+        out: list[ValidationFailure | None] = [None] * len(t_s)
+        for i in np.flatnonzero(fail_mask):
+            out[i] = self.check(link_id, float(t_s[i]), rows[i])
+        return out
 
 
 class FiniteCheck(FrameCheck):
@@ -69,6 +105,12 @@ class FiniteCheck(FrameCheck):
             return None
         column = int(np.flatnonzero(~finite)[0])
         return self._fail(f"non-finite value at column {column}", column)
+
+    def check_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray, active: np.ndarray
+    ) -> list[ValidationFailure | None]:
+        fail = active & ~np.isfinite(rows).all(axis=1)
+        return self._mask_to_failures(link_id, t_s, rows, fail)
 
 
 class SubcarrierCountCheck(FrameCheck):
@@ -89,6 +131,15 @@ class SubcarrierCountCheck(FrameCheck):
                 f"row has {row.shape[0]} features, model expects {self.expected}"
             )
         return None
+
+    def check_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray, active: np.ndarray
+    ) -> list[ValidationFailure | None]:
+        # A 2-D block has one uniform width: every active row passes or
+        # every active row fails (message built by the scalar path).
+        if rows.ndim == 2 and rows.shape[1] == self.expected:
+            return [None] * len(t_s)
+        return self._mask_to_failures(link_id, t_s, rows, np.asarray(active, bool))
 
 
 class AmplitudeRangeCheck(FrameCheck):
@@ -124,6 +175,17 @@ class AmplitudeRangeCheck(FrameCheck):
             column,
         )
 
+    def check_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray, active: np.ndarray
+    ) -> list[ValidationFailure | None]:
+        if self.low.ndim == 1 and rows.shape[1] != self.low.shape[0]:
+            fail = np.asarray(active, bool)
+        else:
+            # NaNs compare False on both sides, exactly like the scalar
+            # check — the finite check is the one that names them.
+            fail = active & ((rows < self.low) | (rows > self.high)).any(axis=1)
+        return self._mask_to_failures(link_id, t_s, rows, fail)
+
 
 class TimestampMonotonicityCheck(FrameCheck):
     """Reject frames whose timestamp jumps backwards beyond a tolerance.
@@ -155,6 +217,46 @@ class TimestampMonotonicityCheck(FrameCheck):
             )
         self._latest[link_id] = max(latest, t_s) if latest is not None else t_s
         return None
+
+    def check_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray, active: np.ndarray
+    ) -> list[ValidationFailure | None]:
+        # Sequential semantics, vectorized: the "newest accepted frame" a
+        # row is measured against is the running max of the active
+        # timestamps before it (failing rows never update the scalar
+        # state, but a failing timestamp sits below the running max by
+        # construction, so including it in the prefix changes nothing).
+        out: list[ValidationFailure | None] = [None] * len(t_s)
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return out
+        t = np.asarray(t_s, dtype=float)[idx]
+        if np.isnan(t).any():
+            # NaN timestamps make Python's max() asymmetric (max(x, nan)
+            # keeps x, max(nan, x) keeps nan), so the scalar state
+            # evolution cannot be mirrored with accumulate — run the
+            # scalar check per row to stay byte-identical.
+            for k, i in enumerate(idx):
+                out[i] = self.check(link_id, float(t[k]), rows[i])
+            return out
+        latest = self._latest.get(link_id)
+        init = -np.inf if latest is None else latest
+        prev = np.empty(idx.size)
+        prev[0] = init
+        if idx.size > 1:
+            np.maximum(np.maximum.accumulate(t[:-1]), init, out=prev[1:])
+        fail = np.isfinite(prev) & (t < prev - self.tolerance_s)
+        for k in np.flatnonzero(fail):
+            newest, when = float(prev[k]), float(t[k])
+            out[idx[k]] = self._fail(
+                f"timestamp {when:.3f} is {newest - when:.3f}s behind link "
+                f"{link_id!r}'s newest frame ({newest:.3f}), beyond the "
+                f"{self.tolerance_s:.3f}s tolerance"
+            )
+        # Python max semantics, like the scalar path (t has no NaN here).
+        newest_seen = float(t.max()) if latest is None else max(latest, float(t.max()))
+        self._latest[link_id] = newest_seen
+        return out
 
 
 class EnvPlausibilityCheck(FrameCheck):
@@ -200,6 +302,27 @@ class EnvPlausibilityCheck(FrameCheck):
             )
         return None
 
+    def check_batch(
+        self, link_id: str, t_s: np.ndarray, rows: np.ndarray, active: np.ndarray
+    ) -> list[ValidationFailure | None]:
+        start, stop, step = self.env_slice.indices(rows.shape[1])
+        wanted_stop = self.env_slice.stop
+        if (wanted_stop is not None and wanted_stop > rows.shape[1]) or len(
+            range(start, stop, step)
+        ) < 2:
+            fail = np.asarray(active, bool)
+        else:
+            temperature, humidity = rows[:, start], rows[:, start + 1]
+            lo_t, hi_t = self.temperature_c
+            lo_h, hi_h = self.humidity_rh
+            # Chained comparisons with NaN are False, so ~(ok) fails NaN
+            # env columns exactly as the scalar path does.
+            ok = ((lo_t <= temperature) & (temperature <= hi_t)) & (
+                (lo_h <= humidity) & (humidity <= hi_h)
+            )
+            fail = active & ~ok
+        return self._mask_to_failures(link_id, t_s, rows, fail)
+
 
 class FrameValidator:
     """Run a chain of :class:`FrameCheck` objects; first failure wins.
@@ -229,6 +352,44 @@ class FrameValidator:
             if failure is not None:
                 return failure
         return None
+
+    def validate_batch(
+        self, link_id: str, t_s, rows
+    ) -> list[ValidationFailure | None]:
+        """Batch form of :meth:`validate`: one verdict per row.
+
+        Semantically identical to calling :meth:`validate` on each
+        ``(t_s[i], rows[i])`` in order — same verdicts, same messages,
+        same per-link state evolution (tests assert byte-identity) — but
+        each check computes its pass/fail mask over the whole block in
+        one vectorized pass, so validation cost stops being
+        O(frames × Python-level checks).  Rows that cannot form a clean
+        2-D float block (ragged widths, non-numeric entries) fall back to
+        the scalar path row by row, which preserves the per-row
+        ``"coerce"`` verdicts.
+        """
+        t = np.asarray(t_s, dtype=float)
+        try:
+            block = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError):
+            block = None
+        if block is None or block.ndim != 2:
+            return [
+                self.validate(link_id, float(when), row)
+                for when, row in zip(t, rows)
+            ]
+        n = block.shape[0]
+        failures: list[ValidationFailure | None] = [None] * n
+        active = np.ones(n, dtype=bool)
+        for chk in self.checks:
+            if not active.any():
+                break
+            verdicts = chk.check_batch(link_id, t, block, active)
+            for i in np.flatnonzero(active):
+                if verdicts[i] is not None:
+                    failures[i] = verdicts[i]
+                    active[i] = False
+        return failures
 
     def check(self, link_id: str, t_s: float, row) -> np.ndarray:
         """Raising form: returns the coerced row or raises ValidationError."""

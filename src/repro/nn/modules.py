@@ -267,6 +267,26 @@ class Sequential(Module):
         if not layers:
             raise ConfigurationError("Sequential needs at least one layer")
         self.layers = list(layers)
+        self._param_cache: list[Tensor] | None = None
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Cached parameter list — hot on the training path.
+
+        ``zero_grad`` and optimizer construction walk the parameters on
+        every step; for a fixed layer stack the walk always yields the
+        same Tensor objects, so it is done once and memoized.  The cache
+        holds the Tensors themselves (whose ``.data`` training and
+        ``load_state_dict`` update in place), and is invalidated by
+        :meth:`load_state_dict` defensively.  Mutating :attr:`layers`
+        after construction is not supported.
+        """
+        if self._param_cache is None:
+            self._param_cache = list(super().parameters())
+        yield from self._param_cache
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._param_cache = None
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:

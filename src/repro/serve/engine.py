@@ -201,6 +201,13 @@ class InferenceEngine:
         self._links: dict[str, _LinkState] = {}
         self._now_s = -np.inf
         self._frame_seq = 0
+        # Preallocated ring of batch buffers (lazily sized to the frame
+        # width) so _run_batch copies rows into reused storage instead of
+        # np.stack-ing a fresh array per flush.  Two slots: inference is
+        # synchronous, but the drift sentinel and custom estimators may
+        # legitimately read the batch until the *next* flush begins.
+        self._batch_ring: list[np.ndarray] = []
+        self._ring_index = 0
 
     # ---------------------------------------------------------------- links
 
@@ -386,6 +393,30 @@ class InferenceEngine:
         self.supervisor.record_fallback_success(self._now_s)
         return probabilities, "fallback"
 
+    def _assemble(self, frames: list[PendingFrame]) -> np.ndarray:
+        """Copy the batch rows into a reused buffer (zero fresh allocation).
+
+        Falls back to ``np.stack`` for over-long batches or mixed frame
+        widths, where it reproduces the legacy behaviour (including the
+        ``ValueError`` a ragged batch has always raised).
+        """
+        n = len(frames)
+        width = frames[0].csi.shape[0]
+        if n > self.queue.max_batch or any(
+            frame.csi.shape[0] != width for frame in frames
+        ):
+            return np.stack([frame.csi for frame in frames])
+        shape = (self.queue.max_batch, width)
+        if not self._batch_ring or self._batch_ring[0].shape != shape:
+            self._batch_ring = [np.empty(shape) for _ in range(2)]
+            self._ring_index = 0
+        buffer = self._batch_ring[self._ring_index]
+        self._ring_index = (self._ring_index + 1) % len(self._batch_ring)
+        x = buffer[:n]
+        for i, frame in enumerate(frames):
+            x[i] = frame.csi
+        return x
+
     def _run_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:
         frames = self._drop_stale(frames)
         self.registry.gauge("queue_depth").set(self.queue.depth)
@@ -397,7 +428,7 @@ class InferenceEngine:
             for frame in frames:
                 obs.tracer.queue_wait(frame.frame_id)
             t0 = time.perf_counter()
-        x = np.stack([frame.csi for frame in frames])
+        x = self._assemble(frames)
         self.supervisor.observe(x, self._now_s)
         if tracing:
             supervise_ms = 1000.0 * (time.perf_counter() - t0)

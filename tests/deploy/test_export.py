@@ -57,3 +57,48 @@ class TestExport:
     def test_braces_balanced(self, tmp_path):
         text = export_c_header(quantized(), tmp_path / "m.h").read_text()
         assert text.count("{") == text.count("}")
+
+
+class TestPlanExport:
+    def make_plan(self, seed=0):
+        from repro.baselines.scaler import StandardScaler
+        from repro.fastpath import InferencePlan
+
+        rng = np.random.default_rng(seed)
+        model = Sequential(Linear(6, 12, rng=rng), ReLU(), Linear(12, 1, rng=rng))
+        scaler = StandardScaler().fit(rng.normal(5.0, 2.0, size=(40, 6)))
+        return InferencePlan.from_model(model, scaler=scaler)
+
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        from repro.deploy.export import export_plan, load_plan
+
+        plan = self.make_plan()
+        path = export_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(path)
+        x = np.random.default_rng(1).normal(5.0, 2.0, size=(9, 6))
+        np.testing.assert_array_equal(
+            plan.predict_proba(x), loaded.predict_proba(x)
+        )
+        assert loaded.n_parameters() == plan.n_parameters()
+
+    def test_capacity_is_a_load_time_choice(self, tmp_path):
+        from repro.deploy.export import export_plan, load_plan
+
+        path = export_plan(self.make_plan(), tmp_path / "plan.npz")
+        assert load_plan(path, capacity=256).capacity == 256
+
+    def test_rejects_wrong_artifact_kind(self, tmp_path):
+        from repro.deploy.export import load_plan
+        from repro.exceptions import SerializationError
+
+        bad = tmp_path / "other.npz"
+        np.savez(bad, w0=np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(SerializationError):
+            load_plan(bad)
+
+    def test_rejects_missing_file(self, tmp_path):
+        from repro.deploy.export import load_plan
+        from repro.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            load_plan(tmp_path / "nope.npz")

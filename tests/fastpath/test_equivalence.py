@@ -1,0 +1,132 @@
+"""Fastpath <-> tensor-path equivalence, property-style.
+
+The contract the whole subsystem rests on: for every supported
+architecture, a frozen plan's probabilities match the production tensor
+path to <= 1e-5 elementwise.  Shapes are sampled (seeded) across depths,
+widths and batch sizes, including the paper's 64-input CSI and 66-input
+CSI+Env layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scaler import StandardScaler
+from repro.core.model_zoo import build_paper_mlp
+from repro.fastpath import InferencePlan
+from repro.nn.modules import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.tensor import Tensor, no_grad
+
+TOLERANCE = 1e-5
+
+
+def tensor_proba(model, scaler, x):
+    """The production path: scale, eval, no_grad forward, clipped logistic."""
+    scaled = scaler.transform(np.asarray(x, dtype=float)) if scaler else x
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(np.asarray(scaled, dtype=float))).data
+    return 1.0 / (1.0 + np.exp(-np.clip(logits.ravel(), -500, 500)))
+
+
+@pytest.mark.parametrize("n_inputs", [64, 66])
+@pytest.mark.parametrize("batch", [1, 7, 64])
+def test_paper_architectures_match(n_inputs, batch):
+    model = build_paper_mlp(n_inputs, (128, 256, 128), n_outputs=1, seed=n_inputs)
+    rng = np.random.default_rng(batch)
+    scaler = StandardScaler().fit(rng.normal(10.0, 3.0, size=(128, n_inputs)))
+    plan = InferencePlan.from_model(model, scaler=scaler)
+    x = rng.normal(10.0, 3.0, size=(batch, n_inputs))
+    delta = np.abs(tensor_proba(model, scaler, x) - plan.predict_proba(x))
+    assert delta.max() <= TOLERANCE
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_architectures_match(seed):
+    rng = np.random.default_rng(seed)
+    n_inputs = int(rng.integers(2, 80))
+    depth = int(rng.integers(1, 4))
+    hidden = tuple(int(rng.integers(4, 96)) for _ in range(depth))
+    model = build_paper_mlp(n_inputs, hidden, n_outputs=1, seed=seed)
+    scaler = StandardScaler().fit(rng.normal(5.0, 2.0, size=(64, n_inputs)))
+    plan = InferencePlan.from_model(model, scaler=scaler)
+    batch = int(rng.integers(1, 65))
+    x = rng.normal(5.0, 2.0, size=(batch, n_inputs))
+    delta = np.abs(tensor_proba(model, scaler, x) - plan.predict_proba(x))
+    assert delta.max() <= TOLERANCE, (n_inputs, hidden, batch, delta.max())
+
+
+def test_mixed_activations_match():
+    rng = np.random.default_rng(7)
+    model = Sequential(
+        Linear(12, 24, rng=rng), Tanh(), Linear(24, 8, rng=rng), ReLU(),
+        Linear(8, 1, rng=rng),
+    )
+    plan = InferencePlan.from_model(model)
+    x = rng.normal(size=(33, 12))
+    delta = np.abs(tensor_proba(model, None, x) - plan.predict_proba(x))
+    assert delta.max() <= TOLERANCE
+
+
+def test_sigmoid_head_matches_tensor_sigmoid():
+    rng = np.random.default_rng(11)
+    model = Sequential(Linear(6, 10, rng=rng), ReLU(), Linear(10, 1, rng=rng), Sigmoid())
+    plan = InferencePlan.from_model(model)
+    x = rng.normal(size=(17, 6))
+    model.eval()
+    with no_grad():
+        expected = model(Tensor(x)).data.ravel()
+    assert np.abs(expected - plan.predict_proba(x)).max() <= TOLERANCE
+
+
+def test_dropout_model_matches_in_eval_mode():
+    """Dropout must be identity in the frozen plan: eval-mode semantics."""
+    rng = np.random.default_rng(13)
+    model = Sequential(
+        Linear(10, 20, rng=rng), ReLU(), Dropout(0.5),
+        Linear(20, 1, rng=rng),
+    )
+    plan = InferencePlan.from_model(model)
+    x = rng.normal(size=(21, 10))
+    # Freeze ignores training mode entirely; the reference is eval mode.
+    model.train()
+    delta = np.abs(tensor_proba(model, None, x) - plan.predict_proba(x))
+    assert delta.max() <= TOLERANCE
+    # And the plan is deterministic call over call (no dropout sampling).
+    np.testing.assert_array_equal(plan.predict_proba(x), plan.predict_proba(x))
+
+
+def test_batch_size_does_not_change_answers():
+    """Row i's probability is the same alone and inside any batch.
+
+    BLAS may pick different GEMM kernels (different summation blocking)
+    per batch size, so the guarantee is the plan's equivalence tolerance,
+    not bit-identity.
+    """
+    rng = np.random.default_rng(17)
+    model = build_paper_mlp(16, (32, 16), n_outputs=1, seed=3)
+    plan = InferencePlan.from_model(model)
+    x = rng.normal(size=(64, 16))
+    whole = plan.predict_proba(x)
+    singles = np.concatenate([plan.predict_proba(x[i : i + 1]) for i in range(64)])
+    np.testing.assert_allclose(whole, singles, rtol=0, atol=TOLERANCE)
+    sevens = np.concatenate(
+        [plan.predict_proba(x[lo : lo + 7]) for lo in range(0, 64, 7)]
+    )
+    np.testing.assert_allclose(whole, sevens, rtol=0, atol=TOLERANCE)
+    # Repeating the same batch size is deterministic, though.
+    np.testing.assert_array_equal(whole, plan.predict_proba(x))
+
+
+def test_hard_predictions_agree_with_detector_threshold():
+    rng = np.random.default_rng(19)
+    model = build_paper_mlp(8, (16,), n_outputs=1, seed=5)
+    scaler = StandardScaler().fit(rng.normal(size=(64, 8)))
+    plan = InferencePlan.from_model(model, scaler=scaler)
+    x = rng.normal(size=(200, 8))
+    expected = (tensor_proba(model, scaler, x) >= 0.5).astype(int)
+    predicted = plan.predict(x)
+    # Probabilities agree to 1e-5; decisions can only differ for rows
+    # sitting within that band of 0.5.
+    proba = plan.predict_proba(x)
+    decided = np.abs(proba - 0.5) > TOLERANCE
+    np.testing.assert_array_equal(predicted[decided], expected[decided])

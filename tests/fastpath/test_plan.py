@@ -1,0 +1,261 @@
+"""Tests for the frozen inference plan (construction, buffers, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scaler import StandardScaler
+from repro.core.model_zoo import build_paper_mlp
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.fastpath import InferencePlan, PlanStep, freeze_detector
+from repro.nn.modules import (
+    BatchNorm1d,
+    Dropout,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+def _step(n_in, n_out, activation="none", bias=True, seed=0):
+    rng = np.random.default_rng(seed)
+    w = np.ascontiguousarray(rng.normal(size=(n_in, n_out)), dtype=np.float32)
+    b = rng.normal(size=n_out).astype(np.float32) if bias else None
+    return PlanStep(w, b, activation)
+
+
+class TestPlanStep:
+    def test_rejects_float64_weight(self):
+        with pytest.raises(ConfigurationError):
+            PlanStep(np.zeros((2, 3)), None, "none")
+
+    def test_rejects_non_contiguous_weight(self):
+        w = np.zeros((4, 6), dtype=np.float32)[:, ::2]
+        with pytest.raises(ConfigurationError):
+            PlanStep(w, None, "none")
+
+    def test_rejects_bad_bias_shape(self):
+        w = np.zeros((2, 3), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            PlanStep(w, np.zeros(2, dtype=np.float32), "none")
+
+    def test_rejects_unknown_activation(self):
+        w = np.zeros((2, 3), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            PlanStep(w, None, "gelu")
+
+    def test_geometry(self):
+        step = _step(5, 7)
+        assert step.in_features == 5 and step.out_features == 7
+
+
+class TestConstruction:
+    def test_needs_steps(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan([])
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ConfigurationError, match="widths"):
+            InferencePlan([_step(4, 8), _step(9, 1)])
+
+    def test_scaler_stats_come_together(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan([_step(4, 1)], input_mean=np.zeros(4))
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan(
+                [_step(4, 1)], input_mean=np.zeros(4), input_scale=np.zeros(4)
+            )
+
+    def test_rejects_wrong_stat_shape(self):
+        with pytest.raises(ShapeError):
+            InferencePlan(
+                [_step(4, 1)], input_mean=np.zeros(3), input_scale=np.ones(3)
+            )
+
+    def test_repr_shows_architecture(self):
+        plan = InferencePlan([_step(4, 8, "relu"), _step(8, 1)])
+        assert "4->8->1" in repr(plan)
+
+    def test_n_parameters_matches_model(self):
+        model = build_paper_mlp(64, (128, 256, 128), n_outputs=1, seed=0)
+        plan = InferencePlan.from_model(model)
+        assert plan.n_parameters() == model.n_parameters()
+
+    def test_nbytes_positive(self):
+        plan = InferencePlan([_step(4, 8, "relu"), _step(8, 1)])
+        assert plan.nbytes() > 0
+
+
+class TestFromModel:
+    def test_rejects_non_sequential(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan.from_model(Linear(4, 2))
+
+    def test_rejects_unsupported_layer(self):
+        model = Sequential(Linear(4, 4), BatchNorm1d(4), Linear(4, 1))
+        with pytest.raises(ConfigurationError, match="cannot freeze"):
+            InferencePlan.from_model(model)
+
+    def test_rejects_leading_activation(self):
+        with pytest.raises(ConfigurationError, match="before any Linear"):
+            InferencePlan.from_model(Sequential(ReLU(), Linear(4, 1)))
+
+    def test_rejects_stacked_activations(self):
+        model = Sequential(Linear(4, 4), ReLU(), Tanh(), Linear(4, 1))
+        with pytest.raises(ConfigurationError, match="already carries"):
+            InferencePlan.from_model(model)
+
+    def test_rejects_activation_only_model(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan.from_model(Sequential(Dropout(0.2)))
+
+    def test_rejects_unfitted_scaler(self):
+        model = Sequential(Linear(4, 1))
+        with pytest.raises(NotFittedError):
+            InferencePlan.from_model(model, scaler=StandardScaler())
+
+    def test_dropout_is_dropped(self):
+        model = Sequential(Linear(4, 8), ReLU(), Dropout(0.5), Linear(8, 1))
+        plan = InferencePlan.from_model(model)
+        assert len(plan.steps) == 2
+        assert [s.activation for s in plan.steps] == ["relu", "none"]
+
+    def test_sigmoid_and_tanh_fuse(self):
+        model = Sequential(Linear(4, 8), Tanh(), Linear(8, 1), Sigmoid())
+        plan = InferencePlan.from_model(model)
+        assert [s.activation for s in plan.steps] == ["tanh", "sigmoid"]
+
+    def test_plan_holds_copies(self):
+        model = Sequential(Linear(4, 1))
+        plan = InferencePlan.from_model(model)
+        before = plan.forward(np.ones(4)).copy()
+        model.layers[0].weight.data += 100.0
+        after = plan.forward(np.ones(4))
+        np.testing.assert_array_equal(before, after)
+
+
+class TestForward:
+    def test_1d_input_promotes_to_batch_of_one(self):
+        plan = InferencePlan([_step(4, 2)])
+        out = plan.forward(np.zeros(4))
+        assert out.shape == (1, 2)
+
+    def test_rejects_wrong_width(self):
+        plan = InferencePlan([_step(4, 2)])
+        with pytest.raises(ShapeError):
+            plan.forward(np.zeros((3, 5)))
+
+    def test_rejects_3d_input(self):
+        plan = InferencePlan([_step(4, 2)])
+        with pytest.raises(ShapeError):
+            plan.forward(np.zeros((2, 3, 4)))
+
+    def test_capacity_grows_geometrically_and_never_shrinks(self):
+        plan = InferencePlan([_step(4, 2)], capacity=2)
+        assert plan.capacity == 2
+        plan.forward(np.zeros((3, 4)))
+        assert plan.capacity == 4  # 2x growth
+        plan.forward(np.zeros((100, 4)))
+        assert plan.capacity == 100
+        plan.forward(np.zeros((1, 4)))
+        assert plan.capacity == 100
+
+    def test_steady_state_reuses_buffers(self):
+        plan = InferencePlan([_step(4, 2)], capacity=8)
+        a = plan.forward(np.zeros((3, 4)))
+        b = plan.forward(np.ones((3, 4)))
+        # Same storage, overwritten in place: the view contract.
+        assert a.base is b.base
+
+    def test_predict_logits_returns_owned_copy(self):
+        plan = InferencePlan([_step(4, 2)], capacity=8)
+        a = plan.predict_logits(np.zeros((3, 4)))
+        plan.forward(np.ones((3, 4)))
+        np.testing.assert_array_equal(a, plan.predict_logits(np.zeros((3, 4))))
+
+    def test_non_contiguous_input_accepted(self):
+        plan = InferencePlan([_step(4, 2)])
+        x = np.zeros((6, 8))[:, ::2]
+        assert plan.forward(x).shape == (6, 2)
+
+    def test_predict_proba_needs_single_output(self):
+        plan = InferencePlan([_step(4, 2)])
+        with pytest.raises(ShapeError):
+            plan.predict_proba(np.zeros(4))
+
+    def test_predict_proba_of_sigmoid_head_is_passthrough(self):
+        model = Sequential(Linear(4, 1), Sigmoid())
+        plan = InferencePlan.from_model(model)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        np.testing.assert_allclose(
+            plan.predict_proba(x), plan.forward(x)[:, 0], rtol=0, atol=0
+        )
+
+    def test_predict_thresholds_at_half(self):
+        plan = InferencePlan([_step(4, 1, seed=5)])
+        x = np.random.default_rng(1).normal(size=(40, 4))
+        proba = plan.predict_proba(x)
+        np.testing.assert_array_equal(plan.predict(x), (proba >= 0.5).astype(int))
+
+    def test_saturated_logits_clip_like_the_detector(self):
+        w = np.full((1, 1), 1.0, dtype=np.float32)
+        plan = InferencePlan([PlanStep(w, None, "none")])
+        proba = plan.predict_proba(np.array([[1e7], [-1e7]]))
+        # The detector clips logits to +/-500 before the logistic; huge
+        # inputs must produce exactly the clipped values, not overflow.
+        expected = 1.0 / (1.0 + np.exp(-np.clip([1e7, -1e7], -500, 500)))
+        np.testing.assert_array_equal(proba, expected)
+
+
+class TestScalerFolding:
+    def test_fold_matches_explicit_normalization(self, rng):
+        model = build_paper_mlp(10, (16,), n_outputs=1, seed=2)
+        x_fit = rng.normal(3.0, 2.0, size=(64, 10))
+        scaler = StandardScaler().fit(x_fit)
+        folded = InferencePlan.from_model(model, scaler=scaler)
+        bare = InferencePlan.from_model(model)
+        x = rng.normal(3.0, 2.0, size=(9, 10))
+        np.testing.assert_allclose(
+            folded.predict_proba(x),
+            bare.predict_proba(scaler.transform(x)),
+            atol=1e-6,
+        )
+
+    def test_payload_keeps_unfolded_weights(self, rng):
+        model = build_paper_mlp(6, (8,), n_outputs=1, seed=0)
+        scaler = StandardScaler().fit(rng.normal(size=(32, 6)))
+        plan = InferencePlan.from_model(model, scaler=scaler)
+        arrays, meta = plan.payload()
+        np.testing.assert_array_equal(arrays["w0"], plan.steps[0].weight)
+        assert meta["has_scaler"] is True
+
+    def test_payload_round_trip_is_bit_identical(self, rng):
+        model = build_paper_mlp(6, (8, 4), n_outputs=1, seed=0)
+        scaler = StandardScaler().fit(rng.normal(size=(32, 6)))
+        plan = InferencePlan.from_model(model, scaler=scaler)
+        arrays, meta = plan.payload()
+        rebuilt = InferencePlan.from_payload(arrays, meta)
+        x = rng.normal(size=(11, 6))
+        np.testing.assert_array_equal(
+            plan.predict_proba(x), rebuilt.predict_proba(x)
+        )
+
+    def test_from_payload_rejects_wrong_kind(self):
+        with pytest.raises(ConfigurationError):
+            InferencePlan.from_payload({}, {"kind": "banana"})
+
+
+class TestFreezeDetector:
+    def test_requires_model_attribute(self):
+        with pytest.raises(ConfigurationError, match="no .model"):
+            freeze_detector(object())
+
+    def test_requires_module_model(self):
+        class Fake:
+            model = "not a module"
+
+        with pytest.raises(ConfigurationError, match="not a Module"):
+            freeze_detector(Fake())

@@ -1,0 +1,233 @@
+"""Scalar <-> batch equivalence for the guard admission and repair paths.
+
+The serving engine may run either form depending on traffic shape, so the
+vectorized variants must be *byte-identical* to the scalar chain: same
+verdicts, same failure messages, same per-link state evolution, same
+repair ledger.  Streams here are seeded and deliberately nasty: NaN/inf
+cells, non-monotonic and duplicate timestamps, ragged rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.guard.repair import GapRepairer
+from repro.guard.validation import (
+    AmplitudeRangeCheck,
+    EnvPlausibilityCheck,
+    FiniteCheck,
+    FrameCheck,
+    FrameValidator,
+    SubcarrierCountCheck,
+    TimestampMonotonicityCheck,
+)
+
+N_FEATURES = 10
+
+
+def full_chain() -> FrameValidator:
+    return FrameValidator(
+        [
+            FiniteCheck(),
+            SubcarrierCountCheck(N_FEATURES),
+            AmplitudeRangeCheck(np.full(N_FEATURES, -50.0), np.full(N_FEATURES, 50.0)),
+            TimestampMonotonicityCheck(tolerance_s=0.01),
+            EnvPlausibilityCheck(env_slice=slice(8, 10)),
+        ]
+    )
+
+
+def nasty_stream(seed: int, n: int = 200):
+    """A frame stream exercising every check: seeded, repeatable."""
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.uniform(0.05, 0.2, size=n))
+    rows = rng.normal(loc=20.0, scale=5.0, size=(n, N_FEATURES))
+    rows[:, 8] = rng.uniform(15.0, 30.0, size=n)   # temperature column
+    rows[:, 9] = rng.uniform(30.0, 70.0, size=n)   # humidity column
+    # Sprinkle failures of every kind.
+    bad = rng.choice(n, size=n // 5, replace=False)
+    for i, kind in zip(bad, range(len(bad))):
+        k = kind % 6
+        if k == 0:
+            rows[i, rng.integers(N_FEATURES)] = np.nan
+        elif k == 1:
+            rows[i, rng.integers(N_FEATURES)] = np.inf
+        elif k == 2:
+            rows[i, rng.integers(8)] = 500.0          # amplitude out
+        elif k == 3 and i > 0:
+            t[i] = t[i - 1] - rng.uniform(0.5, 2.0)   # backwards jump
+        elif k == 4:
+            rows[i, 8] = -40.0                        # impossible temperature
+        else:
+            rows[i, 9] = 150.0                        # impossible humidity
+    return t, rows
+
+
+def assert_same_verdicts(scalar, batch):
+    assert len(scalar) == len(batch)
+    for i, (a, b) in enumerate(zip(scalar, batch)):
+        assert (a is None) == (b is None), f"row {i}: {a} vs {b}"
+        if a is not None:
+            assert a == b, f"row {i}: {a} vs {b}"
+
+
+class TestValidatorBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_byte_identical_on_nasty_streams(self, seed):
+        t, rows = nasty_stream(seed)
+        scalar_v, batch_v = full_chain(), full_chain()
+        scalar = [scalar_v.validate("l", float(tt), r) for tt, r in zip(t, rows)]
+        batch = batch_v.validate_batch("l", t, rows)
+        assert_same_verdicts(scalar, batch)
+        assert any(v is not None for v in batch)  # the stream really is nasty
+        # Per-link monotonicity state evolved identically.
+        assert scalar_v.checks[3]._latest == batch_v.checks[3]._latest
+
+    def test_chunked_batches_equal_one_big_batch(self):
+        t, rows = nasty_stream(99)
+        whole_v, chunk_v = full_chain(), full_chain()
+        whole = whole_v.validate_batch("l", t, rows)
+        chunked = []
+        for lo in range(0, len(t), 7):
+            chunked.extend(chunk_v.validate_batch("l", t[lo : lo + 7], rows[lo : lo + 7]))
+        assert_same_verdicts(whole, chunked)
+
+    def test_nan_timestamps_match_scalar(self):
+        t = np.array([0.0, np.nan, 1.0, 0.5, np.nan, 2.0])
+        rng = np.random.default_rng(0)
+        rows = rng.uniform(0, 10, size=(6, N_FEATURES))
+        rows[:, 8], rows[:, 9] = 20.0, 50.0
+        scalar_v, batch_v = full_chain(), full_chain()
+        scalar = [scalar_v.validate("l", float(tt), r) for tt, r in zip(t, rows)]
+        assert_same_verdicts(scalar, batch_v.validate_batch("l", t, rows))
+
+    def test_ragged_rows_fall_back_to_scalar_coercion(self):
+        rows = [np.zeros(N_FEATURES), np.zeros(3), "not a row"]
+        t = [0.0, 1.0, 2.0]
+        verdicts = full_chain().validate_batch("l", t, rows)
+        assert verdicts[0] is None
+        assert verdicts[1] is not None and verdicts[1].check == "width"
+        assert verdicts[2] is not None and verdicts[2].check == "coerce"
+
+    def test_wrong_width_block_fails_every_row_with_scalar_message(self):
+        t = np.array([0.0, 1.0])
+        rows = np.zeros((2, 4))
+        scalar_v, batch_v = full_chain(), full_chain()
+        scalar = [scalar_v.validate("l", float(tt), r) for tt, r in zip(t, rows)]
+        assert_same_verdicts(scalar, batch_v.validate_batch("l", t, rows))
+
+    def test_monotonicity_state_shared_across_calls_and_links(self):
+        v = full_chain()
+        t1 = np.array([0.0, 1.0, 2.0])
+        rows = np.full((3, N_FEATURES), 20.0)
+        rows[:, 8], rows[:, 9] = 20.0, 50.0
+        assert all(f is None for f in v.validate_batch("a", t1, rows))
+        # Link a is now at t=2.0: an old frame on link a fails...
+        late = v.validate_batch("a", np.array([0.5]), rows[:1])
+        assert late[0] is not None and late[0].check == "monotonic"
+        # ...but the same timestamp on a fresh link passes.
+        assert v.validate_batch("b", np.array([0.5]), rows[:1]) == [None]
+
+    def test_custom_check_uses_scalar_fallback(self):
+        calls = []
+
+        class Spy(FrameCheck):
+            name = "spy"
+
+            def check(self, link_id, t_s, row):
+                calls.append(t_s)
+                return None
+
+        v = FrameValidator([Spy()])
+        t = np.array([1.0, 2.0, 3.0])
+        assert v.validate_batch("l", t, np.zeros((3, 2))) == [None] * 3
+        assert calls == [1.0, 2.0, 3.0]
+
+
+class TestRepairerBatchEquivalence:
+    def run_both(self, t, rows, **kwargs):
+        scalar, batch = GapRepairer(**kwargs), GapRepairer(**kwargs)
+        scalar_fills = [scalar.observe("l", float(tt), r) for tt, r in zip(t, rows)]
+        batch_fills = batch.observe_batch("l", t, rows)
+        return scalar, batch, scalar_fills, batch_fills
+
+    def assert_identical(self, scalar, batch, scalar_fills, batch_fills):
+        assert len(scalar_fills) == len(batch_fills)
+        for i, (a, b) in enumerate(zip(scalar_fills, batch_fills)):
+            assert len(a) == len(b), f"frame {i}: {len(a)} vs {len(b)} fills"
+            for fa, fb in zip(a, b):
+                assert fa.t_s == fb.t_s
+                np.testing.assert_array_equal(fa.row, fb.row)
+        assert scalar.gaps_repaired == batch.gaps_repaired
+        assert scalar.frames_filled == batch.frames_filled
+        assert scalar.gaps_unrepaired == batch.gaps_unrepaired
+        sa, sb = scalar._links["l"], batch._links["l"]
+        assert sa.last_t == sb.last_t and sa.interval_s == sb.interval_s
+        np.testing.assert_array_equal(sa.last_row, sb.last_row)
+
+    @pytest.mark.parametrize("mode", ["hold", "linear"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_gappy_streams(self, mode, seed):
+        rng = np.random.default_rng(seed)
+        n = 120
+        deltas = rng.uniform(0.09, 0.11, size=n)
+        # Inject gaps of assorted sizes, plus reordered duplicates.
+        for i in rng.choice(n, size=12, replace=False):
+            deltas[i] = rng.choice([0.35, 0.52, 1.1, 3.0, 25.0])
+        t = np.cumsum(deltas)
+        for i in rng.choice(np.arange(1, n), size=6, replace=False):
+            t[i] = t[i - 1] - rng.uniform(0.01, 0.2)  # goes backwards
+        rows = rng.normal(size=(n, 5))
+        self.assert_identical(*self.run_both(t, rows, mode=mode))
+
+    def test_learned_cadence_matches(self):
+        rng = np.random.default_rng(7)
+        t = np.cumsum(np.concatenate([np.full(10, 0.1), [0.5], np.full(10, 0.1)]))
+        rows = rng.normal(size=(t.size, 3))
+        scalar, batch, sf, bf = self.run_both(t, rows)  # learns interval
+        self.assert_identical(scalar, batch, sf, bf)
+        assert batch.interval_s("l") == pytest.approx(0.1)
+        assert batch.gaps_repaired == 1
+
+    def test_configured_cadence_matches(self):
+        rng = np.random.default_rng(8)
+        t = np.cumsum([0.1, 0.1, 0.45, 0.1, 0.95, 0.1])
+        rows = rng.normal(size=(t.size, 3))
+        self.assert_identical(
+            *self.run_both(t, rows, expected_interval_s=0.1, max_fill=4, mode="linear")
+        )
+
+    def test_batch_split_points_do_not_matter(self):
+        rng = np.random.default_rng(9)
+        deltas = np.full(60, 0.1)
+        deltas[[20, 40]] = 0.75
+        t = np.cumsum(deltas)
+        rows = rng.normal(size=(60, 4))
+        whole = GapRepairer()
+        whole_fills = whole.observe_batch("l", t, rows)
+        parts = GapRepairer()
+        part_fills = []
+        for lo in range(0, 60, 13):
+            part_fills.extend(parts.observe_batch("l", t[lo : lo + 13], rows[lo : lo + 13]))
+        assert len(whole_fills) == len(part_fills)
+        for a, b in zip(whole_fills, part_fills):
+            assert [f.t_s for f in a] == [f.t_s for f in b]
+        assert whole.gaps_repaired == parts.gaps_repaired
+
+    def test_rejects_bad_shapes(self):
+        repairer = GapRepairer()
+        with pytest.raises(ConfigurationError):
+            repairer.observe_batch("l", np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            repairer.observe_batch("l", np.zeros(3), np.zeros((2, 3)))
+
+    def test_fill_rows_are_owned_copies_in_hold_mode(self):
+        t = np.array([0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0])
+        rows = np.ones((7, 3))
+        repairer = GapRepairer(mode="hold")
+        fills = repairer.observe_batch("l", t, rows)
+        filled = [f for frame in fills for f in frame]
+        assert filled
+        rows[:] = -99.0  # caller reuses its buffer
+        for fill in filled:
+            np.testing.assert_array_equal(fill.row, np.ones(3))

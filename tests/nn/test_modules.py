@@ -170,3 +170,48 @@ class TestModulePlumbing:
         state["layers.0.weight"] = np.zeros((2, 2))
         with pytest.raises(ShapeError):
             model.load_state_dict(state)
+
+
+class TestSequentialParamCache:
+    """parameters() memoizes the walk: hot on zero_grad every step."""
+
+    def test_repeat_calls_yield_same_tensor_objects(self):
+        model = make_mlp()
+        first = list(model.parameters())
+        second = list(model.parameters())
+        assert len(first) == 4
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_cache_does_not_duplicate_or_drop_parameters(self):
+        model = make_mlp()
+        list(model.parameters())  # prime the cache
+        named = dict(model.named_parameters())
+        cached = list(model.parameters())
+        assert len(cached) == len(named)
+        assert {id(p) for p in cached} == {id(p) for p in named.values()}
+
+    def test_gradient_updates_flow_through_cache(self):
+        model = make_mlp()
+        params = list(model.parameters())  # cached
+        out = model(Tensor(np.ones((2, 4))))
+        out.backward(np.ones(out.shape))
+        assert any(p.grad is not None and np.any(p.grad) for p in params)
+        model.zero_grad()
+        assert all(p.grad is None or not np.any(p.grad) for p in params)
+
+    def test_load_state_dict_invalidates_but_stays_correct(self):
+        a, b = make_mlp(seed=0), make_mlp(seed=1)
+        before = list(a.parameters())
+        a.load_state_dict(b.state_dict())
+        assert a._param_cache is None  # defensively invalidated
+        after = list(a.parameters())
+        # Tensor objects persist (load assigns .data in place)...
+        assert all(x is y for x, y in zip(before, after))
+        # ...and now hold b's values.
+        np.testing.assert_array_equal(
+            a.layers[0].weight.data, b.layers[0].weight.data
+        )
+
+    def test_n_parameters_uses_cache_consistently(self):
+        model = make_mlp()
+        assert model.n_parameters() == model.n_parameters() == 4 * 8 + 8 + 8 * 3 + 3

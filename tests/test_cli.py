@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -45,6 +47,8 @@ class TestParser:
             ["guard-bench", "--trace-dump", "trace.json"],
             ["obs-report", "trace.json", "--events", "5"],
             ["obs-report", "trace.json", "--prom"],
+            ["perf-bench"],
+            ["perf-bench", "--inputs", "66", "--quick", "--output", "BENCH_serve.json"],
         ],
     )
     def test_all_commands_parse(self, argv):
@@ -70,6 +74,7 @@ class TestParser:
             (["serve-bench"], "seed", 2022),
             (["chaos-bench"], "seed", 2022),
             (["guard-bench"], "seed", 2022),
+            (["perf-bench"], "seed", 2022),
             (["generate"], "rate", 0.5),
             (["serve-bench"], "rate", 0.5),
             (["chaos-bench"], "rate", 0.5),
@@ -190,6 +195,23 @@ class TestCommands:
         ])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_perf_bench_quick_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main([
+            "perf-bench", "--quick", "--inputs", "8", "--output", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "fastpath" in stdout and "OK" in stdout
+        report = json.loads(out.read_text())
+        assert report["equivalence"]["equivalent"] is True
+        assert report["model"]["n_inputs"] == 8
+
+    def test_perf_bench_rejects_bad_inputs(self, capsys):
+        code = main(["perf-bench", "--inputs", "0"])
+        assert code == 2
+        assert "--inputs" in capsys.readouterr().err
 
 
 class TestObsReport:
