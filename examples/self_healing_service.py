@@ -28,6 +28,7 @@ from repro.baselines.pipeline import ScaledLogistic
 from repro.data.folds import make_paper_folds
 from repro.data.recording import CollectionCampaign
 from repro.guard import GuardPolicy, ReferenceStats
+from repro.serve.config import ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.robustness import PriorFallback
@@ -83,13 +84,15 @@ def main() -> None:
     )
     engine = InferenceEngine(
         primary,
-        max_batch=16,
-        max_latency_ms=None,
-        fallback=fallback,
-        registry=registry,
-        validator=validator,
-        repairer=repairer,
-        supervisor=supervisor,
+        ServeConfig(
+            max_batch=16,
+            max_latency_ms=None,
+            fallback=fallback,
+            registry=registry,
+            validator=validator,
+            repairer=repairer,
+            supervisor=supervisor,
+        ),
     )
 
     # ------------------------------------------------- one chaotic stream

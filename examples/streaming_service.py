@@ -33,6 +33,7 @@ from repro.serve import (
     InferenceEngine,
     MetricsRegistry,
     PriorFallback,
+    ServeConfig,
     TrainingMetricsCallback,
 )
 
@@ -83,12 +84,14 @@ def main() -> None:
     fallback = PriorFallback().fit(train.csi, train.occupancy)
     engine = InferenceEngine(
         flaky,
-        max_batch=64,
-        max_latency_ms=None,
-        window=5,
-        hold_frames=3,
-        fallback=fallback,
-        registry=registry,
+        ServeConfig(
+            max_batch=64,
+            max_latency_ms=None,
+            window=5,
+            hold_frames=3,
+            fallback=fallback,
+            registry=registry,
+        ),
     )
 
     print(f"Serving {n_live} live frames over 3 links "

@@ -33,6 +33,7 @@ from repro.config import CampaignConfig
 from repro.data.folds import make_paper_folds
 from repro.data.recording import CollectionCampaign
 from repro.obs import Observer, render_run, build_dump
+from repro.serve.config import ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.metrics import MetricsRegistry
 
@@ -51,10 +52,12 @@ def main() -> None:
     registry = MetricsRegistry()
     engine = InferenceEngine(
         estimator,
-        max_batch=16,
-        max_latency_ms=None,
-        registry=registry,
-        observer=observer,
+        ServeConfig(
+            max_batch=16,
+            max_latency_ms=None,
+            registry=registry,
+            observer=observer,
+        ),
     )
 
     t = dataset.timestamps_s

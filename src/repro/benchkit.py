@@ -1,0 +1,118 @@
+"""Shared benchmark plumbing: common flags and the JSON report envelope.
+
+Five CLI benchmarks (``serve-bench``, ``perf-bench``, ``chaos-bench``,
+``guard-bench``, ``fleet-bench``) grew up at different times and each
+re-declared its own ``--seed``/``--rate``/``--output`` spelling and its
+own ad-hoc JSON shape.  This module is the single source of truth both
+now share:
+
+* :func:`bench_parent` — an ``argparse`` parent parser carrying the four
+  common flags (``--seed``, ``--rate``, ``--output``, ``--quick``) with
+  identical spelling, defaults and help everywhere;
+* :func:`make_envelope` / :func:`wrap_report` — the common JSON report
+  envelope: schema version, ``git describe`` of the producing tree, and
+  wall-clock fields (generation timestamp + bench duration).  Envelope
+  keys are *added alongside* each bench's own payload keys, never over
+  them, so pre-envelope consumers keep working.
+
+The envelope's ``schema_version`` covers the envelope keys only; each
+bench still versions its payload through its own ``bench`` tag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+
+#: Version of the envelope keys (schema_version/git_describe/…).
+BENCH_SCHEMA_VERSION = 1
+
+#: Shared flag defaults — single source of truth for every subcommand.
+DEFAULT_SEED = 2022
+DEFAULT_RATE_HZ = 0.5
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the working tree, or "unknown".
+
+    Benchmark numbers without a code identity are unfalsifiable; this is
+    best-effort (no git, not a checkout → ``"unknown"``, never raises).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    described = out.stdout.strip()
+    return described if out.returncode == 0 and described else "unknown"
+
+
+def make_envelope(
+    bench: str,
+    *,
+    seed: int | None = None,
+    quick: bool = False,
+    wall_clock_s: float | None = None,
+) -> dict:
+    """The common report envelope for one bench run."""
+    envelope = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "git_describe": git_describe(),
+        "generated_unix_s": time.time(),
+    }
+    if seed is not None:
+        envelope["seed"] = int(seed)
+    if quick:
+        envelope["quick"] = True
+    if wall_clock_s is not None:
+        envelope["wall_clock_s"] = float(wall_clock_s)
+    return envelope
+
+
+def wrap_report(payload: dict, envelope: dict) -> dict:
+    """Merge envelope keys under a payload (payload keys always win)."""
+    return {**envelope, **payload}
+
+
+def save_report(path: str | Path, payload: dict, envelope: dict) -> Path:
+    """Write the enveloped payload as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(wrap_report(payload, envelope), indent=2) + "\n")
+    return path
+
+
+def bench_parent(
+    *,
+    output_default: str | None = None,
+    output_help: str = "also write this benchmark's report to this path "
+    "(.json gets the enveloped JSON form, anything else the text report)",
+) -> argparse.ArgumentParser:
+    """An ``argparse`` parent with the four common bench flags.
+
+    Use via ``add_parser(name, parents=[bench_parent(...)])``; the parent
+    carries no help action of its own.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"RNG seed (default {DEFAULT_SEED})",
+    )
+    parent.add_argument(
+        "--rate", type=float, default=DEFAULT_RATE_HZ,
+        help=f"rows per second (default {DEFAULT_RATE_HZ})",
+    )
+    parent.add_argument("--output", default=output_default, help=output_help)
+    parent.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: shrink the workload, keep every gate/assertion",
+    )
+    return parent

@@ -15,22 +15,28 @@
 * ``chaos-bench`` — accuracy-under-fault across the chaos scenario suite;
 * ``guard-bench`` — the self-healing ablation: chaos suite with the
   guard stack off vs on, plus an exact frame-ledger reconciliation;
+* ``fleet-bench`` — multi-tenant fused vs per-tenant serving with the
+  byte-identity gate (``BENCH_fleet.json``);
 * ``obs-report`` — render a trace dump (``--trace-dump`` on the bench
   commands) back into per-stage latency tables and the event-log tail.
 
 Every command is a thin shell over the public API, so scripts and
-notebooks can do the same with imports.  Flags shared between
-subcommands (``--seed``, ``--rate``, ``--output``) are spelled and
-defaulted identically everywhere; each subcommand's ``--help`` epilog
-restates them.
+notebooks can do the same with imports.  The five ``*-bench`` commands
+share one argparse parent (:func:`repro.benchkit.bench_parent`) so
+``--seed``/``--rate``/``--output``/``--quick`` are spelled and defaulted
+identically everywhere, and a ``--output *.json`` always gets the common
+report envelope (:func:`repro.benchkit.make_envelope`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
+from . import benchkit
+from .benchkit import DEFAULT_RATE_HZ, DEFAULT_SEED
 from .config import CampaignConfig, TrainingConfig
 from .core.experiment import OccupancyExperiment, RegressionExperiment
 from .core.model_zoo import build_paper_mlp
@@ -41,16 +47,15 @@ from .deploy.footprint import estimate_footprint
 from .deploy.quantize import quantize_model
 from .deploy.timing import cortex_m4_latency_ms
 
-#: Shared flag defaults — single source of truth for every subcommand.
-DEFAULT_SEED = 2022
-DEFAULT_RATE_HZ = 0.5
-
 #: Epilog appended to every subcommand that takes the common flags.
 COMMON_FLAGS_EPILOG = """\
 common flags (spelled and defaulted identically across subcommands):
   --seed N      RNG seed (default 2022)
   --rate HZ     sample rate in rows per second (default 0.5)
   --output PATH where to write this command's artifact
+                (bench commands: .json gets the enveloped JSON report)
+  --quick       bench commands only: CI smoke mode — shrink the
+                workload, keep every gate/assertion
 """
 
 
@@ -71,6 +76,32 @@ def _emit(text: str, output: str | None) -> None:
     if output:
         Path(output).write_text(text + "\n")
         print(f"(written to {output})")
+
+
+def _emit_bench_report(
+    report, args: argparse.Namespace, bench: str, wall_clock_s: float | None = None
+) -> None:
+    """Print a bench report; ``--output *.json`` gets the enveloped form.
+
+    Every bench command funnels through here so the JSON artifacts all
+    carry the same envelope (schema version, git describe, wall clock)
+    around the report's own ``to_json()`` payload.
+    """
+    print(report.describe())
+    if not args.output:
+        return
+    if str(args.output).endswith(".json"):
+        envelope = benchkit.make_envelope(
+            bench,
+            seed=getattr(args, "seed", None),
+            quick=getattr(args, "quick", False),
+            wall_clock_s=wall_clock_s,
+        )
+        path = benchkit.save_report(args.output, report.to_json(), envelope)
+        print(f"(JSON report written to {path})")
+    else:
+        Path(args.output).write_text(report.describe() + "\n")
+        print(f"(written to {args.output})")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -166,6 +197,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print("serve-bench: --max-batch must be >= 1", file=sys.stderr)
         return 2
+    if args.quick:
+        args.hours = min(args.hours, 0.5)
+        args.epochs = min(args.epochs, 1)
 
     config = CampaignConfig(
         duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
@@ -187,6 +221,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
     fallback = PriorFallback().fit(train.csi, train.occupancy)
     print(f"Replaying {len(dataset)} frames over {args.links} link(s)...\n")
+    bench_start = time.perf_counter()
     report = run_serve_bench(
         estimator,
         dataset,
@@ -195,7 +230,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         max_latency_ms=args.max_latency_ms if args.max_latency_ms > 0 else None,
         fallback=fallback,
     )
-    _emit(report.describe(), args.output)
+    _emit_bench_report(
+        report, args, "serve-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
     return 0
 
 
@@ -208,10 +245,15 @@ def cmd_perf_bench(args: argparse.Namespace) -> int:
     mode = "quick (CI smoke)" if args.quick else "full"
     print(f"Benchmarking the {args.inputs}-input paper MLP, fastpath vs "
           f"tensor path ({mode}, seed {args.seed})...\n")
+    bench_start = time.perf_counter()
     report = run_perf_bench(n_inputs=args.inputs, seed=args.seed, quick=args.quick)
+    wall_clock_s = time.perf_counter() - bench_start
     print(report.describe())
     if args.output:
-        path = report.save_json(args.output)
+        envelope = benchkit.make_envelope(
+            "perf-bench", seed=args.seed, quick=args.quick, wall_clock_s=wall_clock_s
+        )
+        path = benchkit.save_report(args.output, report.to_json(), envelope)
         print(f"(JSON report written to {path})")
     if not report.equivalent:
         print(f"perf-bench: fastpath DIVERGED from the tensor path "
@@ -274,6 +316,9 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print("chaos-bench: --max-batch must be >= 1", file=sys.stderr)
         return 2
+    if args.quick:
+        args.hours = min(args.hours, 0.5)
+        args.epochs = min(args.epochs, 1)
 
     config = CampaignConfig(
         duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
@@ -308,6 +353,7 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
         scenarios = [s for s in scenarios if s.name in args.scenario]
     print(f"Replaying {len(dataset)} frames over {args.links} link(s) "
           f"through {len(scenarios)} scenario(s)...\n")
+    bench_start = time.perf_counter()
     report = run_chaos_bench(
         estimator,
         dataset,
@@ -318,7 +364,9 @@ def cmd_chaos_bench(args: argparse.Namespace) -> int:
         fallback=fallback,
         observer_factory=_observer_factory(args.trace_dump),
     )
-    _emit(report.describe(), args.output)
+    _emit_bench_report(
+        report, args, "chaos-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
     _write_trace_dump(args.trace_dump, report.observers)
     return 0
 
@@ -336,6 +384,8 @@ def cmd_guard_bench(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print("guard-bench: --max-batch must be >= 1", file=sys.stderr)
         return 2
+    if args.quick:
+        args.hours = min(args.hours, 0.5)
 
     config = CampaignConfig(
         duration_h=args.hours, sample_rate_hz=args.rate, seed=args.seed
@@ -366,6 +416,7 @@ def cmd_guard_bench(args: argparse.Namespace) -> int:
     )
     print(f"Replaying {len(dataset)} frames over {args.links} link(s), "
           f"guard off then on...\n")
+    bench_start = time.perf_counter()
     report = run_guard_bench(
         estimator,
         dataset,
@@ -376,11 +427,59 @@ def cmd_guard_bench(args: argparse.Namespace) -> int:
         fallback=fallback,
         observer_factory=_observer_factory(args.trace_dump),
     )
-    _emit(report.describe(), args.output)
+    _emit_bench_report(
+        report, args, "guard-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
     _write_trace_dump(args.trace_dump, report.guarded.observers)
     if report.unaccounted_total:
         print(f"guard-bench: {report.unaccounted_total} unaccounted frames",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from .fleet.bench import run_fleet_bench
+
+    if args.tenants < 1:
+        print("fleet-bench: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.frames < 1:
+        print("fleet-bench: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.rate <= 0:
+        print("fleet-bench: --rate must be positive", file=sys.stderr)
+        return 2
+
+    mode = "quick (CI smoke)" if args.quick else "full"
+    print(f"Fleet bench: {args.tenants} tenant(s) x {args.frames} frames, "
+          f"fused vs per-tenant dispatch ({mode}, seed {args.seed})...\n")
+    bench_start = time.perf_counter()
+    report = run_fleet_bench(
+        n_tenants=args.tenants,
+        frames_per_tenant=args.frames,
+        frames_per_tick=args.frames_per_tick,
+        rate_hz=args.rate,
+        tile=args.tile,
+        distinct_every=args.distinct_every,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    _emit_bench_report(
+        report, args, "fleet-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
+    # CI gates on the deterministic invariants only — byte identity and
+    # exact ledger/counter reconciliation — never on throughput numbers.
+    failed = []
+    if not report.byte_identical:
+        failed.append("fused outputs DIVERGED from per-tenant dispatch")
+    if not report.ledger_reconciled:
+        failed.append("observer ledgers do not reconcile")
+    if not report.counters_reconciled:
+        failed.append("per-tenant counter rollups do not reconcile")
+    if failed:
+        for reason in failed:
+            print(f"fleet-bench: {reason}", file=sys.stderr)
         return 1
     return 0
 
@@ -412,12 +511,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+    def add_command(name: str, help_text: str, **kwargs) -> argparse.ArgumentParser:
         return sub.add_parser(
             name,
             help=help_text,
             epilog=COMMON_FLAGS_EPILOG,
             formatter_class=argparse.RawDescriptionHelpFormatter,
+            **kwargs,
+        )
+
+    def add_bench(
+        name: str,
+        help_text: str,
+        *,
+        output_default: str | None = None,
+        output_help: str | None = None,
+    ) -> argparse.ArgumentParser:
+        """A bench subcommand riding the shared --seed/--rate/--output/--quick parent."""
+        parent_kwargs = {"output_default": output_default}
+        if output_help is not None:
+            parent_kwargs["output_help"] = output_help
+        return add_command(
+            name, help_text, parents=[benchkit.bench_parent(**parent_kwargs)]
         )
 
     p = add_command("generate", "simulate a campaign and save it")
@@ -449,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", type=int, default=66)
     p.set_defaults(func=cmd_footprint)
 
-    p = add_command("serve-bench", "per-frame vs. micro-batched serving throughput")
+    p = add_bench("serve-bench", "per-frame vs. micro-batched serving throughput")
     p.add_argument("--hours", type=float, default=2.0,
                    help="synthetic campaign length (default 2.0)")
     p.add_argument("--epochs", type=int, default=3,
@@ -464,24 +579,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch latency budget in stream time; "
                         "0 disables the trigger and benchmarks the "
                         "backlogged regime (default 0)")
-    _add_rate(p)
-    _add_seed(p)
-    _add_output(p, None, "also write the benchmark report to this path")
     p.set_defaults(func=cmd_serve_bench)
 
-    p = add_command("perf-bench", "fastpath vs tensor-path inference regression")
+    p = add_bench(
+        "perf-bench",
+        "fastpath vs tensor-path inference regression",
+        output_default="BENCH_serve.json",
+        output_help="where to write the JSON report (default BENCH_serve.json)",
+    )
     p.add_argument("--inputs", type=int, default=64,
                    help="feature width of the benchmarked MLP "
                         "(default 64; use 66 for CSI+Env)")
-    p.add_argument("--quick", action="store_true",
-                   help="CI smoke mode: fewer timing repeats, identical "
-                        "equivalence assertion")
-    _add_seed(p)
-    _add_output(p, "BENCH_serve.json",
-                "where to write the JSON report (default BENCH_serve.json)")
     p.set_defaults(func=cmd_perf_bench)
 
-    p = add_command("chaos-bench", "accuracy-under-fault across the chaos suite")
+    p = add_bench("chaos-bench", "accuracy-under-fault across the chaos suite")
     p.add_argument("--hours", type=float, default=2.0,
                    help="synthetic campaign length (default 2.0)")
     p.add_argument("--epochs", type=int, default=3,
@@ -495,12 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", action="append", metavar="NAME",
                    help="run only this scenario (repeatable; default: all)")
     _add_trace_dump(p)
-    _add_rate(p)
-    _add_seed(p)
-    _add_output(p, None, "also write the chaos report to this path")
     p.set_defaults(func=cmd_chaos_bench)
 
-    p = add_command("guard-bench", "self-healing ablation: chaos suite, guard off vs on")
+    p = add_bench("guard-bench", "self-healing ablation: chaos suite, guard off vs on")
     p.add_argument("--hours", type=float, default=2.0,
                    help="synthetic campaign length (default 2.0)")
     p.add_argument("--links", type=int, default=2,
@@ -511,10 +619,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also persist the training-fold reference statistics "
                         "(.npz) used by the drift sentinel")
     _add_trace_dump(p)
-    _add_rate(p)
-    _add_seed(p)
-    _add_output(p, None, "also write the ablation report to this path")
     p.set_defaults(func=cmd_guard_bench)
+
+    p = add_bench(
+        "fleet-bench",
+        "multi-tenant fused vs per-tenant serving, with byte-identity gate",
+        output_default="BENCH_fleet.json",
+        output_help="where to write the JSON report (default BENCH_fleet.json)",
+    )
+    p.add_argument("--tenants", type=int, default=64,
+                   help="number of simulated rooms (default 64)")
+    p.add_argument("--frames", type=int, default=64,
+                   help="frames submitted per tenant (default 64)")
+    p.add_argument("--frames-per-tick", type=int, default=4,
+                   help="frames each tenant submits between scheduler ticks "
+                        "(default 4)")
+    p.add_argument("--tile", type=int, default=16,
+                   help="fixed GEMM tile size of the shape-stable runners "
+                        "(default 16)")
+    p.add_argument("--distinct-every", type=int, default=8,
+                   help="every Nth tenant gets its own odd-one-out plan that "
+                        "cannot fuse (default 8; 0 for one shared cohort)")
+    p.set_defaults(func=cmd_fleet_bench)
 
     p = add_command("obs-report", "render a bench trace dump (ledger, stages, events)")
     p.add_argument("dump", help="path to a dump written via --trace-dump")

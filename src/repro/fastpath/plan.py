@@ -262,6 +262,18 @@ class InferencePlan:
         """Largest batch the current buffers hold without reallocating."""
         return self._capacity
 
+    @property
+    def exec_steps(self) -> tuple[tuple[np.ndarray, np.ndarray | None, str], ...]:
+        """The executable ``(weight, bias, activation)`` steps, scaler folded.
+
+        This is the exact sequence :meth:`forward` runs — step 0 carries
+        the algebraically folded scaler when the plan was built with one.
+        External executors (the fleet's tiled runner) drive these instead
+        of :attr:`steps` so their arithmetic matches the plan's, GEMM for
+        GEMM.  The arrays are the plan's own — treat them as read-only.
+        """
+        return tuple(self._exec)
+
     def n_parameters(self) -> int:
         """Total frozen scalar count (matches the source model's)."""
         return sum(

@@ -26,6 +26,7 @@ circuit-breaker stack in front of each scenario's engine.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -33,6 +34,7 @@ import numpy as np
 
 from ..data.dataset import OccupancyDataset
 from ..exceptions import ConfigurationError
+from ..serve.config import ServeConfig
 from ..serve.engine import InferenceEngine
 from ..serve.metrics import MetricsRegistry
 from ..serve.robustness import FallbackPredictor
@@ -239,6 +241,22 @@ class ChaosBenchReport:
             lines.append("every admitted frame was answered (primary or fallback)")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """JSON payload for the common bench envelope (see repro.benchkit)."""
+        return {
+            "bench": "chaos-bench",
+            "scenarios": [
+                {
+                    **dataclasses.asdict(r),
+                    "accuracy": r.accuracy,
+                    "coverage": r.coverage,
+                    "fallback_share": r.fallback_share,
+                    "n_unanswered": r.n_unanswered,
+                }
+                for r in self.results
+            ],
+        }
+
 
 def default_scenario_suite(
     t0_s: float,
@@ -405,18 +423,20 @@ def run_chaos_bench(
             observers[scenario.name] = observer
         engine = InferenceEngine(
             primary,
-            max_batch=max_batch,
-            max_latency_ms=max_latency_ms,
-            queue_capacity=4 * max_batch,
-            window=window,
-            hold_frames=hold_frames,
-            stale_after_s=stale_after_s,
-            fallback=fallback,
-            registry=registry,
-            validator=validator,
-            repairer=repairer,
-            supervisor=supervisor,
-            observer=observer,
+            ServeConfig(
+                max_batch=max_batch,
+                max_latency_ms=max_latency_ms,
+                queue_capacity=4 * max_batch,
+                window=window,
+                hold_frames=hold_frames,
+                stale_after_s=stale_after_s,
+                fallback=fallback,
+                registry=registry,
+                validator=validator,
+                repairer=repairer,
+                supervisor=supervisor,
+                observer=observer,
+            ),
         )
         schedule = ChaosSchedule(scenario.windows, seed=seed)
 

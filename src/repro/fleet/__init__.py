@@ -1,0 +1,41 @@
+"""Fleet-scale multi-tenant serving with cross-tenant batch fusion.
+
+The paper detects occupancy in one room; the north-star deployment is a
+process serving *thousands* of rooms.  This package is that layer:
+
+* :mod:`repro.fleet.registry` — :class:`PlanRegistry`, the room-sharded
+  tenant → frozen-plan mapping, and :class:`PlanSignature`, the fusion
+  eligibility key (geometry + activations + weight bytes);
+* :mod:`repro.fleet.router` — :class:`FleetRouter`, per-tenant bounded
+  ring buffers between admission and scheduling;
+* :mod:`repro.fleet.fusion` — :class:`TiledPlanRunner` (shape-stable
+  fixed-tile GEMM execution, the trick that makes fused and per-tenant
+  results byte-identical) and :class:`FusionScheduler` (per-tick
+  signature cohorts → one batched GEMM each, singleton fallback);
+* :mod:`repro.fleet.service` — :class:`Fleet`, the tenant-scoped facade
+  with per-tenant guard/observer isolation and labeled metric rollups;
+* :mod:`repro.fleet.bench` — the ``fleet-bench`` harness behind the CLI.
+
+See DESIGN.md §13 for the contracts and the measured BLAS behaviour the
+fusion rules rest on.
+"""
+
+from .bench import FleetBenchReport, run_fleet_bench
+from .fusion import FusionScheduler, TenantBatch, TickOutcome, TiledPlanRunner
+from .registry import PlanRegistry, PlanSignature
+from .router import FleetRouter, TenantFrame
+from .service import Fleet
+
+__all__ = [
+    "Fleet",
+    "FleetBenchReport",
+    "FleetRouter",
+    "FusionScheduler",
+    "PlanRegistry",
+    "PlanSignature",
+    "TenantBatch",
+    "TenantFrame",
+    "TickOutcome",
+    "TiledPlanRunner",
+    "run_fleet_bench",
+]

@@ -1,0 +1,371 @@
+"""The ``fleet-bench`` harness: fused vs per-tenant serving at fleet scale.
+
+Drives N tenants × M-frames-per-second seeded synthetic traffic (rows
+drawn from one simulated campaign) through two identically configured
+:class:`~repro.fleet.service.Fleet` instances — fusion on and fusion
+off — and reports:
+
+* aggregate throughput of each arm and the fused-vs-unfused speedup;
+* per-tenant p50/p99 tick latency (every tenant served in a tick is
+  charged that tick's wall time — the latency a room actually sees);
+* the **byte-identity gate**: every probability of the fused arm must
+  equal the unfused arm's bit for bit.  This is the invariant CI gates
+  on; throughput numbers are machine-dependent and informational;
+* per-tenant ledger/counter reconciliation from a third, untimed
+  replay with live observers (observers stay off the timed arms so the
+  comparison measures serving, not event logging).
+
+The tenant population mixes one shared-plan cohort (the common "one
+model, many rooms" deployment, fusion-eligible) with every
+``distinct_every``-th tenant running its own freshly initialised plan
+(the odd-one-out architectures that must fall back to per-tenant
+dispatch).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..benchkit import DEFAULT_SEED
+from ..config import CampaignConfig
+from ..data.recording import CollectionCampaign
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+from ..nn.modules import Linear, ReLU, Sequential
+from ..obs.observer import Observer
+from ..serve.config import ServeConfig
+from .service import Fleet
+
+
+@dataclass
+class FleetArmStats:
+    """Throughput of one timed arm (fused or unfused)."""
+
+    wall_s: float
+    frames: int
+    fusion_ratio: float
+
+    @property
+    def fps(self) -> float:
+        return self.frames / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+@dataclass
+class FleetBenchReport:
+    """Everything one fleet-bench run measured."""
+
+    n_tenants: int
+    frames_per_tenant: int
+    frames_per_tick: int
+    tile: int
+    distinct_every: int
+    n_cohorts: int
+    seed: int
+    fused: FleetArmStats
+    unfused: FleetArmStats
+    byte_identical: bool
+    n_compared: int
+    max_abs_delta: float
+    ledger_reconciled: bool
+    counters_reconciled: bool
+    #: tenant → {"p50_ms": …, "p99_ms": …} from the fused arm's ticks.
+    tenant_latency_ms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Fused aggregate throughput over unfused."""
+        return self.fused.fps / self.unfused.fps if self.unfused.fps > 0 else float("inf")
+
+    def describe(self) -> str:
+        latency_p99s = [v["p99_ms"] for v in self.tenant_latency_ms.values()]
+        worst_p99 = max(latency_p99s) if latency_p99s else float("nan")
+        lines = [
+            f"tenants              : {self.n_tenants} "
+            f"({self.n_cohorts} plan cohort(s), odd-one-out every "
+            f"{self.distinct_every})",
+            f"traffic              : {self.frames_per_tenant} frames/tenant, "
+            f"{self.frames_per_tick}/tick, tile {self.tile}, seed {self.seed}",
+            f"unfused dispatch     : {self.unfused.fps:10.0f} frames/s "
+            f"({self.unfused.wall_s:.3f} s)",
+            f"fused dispatch       : {self.fused.fps:10.0f} frames/s "
+            f"({self.fused.wall_s:.3f} s, fusion ratio "
+            f"{self.fused.fusion_ratio:.2f})",
+            f"speedup              : {self.speedup:10.2f}x",
+            f"byte identity        : "
+            f"{'OK' if self.byte_identical else 'FAILED'} over "
+            f"{self.n_compared} probabilities "
+            f"(max |Δp| = {self.max_abs_delta:.3g})",
+            f"worst tenant p99     : {worst_p99:10.3f} ms/tick",
+            f"ledger reconciliation: "
+            f"{'OK' if self.ledger_reconciled else 'FAILED'}",
+            f"counter rollups      : "
+            f"{'OK' if self.counters_reconciled else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON payload written as ``BENCH_fleet.json`` (CLI adds envelope).
+
+        ``byte_identical`` (with ``ledger_reconciled``/
+        ``counters_reconciled``) are the CI-gated invariants; throughput
+        and latency fields are informational.
+        """
+        return {
+            "bench": "fleet-bench",
+            "fleet": {
+                "n_tenants": self.n_tenants,
+                "frames_per_tenant": self.frames_per_tenant,
+                "frames_per_tick": self.frames_per_tick,
+                "tile": self.tile,
+                "distinct_every": self.distinct_every,
+                "n_cohorts": self.n_cohorts,
+            },
+            "identity": {
+                "byte_identical": self.byte_identical,
+                "n_compared": self.n_compared,
+                "max_abs_delta": self.max_abs_delta,
+                "ledger_reconciled": self.ledger_reconciled,
+                "counters_reconciled": self.counters_reconciled,
+            },
+            "throughput_fps": {
+                "fused": self.fused.fps,
+                "unfused": self.unfused.fps,
+                "speedup": self.speedup,
+                "fusion_ratio": self.fused.fusion_ratio,
+            },
+            "wall_s": {"fused": self.fused.wall_s, "unfused": self.unfused.wall_s},
+            "tenant_latency_ms": self.tenant_latency_ms,
+        }
+
+
+def _build_plans(
+    tenant_ids: list[str], n_inputs: int, distinct_every: int, seed: int
+) -> dict[str, InferencePlan]:
+    """One shared plan for the cohort, fresh plans for odd-one-out tenants."""
+
+    def fresh_plan(plan_seed: int) -> InferencePlan:
+        rng = np.random.default_rng(plan_seed)
+        model = Sequential(
+            Linear(n_inputs, 64, rng=rng),
+            ReLU(),
+            Linear(64, 32, rng=rng),
+            ReLU(),
+            Linear(32, 1, rng=rng),
+        )
+        return InferencePlan.from_model(model)
+
+    shared = fresh_plan(seed)
+    plans: dict[str, InferencePlan] = {}
+    for i, tenant_id in enumerate(tenant_ids):
+        if distinct_every and i % distinct_every == distinct_every - 1:
+            plans[tenant_id] = fresh_plan(seed + 1 + i)
+        else:
+            plans[tenant_id] = shared
+    return plans
+
+
+def _make_traffic(
+    tenant_ids: list[str], frames_per_tenant: int, n_inputs: int, seed: int
+) -> dict[str, np.ndarray]:
+    """Seeded synthetic CSI traffic per tenant, drawn from one campaign."""
+    # One small simulated campaign supplies realistic CSI rows; each
+    # tenant resamples its own frame sequence from it.
+    n_source = 512
+    config = CampaignConfig(
+        duration_h=n_source / (3600.0 * 0.5), sample_rate_hz=0.5, seed=seed
+    )
+    dataset = CollectionCampaign(config).run()
+    source = dataset.csi[:, :n_inputs]
+    if source.shape[1] < n_inputs:
+        raise ConfigurationError(
+            f"campaign provides {source.shape[1]} subcarriers, bench needs {n_inputs}"
+        )
+    rng = np.random.default_rng(seed)
+    return {
+        tenant_id: np.ascontiguousarray(
+            source[rng.integers(0, len(source), size=frames_per_tenant)]
+        )
+        for tenant_id in tenant_ids
+    }
+
+
+def _replay(
+    fleet: Fleet,
+    tenant_ids: list[str],
+    traffic: dict[str, np.ndarray],
+    frames_per_tick: int,
+    rate_hz: float,
+) -> tuple[dict[str, list[float]], float, dict[str, list[float]]]:
+    """Run the traffic through one fleet; returns (probs, wall_s, latencies)."""
+    probabilities: dict[str, list[float]] = {t: [] for t in tenant_ids}
+    latencies: dict[str, list[float]] = {t: [] for t in tenant_ids}
+    frames_per_tenant = len(next(iter(traffic.values())))
+    n_ticks = -(-frames_per_tenant // frames_per_tick)
+    dt = 1.0 / rate_hz
+    start = time.perf_counter()
+    for tick_i in range(n_ticks):
+        lo = tick_i * frames_per_tick
+        hi = min(lo + frames_per_tick, frames_per_tenant)
+        tick_start = time.perf_counter()
+        for tenant_id in tenant_ids:
+            rows = traffic[tenant_id]
+            for j in range(lo, hi):
+                fleet.submit(tenant_id, j * dt, rows[j])
+        results = fleet.tick()
+        tick_ms = 1000.0 * (time.perf_counter() - tick_start)
+        served: set[str] = set()
+        for result in results:
+            probabilities[result.tenant_id].append(result.probability)
+            served.add(result.tenant_id)
+        for tenant_id in served:
+            latencies[tenant_id].append(tick_ms)
+    wall_s = time.perf_counter() - start
+    return probabilities, wall_s, latencies
+
+
+def run_fleet_bench(
+    *,
+    n_tenants: int = 64,
+    frames_per_tenant: int = 64,
+    frames_per_tick: int = 4,
+    rate_hz: float = 20.0,
+    n_inputs: int = 64,
+    tile: int = 16,
+    distinct_every: int = 8,
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+) -> FleetBenchReport:
+    """Run the full fleet benchmark; see the module docstring.
+
+    ``quick`` shrinks the fleet (8 tenants × 16 frames) for CI smoke
+    runs while keeping every gate — identity and reconciliation are
+    scale-independent invariants.
+    """
+    if n_tenants < 1:
+        raise ConfigurationError("n_tenants must be >= 1")
+    if frames_per_tenant < 1:
+        raise ConfigurationError("frames_per_tenant must be >= 1")
+    if frames_per_tick < 1:
+        raise ConfigurationError("frames_per_tick must be >= 1")
+    if rate_hz <= 0:
+        raise ConfigurationError("rate_hz must be positive")
+    if quick:
+        n_tenants = min(n_tenants, 8)
+        frames_per_tenant = min(frames_per_tenant, 16)
+
+    tenant_ids = [f"room-{i:03d}" for i in range(n_tenants)]
+    plans = _build_plans(tenant_ids, n_inputs, distinct_every, seed)
+    n_cohorts = len({id(plan) for plan in plans.values()})
+    traffic = _make_traffic(tenant_ids, frames_per_tenant, n_inputs, seed)
+    config = ServeConfig(max_latency_ms=None)
+
+    def build_fleet(fusion_enabled: bool, observer_factory=None) -> Fleet:
+        fleet = Fleet(
+            config,
+            tile=tile,
+            fusion_enabled=fusion_enabled,
+            observer_factory=observer_factory,
+        )
+        for tenant_id in tenant_ids:
+            fleet.attach(tenant_id, plans[tenant_id])
+        return fleet
+
+    # Warm the BLAS kernels and allocator once so neither timed arm pays
+    # first-call costs (the warmup fleet is discarded).
+    warm_ids = tenant_ids[: min(4, n_tenants)]
+    warm = build_fleet(True)
+    for tenant_id in warm_ids:
+        warm.submit(tenant_id, 0.0, traffic[tenant_id][0])
+    warm.tick()
+
+    unfused_fleet = build_fleet(False)
+    unfused_probs, unfused_wall, _ = _replay(
+        unfused_fleet, tenant_ids, traffic, frames_per_tick, rate_hz
+    )
+    fused_fleet = build_fleet(True)
+    fused_probs, fused_wall, fused_latencies = _replay(
+        fused_fleet, tenant_ids, traffic, frames_per_tick, rate_hz
+    )
+
+    # ------------------------------------------------- byte-identity gate
+    n_compared = 0
+    max_abs_delta = 0.0
+    byte_identical = True
+    for tenant_id in tenant_ids:
+        a = np.asarray(fused_probs[tenant_id])
+        b = np.asarray(unfused_probs[tenant_id])
+        if a.shape != b.shape:
+            byte_identical = False
+            continue
+        n_compared += a.size
+        if not np.array_equal(a, b):
+            byte_identical = False
+            delta = np.abs(a - b)
+            if delta.size:
+                max_abs_delta = max(max_abs_delta, float(delta.max()))
+
+    # ------------------------------------- observed (untimed) reconciliation
+    observed_fleet = build_fleet(True, observer_factory=lambda: Observer())
+    observed_probs, _, _ = _replay(
+        observed_fleet, tenant_ids, traffic, frames_per_tick, rate_hz
+    )
+    ledger_reconciled = True
+    counters_reconciled = True
+    for tenant_id in tenant_ids:
+        ledger = observed_fleet.ledger(tenant_id)
+        counters = observed_fleet.counters(tenant_id)
+        if ledger["unaccounted"] or ledger["pending"]:
+            ledger_reconciled = False
+        if (
+            ledger["submitted"] != counters["frames_in"]
+            or ledger["answered"] != counters["frames_out"]
+            or counters["frames_out"] != len(observed_probs[tenant_id])
+        ):
+            counters_reconciled = False
+        metric_in = observed_fleet.metrics.counter(
+            f"fleet_frames_total{{tenant={tenant_id}}}"
+        ).value
+        metric_out = observed_fleet.metrics.counter(
+            f"fleet_frames_out_total{{tenant={tenant_id}}}"
+        ).value
+        if metric_in != counters["frames_in"] or metric_out != counters["frames_out"]:
+            counters_reconciled = False
+        if observed_probs[tenant_id] != fused_probs[tenant_id]:
+            byte_identical = False
+
+    def arm(fleet: Fleet, probs: dict[str, list[float]], wall: float) -> FleetArmStats:
+        ratio = fleet.metrics.gauge("fleet_fusion_ratio").value
+        return FleetArmStats(
+            wall_s=wall,
+            frames=sum(len(p) for p in probs.values()),
+            fusion_ratio=float(ratio),
+        )
+
+    tenant_latency_ms = {
+        tenant_id: {
+            "p50_ms": float(np.percentile(samples, 50.0)) if samples else float("nan"),
+            "p99_ms": float(np.percentile(samples, 99.0)) if samples else float("nan"),
+        }
+        for tenant_id, samples in fused_latencies.items()
+    }
+
+    return FleetBenchReport(
+        n_tenants=n_tenants,
+        frames_per_tenant=frames_per_tenant,
+        frames_per_tick=frames_per_tick,
+        tile=tile,
+        distinct_every=distinct_every,
+        n_cohorts=n_cohorts,
+        seed=seed,
+        fused=arm(fused_fleet, fused_probs, fused_wall),
+        unfused=arm(unfused_fleet, unfused_probs, unfused_wall),
+        byte_identical=byte_identical,
+        n_compared=n_compared,
+        max_abs_delta=max_abs_delta,
+        ledger_reconciled=ledger_reconciled,
+        counters_reconciled=counters_reconciled,
+        tenant_latency_ms=tenant_latency_ms,
+    )

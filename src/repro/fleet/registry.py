@@ -1,0 +1,153 @@
+"""Room-sharded registry of frozen plans, keyed by tenant id.
+
+A fleet process serves many rooms ("tenants") from one address space.
+:class:`PlanRegistry` owns the mapping ``tenant_id →``
+:class:`~repro.fastpath.plan.InferencePlan`, sharded by a stable hash of
+the tenant id so lookup structures stay small as fleets grow to
+thousands of rooms (and so a future multi-process split can adopt the
+shard boundaries unchanged).
+
+Fusion eligibility hangs off :class:`PlanSignature`: two tenants may be
+served by one batched GEMM only when their plans are *indistinguishable
+to BLAS* — same layer geometry, same activations, same bias layout,
+same scaler folding **and byte-identical executable weights**.  The
+weight digest is deliberately part of the signature: OpenBLAS picks
+different kernel strategies for different operand shapes, and a fused
+GEMM over stacked *distinct* weight matrices (a 3-D batched matmul) does
+not reproduce the 2-D per-tenant results bitwise.  Sharing one weight
+matrix across the fused rows keeps the arithmetic literally the same
+instruction stream — the only fusion the byte-identity gate can accept.
+In deployment terms the shared-weights cohort is the common case: one
+trained occupancy model rolled out to every room of a building, with
+per-room tenancy only in the guard/observer state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+
+
+@dataclass(frozen=True)
+class PlanSignature:
+    """Identity of a plan's executable arithmetic.
+
+    Two plans with equal signatures run the exact same float32 GEMM
+    chain over the exact same bytes of weights — the precondition for
+    fusing their tenants' frames into one batched call.
+    """
+
+    #: Feature width the plan consumes.
+    n_inputs: int
+    #: Per executable step: ``(out_features, activation, has_bias)``.
+    steps: tuple[tuple[int, str, bool], ...]
+    #: Whether a scaler was folded into step 0.
+    scaled: bool
+    #: SHA-1 over the executable weight/bias bytes (scaler already folded).
+    weights_digest: str
+
+    @classmethod
+    def of(cls, plan: InferencePlan) -> "PlanSignature":
+        """Compute the signature of one plan (hashes the weight bytes)."""
+        digest = hashlib.sha1()
+        steps = []
+        for weight, bias, activation in plan.exec_steps:
+            steps.append((int(weight.shape[1]), activation, bias is not None))
+            digest.update(weight.tobytes())
+            if bias is not None:
+                digest.update(bias.tobytes())
+        return cls(
+            n_inputs=plan.n_inputs,
+            steps=tuple(steps),
+            scaled=plan.input_mean is not None,
+            weights_digest=digest.hexdigest(),
+        )
+
+    @property
+    def arch(self) -> str:
+        """Human-readable architecture key, e.g. ``"66->128->64->1"``."""
+        widths = [self.n_inputs] + [out for out, _, _ in self.steps]
+        return "->".join(str(w) for w in widths)
+
+    def __str__(self) -> str:
+        return f"{self.arch}#{self.weights_digest[:8]}"
+
+
+class PlanRegistry:
+    """Tenant → frozen plan mapping, sharded by tenant-id hash.
+
+    Registration is explicit and conflict-checked: a tenant id maps to
+    exactly one plan, and re-registering it raises rather than silently
+    swapping the model a room is served by.  Signatures are computed once
+    at registration (hashing megabytes of weights per submit would be
+    absurd) and cached alongside the plan.
+    """
+
+    def __init__(self, n_shards: int = 16) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        self.n_shards = int(n_shards)
+        self._shards: list[dict[str, InferencePlan]] = [{} for _ in range(n_shards)]
+        self._signatures: dict[str, PlanSignature] = {}
+
+    # ------------------------------------------------------------- sharding
+
+    def shard_of(self, tenant_id: str) -> int:
+        """Stable shard index for a tenant (process-independent hash)."""
+        digest = hashlib.sha1(tenant_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.n_shards
+
+    # ------------------------------------------------------------ CRUD-ish
+
+    def register(self, tenant_id: str, plan: InferencePlan) -> PlanSignature:
+        """Bind a tenant to its frozen plan; returns the plan signature."""
+        if not tenant_id:
+            raise ConfigurationError("tenant_id must be a non-empty string")
+        if not isinstance(plan, InferencePlan):
+            raise ConfigurationError(
+                f"PlanRegistry holds InferencePlan instances, got {type(plan).__name__}"
+            )
+        if plan.n_outputs != 1:
+            raise ConfigurationError(
+                f"fleet serving needs single-output plans, tenant {tenant_id!r} "
+                f"has {plan.n_outputs} outputs"
+            )
+        shard = self._shards[self.shard_of(tenant_id)]
+        if tenant_id in shard:
+            raise ConfigurationError(f"tenant {tenant_id!r} is already registered")
+        shard[tenant_id] = plan
+        signature = PlanSignature.of(plan)
+        self._signatures[tenant_id] = signature
+        return signature
+
+    def get(self, tenant_id: str) -> InferencePlan:
+        shard = self._shards[self.shard_of(tenant_id)]
+        if tenant_id not in shard:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        return shard[tenant_id]
+
+    def signature(self, tenant_id: str) -> PlanSignature:
+        if tenant_id not in self._signatures:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        return self._signatures[tenant_id]
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """All registered tenant ids, in registration order."""
+        return tuple(self._signatures)
+
+    def cohorts(self) -> dict[PlanSignature, tuple[str, ...]]:
+        """Tenants grouped by signature — the fusion-eligible sets."""
+        grouped: dict[PlanSignature, list[str]] = {}
+        for tenant_id, signature in self._signatures.items():
+            grouped.setdefault(signature, []).append(tenant_id)
+        return {sig: tuple(ids) for sig, ids in grouped.items()}

@@ -1,0 +1,79 @@
+"""Per-tenant ring buffers between admission and the fusion scheduler.
+
+The single-engine path couples admission to batching in one
+:class:`~repro.serve.queue.MicroBatchQueue`; a fleet cannot, because the
+scheduler needs frames *grouped by tenant* to decide what fuses.  The
+:class:`FleetRouter` is that regrouping stage: ``route`` appends an
+admitted frame to its tenant's bounded ring, and the scheduler drains
+whole rings per tick.  Overflow policy matches the engine's queue —
+evict the oldest frame of that tenant (returned to the caller for
+counting/observing, never an exception), so one noisy room degrades only
+itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenantFrame:
+    """One admitted frame waiting in a tenant's ring."""
+
+    tenant_id: str
+    frame_id: int
+    t_s: float
+    row: np.ndarray
+    #: True when the frame was synthesised by the gap repairer.
+    repaired: bool = False
+
+
+class FleetRouter:
+    """Maps ``(tenant_id, frame)`` onto bounded per-tenant rings."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rings: dict[str, deque[TenantFrame]] = {}
+
+    def route(self, frame: TenantFrame) -> TenantFrame | None:
+        """Append a frame to its tenant's ring; returns any evicted frame."""
+        ring = self._rings.get(frame.tenant_id)
+        if ring is None:
+            ring = deque()
+            self._rings[frame.tenant_id] = ring
+        evicted = None
+        if len(ring) >= self.capacity:
+            evicted = ring.popleft()
+        ring.append(frame)
+        return evicted
+
+    def depth(self, tenant_id: str) -> int:
+        """Frames currently pending for one tenant."""
+        ring = self._rings.get(tenant_id)
+        return 0 if ring is None else len(ring)
+
+    @property
+    def total_depth(self) -> int:
+        """Frames pending across every tenant."""
+        return sum(len(ring) for ring in self._rings.values())
+
+    @property
+    def pending_tenants(self) -> tuple[str, ...]:
+        """Tenants with at least one pending frame, first-seen order."""
+        return tuple(t for t, ring in self._rings.items() if ring)
+
+    def drain(self, tenant_id: str) -> list[TenantFrame]:
+        """Remove and return every pending frame of one tenant, in order."""
+        ring = self._rings.get(tenant_id)
+        if not ring:
+            return []
+        frames = list(ring)
+        ring.clear()
+        return frames

@@ -1,0 +1,426 @@
+"""The fleet facade: tenant-scoped serving over the fusion scheduler.
+
+:class:`Fleet` is the multi-room counterpart of
+:class:`~repro.serve.engine.InferenceEngine`.  One process serves many
+tenants, each bound to a frozen :class:`~repro.fastpath.plan.InferencePlan`
+via the :class:`~repro.fleet.registry.PlanRegistry`; submissions land in
+per-tenant ring buffers (:class:`~repro.fleet.router.FleetRouter`) and a
+:meth:`Fleet.tick` drains every ring through the
+:class:`~repro.fleet.fusion.FusionScheduler`, fusing same-signature
+cohorts into single batched GEMMs.
+
+Isolation guarantees (the part that makes multi-tenancy honest):
+
+* **guard state is per tenant** — each ``attach`` builds fresh
+  validator/repairer/supervisor instances from the shared
+  :class:`~repro.serve.config.ServeConfig` recipe, so one room's circuit
+  breaker trips, drift windows and cadence state never bleed into
+  another's;
+* **observer ledgers are per tenant** — pass ``observer_factory`` and
+  each tenant gets its own :class:`~repro.obs.observer.Observer`, whose
+  ledger reconciles independently
+  (``submitted + fills == answered + rejected + quarantined +
+  policy_rejected + stale + overflow + pending``);
+* **metrics are shared but labeled** — per-tenant rollups use the brace
+  convention (``fleet_frames_total{tenant=room-12}``) that
+  :func:`repro.obs.exposition.render_prometheus` renders as one labeled
+  family, next to aggregate fleet counters and the fusion ratio.
+
+The supervisor mapping differs from the engine's in one deliberate way:
+a fleet has no per-tenant fallback predictor tier, so a supervisor
+decision of FALLBACK or REJECT (or a primary failure) *sheds* that
+tenant's tick as ``policy_rejected`` rather than serving degraded
+answers.  Shedding is per tenant — the rest of the fleet's tick fuses
+and serves normally.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.streaming import SmoothingDebouncer, Transition, check_csi_row
+from ..exceptions import ConfigurationError, ShapeError, StreamError
+from ..fastpath.plan import InferencePlan
+from ..guard.supervisor import RecoverySupervisor, ServingMode
+from ..guard.validation import QuarantineBuffer, QuarantinedFrame
+from ..nn.modules import Module
+from ..obs.observer import NULL_OBSERVER
+from ..serve.config import ServeConfig
+from ..serve.engine import InferenceResult
+from ..serve.metrics import MetricsRegistry
+from ..serve.robustness import LinkHealth
+from ..serve.types import FrameTicket
+from .fusion import FusionScheduler, TenantBatch
+from .registry import PlanRegistry, PlanSignature
+from .router import FleetRouter, TenantFrame
+
+
+class _TenantState:
+    """Everything one tenant owns besides its registered plan."""
+
+    def __init__(self, config: ServeConfig, metrics: MetricsRegistry, observer) -> None:
+        self.debouncer = SmoothingDebouncer(config.window, config.hold_frames)
+        self.health = LinkHealth.IDLE
+        self.observer = observer
+        validator, repairer, supervisor = config.build_guards(registry=metrics)
+        self.validator = validator
+        self.repairer = repairer
+        self.supervisor = supervisor if supervisor is not None else RecoverySupervisor()
+        self.supervisor.bind_registry(metrics)
+        self.supervisor.bind_observer(observer)
+        self.quarantine = QuarantineBuffer() if validator is not None else None
+        # Ledger-side tallies, mirroring the engine's per-link accounting.
+        self.frames_in = 0
+        self.frames_out = 0
+        self.rejected = 0
+        self.quarantined = 0
+        self.repaired = 0
+        self.policy_rejected = 0
+        self.stale_dropped = 0
+        self.overflow_dropped = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "rejected": self.rejected,
+            "quarantined": self.quarantined,
+            "repaired": self.repaired,
+            "policy_rejected": self.policy_rejected,
+            "stale_dropped": self.stale_dropped,
+            "overflow_dropped": self.overflow_dropped,
+        }
+
+
+class Fleet:
+    """Tenant-scoped, fusion-scheduled serving for many rooms at once.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`~repro.serve.config.ServeConfig` recipe.  Queue
+        bounds apply *per tenant ring*; guard settings are rebuilt as
+        fresh instances per tenant; ``config.registry`` (when set) is the
+        shared metrics sink.
+    plans:
+        Optional pre-populated :class:`~repro.fleet.registry.PlanRegistry`;
+        tenants registered there before construction still need
+        :meth:`attach` to grow serving state.
+    tile:
+        Fixed GEMM tile size for the shape-stable runners (see
+        :mod:`repro.fleet.fusion`).
+    fusion_enabled:
+        ``False`` forces per-tenant dispatch — the benchmark control arm.
+    observer_factory:
+        Zero-argument callable yielding one observer per tenant;
+        defaults to the no-op :data:`~repro.obs.observer.NULL_OBSERVER`.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        plans: PlanRegistry | None = None,
+        tile: int = 16,
+        fusion_enabled: bool = True,
+        observer_factory=None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = (
+            self.config.registry if self.config.registry is not None else MetricsRegistry()
+        )
+        self.plans = plans if plans is not None else PlanRegistry()
+        self.router = FleetRouter(capacity=self.config.queue_capacity)
+        self.scheduler = FusionScheduler(tile=tile, fusion_enabled=fusion_enabled)
+        self._observer_factory = observer_factory
+        self._tenants: dict[str, _TenantState] = {}
+        self._now_s = -np.inf
+        self._frame_seq = 0
+
+    # -------------------------------------------------------------- tenants
+
+    def attach(self, tenant_id: str, model, scaler=None) -> PlanSignature:
+        """Register a tenant and build its isolated serving state.
+
+        ``model`` may be a frozen :class:`~repro.fastpath.plan.InferencePlan`
+        or a trainable :class:`~repro.nn.modules.Sequential` (frozen here,
+        with the optional ``scaler`` folded in).
+        """
+        if isinstance(model, InferencePlan):
+            plan = model
+        elif isinstance(model, Module):
+            plan = InferencePlan.from_model(model, scaler=scaler)
+        else:
+            raise ConfigurationError(
+                f"attach needs an InferencePlan or Sequential, got {type(model).__name__}"
+            )
+        signature = self.plans.register(tenant_id, plan)
+        observer = (
+            self._observer_factory() if self._observer_factory is not None else NULL_OBSERVER
+        )
+        observer.bind_registry(self.metrics)
+        self._tenants[tenant_id] = _TenantState(self.config, self.metrics, observer)
+        self.metrics.gauge("fleet_tenants").set(len(self._tenants))
+        return signature
+
+    def _tenant(self, tenant_id: str) -> _TenantState:
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}; attach it first")
+        return state
+
+    @property
+    def tenant_ids(self) -> tuple[str, ...]:
+        """Attached tenants, in attach order."""
+        return tuple(self._tenants)
+
+    def health(self, tenant_id: str) -> LinkHealth:
+        """One tenant's serving health (IDLE until its first result)."""
+        return self._tenant(tenant_id).health
+
+    def state(self, tenant_id: str) -> int:
+        """One tenant's current debounced occupancy state (0/1)."""
+        return self._tenant(tenant_id).debouncer.state
+
+    def ledger(self, tenant_id: str) -> dict[str, int]:
+        """The tenant observer's frame ledger (all zeros when untraced)."""
+        return self._tenant(tenant_id).observer.ledger()
+
+    def counters(self, tenant_id: str) -> dict[str, int]:
+        """The fleet-side per-tenant tallies (engine ``_LinkState`` parity)."""
+        return self._tenant(tenant_id).counters()
+
+    # --------------------------------------------------------------- submit
+
+    def submit(self, tenant_id: str, t_s: float, csi_row: np.ndarray) -> FrameTicket:
+        """Admit one frame into the tenant's ring; results come from tick.
+
+        The returned :class:`~repro.serve.types.FrameTicket` carries the
+        admission outcome; its ``results`` tuple is always empty because
+        fleet inference is tick-driven, never submit-driven.
+        """
+        state = self._tenant(tenant_id)
+        obs = state.observer
+        tracing = obs.enabled
+        frame_id = self._frame_seq
+        self._frame_seq += 1
+        t_f = float(t_s)
+        if tracing:
+            obs.frame_submitted(frame_id, tenant_id, t_f)
+        try:
+            csi_row = check_csi_row(csi_row)
+        except (ShapeError, StreamError):
+            state.rejected += 1
+            self.metrics.counter("fleet_frames_rejected").inc()
+            if tracing:
+                obs.frame_outcome("rejected", frame_id, tenant_id, t_f, gate="shape")
+            return FrameTicket(tenant_id, frame_id, t_f, "rejected")
+        if state.validator is not None:
+            failure = state.validator.validate(tenant_id, t_f, csi_row)
+            if failure is not None:
+                state.quarantined += 1
+                self.metrics.counter("fleet_frames_quarantined").inc()
+                state.quarantine.add(QuarantinedFrame(tenant_id, t_f, csi_row, failure))
+                if tracing:
+                    obs.frame_outcome(
+                        "quarantined", frame_id, tenant_id, t_f, check=failure.check
+                    )
+                return FrameTicket(tenant_id, frame_id, t_f, "quarantined")
+        state.frames_in += 1
+        self.metrics.counter("fleet_frames_in").inc()
+        self.metrics.counter(f"fleet_frames_total{{tenant={tenant_id}}}").inc()
+        self._now_s = max(self._now_s, t_f)
+
+        pending = [TenantFrame(tenant_id, frame_id, t_f, csi_row)]
+        if state.repairer is not None:
+            fills = state.repairer.observe(tenant_id, t_f, csi_row)
+            if fills:
+                state.repaired += len(fills)
+                self.metrics.counter("fleet_frames_repaired").inc(len(fills))
+                filled = []
+                for fill in fills:
+                    fill_id = self._frame_seq
+                    self._frame_seq += 1
+                    filled.append(
+                        TenantFrame(tenant_id, fill_id, fill.t_s, fill.row, repaired=True)
+                    )
+                    if tracing:
+                        obs.frame_filled(fill_id, tenant_id, fill.t_s, source_frame=frame_id)
+                pending = filled + pending
+        for frame in pending:
+            evicted = self.router.route(frame)
+            if evicted is not None:
+                state.overflow_dropped += 1
+                self.metrics.counter("fleet_frames_dropped_overflow").inc()
+                if tracing:
+                    obs.frame_outcome(
+                        "overflow", evicted.frame_id, evicted.tenant_id, evicted.t_s
+                    )
+        self.metrics.gauge("fleet_pending").set(self.router.total_depth)
+        return FrameTicket(tenant_id, frame_id, t_f, "enqueued")
+
+    # ----------------------------------------------------------------- tick
+
+    def tick(self, now_s: float | None = None) -> list[InferenceResult]:
+        """Drain every tenant ring through one fusion-scheduled pass.
+
+        ``now_s`` advances stream time (defaults to the newest submitted
+        timestamp); staleness and breaker clocks read it.  Returns the
+        results of every tenant served this tick, grouped per tenant in
+        submission order.
+        """
+        if now_s is not None:
+            self._now_s = max(self._now_s, float(now_s))
+        now = self._now_s
+        tick_start = time.perf_counter()
+        batches: list[TenantBatch] = []
+        shed: list[tuple[_TenantState, list[TenantFrame]]] = []
+        for tenant_id in self.router.pending_tenants:
+            state = self._tenants[tenant_id]
+            frames = self._drop_stale(state, self.router.drain(tenant_id), now)
+            if not frames:
+                continue
+            rows = np.stack([frame.row for frame in frames]).astype(np.float32)
+            state.supervisor.observe(rows, now)
+            if state.supervisor.decide(now) is ServingMode.PRIMARY:
+                batches.append(
+                    TenantBatch(
+                        tenant_id=tenant_id,
+                        signature=self.plans.signature(tenant_id),
+                        plan=self.plans.get(tenant_id),
+                        frames=frames,
+                        rows=rows,
+                    )
+                )
+            else:
+                shed.append((state, frames))
+        for state, frames in shed:
+            self._shed(state, frames)
+        if not batches:
+            self.metrics.gauge("fleet_pending").set(self.router.total_depth)
+            return []
+
+        try:
+            outcome = self.scheduler.run_tick(batches)
+        except Exception:
+            for batch in batches:
+                state = self._tenants[batch.tenant_id]
+                state.supervisor.record_primary_failure(now)
+                self._shed(state, batch.frames)
+            self.metrics.counter("fleet_tick_failures").inc()
+            return []
+        scatter_start = time.perf_counter()
+
+        results: list[InferenceResult] = []
+        for batch in batches:
+            state = self._tenants[batch.tenant_id]
+            state.supervisor.record_primary_success(now)
+            probabilities = outcome.probabilities[batch.tenant_id]
+            results.extend(self._emit(batch.tenant_id, state, batch.frames, probabilities))
+
+        scatter_ms = 1000.0 * (time.perf_counter() - scatter_start)
+        tick_ms = 1000.0 * (time.perf_counter() - tick_start)
+        self.metrics.counter("fleet_ticks").inc()
+        self.metrics.counter("fleet_fused_frames_total").inc(outcome.fused_frames)
+        self.metrics.counter("fleet_unfused_frames_total").inc(outcome.unfused_frames)
+        self.metrics.counter("fleet_fused_groups_total").inc(outcome.fused_groups)
+        self.metrics.counter("fleet_unfused_groups_total").inc(outcome.unfused_groups)
+        fused = self.metrics.counter("fleet_fused_frames_total").value
+        total = fused + self.metrics.counter("fleet_unfused_frames_total").value
+        if total:
+            self.metrics.gauge("fleet_fusion_ratio").set(fused / total)
+        self.metrics.histogram("fleet_scatter_latency_ms").observe(scatter_ms)
+        self.metrics.histogram("fleet_tick_latency_ms").observe(tick_ms)
+        self.metrics.gauge("fleet_pending").set(self.router.total_depth)
+        return results
+
+    def flush(self) -> list[InferenceResult]:
+        """Serve everything pending (end of stream / shutdown)."""
+        return self.tick()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _drop_stale(
+        self, state: _TenantState, frames: list[TenantFrame], now: float
+    ) -> list[TenantFrame]:
+        if self.config.stale_after_s is None:
+            return frames
+        obs = state.observer
+        fresh: list[TenantFrame] = []
+        for frame in frames:
+            if now - frame.t_s > self.config.stale_after_s:
+                state.stale_dropped += 1
+                state.health = LinkHealth.DEGRADED
+                self.metrics.counter("fleet_frames_dropped_stale").inc()
+                if obs.enabled:
+                    obs.frame_outcome(
+                        "stale", frame.frame_id, frame.tenant_id, frame.t_s,
+                        age_s=now - frame.t_s,
+                    )
+            else:
+                fresh.append(frame)
+        return fresh
+
+    def _shed(self, state: _TenantState, frames: list[TenantFrame]) -> None:
+        """Supervisor said not-PRIMARY (or the run failed): drop the tick."""
+        state.policy_rejected += len(frames)
+        state.health = LinkHealth.DEGRADED
+        self.metrics.counter("fleet_frames_policy_rejected").inc(len(frames))
+        obs = state.observer
+        if obs.enabled:
+            for frame in frames:
+                obs.frame_outcome(
+                    "policy_rejected", frame.frame_id, frame.tenant_id, frame.t_s
+                )
+
+    def _emit(
+        self,
+        tenant_id: str,
+        state: _TenantState,
+        frames: list[TenantFrame],
+        probabilities: np.ndarray,
+    ) -> list[InferenceResult]:
+        obs = state.observer
+        tracing = obs.enabled
+        out_counter = self.metrics.counter(f"fleet_frames_out_total{{tenant={tenant_id}}}")
+        results: list[InferenceResult] = []
+        for frame, p in zip(frames, probabilities):
+            state.frames_out += 1
+            out_counter.inc()
+            new_health, recovered = state.supervisor.resolve_health(state.health, "primary")
+            if recovered:
+                self.metrics.counter("fleet_tenant_recovered_total").inc()
+                if tracing:
+                    obs.emit(
+                        "link.recovered",
+                        t_s=frame.t_s,
+                        frame_id=frame.frame_id,
+                        link_id=tenant_id,
+                    )
+            state.health = new_health
+            flipped = state.debouncer.update(int(p >= 0.5))
+            transition = None
+            if flipped is not None:
+                transition = Transition(frame.t_s, bool(flipped))
+                self.metrics.counter("fleet_transitions").inc()
+            results.append(
+                InferenceResult(
+                    link_id=tenant_id,
+                    t_s=frame.t_s,
+                    probability=float(p),
+                    state=state.debouncer.state,
+                    transition=transition,
+                    source="primary",
+                    repaired=frame.repaired,
+                    frame_id=frame.frame_id,
+                )
+            )
+            if tracing:
+                obs.frame_outcome(
+                    "answered", frame.frame_id, tenant_id, frame.t_s,
+                    source="primary", repaired=frame.repaired,
+                )
+        self.metrics.counter("fleet_frames_out").inc(len(frames))
+        return results

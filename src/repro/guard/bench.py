@@ -19,6 +19,7 @@ stack), so the :mod:`repro.guard` package exposes it lazily.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..exceptions import ConfigurationError
@@ -105,6 +106,17 @@ class GuardBenchReport:
         else:
             lines.append("frame ledger reconciles: zero unaccounted frames")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON payload for the common bench envelope (see repro.benchkit)."""
+        return {
+            "bench": "guard-bench",
+            "unaccounted_total": self.unaccounted_total,
+            "comparisons": [
+                {**dataclasses.asdict(c), "coverage_gain": c.coverage_gain}
+                for c in self.comparisons
+            ],
+        }
 
 
 def run_guard_bench(

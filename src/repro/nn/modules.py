@@ -259,6 +259,68 @@ class BatchNorm1d(Module):
         return f"BatchNorm1d({self.n_features})"
 
 
+class _LayerList(list):
+    """Layer container that invalidates the owner's parameter cache.
+
+    ``Sequential.parameters()`` memoizes its parameter walk; any direct
+    mutation of the layer stack (``model.layers.append(...)``, item
+    replacement, ``del``) must drop that cache or the optimizer keeps
+    training a stale tensor set.  Every mutating ``list`` method is
+    overridden to notify the owning module.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, layers, owner) -> None:
+        super().__init__(layers)
+        self._owner = owner
+
+    def _invalidate(self) -> None:
+        # getattr: unpickling/deepcopy may append items before _owner is
+        # restored; a not-yet-owned list has no cache to drop.
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._param_cache = None
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._invalidate()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._invalidate()
+
+    def insert(self, index, item) -> None:
+        super().insert(index, item)
+        self._invalidate()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._invalidate()
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._invalidate()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._invalidate()
+
+    def __setitem__(self, index, item) -> None:
+        super().__setitem__(index, item)
+        self._invalidate()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._invalidate()
+
+    def __iadd__(self, items):
+        result = super().__iadd__(items)
+        self._invalidate()
+        return result
+
+
 class Sequential(Module):
     """Chain of modules applied in order."""
 
@@ -266,8 +328,17 @@ class Sequential(Module):
         super().__init__()
         if not layers:
             raise ConfigurationError("Sequential needs at least one layer")
-        self.layers = list(layers)
         self._param_cache: list[Tensor] | None = None
+        self.layers = _LayerList(layers, self)
+
+    def __setattr__(self, name, value) -> None:
+        # Reassigning the whole stack (model.layers = [...]) must behave
+        # like any other layer mutation: adopt the list and drop the cache.
+        if name == "layers" and not isinstance(value, _LayerList):
+            value = _LayerList(value, self)
+        super().__setattr__(name, value)
+        if name == "layers":
+            self._param_cache = None
 
     def parameters(self) -> Iterator[Tensor]:
         """Cached parameter list — hot on the training path.
@@ -277,8 +348,8 @@ class Sequential(Module):
         same Tensor objects, so it is done once and memoized.  The cache
         holds the Tensors themselves (whose ``.data`` training and
         ``load_state_dict`` update in place), and is invalidated by
-        :meth:`load_state_dict` defensively.  Mutating :attr:`layers`
-        after construction is not supported.
+        :meth:`load_state_dict` defensively and by any direct mutation of
+        :attr:`layers` (append/replace/delete — see :class:`_LayerList`).
         """
         if self._param_cache is None:
             self._param_cache = list(super().parameters())

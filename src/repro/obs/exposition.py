@@ -16,6 +16,14 @@ Metric names are sanitised to the Prometheus grammar
 ``batch_latency_ms`` becomes ``repro_batch_latency_ms``.  Output is
 sorted by sample name — stable across runs for diffable scrapes.
 
+Registry names may carry **labels** in the conventional brace form the
+fleet layer uses, e.g. ``fleet_frames_total{tenant=room-12}``:
+:func:`split_labels` parses the name into a base family plus label
+pairs, the family name is sanitised once, label values are escaped, and
+every series of one family shares a single ``# TYPE`` line — so
+per-tenant rollups scrape as one labeled family rather than hundreds of
+mangled flat names.
+
 No HTTP server ships here: the renderer is the hard part, and serving the
 string from any framework (or writing it to a node-exporter textfile) is
 one line at the deployment edge.
@@ -42,6 +50,36 @@ def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
     return cleaned
 
 
+_LABELED = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>[^{}]*)\}$")
+
+
+def split_labels(name: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Parse a registry name into ``(family, ((key, value), ...))``.
+
+    ``"fleet_frames_total{tenant=room-12}"`` →
+    ``("fleet_frames_total", (("tenant", "room-12"),))``; a name without
+    a brace block comes back with an empty label tuple.  Malformed brace
+    blocks (no ``=``, nested braces) are left alone — the whole name is
+    treated as an unlabeled family and later sanitised into grammar.
+    """
+    match = _LABELED.match(name)
+    if not match:
+        return name, ()
+    pairs = []
+    for part in match.group("labels").split(","):
+        if "=" not in part:
+            return name, ()
+        key, value = part.split("=", 1)
+        if not key.strip():
+            return name, ()
+        pairs.append((key.strip(), value.strip()))
+    return match.group("base"), tuple(pairs)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
 def _format_value(value: float) -> str:
     if math.isnan(value):
         return "NaN"
@@ -50,34 +88,58 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _series_name(metric: str, labels: tuple[tuple[str, str], ...], *extra: tuple[str, str]) -> str:
+    pairs = labels + tuple(extra)
+    if not pairs:
+        return metric
+    inner = ",".join(
+        f'{_INVALID.sub("_", key)}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return f"{metric}{{{inner}}}"
+
+
 def render_prometheus(registry, namespace: str = "repro") -> str:
     """The registry's current state in Prometheus text exposition format.
 
     Accepts any object with ``counters``/``gauges``/``histograms``
     mapping properties (canonically a
     :class:`~repro.serve.metrics.MetricsRegistry`).  Returns the full
-    page, newline-terminated.
+    page, newline-terminated.  Labeled registry names (brace convention,
+    see :func:`split_labels`) render as labeled series grouped under one
+    ``# TYPE`` line per family.
     """
-    blocks: list[tuple[str, list[str]]] = []
+    # family name -> (kind, [(sort_key, [sample lines]), ...])
+    families: dict[str, tuple[str, list[tuple[str, list[str]]]]] = {}
+
+    def family(name: str, kind: str) -> tuple[str, tuple[tuple[str, str], ...], list]:
+        base, labels = split_labels(name)
+        metric = sanitize_metric_name(base, namespace)
+        if metric not in families:
+            families[metric] = (kind, [])
+        return metric, labels, families[metric][1]
+
     for name, counter in registry.counters.items():
-        metric = sanitize_metric_name(name, namespace)
-        blocks.append(
-            (metric, [f"# TYPE {metric} counter", f"{metric} {_format_value(counter.value)}"])
-        )
+        metric, labels, series = family(name, "counter")
+        sample = _series_name(metric, labels)
+        series.append((sample, [f"{sample} {_format_value(counter.value)}"]))
     for name, gauge in registry.gauges.items():
-        metric = sanitize_metric_name(name, namespace)
-        blocks.append(
-            (metric, [f"# TYPE {metric} gauge", f"{metric} {_format_value(gauge.value)}"])
-        )
+        metric, labels, series = family(name, "gauge")
+        sample = _series_name(metric, labels)
+        series.append((sample, [f"{sample} {_format_value(gauge.value)}"]))
     for name, hist in registry.histograms.items():
-        metric = sanitize_metric_name(name, namespace)
-        lines = [f"# TYPE {metric} summary"]
-        for q, pct in QUANTILES:
-            lines.append(
-                f'{metric}{{quantile="{q}"}} {_format_value(hist.percentile(pct))}'
-            )
-        lines.append(f"{metric}_sum {_format_value(hist.total)}")
-        lines.append(f"{metric}_count {hist.count}")
-        blocks.append((metric, lines))
-    blocks.sort(key=lambda block: block[0])
-    return "\n".join(line for _, lines in blocks for line in lines) + "\n"
+        metric, labels, series = family(name, "summary")
+        lines = [
+            f"{_series_name(metric, labels, ('quantile', str(q)))} "
+            f"{_format_value(hist.percentile(pct))}"
+            for q, pct in QUANTILES
+        ]
+        lines.append(f"{_series_name(metric + '_sum', labels)} {_format_value(hist.total)}")
+        lines.append(f"{_series_name(metric + '_count', labels)} {hist.count}")
+        series.append((_series_name(metric, labels), lines))
+    out: list[str] = []
+    for metric in sorted(families):
+        kind, series = families[metric]
+        out.append(f"# TYPE {metric} {kind}")
+        for _, lines in sorted(series, key=lambda item: item[0]):
+            out.extend(lines)
+    return "\n".join(out) + "\n"

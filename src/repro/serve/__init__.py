@@ -23,7 +23,9 @@ on ``observer.enabled``, so an untraced engine does no timing work.
 """
 
 from .bench import ServeBenchReport, run_serve_bench
+from .config import ServeConfig
 from .engine import InferenceEngine, InferenceResult
+from .types import TICKET_OUTCOMES, FrameTicket
 from .metrics import (
     Counter,
     Gauge,
@@ -42,6 +44,9 @@ from .robustness import (
 __all__ = [
     "InferenceEngine",
     "InferenceResult",
+    "ServeConfig",
+    "FrameTicket",
+    "TICKET_OUTCOMES",
     "MicroBatchQueue",
     "PendingFrame",
     "LinkHealth",

@@ -26,6 +26,7 @@ import numpy as np
 from ..data.dataset import OccupancyDataset
 from ..data.streaming import StreamingDetector
 from ..exceptions import ConfigurationError
+from .config import ServeConfig
 from .engine import InferenceEngine
 from .metrics import MetricsRegistry
 from .robustness import FallbackPredictor
@@ -69,6 +70,27 @@ class ServeBenchReport:
             self.registry.report("engine metrics:"),
         ]
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON payload for the common bench envelope (see repro.benchkit)."""
+        return {
+            "bench": "serve-bench",
+            "workload": {
+                "n_frames": self.n_frames,
+                "n_links": self.n_links,
+                "max_batch": self.max_batch,
+            },
+            "throughput_fps": {
+                "per_frame": self.per_frame_fps,
+                "batched": self.batched_fps,
+                "speedup": self.speedup,
+            },
+            "wall_s": {"per_frame": self.per_frame_s, "batched": self.batched_s},
+            "transitions": {
+                "per_frame": self.per_frame_transitions,
+                "batched": self.batched_transitions,
+            },
+        }
 
 
 def _interleaved_frames(
@@ -126,12 +148,16 @@ def run_serve_bench(
     # Micro-batched path: one shared engine, vectorized over the batch.
     engine = InferenceEngine(
         estimator,
-        max_batch=max_batch,
-        max_latency_ms=max_latency_ms,
-        queue_capacity=queue_capacity if queue_capacity is not None else 4 * max_batch,
-        window=window,
-        hold_frames=hold_frames,
-        fallback=fallback,
+        ServeConfig(
+            max_batch=max_batch,
+            max_latency_ms=max_latency_ms,
+            queue_capacity=(
+                queue_capacity if queue_capacity is not None else 4 * max_batch
+            ),
+            window=window,
+            hold_frames=hold_frames,
+            fallback=fallback,
+        ),
     )
     start = time.perf_counter()
     batched_transitions = 0

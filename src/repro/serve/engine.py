@@ -58,6 +58,7 @@ throughput is untouched.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,9 +70,15 @@ from ..guard.repair import GapRepairer
 from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import FrameValidator, QuarantineBuffer, QuarantinedFrame
 from ..obs.observer import NULL_OBSERVER
+from .config import ServeConfig
 from .metrics import MetricsRegistry
 from .queue import MicroBatchQueue, PendingFrame
 from .robustness import FallbackPredictor, LinkHealth, PriorFallback
+from .types import FrameTicket
+
+#: Sentinel distinguishing "caller passed nothing" from explicit ``None``
+#: for the deprecated per-knob keyword arguments.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,15 @@ class InferenceResult:
     #: The monotonic id ``submit`` assigned to this frame — the key that
     #: joins the result to its trace spans and events in :mod:`repro.obs`.
     frame_id: int = -1
+
+    @property
+    def tenant_id(self) -> str:
+        """Alias for :attr:`link_id` — the fleet layer's tenant naming.
+
+        Single-engine code says "link", the fleet says "tenant"; results
+        answer to both so downstream consumers read one field name.
+        """
+        return self.link_id
 
 
 class _LinkState:
@@ -116,6 +132,12 @@ class InferenceEngine:
     estimator:
         Any fitted :class:`~repro.core.estimator.Estimator`; only
         ``predict_proba`` is called.
+    config:
+        A :class:`~repro.serve.config.ServeConfig` bundling every knob
+        below.  This is the supported way to configure an engine; the
+        individual keyword arguments remain for one release and emit a
+        :class:`DeprecationWarning` (explicit kwargs override the config
+        they are folded into).
     max_batch / max_latency_ms / queue_capacity:
         Micro-batching policy (see :class:`~repro.serve.queue.MicroBatchQueue`).
         Latency is measured in *stream* time (frame timestamps);
@@ -158,46 +180,82 @@ class InferenceEngine:
     def __init__(
         self,
         estimator,
+        config: ServeConfig | None = None,
         *,
-        max_batch: int = 32,
-        max_latency_ms: float | None = 250.0,
-        queue_capacity: int = 256,
-        window: int = 5,
-        hold_frames: int = 3,
-        stale_after_s: float | None = None,
-        fallback: FallbackPredictor | None = None,
-        registry: MetricsRegistry | None = None,
-        validator: FrameValidator | None = None,
-        repairer: GapRepairer | None = None,
-        supervisor: RecoverySupervisor | None = None,
-        quarantine: QuarantineBuffer | None = None,
-        observer=None,
+        max_batch=_UNSET,
+        max_latency_ms=_UNSET,
+        queue_capacity=_UNSET,
+        window=_UNSET,
+        hold_frames=_UNSET,
+        stale_after_s=_UNSET,
+        fallback=_UNSET,
+        registry=_UNSET,
+        validator=_UNSET,
+        repairer=_UNSET,
+        supervisor=_UNSET,
+        quarantine=_UNSET,
+        observer=_UNSET,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_batch", max_batch),
+                ("max_latency_ms", max_latency_ms),
+                ("queue_capacity", queue_capacity),
+                ("window", window),
+                ("hold_frames", hold_frames),
+                ("stale_after_s", stale_after_s),
+                ("fallback", fallback),
+                ("registry", registry),
+                ("validator", validator),
+                ("repairer", repairer),
+                ("supervisor", supervisor),
+                ("quarantine", quarantine),
+                ("observer", observer),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                "passing InferenceEngine configuration as individual keyword "
+                "arguments is deprecated; pass a ServeConfig instead, e.g. "
+                "InferenceEngine(estimator, ServeConfig(max_batch=8))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config or ServeConfig()).with_overrides(**legacy)
+        elif config is None:
+            config = ServeConfig()
         validate_estimator(estimator, require=("predict_proba",))
-        if stale_after_s is not None and stale_after_s <= 0:
-            raise ConfigurationError("stale_after_s must be positive (or None)")
+        self.config = config
         self.estimator = estimator
-        self.fallback = fallback if fallback is not None else PriorFallback()
+        self.fallback = config.fallback if config.fallback is not None else PriorFallback()
         validate_estimator(self.fallback, require=("predict_proba",))
-        self.window = window
-        self.hold_frames = hold_frames
-        self.stale_after_s = stale_after_s
+        self.window = config.window
+        self.hold_frames = config.hold_frames
+        self.stale_after_s = config.stale_after_s
         self.queue = MicroBatchQueue(
-            max_batch=max_batch,
-            max_latency_s=None if max_latency_ms is None else max_latency_ms / 1000.0,
-            capacity=queue_capacity,
+            max_batch=config.max_batch,
+            max_latency_s=(
+                None
+                if config.max_latency_ms is None
+                else config.max_latency_ms / 1000.0
+            ),
+            capacity=config.queue_capacity,
         )
-        self.registry = registry if registry is not None else MetricsRegistry()
-        self.validator = validator
-        self.repairer = repairer
-        self.supervisor = supervisor if supervisor is not None else RecoverySupervisor()
+        self.registry = config.registry if config.registry is not None else MetricsRegistry()
+        guard_v, guard_r, guard_s = config.build_guards(registry=self.registry)
+        self.validator = guard_v
+        self.repairer = guard_r
+        self.supervisor = guard_s if guard_s is not None else RecoverySupervisor()
         self.supervisor.bind_registry(self.registry)
-        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.observer = config.observer if config.observer is not None else NULL_OBSERVER
         self.observer.bind_registry(self.registry)
         self.supervisor.bind_observer(self.observer)
-        if quarantine is None and validator is not None:
-            quarantine = QuarantineBuffer()
-        self.quarantine = quarantine
+        quarantine_pen = config.quarantine
+        if quarantine_pen is None and self.validator is not None:
+            quarantine_pen = QuarantineBuffer()
+        self.quarantine = quarantine_pen
         self._links: dict[str, _LinkState] = {}
         self._now_s = -np.inf
         self._frame_seq = 0
@@ -246,7 +304,32 @@ class InferenceEngine:
         with a repairer attached, an admitted frame that closes a short
         cadence gap first enqueues the synthetic fill frames, flagged
         ``repaired``.
+
+        For a receipt carrying the assigned frame id and admission
+        outcome, use :meth:`submit_frame` instead.
         """
+        return self._admit(link_id, t_s, csi_row)[2]
+
+    def submit_frame(self, tenant_id: str, t_s: float, csi_row: np.ndarray) -> FrameTicket:
+        """Like :meth:`submit`, but returns a typed :class:`FrameTicket`.
+
+        The ticket carries the monotonic frame id this submission was
+        assigned (the join key into :mod:`repro.obs` traces/events), the
+        admission outcome, and any results the submission flushed — the
+        normalised surface shared with :class:`repro.fleet.Fleet`.
+        """
+        frame_id, outcome, results = self._admit(tenant_id, t_s, csi_row)
+        return FrameTicket(
+            tenant_id=tenant_id,
+            frame_id=frame_id,
+            t_s=float(t_s),
+            outcome=outcome,
+            results=tuple(results),
+        )
+
+    def _admit(
+        self, link_id: str, t_s: float, csi_row: np.ndarray
+    ) -> tuple[int, str, list[InferenceResult]]:
         link = self._link(link_id)
         obs = self.observer
         tracing = obs.enabled
@@ -262,7 +345,7 @@ class InferenceEngine:
             self.registry.counter("frames_rejected").inc()
             if tracing:
                 obs.frame_outcome("rejected", frame_id, link_id, t_f, gate="shape")
-            return []
+            return frame_id, "rejected", []
         if self.validator is not None:
             if tracing:
                 t0 = time.perf_counter()
@@ -281,7 +364,7 @@ class InferenceEngine:
                     obs.frame_outcome(
                         "quarantined", frame_id, link_id, t_f, check=failure.check
                     )
-                return []
+                return frame_id, "quarantined", []
         link.frames_in += 1
         self.registry.counter("frames_in").inc()
         self._now_s = max(self._now_s, t_f)
@@ -331,7 +414,7 @@ class InferenceEngine:
         results: list[InferenceResult] = []
         while self.queue.ready(self._now_s):
             results.extend(self._run_batch(self.queue.drain()))
-        return results
+        return frame_id, "enqueued", results
 
     def flush(self) -> list[InferenceResult]:
         """Force inference on everything pending (end of stream, shutdown)."""

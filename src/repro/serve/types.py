@@ -1,0 +1,61 @@
+"""Typed submission results shared by the engine and fleet paths.
+
+PR 3/4 plumbing let :class:`~repro.serve.queue.PendingFrame` and ad-hoc
+tuples leak through the submission API: callers had to count frames
+themselves to learn the id ``submit`` assigned, and fleet code had no
+uniform way to say "this result belongs to tenant X".  The types here
+normalise that surface:
+
+* :class:`FrameTicket` — what every ``submit_frame`` call returns: the
+  monotonic frame id, the tenant (link) id, the admission outcome, and
+  whatever results the submission flushed.  The ticket is the join key
+  into the :mod:`repro.obs` trace/event stores.
+* results everywhere carry ``tenant_id``/``frame_id`` —
+  :class:`~repro.serve.engine.InferenceResult` exposes ``tenant_id`` as
+  an alias of ``link_id`` so single-engine and fleet code read the same.
+
+Admission outcomes form a tiny closed vocabulary (:data:`TICKET_OUTCOMES`):
+``"enqueued"`` (admitted; results may already be attached if the frame
+tipped a batch), ``"rejected"`` (failed the basic shape/finite gate) and
+``"quarantined"`` (failed the validator chain; the frame is in the
+engine's quarantine buffer with its verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard, types only
+    from .engine import InferenceResult
+
+#: The closed set of admission outcomes a ticket can carry.
+TICKET_OUTCOMES = ("enqueued", "rejected", "quarantined")
+
+
+@dataclass(frozen=True)
+class FrameTicket:
+    """Receipt for one submitted frame.
+
+    ``results`` holds the :class:`~repro.serve.engine.InferenceResult`
+    objects *this submission* flushed — usually empty (the frame is
+    waiting in the micro-batch queue), occasionally the whole batch the
+    frame completed.  A result for this very frame, when present, is the
+    element whose ``frame_id`` matches :attr:`frame_id`.
+    """
+
+    #: Stream identity — the engine's ``link_id``, the fleet's tenant id.
+    tenant_id: str
+    #: Monotonic id the engine assigned; joins traces, events and results.
+    frame_id: int
+    #: Frame timestamp (stream time, seconds).
+    t_s: float
+    #: One of :data:`TICKET_OUTCOMES`.
+    outcome: str
+    #: Results flushed by this submission (any tenant, any frame id).
+    results: "tuple[InferenceResult, ...]" = field(default_factory=tuple)
+
+    @property
+    def admitted(self) -> bool:
+        """True when the frame made it past every admission gate."""
+        return self.outcome == "enqueued"

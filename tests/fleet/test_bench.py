@@ -1,0 +1,85 @@
+"""Tests for the fleet-bench harness (small fleets; gates must hold)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet import run_fleet_bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fleet_bench(
+        n_tenants=6,
+        frames_per_tenant=8,
+        frames_per_tick=4,
+        distinct_every=3,
+        seed=11,
+    )
+
+
+class TestRunFleetBench:
+    def test_gates_hold(self, report):
+        assert report.byte_identical
+        assert report.ledger_reconciled
+        assert report.counters_reconciled
+        assert report.max_abs_delta == 0.0
+
+    def test_every_frame_compared(self, report):
+        assert report.n_compared == 6 * 8
+        assert report.fused.frames == 6 * 8
+        assert report.unfused.frames == 6 * 8
+
+    def test_cohort_mix(self, report):
+        # distinct_every=3 over 6 tenants: rooms 2 and 5 are odd-one-out.
+        assert report.n_cohorts == 3
+        assert 0.0 < report.fused.fusion_ratio < 1.0
+        assert report.unfused.fusion_ratio == 0.0
+
+    def test_latency_percentiles_per_tenant(self, report):
+        assert len(report.tenant_latency_ms) == 6
+        for stats in report.tenant_latency_ms.values():
+            assert 0.0 <= stats["p50_ms"] <= stats["p99_ms"]
+
+    def test_describe_mentions_gates(self, report):
+        text = report.describe()
+        assert "byte identity        : OK" in text
+        assert "ledger reconciliation: OK" in text
+        assert "speedup" in text
+
+    def test_to_json_payload(self, report):
+        payload = report.to_json()
+        assert payload["bench"] == "fleet-bench"
+        assert payload["identity"]["byte_identical"] is True
+        assert payload["identity"]["n_compared"] == 48
+        assert payload["fleet"]["n_tenants"] == 6
+        assert payload["throughput_fps"]["fused"] > 0
+        assert payload["throughput_fps"]["unfused"] > 0
+        assert set(payload["tenant_latency_ms"]) == set(report.tenant_latency_ms)
+
+    def test_quick_shrinks_but_keeps_gates(self):
+        quick = run_fleet_bench(quick=True, seed=3)
+        assert quick.n_tenants == 8
+        assert quick.frames_per_tenant == 16
+        assert quick.byte_identical
+        assert quick.ledger_reconciled
+        assert quick.counters_reconciled
+
+    def test_single_cohort_fleet(self):
+        solo = run_fleet_bench(
+            n_tenants=3,
+            frames_per_tenant=4,
+            frames_per_tick=2,
+            distinct_every=0,
+            seed=5,
+        )
+        assert solo.n_cohorts == 1
+        assert solo.byte_identical
+        assert solo.fused.fusion_ratio == 1.0
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet_bench(n_tenants=0)
+        with pytest.raises(ConfigurationError):
+            run_fleet_bench(frames_per_tenant=0)
+        with pytest.raises(ConfigurationError):
+            run_fleet_bench(rate_hz=0.0)

@@ -1,0 +1,282 @@
+"""Tests for the tiled runner and the fusion scheduler.
+
+The property tests here are the teeth of the byte-identity gate: over
+random architectures, tenant counts and frame interleavings (including
+the degenerate single-tenant and all-distinct fleets), fused dispatch
+must reproduce per-tenant dispatch bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.fastpath import InferencePlan
+from repro.fleet import (
+    FusionScheduler,
+    PlanSignature,
+    TenantBatch,
+    TenantFrame,
+    TiledPlanRunner,
+)
+from repro.nn.modules import Linear, ReLU, Sequential, Sigmoid, Tanh
+
+
+def _plan(seed=0, n_in=8, hidden=(6,), final_activation=None):
+    rng = np.random.default_rng(seed)
+    layers = []
+    widths = [n_in, *hidden]
+    for a, b in zip(widths[:-1], widths[1:]):
+        layers += [Linear(a, b, rng=rng), ReLU()]
+    layers.append(Linear(widths[-1], 1, rng=rng))
+    if final_activation is not None:
+        layers.append(final_activation)
+    return InferencePlan.from_model(Sequential(*layers))
+
+
+def _rows(rng, n, n_in=8):
+    return rng.normal(scale=2.0, size=(n, n_in)).astype(np.float32)
+
+
+def _batch(tenant_id, plan, rows):
+    frames = [
+        TenantFrame(tenant_id, i, float(i), rows[i]) for i in range(len(rows))
+    ]
+    return TenantBatch(
+        tenant_id=tenant_id,
+        signature=PlanSignature.of(plan),
+        plan=plan,
+        frames=frames,
+        rows=rows,
+    )
+
+
+class TestTiledPlanRunner:
+    def test_matches_plan_probabilities(self):
+        plan = _plan(seed=1)
+        runner = TiledPlanRunner(plan, tile=4)
+        x = _rows(np.random.default_rng(0), 11)
+        np.testing.assert_allclose(
+            runner.predict_proba(x), plan.predict_proba(x), rtol=0, atol=1e-6
+        )
+
+    def test_single_row_and_1d_input(self):
+        plan = _plan(seed=1)
+        runner = TiledPlanRunner(plan, tile=4)
+        row = _rows(np.random.default_rng(1), 1)
+        assert runner.predict_proba(row[0]).shape == (1,)
+        assert runner.predict_proba(row[0]) == runner.predict_proba(row)
+
+    def test_results_independent_of_batch_context(self):
+        # The defining property: a row's probability is a function of the
+        # row alone, not of whatever shared its predict_proba call.
+        plan = _plan(seed=2, hidden=(12, 5))
+        runner = TiledPlanRunner(plan, tile=8)
+        rng = np.random.default_rng(7)
+        x = _rows(rng, 37)
+        together = runner.predict_proba(x)
+        for split in (1, 8, 13, 36):
+            parts = np.concatenate(
+                [runner.predict_proba(x[:split]), runner.predict_proba(x[split:])]
+            )
+            assert np.array_equal(together, parts)
+
+    def test_explicit_sigmoid_tail_matches_fused_logistic(self):
+        rng = np.random.default_rng(3)
+        x = _rows(rng, 9)
+        with_sigmoid = _plan(seed=3, final_activation=Sigmoid())
+        without = _plan(seed=3)
+        a = TiledPlanRunner(with_sigmoid, tile=4).predict_proba(x)
+        b = TiledPlanRunner(without, tile=4).predict_proba(x)
+        np.testing.assert_allclose(a, b, rtol=0, atol=1e-6)
+        assert np.all((a >= 0.0) & (a <= 1.0))
+
+    def test_tile_one_works(self):
+        plan = _plan(seed=4)
+        x = _rows(np.random.default_rng(4), 5)
+        assert np.array_equal(
+            TiledPlanRunner(plan, tile=1).predict_proba(x),
+            TiledPlanRunner(plan, tile=1).predict_proba(x),
+        )
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ConfigurationError):
+            TiledPlanRunner(_plan(), tile=0)
+
+    def test_rejects_wrong_width(self):
+        runner = TiledPlanRunner(_plan(n_in=8))
+        with pytest.raises(ShapeError):
+            runner.predict_proba(np.zeros((3, 9), dtype=np.float32))
+
+    def test_rejects_multi_output_plan(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(4, 2, rng=rng))
+        with pytest.raises(ShapeError):
+            TiledPlanRunner(InferencePlan.from_model(model))
+
+    def test_scratch_buffers_do_not_leak_between_calls(self):
+        # A full tile followed by a partial one: stale rows in the stage
+        # buffer must not contaminate the padded lanes' bookkeeping.
+        plan = _plan(seed=5)
+        runner = TiledPlanRunner(plan, tile=8)
+        rng = np.random.default_rng(5)
+        big = _rows(rng, 8)
+        small = _rows(rng, 3)
+        runner.predict_proba(big)
+        assert np.array_equal(
+            runner.predict_proba(small),
+            TiledPlanRunner(plan, tile=8).predict_proba(small),
+        )
+
+
+class TestFusionScheduler:
+    def test_fuses_shared_signature_cohort(self):
+        plan = _plan(seed=1)
+        rng = np.random.default_rng(0)
+        batches = [
+            _batch("room-a", plan, _rows(rng, 3)),
+            _batch("room-b", plan, _rows(rng, 5)),
+        ]
+        outcome = FusionScheduler(tile=4).run_tick(batches)
+        assert outcome.fused_groups == 1
+        assert outcome.unfused_groups == 0
+        assert outcome.fused_frames == 8
+        assert outcome.total_frames == 8
+        assert outcome.probabilities["room-a"].shape == (3,)
+        assert outcome.probabilities["room-b"].shape == (5,)
+
+    def test_singleton_cohort_dispatches_unfused(self):
+        rng = np.random.default_rng(0)
+        batches = [
+            _batch("room-a", _plan(seed=1), _rows(rng, 3)),
+            _batch("room-b", _plan(seed=2), _rows(rng, 4)),
+        ]
+        outcome = FusionScheduler(tile=4).run_tick(batches)
+        assert outcome.fused_groups == 0
+        assert outcome.unfused_groups == 2
+        assert outcome.unfused_frames == 7
+
+    def test_fusion_disabled_never_fuses(self):
+        plan = _plan(seed=1)
+        rng = np.random.default_rng(0)
+        batches = [
+            _batch("room-a", plan, _rows(rng, 3)),
+            _batch("room-b", plan, _rows(rng, 5)),
+        ]
+        outcome = FusionScheduler(tile=4, fusion_enabled=False).run_tick(batches)
+        assert outcome.fused_groups == 0
+        assert outcome.unfused_groups == 2
+
+    def test_empty_batches_are_skipped(self):
+        plan = _plan(seed=1)
+        empty = TenantBatch(
+            tenant_id="room-a",
+            signature=PlanSignature.of(plan),
+            plan=plan,
+            frames=[],
+            rows=np.zeros((0, 8), dtype=np.float32),
+        )
+        outcome = FusionScheduler().run_tick([empty])
+        assert outcome.total_frames == 0
+        assert outcome.probabilities == {}
+
+    def test_runner_cache_is_per_signature(self):
+        scheduler = FusionScheduler(tile=4)
+        plan_a, plan_b = _plan(seed=1), _plan(seed=2)
+        sig_a, sig_b = PlanSignature.of(plan_a), PlanSignature.of(plan_b)
+        assert scheduler.runner_for(sig_a, plan_a) is scheduler.runner_for(sig_a, plan_a)
+        assert scheduler.runner_for(sig_a, plan_a) is not scheduler.runner_for(
+            sig_b, plan_b
+        )
+
+
+class TestByteIdentityProperty:
+    """Fused dispatch == per-tenant dispatch, bit for bit, by construction."""
+
+    def _assert_identical(self, batches, tile):
+        fused = FusionScheduler(tile=tile, fusion_enabled=True).run_tick(batches)
+        unfused = FusionScheduler(tile=tile, fusion_enabled=False).run_tick(batches)
+        assert fused.probabilities.keys() == unfused.probabilities.keys()
+        for tenant_id in fused.probabilities:
+            a = fused.probabilities[tenant_id]
+            b = unfused.probabilities[tenant_id]
+            assert a.shape == b.shape
+            assert np.array_equal(a, b), (
+                f"tenant {tenant_id}: fused diverged from per-tenant dispatch "
+                f"(max |delta| = {np.abs(a - b).max():.3g})"
+            )
+        assert fused.total_frames == unfused.total_frames
+
+    def test_random_fleets(self):
+        rng = np.random.default_rng(2022)
+        for trial in range(25):
+            tile = int(rng.choice([1, 3, 8, 16]))
+            n_plans = int(rng.integers(1, 4))
+            plans = [
+                _plan(
+                    seed=1000 * trial + k,
+                    hidden=tuple(
+                        int(w) for w in rng.integers(3, 20, size=rng.integers(1, 4))
+                    ),
+                )
+                for k in range(n_plans)
+            ]
+            n_tenants = int(rng.integers(1, 8))
+            batches = []
+            for t in range(n_tenants):
+                plan = plans[int(rng.integers(0, n_plans))]
+                n_frames = int(rng.integers(1, 2 * tile + 3))
+                batches.append(
+                    _batch(f"room-{t}", plan, _rows(rng, n_frames))
+                )
+            self._assert_identical(batches, tile)
+
+    def test_degenerate_single_tenant(self):
+        rng = np.random.default_rng(1)
+        self._assert_identical([_batch("room-a", _plan(seed=1), _rows(rng, 7))], 4)
+
+    def test_degenerate_all_distinct_plans(self):
+        rng = np.random.default_rng(2)
+        batches = [
+            _batch(f"room-{k}", _plan(seed=100 + k), _rows(rng, k + 1))
+            for k in range(5)
+        ]
+        self._assert_identical(batches, 8)
+
+    def test_degenerate_all_one_cohort(self):
+        rng = np.random.default_rng(3)
+        plan = _plan(seed=9, hidden=(16, 7))
+        batches = [
+            _batch(f"room-{k}", plan, _rows(rng, int(rng.integers(1, 9))))
+            for k in range(6)
+        ]
+        self._assert_identical(batches, 16)
+
+    def test_interleaving_order_does_not_change_results(self):
+        # Same frames, different tenant arrival order: each tenant's
+        # probabilities must not depend on its neighbours in the concat.
+        rng = np.random.default_rng(4)
+        plan = _plan(seed=11)
+        rows = {f"room-{k}": _rows(rng, 4 + k) for k in range(4)}
+        forward = [_batch(t, plan, r) for t, r in rows.items()]
+        backward = list(reversed(forward))
+        out_fwd = FusionScheduler(tile=8).run_tick(forward)
+        out_bwd = FusionScheduler(tile=8).run_tick(backward)
+        for tenant_id in rows:
+            assert np.array_equal(
+                out_fwd.probabilities[tenant_id], out_bwd.probabilities[tenant_id]
+            )
+
+    def test_tanh_architectures_also_identical(self):
+        rng = np.random.default_rng(5)
+        plan = InferencePlan.from_model(
+            Sequential(
+                Linear(8, 10, rng=np.random.default_rng(6)),
+                Tanh(),
+                Linear(10, 1, rng=np.random.default_rng(7)),
+            )
+        )
+        batches = [
+            _batch("room-a", plan, _rows(rng, 5)),
+            _batch("room-b", plan, _rows(rng, 9)),
+        ]
+        self._assert_identical(batches, 4)

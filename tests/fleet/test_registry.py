@@ -1,0 +1,121 @@
+"""Tests for the plan registry and the fusion-eligibility signature."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath import InferencePlan
+from repro.fleet import PlanRegistry, PlanSignature
+from repro.nn.modules import Linear, ReLU, Sequential
+
+
+def _plan(seed=0, n_in=8, hidden=6, n_out=1):
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Linear(n_in, hidden, rng=rng), ReLU(), Linear(hidden, n_out, rng=rng)
+    )
+    return InferencePlan.from_model(model)
+
+
+class TestPlanSignature:
+    def test_same_plan_same_signature(self):
+        plan = _plan(seed=1)
+        assert PlanSignature.of(plan) == PlanSignature.of(plan)
+
+    def test_identical_weights_share_signature(self):
+        # Two plans frozen from the same trained model must fuse.
+        model_rng = np.random.default_rng(3)
+        model = Sequential(
+            Linear(8, 6, rng=model_rng), ReLU(), Linear(6, 1, rng=model_rng)
+        )
+        a = InferencePlan.from_model(model)
+        b = InferencePlan.from_model(model)
+        assert PlanSignature.of(a) == PlanSignature.of(b)
+
+    def test_distinct_weights_distinct_signature(self):
+        sig_a = PlanSignature.of(_plan(seed=1))
+        sig_b = PlanSignature.of(_plan(seed=2))
+        assert sig_a != sig_b
+        # Same geometry, different bytes: only the digest differs.
+        assert sig_a.steps == sig_b.steps
+        assert sig_a.weights_digest != sig_b.weights_digest
+
+    def test_distinct_geometry_distinct_steps(self):
+        sig_a = PlanSignature.of(_plan(seed=1, hidden=6))
+        sig_b = PlanSignature.of(_plan(seed=1, hidden=7))
+        assert sig_a.steps != sig_b.steps
+
+    def test_arch_string(self):
+        sig = PlanSignature.of(_plan(n_in=8, hidden=6))
+        assert sig.arch == "8->6->1"
+        assert str(sig).startswith("8->6->1#")
+
+    def test_hashable_dict_key(self):
+        plan = _plan(seed=5)
+        cohorts = {PlanSignature.of(plan): ["room-a"]}
+        assert cohorts[PlanSignature.of(plan)] == ["room-a"]
+
+
+class TestPlanRegistry:
+    def test_register_and_get(self):
+        registry = PlanRegistry()
+        plan = _plan()
+        signature = registry.register("room-a", plan)
+        assert registry.get("room-a") is plan
+        assert registry.signature("room-a") == signature
+        assert "room-a" in registry
+        assert len(registry) == 1
+        assert registry.tenants == ("room-a",)
+
+    def test_rejects_empty_tenant_id(self):
+        with pytest.raises(ConfigurationError):
+            PlanRegistry().register("", _plan())
+
+    def test_rejects_non_plan(self):
+        with pytest.raises(ConfigurationError):
+            PlanRegistry().register("room-a", object())
+
+    def test_rejects_duplicate_registration(self):
+        registry = PlanRegistry()
+        registry.register("room-a", _plan())
+        with pytest.raises(ConfigurationError):
+            registry.register("room-a", _plan(seed=9))
+
+    def test_rejects_multi_output_plan(self):
+        with pytest.raises(ConfigurationError):
+            PlanRegistry().register("room-a", _plan(n_out=2))
+
+    def test_unknown_tenant_raises(self):
+        registry = PlanRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.get("room-zz")
+        with pytest.raises(ConfigurationError):
+            registry.signature("room-zz")
+
+    def test_sharding_is_stable_and_in_range(self):
+        a = PlanRegistry(n_shards=16)
+        b = PlanRegistry(n_shards=16)
+        for i in range(50):
+            tenant = f"room-{i}"
+            assert a.shard_of(tenant) == b.shard_of(tenant)
+            assert 0 <= a.shard_of(tenant) < 16
+
+    def test_shards_spread_tenants(self):
+        registry = PlanRegistry(n_shards=8)
+        shards = {registry.shard_of(f"room-{i}") for i in range(100)}
+        assert len(shards) > 1
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            PlanRegistry(n_shards=0)
+
+    def test_cohorts_group_by_signature(self):
+        registry = PlanRegistry()
+        shared = _plan(seed=1)
+        registry.register("room-a", shared)
+        registry.register("room-b", shared)
+        registry.register("room-c", _plan(seed=2))
+        cohorts = registry.cohorts()
+        assert len(cohorts) == 2
+        assert cohorts[registry.signature("room-a")] == ("room-a", "room-b")
+        assert cohorts[registry.signature("room-c")] == ("room-c",)

@@ -1,0 +1,60 @@
+"""Tests for the per-tenant ring router."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet import FleetRouter, TenantFrame
+
+
+def _frame(tenant="room-a", frame_id=0, t_s=0.0):
+    return TenantFrame(tenant, frame_id, t_s, np.zeros(4, dtype=np.float32))
+
+
+class TestFleetRouter:
+    def test_route_then_drain_preserves_order(self):
+        router = FleetRouter()
+        for i in range(5):
+            assert router.route(_frame(frame_id=i, t_s=float(i))) is None
+        drained = router.drain("room-a")
+        assert [f.frame_id for f in drained] == [0, 1, 2, 3, 4]
+        assert router.depth("room-a") == 0
+
+    def test_rings_are_per_tenant(self):
+        router = FleetRouter()
+        router.route(_frame("room-a", 0))
+        router.route(_frame("room-b", 1))
+        router.route(_frame("room-b", 2))
+        assert router.depth("room-a") == 1
+        assert router.depth("room-b") == 2
+        assert router.total_depth == 3
+        assert router.pending_tenants == ("room-a", "room-b")
+        assert [f.frame_id for f in router.drain("room-b")] == [1, 2]
+        assert router.depth("room-a") == 1
+
+    def test_overflow_evicts_oldest_of_that_tenant_only(self):
+        router = FleetRouter(capacity=2)
+        router.route(_frame("room-a", 0))
+        router.route(_frame("room-b", 10))
+        router.route(_frame("room-a", 1))
+        evicted = router.route(_frame("room-a", 2))
+        assert evicted is not None
+        assert evicted.frame_id == 0
+        assert [f.frame_id for f in router.drain("room-a")] == [1, 2]
+        assert router.depth("room-b") == 1
+
+    def test_drain_unknown_tenant_is_empty(self):
+        assert FleetRouter().drain("room-zz") == []
+
+    def test_depth_unknown_tenant_is_zero(self):
+        assert FleetRouter().depth("room-zz") == 0
+
+    def test_drained_tenant_leaves_pending_listing(self):
+        router = FleetRouter()
+        router.route(_frame("room-a", 0))
+        router.drain("room-a")
+        assert router.pending_tenants == ()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FleetRouter(capacity=0)

@@ -215,3 +215,57 @@ class TestSequentialParamCache:
     def test_n_parameters_uses_cache_consistently(self):
         model = make_mlp()
         assert model.n_parameters() == model.n_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+
+class TestLayerListInvalidation:
+    """Direct mutation of model.layers must invalidate the param cache."""
+
+    def test_append_invalidates(self):
+        model = make_mlp()
+        before = list(model.parameters())
+        model.layers.append(Linear(3, 2, rng=np.random.default_rng(1)))
+        after = list(model.parameters())
+        assert len(after) == len(before) + 2
+
+    def test_setitem_invalidates(self):
+        model = make_mlp()
+        list(model.parameters())
+        replacement = Linear(4, 8, rng=np.random.default_rng(9))
+        model.layers[0] = replacement
+        assert replacement.weight in model.parameters()
+
+    def test_delitem_and_pop_invalidate(self):
+        model = make_mlp()
+        list(model.parameters())
+        model.layers.pop()
+        del model.layers[2]
+        assert len(list(model.parameters())) == 2
+
+    def test_extend_insert_remove_invalidate(self):
+        model = make_mlp()
+        list(model.parameters())
+        extra = Linear(3, 3, rng=np.random.default_rng(2))
+        model.layers.extend([extra])
+        assert extra.weight in model.parameters()
+        model.layers.remove(extra)
+        assert extra.weight not in model.parameters()
+        model.layers.insert(0, extra)
+        assert extra.weight in model.parameters()
+
+    def test_reassigning_layers_list_invalidates(self):
+        model = make_mlp()
+        list(model.parameters())
+        model.layers = [Linear(4, 1, rng=np.random.default_rng(3))]
+        assert len(list(model.parameters())) == 2
+
+    def test_mutated_model_trains_through_new_layer(self):
+        # The regression that motivated invalidation: an optimizer built
+        # after a layer swap must see the new weights, not stale ones.
+        model = make_mlp()
+        list(model.parameters())
+        fresh = Linear(8, 3, rng=np.random.default_rng(4))
+        model.layers[2] = fresh
+        x = Tensor(np.random.default_rng(5).normal(size=(6, 4)))
+        out = model(x)
+        out.backward(np.ones_like(out.data))
+        assert fresh.weight.grad is not None

@@ -67,3 +67,80 @@ class TestRenderPrometheus:
         registry = MetricsRegistry()
         registry.counter("c").inc()
         assert "wifi_c 1.0" in render_prometheus(registry, namespace="wifi")
+
+
+class TestSplitLabels:
+    def test_unlabeled_passthrough(self):
+        from repro.obs.exposition import split_labels
+
+        assert split_labels("frames_in") == ("frames_in", ())
+
+    def test_single_label(self):
+        from repro.obs.exposition import split_labels
+
+        base, labels = split_labels("fleet_frames_total{tenant=room-12}")
+        assert base == "fleet_frames_total"
+        assert labels == (("tenant", "room-12"),)
+
+    def test_multiple_labels_preserve_order(self):
+        from repro.obs.exposition import split_labels
+
+        _, labels = split_labels("m{b=2,a=1}")
+        assert labels == (("b", "2"), ("a", "1"))
+
+    def test_malformed_braces_treated_unlabeled(self):
+        from repro.obs.exposition import split_labels
+
+        for name in ("m{unclosed", "m{a}{b}", "m{=v}", "m{novalue}"):
+            base, labels = split_labels(name)
+            assert base == name
+            assert labels == ()
+
+
+class TestLabeledRendering:
+    def test_labeled_series_share_one_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("fleet_frames_total{tenant=room-a}").inc(3)
+        registry.counter("fleet_frames_total{tenant=room-b}").inc(5)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_fleet_frames_total counter") == 1
+        assert 'repro_fleet_frames_total{tenant="room-a"} 3.0' in text
+        assert 'repro_fleet_frames_total{tenant="room-b"} 5.0' in text
+
+    def test_labeled_and_unlabeled_families_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_in").inc()
+        registry.counter("frames_by{link=a}").inc()
+        text = render_prometheus(registry)
+        assert "repro_frames_in 1.0" in text
+        assert 'repro_frames_by{link="a"} 1.0' in text
+
+    def test_labeled_gauge_and_histogram(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth{tenant=x}").set(4.0)
+        hist = registry.histogram("lat_ms{tenant=x}")
+        hist.observe(2.0)
+        text = render_prometheus(registry)
+        assert 'repro_depth{tenant="x"} 4.0' in text
+        assert "# TYPE repro_lat_ms summary" in text
+        assert 'repro_lat_ms{tenant="x",quantile="0.5"} 2.0' in text
+        assert 'repro_lat_ms_sum{tenant="x"} 2.0' in text
+        assert 'repro_lat_ms_count{tenant="x"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter('m{tenant=a"b\\c}').inc()
+        text = render_prometheus(registry)
+        assert 'repro_m{tenant="a\\"b\\\\c"} 1.0' in text
+
+    def test_label_keys_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("m{bad key=v}").inc()
+        assert 'repro_m{bad_key="v"} 1.0' in render_prometheus(registry)
+
+    def test_series_sorted_within_family(self):
+        registry = MetricsRegistry()
+        registry.counter("m{tenant=b}").inc()
+        registry.counter("m{tenant=a}").inc()
+        text = render_prometheus(registry)
+        assert text.index('tenant="a"') < text.index('tenant="b"')

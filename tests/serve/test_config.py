@@ -1,0 +1,128 @@
+"""Tests for ServeConfig and the engine's legacy-kwarg deprecation path."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.guard.repair import GapRepairer
+from repro.guard.supervisor import RecoverySupervisor
+from repro.guard.validation import AmplitudeRangeCheck, FrameValidator
+from repro.serve import InferenceEngine, ServeConfig
+from repro.serve.metrics import MetricsRegistry
+
+
+class _Estimator:
+    def predict_proba(self, x):
+        return np.full(len(np.atleast_2d(x)), 0.8)
+
+
+class TestServeConfigValidation:
+    def test_defaults_construct(self):
+        config = ServeConfig()
+        assert config.max_batch == 32
+        assert config.max_latency_ms == 250.0
+        assert config.queue_capacity == 256
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_batch=0)
+
+    def test_rejects_capacity_below_batch(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_batch=64, queue_capacity=32)
+
+    def test_rejects_non_positive_latency(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_latency_ms=0.0)
+        assert ServeConfig(max_latency_ms=None).max_latency_ms is None
+
+    def test_rejects_non_positive_staleness(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(stale_after_s=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServeConfig().max_batch = 5
+
+    def test_with_overrides_revalidates(self):
+        config = ServeConfig(max_batch=8)
+        bumped = config.with_overrides(max_batch=16)
+        assert bumped.max_batch == 16
+        assert config.max_batch == 8
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(max_batch=-1)
+
+
+class TestBuildGuards:
+    def test_no_guard_config_yields_nones(self):
+        assert ServeConfig().build_guards() == (None, None, None)
+
+    def test_explicit_components_pass_through(self):
+        validator = FrameValidator([AmplitudeRangeCheck(0.0, 1.0)])
+        repairer = GapRepairer(expected_interval_s=1.0)
+        supervisor = RecoverySupervisor()
+        config = ServeConfig(
+            validator=validator, repairer=repairer, supervisor=supervisor
+        )
+        assert config.build_guards() == (validator, repairer, supervisor)
+
+    def test_policy_builds_fresh_components_per_call(self):
+        from repro.guard import GuardPolicy, ReferenceStats
+
+        rng = np.random.default_rng(0)
+        features = np.abs(rng.normal(size=(64, 4))) + 0.1
+        policy = GuardPolicy(reference=ReferenceStats.fit(features), n_features=4)
+        config = ServeConfig(guard=policy)
+        first = config.build_guards()
+        second = config.build_guards()
+        for a, b in zip(first, second):
+            assert a is not None
+            assert a is not b  # fresh per call — per-tenant isolation
+
+
+class TestEngineAcceptsConfig:
+    def test_config_replaces_kwargs(self):
+        registry = MetricsRegistry()
+        engine = InferenceEngine(
+            _Estimator(),
+            ServeConfig(max_batch=4, max_latency_ms=None, registry=registry),
+        )
+        assert engine.config.max_batch == 4
+        assert engine.registry is registry
+        ticket = engine.submit_frame("link-0", 0.0, np.ones(3))
+        assert ticket.admitted
+
+    def test_legacy_kwargs_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning):
+            engine = InferenceEngine(_Estimator(), max_batch=4, max_latency_ms=None)
+        assert engine.config.max_batch == 4
+        assert engine.config.max_latency_ms is None
+
+    def test_legacy_kwargs_override_config(self):
+        with pytest.warns(DeprecationWarning):
+            engine = InferenceEngine(
+                _Estimator(), ServeConfig(max_batch=8), max_batch=2
+            )
+        assert engine.config.max_batch == 2
+
+    def test_config_only_construction_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            InferenceEngine(_Estimator(), ServeConfig())
+
+    def test_legacy_and_config_behave_identically(self):
+        rng = np.random.default_rng(0)
+        rows = np.abs(rng.normal(size=(12, 4))) + 0.1
+        modern = InferenceEngine(_Estimator(), ServeConfig(max_batch=3, window=3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = InferenceEngine(_Estimator(), max_batch=3, window=3)
+        for i, row in enumerate(rows):
+            a = modern.submit("link-0", float(i), row)
+            b = legacy.submit("link-0", float(i), row)
+            assert [r.probability for r in a] == [r.probability for r in b]
+        assert [r.probability for r in modern.flush()] == [
+            r.probability for r in legacy.flush()
+        ]

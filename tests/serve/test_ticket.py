@@ -1,0 +1,88 @@
+"""Tests for FrameTicket and the tenant_id/frame_id result contract."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    TICKET_OUTCOMES,
+    FrameTicket,
+    InferenceEngine,
+    ServeConfig,
+)
+
+
+class _Estimator:
+    def predict_proba(self, x):
+        return np.full(len(np.atleast_2d(x)), 0.9)
+
+
+def _engine(**overrides):
+    return InferenceEngine(
+        _Estimator(), ServeConfig(max_batch=2, max_latency_ms=None, **overrides)
+    )
+
+
+class TestFrameTicket:
+    def test_outcome_vocabulary(self):
+        assert TICKET_OUTCOMES == ("enqueued", "rejected", "quarantined")
+
+    def test_admitted_only_when_enqueued(self):
+        enq = FrameTicket("link-0", 0, 0.0, "enqueued")
+        rej = FrameTicket("link-0", 1, 0.0, "rejected")
+        assert enq.admitted and not rej.admitted
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FrameTicket("link-0", 0, 0.0, "enqueued").outcome = "rejected"
+
+
+class TestSubmitFrame:
+    def test_enqueued_ticket_carries_identity(self):
+        engine = _engine()
+        ticket = engine.submit_frame("link-7", 1.5, np.ones(4))
+        assert isinstance(ticket, FrameTicket)
+        assert ticket.tenant_id == "link-7"
+        assert ticket.t_s == 1.5
+        assert ticket.outcome == "enqueued"
+        assert ticket.results == ()
+
+    def test_batch_completion_attaches_results(self):
+        engine = _engine()
+        first = engine.submit_frame("link-0", 0.0, np.ones(4))
+        second = engine.submit_frame("link-0", 1.0, np.ones(4))
+        assert first.results == ()
+        assert len(second.results) == 2
+        # The submitting frame's own result is findable by frame_id.
+        mine = [r for r in second.results if r.frame_id == second.frame_id]
+        assert len(mine) == 1
+
+    def test_frame_ids_are_monotonic(self):
+        engine = _engine()
+        ids = [
+            engine.submit_frame("link-0", float(i), np.ones(4)).frame_id
+            for i in range(4)
+        ]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 4
+
+    def test_rejected_ticket(self):
+        engine = _engine()
+        ticket = engine.submit_frame("link-0", 0.0, np.full(4, np.nan))
+        assert ticket.outcome == "rejected"
+        assert not ticket.admitted
+        assert ticket.results == ()
+
+    def test_legacy_submit_still_returns_result_list(self):
+        engine = _engine()
+        assert engine.submit("link-0", 0.0, np.ones(4)) == []
+        results = engine.submit("link-0", 1.0, np.ones(4))
+        assert len(results) == 2
+
+    def test_results_expose_tenant_id_alias(self):
+        engine = _engine()
+        engine.submit_frame("link-3", 0.0, np.ones(4))
+        results = engine.flush()
+        assert results
+        for result in results:
+            assert result.tenant_id == result.link_id == "link-3"
+            assert isinstance(result.frame_id, int)

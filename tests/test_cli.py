@@ -270,3 +270,68 @@ class TestObsReport:
         code = main(["obs-report", str(path)])
         assert code == 2
         assert "obs-report:" in capsys.readouterr().err
+
+
+class TestFleetBench:
+    def test_parses(self):
+        args = build_parser().parse_args([
+            "fleet-bench", "--tenants", "8", "--frames", "16", "--quick",
+        ])
+        assert callable(args.func)
+        assert args.tenants == 8
+        assert args.seed == 2022 and args.rate == 0.5
+
+    def test_quick_writes_enveloped_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fleet.json"
+        code = main([
+            "fleet-bench", "--tenants", "4", "--frames", "8",
+            "--frames-per-tick", "4", "--output", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "byte identity        : OK" in stdout
+        assert "ledger reconciliation: OK" in stdout
+        report = json.loads(out.read_text())
+        assert report["bench"] == "fleet-bench"
+        assert report["schema_version"] == 1
+        assert "git_describe" in report and "generated_unix_s" in report
+        assert report["identity"]["byte_identical"] is True
+        assert report["identity"]["ledger_reconciled"] is True
+        assert report["fleet"]["n_tenants"] == 4
+        assert report["wall_clock_s"] > 0
+
+    def test_rejects_bad_tenants(self, capsys):
+        assert main(["fleet-bench", "--tenants", "0"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_rejects_bad_rate(self, capsys):
+        assert main(["fleet-bench", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+
+class TestBenchEnvelope:
+    def test_serve_bench_json_output_gets_envelope(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve_bench.json"
+        code = main([
+            "serve-bench", "--quick", "--model", "logistic",
+            "--links", "2", "--max-batch", "16", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["bench"] == "serve-bench"
+        assert report["schema_version"] == 1
+        assert report["quick"] is True
+        assert report["seed"] == 2022
+        assert report["throughput_fps"]["batched"] > 0
+
+    def test_perf_bench_report_carries_envelope_and_payload(self, tmp_path):
+        code = main([
+            "perf-bench", "--quick", "--inputs", "8",
+            "--output", str(tmp_path / "b.json"),
+        ])
+        assert code == 0
+        report = json.loads((tmp_path / "b.json").read_text())
+        # Envelope keys alongside the pre-envelope payload keys.
+        assert report["schema_version"] == 1
+        assert report["bench"] == "perf-bench"
+        assert report["equivalence"]["equivalent"] is True
