@@ -17,11 +17,14 @@
   guard stack off vs on, plus an exact frame-ledger reconciliation;
 * ``fleet-bench`` — multi-tenant fused vs per-tenant serving with the
   byte-identity gate (``BENCH_fleet.json``);
+* ``rollout-bench`` — a simulated mid-run room shift driven through the
+  drift→retrain→shadow→hot-swap loop, gated on zero dropped frames and
+  exact ledger reconciliation (``BENCH_rollout.json``);
 * ``obs-report`` — render a trace dump (``--trace-dump`` on the bench
   commands) back into per-stage latency tables and the event-log tail.
 
 Every command is a thin shell over the public API, so scripts and
-notebooks can do the same with imports.  The five ``*-bench`` commands
+notebooks can do the same with imports.  The six ``*-bench`` commands
 share one argparse parent (:func:`repro.benchkit.bench_parent`) so
 ``--seed``/``--rate``/``--output``/``--quick`` are spelled and defaulted
 identically everywhere, and a ``--output *.json`` always gets the common
@@ -484,6 +487,55 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_rollout_bench(args: argparse.Namespace) -> int:
+    from .rollout.bench import run_rollout_bench
+
+    if args.stream_frames < 64:
+        print("rollout-bench: --stream-frames must be >= 64", file=sys.stderr)
+        return 2
+    if not 16 <= args.shift_at < args.stream_frames:
+        print("rollout-bench: --shift-at must lie in [16, --stream-frames)",
+              file=sys.stderr)
+        return 2
+
+    mode = "quick (CI smoke)" if args.quick else "full"
+    print(f"Rollout bench: {args.stream_frames} streamed frames, room shift "
+          f"at frame {args.shift_at}, healthy vs forced-bad challenger "
+          f"({mode}, seed {args.seed})...\n")
+    bench_start = time.perf_counter()
+    report = run_rollout_bench(
+        n_stream=args.stream_frames,
+        shift_at=args.shift_at,
+        train_epochs=args.epochs,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    _emit_bench_report(
+        report, args, "rollout-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
+    # CI gates on the deterministic invariants only — zero drops, exact
+    # champion/challenger ledger reconciliation, and the two arms'
+    # verdicts — never on timing or accuracy numbers.
+    failed = []
+    if not report.zero_drops:
+        failed.append(
+            f"frames were dropped (healthy {report.healthy.dropped_frames}, "
+            f"forced-bad {report.forced_bad.dropped_frames}); the hot-swap "
+            "path must not lose frames"
+        )
+    if not report.ledgers_reconciled:
+        failed.append("champion/challenger ledgers do not reconcile exactly")
+    if not report.healthy_promoted:
+        failed.append("the healthy challenger was not promoted")
+    if not report.bad_never_promoted:
+        failed.append("the forced-bad challenger was not stopped")
+    if failed:
+        for reason in failed:
+            print(f"rollout-bench: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help=f"RNG seed (default {DEFAULT_SEED})")
@@ -641,6 +693,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="every Nth tenant gets its own odd-one-out plan that "
                         "cannot fuse (default 8; 0 for one shared cohort)")
     p.set_defaults(func=cmd_fleet_bench)
+
+    p = add_bench(
+        "rollout-bench",
+        "drift-triggered retrain + champion/challenger hot-swap under a "
+        "simulated room shift",
+        output_default="BENCH_rollout.json",
+        output_help="where to write the JSON report (default BENCH_rollout.json)",
+    )
+    p.add_argument("--stream-frames", type=int, default=768,
+                   help="frames streamed through the engine (default 768)")
+    p.add_argument("--shift-at", type=int, default=128,
+                   help="stream index where the room shift hits (default 128)")
+    p.add_argument("--epochs", type=int, default=25,
+                   help="champion training epochs (default 25)")
+    p.set_defaults(func=cmd_rollout_bench)
 
     p = add_command("obs-report", "render a bench trace dump (ledger, stages, events)")
     p.add_argument("dump", help="path to a dump written via --trace-dump")

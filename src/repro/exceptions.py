@@ -16,6 +16,15 @@ class ConfigurationError(ReproError, ValueError):
     """A configuration object is internally inconsistent or out of range."""
 
 
+class ConfigError(ConfigurationError):
+    """A removed legacy configuration surface was used.
+
+    Distinct from its parent so migration failures are catchable on their
+    own; the message always carries the hint for the supported
+    replacement (e.g. the ``ServeConfig``-only ``InferenceEngine``
+    constructor)."""
+
+
 class GeometryError(ReproError, ValueError):
     """A geometric primitive or room layout is invalid."""
 

@@ -32,6 +32,7 @@ every benchmark run before reporting any speedup.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -123,6 +124,13 @@ class InferencePlan:
     capacity:
         Initial batch capacity of the scratch buffers; grows
         geometrically on demand and never shrinks.
+    version / label:
+        Identity metadata for rollout bookkeeping: ``version`` is a
+        monotonically increasing deployment generation (a promoted
+        challenger carries its champion's version + 1), ``label`` a
+        free-form human tag.  Neither affects the numerics —
+        :meth:`fingerprint` is the content identity, these two are the
+        lineage identity.  Both survive :meth:`payload` round-trips.
     """
 
     def __init__(
@@ -131,7 +139,15 @@ class InferencePlan:
         input_mean: np.ndarray | None = None,
         input_scale: np.ndarray | None = None,
         capacity: int = 64,
+        *,
+        version: int = 0,
+        label: str | None = None,
     ) -> None:
+        if version < 0:
+            raise ConfigurationError("version must be >= 0")
+        self.version = int(version)
+        self.label = label
+        self._fingerprint: str | None = None
         if not steps:
             raise ConfigurationError("InferencePlan needs at least one step")
         if capacity < 1:
@@ -191,6 +207,9 @@ class InferencePlan:
         model: Sequential,
         scaler: StandardScaler | None = None,
         capacity: int = 64,
+        *,
+        version: int = 0,
+        label: str | None = None,
     ) -> "InferencePlan":
         """Freeze a ``Sequential`` MLP (and optional fitted scaler).
 
@@ -243,7 +262,14 @@ class InferencePlan:
         if scaler is not None:
             state = scaler.state  # raises NotFittedError on an unfitted scaler
             mean, scale = state["mean"], state["scale"]
-        return cls(steps, input_mean=mean, input_scale=scale, capacity=capacity)
+        return cls(
+            steps,
+            input_mean=mean,
+            input_scale=scale,
+            capacity=capacity,
+            version=version,
+            label=label,
+        )
 
     # ------------------------------------------------------------- geometry
 
@@ -280,6 +306,37 @@ class InferencePlan:
             s.weight.size + (0 if s.bias is None else s.bias.size) for s in self.steps
         )
 
+    # ------------------------------------------------------------- identity
+
+    def fingerprint(self) -> str:
+        """SHA-1 content identity over the executable weight/bias bytes.
+
+        Two plans with equal fingerprints run the exact same arithmetic
+        (scaler folding included), whatever their ``version``/``label``
+        say.  Computed lazily and cached — plan weights are frozen by
+        contract.  Matches
+        :meth:`repro.fleet.registry.PlanSignature.of` digests byte for
+        byte, since both hash the same ``exec_steps`` buffers.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            for weight, bias, _ in self._exec:
+                digest.update(weight.tobytes())
+                if bias is not None:
+                    digest.update(bias.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def identity(self) -> dict:
+        """JSON-stable lineage descriptor (version, label, fingerprint)."""
+        return {
+            "version": self.version,
+            "label": self.label,
+            "fingerprint": self.fingerprint(),
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+        }
+
     def nbytes(self) -> int:
         """Bytes held by weights, biases and scratch buffers."""
         weights = sum(
@@ -292,7 +349,12 @@ class InferencePlan:
         widths = [self.n_inputs] + [s.out_features for s in self.steps]
         arch = "->".join(str(w) for w in widths)
         scaled = ", scaled" if self.input_mean is not None else ""
-        return f"InferencePlan({arch}{scaled}, capacity={self._capacity})"
+        tag = ""
+        if self.label is not None:
+            tag = f", label={self.label!r}"
+        if self.version:
+            tag += f", v{self.version}"
+        return f"InferencePlan({arch}{scaled}{tag}, capacity={self._capacity})"
 
     # ------------------------------------------------------------- hot path
 
@@ -398,6 +460,10 @@ class InferencePlan:
             "activations": [s.activation for s in self.steps],
             "has_bias": [s.bias is not None for s in self.steps],
             "has_scaler": self.input_mean is not None,
+            # Lineage identity (PR 7): absent in pre-rollout payloads, so
+            # the load side defaults both.
+            "plan_version": self.version,
+            "plan_label": self.label,
         }
         return arrays, meta
 
@@ -420,16 +486,24 @@ class InferencePlan:
         mean = scale = None
         if meta["has_scaler"]:
             mean, scale = arrays["input_mean"], arrays["input_scale"]
-        return cls(steps, input_mean=mean, input_scale=scale, capacity=capacity)
+        return cls(
+            steps,
+            input_mean=mean,
+            input_scale=scale,
+            capacity=capacity,
+            version=int(meta.get("plan_version", 0)),
+            label=meta.get("plan_label"),
+        )
 
 
-def freeze_detector(detector) -> InferencePlan:
+def freeze_detector(detector, *, version: int = 0, label: str | None = None) -> InferencePlan:
     """Freeze an :class:`~repro.core.detector.OccupancyDetector` end to end.
 
     Captures both halves of the detector's predict path — the fitted
     scaler and the MLP — so ``plan.predict_proba`` reproduces
     ``detector.predict_proba`` to float32 precision.  Duck-typed: any
     object with a fitted ``.scaler`` and a Sequential ``.model`` works.
+    ``version``/``label`` stamp the plan's lineage identity.
     """
     model = getattr(detector, "model", None)
     scaler = getattr(detector, "scaler", None)
@@ -441,4 +515,4 @@ def freeze_detector(detector) -> InferencePlan:
         raise ConfigurationError(
             f"{type(detector).__name__}.model is not a Module"
         )
-    return InferencePlan.from_model(model, scaler=scaler)
+    return InferencePlan.from_model(model, scaler=scaler, version=version, label=label)

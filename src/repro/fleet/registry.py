@@ -123,6 +123,50 @@ class PlanRegistry:
         self._signatures[tenant_id] = signature
         return signature
 
+    def replace_plan(self, tenant_id: str, plan: InferencePlan) -> PlanSignature:
+        """Atomically swap the plan an existing tenant is served by.
+
+        The inverse of :meth:`register`'s conflict check: the tenant must
+        already exist, and the replacement must consume the same feature
+        width (a width change would invalidate every frame already
+        validated against the old plan's geometry).  The swap is a single
+        dict assignment — a reader sees either the old plan or the new
+        one, never a torn state.  Draining in-flight frames first is the
+        caller's job (:meth:`repro.fleet.service.Fleet.replace_plan`,
+        :meth:`repro.serve.engine.InferenceEngine.replace_estimator`).
+        """
+        if not isinstance(plan, InferencePlan):
+            raise ConfigurationError(
+                f"PlanRegistry holds InferencePlan instances, got {type(plan).__name__}"
+            )
+        shard = self._shards[self.shard_of(tenant_id)]
+        if tenant_id not in shard:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        if plan.n_outputs != 1:
+            raise ConfigurationError(
+                f"fleet serving needs single-output plans, tenant {tenant_id!r} "
+                f"replacement has {plan.n_outputs} outputs"
+            )
+        old = shard[tenant_id]
+        if plan.n_inputs != old.n_inputs:
+            raise ConfigurationError(
+                f"replacement plan for tenant {tenant_id!r} consumes "
+                f"{plan.n_inputs} inputs, the registered plan consumes "
+                f"{old.n_inputs}"
+            )
+        shard[tenant_id] = plan
+        signature = PlanSignature.of(plan)
+        self._signatures[tenant_id] = signature
+        return signature
+
+    def remove(self, tenant_id: str) -> InferencePlan:
+        """Unregister a tenant; returns the plan it was served by."""
+        shard = self._shards[self.shard_of(tenant_id)]
+        if tenant_id not in shard:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+        del self._signatures[tenant_id]
+        return shard.pop(tenant_id)
+
     def get(self, tenant_id: str) -> InferencePlan:
         shard = self._shards[self.shard_of(tenant_id)]
         if tenant_id not in shard:

@@ -136,6 +136,9 @@ class Fleet:
         self.scheduler = FusionScheduler(tile=tile, fusion_enabled=fusion_enabled)
         self._observer_factory = observer_factory
         self._tenants: dict[str, _TenantState] = {}
+        #: Per-tenant rollout managers (see :mod:`repro.rollout.promote`),
+        #: fed every served batch from :meth:`tick`.
+        self._rollouts: dict[str, object] = {}
         self._now_s = -np.inf
         self._frame_seq = 0
 
@@ -148,14 +151,7 @@ class Fleet:
         or a trainable :class:`~repro.nn.modules.Sequential` (frozen here,
         with the optional ``scaler`` folded in).
         """
-        if isinstance(model, InferencePlan):
-            plan = model
-        elif isinstance(model, Module):
-            plan = InferencePlan.from_model(model, scaler=scaler)
-        else:
-            raise ConfigurationError(
-                f"attach needs an InferencePlan or Sequential, got {type(model).__name__}"
-            )
+        plan = self._freeze(model, scaler)
         signature = self.plans.register(tenant_id, plan)
         observer = (
             self._observer_factory() if self._observer_factory is not None else NULL_OBSERVER
@@ -164,6 +160,87 @@ class Fleet:
         self._tenants[tenant_id] = _TenantState(self.config, self.metrics, observer)
         self.metrics.gauge("fleet_tenants").set(len(self._tenants))
         return signature
+
+    def _freeze(self, model, scaler) -> InferencePlan:
+        if isinstance(model, InferencePlan):
+            return model
+        if isinstance(model, Module):
+            return InferencePlan.from_model(model, scaler=scaler)
+        raise ConfigurationError(
+            f"attach needs an InferencePlan or Sequential, got {type(model).__name__}"
+        )
+
+    def replace_plan(
+        self, tenant_id: str, model, scaler=None, now_s: float | None = None
+    ) -> PlanSignature:
+        """Hot-swap one tenant's plan with drain-before-swap semantics.
+
+        Every frame admitted before this call is served by the *old* plan
+        (a full :meth:`tick` runs first — the cutover tick), then the
+        registry binding flips atomically and a ``fleet.plan_swap`` event
+        marks the cutover on the tenant's observer.  No frame is dropped
+        or re-routed: the ledger stays exact through the swap.
+        """
+        state = self._tenant(tenant_id)
+        plan = self._freeze(model, scaler)
+        if self.router.depth(tenant_id):
+            self.tick(now_s)
+        old = self.plans.signature(tenant_id)
+        signature = self.plans.replace_plan(tenant_id, plan)
+        self.metrics.counter("fleet_plan_swaps_total").inc()
+        if state.observer.enabled:
+            state.observer.emit(
+                "fleet.plan_swap",
+                t_s=self._now_s if now_s is None else float(now_s),
+                link_id=tenant_id,
+                old_digest=old.weights_digest[:8],
+                new_digest=signature.weights_digest[:8],
+                new_version=plan.version,
+            )
+        return signature
+
+    def detach(self, tenant_id: str, now_s: float | None = None) -> dict[str, int]:
+        """Remove a tenant after draining its pending frames.
+
+        The tenant's ring is served by its registered plan first (same
+        cutover tick as :meth:`replace_plan`), a ``fleet.detach`` event
+        seals its observer, and the final fleet-side counters are
+        returned so the caller can archive the room's ledger.
+        """
+        state = self._tenant(tenant_id)
+        if self.router.depth(tenant_id):
+            self.tick(now_s)
+        final = state.counters()
+        if state.observer.enabled:
+            state.observer.emit(
+                "fleet.detach",
+                t_s=self._now_s if now_s is None else float(now_s),
+                link_id=tenant_id,
+                frames_in=final["frames_in"],
+                frames_out=final["frames_out"],
+            )
+        self.plans.remove(tenant_id)
+        del self._tenants[tenant_id]
+        self._rollouts.pop(tenant_id, None)
+        self.metrics.counter("fleet_detaches_total").inc()
+        self.metrics.gauge("fleet_tenants").set(len(self._tenants))
+        return final
+
+    # -------------------------------------------------------------- rollout
+
+    def attach_rollout(self, tenant_id: str, manager) -> None:
+        """Bind a rollout manager to one tenant; it sees every served batch.
+
+        ``manager`` follows the :class:`repro.rollout.promote.RolloutManager`
+        duck type: an ``on_batch(frames, rows, probabilities, now_s)``
+        called after the tenant's results are emitted each tick.
+        """
+        self._tenant(tenant_id)  # raises on unknown tenants
+        self._rollouts[tenant_id] = manager
+
+    def detach_rollout(self, tenant_id: str):
+        """Unbind and return the tenant's rollout manager (None when absent)."""
+        return self._rollouts.pop(tenant_id, None)
 
     def _tenant(self, tenant_id: str) -> _TenantState:
         state = self._tenants.get(tenant_id)
@@ -319,6 +396,11 @@ class Fleet:
             state.supervisor.record_primary_success(now)
             probabilities = outcome.probabilities[batch.tenant_id]
             results.extend(self._emit(batch.tenant_id, state, batch.frames, probabilities))
+            manager = self._rollouts.get(batch.tenant_id)
+            if manager is not None:
+                # After emission, so a promotion triggered here swaps only
+                # future ticks — this batch was served by the old plan.
+                manager.on_batch(batch.frames, batch.rows, probabilities, now)
 
         scatter_ms = 1000.0 * (time.perf_counter() - scatter_start)
         tick_ms = 1000.0 * (time.perf_counter() - tick_start)

@@ -63,6 +63,14 @@ EVENT_KINDS = frozenset(
         "checkpoint.saved",
         "checkpoint.best",
         "checkpoint.rollback",
+        # -- champion/challenger rollout lifecycle --
+        "rollout.shadow_start",  # a challenger entered shadow evaluation
+        "rollout.promoted",      # anytime-valid win: challenger hot-swapped in
+        "rollout.rolled_back",   # promotion reverted (breaker trip / divergence)
+        "rollout.futility_stop", # shadow ended without promotion (loss/futility)
+        # -- fleet tenant churn --
+        "fleet.plan_swap",       # a tenant's plan was replaced after a drain
+        "fleet.detach",          # a tenant left the fleet after a drain
     }
 )
 

@@ -147,6 +147,21 @@ def render_run(run: dict, *, events_tail: int = 20) -> str:
     total = run.get("events_total", 0)
     events = run.get("events") or []
     by_kind = run.get("events_by_kind") or {}
+    rollout_kinds = sorted(k for k in by_kind if k.startswith("rollout."))
+    if rollout_kinds:
+        lines.append("")
+        lines.append(
+            "rollout: "
+            + "  ".join(
+                f"{kind.split('.', 1)[1]}={by_kind[kind]}" for kind in rollout_kinds
+            )
+        )
+        promoted = int(by_kind.get("rollout.promoted", 0))
+        rolled_back = int(by_kind.get("rollout.rolled_back", 0))
+        if rolled_back:
+            lines.append(f"WARNING: {rolled_back} promotion(s) rolled back")
+        elif promoted:
+            lines.append("rollout healthy: every promotion stuck")
     lines.append("")
     lines.append(
         f"event log: {total} event(s) lifetime, {len(events)} retained"

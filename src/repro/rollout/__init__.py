@@ -1,0 +1,41 @@
+"""Drift-triggered self-retraining with champion/challenger rollout.
+
+The self-healing loop for a live occupancy-detection service whose
+traffic has drifted away from the training distribution (the paper's
+"unconstrained environments" failure mode, operationalised):
+
+1. :mod:`~repro.rollout.retrain` — the :class:`RetrainTrigger` buffers
+   recent labelled, quarantine-cleared frames and, on a sentinel
+   OK→TRIP excursion, fine-tunes a challenger from the last
+   best-validation checkpoint;
+2. :mod:`~repro.rollout.shadow` — the :class:`ShadowRunner` replays
+   every champion-served frame through the frozen challenger plan,
+   off the serving path, with its own exactly-reconciling obs ledger;
+3. :mod:`~repro.rollout.sequential` — the
+   :class:`SequentialComparison` scores the two on per-frame
+   correctness deltas with anytime-valid e-processes, stopping the
+   instant a win/loss boundary crosses (valid at any stopping time) or
+   the futility budget runs out;
+4. :mod:`~repro.rollout.promote` — the :class:`RolloutManager` drives
+   the state machine, hot-swaps the winner through the surface's
+   drain-before-swap path (zero dropped frames), and rolls back
+   automatically on breaker trips or shadow-output divergence.
+
+``python -m repro.cli rollout-bench`` exercises the whole loop against
+a simulated mid-run room shift; see :mod:`repro.rollout.bench`.
+"""
+
+from .promote import RolloutManager, RolloutState
+from .retrain import RetrainTrigger
+from .sequential import DEFAULT_LAMBDAS, SequentialComparison, Verdict
+from .shadow import ShadowRunner
+
+__all__ = [
+    "DEFAULT_LAMBDAS",
+    "RetrainTrigger",
+    "RolloutManager",
+    "RolloutState",
+    "SequentialComparison",
+    "ShadowRunner",
+    "Verdict",
+]

@@ -1,0 +1,478 @@
+"""The ``rollout-bench`` harness: a simulated room shift, end to end.
+
+Drives one engine through a seeded synthetic stream with an abrupt
+mid-run **room shift** (a per-subcarrier affine remap of the CSI rows —
+the furniture moved, the antenna turned) and exercises the whole
+self-healing loop of :mod:`repro.rollout`:
+
+drift sentinel TRIP → :class:`~repro.rollout.retrain.RetrainTrigger`
+fine-tunes a challenger from the best-validation checkpoint on
+post-drift frames → :class:`~repro.rollout.shadow.ShadowRunner` mirrors
+live traffic → the anytime-valid
+:class:`~repro.rollout.sequential.SequentialComparison` decides → the
+:class:`~repro.rollout.promote.RolloutManager` hot-swaps the winner with
+drain-before-swap semantics.
+
+Two arms run from the same seed:
+
+* **healthy** — the real retrain recipe; must end in exactly one
+  promotion, with **zero dropped frames** and the shadow ledger
+  reconciling *exactly* against the champion's frame counts;
+* **forced-bad** — a sabotaged trigger freezing an untrained challenger;
+  must end in a futility stop or rejection, **never** a promotion.
+  The error control is the point: a garbage challenger surviving the
+  sequential comparison would be a bug, not bad luck.
+
+The report carries frames-to-detection (shift → sentinel TRIP),
+frames-to-promotion (shift → hot-swap), the dropped-frame count, served
+accuracy before / during / after the shift window, and the SHA-1 of the
+champion's event-log dump (the byte-identical determinism surface).  CI
+gates on the deterministic invariants only — drops, reconciliation, and
+the two arms' verdicts — never on wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.scaler import StandardScaler
+from ..benchkit import DEFAULT_SEED
+from ..config import BehaviorConfig, CampaignConfig
+from ..core.model_zoo import build_paper_mlp
+from ..data.recording import CollectionCampaign
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+from ..guard.drift import DriftSentinel, ReferenceStats
+from ..guard.supervisor import RecoverySupervisor
+from ..nn.checkpoint import CheckpointCallback
+from ..nn.losses import bce_with_logits_loss
+from ..nn.optim import AdamW
+from ..nn.train import Trainer
+from ..obs.observer import Observer
+from ..serve.config import ServeConfig
+from ..serve.engine import InferenceEngine
+from .promote import RolloutManager
+from .retrain import RetrainTrigger
+from .sequential import SequentialComparison
+
+#: Stream cadence of the bench (frames per second of stream time).
+BENCH_RATE_HZ = 2.0
+
+
+class _SabotagedTrigger(RetrainTrigger):
+    """A trigger whose "retrain" freezes an untrained, randomly
+    initialised model — the forced-bad challenger.  Everything else
+    (arming, buffering, checkpoint plumbing) is the real path."""
+
+    def retrain(self, *, version: int = 0, label: str | None = None) -> InferencePlan:
+        if self.buffered < self.min_frames:
+            raise ConfigurationError(
+                f"retrain needs >= {self.min_frames} buffered frames, "
+                f"have {self.buffered}"
+            )
+        n_inputs = self.buffered_rows().shape[1]
+        garbage = build_paper_mlp(n_inputs, seed=version + 7)
+        self.retrains += 1
+        return InferencePlan.from_model(
+            garbage, scaler=self.scaler, version=version, label=label
+        )
+
+
+@dataclass
+class RolloutArmStats:
+    """What one arm (healthy or forced-bad) of the bench did."""
+
+    promotions: int
+    rollbacks: int
+    stops: int
+    frames_served: int
+    dropped_frames: int
+    frames_to_detection: int | None
+    frames_to_promotion: int | None
+    accuracy_before: float
+    accuracy_during: float
+    accuracy_after: float | None
+    ledger_exact: bool
+    shadow_frames: int
+    champion_frames_during_shadow: int
+    event_log_sha1: str
+
+
+@dataclass
+class RolloutBenchReport:
+    """Everything one rollout-bench run measured."""
+
+    n_train: int
+    n_stream: int
+    shift_at: int
+    seed: int
+    healthy: RolloutArmStats
+    forced_bad: RolloutArmStats
+
+    @property
+    def zero_drops(self) -> bool:
+        return (
+            self.healthy.dropped_frames == 0 and self.forced_bad.dropped_frames == 0
+        )
+
+    @property
+    def ledgers_reconciled(self) -> bool:
+        return self.healthy.ledger_exact and self.forced_bad.ledger_exact
+
+    @property
+    def healthy_promoted(self) -> bool:
+        return self.healthy.promotions >= 1 and self.healthy.rollbacks == 0
+
+    @property
+    def bad_never_promoted(self) -> bool:
+        return self.forced_bad.promotions == 0 and self.forced_bad.stops >= 1
+
+    def describe(self) -> str:
+        h, b = self.healthy, self.forced_bad
+
+        def fmt(value) -> str:
+            return "n/a" if value is None else f"{value}"
+
+        lines = [
+            f"workload             : {self.n_train} train + {self.n_stream} "
+            f"streamed frames, room shift at frame {self.shift_at}, "
+            f"seed {self.seed}",
+            f"healthy arm          : {h.promotions} promotion(s), "
+            f"{h.stops} stop(s), {h.rollbacks} rollback(s)",
+            f"  detection          : {fmt(h.frames_to_detection)} frames "
+            f"shift -> sentinel TRIP",
+            f"  promotion          : {fmt(h.frames_to_promotion)} frames "
+            f"shift -> hot-swap",
+            f"  accuracy           : {h.accuracy_before:.3f} before, "
+            f"{h.accuracy_during:.3f} during, "
+            + ("n/a after" if h.accuracy_after is None
+               else f"{h.accuracy_after:.3f} after"),
+            f"  dropped frames     : {h.dropped_frames} "
+            f"({'OK' if h.dropped_frames == 0 else 'FAILED'})",
+            f"  shadow ledger      : {h.shadow_frames} mirrored vs "
+            f"{h.champion_frames_during_shadow} served "
+            f"({'exact' if h.ledger_exact else 'MISMATCH'})",
+            f"forced-bad arm       : {b.promotions} promotion(s), "
+            f"{b.stops} stop(s), {b.rollbacks} rollback(s) "
+            f"({'OK' if self.bad_never_promoted else 'FAILED'})",
+            f"  dropped frames     : {b.dropped_frames} "
+            f"({'OK' if b.dropped_frames == 0 else 'FAILED'})",
+            f"event log sha1       : {h.event_log_sha1[:12]} (healthy), "
+            f"{b.event_log_sha1[:12]} (forced-bad)",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON payload written as ``BENCH_rollout.json`` (CLI adds envelope).
+
+        The ``gates`` block holds the CI-gated deterministic invariants;
+        accuracy and frame counts are informational.
+        """
+
+        def arm(stats: RolloutArmStats) -> dict:
+            return {
+                "promotions": stats.promotions,
+                "rollbacks": stats.rollbacks,
+                "stops": stats.stops,
+                "frames_served": stats.frames_served,
+                "dropped_frames": stats.dropped_frames,
+                "frames_to_detection": stats.frames_to_detection,
+                "frames_to_promotion": stats.frames_to_promotion,
+                "accuracy_before": stats.accuracy_before,
+                "accuracy_during": stats.accuracy_during,
+                "accuracy_after": stats.accuracy_after,
+                "ledger_exact": stats.ledger_exact,
+                "shadow_frames": stats.shadow_frames,
+                "champion_frames_during_shadow": stats.champion_frames_during_shadow,
+                "event_log_sha1": stats.event_log_sha1,
+            }
+
+        return {
+            "bench": "rollout-bench",
+            "workload": {
+                "n_train": self.n_train,
+                "n_stream": self.n_stream,
+                "shift_at": self.shift_at,
+            },
+            "gates": {
+                "zero_drops": self.zero_drops,
+                "ledgers_reconciled": self.ledgers_reconciled,
+                "healthy_promoted": self.healthy_promoted,
+                "bad_never_promoted": self.bad_never_promoted,
+            },
+            "healthy": arm(self.healthy),
+            "forced_bad": arm(self.forced_bad),
+        }
+
+
+def _room_shift(rows: np.ndarray) -> np.ndarray:
+    """The simulated room shift: per-subcarrier amplitude inversion.
+
+    Each subcarrier's amplitude is mirrored inside its observed range and
+    re-gained — the multipath response of a rearranged room, where paths
+    that used to be shadowed now dominate and vice versa.  The map is
+    affine and invertible, so the shifted room is exactly as separable as
+    the old one (a retrained challenger *can* learn it), but it flips the
+    sign of every amplitude deviation the champion keys on: measured
+    champion accuracy drops to chance.  The asymmetric gain additionally
+    moves the per-subcarrier means so the drift sentinel fires within a
+    handful of frames.
+    """
+    n = rows.shape[1]
+    lo, hi = rows.min(axis=0), rows.max(axis=0)
+    gain = np.where(np.arange(n) % 2 == 0, 1.6, 0.7)
+    return (lo + hi - rows) * gain
+
+
+def _run_arm(
+    *,
+    trigger_cls,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    stream_rows: np.ndarray,
+    stream_labels: np.ndarray,
+    shift_at: int,
+    seed: int,
+    train_epochs: int,
+    retrain_epochs: int,
+    min_frames: int,
+    max_shadow_frames: int,
+    checkpoint_dir: str,
+) -> RolloutArmStats:
+    """Train a champion, stream the shifted traffic, run the rollout loop."""
+    n_inputs = x_train.shape[1]
+    dt = 1.0 / BENCH_RATE_HZ
+
+    # ---------------------------------------------------- champion training
+    scaler = StandardScaler()
+    n_val = max(16, len(x_train) // 5)
+    x_fit, y_fit = x_train[:-n_val], y_train[:-n_val]
+    x_val, y_val = x_train[-n_val:], y_train[-n_val:]
+    x_fit_scaled = scaler.fit_transform(x_fit)
+    model = build_paper_mlp(n_inputs, seed=seed)
+    optimizer = AdamW(model.parameters(), lr=1e-3, weight_decay=1e-4)
+    trainer = Trainer(
+        model, optimizer, bce_with_logits_loss,
+        batch_size=64, rng=np.random.default_rng(seed),
+    )
+    checkpoint = CheckpointCallback(trainer, checkpoint_dir, keep_last=2)
+    trainer.fit(
+        x_fit_scaled, y_fit, epochs=train_epochs,
+        x_val=scaler.transform(x_val), y_val=y_val,
+        callbacks=[checkpoint],
+    )
+    champion = InferencePlan.from_model(
+        model, scaler=scaler, version=0, label="champion"
+    )
+
+    # ------------------------------------------------------- serving surface
+    sentinel = DriftSentinel(
+        ReferenceStats.fit(x_train), alpha=0.1, window=64, check_every=16
+    )
+    engine = InferenceEngine(
+        champion,
+        ServeConfig(
+            max_batch=8,
+            max_latency_ms=None,
+            stale_after_s=None,
+            queue_capacity=256,
+            supervisor=RecoverySupervisor(sentinel=sentinel, drift_action="warn"),
+            observer=Observer(label="rollout-bench"),
+        ),
+    )
+
+    trigger = trigger_cls(
+        trainer,
+        scaler,
+        checkpoint=checkpoint,
+        buffer_size=512,
+        min_frames=min_frames,
+        epochs=retrain_epochs,
+        # The buffer is one batch wide, so each epoch is a single
+        # optimizer step; unlearning the old room in tens of steps needs
+        # a hotter learning rate than the original fit.
+        lr_scale=2.0,
+    )
+
+    def label_fn(frame) -> int:
+        return int(stream_labels[int(round(frame.t_s / dt))])
+
+    manager = RolloutManager.for_engine(
+        engine,
+        trigger,
+        label_fn=label_fn,
+        comparison_factory=lambda: SequentialComparison(
+            alpha=0.05, min_frames=16, max_frames=max_shadow_frames
+        ),
+        guard_frames=32,
+    )
+
+    # ---------------------------------------------------------- the stream
+    results = []
+    for i, row in enumerate(stream_rows):
+        ticket = engine.submit_frame("room-0", i * dt, row)
+        results.extend(ticket.results)
+    results.extend(engine.flush())
+
+    # ------------------------------------------------------------ accounting
+    events = list(engine.observer.events)
+    promoted = [e for e in events if e.kind == "rollout.promoted"]
+    trips = [e for e in events if e.kind == "drift.trip"]
+    post_shift_trips = [e for e in trips if e.t_s >= shift_at * dt]
+    frames_to_detection = (
+        int(round(post_shift_trips[0].t_s / dt)) - shift_at
+        if post_shift_trips else None
+    )
+    promo_idx = int(round(promoted[0].t_s / dt)) if promoted else None
+    frames_to_promotion = promo_idx - shift_at if promo_idx is not None else None
+
+    before, during, after = [], [], []
+    for result in results:
+        idx = int(round(result.t_s / dt))
+        correct = int(result.probability >= 0.5) == int(stream_labels[idx])
+        if idx < shift_at:
+            before.append(correct)
+        elif promo_idx is None or idx < promo_idx:
+            during.append(correct)
+        else:
+            after.append(correct)
+
+    def acc(window) -> float:
+        return float(np.mean(window)) if window else float("nan")
+
+    ledger = engine.observer.ledger()
+    dropped = (
+        ledger.get("submitted", 0)
+        - ledger.get("answered", 0)
+        + ledger.get("unaccounted", 0)
+    )
+    reconciliation = manager.last_reconciliation or {}
+    dump = engine.observer.events.to_jsonl()
+
+    return RolloutArmStats(
+        promotions=manager.promotions,
+        rollbacks=manager.rollbacks,
+        stops=manager.stops,
+        frames_served=len(results),
+        dropped_frames=int(dropped),
+        frames_to_detection=frames_to_detection,
+        frames_to_promotion=frames_to_promotion,
+        accuracy_before=acc(before),
+        accuracy_during=acc(during),
+        accuracy_after=acc(after) if promo_idx is not None else None,
+        ledger_exact=bool(reconciliation.get("exact", False)),
+        shadow_frames=int(reconciliation.get("shadow_submitted", 0)),
+        champion_frames_during_shadow=int(reconciliation.get("champion_answered", 0)),
+        event_log_sha1=hashlib.sha1(dump.encode()).hexdigest(),
+    )
+
+
+def run_rollout_bench(
+    *,
+    n_train: int = 512,
+    n_stream: int = 768,
+    shift_at: int = 128,
+    train_epochs: int = 25,
+    retrain_epochs: int = 40,
+    min_frames: int = 96,
+    max_shadow_frames: int = 384,
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+) -> RolloutBenchReport:
+    """Run both bench arms; see the module docstring.
+
+    ``quick`` shrinks the workload for CI smoke runs while keeping every
+    gate — zero drops, exact reconciliation and the two arms' verdicts
+    are scale-independent invariants.
+    """
+    if n_train < 64:
+        raise ConfigurationError("n_train must be >= 64")
+    if n_stream < 64:
+        raise ConfigurationError("n_stream must be >= 64")
+    if not 16 <= shift_at < n_stream:
+        raise ConfigurationError("shift_at must lie in [16, n_stream)")
+    if quick:
+        n_train = min(n_train, 256)
+        n_stream = min(n_stream, 512)
+        shift_at = min(shift_at, 96)
+        train_epochs = min(train_epochs, 12)
+        min_frames = min(min_frames, 64)
+        max_shadow_frames = min(max_shadow_frames, 224)
+
+    total = n_train + n_stream
+    # A deliberately busy occupant schedule: the stock office model has
+    # hour-scale visit gaps, which leaves a minutes-long bench campaign
+    # single-class.  One restless subject with ~2.5 min stays and ~3 min
+    # gaps keeps both labels present in every bench segment.
+    config = CampaignConfig(
+        duration_h=total / (3600.0 * 0.5),
+        sample_rate_hz=0.5,
+        seed=seed,
+        start_hour_of_day=10.0,
+        behavior=BehaviorConfig(n_subjects=1, mean_stay_h=0.04, mean_gap_h=0.05),
+    )
+    dataset = CollectionCampaign(config).run()
+    csi = np.asarray(dataset.csi)
+    occupancy = (np.asarray(dataset.occupancy, dtype=int) > 0).astype(int)
+    if len(csi) < total:
+        raise ConfigurationError(
+            f"campaign produced {len(csi)} rows, bench needs {total}"
+        )
+    # Stratified resample: one behavioural draw leaves minutes-long
+    # single-class runs, so train set and stream are rebuilt by drawing
+    # frames from the campaign's empty/occupied pools with p=0.5 — every
+    # bench segment (train, pre-shift, shadow window, post-promotion)
+    # sees both classes, whatever the simulated visit schedule did.
+    empty_pool = np.flatnonzero(occupancy == 0)
+    occupied_pool = np.flatnonzero(occupancy == 1)
+    if len(empty_pool) < 32 or len(occupied_pool) < 32:
+        raise ConfigurationError(
+            f"campaign too single-class for the bench: "
+            f"{len(empty_pool)} empty / {len(occupied_pool)} occupied frames"
+        )
+    sampler = np.random.default_rng(seed + 13)
+    labels_all = (sampler.random(total) < 0.5).astype(int)
+    idx = np.where(
+        labels_all == 1,
+        occupied_pool[sampler.integers(0, len(occupied_pool), total)],
+        empty_pool[sampler.integers(0, len(empty_pool), total)],
+    )
+    rows_all = csi[idx]
+    x_train, y_train = rows_all[:n_train], labels_all[:n_train].astype(float)
+    stream_rows = np.array(rows_all[n_train:], copy=True)
+    stream_labels = labels_all[n_train:]
+    stream_rows[shift_at:] = _room_shift(stream_rows[shift_at:])
+
+    arms = {}
+    for name, trigger_cls in (
+        ("healthy", RetrainTrigger),
+        ("forced_bad", _SabotagedTrigger),
+    ):
+        with tempfile.TemporaryDirectory(prefix=f"rollout-bench-{name}-") as tmp:
+            arms[name] = _run_arm(
+                trigger_cls=trigger_cls,
+                x_train=x_train,
+                y_train=y_train,
+                stream_rows=stream_rows,
+                stream_labels=stream_labels,
+                shift_at=shift_at,
+                seed=seed,
+                train_epochs=train_epochs,
+                retrain_epochs=retrain_epochs,
+                min_frames=min_frames,
+                max_shadow_frames=max_shadow_frames,
+                checkpoint_dir=tmp,
+            )
+
+    return RolloutBenchReport(
+        n_train=n_train,
+        n_stream=n_stream,
+        shift_at=shift_at,
+        seed=seed,
+        healthy=arms["healthy"],
+        forced_bad=arms["forced_bad"],
+    )

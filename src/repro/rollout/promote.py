@@ -1,0 +1,514 @@
+"""The rollout state machine: drift → retrain → shadow → hot-swap.
+
+:class:`RolloutManager` composes the other three pieces of
+:mod:`repro.rollout` into one per-surface controller (one per engine, or
+one per fleet tenant):
+
+.. code-block:: text
+
+              drift.trip (armed)           anytime-valid PROMOTE
+    ┌──────┐ ──────────────────► ┌────────┐ ───────────────────► ┌───────┐
+    │ IDLE │                     │ SHADOW │                      │ GUARD │
+    └──────┘ ◄────────────────── └────────┘                      └───────┘
+        ▲      REJECT / FUTILITY                                   │   │
+        │      (rollout.futility_stop)                             │   │
+        │                                                          │   │
+        ├──────────────────────────────────────────────────────────┘   │
+        │   breaker OPEN or shadow-output divergence                   │
+        │   (rollout.rolled_back: swap the champion back)              │
+        └──────────────────────────────────────────────────────────────┘
+            guard window clean: promotion sticks, back to IDLE
+
+Every transition is driven from ``on_batch`` — the post-emit hook the
+engine (:meth:`repro.serve.engine.InferenceEngine.attach_rollout`) and
+fleet (:meth:`repro.fleet.service.Fleet.attach_rollout`) call with
+exactly the frames the champion just served.  Served outputs are final
+before the hook runs, so the shadow leg can never perturb them, and a
+promotion requested inside the hook rides the surface's own
+drain-before-swap path (the engine defers the estimator swap until its
+queue empties; the fleet runs a cutover tick before flipping the
+registry binding) — zero frames dropped, zero frames re-routed.
+
+Promotion is not trusted blindly.  While in GUARD the manager
+(1) replays the shadow's buffered rows through the plan *actually
+serving* and rolls back on any divergence from the recorded
+pre-promotion shadow outputs — a frozen plan is deterministic, so a
+nonzero difference proves the swap installed the wrong thing; and
+(2) watches the primary circuit breaker, rolling back if the promoted
+plan trips it.  Rollback swaps the retained champion back through the
+same drain-before-swap path and restores the sentinel's previous
+drift reference.
+
+On a promotion that sticks, the sentinel's reference distribution is
+refit from the retrain buffer (the challenger's own training traffic)
+and the sentinel reset — the new champion is *expected* to see the
+shifted distribution, and keeping the stale reference would leave the
+sentinel permanently tripped.
+
+Every transition emits one closed-taxonomy obs event
+(``rollout.shadow_start`` / ``rollout.promoted`` /
+``rollout.rolled_back`` / ``rollout.futility_stop``) on the champion's
+observer, stream-time stamped so same-seed replays produce
+byte-identical logs, and increments the labeled
+``rollout_events_total{kind=...}`` metric family for Prometheus
+exposition.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+from ..guard.breaker import BreakerState
+from ..guard.drift import DriftState, ReferenceStats
+from .sequential import SequentialComparison, Verdict
+from .shadow import ShadowRunner
+
+
+class RolloutState(enum.Enum):
+    """Where the controller is in the shadow → promote/rollback cycle."""
+
+    IDLE = "idle"      #: serving the champion, watching for drift
+    SHADOW = "shadow"  #: challenger mirroring traffic, comparison running
+    GUARD = "guard"    #: challenger promoted, watching for regressions
+
+
+#: gauge encoding of :class:`RolloutState` (``rollout_state`` metric).
+_STATE_GAUGE = {RolloutState.IDLE: 0, RolloutState.SHADOW: 1, RolloutState.GUARD: 2}
+
+
+class RolloutManager:
+    """One serving surface's drift → retrain → shadow → swap controller.
+
+    Build one with :meth:`for_engine` or :meth:`for_fleet_tenant` (which
+    wire the surface's sentinel, breaker, observer, metrics and swap
+    path), or construct directly for custom surfaces.
+
+    Parameters
+    ----------
+    trigger:
+        The :class:`~repro.rollout.retrain.RetrainTrigger` holding the
+        labelled frame buffer and the fine-tune recipe.
+    swap:
+        ``swap(plan) -> previous`` — installs ``plan`` as the serving
+        estimator with drain-before-swap semantics and returns the
+        incumbent (held for rollback).
+    sentinel:
+        The surface's :class:`~repro.guard.drift.DriftSentinel`; ``None``
+        disables drift-driven starts (call :meth:`start_challenger`
+        manually).
+    label_fn:
+        ``label_fn(frame) -> 0 | 1 | None`` — the (possibly delayed)
+        ground-truth oracle.  Labelled frames feed both the retrain
+        buffer and the sequential comparison; unlabelled frames are
+        shadowed but not scored.
+    comparison_factory:
+        Builds a fresh :class:`~repro.rollout.sequential.SequentialComparison`
+        per shadow run; defaults to the class defaults.
+    observer / registry:
+        The *champion's* obs event sink and metrics registry (the shadow
+        leg always gets its own observer).
+    breaker:
+        The primary circuit breaker watched during GUARD.
+    current_plan:
+        Zero-arg callable returning the estimator currently serving —
+        lets the manager distinguish "drain still in progress" from "the
+        swap installed the wrong plan".
+    guard_frames:
+        Served frames the promoted plan must survive before the
+        promotion seals.
+    divergence_tol:
+        Max |Δprobability| tolerated between the serving plan's replay
+        and the recorded shadow outputs (0.0: byte-identical, the frozen
+        plan's own guarantee).
+    refresh_reference:
+        Refit the sentinel's drift reference from the retrain buffer on
+        promotion (restored on rollback).
+    shadow_keep_last:
+        Replay-buffer depth handed to each :class:`ShadowRunner`.
+    link_id:
+        Label stamped on emitted events (tenant id on fleets).
+    champion_version:
+        Lineage version of the incumbent; each challenger is stamped
+        ``version + 1`` and adopts it on promotion.
+    """
+
+    def __init__(
+        self,
+        trigger,
+        swap,
+        *,
+        sentinel=None,
+        label_fn=None,
+        comparison_factory=None,
+        observer=None,
+        registry=None,
+        breaker=None,
+        current_plan=None,
+        guard_frames: int = 64,
+        divergence_tol: float = 0.0,
+        refresh_reference: bool = True,
+        shadow_keep_last: int = 256,
+        link_id: str | None = None,
+        champion_version: int = 0,
+    ) -> None:
+        if guard_frames < 1:
+            raise ConfigurationError("guard_frames must be >= 1")
+        if divergence_tol < 0:
+            raise ConfigurationError("divergence_tol must be >= 0")
+        if not callable(swap):
+            raise ConfigurationError("swap must be callable")
+        self.trigger = trigger
+        self.swap = swap
+        self.sentinel = sentinel
+        self.label_fn = label_fn
+        self.comparison_factory = (
+            comparison_factory if comparison_factory is not None else SequentialComparison
+        )
+        self.observer = observer
+        self.registry = registry
+        self.breaker = breaker
+        self.current_plan = current_plan
+        self.guard_frames = int(guard_frames)
+        self.divergence_tol = float(divergence_tol)
+        self.refresh_reference = bool(refresh_reference)
+        self.shadow_keep_last = int(shadow_keep_last)
+        self.link_id = link_id
+        self.champion_version = int(champion_version)
+
+        self.state = RolloutState.IDLE
+        self.shadow: ShadowRunner | None = None
+        self.comparison: SequentialComparison | None = None
+        self.frames_observed = 0
+        self.promotions = 0
+        self.rollbacks = 0
+        self.stops = 0
+        self.last_reconciliation: dict | None = None
+        self._previous = None
+        self._promoted_plan: InferencePlan | None = None
+        self._old_reference = None
+        self._guard_left = 0
+        self._guard_verified = False
+        self._mirrored = 0
+        self._champion_answered_at_start = 0
+        self._awaiting_data = False
+        self._set_state(RolloutState.IDLE)
+
+    # ------------------------------------------------------------- wiring
+
+    @classmethod
+    def for_engine(cls, engine, trigger, **kwargs) -> "RolloutManager":
+        """Build a manager wired to an :class:`~repro.serve.engine.InferenceEngine`
+        and attach it as the engine's rollout hook."""
+        champion = engine.estimator
+        kwargs.setdefault(
+            "champion_version",
+            champion.version if isinstance(champion, InferencePlan) else 0,
+        )
+        manager = cls(
+            trigger,
+            engine.replace_estimator,
+            sentinel=engine.supervisor.sentinel,
+            observer=engine.observer,
+            registry=engine.registry,
+            breaker=engine.supervisor.breaker,
+            current_plan=lambda: engine.estimator,
+            **kwargs,
+        )
+        engine.attach_rollout(manager)
+        return manager
+
+    @classmethod
+    def for_fleet_tenant(cls, fleet, tenant_id: str, trigger, **kwargs) -> "RolloutManager":
+        """Build a manager for one fleet tenant and attach it to the fleet."""
+        state = fleet._tenant(tenant_id)
+
+        def swap(plan):
+            previous = fleet.plans.get(tenant_id)
+            fleet.replace_plan(tenant_id, plan)
+            return previous
+
+        kwargs.setdefault("champion_version", fleet.plans.get(tenant_id).version)
+        manager = cls(
+            trigger,
+            swap,
+            sentinel=state.supervisor.sentinel,
+            observer=state.observer,
+            registry=fleet.metrics,
+            breaker=state.supervisor.breaker,
+            current_plan=lambda: fleet.plans.get(tenant_id),
+            link_id=tenant_id,
+            **kwargs,
+        )
+        fleet.attach_rollout(tenant_id, manager)
+        return manager
+
+    # ------------------------------------------------------------ plumbing
+
+    def _set_state(self, state: RolloutState) -> None:
+        self.state = state
+        if self.registry is not None:
+            name = "rollout_state" if self.link_id is None else (
+                f"rollout_state{{tenant={self.link_id}}}"
+            )
+            self.registry.gauge(name).set(_STATE_GAUGE[state])
+
+    def _emit(self, kind: str, t_s: float, **data) -> None:
+        if self.observer is not None and self.observer.enabled:
+            self.observer.emit(kind, t_s=t_s, link_id=self.link_id, **data)
+        if self.registry is not None:
+            short = kind.split(".", 1)[1]
+            self.registry.counter(f"rollout_events_total{{kind={short}}}").inc()
+
+    def _record_labels(self, frames, rows) -> list:
+        """Feed labelled served frames to the retrain buffer.
+
+        Returns the per-frame labels (None where unlabelled) for reuse by
+        the comparison, so the oracle is consulted once per frame.
+        """
+        if self.label_fn is None:
+            return [None] * len(frames)
+        labels = [self.label_fn(frame) for frame in frames]
+        keep = [i for i, label in enumerate(labels) if label is not None]
+        if keep:
+            self.trigger.record(
+                np.asarray(rows)[keep], [labels[i] for i in keep]
+            )
+        return labels
+
+    # ------------------------------------------------------------ the hook
+
+    def on_batch(self, frames, rows, probabilities, now_s: float, source: str = "primary") -> None:
+        """Process one served batch (called post-emit by the surface)."""
+        if not len(frames):
+            return
+        self.frames_observed += len(frames)
+        labels = self._record_labels(frames, rows)
+        if self.state is RolloutState.IDLE:
+            self._idle_step(now_s)
+        elif self.state is RolloutState.SHADOW:
+            self._shadow_step(frames, rows, probabilities, labels, now_s)
+        elif self.state is RolloutState.GUARD:
+            self._guard_step(frames, rows, probabilities, now_s)
+
+    # ---------------------------------------------------------------- IDLE
+
+    def _idle_step(self, now_s: float) -> None:
+        if self._awaiting_data:
+            if self.trigger.buffered >= self.trigger.min_frames:
+                self._awaiting_data = False
+                self.start_challenger(now_s)
+            return
+        if self.sentinel is None:
+            return
+        if self.trigger.observe_state(self.sentinel.state):
+            # The buffer is dominated by pre-drift rows at the trip edge —
+            # training on them would teach the challenger the *old* room.
+            # Flush it and hold the fired excursion until min_frames of
+            # post-drift labelled frames accumulate.
+            self.trigger.clear()
+            self._awaiting_data = True
+
+    def start_challenger(self, now_s: float) -> bool:
+        """Retrain a challenger and enter SHADOW; False when retrain refuses."""
+        if self.state is not RolloutState.IDLE:
+            raise ConfigurationError(
+                f"cannot start a challenger while {self.state.value}"
+            )
+        try:
+            plan = self.trigger.retrain(
+                version=self.champion_version + 1, label="challenger"
+            )
+        except ConfigurationError:
+            if self.registry is not None:
+                self.registry.counter("rollout_retrain_skipped_total").inc()
+            return False
+        self.shadow = ShadowRunner(plan, keep_last=self.shadow_keep_last)
+        self.comparison = self.comparison_factory()
+        self._mirrored = 0
+        self._champion_answered_at_start = (
+            self.observer.events.count("frame.answered")
+            if self.observer is not None and self.observer.enabled
+            else 0
+        )
+        self._set_state(RolloutState.SHADOW)
+        self._emit(
+            "rollout.shadow_start",
+            now_s,
+            challenger_version=plan.version,
+            challenger_fingerprint=plan.fingerprint()[:8],
+            buffered_frames=self.trigger.buffered,
+        )
+        if self.registry is not None:
+            self.registry.counter("rollout_shadows_total").inc()
+        return True
+
+    # -------------------------------------------------------------- SHADOW
+
+    def _shadow_step(self, frames, rows, probabilities, labels, now_s: float) -> None:
+        challenger_probs = self.shadow.observe_batch(frames, rows)
+        self._mirrored += len(frames)
+        for p_champ, p_chall, label in zip(probabilities, challenger_probs, labels):
+            if label is None:
+                continue
+            self.comparison.update(
+                int(p_champ >= 0.5) == label, int(p_chall >= 0.5) == label
+            )
+        verdict = self.comparison.verdict
+        if verdict is Verdict.PROMOTE:
+            self._promote(now_s)
+        elif verdict in (Verdict.REJECT, Verdict.FUTILITY):
+            self._stop(verdict, now_s)
+
+    def reconcile(self) -> dict:
+        """Champion-vs-shadow frame accounting for the current/last run.
+
+        ``exact`` demands the shadow's own ledger closes (submitted ==
+        answered, zero pending/unaccounted) *and* its frame count equals
+        the champion's answered count over the shadow window — the
+        precondition for trusting the sequential comparison.
+        """
+        if self.shadow is None:
+            return {"exact": True, "shadow_submitted": 0, "champion_answered": 0}
+        ledger = self.shadow.ledger()
+        champion_answered = self._mirrored
+        if self.observer is not None and self.observer.enabled:
+            champion_answered = (
+                self.observer.events.count("frame.answered")
+                - self._champion_answered_at_start
+            )
+        return {
+            "shadow_submitted": ledger.get("submitted", 0),
+            "shadow_answered": ledger.get("answered", 0),
+            "shadow_pending": ledger.get("pending", 0),
+            "shadow_unaccounted": ledger.get("unaccounted", 0),
+            "champion_answered": champion_answered,
+            "exact": self.shadow.reconciles()
+            and ledger.get("submitted", 0) == champion_answered,
+        }
+
+    def _promote(self, now_s: float) -> None:
+        plan = self.shadow.plan
+        self.last_reconciliation = self.reconcile()
+        self._previous = self.swap(plan)
+        self._promoted_plan = plan
+        self._old_reference = None
+        if (
+            self.refresh_reference
+            and self.sentinel is not None
+            and self.trigger.buffered >= 2
+        ):
+            self._old_reference = self.sentinel.reference
+            self.sentinel.reference = ReferenceStats.fit(self.trigger.buffered_rows())
+            self.sentinel.reset()
+        self.promotions += 1
+        self.champion_version = plan.version
+        snapshot = self.comparison.snapshot()
+        self._guard_left = self.guard_frames
+        self._guard_verified = False
+        self._set_state(RolloutState.GUARD)
+        self._emit(
+            "rollout.promoted",
+            now_s,
+            version=plan.version,
+            fingerprint=plan.fingerprint()[:8],
+            n=snapshot["n"],
+            wins=snapshot["wins"],
+            losses=snapshot["losses"],
+            ties=snapshot["ties"],
+            e_win=snapshot["e_win"],
+        )
+        if self.registry is not None:
+            self.registry.counter("rollout_promotions_total").inc()
+
+    def _stop(self, verdict: Verdict, now_s: float) -> None:
+        self.last_reconciliation = self.reconcile()
+        snapshot = self.comparison.snapshot()
+        self.stops += 1
+        self._set_state(RolloutState.IDLE)
+        self.shadow = None
+        self._emit(
+            "rollout.futility_stop",
+            now_s,
+            decision=verdict.value,
+            n=snapshot["n"],
+            e_win=snapshot["e_win"],
+            e_loss=snapshot["e_loss"],
+        )
+        if self.registry is not None:
+            self.registry.counter("rollout_stops_total").inc()
+
+    # --------------------------------------------------------------- GUARD
+
+    def _guard_step(self, frames, rows, probabilities, now_s: float) -> None:
+        if self.current_plan is not None:
+            current = self.current_plan()
+            if current is not self._promoted_plan:
+                if current is self._previous:
+                    return  # drain-before-swap still in progress: old plan serving
+                self._rollback(now_s, reason="unexpected_plan")
+                return
+        if not self._guard_verified:
+            # The serving plan must reproduce the pre-promotion shadow
+            # outputs exactly — the shadow buffer is the promotion's oath.
+            serving = (
+                self.current_plan() if self.current_plan is not None else self._promoted_plan
+            )
+            divergence = self.shadow.replay_divergence(serving)
+            if divergence > self.divergence_tol:
+                self._rollback(now_s, reason="divergence", divergence=divergence)
+                return
+            self._guard_verified = True
+        if self.breaker is not None and self.breaker.state is BreakerState.OPEN:
+            self._rollback(now_s, reason="breaker_open")
+            return
+        self._guard_left -= len(frames)
+        if self._guard_left <= 0:
+            self._seal()
+
+    def _seal(self) -> None:
+        """The guard window passed clean: the promotion is final."""
+        self._set_state(RolloutState.IDLE)
+        self.shadow = None
+        self._previous = None
+        self._promoted_plan = None
+        self._old_reference = None
+        if self.registry is not None:
+            self.registry.counter("rollout_promotions_sealed_total").inc()
+
+    def _rollback(self, now_s: float, *, reason: str, **data) -> None:
+        self.swap(self._previous)
+        if self._old_reference is not None and self.sentinel is not None:
+            self.sentinel.reference = self._old_reference
+            self.sentinel.reset()
+        demoted = self._promoted_plan
+        self.rollbacks += 1
+        self.champion_version = (
+            self._previous.version
+            if isinstance(self._previous, InferencePlan)
+            else max(0, self.champion_version - 1)
+        )
+        self._set_state(RolloutState.IDLE)
+        self.shadow = None
+        self._previous = None
+        self._promoted_plan = None
+        self._old_reference = None
+        self._emit(
+            "rollout.rolled_back",
+            now_s,
+            reason=reason,
+            demoted_version=demoted.version if demoted is not None else None,
+            **data,
+        )
+        if self.registry is not None:
+            self.registry.counter("rollout_rollbacks_total").inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"RolloutManager(state={self.state.value}, "
+            f"promotions={self.promotions}, rollbacks={self.rollbacks}, "
+            f"stops={self.stops})"
+        )

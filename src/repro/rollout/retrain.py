@@ -1,0 +1,217 @@
+"""Drift-triggered incremental retraining of a challenger model.
+
+:class:`RetrainTrigger` is the first stage of the self-healing rollout
+loop: it buffers the recent quarantine-cleared live frames (with their
+labels — the simulator's ground truth in benches, delayed/annotated
+labels in a real deployment), watches the
+:class:`~repro.guard.drift.DriftSentinel` state the serving surface
+feeds it, and on an escalation to TRIP launches an **incremental**
+retrain:
+
+1. restore the trainer's model and optimizer from the latest
+   :class:`~repro.nn.checkpoint.CheckpointCallback` best-validation
+   checkpoint — the last weights *known* to generalise, not whatever the
+   drifting stream may have degraded into;
+2. fine-tune on the buffered post-drift frames at a damped learning
+   rate, through the **frozen original scaler** — the same scaler the
+   champion plan folded in, so champion and challenger disagree only in
+   their weights, never their input normalisation;
+3. freeze the result into a fresh
+   :class:`~repro.fastpath.plan.InferencePlan` carrying the next
+   lineage ``version``.
+
+Arming is edge-triggered with hysteresis: the trigger fires once per
+OK→TRIP excursion and re-arms only when the sentinel returns to OK.  A
+failed challenger (rejected or futile shadow run) therefore does not
+spin the retrain loop on a persistently tripped sentinel — the next
+attempt waits for the sentinel to recover or be re-referenced (which
+promotion does, see :mod:`repro.rollout.promote`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+from ..guard.drift import DriftState
+from ..nn.checkpoint import CheckpointCallback, load_checkpoint
+
+
+class RetrainTrigger:
+    """Buffered labelled frames + drift arming + checkpoint-based retrain.
+
+    Parameters
+    ----------
+    trainer:
+        The :class:`~repro.nn.train.Trainer` owning the model and
+        optimizer to fine-tune.  Retraining mutates them in place (the
+        champion *plan* is frozen and unaffected).
+    scaler:
+        The champion's fitted scaler, applied to buffered rows before
+        fitting and folded into the frozen challenger — or ``None`` when
+        the model consumes raw features.
+    checkpoint:
+        Where the known-good weights live: a live
+        :class:`~repro.nn.checkpoint.CheckpointCallback` (its
+        ``best_path``, falling back to ``latest``), an explicit
+        checkpoint path, or ``None`` to fine-tune from the current
+        weights.
+    buffer_size:
+        Labelled frames retained (drop-oldest).
+    min_frames:
+        Floor below which :meth:`retrain` refuses to fit.
+    epochs / lr_scale:
+        Fine-tune budget: epochs over the buffer at
+        ``optimizer.lr * lr_scale`` (restored afterwards).
+    """
+
+    def __init__(
+        self,
+        trainer,
+        scaler=None,
+        *,
+        checkpoint: CheckpointCallback | str | Path | None = None,
+        buffer_size: int = 2048,
+        min_frames: int = 64,
+        epochs: int = 2,
+        lr_scale: float = 0.5,
+    ) -> None:
+        if buffer_size < 1:
+            raise ConfigurationError("buffer_size must be >= 1")
+        if not 1 <= min_frames <= buffer_size:
+            raise ConfigurationError("min_frames must lie in [1, buffer_size]")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if lr_scale <= 0:
+            raise ConfigurationError("lr_scale must be positive")
+        self.trainer = trainer
+        self.scaler = scaler
+        self.checkpoint = checkpoint
+        self.min_frames = int(min_frames)
+        self.epochs = int(epochs)
+        self.lr_scale = float(lr_scale)
+        self._rows: deque[np.ndarray] = deque(maxlen=buffer_size)
+        self._labels: deque[int] = deque(maxlen=buffer_size)
+        self._armed = True
+        self.retrains = 0
+
+    # ------------------------------------------------------------ buffering
+
+    def record(self, rows, labels) -> None:
+        """Buffer quarantine-cleared frames with their (delayed) labels.
+
+        Feed only frames that passed admission — the engine's shape gate
+        and validator already refused the rest, and training on
+        quarantined garbage would bake the fault into the challenger.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float32))
+        labels = np.atleast_1d(labels)
+        if rows.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"{rows.shape[0]} rows arrived with {labels.shape[0]} labels"
+            )
+        for row, label in zip(rows, labels):
+            self._rows.append(np.array(row, copy=True))
+            self._labels.append(int(label))
+
+    @property
+    def buffered(self) -> int:
+        """Labelled frames currently held."""
+        return len(self._rows)
+
+    def buffered_rows(self) -> np.ndarray:
+        """The buffered feature rows, stacked ``(buffered, n_features)``.
+
+        Used by the promotion controller to refit the drift reference
+        after a successful swap — the challenger's own training traffic
+        *is* the new normal.
+        """
+        if not self._rows:
+            raise ConfigurationError("the retrain buffer is empty")
+        return np.stack(list(self._rows))
+
+    def clear(self) -> None:
+        """Drop every buffered frame (e.g. at a drift trip, so the
+        fine-tune set is pure post-drift traffic)."""
+        self._rows.clear()
+        self._labels.clear()
+
+    # --------------------------------------------------------------- arming
+
+    @property
+    def armed(self) -> bool:
+        """True when the next TRIP escalation will fire."""
+        return self._armed
+
+    def observe_state(self, state: DriftState) -> bool:
+        """Feed one sentinel state; True exactly once per OK→TRIP excursion."""
+        if state is DriftState.TRIP:
+            if self._armed:
+                self._armed = False
+                return True
+            return False
+        if state is DriftState.OK:
+            self._armed = True
+        return False
+
+    # ------------------------------------------------------------- retraining
+
+    def _resolve_checkpoint(self) -> Path | None:
+        source = self.checkpoint
+        if source is None:
+            return None
+        if isinstance(source, CheckpointCallback):
+            path = source.best_path if source.best_path is not None else source.latest
+            if path is None:
+                raise ConfigurationError(
+                    "the CheckpointCallback has saved no checkpoint to retrain from"
+                )
+            return path
+        return Path(source)
+
+    def retrain(self, *, version: int = 0, label: str | None = None) -> InferencePlan:
+        """Restore best weights, fine-tune on the buffer, freeze a challenger.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        buffer holds fewer than ``min_frames`` labelled frames — a
+        challenger trained on a sliver of post-drift data would only
+        waste the shadow budget.
+        """
+        if self.buffered < self.min_frames:
+            raise ConfigurationError(
+                f"retrain needs >= {self.min_frames} buffered frames, "
+                f"have {self.buffered}"
+            )
+        path = self._resolve_checkpoint()
+        if path is not None:
+            # Weights + optimizer moments only: restoring the shuffle RNG
+            # would rewind the trainer's stream, and the fine-tune data is
+            # new anyway.
+            load_checkpoint(path).restore(
+                model=self.trainer.model, optimizer=self.trainer.optimizer
+            )
+        x = np.stack(list(self._rows))
+        y = np.array(self._labels, dtype=float)
+        if self.scaler is not None:
+            x = self.scaler.transform(x)
+        optimizer = self.trainer.optimizer
+        base_lr = optimizer.lr
+        optimizer.lr = base_lr * self.lr_scale
+        try:
+            self.trainer.fit(x, y, epochs=self.epochs, verbose=False)
+        finally:
+            optimizer.lr = base_lr
+        self.retrains += 1
+        return InferencePlan.from_model(
+            self.trainer.model, scaler=self.scaler, version=version, label=label
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RetrainTrigger(buffered={self.buffered}, armed={self._armed}, "
+            f"retrains={self.retrains})"
+        )

@@ -1,0 +1,224 @@
+"""Anytime-valid champion/challenger comparison via betting e-processes.
+
+A fixed-N evaluation of a challenger model answers the wrong question for
+a live rollout: peeking at the running score and stopping "when it looks
+significant" destroys a classical test's error control, while waiting for
+a preregistered N serves a known-worse (or known-better) model for the
+whole window.  :class:`SequentialComparison` replaces it with two
+one-sided **e-processes** (test supermartingales) over the per-frame
+correctness deltas
+
+``d_i = challenger_correct_i − champion_correct_i ∈ {−1, 0, +1}``,
+
+in the spirit of deep anytime-valid hypothesis testing: observe one frame
+at a time, update both processes, and stop *the instant* either crosses
+``1/α`` — the decision is valid at any data-dependent stopping time.
+
+The win process tests "challenger is NOT better than the champion by more
+than ``−margin``" (H0: ``E[d] ≤ −margin``) with the λ-mixture wealth
+
+``E_win(n) = mean_λ ∏_{i≤n} (1 + λ · (d_i + margin))``,
+
+a nonnegative supermartingale under H0 for any ``λ ∈ (0, 1/(1+margin))``,
+so by Ville's inequality ``P(sup_n E_win ≥ 1/α) ≤ α``: promoting when it
+crosses ``1/α`` wrongly promotes a not-better challenger with probability
+at most α *no matter when or how often the score is inspected*.  The loss
+process is the mirror image over ``−d_i``, catching a strictly worse
+challenger early.  ``margin`` is the tolerance: with ``margin > 0`` a
+challenger within ``margin`` of the champion's per-frame accuracy still
+counts as a (non-inferior) win — the deployment-relevant question when
+drift has already collapsed the champion.
+
+Mixing over a small λ grid (rather than committing to one bet size)
+keeps the process powerful across effect sizes: small λ wins slowly but
+surely on small deltas, large λ compounds fast on large ones, and the
+mixture of supermartingales is a supermartingale.  Everything here is
+pure arithmetic over the delta counts — deterministic, allocation-free,
+and independent of wall clock, so rollout decisions replay byte-identically
+in the golden-trace tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..exceptions import ConfigurationError
+
+#: Default λ grid: geometric sweep from cautious to aggressive bets.
+DEFAULT_LAMBDAS = (0.05, 0.1, 0.2, 0.4)
+
+
+class Verdict(enum.Enum):
+    """The comparison's state after an update."""
+
+    CONTINUE = "continue"   #: no boundary crossed yet — keep shadowing
+    PROMOTE = "promote"     #: anytime-valid win: swap the challenger in
+    REJECT = "reject"       #: anytime-valid loss: discard the challenger
+    FUTILITY = "futility"   #: budget exhausted with no decision
+
+    @property
+    def decided(self) -> bool:
+        return self is not Verdict.CONTINUE
+
+
+class SequentialComparison:
+    """Two one-sided e-processes over per-frame correctness deltas.
+
+    Parameters
+    ----------
+    alpha:
+        Error budget per side; each process stops at wealth ``1/alpha``.
+    margin:
+        Non-inferiority tolerance in per-frame accuracy.  ``0.0`` demands
+        strict superiority; ``0.02`` promotes a challenger at most 2
+        accuracy points *worse* per frame — and symmetrically makes the
+        loss side only fire on challengers more than ``margin`` worse.
+    lambdas:
+        Bet-size mixture grid.  Every λ must lie in ``(0, 1/(1+margin))``
+        so both processes' wealth terms stay strictly positive.
+    min_frames:
+        Frames observed before any boundary may fire (guards against
+        deciding on a handful of lucky deltas; the e-process would still
+        be valid without it, this is an operational floor).
+    max_frames:
+        Futility budget: with no boundary crossed after this many
+        labelled frames, the shadow run stops undecided.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.05,
+        margin: float = 0.0,
+        lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+        min_frames: int = 16,
+        max_frames: int = 4096,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1)")
+        if not 0.0 <= margin < 1.0:
+            raise ConfigurationError("margin must lie in [0, 1)")
+        if not lambdas:
+            raise ConfigurationError("lambdas must be non-empty")
+        bound = 1.0 / (1.0 + margin)
+        if any(not 0.0 < lam < bound for lam in lambdas):
+            raise ConfigurationError(
+                f"every lambda must lie in (0, {bound:.4f}) "
+                f"(= 1/(1+margin)) to keep the wealth terms positive"
+            )
+        if min_frames < 1:
+            raise ConfigurationError("min_frames must be >= 1")
+        if max_frames < min_frames:
+            raise ConfigurationError("max_frames must be >= min_frames")
+        self.alpha = float(alpha)
+        self.margin = float(margin)
+        self.lambdas = tuple(float(lam) for lam in lambdas)
+        self.min_frames = int(min_frames)
+        self.max_frames = int(max_frames)
+        # Deltas take only three values, so each λ's log-wealth increment
+        # is one of three precomputed numbers per side — an update is a
+        # table lookup, not a log1p call.
+        self._log_win = [
+            tuple(math.log1p(lam * (d + self.margin)) for d in (-1.0, 0.0, 1.0))
+            for lam in self.lambdas
+        ]
+        self._log_loss = [
+            tuple(math.log1p(lam * (-d - self.margin)) for d in (-1.0, 0.0, 1.0))
+            for lam in self.lambdas
+        ]
+        self._log_e_win = [0.0] * len(self.lambdas)
+        self._log_e_loss = [0.0] * len(self.lambdas)
+        self.n = 0
+        self.wins = 0      # frames where only the challenger was correct
+        self.losses = 0    # frames where only the champion was correct
+        self.ties = 0      # both right or both wrong
+        self._verdict = Verdict.CONTINUE
+        self.decided_at: int | None = None
+
+    # ------------------------------------------------------------- updating
+
+    def update(self, champion_correct, challenger_correct) -> Verdict:
+        """Feed one labelled frame's outcomes; returns the current verdict.
+
+        Decisions are sticky: once a boundary fires, further calls return
+        the settled verdict without accumulating (the shadow run is over).
+        """
+        if self._verdict.decided:
+            return self._verdict
+        delta = int(bool(challenger_correct)) - int(bool(champion_correct))
+        slot = delta + 1
+        if delta > 0:
+            self.wins += 1
+        elif delta < 0:
+            self.losses += 1
+        else:
+            self.ties += 1
+        self.n += 1
+        for k in range(len(self.lambdas)):
+            self._log_e_win[k] += self._log_win[k][slot]
+            self._log_e_loss[k] += self._log_loss[k][slot]
+        return self._check()
+
+    def update_many(self, champion_correct, challenger_correct) -> Verdict:
+        """Vector form of :meth:`update`; stops early once decided."""
+        for champ, chall in zip(champion_correct, challenger_correct):
+            verdict = self.update(champ, chall)
+            if verdict.decided:
+                return verdict
+        return self._verdict
+
+    def _check(self) -> Verdict:
+        if self.n >= self.min_frames:
+            threshold = 1.0 / self.alpha
+            if self.e_win >= threshold:
+                self._decide(Verdict.PROMOTE)
+            elif self.e_loss >= threshold:
+                self._decide(Verdict.REJECT)
+        if not self._verdict.decided and self.n >= self.max_frames:
+            self._decide(Verdict.FUTILITY)
+        return self._verdict
+
+    def _decide(self, verdict: Verdict) -> None:
+        self._verdict = verdict
+        self.decided_at = self.n
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def verdict(self) -> Verdict:
+        return self._verdict
+
+    @property
+    def e_win(self) -> float:
+        """Mixture wealth of the "challenger wins" process."""
+        return sum(math.exp(v) for v in self._log_e_win) / len(self.lambdas)
+
+    @property
+    def e_loss(self) -> float:
+        """Mixture wealth of the "challenger loses" process."""
+        return sum(math.exp(v) for v in self._log_e_loss) / len(self.lambdas)
+
+    @property
+    def mean_delta(self) -> float:
+        """Running mean of the correctness deltas (0.0 before any frame)."""
+        return (self.wins - self.losses) / self.n if self.n else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-stable state for obs events and bench reports."""
+        return {
+            "n": self.n,
+            "wins": self.wins,
+            "losses": self.losses,
+            "ties": self.ties,
+            "e_win": self.e_win,
+            "e_loss": self.e_loss,
+            "mean_delta": self.mean_delta,
+            "verdict": self._verdict.value,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialComparison(n={self.n}, e_win={self.e_win:.3g}, "
+            f"e_loss={self.e_loss:.3g}, verdict={self._verdict.value})"
+        )

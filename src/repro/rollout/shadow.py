@@ -1,0 +1,174 @@
+"""Shadow execution: the challenger sees every live frame, serves none.
+
+:class:`ShadowRunner` is the evaluation leg of a champion/challenger
+rollout.  The serving surface (engine or fleet tenant) calls
+:meth:`observe_batch` with exactly the frames the champion just answered;
+the runner replays them through the challenger's frozen
+:class:`~repro.fastpath.plan.InferencePlan` and records nothing into the
+serving path — served outputs are already final before the shadow runs
+(the rollout hooks fire post-emit by construction).
+
+Accountability is the point, not a side effect: the runner owns its own
+:class:`~repro.obs.observer.Observer`, and mirrors every mirrored frame
+through the full ``frame_submitted`` → ``frame_outcome("answered")``
+life cycle.  The shadow ledger therefore reconciles *exactly* — every
+submitted frame answered, zero pending, zero unaccounted — and its
+``submitted`` count must equal the number of frames the champion answered
+while the shadow was live.  A mismatch means the challenger was evaluated
+on different traffic than the champion served, which invalidates the
+sequential comparison; :meth:`repro.rollout.promote.RolloutManager.reconcile`
+checks it before any promotion.
+
+The runner also keeps a bounded replay buffer of ``(rows, outputs)``.
+After a hot-swap, the promotion controller re-runs the buffered rows
+through the plan now actually serving and compares against these recorded
+outputs — a frozen plan is deterministic, so any difference proves the
+swap installed something other than the challenger that won the
+comparison, and triggers automatic rollback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..fastpath.plan import InferencePlan
+from ..obs.observer import Observer
+
+
+class ShadowRunner:
+    """Replay live frames through a challenger plan, off the serving path.
+
+    Parameters
+    ----------
+    plan:
+        The challenger's frozen :class:`~repro.fastpath.plan.InferencePlan`.
+    observer:
+        The shadow leg's own ledger; a fresh
+        :class:`~repro.obs.observer.Observer` labelled ``"shadow"`` (or
+        ``"shadow:<plan label>"``) when omitted.  Never pass the
+        champion's observer — the two ledgers reconcile *against* each
+        other.
+    keep_last:
+        Rows retained in the post-promotion replay buffer.
+    """
+
+    def __init__(
+        self,
+        plan: InferencePlan,
+        *,
+        observer: Observer | None = None,
+        keep_last: int = 256,
+    ) -> None:
+        if not isinstance(plan, InferencePlan):
+            raise ConfigurationError(
+                f"ShadowRunner replays frozen InferencePlans, got {type(plan).__name__}"
+            )
+        if keep_last < 1:
+            raise ConfigurationError("keep_last must be >= 1")
+        if observer is None:
+            label = "shadow" if plan.label is None else f"shadow:{plan.label}"
+            observer = Observer(label=label)
+        self.plan = plan
+        self.observer = observer
+        self.keep_last = int(keep_last)
+        self.frames_seen = 0
+        # Replay buffer of (rows, outputs) *per observed batch*.  Batch
+        # boundaries are preserved deliberately: BLAS picks different
+        # kernels for different operand shapes (a 1-row matvec rounds
+        # differently than the same row inside a 52-row GEMM), so exact
+        # replay requires re-running each batch at its original shape.
+        self._replay: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._replay_total = 0
+
+    # -------------------------------------------------------------- running
+
+    def observe_batch(self, frames, rows, t_s: float | None = None) -> np.ndarray:
+        """Mirror one served batch through the challenger; returns its probs.
+
+        ``frames`` are the champion's just-answered frames (engine
+        ``PendingFrame`` or fleet ``TenantFrame`` — duck-typed on
+        ``frame_id``/``t_s`` plus ``link_id`` or ``tenant_id``); ``rows``
+        the batch rows the champion consumed, one per frame.  Each frame
+        runs the full submitted→answered cycle on the shadow ledger.
+        """
+        # Cast once up front: the plan computes in float32, and the replay
+        # buffer stores float32 copies — predicting from the same dtype
+        # here is what makes the post-swap replay *exactly* reproducible.
+        rows = np.asarray(rows, dtype=np.float32)
+        if len(frames) != rows.shape[0]:
+            raise ConfigurationError(
+                f"{len(frames)} frames arrived with {rows.shape[0]} rows"
+            )
+        if not len(frames):
+            return np.empty(0)
+        probabilities = self.plan.predict_proba(rows)
+        obs = self.observer
+        for frame, p in zip(frames, probabilities):
+            link = getattr(frame, "link_id", None)
+            if link is None:
+                link = frame.tenant_id
+            frame_t = float(frame.t_s) if t_s is None else float(t_s)
+            obs.frame_submitted(frame.frame_id, link, frame_t)
+            obs.frame_outcome(
+                "answered", frame.frame_id, link, frame_t, source="shadow"
+            )
+        # Copy: engine batch rows live in a reused ring buffer.
+        self._replay.append(
+            (np.array(rows, copy=True), np.asarray(probabilities, dtype=float).copy())
+        )
+        self._replay_total += len(frames)
+        # Evict oldest whole batches past the row budget (never the
+        # newest — one oversized batch is kept in full).
+        while self._replay_total > self.keep_last and len(self._replay) > 1:
+            _, evicted = self._replay.popleft()
+            self._replay_total -= len(evicted)
+        self.frames_seen += len(frames)
+        return probabilities
+
+    # ---------------------------------------------------------- accounting
+
+    def ledger(self) -> dict[str, int]:
+        """The shadow leg's frame ledger (must reconcile exactly)."""
+        return self.observer.ledger()
+
+    def reconciles(self) -> bool:
+        """True when every mirrored frame is answered and accounted for."""
+        ledger = self.ledger()
+        return (
+            ledger.get("unaccounted", 0) == 0
+            and ledger.get("pending", 0) == 0
+            and ledger.get("submitted", 0) == ledger.get("answered", 0) == self.frames_seen
+        )
+
+    # ------------------------------------------------------------- guarding
+
+    def replay_divergence(self, plan) -> float:
+        """Max |prob. difference| of ``plan`` vs the recorded shadow outputs.
+
+        Called on the plan *actually serving* after a hot-swap.  The
+        challenger is frozen and deterministic, so a correct swap yields
+        exactly 0.0; anything else means the promoted plan is not the one
+        that won the shadow comparison.  Returns 0.0 when the buffer is
+        empty (nothing to check).
+        """
+        if not self._replay:
+            return 0.0
+        worst = 0.0
+        for rows, recorded in self._replay:
+            replayed = np.asarray(plan.predict_proba(rows), dtype=float).ravel()
+            worst = max(worst, float(np.max(np.abs(replayed - recorded))))
+        return worst
+
+    @property
+    def replay_depth(self) -> int:
+        """Rows currently held in the replay buffer."""
+        return self._replay_total
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowRunner({self.plan!r}, frames_seen={self.frames_seen}, "
+            f"replay_depth={self.replay_depth})"
+        )

@@ -16,8 +16,8 @@ loop around any :class:`~repro.core.estimator.Estimator`:
   per-frame and micro-batched throughput.
 
 Frame-level tracing lives one package over, in :mod:`repro.obs`: pass
-``InferenceEngine(..., observer=Observer())`` to record per-stage spans
-and structured events.  The default is the no-op
+``InferenceEngine(est, ServeConfig(observer=Observer()))`` to record
+per-stage spans and structured events.  The default is the no-op
 :data:`~repro.obs.NULL_OBSERVER` — every instrumentation site is gated
 on ``observer.enabled``, so an untraced engine does no timing work.
 """

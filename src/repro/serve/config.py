@@ -15,9 +15,10 @@ Two conveniences beyond plain field storage:
   :meth:`ServeConfig.build_guards` manufactures **fresh** components from
   the policy per call — exactly what the fleet needs to give every tenant
   isolated guard state from one shared recipe.
-* the legacy keyword arguments on ``InferenceEngine.__init__`` still
-  work for one release (with a :class:`DeprecationWarning`) and are
-  folded into the config via :func:`dataclasses.replace`.
+* the legacy keyword arguments on ``InferenceEngine.__init__`` had their
+  one deprecation release (PR 6) and now raise a typed
+  :class:`~repro.exceptions.ConfigError` naming the offending kwargs —
+  each maps to the ``ServeConfig`` field of the same name.
 
 Shared *instances* (``registry``, ``observer``, a prebuilt ``supervisor``)
 are deliberately allowed — sharing a metrics registry across engines is a

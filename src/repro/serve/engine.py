@@ -58,14 +58,19 @@ throughput is untouched.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.estimator import validate_estimator
 from ..data.streaming import SmoothingDebouncer, Transition, check_csi_row
-from ..exceptions import ConfigurationError, ServingError, ShapeError, StreamError
+from ..exceptions import (
+    ConfigError,
+    ConfigurationError,
+    ServingError,
+    ShapeError,
+    StreamError,
+)
 from ..guard.repair import GapRepairer
 from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import FrameValidator, QuarantineBuffer, QuarantinedFrame
@@ -77,7 +82,8 @@ from .robustness import FallbackPredictor, LinkHealth, PriorFallback
 from .types import FrameTicket
 
 #: Sentinel distinguishing "caller passed nothing" from explicit ``None``
-#: for the deprecated per-knob keyword arguments.
+#: for the removed per-knob keyword arguments (kept so a legacy call site
+#: fails with a typed migration error instead of a bare ``TypeError``).
 _UNSET = object()
 
 
@@ -134,10 +140,12 @@ class InferenceEngine:
         ``predict_proba`` is called.
     config:
         A :class:`~repro.serve.config.ServeConfig` bundling every knob
-        below.  This is the supported way to configure an engine; the
-        individual keyword arguments remain for one release and emit a
-        :class:`DeprecationWarning` (explicit kwargs override the config
-        they are folded into).
+        below.  This is the *only* way to configure an engine: the
+        pre-PR-6 per-knob keyword arguments were deprecated for one
+        release and now raise a typed
+        :class:`~repro.exceptions.ConfigError` whose message names the
+        offending kwargs and the ``ServeConfig`` field each one maps to
+        (same names, e.g. ``InferenceEngine(est, ServeConfig(max_batch=8))``).
     max_batch / max_latency_ms / queue_capacity:
         Micro-batching policy (see :class:`~repro.serve.queue.MicroBatchQueue`).
         Latency is measured in *stream* time (frame timestamps);
@@ -216,15 +224,15 @@ class InferenceEngine:
             if value is not _UNSET
         }
         if legacy:
-            warnings.warn(
-                "passing InferenceEngine configuration as individual keyword "
-                "arguments is deprecated; pass a ServeConfig instead, e.g. "
-                "InferenceEngine(estimator, ServeConfig(max_batch=8))",
-                DeprecationWarning,
-                stacklevel=2,
+            names = ", ".join(sorted(legacy))
+            raise ConfigError(
+                "InferenceEngine no longer accepts per-knob keyword "
+                f"arguments (got: {names}); pass a ServeConfig instead — "
+                "each legacy kwarg maps to the ServeConfig field of the "
+                "same name, e.g. "
+                "InferenceEngine(estimator, ServeConfig(max_batch=8))"
             )
-            config = (config or ServeConfig()).with_overrides(**legacy)
-        elif config is None:
+        if config is None:
             config = ServeConfig()
         validate_estimator(estimator, require=("predict_proba",))
         self.config = config
@@ -266,6 +274,57 @@ class InferenceEngine:
         # legitimately read the batch until the *next* flush begins.
         self._batch_ring: list[np.ndarray] = []
         self._ring_index = 0
+        # Hot-swap state: a replacement estimator waiting for the queue to
+        # drain, and an optional rollout manager fed every served batch.
+        self._pending_estimator = None
+        self._rollout = None
+
+    # ------------------------------------------------------------- hot swap
+
+    def replace_estimator(self, estimator, *, drain: bool = True):
+        """Swap the primary estimator; returns the one being replaced.
+
+        With ``drain=True`` (the default) the swap honours
+        drain-before-swap semantics: every frame already admitted to the
+        queue is served by the *current* estimator first, and the swap is
+        applied the moment the queue next empties (immediately when it is
+        already empty — no frame is dropped or re-routed either way).
+        ``drain=False`` swaps immediately, abandoning that guarantee.
+
+        The returned estimator is the active one at call time — with a
+        deferred swap it keeps serving until the drain completes, so
+        callers holding it for rollback always get the true incumbent.
+        """
+        validate_estimator(estimator, require=("predict_proba",))
+        old = self.estimator
+        if drain and self.queue.depth:
+            self._pending_estimator = estimator
+        else:
+            self.estimator = estimator
+            self._pending_estimator = None
+            self.registry.counter("estimator_swaps_total").inc()
+        return old
+
+    def _apply_pending_swap(self) -> None:
+        if self._pending_estimator is not None and not self.queue.depth:
+            self.estimator = self._pending_estimator
+            self._pending_estimator = None
+            self.registry.counter("estimator_swaps_total").inc()
+
+    def attach_rollout(self, manager) -> None:
+        """Bind a rollout manager; it sees every served batch post-emit.
+
+        ``manager`` follows the :class:`repro.rollout.promote.RolloutManager`
+        duck type: ``on_batch(frames, rows, probabilities, now_s,
+        source=...)`` invoked after each batch's results are built, so a
+        shadow challenger replays exactly the frames the champion served.
+        """
+        self._rollout = manager
+
+    def detach_rollout(self):
+        """Unbind and return the rollout manager (None when absent)."""
+        manager, self._rollout = self._rollout, None
+        return manager
 
     # ---------------------------------------------------------------- links
 
@@ -414,6 +473,7 @@ class InferenceEngine:
         results: list[InferenceResult] = []
         while self.queue.ready(self._now_s):
             results.extend(self._run_batch(self.queue.drain()))
+        self._apply_pending_swap()
         return frame_id, "enqueued", results
 
     def flush(self) -> list[InferenceResult]:
@@ -421,6 +481,7 @@ class InferenceEngine:
         results: list[InferenceResult] = []
         while self.queue.depth:
             results.extend(self._run_batch(self.queue.drain()))
+        self._apply_pending_swap()
         return results
 
     # ---------------------------------------------------------------- batch
@@ -593,6 +654,13 @@ class InferenceEngine:
             emit_ms = 1000.0 * (time.perf_counter() - emit_t0) / len(frames)
             for frame in frames:
                 obs.tracer.add_stage(frame.frame_id, "emit", emit_ms)
+        if self._rollout is not None:
+            # After emission: the served outputs above are final, so the
+            # shadow leg can never affect them.  A promotion requested in
+            # here defers via replace_estimator until the queue drains.
+            self._rollout.on_batch(
+                frames, x[: len(frames)], probabilities, self._now_s, source=source
+            )
         return results
 
     def _reject_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:

@@ -223,6 +223,64 @@ class TestDivergenceGuard:
             np.concatenate([good.model_state[k].ravel() for k in good.model_state]),
         )
 
+class TestRollbackThenResume:
+    """NaN rollback × ``resume_from``: the poisoned epoch must be gone."""
+
+    def _poisoned_run(self, tmp_path):
+        x, y = make_data()
+        model = make_model()
+        optimizer = AdamW(model.parameters(), lr=1e-2, weight_decay=1e-2)
+        loss = PoisonAfter(mse_loss, n_calls=2 * (len(x) // 32 + 1))
+        trainer = Trainer(model, optimizer, loss, batch_size=32,
+                          rng=np.random.default_rng(11))
+        callback = CheckpointCallback(trainer, tmp_path / "ckpts", keep_last=3)
+        history = trainer.fit(x, y, epochs=6, callbacks=[callback])
+        return x, y, trainer, callback, history
+
+    def test_nan_guard_fires_before_save(self, tmp_path):
+        """The diverged epoch is never written: no checkpoint can be poisoned."""
+        x, y, trainer, callback, history = self._poisoned_run(tmp_path)
+        assert callback.rollbacks == 1
+        diverged_epoch = history.n_epochs - 1
+        on_disk = {p.name for p in (tmp_path / "ckpts").glob("epoch-*.npz")}
+        assert f"epoch-{diverged_epoch:04d}.npz" not in on_disk
+        assert callback.restored_from == callback.latest
+        assert load_checkpoint(callback.latest).epoch == diverged_epoch - 1
+        for path in (tmp_path / "ckpts").glob("*.npz"):
+            state = load_checkpoint(path).model_state
+            assert all(np.isfinite(v).all() for v in state.values()), path.name
+
+    def test_rollback_restores_rng_bit_generator_state(self, tmp_path):
+        x, y, trainer, callback, _ = self._poisoned_run(tmp_path)
+        # The trainer's shuffle RNG must sit exactly where the restored
+        # checkpoint recorded it — not where the poisoned epoch left it —
+        # or a resumed run would replay different batches.
+        witness = np.random.default_rng(0)
+        load_checkpoint(callback.restored_from).restore(rng=witness)
+        assert trainer._rng.bit_generator.state == witness.bit_generator.state
+
+    def test_resume_after_rollback_matches_clean_run(self, tmp_path):
+        """Resuming from the rollback target replays the never-poisoned run."""
+        x, y, _, callback, _ = self._poisoned_run(tmp_path)
+
+        reference = make_trainer()
+        ref_history = reference.fit(x, y, epochs=6)
+
+        resumed = make_trainer(seed=42)  # different init: checkpoint overrides
+        resumed_history = resumed.fit(x, y, epochs=6, resume_from=callback.latest)
+
+        np.testing.assert_allclose(
+            flat_params(resumed.model), flat_params(reference.model), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            resumed_history.train_loss, ref_history.train_loss, atol=1e-6
+        )
+        # The poisoned epoch appears nowhere in the resumed history.
+        assert np.isfinite(resumed_history.train_loss).all()
+        assert resumed_history.n_epochs == 6
+
+
+class TestDivergenceFactor:
     @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_divergence_factor_triggers_on_explosion(self, tmp_path):
         x, y = make_data()

@@ -53,6 +53,22 @@ class TestRenderPrometheus:
         text = render_prometheus(registry)
         assert text.index("repro_alpha") < text.index("repro_zebra")
 
+    def test_rollout_family_groups_under_one_type_line(self):
+        # The rollout manager's closed-taxonomy counters scrape as one
+        # labeled family next to the state gauge.
+        registry = MetricsRegistry()
+        registry.counter("rollout_events_total{kind=shadow_start}").inc()
+        registry.counter("rollout_events_total{kind=promoted}").inc()
+        registry.counter("rollout_events_total{kind=rolled_back}").inc(2)
+        registry.gauge("rollout_state").set(2)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE repro_rollout_events_total counter") == 1
+        assert 'repro_rollout_events_total{kind="shadow_start"} 1.0' in text
+        assert 'repro_rollout_events_total{kind="promoted"} 1.0' in text
+        assert 'repro_rollout_events_total{kind="rolled_back"} 2.0' in text
+        assert "# TYPE repro_rollout_state gauge" in text
+        assert "repro_rollout_state 2" in text
+
     def test_empty_histogram_renders_nan_quantiles(self):
         registry = MetricsRegistry()
         registry.histogram("empty_ms")

@@ -107,6 +107,26 @@ class TestRenderReport:
         obs.emit("batch.flush")
         assert "last" not in render_run(obs.dump(), events_tail=0)
 
+    def test_rollout_summary_line(self):
+        obs = Observer(label="rolling")
+        obs.emit("rollout.shadow_start", t_s=1.0, challenger_version=1)
+        obs.emit("rollout.promoted", t_s=2.0, version=1)
+        text = render_run(obs.dump())
+        assert "rollout: promoted=1  shadow_start=1" in text
+        assert "rollout healthy: every promotion stuck" in text
+
+    def test_rollout_rollback_warns(self):
+        obs = Observer(label="rolling")
+        obs.emit("rollout.shadow_start", t_s=1.0)
+        obs.emit("rollout.promoted", t_s=2.0)
+        obs.emit("rollout.rolled_back", t_s=3.0, reason="divergence")
+        text = render_run(obs.dump())
+        assert "WARNING: 1 promotion(s) rolled back" in text
+        assert "rollout healthy" not in text
+
+    def test_no_rollout_line_without_rollout_events(self):
+        assert "rollout" not in render_run(_live_observer().dump())
+
     def test_multi_run_report(self):
         dump = build_dump({"a": _live_observer("a"), "b": _live_observer("b")})
         text = render_report(dump)

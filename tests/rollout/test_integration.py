@@ -1,0 +1,354 @@
+"""Rollout wiring through the real serving surfaces: engine and fleet."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath.plan import InferencePlan
+from repro.fleet import Fleet
+from repro.guard.drift import DriftState
+from repro.nn.modules import Linear, Sequential
+from repro.obs import Observer
+from repro.rollout import RolloutManager, RolloutState, SequentialComparison
+from repro.serve import ServeConfig
+from repro.serve.engine import InferenceEngine
+
+N_IN = 4
+
+
+def _plan(seed=0, *, version=0, label=None, negate=False):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(N_IN, 1, rng=rng))
+    if negate:
+        for p in model.parameters():
+            p.data[:] = -p.data
+    return InferencePlan.from_model(model, version=version, label=label)
+
+
+class _Const:
+    """Constant-probability estimator for drain-order assertions."""
+
+    def __init__(self, p):
+        self.p = p
+
+    def predict_proba(self, x):
+        return np.full(len(np.atleast_2d(x)), self.p)
+
+
+class _StubTrigger:
+    def __init__(self, challenger_factory, min_frames=4):
+        self.challenger_factory = challenger_factory
+        self.min_frames = min_frames
+        self._rows = []
+        self._armed = True
+        self.retrains = 0
+
+    @property
+    def buffered(self):
+        return len(self._rows)
+
+    def buffered_rows(self):
+        return np.stack(self._rows)
+
+    def record(self, rows, labels):
+        for row in np.atleast_2d(rows):
+            self._rows.append(np.array(row, copy=True))
+
+    def observe_state(self, state):
+        if state is DriftState.TRIP and self._armed:
+            self._armed = False
+            return True
+        if state is DriftState.OK:
+            self._armed = True
+        return False
+
+    def clear(self):
+        self._rows.clear()
+
+    def retrain(self, *, version=0, label=None):
+        self.retrains += 1
+        plan = self.challenger_factory()
+        plan.version = version
+        plan.label = label
+        return plan
+
+
+class _StubSentinel:
+    def __init__(self, state=DriftState.TRIP):
+        self.state = state
+        self.reference = None
+
+    def reset(self):
+        pass
+
+
+class TestEngineHotSwap:
+    def _engine(self, estimator):
+        return InferenceEngine(
+            estimator,
+            ServeConfig(max_batch=8, max_latency_ms=None, stale_after_s=None),
+        )
+
+    def test_empty_queue_swaps_immediately(self):
+        engine = self._engine(_Const(0.9))
+        new = _Const(0.1)
+        old = engine.replace_estimator(new)
+        assert old.p == 0.9
+        assert engine.estimator is new
+        assert engine.registry.counter("estimator_swaps_total").value == 1
+
+    def test_queued_frames_drain_on_old_estimator_first(self):
+        engine = self._engine(_Const(0.9))
+        for i in range(3):
+            engine.submit_frame("a", float(i), np.ones(N_IN))
+        new = _Const(0.1)
+        old = engine.replace_estimator(new)
+        # Deferred: the incumbent keeps serving until the queue empties.
+        assert old.p == 0.9
+        assert engine.estimator is old
+        results = engine.flush()
+        assert len(results) == 3
+        assert all(r.probability == pytest.approx(0.9) for r in results)
+        # The drain completed inside flush: the swap is now applied.
+        assert engine.estimator is new
+        assert engine.registry.counter("estimator_swaps_total").value == 1
+        engine.submit_frame("a", 3.0, np.ones(N_IN))
+        assert engine.flush()[0].probability == pytest.approx(0.1)
+
+    def test_drain_false_swaps_under_queued_frames(self):
+        engine = self._engine(_Const(0.9))
+        engine.submit_frame("a", 0.0, np.ones(N_IN))
+        new = _Const(0.1)
+        engine.replace_estimator(new, drain=False)
+        assert engine.estimator is new
+        assert engine.flush()[0].probability == pytest.approx(0.1)
+
+    def test_swap_validates_estimator(self):
+        engine = self._engine(_Const(0.9))
+        with pytest.raises(ConfigurationError):
+            engine.replace_estimator(object())
+
+    def test_detach_rollout_returns_manager(self):
+        engine = self._engine(_Const(0.9))
+        sentinel = object()
+        engine.attach_rollout(sentinel)
+        assert engine.detach_rollout() is sentinel
+        assert engine.detach_rollout() is None
+
+
+class TestEngineRolloutCycle:
+    def test_full_cycle_promotes_with_zero_drops(self):
+        champion = _plan(0, version=0, label="champion")
+        challenger = _plan(0, negate=True)
+        engine = InferenceEngine(
+            champion,
+            ServeConfig(
+                max_batch=4,
+                max_latency_ms=None,
+                stale_after_s=None,
+                observer=Observer(label="engine"),
+            ),
+        )
+        trigger = _StubTrigger(lambda: challenger)
+
+        def label_fn(frame):
+            # The champion is always wrong; its negated twin always right.
+            p = float(champion.predict_proba(frame.csi[None, :])[0])
+            return 1 - int(p >= 0.5)
+
+        manager = RolloutManager.for_engine(
+            engine,
+            trigger,
+            label_fn=label_fn,
+            comparison_factory=lambda: SequentialComparison(
+                min_frames=8, max_frames=256
+            ),
+            guard_frames=8,
+            refresh_reference=False,
+        )
+        assert engine._rollout is manager
+        manager.sentinel = _StubSentinel()  # permanently tripped oracle
+
+        rng = np.random.default_rng(7)
+        submitted = 0
+        for i in range(200):
+            ticket = engine.submit_frame("room", i * 0.5, rng.random(N_IN))
+            assert ticket.admitted
+            submitted += 1
+            if manager.promotions and manager.state is RolloutState.IDLE:
+                break
+        engine.flush()
+
+        assert manager.promotions == 1
+        assert manager.rollbacks == 0
+        assert isinstance(engine.estimator, InferencePlan)
+        assert engine.estimator.version == 1
+        assert engine.estimator.label == "challenger"
+        events = engine.observer.events
+        assert events.count("rollout.shadow_start") == 1
+        assert events.count("rollout.promoted") == 1
+        assert events.count("rollout.rolled_back") == 0
+        # The hot-swap dropped nothing: every submitted frame answered.
+        ledger = engine.observer.ledger()
+        assert ledger["submitted"] == submitted
+        assert ledger["answered"] == submitted
+        assert ledger["pending"] == 0
+        assert ledger["unaccounted"] == 0
+        # And the shadow leg saw exactly the champion's served traffic.
+        assert manager.last_reconciliation["exact"] is True
+
+    def test_for_engine_inherits_champion_version(self):
+        engine = InferenceEngine(
+            _plan(0, version=7), ServeConfig(max_latency_ms=None)
+        )
+        manager = RolloutManager.for_engine(
+            engine, _StubTrigger(lambda: _plan(1))
+        )
+        assert manager.champion_version == 7
+
+
+def _row(rng):
+    return rng.random(N_IN)
+
+
+class TestFleetHotSwap:
+    def _fleet(self):
+        fleet = Fleet(
+            ServeConfig(max_batch=8, max_latency_ms=None, stale_after_s=None),
+            observer_factory=lambda: Observer(),
+        )
+        return fleet
+
+    def test_replace_plan_drains_on_old_plan_first(self):
+        fleet = self._fleet()
+        old_plan, new_plan = _plan(1), _plan(2)
+        fleet.attach("room-a", old_plan)
+        rng = np.random.default_rng(0)
+        rows = [_row(rng) for _ in range(3)]
+        for i, row in enumerate(rows):
+            fleet.submit("room-a", float(i), row)
+        fleet.replace_plan("room-a", new_plan, now_s=3.0)
+        # The cutover tick drained every pending frame before the swap:
+        # the tenant's event log shows all three answered frames ahead of
+        # the fleet.plan_swap marker.
+        kinds = [e.kind for e in fleet._tenant("room-a").observer.events]
+        assert kinds.count("frame.answered") == 3
+        assert kinds.index("fleet.plan_swap") > max(
+            i for i, k in enumerate(kinds) if k == "frame.answered"
+        )
+        assert fleet.counters("room-a")["frames_out"] == 3
+        assert fleet.metrics.counter("fleet_plan_swaps_total").value == 1
+        swap_events = [
+            e for e in fleet._tenant("room-a").observer.events
+            if e.kind == "fleet.plan_swap"
+        ]
+        assert swap_events[0].data["old_digest"] != swap_events[0].data["new_digest"]
+        assert swap_events[0].data["new_version"] == new_plan.version
+        # New traffic lands on the new plan.
+        row = _row(rng)
+        fleet.submit("room-a", 4.0, row)
+        results = fleet.flush()
+        assert results[0].probability == pytest.approx(
+            float(new_plan.predict_proba(row[None, :])[0])
+        )
+
+    def test_replace_plan_rejects_width_change(self):
+        fleet = self._fleet()
+        fleet.attach("room-a", _plan(1))
+        rng = np.random.default_rng(0)
+        wide = InferencePlan.from_model(Sequential(Linear(N_IN + 2, 1, rng=rng)))
+        with pytest.raises(ConfigurationError):
+            fleet.replace_plan("room-a", wide)
+
+    def test_replace_plan_unknown_tenant(self):
+        with pytest.raises(ConfigurationError):
+            self._fleet().replace_plan("ghost", _plan(1))
+
+    def test_detach_drains_and_seals_ledger(self):
+        fleet = self._fleet()
+        fleet.attach("room-a", _plan(1))
+        fleet.attach("room-b", _plan(2))
+        rng = np.random.default_rng(0)
+        for i in range(3):
+            fleet.submit("room-a", float(i), _row(rng))
+        observer = fleet._tenant("room-a").observer
+        final = fleet.detach("room-a", now_s=3.0)
+        # Pending frames were drained (answered events precede the seal).
+        assert final["frames_in"] == 3
+        assert final["frames_out"] == 3
+        kinds = [e.kind for e in observer.events]
+        assert kinds.count("frame.answered") == 3
+        assert kinds.index("fleet.detach") == len(kinds) - 1
+        assert fleet.tenant_ids == ("room-b",)
+        assert fleet.metrics.counter("fleet_detaches_total").value == 1
+        assert fleet.metrics.gauge("fleet_tenants").value == 1
+        detach_events = [e for e in observer.events if e.kind == "fleet.detach"]
+        assert len(detach_events) == 1
+        assert detach_events[0].data["frames_out"] == 3
+        with pytest.raises(ConfigurationError):
+            fleet.submit("room-a", 4.0, _row(rng))
+
+    def test_detach_removes_rollout_binding(self):
+        fleet = self._fleet()
+        fleet.attach("room-a", _plan(1))
+        fleet.attach_rollout("room-a", object())
+        fleet.detach("room-a")
+        assert fleet.detach_rollout("room-a") is None
+
+    def test_attach_rollout_requires_known_tenant(self):
+        with pytest.raises(ConfigurationError):
+            self._fleet().attach_rollout("ghost", object())
+
+
+class TestFleetRolloutCycle:
+    def test_tenant_rollout_promotes_through_registry(self):
+        fleet = Fleet(
+            ServeConfig(max_batch=4, max_latency_ms=None, stale_after_s=None),
+            observer_factory=lambda: Observer(),
+        )
+        champion = _plan(0, version=0, label="champion")
+        challenger = _plan(0, negate=True)
+        fleet.attach("room-a", champion)
+        fleet.attach("room-b", _plan(9))
+        trigger = _StubTrigger(lambda: challenger)
+
+        def label_fn(frame):
+            p = float(champion.predict_proba(frame.row[None, :])[0])
+            return 1 - int(p >= 0.5)
+
+        manager = RolloutManager.for_fleet_tenant(
+            fleet,
+            "room-a",
+            trigger,
+            label_fn=label_fn,
+            comparison_factory=lambda: SequentialComparison(
+                min_frames=8, max_frames=256
+            ),
+            guard_frames=8,
+            refresh_reference=False,
+        )
+        assert manager.link_id == "room-a"
+        manager.sentinel = _StubSentinel()
+
+        rng = np.random.default_rng(7)
+        for i in range(60):
+            fleet.submit("room-a", float(i), _row(rng))
+            fleet.submit("room-b", float(i), _row(rng))
+            fleet.tick(float(i))
+            if manager.promotions and manager.state is RolloutState.IDLE:
+                break
+        fleet.flush()
+
+        assert manager.promotions == 1
+        assert manager.rollbacks == 0
+        promoted = fleet.plans.get("room-a")
+        assert promoted.version == 1
+        assert promoted.label == "challenger"
+        # The other tenant is untouched.
+        assert fleet.plans.get("room-b").version == _plan(9).version
+        observer = fleet._tenant("room-a").observer
+        assert observer.events.count("rollout.promoted") == 1
+        assert observer.events.count("fleet.plan_swap") == 1
+        assert manager.last_reconciliation["exact"] is True
+        counters = fleet.counters("room-a")
+        assert counters["frames_in"] == counters["frames_out"]

@@ -1,0 +1,379 @@
+"""Tests for the rollout state machine: shadow, promote, rollback."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath.plan import InferencePlan
+from repro.guard.breaker import BreakerState
+from repro.guard.drift import DriftState, ReferenceStats
+from repro.nn.modules import Linear, Sequential
+from repro.obs.observer import Observer
+from repro.rollout import RolloutManager, RolloutState, SequentialComparison
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.queue import PendingFrame
+
+
+def _plan(seed: int = 0, *, version: int = 0, label: str | None = None,
+          negate: bool = False) -> InferencePlan:
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(4, 1, rng=rng))
+    if negate:
+        # Negated weights + bias flip the logit's sign, so this plan
+        # votes the opposite of its seed-twin on every row.
+        for p in model.parameters():
+            p.data[:] = -p.data
+    return InferencePlan.from_model(model, version=version, label=label)
+
+
+class _StubTrigger:
+    """Duck-typed RetrainTrigger: hands out a pre-built challenger."""
+
+    def __init__(self, challenger_factory, min_frames: int = 4):
+        self.challenger_factory = challenger_factory
+        self.min_frames = min_frames
+        self._rows = []
+        self._armed = True
+        self.cleared = 0
+        self.retrains = 0
+
+    @property
+    def buffered(self):
+        return len(self._rows)
+
+    def buffered_rows(self):
+        return np.stack(self._rows)
+
+    def record(self, rows, labels):
+        for row in np.atleast_2d(rows):
+            self._rows.append(np.array(row, copy=True))
+
+    def observe_state(self, state):
+        if state is DriftState.TRIP:
+            if self._armed:
+                self._armed = False
+                return True
+            return False
+        if state is DriftState.OK:
+            self._armed = True
+        return False
+
+    def clear(self):
+        self.cleared += 1
+        self._rows.clear()
+
+    def retrain(self, *, version=0, label=None):
+        self.retrains += 1
+        plan = self.challenger_factory()
+        plan.version = version
+        plan.label = label
+        return plan
+
+
+class _StubSentinel:
+    def __init__(self):
+        self.state = DriftState.OK
+        self.reference = "old-ref"
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+
+class _StubBreaker:
+    def __init__(self):
+        self.state = BreakerState.CLOSED
+
+
+class _Harness:
+    """A minimal serving surface driving a RolloutManager.
+
+    The champion is a fixed linear plan; the challenger either votes the
+    exact opposite on every row (``challenger="opposite"``, a negated
+    twin) or identically (``challenger="same"``, a fresh same-seed
+    build).  Per-frame labels are scripted so the *serving* plan is
+    correct with probability ``serving_accuracy`` — with an opposite
+    challenger, its shadow accuracy is therefore ``1 - serving_accuracy``.
+    """
+
+    def __init__(
+        self,
+        *,
+        serving_accuracy=0.5,
+        challenger="opposite",
+        guard_frames=8,
+        max_frames=512,
+        refresh_reference=False,
+        breaker=None,
+    ):
+        self.champion = _plan(0, version=0, label="champion")
+        self.serving = self.champion
+        self.swaps = []
+        challenger_plan = _plan(0, negate=(challenger == "opposite"))
+        self.challenger = challenger_plan
+        self.trigger = _StubTrigger(lambda: challenger_plan)
+        self.sentinel = _StubSentinel()
+        self.accuracy = serving_accuracy
+        self._rng = np.random.default_rng(42)
+        self._labels = {}
+        self._next = 0
+        self.manager = RolloutManager(
+            self.trigger,
+            self._swap,
+            sentinel=self.sentinel,
+            label_fn=lambda frame: self._labels[frame.frame_id],
+            comparison_factory=lambda: SequentialComparison(
+                alpha=0.05, min_frames=8, max_frames=max_frames
+            ),
+            observer=Observer(label="champion"),
+            registry=MetricsRegistry(),
+            breaker=breaker,
+            current_plan=self.current_plan,
+            guard_frames=guard_frames,
+            refresh_reference=refresh_reference,
+            champion_version=0,
+        )
+
+    def _swap(self, plan):
+        previous = self.serving
+        self.serving = plan
+        self.swaps.append(plan)
+        return previous
+
+    def current_plan(self):
+        return self.serving
+
+    def feed(self, n: int = 8):
+        """Serve one batch off the harness surface and run the hook.
+
+        Mirrors the engine's post-emit contract: champion frame events
+        land on the observer *before* on_batch sees the batch.
+        """
+        frames = [
+            PendingFrame("a", float(self._next + i), np.empty(0), frame_id=self._next + i)
+            for i in range(n)
+        ]
+        self._next += n
+        rows = self._rng.random((n, 4))
+        probabilities = self.serving.predict_proba(rows)
+        obs = self.manager.observer
+        for frame, p in zip(frames, probabilities):
+            vote = int(p >= 0.5)
+            self._labels[frame.frame_id] = (
+                vote if self._rng.random() < self.accuracy else 1 - vote
+            )
+            obs.frame_submitted(frame.frame_id, frame.link_id, frame.t_s)
+            obs.frame_outcome("answered", frame.frame_id, frame.link_id, frame.t_s)
+        self.manager.on_batch(frames, rows, probabilities, float(self._next))
+
+    def trip_and_start(self):
+        """Trip the sentinel and feed until the shadow run starts."""
+        self.sentinel.state = DriftState.TRIP
+        for _ in range(8):
+            self.feed()
+            if self.manager.state is RolloutState.SHADOW:
+                return
+        raise AssertionError("shadow run never started")
+
+    def run_shadow(self, max_batches: int = 80):
+        for _ in range(max_batches):
+            self.feed()
+            if self.manager.state is not RolloutState.SHADOW:
+                return
+        raise AssertionError("comparison never decided")
+
+    def events(self, kind):
+        return [e for e in self.manager.observer.events if e.kind == kind]
+
+
+class TestValidation:
+    def test_bad_config(self):
+        trigger = _StubTrigger(lambda: _plan())
+        with pytest.raises(ConfigurationError):
+            RolloutManager(trigger, lambda p: p, guard_frames=0)
+        with pytest.raises(ConfigurationError):
+            RolloutManager(trigger, lambda p: p, divergence_tol=-1)
+        with pytest.raises(ConfigurationError):
+            RolloutManager(trigger, "not-callable")
+
+
+class TestDriftToShadow:
+    def test_trip_clears_buffer_then_waits_for_post_drift_frames(self):
+        h = _Harness()
+        h.feed()
+        assert h.manager.state is RolloutState.IDLE
+
+        h.sentinel.state = DriftState.TRIP
+        h.feed()
+        # Fired: pre-drift buffer flushed, waiting for min_frames of new data.
+        assert h.trigger.cleared == 1
+        assert h.manager.state is RolloutState.IDLE
+        assert h.trigger.retrains == 0
+
+        h.feed()  # refills the buffer past min_frames
+        assert h.trigger.retrains == 1
+        assert h.manager.state is RolloutState.SHADOW
+        starts = h.events("rollout.shadow_start")
+        assert len(starts) == 1
+        assert starts[0].data["challenger_version"] == 1
+        assert h.manager.registry.counter("rollout_shadows_total").value == 1
+
+    def test_no_refire_while_tripped(self):
+        h = _Harness(challenger="same", max_frames=16)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.stops == 1
+        # Persistently tripped sentinel must not restart the cycle.
+        for _ in range(4):
+            h.feed()
+        assert h.trigger.retrains == 1
+        assert h.manager.state is RolloutState.IDLE
+
+    def test_manual_start_requires_idle(self):
+        h = _Harness()
+        h.trip_and_start()
+        with pytest.raises(ConfigurationError):
+            h.manager.start_challenger(99.0)
+
+    def test_retrain_refusal_is_counted_not_fatal(self):
+        h = _Harness()
+
+        def refusing_retrain(*, version=0, label=None):
+            raise ConfigurationError("not enough frames")
+
+        h.trigger.retrain = refusing_retrain
+        h.sentinel.state = DriftState.TRIP
+        for _ in range(3):
+            h.feed()
+        assert h.manager.state is RolloutState.IDLE
+        assert h.manager.registry.counter("rollout_retrain_skipped_total").value >= 1
+
+
+class TestPromotion:
+    def test_winning_challenger_promotes_and_seals(self):
+        h = _Harness(serving_accuracy=0.05, guard_frames=8)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.promotions == 1
+        assert h.serving is h.challenger
+        promoted = h.events("rollout.promoted")
+        assert len(promoted) == 1
+        assert promoted[0].data["version"] == 1
+        assert h.manager.champion_version == 1
+        # Ledger reconciliation captured at decision time, exact.
+        assert h.manager.last_reconciliation["exact"] is True
+        assert h.manager.last_reconciliation["shadow_unaccounted"] == 0
+        # Guard window passes (zero divergence, no breaker) -> seal.
+        assert h.manager.state is RolloutState.GUARD
+        h.feed()
+        assert h.manager.state is RolloutState.IDLE
+        assert h.manager.rollbacks == 0
+        assert h.manager.registry.counter("rollout_promotions_sealed_total").value == 1
+
+    def test_losing_challenger_stops_without_promotion(self):
+        h = _Harness(serving_accuracy=0.95)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.promotions == 0
+        assert h.manager.stops == 1
+        assert h.serving is h.champion
+        assert h.swaps == []
+        stops = h.events("rollout.futility_stop")
+        assert len(stops) == 1
+        assert stops[0].data["decision"] == "reject"
+
+    def test_equal_models_hit_futility(self):
+        h = _Harness(challenger="same", max_frames=32)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.promotions == 0
+        assert h.events("rollout.futility_stop")[0].data["decision"] == "futility"
+
+    def test_reference_refreshed_on_promotion(self):
+        h = _Harness(serving_accuracy=0.05, refresh_reference=True)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.promotions == 1
+        assert isinstance(h.sentinel.reference, ReferenceStats)
+        assert h.sentinel.resets >= 1
+
+
+class TestRollback:
+    def _promoted(self, **kwargs):
+        kwargs.setdefault("guard_frames", 64)
+        h = _Harness(serving_accuracy=0.05, **kwargs)
+        h.trip_and_start()
+        h.run_shadow()
+        assert h.manager.promotions == 1
+        assert h.manager.state is RolloutState.GUARD
+        return h
+
+    def test_breaker_open_during_guard_rolls_back(self):
+        breaker = _StubBreaker()
+        h = self._promoted(breaker=breaker)
+        breaker.state = BreakerState.OPEN
+        h.feed()
+        assert h.manager.rollbacks == 1
+        assert h.manager.state is RolloutState.IDLE
+        assert h.serving is h.champion
+        event = h.events("rollout.rolled_back")[0]
+        assert event.data["reason"] == "breaker_open"
+        assert event.data["demoted_version"] == 1
+        assert h.manager.champion_version == 0
+        assert h.manager.registry.counter("rollout_rollbacks_total").value == 1
+
+    def test_divergence_from_shadow_outputs_rolls_back(self):
+        h = self._promoted()
+        # Tamper with the recorded shadow outputs: the serving plan can no
+        # longer reproduce them, which must read as a botched swap.
+        h.manager.shadow._replay[0][1][0] += 0.25
+        h.feed()
+        assert h.manager.rollbacks == 1
+        assert h.serving is h.champion
+        event = h.events("rollout.rolled_back")[0]
+        assert event.data["reason"] == "divergence"
+        assert event.data["divergence"] == pytest.approx(0.25)
+
+    def test_unexpected_serving_plan_rolls_back(self):
+        h = self._promoted()
+        h.serving = _plan(123)  # someone swapped behind the manager's back
+        h.feed()
+        assert h.manager.rollbacks == 1
+        assert h.serving is h.champion
+        assert h.events("rollout.rolled_back")[0].data["reason"] == "unexpected_plan"
+
+    def test_rollback_restores_drift_reference(self):
+        breaker = _StubBreaker()
+        h = self._promoted(refresh_reference=True, breaker=breaker)
+        assert h.sentinel.reference != "old-ref"
+        breaker.state = BreakerState.OPEN
+        h.feed()
+        assert h.sentinel.reference == "old-ref"
+
+    def test_drain_in_progress_defers_guard(self):
+        # While the surface still serves the previous plan (deferred
+        # swap), the guard must wait, not roll back.
+        h = self._promoted(guard_frames=8)
+        h.serving = h.champion  # simulate drain still in progress
+        guard_left = h.manager._guard_left
+        h.feed()
+        assert h.manager.rollbacks == 0
+        assert h.manager.state is RolloutState.GUARD
+        assert h.manager._guard_left == guard_left  # no progress while draining
+        h.serving = h.challenger  # drain completed, swap applied
+        h.feed()
+        assert h.manager.rollbacks == 0
+        assert h.manager.state is RolloutState.IDLE
+
+
+class TestStateGauge:
+    def test_gauge_tracks_transitions(self):
+        h = _Harness(serving_accuracy=0.05, guard_frames=8)
+        gauge = h.manager.registry.gauge("rollout_state")
+        assert gauge.value == 0
+        h.trip_and_start()
+        assert gauge.value == 1
+        h.run_shadow()
+        assert gauge.value == 2
+        h.feed()
+        assert gauge.value == 0

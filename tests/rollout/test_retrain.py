@@ -1,0 +1,165 @@
+"""Tests for the drift-armed retrain trigger."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath.plan import InferencePlan
+from repro.guard.drift import DriftState
+from repro.nn.checkpoint import CheckpointCallback
+from repro.nn.losses import bce_with_logits_loss
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.nn.optim import AdamW
+from repro.nn.train import Trainer
+from repro.rollout import RetrainTrigger
+
+
+def _trainer(seed: int = 0) -> Trainer:
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+    return Trainer(
+        model,
+        AdamW(model.parameters(), lr=1e-2),
+        bce_with_logits_loss,
+        batch_size=16,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _data(n: int = 128, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 4))
+    y = (x[:, 0] > 0.5).astype(float)
+    return x, y
+
+
+class TestValidation:
+    def test_rejects_bad_budgets(self):
+        trainer = _trainer()
+        with pytest.raises(ConfigurationError):
+            RetrainTrigger(trainer, buffer_size=0)
+        with pytest.raises(ConfigurationError):
+            RetrainTrigger(trainer, buffer_size=10, min_frames=11)
+        with pytest.raises(ConfigurationError):
+            RetrainTrigger(trainer, epochs=0)
+        with pytest.raises(ConfigurationError):
+            RetrainTrigger(trainer, lr_scale=0.0)
+
+    def test_record_length_mismatch(self):
+        trigger = RetrainTrigger(_trainer(), min_frames=1, buffer_size=8)
+        with pytest.raises(ConfigurationError):
+            trigger.record(np.ones((2, 4)), [1])
+
+
+class TestBuffer:
+    def test_drop_oldest(self):
+        trigger = RetrainTrigger(_trainer(), buffer_size=4, min_frames=1)
+        trigger.record(np.arange(24, dtype=float).reshape(6, 4), [0, 1, 0, 1, 0, 1])
+        assert trigger.buffered == 4
+        assert trigger.buffered_rows()[0, 0] == 8.0  # rows 0-1 evicted
+
+    def test_clear(self):
+        trigger = RetrainTrigger(_trainer(), buffer_size=8, min_frames=1)
+        trigger.record(np.ones((3, 4)), [1, 1, 0])
+        trigger.clear()
+        assert trigger.buffered == 0
+        with pytest.raises(ConfigurationError):
+            trigger.buffered_rows()
+
+    def test_rows_are_copied(self):
+        trigger = RetrainTrigger(_trainer(), buffer_size=8, min_frames=1)
+        rows = np.ones((2, 4))
+        trigger.record(rows, [1, 0])
+        rows[:] = 9.0
+        assert trigger.buffered_rows().max() == 1.0
+
+
+class TestArming:
+    def test_fires_once_per_excursion(self):
+        trigger = RetrainTrigger(_trainer())
+        assert trigger.armed
+        assert trigger.observe_state(DriftState.TRIP) is True
+        assert not trigger.armed
+        # Persistently tripped: no refire.
+        assert trigger.observe_state(DriftState.TRIP) is False
+        # WARN does not re-arm (hysteresis).
+        assert trigger.observe_state(DriftState.WARN) is False
+        assert not trigger.armed
+        # Only a full recovery re-arms.
+        assert trigger.observe_state(DriftState.OK) is False
+        assert trigger.armed
+        assert trigger.observe_state(DriftState.TRIP) is True
+
+
+class TestRetrain:
+    def test_refuses_below_min_frames(self):
+        trigger = RetrainTrigger(_trainer(), min_frames=8, buffer_size=16)
+        trigger.record(np.ones((4, 4)), [1, 0, 1, 0])
+        with pytest.raises(ConfigurationError):
+            trigger.retrain()
+
+    def test_returns_versioned_plan_and_restores_lr(self):
+        trainer = _trainer()
+        trigger = RetrainTrigger(
+            trainer, min_frames=8, buffer_size=64, epochs=1, lr_scale=0.5
+        )
+        x, y = _data(32)
+        trigger.record(x, y)
+        base_lr = trainer.optimizer.lr
+        plan = trigger.retrain(version=3, label="challenger")
+        assert isinstance(plan, InferencePlan)
+        assert plan.version == 3
+        assert plan.label == "challenger"
+        assert trainer.optimizer.lr == base_lr
+        assert trigger.retrains == 1
+
+    def test_restores_weights_from_checkpoint_callback(self, tmp_path):
+        trainer = _trainer()
+        x, y = _data(64)
+        checkpoint = CheckpointCallback(trainer, tmp_path, keep_last=2)
+        trainer.fit(x, y, epochs=2, callbacks=[checkpoint])
+        assert checkpoint.latest is not None
+
+        # Poison the live weights; retrain must start from the checkpoint,
+        # not from the garbage.
+        for p in trainer.model.parameters():
+            p.data[:] = 1e6
+        trigger = RetrainTrigger(
+            trainer, checkpoint=checkpoint, min_frames=8, buffer_size=64, epochs=1
+        )
+        trigger.record(x, y)
+        plan = trigger.retrain(version=1)
+        probs = plan.predict_proba(x[:8])
+        assert np.all(np.isfinite(probs))
+        # Poisoned weights would saturate every output to exactly 0 or 1.
+        assert 1e-6 < probs.mean() < 1 - 1e-6
+
+    def test_callback_without_checkpoints_raises(self):
+        trainer = _trainer()
+        checkpoint = CheckpointCallback.__new__(CheckpointCallback)
+        checkpoint.best_path = None
+        checkpoint.saved = []  # .latest derives from the saved list
+        trigger = RetrainTrigger(
+            trainer, checkpoint=checkpoint, min_frames=1, buffer_size=8
+        )
+        trigger.record(np.ones((2, 4)), [1, 0])
+        with pytest.raises(ConfigurationError):
+            trigger.retrain()
+
+    def test_scaler_folded_into_challenger(self):
+        from repro.baselines.scaler import StandardScaler
+
+        trainer = _trainer()
+        x, y = _data(64)
+        scaler = StandardScaler()
+        scaler.fit(x)
+        trigger = RetrainTrigger(
+            trainer, scaler, min_frames=8, buffer_size=64, epochs=1
+        )
+        trigger.record(x, y)
+        plan = trigger.retrain()
+        # The frozen plan applies the scaler itself: raw rows in.
+        expected = trainer.predict(scaler.transform(x[:4]))
+        got = plan.predict_proba(x[:4])
+        # float32 plan vs float64 trainer: close, not byte-equal.
+        assert np.allclose(got, 1.0 / (1.0 + np.exp(-expected.ravel())), atol=1e-5)

@@ -1,0 +1,153 @@
+"""Tests for the anytime-valid sequential comparison."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rollout import SequentialComparison, Verdict
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(alpha=1.0)
+
+    def test_margin_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(margin=-0.1)
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(margin=1.0)
+
+    def test_lambda_bounds_depend_on_margin(self):
+        # 1/(1+margin) shrinks the admissible bet sizes.
+        SequentialComparison(margin=0.5, lambdas=(0.6,))
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(margin=0.5, lambdas=(0.7,))
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(lambdas=())
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(lambdas=(1.0,))
+
+    def test_frame_budget_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(min_frames=0)
+        with pytest.raises(ConfigurationError):
+            SequentialComparison(min_frames=10, max_frames=5)
+
+
+class TestDecisions:
+    def test_strictly_better_challenger_promotes(self):
+        comparison = SequentialComparison(min_frames=8, max_frames=4096)
+        n = 0
+        while not comparison.verdict.decided:
+            comparison.update(champion_correct=False, challenger_correct=True)
+            n += 1
+            assert n < 200, "a pure winner must promote quickly"
+        assert comparison.verdict is Verdict.PROMOTE
+        assert comparison.decided_at == n
+        assert comparison.e_win >= 1.0 / comparison.alpha
+
+    def test_strictly_worse_challenger_rejects(self):
+        comparison = SequentialComparison(min_frames=8)
+        while not comparison.verdict.decided:
+            comparison.update(champion_correct=True, challenger_correct=False)
+        assert comparison.verdict is Verdict.REJECT
+        assert comparison.e_loss >= 1.0 / comparison.alpha
+
+    def test_identical_models_hit_futility(self):
+        comparison = SequentialComparison(min_frames=4, max_frames=64)
+        for _ in range(64):
+            comparison.update(True, True)
+        assert comparison.verdict is Verdict.FUTILITY
+        assert comparison.n == 64
+        assert comparison.ties == 64
+
+    def test_decision_is_sticky(self):
+        comparison = SequentialComparison(min_frames=4, max_frames=64)
+        while not comparison.verdict.decided:
+            comparison.update(False, True)
+        n_at_decision = comparison.n
+        for _ in range(10):
+            assert comparison.update(True, False) is Verdict.PROMOTE
+        assert comparison.n == n_at_decision  # no accumulation after deciding
+
+    def test_no_decision_before_min_frames(self):
+        comparison = SequentialComparison(min_frames=50, max_frames=64)
+        for _ in range(49):
+            comparison.update(False, True)
+        assert comparison.verdict is Verdict.CONTINUE
+
+    def test_update_many_stops_early(self):
+        comparison = SequentialComparison(min_frames=4)
+        verdict = comparison.update_many([False] * 500, [True] * 500)
+        assert verdict is Verdict.PROMOTE
+        assert comparison.n < 500
+
+    def test_margin_tolerates_slightly_worse_challenger(self):
+        # A challenger equal to the champion must promote under a
+        # non-inferiority margin (E[d + margin] > 0 for d == 0).
+        comparison = SequentialComparison(
+            margin=0.1, min_frames=16, max_frames=8192, lambdas=(0.2, 0.4)
+        )
+        while not comparison.verdict.decided:
+            comparison.update(True, True)
+        assert comparison.verdict is Verdict.PROMOTE
+
+
+class TestErrorControl:
+    def test_false_promotion_rate_bounded_under_h0(self):
+        # Equal-accuracy champion and challenger (the H0 boundary):
+        # promotions must stay near alpha even with continuous peeking.
+        rng = np.random.default_rng(7)
+        promotions = 0
+        n_sims = 200
+        for _ in range(n_sims):
+            comparison = SequentialComparison(
+                alpha=0.05, min_frames=8, max_frames=256
+            )
+            champ = rng.random(256) < 0.7
+            chall = rng.random(256) < 0.7
+            if comparison.update_many(champ, chall) is Verdict.PROMOTE:
+                promotions += 1
+        # Ville bounds the rate by alpha = 5%; allow sampling slack.
+        assert promotions / n_sims <= 0.10
+
+    def test_power_under_real_improvement(self):
+        rng = np.random.default_rng(11)
+        promotions = 0
+        n_sims = 50
+        for _ in range(n_sims):
+            comparison = SequentialComparison(
+                alpha=0.05, min_frames=8, max_frames=2048
+            )
+            champ = rng.random(2048) < 0.5
+            chall = rng.random(2048) < 0.9
+            if comparison.update_many(champ, chall) is Verdict.PROMOTE:
+                promotions += 1
+        assert promotions / n_sims >= 0.9
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_stable(self):
+        comparison = SequentialComparison(min_frames=4)
+        comparison.update(True, False)
+        comparison.update(False, True)
+        comparison.update(True, True)
+        snapshot = comparison.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["n"] == 3
+        assert snapshot["wins"] == 1
+        assert snapshot["losses"] == 1
+        assert snapshot["ties"] == 1
+        assert snapshot["verdict"] == "continue"
+
+    def test_mean_delta(self):
+        comparison = SequentialComparison(min_frames=100)
+        for _ in range(3):
+            comparison.update(False, True)
+        comparison.update(True, False)
+        assert comparison.mean_delta == pytest.approx(0.5)

@@ -1,0 +1,124 @@
+"""Tests for the shadow runner's ledger and replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath.plan import InferencePlan
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.rollout import ShadowRunner
+from repro.serve.queue import PendingFrame
+
+
+def _plan(seed: int = 0, label: str | None = None) -> InferencePlan:
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+    return InferencePlan.from_model(model, label=label)
+
+
+def _frames(n: int, link: str = "a") -> list[PendingFrame]:
+    return [
+        PendingFrame(link, float(i), np.ones(4), frame_id=i) for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_requires_frozen_plan(self):
+        with pytest.raises(ConfigurationError):
+            ShadowRunner(object())
+
+    def test_keep_last_floor(self):
+        with pytest.raises(ConfigurationError):
+            ShadowRunner(_plan(), keep_last=0)
+
+    def test_row_frame_mismatch(self):
+        runner = ShadowRunner(_plan())
+        with pytest.raises(ConfigurationError):
+            runner.observe_batch(_frames(2), np.ones((3, 4)))
+
+
+class TestLedger:
+    def test_every_mirrored_frame_reconciles(self):
+        runner = ShadowRunner(_plan())
+        rng = np.random.default_rng(0)
+        for lo in range(0, 20, 4):
+            frames = _frames(4)
+            runner.observe_batch(frames, rng.random((4, 4)))
+        assert runner.frames_seen == 20
+        ledger = runner.ledger()
+        assert ledger["submitted"] == ledger["answered"] == 20
+        assert ledger["pending"] == 0
+        assert ledger["unaccounted"] == 0
+        assert runner.reconciles()
+
+    def test_observer_label_carries_plan_label(self):
+        assert ShadowRunner(_plan(label="v2")).observer.label == "shadow:v2"
+        assert ShadowRunner(_plan()).observer.label == "shadow"
+
+    def test_shadow_outcomes_tagged_with_shadow_source(self):
+        runner = ShadowRunner(_plan())
+        runner.observe_batch(_frames(2), np.ones((2, 4)))
+        answered = [e for e in runner.observer.events if e.kind == "frame.answered"]
+        assert len(answered) == 2
+        assert all(e.data["source"] == "shadow" for e in answered)
+
+    def test_empty_batch_is_a_no_op(self):
+        runner = ShadowRunner(_plan())
+        out = runner.observe_batch([], np.empty((0, 4)))
+        assert out.size == 0
+        assert runner.frames_seen == 0
+
+
+class TestReplay:
+    def test_same_plan_replays_to_exactly_zero(self):
+        plan = _plan()
+        runner = ShadowRunner(plan)
+        rng = np.random.default_rng(1)
+        runner.observe_batch(_frames(8), rng.random((8, 4)))
+        assert runner.replay_divergence(plan) == 0.0
+
+    def test_different_plan_diverges(self):
+        runner = ShadowRunner(_plan(seed=0))
+        rng = np.random.default_rng(1)
+        runner.observe_batch(_frames(8), rng.random((8, 4)))
+        assert runner.replay_divergence(_plan(seed=99)) > 0.0
+
+    def test_empty_buffer_returns_zero(self):
+        assert ShadowRunner(_plan()).replay_divergence(_plan(seed=1)) == 0.0
+
+    def test_replay_buffer_is_bounded(self):
+        runner = ShadowRunner(_plan(), keep_last=5)
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            runner.observe_batch(_frames(4), rng.random((4, 4)))
+        # Whole oldest batches are evicted past the row budget.
+        assert runner.replay_depth == 4
+        assert runner.frames_seen == 12
+
+    def test_single_oversized_batch_is_kept_whole(self):
+        runner = ShadowRunner(_plan(), keep_last=5)
+        rng = np.random.default_rng(2)
+        runner.observe_batch(_frames(12), rng.random((12, 4)))
+        assert runner.replay_depth == 12
+
+    def test_replay_preserves_batch_shapes(self):
+        # BLAS rounds a 1-row matvec differently than the same rows in a
+        # larger GEMM; the replay must re-run each recorded batch at its
+        # original shape to stay exactly zero.
+        plan = _plan()
+        runner = ShadowRunner(plan)
+        rng = np.random.default_rng(4)
+        for i in range(10):
+            runner.observe_batch(
+                [PendingFrame("a", float(i), np.ones(4), frame_id=i)],
+                rng.random((1, 4)),
+            )
+        assert runner.replay_divergence(plan) == 0.0
+
+    def test_rows_are_copied_out_of_reused_buffers(self):
+        plan = _plan()
+        runner = ShadowRunner(plan)
+        rows = np.random.default_rng(3).random((4, 4))
+        runner.observe_batch(_frames(4), rows)
+        rows[:] = 0.0  # engine reuses its batch buffer; replay must not care
+        assert runner.replay_divergence(plan) == 0.0

@@ -1,11 +1,11 @@
-"""Tests for ServeConfig and the engine's legacy-kwarg deprecation path."""
+"""Tests for ServeConfig and the engine's removed legacy-kwarg path."""
 
 import warnings
 
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigError, ConfigurationError
 from repro.guard.repair import GapRepairer
 from repro.guard.supervisor import RecoverySupervisor
 from repro.guard.validation import AmplitudeRangeCheck, FrameValidator
@@ -94,35 +94,33 @@ class TestEngineAcceptsConfig:
         ticket = engine.submit_frame("link-0", 0.0, np.ones(3))
         assert ticket.admitted
 
-    def test_legacy_kwargs_warn_and_still_work(self):
-        with pytest.warns(DeprecationWarning):
-            engine = InferenceEngine(_Estimator(), max_batch=4, max_latency_ms=None)
-        assert engine.config.max_batch == 4
-        assert engine.config.max_latency_ms is None
+    def test_legacy_kwargs_raise_typed_config_error(self):
+        with pytest.raises(ConfigError) as exc_info:
+            InferenceEngine(_Estimator(), max_batch=4, max_latency_ms=None)
+        message = str(exc_info.value)
+        # The migration hint names the offending kwargs and the fix.
+        assert "max_batch" in message
+        assert "max_latency_ms" in message
+        assert "ServeConfig" in message
 
-    def test_legacy_kwargs_override_config(self):
-        with pytest.warns(DeprecationWarning):
-            engine = InferenceEngine(
-                _Estimator(), ServeConfig(max_batch=8), max_batch=2
-            )
-        assert engine.config.max_batch == 2
+    def test_legacy_kwargs_rejected_even_with_config(self):
+        with pytest.raises(ConfigError):
+            InferenceEngine(_Estimator(), ServeConfig(max_batch=8), max_batch=2)
+
+    def test_config_error_is_configuration_error(self):
+        # Callers catching the broad typed hierarchy keep working.
+        with pytest.raises(ConfigurationError):
+            InferenceEngine(_Estimator(), window=3)
+        with pytest.raises(ValueError):
+            InferenceEngine(_Estimator(), window=3)
+
+    def test_legacy_rejection_happens_before_side_effects(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            InferenceEngine(_Estimator(), registry=registry)
+        assert registry.counters == {}
 
     def test_config_only_construction_is_warning_free(self):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             InferenceEngine(_Estimator(), ServeConfig())
-
-    def test_legacy_and_config_behave_identically(self):
-        rng = np.random.default_rng(0)
-        rows = np.abs(rng.normal(size=(12, 4))) + 0.1
-        modern = InferenceEngine(_Estimator(), ServeConfig(max_batch=3, window=3))
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = InferenceEngine(_Estimator(), max_batch=3, window=3)
-        for i, row in enumerate(rows):
-            a = modern.submit("link-0", float(i), row)
-            b = legacy.submit("link-0", float(i), row)
-            assert [r.probability for r in a] == [r.probability for r in b]
-        assert [r.probability for r in modern.flush()] == [
-            r.probability for r in legacy.flush()
-        ]

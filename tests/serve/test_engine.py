@@ -8,6 +8,7 @@ from repro.config import TrainingConfig
 from repro.core.detector import OccupancyDetector
 from repro.data.streaming import StreamingDetector
 from repro.exceptions import ConfigurationError, ServingError
+from repro.serve.config import ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.queue import PendingFrame
 from repro.serve.robustness import LinkHealth, PriorFallback
@@ -61,7 +62,7 @@ def _row(value: float = 0.9, width: int = 4) -> np.ndarray:
 
 class TestBatching:
     def test_flushes_on_max_batch(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=4, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=4, max_latency_ms=None))
         for i in range(3):
             assert engine.submit("a", float(i), _row()) == []
         results = engine.submit("a", 3.0, _row())
@@ -72,16 +73,14 @@ class TestBatching:
         assert engine.registry.histogram("batch_size").percentile(50) == 4
 
     def test_latency_trigger_uses_stream_time(self):
-        engine = InferenceEngine(
-            ConstantEstimator(), max_batch=100, max_latency_ms=1000.0
-        )
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=100, max_latency_ms=1000.0))
         assert engine.submit("a", 0.0, _row()) == []
         # Second frame advances stream time past the 1 s budget of the first.
         results = engine.submit("a", 2.0, _row())
         assert len(results) == 2
 
     def test_flush_drains_everything(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=100, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=100, max_latency_ms=None))
         for i in range(5):
             engine.submit("a", float(i), _row())
         results = engine.flush()
@@ -90,9 +89,7 @@ class TestBatching:
         assert engine.registry.counter("frames_out").value == 5
 
     def test_overflow_evicts_oldest_and_counts(self):
-        engine = InferenceEngine(
-            ConstantEstimator(), max_batch=4, max_latency_ms=None, queue_capacity=4
-        )
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=4, max_latency_ms=None, queue_capacity=4))
         # Pre-load the queue to capacity behind the engine's back, so the
         # next admission exercises the drop-oldest backpressure path.
         for i in range(4):
@@ -105,7 +102,7 @@ class TestBatching:
 
 class TestAdmission:
     def test_rejects_non_finite_frames(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=2, max_latency_ms=None))
         bad = _row()
         bad[1] = np.nan
         assert engine.submit("a", 0.0, bad) == []
@@ -113,17 +110,12 @@ class TestAdmission:
         assert engine.registry.counter("frames_in").value == 0
 
     def test_rejects_wrong_shape(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=2, max_latency_ms=None))
         assert engine.submit("a", 0.0, np.ones((2, 4))) == []
         assert engine.registry.counter("frames_rejected").value == 1
 
     def test_stale_frames_dropped_and_link_degraded(self):
-        engine = InferenceEngine(
-            ConstantEstimator(),
-            max_batch=3,
-            max_latency_ms=None,
-            stale_after_s=5.0,
-        )
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=3, max_latency_ms=None, stale_after_s=5.0))
         engine.submit("old", 0.0, _row())
         engine.submit("fresh", 100.0, _row())
         results = engine.submit("fresh", 100.1, _row())
@@ -136,12 +128,7 @@ class TestAdmission:
 
 class TestRobustness:
     def test_fallback_keeps_stream_alive(self):
-        engine = InferenceEngine(
-            BrokenEstimator(),
-            max_batch=4,
-            max_latency_ms=None,
-            fallback=PriorFallback(prior=0.8),
-        )
+        engine = InferenceEngine(BrokenEstimator(), ServeConfig(max_batch=4, max_latency_ms=None, fallback=PriorFallback(prior=0.8)))
         results = [r for i in range(8) for r in engine.submit("a", float(i), _row())]
         assert len(results) == 8  # no frame dropped on model failure
         assert all(r.source == "fallback" for r in results)
@@ -151,12 +138,7 @@ class TestRobustness:
         assert engine.registry.counter("fallback_frames").value == 8
 
     def test_degraded_link_recovers_on_next_primary_batch(self):
-        engine = InferenceEngine(
-            FailNTimesEstimator(n=1),
-            max_batch=2,
-            max_latency_ms=None,
-            fallback=PriorFallback(prior=0.8),
-        )
+        engine = InferenceEngine(FailNTimesEstimator(n=1), ServeConfig(max_batch=2, max_latency_ms=None, fallback=PriorFallback(prior=0.8)))
         engine.submit("a", 0.0, _row())
         first = engine.submit("a", 1.0, _row())  # primary dies -> fallback
         assert all(r.source == "fallback" for r in first)
@@ -176,12 +158,7 @@ class TestRobustness:
     def test_flush_recovers_degraded_link_exactly_once(self):
         # A flush batch holding several frames of one DEGRADED link must
         # bump link_recovered_total once, not once per frame.
-        engine = InferenceEngine(
-            FailNTimesEstimator(n=1),
-            max_batch=4,
-            max_latency_ms=None,
-            fallback=PriorFallback(prior=0.8),
-        )
+        engine = InferenceEngine(FailNTimesEstimator(n=1), ServeConfig(max_batch=4, max_latency_ms=None, fallback=PriorFallback(prior=0.8)))
         for i in range(4):
             engine.submit("a", float(i), _row())  # full batch -> primary dies
         assert engine.health("a") is LinkHealth.DEGRADED
@@ -200,12 +177,7 @@ class TestRobustness:
         assert engine.registry.counter("link_recovered_total").value == 1
 
     def test_flush_counts_one_recovery_per_degraded_link(self):
-        engine = InferenceEngine(
-            FailNTimesEstimator(n=1),
-            max_batch=2,
-            max_latency_ms=None,
-            fallback=PriorFallback(prior=0.8),
-        )
+        engine = InferenceEngine(FailNTimesEstimator(n=1), ServeConfig(max_batch=2, max_latency_ms=None, fallback=PriorFallback(prior=0.8)))
         engine.submit("a", 0.0, _row())
         engine.submit("b", 0.5, _row())  # full batch -> both links degrade
         assert engine.health("a") is LinkHealth.DEGRADED
@@ -219,12 +191,7 @@ class TestRobustness:
         assert engine.registry.counter("link_recovered_total").value == 2
 
     def test_stale_degraded_link_recovers_with_fresh_frames(self):
-        engine = InferenceEngine(
-            ConstantEstimator(),
-            max_batch=2,
-            max_latency_ms=None,
-            stale_after_s=5.0,
-        )
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=2, max_latency_ms=None, stale_after_s=5.0))
         engine.submit("old", 0.0, _row())
         engine.submit("fresh", 100.0, _row())
         engine.submit("fresh", 100.1, _row())  # drops the stale frame
@@ -235,18 +202,13 @@ class TestRobustness:
         assert engine.registry.counter("link_recovered_total").value == 1
 
     def test_both_tiers_failing_raises(self):
-        engine = InferenceEngine(
-            BrokenEstimator(),
-            max_batch=2,
-            max_latency_ms=None,
-            fallback=BrokenEstimator(),
-        )
+        engine = InferenceEngine(BrokenEstimator(), ServeConfig(max_batch=2, max_latency_ms=None, fallback=BrokenEstimator()))
         engine.submit("a", 0.0, _row())
         with pytest.raises(ServingError):
             engine.submit("a", 1.0, _row())
 
     def test_wrong_length_probabilities_raise(self):
-        engine = InferenceEngine(WrongLengthEstimator(), max_batch=2, max_latency_ms=None)
+        engine = InferenceEngine(WrongLengthEstimator(), ServeConfig(max_batch=2, max_latency_ms=None))
         engine.submit("a", 0.0, _row())
         with pytest.raises(ServingError):
             engine.submit("a", 1.0, _row())
@@ -265,7 +227,7 @@ class TestLinks:
             engine.state("ghost")
 
     def test_links_are_idle_until_first_result(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=8, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=8, max_latency_ms=None))
         engine.submit("a", 0.0, _row())
         assert engine.health("a") is LinkHealth.IDLE
         engine.flush()
@@ -275,10 +237,7 @@ class TestLinks:
     def test_per_link_debounce_is_independent(self):
         # Link "on" streams occupied votes, link "off" empty votes; each
         # link's debouncer must see only its own frames.
-        engine = InferenceEngine(
-            EchoEstimator(), max_batch=4, max_latency_ms=None,
-            window=1, hold_frames=1,
-        )
+        engine = InferenceEngine(EchoEstimator(), ServeConfig(max_batch=4, max_latency_ms=None, window=1, hold_frames=1))
         results = []
         for i in range(8):
             link, value = ("on", 0.9) if i % 2 == 0 else ("off", 0.1)
@@ -315,10 +274,7 @@ class TestEquivalence:
             if event is not None:
                 expected.append((event.t_s, event.occupied))
 
-        engine = InferenceEngine(
-            fitted_logistic, max_batch=64, max_latency_ms=None,
-            window=5, hold_frames=3,
-        )
+        engine = InferenceEngine(fitted_logistic, ServeConfig(max_batch=64, max_latency_ms=None, window=5, hold_frames=3))
         got = []
         for i in range(start, start + n):
             for r in engine.submit("link-0", float(t[i]), csi[i]):
@@ -336,7 +292,7 @@ class TestEquivalence:
         detector = OccupancyDetector(smoke_dataset.n_subcarriers, config)
         detector.fit(smoke_dataset.csi[:800], smoke_dataset.occupancy[:800])
 
-        engine = InferenceEngine(detector, max_batch=32, max_latency_ms=None)
+        engine = InferenceEngine(detector, ServeConfig(max_batch=32, max_latency_ms=None))
         results = []
         for i in range(64):
             results.extend(
@@ -354,7 +310,8 @@ class TestObserverIntegration:
 
         obs = Observer(label="t")
         engine = InferenceEngine(
-            ConstantEstimator(), observer=obs, max_latency_ms=None, **kwargs
+            ConstantEstimator(),
+            ServeConfig(observer=obs, max_latency_ms=None, **kwargs),
         )
         return engine, obs
 
@@ -368,7 +325,7 @@ class TestObserverIntegration:
         assert obs.ledger()["answered"] == 8
 
     def test_ids_assigned_even_without_observer(self):
-        engine = InferenceEngine(ConstantEstimator(), max_batch=2, max_latency_ms=None)
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=2, max_latency_ms=None))
         assert engine.observer.enabled is False
         results = engine.submit("a", 0.0, _row()) + engine.submit("a", 1.0, _row())
         assert [r.frame_id for r in results] == [0, 1]
@@ -413,13 +370,7 @@ class TestObserverIntegration:
         from repro.obs import Observer
 
         obs = Observer(label="t")
-        engine = InferenceEngine(
-            FailNTimesEstimator(1),
-            observer=obs,
-            max_batch=2,
-            max_latency_ms=None,
-            fallback=PriorFallback(),
-        )
+        engine = InferenceEngine(FailNTimesEstimator(1), ServeConfig(observer=obs, max_batch=2, max_latency_ms=None, fallback=PriorFallback()))
         for i in range(4):
             engine.submit("a", float(i), _row())
         assert obs.events.count("link.recovered") == 1

@@ -27,6 +27,7 @@ def test_expected_examples_present():
         "streaming_service.py",
         "chaos_drill.py",
         "self_healing_service.py",
+        "self_updating_service.py",
         "traced_service.py",
     } <= names
 
