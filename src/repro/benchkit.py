@@ -34,22 +34,32 @@ BENCH_SCHEMA_VERSION = 1
 DEFAULT_SEED = 2022
 DEFAULT_RATE_HZ = 0.5
 
+#: One bound for every helper subprocess the toolkit spawns (seconds).
+#: Callers outside this module (e.g. the C-runtime harness) import it
+#: instead of hardcoding their own copy.
+SUBPROCESS_TIMEOUT_S = 10.0
+
 
 def git_describe() -> str:
     """``git describe --always --dirty`` of the working tree, or "unknown".
 
     Benchmark numbers without a code identity are unfalsifiable; this is
-    best-effort (no git, not a checkout → ``"unknown"``, never raises).
+    best-effort and never raises — but failure modes stay distinguishable
+    in the envelope: no git / not a checkout reads ``"unknown"``, while a
+    hung git reads ``"timeout-after-10s"`` instead of being silently
+    conflated with a missing binary.
     """
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
             capture_output=True,
             text=True,
-            timeout=10,
+            timeout=SUBPROCESS_TIMEOUT_S,
             cwd=Path(__file__).resolve().parent,
         )
-    except (OSError, subprocess.TimeoutExpired):
+    except subprocess.TimeoutExpired:
+        return f"timeout-after-{SUBPROCESS_TIMEOUT_S:g}s"
+    except OSError:
         return "unknown"
     described = out.stdout.strip()
     return described if out.returncode == 0 and described else "unknown"

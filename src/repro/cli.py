@@ -20,11 +20,15 @@
 * ``rollout-bench`` — a simulated mid-run room shift driven through the
   drift→retrain→shadow→hot-swap loop, gated on zero dropped frames and
   exact ledger reconciliation (``BENCH_rollout.json``);
+* ``overload-bench`` — bursty 10:1 hot-tenant traffic against
+  unprotected / rate-limited / governor-degraded / fleet arms, gated on
+  exact shed-cause reconciliation, deadline honesty, reserved-rate
+  fairness and the degradation ladder (``BENCH_overload.json``);
 * ``obs-report`` — render a trace dump (``--trace-dump`` on the bench
   commands) back into per-stage latency tables and the event-log tail.
 
 Every command is a thin shell over the public API, so scripts and
-notebooks can do the same with imports.  The six ``*-bench`` commands
+notebooks can do the same with imports.  The seven ``*-bench`` commands
 share one argparse parent (:func:`repro.benchkit.bench_parent`) so
 ``--seed``/``--rate``/``--output``/``--quick`` are spelled and defaulted
 identically everywhere, and a ``--output *.json`` always gets the common
@@ -536,6 +540,55 @@ def cmd_rollout_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overload_bench(args: argparse.Namespace) -> int:
+    from .overload.bench import run_overload_bench
+
+    if args.cold_tenants < 1:
+        print("overload-bench: --cold-tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.skew <= 1:
+        print("overload-bench: --skew must be > 1", file=sys.stderr)
+        return 2
+
+    mode = "quick (CI smoke)" if args.quick else "full"
+    print(f"Overload bench: 1 hot + {args.cold_tenants} cold tenant(s), "
+          f"{args.skew:g}:1 burst skew, unprotected vs rate-limited vs "
+          f"governor-degraded vs fleet ({mode}, seed {args.seed})...\n")
+    bench_start = time.perf_counter()
+    report = run_overload_bench(
+        duration_s=args.duration,
+        n_cold=args.cold_tenants,
+        skew=args.skew,
+        reserved_hz=args.reserved_hz,
+        deadline_ms=args.deadline_ms,
+        service_hz=args.service_hz,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    _emit_bench_report(
+        report, args, "overload-bench", wall_clock_s=time.perf_counter() - bench_start
+    )
+    # CI gates on the deterministic invariants only — ledger/shed-cause
+    # reconciliation, deadline honesty, reserved-rate fairness and the
+    # ladder walk — never on goodput or latency numbers.
+    failed = []
+    if not report.reconciled:
+        failed.append("shed-cause ledgers do not reconcile exactly")
+    if not report.deadline_honest:
+        failed.append("a frame was served past its deadline budget")
+    if not report.fairness_ok:
+        failed.append("a cold tenant under its reserved rate lost frames "
+                      "to the hot tenant's bursts")
+    if not report.ladder_walked:
+        failed.append("the governed arm did not walk the degradation ladder "
+                      "(escalate, probe, recover)")
+    if failed:
+        for reason in failed:
+            print(f"overload-bench: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help=f"RNG seed (default {DEFAULT_SEED})")
@@ -708,6 +761,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=25,
                    help="champion training epochs (default 25)")
     p.set_defaults(func=cmd_rollout_bench)
+
+    p = add_bench(
+        "overload-bench",
+        "per-tenant rate limiting, deadlines and graceful degradation "
+        "under bursty 10:1 hot-tenant traffic",
+        output_default="BENCH_overload.json",
+        output_help="where to write the JSON report (default BENCH_overload.json)",
+    )
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="stream-time length of the replay in seconds "
+                        "(default 120)")
+    p.add_argument("--cold-tenants", type=int, default=3,
+                   help="steady well-behaved tenants beside the hot one "
+                        "(default 3)")
+    p.add_argument("--skew", type=float, default=10.0,
+                   help="hot tenant's burst rate as a multiple of a cold "
+                        "tenant's rate (default 10)")
+    p.add_argument("--reserved-hz", type=float, default=8.0,
+                   help="per-tenant reserved admission rate in the protected "
+                        "arms (default 8)")
+    p.add_argument("--deadline-ms", type=float, default=2000.0,
+                   help="stream-time deadline budget per frame (default 2000)")
+    p.add_argument("--service-hz", type=float, default=30.0,
+                   help="modelled service capacity in frames/s (default 30)")
+    p.set_defaults(func=cmd_overload_bench)
 
     p = add_command("obs-report", "render a bench trace dump (ledger, stages, events)")
     p.add_argument("dump", help="path to a dump written via --trace-dump")

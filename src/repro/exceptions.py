@@ -88,3 +88,22 @@ class ValidationError(StreamError):
 
 class ServingError(ReproError, RuntimeError):
     """The inference engine cannot make progress (primary and fallback failed)."""
+
+
+class RateLimitError(ServingError):
+    """A frame was refused admission by its tenant's rate limiter.
+
+    Raised only by the *strict* admission surfaces
+    (:meth:`repro.overload.RateLimiter.require`,
+    :meth:`repro.serve.FrameTicket.require_admitted`); the engine and
+    fleet themselves never raise on rate limiting — they return a typed
+    ``"rate_limited"`` ticket outcome so shed load stays countable."""
+
+
+class DeadlineError(ServingError):
+    """A frame outlived its deadline budget where that is an invariant.
+
+    The serving paths shed expired frames (``frame.deadline_expired``)
+    rather than raising; this error marks the places where serving a
+    stale answer would be a contract violation — e.g. the overload-bench
+    "no deadline-violating frame is ever served" gate."""

@@ -13,6 +13,7 @@ itself.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -31,6 +32,9 @@ class TenantFrame:
     row: np.ndarray
     #: True when the frame was synthesised by the gap repairer.
     repaired: bool = False
+    #: Absolute stream-time deadline (``inf`` when no budget configured);
+    #: expired frames are shed at drain time, never served stale.
+    deadline_s: float = math.inf
 
 
 class FleetRouter:
@@ -69,11 +73,29 @@ class FleetRouter:
         """Tenants with at least one pending frame, first-seen order."""
         return tuple(t for t, ring in self._rings.items() if ring)
 
-    def drain(self, tenant_id: str) -> list[TenantFrame]:
-        """Remove and return every pending frame of one tenant, in order."""
+    def oldest_t_s(self) -> float | None:
+        """Timestamp of the oldest pending frame fleet-wide (None if idle).
+
+        Rings are FIFO, so each ring's head is its oldest — the saturation
+        governor reads this to turn backlog into a queue-wait signal.
+        """
+        heads = [ring[0].t_s for ring in self._rings.values() if ring]
+        return min(heads) if heads else None
+
+    def drain(self, tenant_id: str, limit: int | None = None) -> list[TenantFrame]:
+        """Remove and return one tenant's pending frames, oldest first.
+
+        ``limit`` caps how many leave the ring (the governor's
+        FALLBACK_ONLY rung serves a small per-tenant quota per tick and
+        leaves the rest queued); ``None`` drains everything.
+        """
         ring = self._rings.get(tenant_id)
         if not ring:
             return []
-        frames = list(ring)
-        ring.clear()
-        return frames
+        if limit is None or limit >= len(ring):
+            frames = list(ring)
+            ring.clear()
+            return frames
+        if limit < 0:
+            raise ConfigurationError("limit must be >= 0 (or None)")
+        return [ring.popleft() for _ in range(limit)]

@@ -20,7 +20,8 @@ Isolation guarantees (the part that makes multi-tenancy honest):
   each tenant gets its own :class:`~repro.obs.observer.Observer`, whose
   ledger reconciles independently
   (``submitted + fills == answered + rejected + quarantined +
-  policy_rejected + stale + overflow + pending``);
+  policy_rejected + stale + overflow + rate_limited + deadline_expired
+  + shed + pending``);
 * **metrics are shared but labeled** — per-tenant rollups use the brace
   convention (``fleet_frames_total{tenant=room-12}``) that
   :func:`repro.obs.exposition.render_prometheus` renders as one labeled
@@ -47,6 +48,9 @@ from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import QuarantineBuffer, QuarantinedFrame
 from ..nn.modules import Module
 from ..obs.observer import NULL_OBSERVER
+from ..overload.deadline import deadline_for, expired
+from ..overload.governor import SaturationGovernor, ServiceMode
+from ..overload.limiter import RateLimiter
 from ..serve.config import ServeConfig
 from ..serve.engine import InferenceResult
 from ..serve.metrics import MetricsRegistry
@@ -80,6 +84,10 @@ class _TenantState:
         self.policy_rejected = 0
         self.stale_dropped = 0
         self.overflow_dropped = 0
+        # Overload control plane tallies (always zero when unconfigured).
+        self.rate_limited = 0
+        self.deadline_expired = 0
+        self.overload_shed = 0
 
     def counters(self) -> dict[str, int]:
         return {
@@ -91,6 +99,9 @@ class _TenantState:
             "policy_rejected": self.policy_rejected,
             "stale_dropped": self.stale_dropped,
             "overflow_dropped": self.overflow_dropped,
+            "rate_limited": self.rate_limited,
+            "deadline_expired": self.deadline_expired,
+            "overload_shed": self.overload_shed,
         }
 
 
@@ -141,6 +152,30 @@ class Fleet:
         self._rollouts: dict[str, object] = {}
         self._now_s = -np.inf
         self._frame_seq = 0
+        # Overload control plane — inert unless configured (see the
+        # engine's mirror wiring; fleet governor events go to metrics
+        # only, since mode is fleet-wide and ledgers are per tenant).
+        self.limiter = (
+            RateLimiter(self.config.rate_limit_hz, self.config.rate_limit_burst)
+            if self.config.rate_limit_hz is not None
+            else None
+        )
+        self.deadline_s = (
+            None
+            if self.config.deadline_ms is None
+            else self.config.deadline_ms / 1000.0
+        )
+        self.governor = None
+        if self.config.overload is not None:
+            budget_s = self.deadline_s
+            if budget_s is None and self.config.max_latency_ms is not None:
+                budget_s = self.config.max_latency_ms / 1000.0
+            self.governor = SaturationGovernor(
+                self.config.overload,
+                capacity=self.config.queue_capacity,
+                latency_budget_s=budget_s,
+                registry=self.metrics,
+            )
 
     # -------------------------------------------------------------- tenants
 
@@ -159,7 +194,21 @@ class Fleet:
         observer.bind_registry(self.metrics)
         self._tenants[tenant_id] = _TenantState(self.config, self.metrics, observer)
         self.metrics.gauge("fleet_tenants").set(len(self._tenants))
+        self._rescale_governor()
         return signature
+
+    def _rescale_governor(self) -> None:
+        # The ring bound is per tenant, so fleet-wide capacity (what the
+        # saturation score normalises backlog by) scales with headcount.
+        if self.governor is not None:
+            self.governor.capacity = self.config.queue_capacity * max(
+                1, len(self._tenants)
+            )
+
+    @property
+    def mode(self) -> ServiceMode:
+        """The governor's current degradation rung (FULL when ungoverned)."""
+        return ServiceMode.FULL if self.governor is None else self.governor.mode
 
     def _freeze(self, model, scaler) -> InferencePlan:
         if isinstance(model, InferencePlan):
@@ -224,6 +273,7 @@ class Fleet:
         self._rollouts.pop(tenant_id, None)
         self.metrics.counter("fleet_detaches_total").inc()
         self.metrics.gauge("fleet_tenants").set(len(self._tenants))
+        self._rescale_governor()
         return final
 
     # -------------------------------------------------------------- rollout
@@ -294,6 +344,21 @@ class Fleet:
             if tracing:
                 obs.frame_outcome("rejected", frame_id, tenant_id, t_f, gate="shape")
             return FrameTicket(tenant_id, frame_id, t_f, "rejected")
+        if self.limiter is not None and not self.limiter.admit(tenant_id, t_f):
+            # Same gate order as the engine: after the shape check
+            # (malformed frames spend no tokens), before the validator
+            # (over-rate tenants burn no validator CPU).
+            state.rate_limited += 1
+            self.metrics.counter("fleet_frames_rate_limited").inc()
+            if tracing:
+                obs.frame_outcome(
+                    "rate_limited",
+                    frame_id,
+                    tenant_id,
+                    t_f,
+                    reserved_hz=self.limiter.reserved_hz(tenant_id),
+                )
+            return FrameTicket(tenant_id, frame_id, t_f, "rate_limited")
         if state.validator is not None:
             failure = state.validator.validate(tenant_id, t_f, csi_row)
             if failure is not None:
@@ -310,7 +375,15 @@ class Fleet:
         self.metrics.counter(f"fleet_frames_total{{tenant={tenant_id}}}").inc()
         self._now_s = max(self._now_s, t_f)
 
-        pending = [TenantFrame(tenant_id, frame_id, t_f, csi_row)]
+        pending = [
+            TenantFrame(
+                tenant_id,
+                frame_id,
+                t_f,
+                csi_row,
+                deadline_s=deadline_for(t_f, self.deadline_s),
+            )
+        ]
         if state.repairer is not None:
             fills = state.repairer.observe(tenant_id, t_f, csi_row)
             if fills:
@@ -321,7 +394,14 @@ class Fleet:
                     fill_id = self._frame_seq
                     self._frame_seq += 1
                     filled.append(
-                        TenantFrame(tenant_id, fill_id, fill.t_s, fill.row, repaired=True)
+                        TenantFrame(
+                            tenant_id,
+                            fill_id,
+                            fill.t_s,
+                            fill.row,
+                            repaired=True,
+                            deadline_s=deadline_for(fill.t_s, self.deadline_s),
+                        )
                     )
                     if tracing:
                         obs.frame_filled(fill_id, tenant_id, fill.t_s, source_frame=frame_id)
@@ -331,6 +411,11 @@ class Fleet:
             if evicted is not None:
                 state.overflow_dropped += 1
                 self.metrics.counter("fleet_frames_dropped_overflow").inc()
+                # Labeled rollup: eviction is attributable per tenant in
+                # the Prometheus exposition, not just fleet-aggregate.
+                self.metrics.counter(
+                    f"fleet_frames_overflow_total{{tenant={evicted.tenant_id}}}"
+                ).inc()
                 if tracing:
                     obs.frame_outcome(
                         "overflow", evicted.frame_id, evicted.tenant_id, evicted.t_s
@@ -352,15 +437,40 @@ class Fleet:
             self._now_s = max(self._now_s, float(now_s))
         now = self._now_s
         tick_start = time.perf_counter()
+        mode = ServiceMode.FULL
+        if self.governor is not None:
+            oldest = self.router.oldest_t_s()
+            mode = self.governor.observe(
+                self.router.total_depth,
+                0.0 if oldest is None else now - oldest,
+                now,
+            )
+        if mode is ServiceMode.SHED:
+            for tenant_id in self.router.pending_tenants:
+                state = self._tenants[tenant_id]
+                self._shed_overload(state, self.router.drain(tenant_id))
+            self.metrics.gauge("fleet_pending").set(self.router.total_depth)
+            return []
+        quota = (
+            self.governor.policy.degraded_quota
+            if mode is ServiceMode.FALLBACK_ONLY
+            else None
+        )
         batches: list[TenantBatch] = []
         shed: list[tuple[_TenantState, list[TenantFrame]]] = []
         for tenant_id in self.router.pending_tenants:
             state = self._tenants[tenant_id]
-            frames = self._drop_stale(state, self.router.drain(tenant_id), now)
+            frames = self.router.drain(tenant_id, quota)
+            frames = self._drop_expired(state, frames, now)
+            frames = self._drop_stale(state, frames, now)
             if not frames:
                 continue
             rows = np.stack([frame.row for frame in frames]).astype(np.float32)
-            state.supervisor.observe(rows, now)
+            if mode is ServiceMode.FULL:
+                # Degraded rungs shed per-tick drift scoring — the fleet
+                # already serves frozen plans, so the sentinel window is
+                # the guard overhead the governor trades away first.
+                state.supervisor.observe(rows, now)
             if state.supervisor.decide(now) is ServingMode.PRIMARY:
                 batches.append(
                     TenantBatch(
@@ -419,8 +529,18 @@ class Fleet:
         return results
 
     def flush(self) -> list[InferenceResult]:
-        """Serve everything pending (end of stream / shutdown)."""
-        return self.tick()
+        """Serve everything pending (end of stream / shutdown).
+
+        Ticks until every ring is empty: under the governor's
+        FALLBACK_ONLY quota one tick drains only a few frames per
+        tenant, and shutdown must leave zero frames ringed so the
+        per-tenant ledgers close exactly.  Progress is guaranteed —
+        every tick with pending frames serves or sheds at least one.
+        """
+        results = self.tick()
+        while self.router.total_depth:
+            results.extend(self.tick())
+        return results
 
     # ------------------------------------------------------------- plumbing
 
@@ -444,6 +564,43 @@ class Fleet:
             else:
                 fresh.append(frame)
         return fresh
+
+    def _drop_expired(
+        self, state: _TenantState, frames: list[TenantFrame], now: float
+    ) -> list[TenantFrame]:
+        """Shed frames whose deadline budget ran out in the ring."""
+        if self.deadline_s is None:
+            return frames
+        obs = state.observer
+        alive: list[TenantFrame] = []
+        for frame in frames:
+            if expired(frame.deadline_s, now):
+                state.deadline_expired += 1
+                self.metrics.counter("fleet_frames_deadline_expired").inc()
+                if obs.enabled:
+                    obs.frame_outcome(
+                        "deadline_expired",
+                        frame.frame_id,
+                        frame.tenant_id,
+                        frame.t_s,
+                        age_s=now - frame.t_s,
+                        budget_s=self.deadline_s,
+                    )
+            else:
+                alive.append(frame)
+        return alive
+
+    def _shed_overload(self, state: _TenantState, frames: list[TenantFrame]) -> None:
+        """Governor in SHED mode: a load decision, so health is untouched
+        (unlike :meth:`_shed`, which records a per-tenant fault)."""
+        if not frames:
+            return
+        state.overload_shed += len(frames)
+        self.metrics.counter("fleet_frames_shed_overload").inc(len(frames))
+        obs = state.observer
+        if obs.enabled:
+            for frame in frames:
+                obs.frame_outcome("shed", frame.frame_id, frame.tenant_id, frame.t_s)
 
     def _shed(self, state: _TenantState, frames: list[TenantFrame]) -> None:
         """Supervisor said not-PRIMARY (or the run failed): drop the tick."""

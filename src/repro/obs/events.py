@@ -46,6 +46,9 @@ EVENT_KINDS = frozenset(
         "frame.policy_rejected", # shed because both serving tiers were down
         "frame.stale",           # dropped at flush: older than stale_after_s
         "frame.overflow",        # evicted by queue backpressure
+        "frame.rate_limited",    # refused admission by the tenant's token bucket
+        "frame.deadline_expired",# shed at dequeue: deadline budget exhausted
+        "frame.shed",            # shed by the saturation governor (SHED mode)
         # -- per-frame non-terminal --
         "frame.repaired",        # a synthetic gap-fill frame was manufactured
         # -- batch-level --
@@ -58,6 +61,9 @@ EVENT_KINDS = frozenset(
         "drift.warn",
         "drift.trip",
         "link.recovered",
+        # -- overload governor --
+        "governor.mode_change",  # the degradation ladder stepped (sticky)
+        "governor.probe",        # a jittered-backoff recovery probe fired
         # -- training lifecycle --
         "train.epoch",
         "checkpoint.saved",

@@ -20,7 +20,8 @@ counts, frames leaving through each terminal outcome.  :meth:`ledger`
 reconciles the two —
 
 ``submitted + fills == answered + rejected + quarantined
-+ policy_rejected + stale + overflow + pending``
++ policy_rejected + stale + overflow + rate_limited
++ deadline_expired + shed + pending``
 
 — exactly, mirroring the chaos-bench frame ledger from the event side so
 the two accountings can be cross-checked frame-for-frame.
@@ -40,6 +41,9 @@ _OUTCOME_KINDS = {
     "policy_rejected": "frame.policy_rejected",
     "stale": "frame.stale",
     "overflow": "frame.overflow",
+    "rate_limited": "frame.rate_limited",
+    "deadline_expired": "frame.deadline_expired",
+    "shed": "frame.shed",
 }
 
 

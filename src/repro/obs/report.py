@@ -162,6 +162,28 @@ def render_run(run: dict, *, events_tail: int = 20) -> str:
             lines.append(f"WARNING: {rolled_back} promotion(s) rolled back")
         elif promoted:
             lines.append("rollout healthy: every promotion stuck")
+    governor_kinds = sorted(k for k in by_kind if k.startswith("governor."))
+    shed_causes = {
+        "frame.rate_limited": "rate_limited",
+        "frame.deadline_expired": "deadline_expired",
+        "frame.shed": "shed",
+    }
+    shed_counts = {
+        name: int(by_kind.get(kind, 0))
+        for kind, name in shed_causes.items()
+        if by_kind.get(kind)
+    }
+    if governor_kinds or shed_counts:
+        lines.append("")
+        overload = [
+            f"{kind.split('.', 1)[1]}={by_kind[kind]}" for kind in governor_kinds
+        ] + [f"{name}={count}" for name, count in shed_counts.items()]
+        lines.append("overload: " + "  ".join(overload))
+        mode_changes = int(by_kind.get("governor.mode_change", 0))
+        if mode_changes:
+            lines.append(
+                f"governor stepped the degradation ladder {mode_changes} time(s)"
+            )
     lines.append("")
     lines.append(
         f"event log: {total} event(s) lifetime, {len(events)} retained"

@@ -1,0 +1,50 @@
+"""Overload control plane: admission, deadlines, graceful degradation.
+
+The :mod:`repro.guard` subsystem keeps the serving stack alive through
+*faults*; this package keeps it honest under *load*.  Three composable
+pieces, threaded through :class:`~repro.serve.engine.InferenceEngine`
+and :class:`~repro.fleet.service.Fleet` via
+:class:`~repro.serve.config.ServeConfig`:
+
+* :mod:`~repro.overload.limiter` — per-tenant stream-time token buckets;
+  over-rate frames get a typed ``"rate_limited"`` ticket outcome instead
+  of anonymously evicting someone else's frame later;
+* :mod:`~repro.overload.deadline` — frames carry a stream-time deadline
+  budget and are shed at dequeue (``frame.deadline_expired``) rather
+  than served stale;
+* :mod:`~repro.overload.governor` — a saturation governor stepping the
+  surface through FULL → FASTPATH_ONLY → FALLBACK_ONLY → SHED with
+  hysteresis and jittered recovery probing.
+
+:mod:`~repro.overload.bench` drives both surfaces with bursty,
+hot-tenant-skewed open-loop traffic and gates on the deterministic
+invariants (exact shed-cause ledger reconciliation, zero stale serves,
+the reserved-rate fairness bound) — never on speed.
+"""
+
+from .deadline import check_served_within_deadline, deadline_for, expired
+from .governor import OverloadPolicy, SaturationGovernor, ServiceMode
+from .limiter import RateLimiter, TokenBucket
+
+__all__ = [
+    "OverloadBenchReport",
+    "OverloadPolicy",
+    "RateLimiter",
+    "SaturationGovernor",
+    "ServiceMode",
+    "TokenBucket",
+    "check_served_within_deadline",
+    "deadline_for",
+    "expired",
+    "run_overload_bench",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: the bench imports the serving surfaces, which import this
+    # package's policy modules — eager re-export would be circular.
+    if name in ("OverloadBenchReport", "run_overload_bench"):
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,61 @@
+"""Stream-time deadline budgets for in-flight frames.
+
+A frame's answer loses its value with age: in live occupancy sensing a
+2-second-old probability is actionable, a 30-second-old one is noise
+that still costs a GEMM slot.  The deadline budget makes that explicit —
+every admitted frame carries ``deadline_s = t_s + budget``, the serving
+paths shed expired frames **at dequeue** with a ``frame.deadline_expired``
+event (cheaper than serving them, attributable in the ledger), and the
+overload-bench gate uses :func:`check_served_within_deadline` to prove
+the complement: no frame that *was* served ever violated its budget.
+
+Deadlines are stream time end to end (the same clock as the micro-batch
+latency trigger and the breaker cooldowns), so expiry decisions replay
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigError, DeadlineError
+
+
+def deadline_for(t_s: float, budget_s: float | None) -> float:
+    """The absolute stream-time deadline of a frame stamped ``t_s``.
+
+    ``None`` (no budget configured) maps to ``+inf`` — the frame never
+    expires, which keeps the no-deadline configuration a strict no-op.
+    """
+    if budget_s is None:
+        return math.inf
+    if budget_s <= 0:
+        raise ConfigError(f"deadline budget must be positive, got {budget_s}")
+    return float(t_s) + float(budget_s)
+
+
+def expired(deadline_s: float, now_s: float) -> bool:
+    """True when a frame carrying ``deadline_s`` is dead at ``now_s``."""
+    return now_s > deadline_s
+
+
+def check_served_within_deadline(results, now_s: float, budget_s: float | None) -> int:
+    """Invariant check: every served result met its deadline budget.
+
+    ``results`` is any iterable of objects with ``t_s`` (the engine's
+    :class:`~repro.serve.engine.InferenceResult`); ``now_s`` is the
+    stream time at which they were emitted.  Returns the number checked;
+    raises :class:`~repro.exceptions.DeadlineError` naming the first
+    violator.  With no budget every answer trivially passes.
+    """
+    n = 0
+    for result in results:
+        n += 1
+        if budget_s is not None and expired(deadline_for(result.t_s, budget_s), now_s):
+            raise DeadlineError(
+                f"frame {getattr(result, 'frame_id', '?')} "
+                f"(tenant {getattr(result, 'link_id', '?')!r}, t={result.t_s:.3f}s) "
+                f"was served {now_s - result.t_s:.3f}s after submission, "
+                f"beyond its {budget_s:g}s deadline budget"
+            )
+    return n

@@ -1,0 +1,306 @@
+"""The saturation governor: an explicit graceful-degradation ladder.
+
+Unmanaged overload fails implicitly — queues wrap, tail latency
+collapses, and the first visible symptom is a page.  The
+:class:`SaturationGovernor` makes the failure mode a *policy*: it watches
+EWMAs of queue depth and queue wait and steps the serving surface
+through four explicit modes,
+
+    FULL -> FASTPATH_ONLY -> FALLBACK_ONLY -> SHED
+
+each rung trading answer fidelity for capacity:
+
+* **FULL** — the normal path: primary tier, drift scoring, everything.
+* **FASTPATH_ONLY** — serve from the frozen fastpath plan (when one is
+  attached) and skip per-batch drift scoring; full-precision answers,
+  minus the python-side guard overhead.
+* **FALLBACK_ONLY** — serve the cheap fallback tier only (the engine's
+  prior/threshold predictor; the fleet caps each tenant at a small
+  degraded quota per tick).
+* **SHED** — drop batches at dequeue with a typed ``frame.shed``
+  outcome; an explicit, attributable refusal beats a stale answer.
+
+Escalation is immediate (saturation is an emergency); recovery is
+deliberately sticky — the score must sit below the rung's entry
+threshold minus a hysteresis margin for ``hold_ticks`` consecutive
+observations *and* a jittered, exponentially backed-off probe cooldown
+must have elapsed, so a fleet of replicas neither flaps between modes
+nor probes recovery in lockstep.  All timing is **stream time** and the
+jitter generator is seeded: a same-seed replay walks the ladder
+byte-identically.
+
+The governor composes with, never bypasses, the existing
+:class:`~repro.guard.breaker.CircuitBreaker` and
+:class:`~repro.guard.supervisor.RecoverySupervisor`: mode selects the
+*preferred* tier, the supervisor still vetoes a broken one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigError
+
+
+class ServiceMode(enum.Enum):
+    """The degradation ladder, mildest first."""
+
+    FULL = "full"
+    FASTPATH_ONLY = "fastpath_only"
+    FALLBACK_ONLY = "fallback_only"
+    SHED = "shed"
+
+    @property
+    def severity(self) -> int:
+        """Rung height: 0 (FULL) .. 3 (SHED)."""
+        return _LADDER.index(self)
+
+
+#: The ladder in escalation order.
+_LADDER = (
+    ServiceMode.FULL,
+    ServiceMode.FASTPATH_ONLY,
+    ServiceMode.FALLBACK_ONLY,
+    ServiceMode.SHED,
+)
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Declarative governor policy (thresholds, hysteresis, probing).
+
+    Saturation is a dimensionless score in ``[0, inf)``: the max of the
+    queue-depth EWMA over capacity and the queue-wait EWMA over the
+    latency budget (when one is known).  1.0 means "running exactly at
+    the configured bound".
+    """
+
+    #: Saturation at which each rung engages (must be increasing).
+    fastpath_at: float = 0.5
+    fallback_at: float = 0.75
+    shed_at: float = 0.9
+    #: Recovery margin: leave a rung only below ``enter - hysteresis``.
+    hysteresis: float = 0.1
+    #: EWMA smoothing factor for depth and wait (1.0 = no smoothing).
+    alpha: float = 0.3
+    #: Consecutive calm observations required before a recovery probe.
+    hold_ticks: int = 3
+    #: Stream-time cooldown before the first recovery probe...
+    probe_cooldown_s: float = 2.0
+    #: ...multiplied by this per re-escalation without a full recovery...
+    backoff_factor: float = 2.0
+    #: ...up to this ceiling.
+    max_cooldown_s: float = 60.0
+    #: Fractional cooldown jitter (0.1 -> +/-10 %), seeded for replay.
+    jitter: float = 0.1
+    seed: int = 0
+    #: FALLBACK_ONLY frames served per tenant per fleet tick.
+    degraded_quota: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fastpath_at <= self.fallback_at <= self.shed_at:
+            raise ConfigError(
+                "need 0 < fastpath_at <= fallback_at <= shed_at, got "
+                f"{self.fastpath_at}/{self.fallback_at}/{self.shed_at}"
+            )
+        if self.hysteresis < 0:
+            raise ConfigError("hysteresis must be >= 0")
+        if not 0 < self.alpha <= 1:
+            raise ConfigError("alpha must be in (0, 1]")
+        if self.hold_ticks < 1:
+            raise ConfigError("hold_ticks must be >= 1")
+        if self.probe_cooldown_s <= 0 or self.max_cooldown_s < self.probe_cooldown_s:
+            raise ConfigError("need 0 < probe_cooldown_s <= max_cooldown_s")
+        if self.backoff_factor < 1:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ConfigError("jitter must be in [0, 1)")
+        if self.degraded_quota < 1:
+            raise ConfigError("degraded_quota must be >= 1")
+
+    def enter_threshold(self, mode: ServiceMode) -> float:
+        """The saturation score at which ``mode`` engages."""
+        return {
+            ServiceMode.FULL: 0.0,
+            ServiceMode.FASTPATH_ONLY: self.fastpath_at,
+            ServiceMode.FALLBACK_ONLY: self.fallback_at,
+            ServiceMode.SHED: self.shed_at,
+        }[mode]
+
+
+class SaturationGovernor:
+    """Steps one serving surface through the degradation ladder.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`OverloadPolicy`; ``None`` uses the defaults.
+    capacity:
+        Queue capacity the depth EWMA is normalised by; mutable, the
+        fleet rescales it as tenants attach and detach.
+    latency_budget_s:
+        Stream-time budget the wait EWMA is normalised by (typically the
+        deadline or micro-batch latency budget); ``None`` makes the
+        score depth-only.
+    registry / observer:
+        Metrics and event sinks, duck-typed like the supervisor's; both
+        may also be bound later via ``bind_registry``/``bind_observer``.
+    """
+
+    def __init__(
+        self,
+        policy: OverloadPolicy | None = None,
+        *,
+        capacity: int,
+        latency_budget_s: float | None = None,
+        registry=None,
+        observer=None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        if latency_budget_s is not None and latency_budget_s <= 0:
+            raise ConfigError("latency_budget_s must be positive (or None)")
+        self.policy = policy if policy is not None else OverloadPolicy()
+        self.capacity = int(capacity)
+        self.latency_budget_s = latency_budget_s
+        self.registry = registry
+        self.observer = observer
+        self._rng = np.random.default_rng(self.policy.seed)
+        self._mode = ServiceMode.FULL
+        self._depth_ewma = 0.0
+        self._wait_ewma = 0.0
+        self._calm_ticks = 0
+        self._escalation_streak = 0  # re-escalations without full recovery
+        self._next_probe_s = -np.inf
+        #: Lifetime mode transitions, escalations and recovery probes.
+        self.mode_changes = 0
+        self.escalations = 0
+        self.probes = 0
+
+    def bind_registry(self, registry) -> None:
+        """Adopt the engine's metrics registry unless one was given."""
+        if self.registry is None:
+            self.registry = registry
+
+    def bind_observer(self, observer) -> None:
+        """Adopt the engine's observer unless one was given."""
+        if self.observer is None:
+            self.observer = observer
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def mode(self) -> ServiceMode:
+        return self._mode
+
+    @property
+    def saturation(self) -> float:
+        """The current smoothed saturation score."""
+        score = self._depth_ewma / self.capacity
+        if self.latency_budget_s is not None:
+            score = max(score, self._wait_ewma / self.latency_budget_s)
+        return score
+
+    # ----------------------------------------------------------- observe
+
+    def observe(self, depth: int, wait_s: float, now_s: float) -> ServiceMode:
+        """Feed one (queue depth, oldest wait) sample; returns the mode.
+
+        Called once per batch/tick by the serving surface.  Escalation
+        happens immediately; recovery steps down one rung per probe.
+        """
+        a = self.policy.alpha
+        self._depth_ewma += a * (float(depth) - self._depth_ewma)
+        self._wait_ewma += a * (max(0.0, float(wait_s)) - self._wait_ewma)
+        score = self.saturation
+
+        target = ServiceMode.FULL
+        for mode in _LADDER[1:]:
+            if score >= self.policy.enter_threshold(mode):
+                target = mode
+        if target.severity > self._mode.severity:
+            self._escalate(target, score, now_s)
+        elif target.severity < self._mode.severity:
+            self._maybe_recover(score, now_s)
+        else:
+            self._calm_ticks = 0
+        self._publish()
+        return self._mode
+
+    def _escalate(self, target: ServiceMode, score: float, now_s: float) -> None:
+        self._transition(target, score, now_s)
+        self._calm_ticks = 0
+        cooldown = min(
+            self.policy.max_cooldown_s,
+            self.policy.probe_cooldown_s
+            * self.policy.backoff_factor**self._escalation_streak,
+        )
+        if self.policy.jitter:
+            cooldown *= 1.0 + self.policy.jitter * float(self._rng.uniform(-1.0, 1.0))
+        self._next_probe_s = now_s + cooldown
+        self._escalation_streak += 1
+        self.escalations += 1
+        if self.registry is not None:
+            self.registry.counter("governor_escalations_total").inc()
+
+    def _maybe_recover(self, score: float, now_s: float) -> None:
+        calm_below = self.policy.enter_threshold(self._mode) - self.policy.hysteresis
+        if score >= calm_below:
+            self._calm_ticks = 0
+            return
+        self._calm_ticks += 1
+        if self._calm_ticks < self.policy.hold_ticks or now_s < self._next_probe_s:
+            return
+        # Probe recovery: step down exactly one rung and re-arm the hold,
+        # so a still-saturated system re-escalates (growing the backoff)
+        # instead of free-falling back to FULL.
+        target = _LADDER[self._mode.severity - 1]
+        self.probes += 1
+        if self.registry is not None:
+            self.registry.counter("governor_probes_total").inc()
+        self._event("governor.probe", now_s, to=target.value, saturation=score)
+        self._transition(target, score, now_s)
+        self._calm_ticks = 0
+        self._next_probe_s = now_s + self.policy.probe_cooldown_s
+        if target is ServiceMode.FULL:
+            self._escalation_streak = 0
+
+    def _transition(self, target: ServiceMode, score: float, now_s: float) -> None:
+        previous, self._mode = self._mode, target
+        self.mode_changes += 1
+        if self.registry is not None:
+            self.registry.counter("governor_mode_changes_total").inc()
+        self._event(
+            "governor.mode_change",
+            now_s,
+            previous=previous.value,
+            mode=target.value,
+            saturation=score,
+        )
+
+    def _event(self, kind: str, t_s: float, **data) -> None:
+        observer = self.observer
+        if observer is not None and observer.enabled:
+            observer.emit(kind, t_s=t_s, **data)
+
+    def _publish(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge("governor_mode").set(self._mode.severity)
+            self.registry.gauge("governor_saturation").set(self.saturation)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly diagnostic state for reports and tests."""
+        return {
+            "mode": self._mode.value,
+            "saturation": float(self.saturation),
+            "depth_ewma": float(self._depth_ewma),
+            "wait_ewma_s": float(self._wait_ewma),
+            "mode_changes": self.mode_changes,
+            "escalations": self.escalations,
+            "probes": self.probes,
+            "escalation_streak": self._escalation_streak,
+            "next_probe_s": float(self._next_probe_s),
+        }

@@ -31,13 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigError, ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..guard.policy import GuardPolicy
     from ..guard.repair import GapRepairer
     from ..guard.supervisor import RecoverySupervisor
     from ..guard.validation import FrameValidator, QuarantineBuffer
+    from ..overload.governor import OverloadPolicy
     from .metrics import MetricsRegistry
     from .robustness import FallbackPredictor
 
@@ -73,6 +74,29 @@ class ServeConfig:
     guard: "GuardPolicy | None" = None
     # --- observability ---
     observer: Any = None
+    # --- overload control plane (all None/off by default: strict no-op) ---
+    #: Per-tenant sustained admission rate; over-rate frames get a typed
+    #: ``"rate_limited"`` ticket outcome instead of queueing.
+    rate_limit_hz: float | None = None
+    #: Token-bucket depth (bounded per-tenant credit at admission);
+    #: defaults to ``max(1, rate_limit_hz)`` when a rate is set.
+    rate_limit_burst: float | None = None
+    #: Stream-time deadline budget per frame; expired frames are shed at
+    #: dequeue (``frame.deadline_expired``) instead of served stale.
+    deadline_ms: float | None = None
+    #: Per-link bound on in-queue frames (engine path): a link over its
+    #: credit evicts its *own* oldest frame, keeping backpressure
+    #: attributable.  ``None`` keeps global oldest-first eviction.
+    queue_credit: int | None = None
+    #: Saturation-governor policy; ``None`` disables the degradation
+    #: ladder entirely (the surface always serves in FULL mode).
+    overload: "OverloadPolicy | None" = None
+    #: ``False`` decouples admission from service: ``submit`` only
+    #: enqueues, and batches run via explicit
+    #: :meth:`~repro.serve.engine.InferenceEngine.pump` / ``flush``
+    #: calls.  Open-loop benches use this to model finite service
+    #: capacity; the default keeps the legacy synchronous serve loop.
+    auto_flush: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -83,6 +107,27 @@ class ServeConfig:
             raise ConfigurationError("max_latency_ms must be positive (or None)")
         if self.stale_after_s is not None and self.stale_after_s <= 0:
             raise ConfigurationError("stale_after_s must be positive (or None)")
+        # Overload knobs fail here, with the field named, rather than deep
+        # in the engine on the first admitted frame.
+        if self.rate_limit_hz is not None and self.rate_limit_hz <= 0:
+            raise ConfigError(
+                f"rate_limit_hz must be positive (or None), got {self.rate_limit_hz}"
+            )
+        if self.rate_limit_burst is not None:
+            if self.rate_limit_hz is None:
+                raise ConfigError("rate_limit_burst needs rate_limit_hz to be set")
+            if self.rate_limit_burst < 1:
+                raise ConfigError(
+                    f"rate_limit_burst must be >= 1 (or None), got {self.rate_limit_burst}"
+                )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigError(
+                f"deadline_ms must be positive (or None), got {self.deadline_ms}"
+            )
+        if self.queue_credit is not None and self.queue_credit < 1:
+            raise ConfigError(
+                f"queue_credit must be >= 1 (or None), got {self.queue_credit}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "ServeConfig":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -23,6 +23,24 @@ Degradation is explicit rather than accidental:
   ``link_recovered_total`` counter — an outage or fallback stretch ends
   the moment good answers flow again.
 
+The engine also hosts the :mod:`repro.overload` control plane, all of it
+off by default and a strict no-op until configured:
+
+* ``rate_limit_hz`` puts a stream-time token bucket in front of every
+  link; over-rate frames get a typed ``"rate_limited"`` ticket outcome
+  at the front door instead of anonymously evicting a neighbour later;
+* ``deadline_ms`` stamps every admitted frame with an absolute
+  stream-time deadline; expired frames are shed at dequeue
+  (``frame.deadline_expired``) rather than served stale;
+* ``queue_credit`` bounds each link's share of the queue — a link over
+  its credit evicts *its own* oldest frame, keeping backpressure
+  attributable;
+* an ``overload`` policy attaches a
+  :class:`~repro.overload.governor.SaturationGovernor` that steps the
+  engine through FULL → FASTPATH_ONLY → FALLBACK_ONLY → SHED as queue
+  depth/wait EWMAs saturate, composing with (never bypassing) the
+  supervisor's circuit breakers.
+
 The engine optionally composes with the :mod:`repro.guard` subsystem:
 
 * a :class:`~repro.guard.validation.FrameValidator` gates admission with
@@ -75,6 +93,9 @@ from ..guard.repair import GapRepairer
 from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import FrameValidator, QuarantineBuffer, QuarantinedFrame
 from ..obs.observer import NULL_OBSERVER
+from ..overload.deadline import deadline_for, expired
+from ..overload.governor import SaturationGovernor, ServiceMode
+from ..overload.limiter import RateLimiter
 from .config import ServeConfig
 from .metrics import MetricsRegistry
 from .queue import MicroBatchQueue, PendingFrame
@@ -96,7 +117,8 @@ class InferenceResult:
     probability: float
     state: int
     transition: Transition | None
-    #: "primary" or "fallback" — which model produced the probability.
+    #: "primary", "fallback" or "fastpath" — which tier produced the
+    #: probability (fastpath = the frozen plan, full-precision answers).
     source: str
     #: True when the frame was synthesised by the gap repairer.
     repaired: bool = False
@@ -128,6 +150,11 @@ class _LinkState:
         self.quarantined = 0
         self.repaired = 0
         self.policy_rejected = 0
+        # Overload control plane tallies (always zero when unconfigured).
+        self.rate_limited = 0
+        self.deadline_expired = 0
+        self.overflow = 0
+        self.overload_shed = 0
 
 
 class InferenceEngine:
@@ -250,6 +277,7 @@ class InferenceEngine:
                 else config.max_latency_ms / 1000.0
             ),
             capacity=config.queue_capacity,
+            credit=config.queue_credit,
         )
         self.registry = config.registry if config.registry is not None else MetricsRegistry()
         guard_v, guard_r, guard_s = config.build_guards(registry=self.registry)
@@ -278,6 +306,31 @@ class InferenceEngine:
         # drain, and an optional rollout manager fed every served batch.
         self._pending_estimator = None
         self._rollout = None
+        # Overload control plane — every piece None/inert unless configured.
+        self._auto_flush = config.auto_flush
+        self.limiter = (
+            RateLimiter(config.rate_limit_hz, config.rate_limit_burst)
+            if config.rate_limit_hz is not None
+            else None
+        )
+        self.deadline_s = (
+            None if config.deadline_ms is None else config.deadline_ms / 1000.0
+        )
+        self.governor = None
+        if config.overload is not None:
+            budget_s = self.deadline_s
+            if budget_s is None and config.max_latency_ms is not None:
+                budget_s = config.max_latency_ms / 1000.0
+            self.governor = SaturationGovernor(
+                config.overload,
+                capacity=config.queue_capacity,
+                latency_budget_s=budget_s,
+                registry=self.registry,
+                observer=self.observer,
+            )
+        # Optional frozen fastpath plan the governor's FASTPATH_ONLY mode
+        # prefers (attach via attach_fastpath; health-wise it is primary).
+        self._fastpath = None
 
     # ------------------------------------------------------------- hot swap
 
@@ -405,6 +458,21 @@ class InferenceEngine:
             if tracing:
                 obs.frame_outcome("rejected", frame_id, link_id, t_f, gate="shape")
             return frame_id, "rejected", []
+        if self.limiter is not None and not self.limiter.admit(link_id, t_f):
+            # After the shape gate (malformed frames must not spend
+            # tokens), before the validator (an over-rate tenant must not
+            # burn validator CPU either).
+            link.rate_limited += 1
+            self.registry.counter("frames_rate_limited").inc()
+            if tracing:
+                obs.frame_outcome(
+                    "rate_limited",
+                    frame_id,
+                    link_id,
+                    t_f,
+                    reserved_hz=self.limiter.reserved_hz(link_id),
+                )
+            return frame_id, "rate_limited", []
         if self.validator is not None:
             if tracing:
                 t0 = time.perf_counter()
@@ -428,7 +496,15 @@ class InferenceEngine:
         self.registry.counter("frames_in").inc()
         self._now_s = max(self._now_s, t_f)
 
-        pending = [PendingFrame(link_id, t_f, csi_row, frame_id=frame_id)]
+        pending = [
+            PendingFrame(
+                link_id,
+                t_f,
+                csi_row,
+                frame_id=frame_id,
+                deadline_s=deadline_for(t_f, self.deadline_s),
+            )
+        ]
         if self.repairer is not None:
             if tracing:
                 t0 = time.perf_counter()
@@ -446,7 +522,12 @@ class InferenceEngine:
                     self._frame_seq += 1
                     filled.append(
                         PendingFrame(
-                            link_id, fill.t_s, fill.row, repaired=True, frame_id=fill_id
+                            link_id,
+                            fill.t_s,
+                            fill.row,
+                            repaired=True,
+                            frame_id=fill_id,
+                            deadline_s=deadline_for(fill.t_s, self.deadline_s),
                         )
                     )
                     if tracing:
@@ -457,6 +538,7 @@ class InferenceEngine:
                 t0 = time.perf_counter()
             evicted = self.queue.push(frame)
             if evicted is not None:
+                self._link(evicted.link_id).overflow += 1
                 self.registry.counter("frames_dropped_overflow").inc()
                 if tracing:
                     obs.frame_outcome(
@@ -471,9 +553,10 @@ class InferenceEngine:
         self.registry.histogram("queue_depth_dist").observe(self.queue.depth)
 
         results: list[InferenceResult] = []
-        while self.queue.ready(self._now_s):
-            results.extend(self._run_batch(self.queue.drain()))
-        self._apply_pending_swap()
+        if self._auto_flush:
+            while self.queue.ready(self._now_s):
+                results.extend(self._run_batch(self.queue.drain()))
+            self._apply_pending_swap()
         return frame_id, "enqueued", results
 
     def flush(self) -> list[InferenceResult]:
@@ -484,7 +567,120 @@ class InferenceEngine:
         self._apply_pending_swap()
         return results
 
+    def pump(
+        self, max_frames: int | None = None, now_s: float | None = None
+    ) -> list[InferenceResult]:
+        """Serve up to ``max_frames`` pending frames as micro-batches.
+
+        The explicit service half of the decoupled loop: with
+        ``auto_flush=False`` in the config, ``submit`` only enqueues and
+        a driver calls ``pump`` at whatever cadence models its service
+        capacity — the overload bench uses exactly this to create real
+        backlog from open-loop arrivals.  ``now_s`` advances stream time
+        (service happening later than the newest arrival); ``None``
+        serves at the current stream time.  ``max_frames=None`` drains
+        everything pending, in ``max_batch``-sized batches.
+        """
+        if max_frames is not None and max_frames < 0:
+            raise ConfigurationError("max_frames must be >= 0 (or None)")
+        if now_s is not None:
+            self._now_s = max(self._now_s, float(now_s))
+        budget = self.queue.depth if max_frames is None else int(max_frames)
+        results: list[InferenceResult] = []
+        while self.queue.depth and budget > 0:
+            batch = self.queue.drain(min(budget, self.queue.max_batch))
+            budget -= len(batch)
+            results.extend(self._run_batch(batch))
+        self._apply_pending_swap()
+        return results
+
+    # ------------------------------------------------------------- overload
+
+    @property
+    def mode(self) -> ServiceMode:
+        """The governor's current degradation rung (FULL when ungoverned)."""
+        return ServiceMode.FULL if self.governor is None else self.governor.mode
+
+    def attach_fastpath(self, plan) -> None:
+        """Bind a frozen inference plan for FASTPATH_ONLY mode.
+
+        ``plan`` follows the :class:`repro.fastpath.plan.InferencePlan`
+        duck type (``predict_proba(x) -> (n,)``).  While the governor
+        sits on the FASTPATH_ONLY rung the plan serves instead of the
+        primary estimator; its answers count as primary for link health
+        (a frozen copy of the primary is not a degraded tier).
+        """
+        if plan is not None:
+            validate_estimator(plan, require=("predict_proba",))
+        self._fastpath = plan
+
+    def link_stats(self, link_id: str) -> dict[str, int]:
+        """Per-link lifetime tallies (admission through terminal outcome).
+
+        The engine-side half of the frame ledger, keyed like the fleet's
+        per-tenant ``counters()`` so bench reconciliation reads one
+        schema across both serving surfaces.
+        """
+        if link_id not in self._links:
+            raise ConfigurationError(f"unknown link {link_id!r}")
+        link = self._links[link_id]
+        return {
+            "frames_in": link.frames_in,
+            "frames_out": link.frames_out,
+            "fallback_frames": link.fallback_frames,
+            "stale_dropped": link.stale_dropped,
+            "rejected": link.rejected,
+            "quarantined": link.quarantined,
+            "repaired": link.repaired,
+            "policy_rejected": link.policy_rejected,
+            "rate_limited": link.rate_limited,
+            "deadline_expired": link.deadline_expired,
+            "overflow": link.overflow,
+            "overload_shed": link.overload_shed,
+        }
+
     # ---------------------------------------------------------------- batch
+
+    def _drop_expired(self, frames: list[PendingFrame]) -> list[PendingFrame]:
+        """Shed frames whose deadline budget ran out while they queued."""
+        if self.deadline_s is None:
+            return frames
+        obs = self.observer
+        alive: list[PendingFrame] = []
+        for frame in frames:
+            if expired(frame.deadline_s, self._now_s):
+                link = self._link(frame.link_id)
+                link.deadline_expired += 1
+                self.registry.counter("frames_deadline_expired").inc()
+                if obs.enabled:
+                    obs.frame_outcome(
+                        "deadline_expired",
+                        frame.frame_id,
+                        frame.link_id,
+                        frame.t_s,
+                        age_s=self._now_s - frame.t_s,
+                        budget_s=self.deadline_s,
+                    )
+            else:
+                alive.append(frame)
+        return alive
+
+    def _shed_overload(self, frames: list[PendingFrame]) -> list[InferenceResult]:
+        """Governor in SHED mode: refuse the batch, typed and counted.
+
+        Unlike :meth:`_reject_batch` (both tiers broken — a fault) a shed
+        is a *load* decision, so link health is left alone: the link did
+        nothing wrong and recovers the moment the governor steps down.
+        """
+        self.registry.counter("frames_shed_overload").inc(len(frames))
+        obs = self.observer
+        for frame in frames:
+            self._link(frame.link_id).overload_shed += 1
+            if obs.enabled:
+                obs.frame_outcome(
+                    "shed", frame.frame_id, frame.link_id, frame.t_s
+                )
+        return []
 
     def _drop_stale(self, frames: list[PendingFrame]) -> list[PendingFrame]:
         if self.stale_after_s is None:
@@ -509,12 +705,30 @@ class InferenceEngine:
                 fresh.append(frame)
         return fresh
 
-    def _predict(self, x: np.ndarray) -> tuple[np.ndarray, str] | None:
-        """Run the supervisor-selected tier; ``None`` means batch rejected."""
+    def _predict(
+        self, x: np.ndarray, service_mode: ServiceMode = ServiceMode.FULL
+    ) -> tuple[np.ndarray, str] | None:
+        """Run the supervisor-selected tier; ``None`` means batch rejected.
+
+        The governor's ``service_mode`` selects the *preferred* tier; the
+        supervisor's breaker verdict still composes on top — a governor
+        cannot force traffic onto a tier the breakers hold open.
+        """
         mode = self.supervisor.decide(self._now_s)
         if mode is ServingMode.REJECT:
             return None
-        if mode is ServingMode.PRIMARY:
+        if service_mode is ServiceMode.FASTPATH_ONLY and self._fastpath is not None:
+            try:
+                probabilities = np.asarray(
+                    self._fastpath.predict_proba(x), dtype=float
+                ).ravel()
+            except Exception:
+                # A broken plan falls through to the normal tier walk —
+                # degraded capacity, never a dead surface.
+                self.registry.counter("fastpath_failures").inc()
+            else:
+                return probabilities, "fastpath"
+        if mode is ServingMode.PRIMARY and service_mode is not ServiceMode.FALLBACK_ONLY:
             try:
                 probabilities = np.asarray(
                     self.estimator.predict_proba(x), dtype=float
@@ -562,10 +776,22 @@ class InferenceEngine:
         return x
 
     def _run_batch(self, frames: list[PendingFrame]) -> list[InferenceResult]:
+        mode = ServiceMode.FULL
+        if self.governor is not None and frames:
+            # Depth at drain time (queue remainder plus this batch) and
+            # the oldest frame's queueing delay — both stream time.
+            mode = self.governor.observe(
+                self.queue.depth + len(frames),
+                self._now_s - frames[0].t_s,
+                self._now_s,
+            )
+        frames = self._drop_expired(frames)
         frames = self._drop_stale(frames)
         self.registry.gauge("queue_depth").set(self.queue.depth)
         if not frames:
             return []
+        if mode is ServiceMode.SHED:
+            return self._shed_overload(frames)
         obs = self.observer
         tracing = obs.enabled
         if tracing:
@@ -573,14 +799,17 @@ class InferenceEngine:
                 obs.tracer.queue_wait(frame.frame_id)
             t0 = time.perf_counter()
         x = self._assemble(frames)
-        self.supervisor.observe(x, self._now_s)
+        if mode is ServiceMode.FULL:
+            # Degraded rungs skip per-batch drift scoring — the sentinel
+            # window is guard overhead the governor is shedding.
+            self.supervisor.observe(x, self._now_s)
         if tracing:
             supervise_ms = 1000.0 * (time.perf_counter() - t0)
             for frame in frames:
                 obs.tracer.add_stage(frame.frame_id, "supervise", supervise_ms)
 
         start = time.perf_counter()
-        predicted = self._predict(x)
+        predicted = self._predict(x, mode)
         if predicted is None:
             return self._reject_batch(frames)
         probabilities, source = predicted
@@ -611,7 +840,9 @@ class InferenceEngine:
             link.frames_out += 1
             if source == "fallback":
                 link.fallback_frames += 1
-            new_health, recovered = self.supervisor.resolve_health(link.health, source)
+            new_health, recovered = self.supervisor.resolve_health(
+                link.health, "primary" if source == "fastpath" else source
+            )
             if recovered:
                 self.registry.counter("link_recovered_total").inc()
                 if tracing:

@@ -21,6 +21,7 @@ faster than real time.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -44,6 +45,10 @@ class PendingFrame:
     #: (-1 for frames built outside an engine).  The id keys the frame's
     #: trace spans and structured events in :mod:`repro.obs`.
     frame_id: int = -1
+    #: Absolute stream-time deadline (``t_s`` + the configured budget);
+    #: ``inf`` when no deadline budget is configured.  Frames past their
+    #: deadline are shed at dequeue instead of served stale.
+    deadline_s: float = math.inf
 
 
 class MicroBatchQueue:
@@ -58,6 +63,12 @@ class MicroBatchQueue:
         ``None`` disables the latency trigger (flush on ``max_batch`` only).
     capacity:
         Hard bound on pending frames; pushing beyond it evicts the oldest.
+    credit:
+        Optional per-link bound on pending frames.  A link pushing past
+        its credit evicts *its own* oldest frame — backpressure becomes
+        attributable to the chatty link instead of anonymously taxing
+        whichever link happens to own the globally oldest frame.
+        ``None`` (the default) keeps the legacy global-oldest policy.
     """
 
     def __init__(
@@ -65,6 +76,7 @@ class MicroBatchQueue:
         max_batch: int = 32,
         max_latency_s: float | None = 0.25,
         capacity: int = 256,
+        credit: int | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
@@ -74,10 +86,14 @@ class MicroBatchQueue:
             raise ConfigurationError(
                 f"capacity ({capacity}) must be >= max_batch ({max_batch})"
             )
+        if credit is not None and credit < 1:
+            raise ConfigurationError("credit must be >= 1 (or None)")
         self.max_batch = max_batch
         self.max_latency_s = max_latency_s
         self.capacity = capacity
+        self.credit = credit
         self._pending: deque[PendingFrame] = deque()
+        self._link_counts: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -87,12 +103,47 @@ class MicroBatchQueue:
         """Number of frames currently pending."""
         return len(self._pending)
 
+    def link_depth(self, link_id: str) -> int:
+        """Frames currently pending for one link."""
+        return self._link_counts.get(link_id, 0)
+
+    @property
+    def oldest_t_s(self) -> float | None:
+        """Timestamp of the oldest pending frame (None when empty)."""
+        return self._pending[0].t_s if self._pending else None
+
+    def _forget(self, frame: PendingFrame) -> PendingFrame:
+        count = self._link_counts.get(frame.link_id, 0) - 1
+        if count > 0:
+            self._link_counts[frame.link_id] = count
+        else:
+            self._link_counts.pop(frame.link_id, None)
+        return frame
+
+    def _evict_from_link(self, link_id: str) -> PendingFrame:
+        for i, frame in enumerate(self._pending):
+            if frame.link_id == link_id:
+                del self._pending[i]
+                return self._forget(frame)
+        raise AssertionError(f"credit bookkeeping out of sync for {link_id!r}")
+
     def push(self, frame: PendingFrame) -> PendingFrame | None:
-        """Enqueue a frame; returns the evicted frame when at capacity."""
+        """Enqueue a frame; returns the evicted frame when a bound is hit.
+
+        A link over its ``credit`` evicts its own oldest frame; a full
+        queue evicts the globally oldest.  At most one frame is evicted
+        per push (credit <= capacity by construction of the counts).
+        """
         evicted = None
-        if len(self._pending) >= self.capacity:
-            evicted = self._pending.popleft()
+        if (
+            self.credit is not None
+            and self._link_counts.get(frame.link_id, 0) >= self.credit
+        ):
+            evicted = self._evict_from_link(frame.link_id)
+        elif len(self._pending) >= self.capacity:
+            evicted = self._forget(self._pending.popleft())
         self._pending.append(frame)
+        self._link_counts[frame.link_id] = self._link_counts.get(frame.link_id, 0) + 1
         return evicted
 
     def ready(self, now_s: float) -> bool:
@@ -110,10 +161,11 @@ class MicroBatchQueue:
     def drain(self, limit: int | None = None) -> list[PendingFrame]:
         """Pop up to ``limit`` frames (default ``max_batch``) in FIFO order."""
         n = min(len(self._pending), limit if limit is not None else self.max_batch)
-        return [self._pending.popleft() for _ in range(n)]
+        return [self._forget(self._pending.popleft()) for _ in range(n)]
 
     def drain_all(self) -> list[PendingFrame]:
         """Pop everything — used by the engine's final flush."""
         out = list(self._pending)
         self._pending.clear()
+        self._link_counts.clear()
         return out

@@ -16,9 +16,11 @@ normalise that surface:
 
 Admission outcomes form a tiny closed vocabulary (:data:`TICKET_OUTCOMES`):
 ``"enqueued"`` (admitted; results may already be attached if the frame
-tipped a batch), ``"rejected"`` (failed the basic shape/finite gate) and
+tipped a batch), ``"rejected"`` (failed the basic shape/finite gate),
 ``"quarantined"`` (failed the validator chain; the frame is in the
-engine's quarantine buffer with its verdict).
+engine's quarantine buffer with its verdict) and ``"rate_limited"``
+(refused by the tenant's token-bucket rate limiter — the overload
+control plane's typed backpressure signal, see :mod:`repro.overload`).
 """
 
 from __future__ import annotations
@@ -26,11 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..exceptions import RateLimitError, StreamError
+
 if TYPE_CHECKING:  # pragma: no cover - cycle guard, types only
     from .engine import InferenceResult
 
 #: The closed set of admission outcomes a ticket can carry.
-TICKET_OUTCOMES = ("enqueued", "rejected", "quarantined")
+TICKET_OUTCOMES = ("enqueued", "rejected", "quarantined", "rate_limited")
 
 
 @dataclass(frozen=True)
@@ -59,3 +63,25 @@ class FrameTicket:
     def admitted(self) -> bool:
         """True when the frame made it past every admission gate."""
         return self.outcome == "enqueued"
+
+    def require_admitted(self) -> "FrameTicket":
+        """Return self when admitted, else raise a typed error.
+
+        ``"rate_limited"`` raises :class:`~repro.exceptions.RateLimitError`
+        (the caller overran its reserved rate — retry after backing off);
+        the other refusals raise :class:`~repro.exceptions.StreamError`
+        (the frame itself was bad).  Lets strict callers write
+        ``engine.submit_frame(...).require_admitted()`` instead of
+        string-matching outcomes.
+        """
+        if self.admitted:
+            return self
+        if self.outcome == "rate_limited":
+            raise RateLimitError(
+                f"tenant {self.tenant_id!r} frame {self.frame_id} at "
+                f"t={self.t_s:g}s refused: over its reserved admission rate"
+            )
+        raise StreamError(
+            f"tenant {self.tenant_id!r} frame {self.frame_id} at "
+            f"t={self.t_s:g}s refused at admission: {self.outcome}"
+        )

@@ -215,3 +215,115 @@ class TestObserversAndMetrics:
         text = render_prometheus(fleet.metrics)
         assert "# TYPE repro_fleet_frames_total counter" in text
         assert 'repro_fleet_frames_total{tenant="room-a"} 1.0' in text
+
+
+class TestOverloadPlane:
+    """The fleet half of the overload control plane."""
+
+    def test_rate_limited_ticket_and_tallies(self):
+        fleet = Fleet(ServeConfig(max_latency_ms=None, rate_limit_hz=1.0,
+                                  rate_limit_burst=1.0))
+        fleet.attach("room-a", _plan())
+        fleet.attach("room-b", _plan())
+        rng = np.random.default_rng(0)
+        assert fleet.submit("room-a", 0.0, _row(rng)).outcome == "enqueued"
+        ticket = fleet.submit("room-a", 0.0, _row(rng))
+        assert ticket.outcome == "rate_limited"
+        assert not ticket.admitted
+        assert fleet.counters("room-a")["rate_limited"] == 1
+        # The bucket is per tenant; room-b still holds its burst token.
+        assert fleet.submit("room-b", 0.0, _row(rng)).outcome == "enqueued"
+        assert fleet.metrics.counter("fleet_frames_rate_limited").value == 1
+        # Stream time refills: one second later the tenant is admitted.
+        assert fleet.submit("room-a", 1.0, _row(rng)).outcome == "enqueued"
+        assert len(fleet.flush()) == 3
+
+    def test_expired_frames_shed_at_tick(self):
+        fleet = Fleet(ServeConfig(max_latency_ms=None, deadline_ms=1000.0),
+                      observer_factory=Observer)
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        fleet.submit("room-a", 5.0, _row(rng))
+        results = fleet.tick(5.0)
+        assert [r.t_s for r in results] == [5.0]
+        assert fleet.counters("room-a")["deadline_expired"] == 1
+        ledger = fleet.ledger("room-a")
+        assert ledger["deadline_expired"] == 1 and ledger["pending"] == 0
+
+    def test_mode_is_full_when_ungoverned(self, fleet):
+        from repro.overload.governor import ServiceMode
+
+        assert fleet.mode is ServiceMode.FULL
+
+    def test_shed_mode_drops_every_pending_frame(self):
+        from repro.overload.governor import OverloadPolicy, ServiceMode
+
+        fleet = Fleet(ServeConfig(
+            max_batch=8, max_latency_ms=None, queue_capacity=8,
+            overload=OverloadPolicy(fastpath_at=0.001, fallback_at=0.002,
+                                    shed_at=0.003, alpha=1.0, hold_ticks=1,
+                                    jitter=0.0),
+        ), observer_factory=Observer)
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            fleet.submit("room-a", float(i), _row(rng))
+        assert fleet.tick() == []
+        assert fleet.mode is ServiceMode.SHED
+        assert fleet.counters("room-a")["overload_shed"] == 4
+        assert fleet.ledger("room-a")["pending"] == 0
+
+    def test_fallback_only_quota_leaves_rest_ringed(self):
+        from repro.overload.governor import OverloadPolicy, ServiceMode
+
+        fleet = Fleet(ServeConfig(
+            max_batch=8, max_latency_ms=None, queue_capacity=8,
+            overload=OverloadPolicy(fastpath_at=0.001, fallback_at=0.002,
+                                    shed_at=10.0, alpha=1.0, hold_ticks=1,
+                                    jitter=0.0, degraded_quota=1),
+        ), observer_factory=Observer)
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            fleet.submit("room-a", float(i), _row(rng))
+        served = fleet.tick()
+        assert fleet.mode is ServiceMode.FALLBACK_ONLY
+        # The degraded quota serves exactly one frame; the rest stay
+        # ringed for later ticks rather than being dropped.
+        assert len(served) == 1
+        assert fleet.ledger("room-a")["pending"] == 3
+
+    def test_flush_loops_until_rings_are_empty(self):
+        from repro.overload.governor import OverloadPolicy
+
+        fleet = Fleet(ServeConfig(
+            max_batch=8, max_latency_ms=None, queue_capacity=8,
+            overload=OverloadPolicy(fastpath_at=0.001, fallback_at=0.002,
+                                    shed_at=10.0, alpha=1.0, hold_ticks=1,
+                                    jitter=0.0, degraded_quota=1),
+        ), observer_factory=Observer)
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            fleet.submit("room-a", float(i), _row(rng))
+        # Shutdown must close the ledger even though each degraded tick
+        # only drains one frame per tenant.
+        served = fleet.flush()
+        ledger = fleet.ledger("room-a")
+        assert ledger["pending"] == 0
+        assert len(served) + ledger["shed"] + ledger["deadline_expired"] == 5
+
+    def test_labeled_overflow_rollup(self):
+        fleet = Fleet(ServeConfig(max_batch=2, queue_capacity=2,
+                                  max_latency_ms=None))
+        fleet.attach("room-a", _plan())
+        fleet.attach("room-b", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            fleet.submit("room-a", float(i), _row(rng))
+        fleet.submit("room-b", 0.0, _row(rng))
+        metrics = fleet.metrics
+        assert metrics.counter("fleet_frames_overflow_total{tenant=room-a}").value == 2
+        text = render_prometheus(metrics)
+        assert 'repro_fleet_frames_overflow_total{tenant="room-a"} 2.0' in text

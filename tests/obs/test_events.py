@@ -39,6 +39,8 @@ class TestEventLog:
     def test_taxonomy_is_closed_and_frame_outcomes_present(self):
         for kind in ("frame.answered", "frame.rejected", "frame.quarantined",
                      "frame.policy_rejected", "frame.stale", "frame.overflow",
+                     "frame.rate_limited", "frame.deadline_expired",
+                     "frame.shed", "governor.mode_change", "governor.probe",
                      "breaker.opened", "checkpoint.rollback"):
             assert kind in EVENT_KINDS
 

@@ -127,6 +127,34 @@ class TestRenderReport:
     def test_no_rollout_line_without_rollout_events(self):
         assert "rollout" not in render_run(_live_observer().dump())
 
+    def test_overload_summary_line(self):
+        obs = Observer(label="saturated")
+        obs.emit("governor.mode_change", t_s=1.0, previous="full", mode="shed")
+        obs.emit("governor.mode_change", t_s=5.0, previous="shed",
+                 mode="fallback_only")
+        obs.emit("governor.probe", t_s=5.0, to="fallback_only")
+        obs.frame_submitted(0, "hot", 1.0)
+        obs.frame_outcome("rate_limited", 0, "hot", 1.0)
+        obs.frame_submitted(1, "hot", 2.0)
+        obs.frame_outcome("deadline_expired", 1, "hot", 2.0, age_s=3.0)
+        obs.frame_submitted(2, "hot", 3.0)
+        obs.frame_outcome("shed", 2, "hot", 3.0)
+        text = render_run(obs.dump())
+        assert ("overload: mode_change=2  probe=1  rate_limited=1  "
+                "deadline_expired=1  shed=1") in text
+        assert "governor stepped the degradation ladder 2 time(s)" in text
+
+    def test_shed_causes_reported_without_governor_events(self):
+        obs = Observer(label="limited")
+        obs.frame_submitted(0, "hot", 1.0)
+        obs.frame_outcome("rate_limited", 0, "hot", 1.0)
+        text = render_run(obs.dump())
+        assert "overload: rate_limited=1" in text
+        assert "degradation ladder" not in text
+
+    def test_no_overload_line_without_overload_events(self):
+        assert "overload" not in render_run(_live_observer().dump())
+
     def test_multi_run_report(self):
         dump = build_dump({"a": _live_observer("a"), "b": _live_observer("b")})
         text = render_report(dump)

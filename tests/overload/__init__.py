@@ -1,0 +1,1 @@
+"""Tests for the overload control plane (repro.overload)."""

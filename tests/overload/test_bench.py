@@ -1,0 +1,107 @@
+"""Tests for the overload-bench harness (small runs; gates must hold)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.overload.bench import make_traffic, run_overload_bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_overload_bench(quick=True, seed=11)
+
+
+class TestMakeTraffic:
+    def test_exact_emission_counts(self):
+        traffic = make_traffic(
+            duration_s=40.0, step_s=0.05, n_cold=2, cold_hz=4.0,
+            hot_base_hz=4.0, hot_burst_hz=40.0, burst_period_s=10.0,
+            burst_duty=0.5, n_inputs=8, seed=0,
+        )
+        # Cold: 4 Hz * 40 s; hot: half at 4 Hz, half at 40 Hz.
+        assert traffic.per_tenant["cold-0"] == 160
+        assert traffic.per_tenant["cold-1"] == 160
+        assert traffic.per_tenant["hot"] == 20 * 4 + 20 * 40
+
+    def test_arrivals_time_ordered(self):
+        traffic = make_traffic(
+            duration_s=10.0, step_s=0.1, n_cold=1, cold_hz=3.0,
+            hot_base_hz=3.0, hot_burst_hz=30.0, burst_period_s=5.0,
+            burst_duty=0.5, n_inputs=4, seed=0,
+        )
+        times = [t for t, _, _ in traffic.arrivals]
+        assert times == sorted(times)
+
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            duration_s=10.0, step_s=0.1, n_cold=1, cold_hz=3.0,
+            hot_base_hz=3.0, hot_burst_hz=30.0, burst_period_s=5.0,
+            burst_duty=0.5, n_inputs=4, seed=3,
+        )
+        assert make_traffic(**kwargs).arrivals == make_traffic(**kwargs).arrivals
+
+
+class TestRunOverloadBench:
+    def test_all_gates_hold(self, report):
+        assert report.reconciled
+        assert report.deadline_honest
+        assert report.fairness_ok
+        assert report.ladder_walked
+        assert report.passed
+
+    def test_unprotected_arm_shows_the_problem(self, report):
+        # The control arm loses cold-tenant frames to anonymous eviction.
+        arm = report.unprotected
+        assert arm.shed_by_cause["overflow"] > 0
+        assert any(
+            arm.answered[t] < arm.arrivals[t] for t in ("cold-0", "cold-1", "cold-2")
+        )
+
+    def test_protected_arm_serves_every_cold_frame(self, report):
+        for arm in (report.protected, report.fleet):
+            for tenant in ("cold-0", "cold-1", "cold-2"):
+                assert arm.rate_limited[tenant] == 0
+                assert arm.answered[tenant] == arm.arrivals[tenant]
+            assert arm.rate_limited["hot"] > 0
+
+    def test_governed_arm_walked_the_ladder(self, report):
+        snap = report.governed.governor
+        assert snap["escalations"] >= 1
+        assert snap["probes"] >= 1
+        assert report.governed.peak_severity >= 1
+        assert report.governed.final_severity < report.governed.peak_severity
+        # The outage produced typed deadline/shed outcomes, not silence.
+        assert (
+            report.governed.shed_by_cause["deadline_expired"]
+            + report.governed.shed_by_cause["shed"]
+        ) > 0
+
+    def test_json_round_trips(self, report):
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["bench"] == "overload-bench"
+        assert payload["gates"]["passed"] is True
+        assert set(payload["arms"]) == {
+            "unprotected", "protected", "governed", "fleet",
+        }
+
+    def test_describe_mentions_every_gate(self, report):
+        text = report.describe()
+        for needle in ("ledger", "deadline", "fairness", "ladder", "PASSED"):
+            assert needle in text
+
+    def test_same_seed_byte_identical(self):
+        a = run_overload_bench(quick=True, seed=5).to_json()
+        b = run_overload_bench(quick=True, seed=5).to_json()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            run_overload_bench(duration_s=10.0)  # < 4 burst periods
+        with pytest.raises(ConfigurationError):
+            run_overload_bench(n_cold=0)
+        with pytest.raises(ConfigurationError):
+            run_overload_bench(cold_hz=8.0, reserved_hz=8.0)
+        with pytest.raises(ConfigurationError):
+            run_overload_bench(service_hz=1.0)

@@ -1,0 +1,56 @@
+"""Tests for stream-time deadline budgets (repro.overload.deadline)."""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import ConfigError, DeadlineError
+from repro.overload.deadline import (
+    check_served_within_deadline,
+    deadline_for,
+    expired,
+)
+
+
+@dataclass
+class _Result:
+    t_s: float
+    frame_id: int = 0
+    link_id: str = "room"
+
+
+class TestDeadlineFor:
+    def test_absolute_deadline(self):
+        assert deadline_for(10.0, 2.0) == 12.0
+
+    def test_no_budget_never_expires(self):
+        assert deadline_for(10.0, None) == math.inf
+        assert not expired(deadline_for(10.0, None), 1e12)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            deadline_for(0.0, 0.0)
+        with pytest.raises(ConfigError):
+            deadline_for(0.0, -1.0)
+
+
+class TestExpired:
+    def test_strictly_after_deadline(self):
+        assert not expired(12.0, 12.0)  # exactly at the deadline still lives
+        assert expired(12.0, 12.0 + 1e-9)
+        assert not expired(12.0, 11.0)
+
+
+class TestCheckServedWithinDeadline:
+    def test_all_within_budget_returns_count(self):
+        results = [_Result(t_s=10.0), _Result(t_s=10.5)]
+        assert check_served_within_deadline(results, 11.0, 2.0) == 2
+
+    def test_no_budget_trivially_passes(self):
+        assert check_served_within_deadline([_Result(t_s=0.0)], 1e9, None) == 1
+
+    def test_violation_raises_with_context(self):
+        results = [_Result(t_s=10.0), _Result(t_s=5.0, frame_id=7)]
+        with pytest.raises(DeadlineError, match="frame 7"):
+            check_served_within_deadline(results, 11.0, 2.0)

@@ -1,0 +1,173 @@
+"""Tests for the saturation governor (repro.overload.governor)."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.obs.observer import Observer
+from repro.overload.governor import OverloadPolicy, SaturationGovernor, ServiceMode
+from repro.serve.metrics import MetricsRegistry
+
+
+def make_governor(**policy_kwargs):
+    defaults = dict(alpha=1.0, hold_ticks=1, probe_cooldown_s=1.0, jitter=0.0)
+    defaults.update(policy_kwargs)
+    return SaturationGovernor(
+        OverloadPolicy(**defaults), capacity=100, latency_budget_s=1.0
+    )
+
+
+class TestLadder:
+    def test_severity_ordering(self):
+        assert [m.severity for m in (
+            ServiceMode.FULL,
+            ServiceMode.FASTPATH_ONLY,
+            ServiceMode.FALLBACK_ONLY,
+            ServiceMode.SHED,
+        )] == [0, 1, 2, 3]
+
+    def test_calm_stays_full(self):
+        governor = make_governor()
+        for t in range(10):
+            assert governor.observe(5, 0.1, float(t)) is ServiceMode.FULL
+        assert governor.mode_changes == 0
+
+    def test_escalation_is_immediate_and_can_skip_rungs(self):
+        governor = make_governor()
+        assert governor.observe(100, 2.0, 0.0) is ServiceMode.SHED
+        assert governor.escalations == 1
+
+    def test_each_rung_engages_at_its_threshold(self):
+        for depth, mode in (
+            (49, ServiceMode.FULL),
+            (50, ServiceMode.FASTPATH_ONLY),
+            (75, ServiceMode.FALLBACK_ONLY),
+            (90, ServiceMode.SHED),
+        ):
+            governor = make_governor()
+            assert governor.observe(depth, 0.0, 0.0) is mode
+
+    def test_score_is_max_of_depth_and_wait(self):
+        governor = make_governor()
+        # Depth is tiny but the oldest frame waited 0.95 of its budget.
+        assert governor.observe(1, 0.95, 0.0) is ServiceMode.SHED
+
+
+class TestRecovery:
+    def test_recovery_steps_one_rung_per_probe(self):
+        governor = make_governor()
+        governor.observe(100, 0.0, 0.0)
+        assert governor.mode is ServiceMode.SHED
+        # Calm again: each probe (after the cooldown) drops one rung.
+        modes = [governor.observe(0, 0.0, 10.0 * (i + 1)) for i in range(3)]
+        assert modes == [
+            ServiceMode.FALLBACK_ONLY,
+            ServiceMode.FASTPATH_ONLY,
+            ServiceMode.FULL,
+        ]
+        assert governor.probes == 3
+
+    def test_hysteresis_blocks_recovery_near_the_threshold(self):
+        governor = make_governor(hysteresis=0.1)
+        governor.observe(90, 0.0, 0.0)
+        assert governor.mode is ServiceMode.SHED
+        # 0.85 is below shed_at=0.9 but inside the hysteresis band.
+        for t in range(1, 20):
+            assert governor.observe(85, 0.0, float(t * 10)) is ServiceMode.SHED
+
+    def test_hold_ticks_requires_consecutive_calm(self):
+        governor = make_governor(hold_ticks=3)
+        governor.observe(100, 0.0, 0.0)
+        assert governor.observe(0, 0.0, 10.0) is ServiceMode.SHED  # calm 1
+        assert governor.observe(0, 0.0, 20.0) is ServiceMode.SHED  # calm 2
+        assert governor.observe(0, 0.0, 30.0) is not ServiceMode.SHED
+
+    def test_probe_cooldown_blocks_early_probes(self):
+        governor = make_governor(probe_cooldown_s=100.0, max_cooldown_s=100.0)
+        governor.observe(100, 0.0, 0.0)
+        assert governor.observe(0, 0.0, 1.0) is ServiceMode.SHED
+        assert governor.observe(0, 0.0, 101.0) is ServiceMode.FALLBACK_ONLY
+
+    def test_backoff_grows_per_reescalation_and_resets_at_full(self):
+        governor = make_governor(probe_cooldown_s=1.0, backoff_factor=2.0)
+        governor.observe(100, 0.0, 0.0)
+        streak_after_first = governor.snapshot()["escalation_streak"]
+        governor.observe(100, 0.0, 1.0)
+        # Same rung: no re-escalation, streak unchanged.
+        assert governor.snapshot()["escalation_streak"] == streak_after_first
+        # Walk all the way down: the streak resets only at FULL.
+        t = 100.0
+        while governor.mode is not ServiceMode.FULL:
+            governor.observe(0, 0.0, t)
+            t += 100.0
+        assert governor.snapshot()["escalation_streak"] == 0
+
+    def test_same_seed_replay_is_identical(self):
+        def walk(seed):
+            governor = SaturationGovernor(
+                OverloadPolicy(alpha=0.5, jitter=0.5, seed=seed), capacity=10
+            )
+            trace = []
+            for i in range(200):
+                depth = 10 if (i // 20) % 2 == 0 else 0
+                trace.append(governor.observe(depth, 0.0, float(i)).value)
+            return trace
+
+        assert walk(7) == walk(7)
+
+
+class TestInstrumentation:
+    def test_events_reach_the_observer(self):
+        observer = Observer()
+        governor = SaturationGovernor(
+            OverloadPolicy(alpha=1.0, hold_ticks=1, probe_cooldown_s=1.0, jitter=0.0),
+            capacity=10,
+            observer=observer,
+        )
+        governor.observe(10, 0.0, 0.0)
+        governor.observe(0, 0.0, 10.0)
+        kinds = observer.events.counts_by_kind()
+        assert kinds["governor.mode_change"] == 2
+        assert kinds["governor.probe"] == 1
+
+    def test_metrics_published(self):
+        registry = MetricsRegistry()
+        governor = SaturationGovernor(
+            OverloadPolicy(alpha=1.0), capacity=10, registry=registry
+        )
+        governor.observe(10, 0.0, 0.0)
+        assert registry.gauge("governor_mode").value == ServiceMode.SHED.severity
+        assert registry.counter("governor_escalations_total").value == 1
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        governor = make_governor()
+        governor.observe(100, 0.5, 0.0)
+        json.dumps(governor.snapshot())
+
+
+class TestPolicyValidation:
+    def test_thresholds_must_increase(self):
+        with pytest.raises(ConfigError):
+            OverloadPolicy(fastpath_at=0.8, fallback_at=0.5)
+
+    def test_bad_knobs_rejected(self):
+        for kwargs in (
+            dict(hysteresis=-0.1),
+            dict(alpha=0.0),
+            dict(alpha=1.5),
+            dict(hold_ticks=0),
+            dict(probe_cooldown_s=0.0),
+            dict(probe_cooldown_s=10.0, max_cooldown_s=5.0),
+            dict(backoff_factor=0.5),
+            dict(jitter=1.0),
+            dict(degraded_quota=0),
+        ):
+            with pytest.raises(ConfigError):
+                OverloadPolicy(**kwargs)
+
+    def test_governor_validates_capacity_and_budget(self):
+        with pytest.raises(ConfigError):
+            SaturationGovernor(OverloadPolicy(), capacity=0)
+        with pytest.raises(ConfigError):
+            SaturationGovernor(OverloadPolicy(), capacity=1, latency_budget_s=0.0)

@@ -1,0 +1,174 @@
+"""Property test: the frame ledger balances under randomized burst load.
+
+For any burst schedule — random per-tenant rates, random burst timing,
+random service cadence, overload plane on or off — every submitted frame
+must end in exactly one typed terminal outcome once the surface is
+flushed at shutdown:
+
+    submitted + fills == answered + rejected + quarantined
+                       + policy_rejected + stale + overflow
+                       + rate_limited + deadline_expired + shed
+
+and the serving surface's own per-tenant tallies must agree with the
+observer's event-side ledger cause by cause.  Both serving surfaces
+(engine and fleet) are driven through the same randomized schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fastpath.plan import InferencePlan
+from repro.fleet.service import Fleet
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.obs.observer import Observer
+from repro.overload.governor import OverloadPolicy
+from repro.serve.config import ServeConfig
+from repro.serve.engine import InferenceEngine
+
+N_INPUTS = 8
+SEEDS = [0, 1, 2, 3, 4, 5]
+
+#: Every terminal cause in the ledger identity, ledger-key order.
+CAUSES = (
+    "rejected",
+    "quarantined",
+    "policy_rejected",
+    "stale",
+    "overflow",
+    "rate_limited",
+    "deadline_expired",
+    "shed",
+)
+
+
+def make_plan(rng):
+    return InferencePlan.from_model(
+        Sequential(Linear(N_INPUTS, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+    )
+
+
+def random_schedule(rng):
+    """(t_s, tenant, row) arrivals with random bursts, plus pump times."""
+    tenants = [f"t{i}" for i in range(int(rng.integers(1, 4)))]
+    arrivals = []
+    t = 0.0
+    for _ in range(int(rng.integers(50, 250))):
+        t += float(rng.exponential(0.05))
+        tenant = tenants[int(rng.integers(len(tenants)))]
+        if rng.random() < 0.3:  # burst: several frames at ~the same instant
+            for k in range(int(rng.integers(2, 8))):
+                arrivals.append((t + k * 1e-3, tenant))
+        else:
+            arrivals.append((t, tenant))
+    arrivals.sort()
+    return arrivals
+
+
+def random_config(rng, observer):
+    """A ServeConfig with the overload plane randomly on or off."""
+    kwargs = dict(
+        max_batch=4,
+        max_latency_ms=None,
+        queue_capacity=int(rng.integers(8, 33)),
+        auto_flush=False,
+        observer=observer,
+    )
+    if rng.random() < 0.7:
+        kwargs["rate_limit_hz"] = float(rng.uniform(2.0, 20.0))
+    if rng.random() < 0.7:
+        kwargs["deadline_ms"] = float(rng.uniform(200.0, 3000.0))
+    if rng.random() < 0.5:
+        kwargs["queue_credit"] = int(rng.integers(2, kwargs["queue_capacity"] + 1))
+    if rng.random() < 0.7:
+        kwargs["overload"] = OverloadPolicy(
+            fastpath_at=0.3, fallback_at=0.5, shed_at=0.7,
+            alpha=1.0, hold_ticks=1, probe_cooldown_s=0.5,
+            seed=int(rng.integers(1000)),
+        )
+    return ServeConfig(**kwargs)
+
+
+def assert_ledger_balances(ledger):
+    assert ledger["unaccounted"] == 0
+    assert ledger["pending"] == 0
+    total_in = ledger["submitted"] + ledger["fills"]
+    total_out = ledger["answered"] + sum(ledger[c] for c in CAUSES)
+    assert total_in == total_out
+
+
+class TestEngineLedgerProperty:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_admitted_equals_served_plus_shed_by_cause(self, seed):
+        rng = np.random.default_rng(seed)
+        observer = Observer(trace_capacity=64, event_capacity=64)
+        config = random_config(rng, observer)
+        plan = make_plan(rng)
+        engine = InferenceEngine(plan, config)
+        engine.attach_fastpath(plan)
+
+        for t, tenant in random_schedule(rng):
+            engine.submit_frame(tenant, t, rng.normal(size=N_INPUTS))
+            if rng.random() < 0.3:  # random finite-capacity service cadence
+                engine.pump(int(rng.integers(1, 6)))
+        engine.flush()  # shutdown: nothing may stay pending
+
+        ledger = observer.ledger()
+        assert_ledger_balances(ledger)
+        # The engine-side tallies agree with the event ledger per cause.
+        stats = [engine.link_stats(link) for link in engine.link_ids]
+        assert sum(s["frames_out"] for s in stats) == ledger["answered"]
+        for cause, key in (
+            ("rejected", "rejected"),
+            ("quarantined", "quarantined"),
+            ("policy_rejected", "policy_rejected"),
+            ("stale", "stale_dropped"),
+            ("overflow", "overflow"),
+            ("rate_limited", "rate_limited"),
+            ("deadline_expired", "deadline_expired"),
+            ("shed", "overload_shed"),
+        ):
+            assert sum(s[key] for s in stats) == ledger[cause], cause
+
+
+class TestFleetLedgerProperty:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_admitted_equals_served_plus_shed_by_cause(self, seed):
+        rng = np.random.default_rng(seed)
+        observers = {}
+
+        def factory():
+            observer = Observer(
+                label=f"t{len(observers)}", trace_capacity=64, event_capacity=64
+            )
+            observers[observer.label] = observer
+            return observer
+
+        config = random_config(rng, None)
+        plan = make_plan(rng)
+        fleet = Fleet(config, observer_factory=factory)
+        schedule = random_schedule(rng)
+        for tenant in sorted({tenant for _, tenant in schedule}):
+            fleet.attach(tenant, plan)
+
+        for t, tenant in schedule:
+            fleet.submit(tenant, t, rng.normal(size=N_INPUTS))
+            if rng.random() < 0.2:
+                fleet.tick(t)
+        fleet.flush()  # shutdown: nothing may stay ringed
+
+        for tenant in fleet.tenant_ids:
+            ledger = fleet.ledger(tenant)
+            assert_ledger_balances(ledger)
+            counters = fleet.counters(tenant)
+            assert counters["frames_out"] == ledger["answered"]
+            for cause, key in (
+                ("rejected", "rejected"),
+                ("quarantined", "quarantined"),
+                ("policy_rejected", "policy_rejected"),
+                ("stale", "stale_dropped"),
+                ("overflow", "overflow_dropped"),
+                ("rate_limited", "rate_limited"),
+                ("deadline_expired", "deadline_expired"),
+                ("shed", "overload_shed"),
+            ):
+                assert counters[key] == ledger[cause], (tenant, cause)

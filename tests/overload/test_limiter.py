@@ -1,0 +1,100 @@
+"""Tests for the stream-time token buckets (repro.overload.limiter)."""
+
+import pytest
+
+from repro.exceptions import ConfigError, RateLimitError
+from repro.overload.limiter import RateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate_hz=2.0, burst=4.0)
+        assert bucket.available(0.0) == 4.0
+
+    def test_burst_defaults_to_rate_with_floor_of_one(self):
+        assert TokenBucket(rate_hz=5.0).burst == 5.0
+        assert TokenBucket(rate_hz=0.25).burst == 1.0
+
+    def test_take_spends_and_refuses_when_empty(self):
+        bucket = TokenBucket(rate_hz=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_by_stream_time(self):
+        bucket = TokenBucket(rate_hz=2.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 0.5 s of stream time at 2 Hz buys exactly one token back.
+        assert bucket.try_take(0.5)
+        assert not bucket.try_take(0.5)
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate_hz=10.0, burst=3.0)
+        bucket.try_take(0.0)
+        assert bucket.available(1000.0) == 3.0
+
+    def test_time_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate_hz=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_hz=0.0)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_hz=-1.0)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_hz=1.0, burst=0.5)
+
+
+class TestRateLimiter:
+    def test_buckets_are_per_tenant(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        assert limiter.admit("a", 0.0)
+        # "a" is now empty, but "b" still holds its own full bucket.
+        assert not limiter.admit("a", 0.0)
+        assert limiter.admit("b", 0.0)
+
+    def test_within_rate_tenant_is_never_refused(self):
+        limiter = RateLimiter(rate_hz=2.0, burst=2.0)
+        for i in range(100):
+            assert limiter.admit("steady", i * 0.5)
+        assert limiter.limited("steady") == 0
+
+    def test_over_rate_tenant_is_refused_and_counted(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        admitted = sum(limiter.admit("hot", i * 0.1) for i in range(100))
+        # ~9.9 s of stream time at 1 Hz plus the initial token.
+        assert admitted == 10
+        assert limiter.limited("hot") == 90
+        assert limiter.limited_total == 90
+
+    def test_overrides_give_tenants_their_own_rate(self):
+        limiter = RateLimiter(rate_hz=1.0, overrides={"vip": 10.0})
+        assert limiter.reserved_hz("vip") == 10.0
+        assert limiter.reserved_hz("anyone-else") == 1.0
+        admitted = sum(limiter.admit("vip", i * 0.1) for i in range(50))
+        assert admitted == 50
+
+    def test_require_raises_typed_error(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        limiter.require("hot", 0.0)
+        with pytest.raises(RateLimitError, match="hot"):
+            limiter.require("hot", 0.0)
+
+    def test_snapshot_shape(self):
+        limiter = RateLimiter(rate_hz=1.0, burst=1.0)
+        limiter.admit("a", 0.0)
+        limiter.admit("a", 0.0)
+        snap = limiter.snapshot()
+        assert snap["tenants"] == 1
+        assert snap["limited_total"] == 1
+        assert snap["limited_by_tenant"] == {"a": 1}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            RateLimiter(rate_hz=0.0)
+        with pytest.raises(ConfigError):
+            RateLimiter(rate_hz=1.0, overrides={"t": -1.0})

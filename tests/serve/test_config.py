@@ -124,3 +124,44 @@ class TestEngineAcceptsConfig:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             InferenceEngine(_Estimator(), ServeConfig())
+
+
+class TestOverloadConfigValidation:
+    def test_valid_overload_config_accepted(self):
+        from repro.overload.governor import OverloadPolicy
+
+        config = ServeConfig(
+            rate_limit_hz=8.0, rate_limit_burst=16.0,
+            deadline_ms=2000.0, queue_credit=32,
+            overload=OverloadPolicy(),
+        )
+        assert config.rate_limit_hz == 8.0
+        assert config.queue_credit == 32
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(rate_limit_hz=0.0)
+        with pytest.raises(ConfigError):
+            ServeConfig(rate_limit_hz=-1.0)
+
+    def test_rejects_burst_without_rate(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(rate_limit_burst=4.0)
+
+    def test_rejects_sub_frame_burst(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(rate_limit_hz=1.0, rate_limit_burst=0.5)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(deadline_ms=0.0)
+
+    def test_rejects_bad_queue_credit(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(queue_credit=0)
+
+    def test_overload_errors_catchable_as_configuration_error(self):
+        # ConfigError subclasses ConfigurationError, so existing handlers
+        # written against the old name still catch overload-plane knobs.
+        with pytest.raises(ConfigurationError):
+            ServeConfig(deadline_ms=-5.0)

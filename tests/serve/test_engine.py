@@ -8,6 +8,7 @@ from repro.config import TrainingConfig
 from repro.core.detector import OccupancyDetector
 from repro.data.streaming import StreamingDetector
 from repro.exceptions import ConfigurationError, ServingError
+from repro.overload.governor import OverloadPolicy, ServiceMode
 from repro.serve.config import ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.queue import PendingFrame
@@ -397,3 +398,291 @@ class TestObserverIntegration:
         assert engine.registry.histogram("stage_predict_ms").count == 2
         dump = obs.dump()
         assert "repro_frames_in" in dump["prometheus"]
+
+
+class TestOverloadPlane:
+    """The engine half of the overload control plane (repro.overload)."""
+
+    def test_rate_limited_frames_get_typed_outcome(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=4, max_latency_ms=None,
+                        rate_limit_hz=1.0, rate_limit_burst=1.0),
+        )
+        assert engine.submit_frame("a", 0.0, _row()).outcome == "enqueued"
+        ticket = engine.submit_frame("a", 0.0, _row())
+        assert ticket.outcome == "rate_limited"
+        assert not ticket.admitted
+        assert engine.registry.counter("frames_rate_limited").value == 1
+        assert engine.link_stats("a")["rate_limited"] == 1
+        # Tokens refill in stream time: one second buys the next frame.
+        assert engine.submit_frame("a", 1.0, _row()).outcome == "enqueued"
+
+    def test_rate_limit_is_per_link(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=8, max_latency_ms=None,
+                        rate_limit_hz=1.0, rate_limit_burst=1.0),
+        )
+        engine.submit_frame("chatty", 0.0, _row())
+        assert engine.submit_frame("chatty", 0.0, _row()).outcome == "rate_limited"
+        # The quiet link's bucket is untouched by the chatty one.
+        assert engine.submit_frame("quiet", 0.0, _row()).outcome == "enqueued"
+
+    def test_malformed_frames_spend_no_tokens(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=4, max_latency_ms=None,
+                        rate_limit_hz=1.0, rate_limit_burst=1.0),
+        )
+        bad = _row()
+        bad[0] = np.nan
+        assert engine.submit_frame("a", 0.0, bad).outcome == "rejected"
+        # The shape gate ran first, so the bucket still holds its token.
+        assert engine.submit_frame("a", 0.0, _row()).outcome == "enqueued"
+
+    def test_expired_frames_shed_at_dequeue(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=16, max_latency_ms=None,
+                        deadline_ms=1000.0, auto_flush=False),
+        )
+        engine.submit("a", 0.0, _row())
+        engine.submit("a", 5.0, _row())
+        results = engine.pump(now_s=5.0)
+        # The t=0 frame waited 5 s against a 1 s budget: shed, not served.
+        assert [r.t_s for r in results] == [5.0]
+        assert engine.link_stats("a")["deadline_expired"] == 1
+        assert engine.registry.counter("frames_deadline_expired").value == 1
+        # Deadline sheds are load decisions, never link faults.
+        assert engine.health("a") is LinkHealth.HEALTHY
+
+    def test_queue_credit_bounds_one_links_share(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=16, max_latency_ms=None, queue_capacity=16,
+                        queue_credit=2, auto_flush=False),
+        )
+        for i in range(5):
+            engine.submit("hog", float(i), _row())
+        engine.submit("meek", 5.0, _row())
+        # The hog evicted its own oldest frames at its credit bound; the
+        # meek link's frame still sits in plentiful global capacity.
+        assert engine.link_stats("hog")["overflow"] == 3
+        assert engine.link_stats("meek")["overflow"] == 0
+        served = engine.flush()
+        assert sorted(r.t_s for r in served if r.link_id == "hog") == [3.0, 4.0]
+
+    def test_governor_serves_fastpath_under_pressure(self):
+        engine = InferenceEngine(
+            EchoEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False,
+                overload=OverloadPolicy(
+                    fastpath_at=0.01, fallback_at=5.0, shed_at=6.0,
+                    alpha=1.0, hold_ticks=1, jitter=0.0,
+                ),
+            ),
+        )
+        engine.attach_fastpath(ConstantEstimator(0.25))
+        for i in range(4):
+            engine.submit("a", float(i), _row(0.9))
+        results = engine.pump()
+        assert engine.mode is ServiceMode.FASTPATH_ONLY
+        assert all(r.source == "fastpath" for r in results)
+        assert all(r.probability == pytest.approx(0.25) for r in results)
+        # Fastpath answers count as primary for link health.
+        assert engine.health("a") is LinkHealth.HEALTHY
+
+    def test_governor_without_fastpath_falls_through_to_primary(self):
+        engine = InferenceEngine(
+            EchoEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False,
+                overload=OverloadPolicy(
+                    fastpath_at=0.01, fallback_at=5.0, shed_at=6.0,
+                    alpha=1.0, hold_ticks=1, jitter=0.0,
+                ),
+            ),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row(0.9))
+        results = engine.pump()
+        assert all(r.source == "primary" for r in results)
+
+    def test_governor_fallback_only_skips_primary(self):
+        engine = InferenceEngine(
+            EchoEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False, fallback=PriorFallback(prior=0.8),
+                overload=OverloadPolicy(
+                    fastpath_at=0.01, fallback_at=0.02, shed_at=6.0,
+                    alpha=1.0, hold_ticks=1, jitter=0.0,
+                ),
+            ),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row(0.9))
+        results = engine.pump()
+        assert engine.mode is ServiceMode.FALLBACK_ONLY
+        assert all(r.source == "fallback" for r in results)
+        assert all(r.probability == pytest.approx(0.8) for r in results)
+
+    def test_governor_shed_mode_drops_typed_and_health_neutral(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False,
+                overload=OverloadPolicy(
+                    fastpath_at=0.01, fallback_at=0.02, shed_at=0.03,
+                    alpha=1.0, hold_ticks=1, jitter=0.0,
+                ),
+            ),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row())
+        results = engine.pump()
+        assert engine.mode is ServiceMode.SHED
+        assert results == []
+        assert engine.link_stats("a")["overload_shed"] == 4
+        assert engine.registry.counter("frames_shed_overload").value == 4
+        assert engine.health("a") is LinkHealth.IDLE  # untouched by sheds
+
+    def test_governor_recovers_after_calm(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False,
+                overload=OverloadPolicy(
+                    fastpath_at=0.4, fallback_at=5.0, shed_at=6.0,
+                    alpha=1.0, hold_ticks=1, probe_cooldown_s=1.0,
+                    jitter=0.0,
+                ),
+            ),
+        )
+        for i in range(4):
+            engine.submit("a", float(i), _row())
+        engine.pump()
+        assert engine.mode is ServiceMode.FASTPATH_ONLY
+        # One calm, post-cooldown batch probes back down to FULL.
+        engine.submit("a", 100.0, _row())
+        engine.pump(now_s=100.0)
+        assert engine.mode is ServiceMode.FULL
+
+    def test_supervisor_reject_wins_over_governor(self):
+        # Breakers hold both tiers open: the governor cannot force
+        # traffic onto a tier the supervisor rejects.
+        from repro.guard.breaker import CircuitBreaker
+        from repro.guard.supervisor import RecoverySupervisor
+
+        supervisor = RecoverySupervisor(
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_s=1e6, max_cooldown_s=1e6),
+            fallback_breaker=CircuitBreaker(failure_threshold=1, cooldown_s=1e6, max_cooldown_s=1e6),
+        )
+        supervisor.record_primary_failure(0.0)
+        supervisor.record_fallback_failure(0.0)
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(
+                max_batch=8, max_latency_ms=None, queue_capacity=8,
+                auto_flush=False, supervisor=supervisor,
+                overload=OverloadPolicy(
+                    fastpath_at=0.01, fallback_at=5.0, shed_at=6.0,
+                    alpha=1.0, hold_ticks=1, jitter=0.0,
+                ),
+            ),
+        )
+        engine.attach_fastpath(ConstantEstimator(0.25))
+        engine.submit("a", 0.0, _row())
+        assert engine.pump(now_s=0.5) == []
+        assert engine.link_stats("a")["policy_rejected"] == 1
+
+    def test_full_mode_governor_is_byte_identical_noop(self):
+        # A governor that never leaves FULL must not change a single
+        # answer or shed a single frame vs the ungoverned engine.
+        def run(overload):
+            engine = InferenceEngine(
+                EchoEstimator(),
+                ServeConfig(max_batch=4, max_latency_ms=None,
+                            overload=overload),
+            )
+            rng = np.random.default_rng(7)
+            out = []
+            for i in range(64):
+                row = np.abs(rng.normal(size=4)) + 0.01
+                out.extend(engine.submit("a", float(i), row))
+            out.extend(engine.flush())
+            return engine, out
+
+        plain_engine, plain = run(None)
+        governed_engine, governed = run(OverloadPolicy())
+        assert governed_engine.mode is ServiceMode.FULL
+        assert [r.probability for r in governed] == [r.probability for r in plain]
+        assert [r.t_s for r in governed] == [r.t_s for r in plain]
+        stats = governed_engine.link_stats("a")
+        assert stats["overload_shed"] == 0
+        assert stats["deadline_expired"] == 0
+        assert stats["rate_limited"] == 0
+        assert stats["frames_out"] == plain_engine.link_stats("a")["frames_out"]
+
+    def test_attach_fastpath_validates_and_detaches(self):
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=4, max_latency_ms=None))
+        with pytest.raises(ConfigurationError):
+            engine.attach_fastpath(object())  # no predict_proba
+        engine.attach_fastpath(ConstantEstimator(0.5))
+        engine.attach_fastpath(None)  # detach is allowed
+        assert engine._fastpath is None
+
+    def test_link_stats_unknown_link_raises(self):
+        engine = InferenceEngine(ConstantEstimator(), ServeConfig(max_batch=4, max_latency_ms=None))
+        with pytest.raises(ConfigurationError):
+            engine.link_stats("nope")
+
+
+class TestPump:
+    def test_auto_flush_off_defers_service_to_pump(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=2, max_latency_ms=None, auto_flush=False),
+        )
+        for i in range(6):
+            assert engine.submit("a", float(i), _row()) == []
+        assert engine.queue.depth == 6
+        assert len(engine.pump(3)) == 3
+        assert engine.queue.depth == 3
+        assert len(engine.pump()) == 3  # None drains the rest
+        assert engine.queue.depth == 0
+
+    def test_pump_respects_max_batch(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=2, max_latency_ms=None, auto_flush=False),
+        )
+        for i in range(5):
+            engine.submit("a", float(i), _row())
+        engine.pump()
+        assert engine.registry.histogram("batch_size").percentile(100) <= 2
+
+    def test_pump_advances_stream_time(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=4, max_latency_ms=None, auto_flush=False,
+                        stale_after_s=2.0),
+        )
+        engine.submit("a", 0.0, _row())
+        engine.pump(now_s=10.0)
+        # Stream time moved to 10 s, so the frame aged out as stale.
+        assert engine.link_stats("a")["stale_dropped"] == 1
+
+    def test_pump_rejects_negative_budget(self):
+        engine = InferenceEngine(
+            ConstantEstimator(),
+            ServeConfig(max_batch=2, max_latency_ms=None, auto_flush=False),
+        )
+        with pytest.raises(ConfigurationError):
+            engine.pump(-1)

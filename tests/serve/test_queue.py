@@ -92,3 +92,51 @@ class TestDrain:
         assert [f.t_s for f in batch] == [0.0, 1.0, 2.0, 3.0, 4.0]
         assert q.depth == 0
         assert len(q) == 0
+
+
+class TestQueueCredit:
+    def _q(self, credit=2, capacity=8):
+        return MicroBatchQueue(max_batch=4, max_latency_s=None,
+                               capacity=capacity, credit=credit)
+
+    def test_rejects_bad_credit(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatchQueue(max_batch=2, credit=0)
+
+    def test_link_over_credit_evicts_its_own_oldest(self):
+        q = self._q(credit=2)
+        q.push(PendingFrame("hog", 0.0, np.zeros(4)))
+        q.push(PendingFrame("meek", 1.0, np.zeros(4)))
+        q.push(PendingFrame("hog", 2.0, np.zeros(4)))
+        evicted = q.push(PendingFrame("hog", 3.0, np.zeros(4)))
+        # The hog pays with its own oldest frame, not the meek link's.
+        assert evicted is not None
+        assert (evicted.link_id, evicted.t_s) == ("hog", 0.0)
+        assert q.link_depth("meek") == 1
+        assert q.link_depth("hog") == 2
+
+    def test_full_queue_still_evicts_global_oldest(self):
+        q = MicroBatchQueue(max_batch=2, max_latency_s=None, capacity=2,
+                            credit=2)
+        q.push(PendingFrame("a", 0.0, np.zeros(4)))
+        q.push(PendingFrame("b", 1.0, np.zeros(4)))
+        evicted = q.push(PendingFrame("c", 2.0, np.zeros(4)))
+        assert (evicted.link_id, evicted.t_s) == ("a", 0.0)
+
+    def test_link_depth_tracks_drain(self):
+        q = self._q(credit=4)
+        for i in range(3):
+            q.push(PendingFrame("a", float(i), np.zeros(4)))
+        assert q.link_depth("a") == 3
+        q.drain(2)
+        assert q.link_depth("a") == 1
+        assert q.link_depth("never-seen") == 0
+
+    def test_oldest_t_s(self):
+        q = self._q()
+        assert q.oldest_t_s is None
+        q.push(PendingFrame("a", 5.0, np.zeros(4)))
+        q.push(PendingFrame("a", 7.0, np.zeros(4)))
+        assert q.oldest_t_s == 5.0
+        q.drain_all()
+        assert q.oldest_t_s is None

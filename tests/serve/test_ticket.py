@@ -24,12 +24,28 @@ def _engine(**overrides):
 
 class TestFrameTicket:
     def test_outcome_vocabulary(self):
-        assert TICKET_OUTCOMES == ("enqueued", "rejected", "quarantined")
+        assert TICKET_OUTCOMES == (
+            "enqueued",
+            "rejected",
+            "quarantined",
+            "rate_limited",
+        )
 
     def test_admitted_only_when_enqueued(self):
         enq = FrameTicket("link-0", 0, 0.0, "enqueued")
         rej = FrameTicket("link-0", 1, 0.0, "rejected")
-        assert enq.admitted and not rej.admitted
+        lim = FrameTicket("link-0", 2, 0.0, "rate_limited")
+        assert enq.admitted and not rej.admitted and not lim.admitted
+
+    def test_require_admitted(self):
+        from repro.exceptions import RateLimitError, StreamError
+
+        enq = FrameTicket("link-0", 0, 0.0, "enqueued")
+        assert enq.require_admitted() is enq
+        with pytest.raises(RateLimitError):
+            FrameTicket("link-0", 1, 0.0, "rate_limited").require_admitted()
+        with pytest.raises(StreamError):
+            FrameTicket("link-0", 2, 0.0, "quarantined").require_admitted()
 
     def test_frozen(self):
         with pytest.raises(AttributeError):

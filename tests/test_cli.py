@@ -49,6 +49,8 @@ class TestParser:
             ["obs-report", "trace.json", "--prom"],
             ["perf-bench"],
             ["perf-bench", "--inputs", "66", "--quick", "--output", "BENCH_serve.json"],
+            ["overload-bench", "--quick"],
+            ["overload-bench", "--skew", "5", "--deadline-ms", "1000"],
         ],
     )
     def test_all_commands_parse(self, argv):
@@ -307,6 +309,43 @@ class TestFleetBench:
     def test_rejects_bad_rate(self, capsys):
         assert main(["fleet-bench", "--rate", "0"]) == 2
         assert "--rate" in capsys.readouterr().err
+
+
+class TestOverloadBench:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["overload-bench"])
+        assert callable(args.func)
+        assert args.skew == 10.0
+        assert args.reserved_hz == 8.0
+        assert args.seed == 2022
+        assert args.output == "BENCH_overload.json"
+
+    def test_quick_writes_enveloped_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_overload.json"
+        code = main(["overload-bench", "--quick", "--output", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "ledger reconciliation: OK" in stdout
+        assert "deadline honesty     : OK" in stdout
+        assert "fairness (reserved)  : OK" in stdout
+        assert "degradation ladder   : OK" in stdout
+        report = json.loads(out.read_text())
+        assert report["bench"] == "overload-bench"
+        assert report["schema_version"] == 1
+        assert report["quick"] is True
+        assert report["gates"]["passed"] is True
+        assert set(report["arms"]) == {
+            "unprotected", "protected", "governed", "fleet",
+        }
+        assert report["wall_clock_s"] > 0
+
+    def test_rejects_bad_cold_tenants(self, capsys):
+        assert main(["overload-bench", "--cold-tenants", "0"]) == 2
+        assert "--cold-tenants" in capsys.readouterr().err
+
+    def test_rejects_bad_skew(self, capsys):
+        assert main(["overload-bench", "--skew", "1"]) == 2
+        assert "--skew" in capsys.readouterr().err
 
 
 class TestBenchEnvelope:

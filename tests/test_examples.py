@@ -29,6 +29,7 @@ def test_expected_examples_present():
         "self_healing_service.py",
         "self_updating_service.py",
         "traced_service.py",
+        "overloaded_service.py",
     } <= names
 
 

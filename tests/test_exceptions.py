@@ -19,6 +19,12 @@ class TestHierarchy:
             "AutogradError",
             "DeploymentError",
             "SerializationError",
+            "ConfigError",
+            "StreamError",
+            "ValidationError",
+            "ServingError",
+            "RateLimitError",
+            "DeadlineError",
         ],
     )
     def test_all_derive_from_repro_error(self, name):
@@ -38,6 +44,18 @@ class TestHierarchy:
 
     def test_not_fitted_is_runtime_error(self):
         assert issubclass(exceptions.NotFittedError, RuntimeError)
+
+    def test_overload_errors_are_serving_errors(self):
+        # Catching ServingError at a request boundary covers both typed
+        # overload refusals without naming them individually.
+        assert issubclass(exceptions.RateLimitError, exceptions.ServingError)
+        assert issubclass(exceptions.DeadlineError, exceptions.ServingError)
+        assert issubclass(exceptions.ServingError, RuntimeError)
+
+    def test_config_error_is_configuration_error(self):
+        # Legacy except ConfigurationError blocks keep catching the
+        # shorter-named overload-plane config failures.
+        assert issubclass(exceptions.ConfigError, exceptions.ConfigurationError)
 
     def test_catching_base_catches_all(self):
         with pytest.raises(exceptions.ReproError):
