@@ -457,6 +457,9 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     if args.rate <= 0:
         print("fleet-bench: --rate must be positive", file=sys.stderr)
         return 2
+    if args.churn_ticks < 0:
+        print("fleet-bench: --churn-ticks must be >= 0", file=sys.stderr)
+        return 2
 
     mode = "quick (CI smoke)" if args.quick else "full"
     print(f"Fleet bench: {args.tenants} tenant(s) x {args.frames} frames, "
@@ -471,6 +474,7 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
         distinct_every=args.distinct_every,
         seed=args.seed,
         quick=args.quick,
+        churn_ticks=args.churn_ticks,
     )
     _emit_bench_report(
         report, args, "fleet-bench", wall_clock_s=time.perf_counter() - bench_start
@@ -484,6 +488,17 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
         failed.append("observer ledgers do not reconcile")
     if not report.counters_reconciled:
         failed.append("per-tenant counter rollups do not reconcile")
+    if report.churn is not None:
+        if not report.churn.byte_identical:
+            failed.append("churn arm: fused outputs DIVERGED under tenant churn")
+        if not report.churn.ledger_reconciled:
+            failed.append("churn arm: per-tenant ledgers do not reconcile")
+        if not report.churn.drain_exact:
+            failed.append("churn arm: a detach drain did not reconcile "
+                          "(drained != served + shed)")
+        if report.churn.post_detach_serves:
+            failed.append(f"churn arm: {report.churn.post_detach_serves} "
+                          f"frame(s) served after their tenant detached")
     if failed:
         for reason in failed:
             print(f"fleet-bench: {reason}", file=sys.stderr)
@@ -745,6 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distinct-every", type=int, default=8,
                    help="every Nth tenant gets its own odd-one-out plan that "
                         "cannot fuse (default 8; 0 for one shared cohort)")
+    p.add_argument("--churn-ticks", type=int, default=24,
+                   help="ticks of the elasticity churn arm — seeded "
+                        "attach/detach/swap under live traffic, gated on "
+                        "ledger + drain + identity (default 24; 0 disables)")
     p.set_defaults(func=cmd_fleet_bench)
 
     p = add_bench(

@@ -20,13 +20,14 @@ See DESIGN.md §13 for the contracts and the measured BLAS behaviour the
 fusion rules rest on.
 """
 
-from .bench import FleetBenchReport, run_fleet_bench
+from .bench import ChurnStats, FleetBenchReport, run_churn_scenario, run_fleet_bench
 from .fusion import FusionScheduler, TenantBatch, TickOutcome, TiledPlanRunner
 from .registry import PlanRegistry, PlanSignature
 from .router import FleetRouter, TenantFrame
-from .service import Fleet
+from .service import Fleet, TenantLifecycle
 
 __all__ = [
+    "ChurnStats",
     "Fleet",
     "FleetBenchReport",
     "FleetRouter",
@@ -35,7 +36,9 @@ __all__ = [
     "PlanSignature",
     "TenantBatch",
     "TenantFrame",
+    "TenantLifecycle",
     "TickOutcome",
     "TiledPlanRunner",
+    "run_churn_scenario",
     "run_fleet_bench",
 ]

@@ -156,6 +156,21 @@ class FusionScheduler:
             self._runners[signature] = runner
         return runner
 
+    def evict(self, signature: PlanSignature) -> bool:
+        """Drop a cohort's cached runner (its last tenant detached or
+        re-planned); returns True when a runner was actually cached.
+
+        Under churn, plans come and go with their tenants — without
+        eviction the runner cache (and its scratch buffers) would grow
+        monotonically with every signature the fleet has *ever* served.
+        """
+        return self._runners.pop(signature, None) is not None
+
+    @property
+    def cached_runners(self) -> int:
+        """Signatures currently holding a cached runner."""
+        return len(self._runners)
+
     def run_tick(self, batches: list[TenantBatch]) -> TickOutcome:
         """Execute one tick's worth of pending tenant batches."""
         outcome = TickOutcome()

@@ -25,6 +25,7 @@ per-room tenancy only in the guard/observer state.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
 
 from ..exceptions import ConfigurationError
@@ -92,13 +93,74 @@ class PlanRegistry:
         self.n_shards = int(n_shards)
         self._shards: list[dict[str, InferencePlan]] = [{} for _ in range(n_shards)]
         self._signatures: dict[str, PlanSignature] = {}
+        # Explicit shard overrides written by rebalance(); a tenant with no
+        # override lives on its hash home shard.  Consistent-hash-style
+        # stability: only tenants the rebalancer *chose* to move carry an
+        # entry, everyone else keeps the process-independent hash mapping.
+        self._assigned: dict[str, int] = {}
 
     # ------------------------------------------------------------- sharding
 
-    def shard_of(self, tenant_id: str) -> int:
-        """Stable shard index for a tenant (process-independent hash)."""
+    def home_shard(self, tenant_id: str) -> int:
+        """The pure-hash shard a tenant maps to absent any rebalancing."""
         digest = hashlib.sha1(tenant_id.encode("utf-8")).digest()
         return int.from_bytes(digest[:4], "big") % self.n_shards
+
+    def shard_of(self, tenant_id: str) -> int:
+        """Current shard index: a rebalance override, else the hash home."""
+        assigned = self._assigned.get(tenant_id)
+        return assigned if assigned is not None else self.home_shard(tenant_id)
+
+    def shard_counts(self) -> tuple[int, ...]:
+        """Tenants currently resident on each shard, by shard index."""
+        return tuple(len(shard) for shard in self._shards)
+
+    def skew(self) -> float:
+        """Max per-shard tenant count over the mean count (0.0 when empty).
+
+        A perfectly balanced registry has skew 1.0; the value the
+        rebalancer compares against its configured ratio.
+        """
+        n = len(self._signatures)
+        if n == 0:
+            return 0.0
+        return max(self.shard_counts()) * self.n_shards / n
+
+    def rebalance(self, max_skew: float = 2.0) -> list[tuple[str, int, int]]:
+        """Migrate tenants off overloaded shards; returns the migrations.
+
+        A shard is overloaded when its tenant count exceeds
+        ``ceil(mean * max_skew)`` (never below 1).  Each pass moves the
+        lexicographically-smallest tenant from the fullest shard to the
+        emptiest until no shard is overloaded — deterministic, and
+        **stable**: tenants on shards within the ceiling are never
+        touched, so repeated passes over an unchanged population are
+        no-ops.  Moved tenants get an explicit assignment override
+        (cleared on :meth:`remove`), so the migration survives later
+        lookups without perturbing anyone else's hash mapping.
+
+        Returned tuples are ``(tenant_id, from_shard, to_shard)``.
+        """
+        if max_skew < 1.0:
+            raise ConfigurationError("max_skew must be >= 1.0")
+        n = len(self._signatures)
+        if n == 0:
+            return []
+        ceiling = max(1, math.ceil(n / self.n_shards * max_skew))
+        counts = [len(shard) for shard in self._shards]
+        migrations: list[tuple[str, int, int]] = []
+        while True:
+            src = max(range(self.n_shards), key=counts.__getitem__)
+            if counts[src] <= ceiling:
+                break
+            dst = min(range(self.n_shards), key=counts.__getitem__)
+            tenant_id = min(self._shards[src])
+            self._shards[dst][tenant_id] = self._shards[src].pop(tenant_id)
+            self._assigned[tenant_id] = dst
+            counts[src] -= 1
+            counts[dst] += 1
+            migrations.append((tenant_id, src, dst))
+        return migrations
 
     # ------------------------------------------------------------ CRUD-ish
 
@@ -165,7 +227,12 @@ class PlanRegistry:
         if tenant_id not in shard:
             raise ConfigurationError(f"unknown tenant {tenant_id!r}")
         del self._signatures[tenant_id]
+        self._assigned.pop(tenant_id, None)
         return shard.pop(tenant_id)
+
+    def has_signature(self, signature: PlanSignature) -> bool:
+        """True when at least one registered tenant carries ``signature``."""
+        return any(sig == signature for sig in self._signatures.values())
 
     def get(self, tenant_id: str) -> InferencePlan:
         shard = self._shards[self.shard_of(tenant_id)]

@@ -63,6 +63,20 @@ class FleetRouter:
         ring = self._rings.get(tenant_id)
         return 0 if ring is None else len(ring)
 
+    def forget(self, tenant_id: str) -> None:
+        """Drop a tenant's ring entirely (post-detach cleanup).
+
+        The ring must be empty — forgetting pending frames would be a
+        silent drop, which the detach drain contract forbids.
+        """
+        ring = self._rings.get(tenant_id)
+        if ring:
+            raise ConfigurationError(
+                f"cannot forget tenant {tenant_id!r}: {len(ring)} frame(s) "
+                f"still pending (drain first)"
+            )
+        self._rings.pop(tenant_id, None)
+
     @property
     def total_depth(self) -> int:
         """Frames pending across every tenant."""

@@ -9,6 +9,27 @@ per-tenant ring buffers (:class:`~repro.fleet.router.FleetRouter`) and a
 :class:`~repro.fleet.fusion.FusionScheduler`, fusing same-signature
 cohorts into single batched GEMMs.
 
+Tenant lifecycle (the elasticity contract):
+
+.. code-block:: text
+
+    attach()            detach()              ring empty, ledger sealed
+      │    ┌──────────┐   │    ┌──────────┐    │    ┌──────────┐
+      └──► │ ATTACHED │ ──┴──► │ DRAINING │ ───┴──► │ DETACHED │
+           └──────────┘        └──────────┘         └──────────┘
+            submit/tick         real ticks serve     submit raises;
+            serve normally      the ring; submit     final counters
+                                is closed            archived
+
+``detach`` never drops silently: the tenant's ring is drained through
+*real* :meth:`Fleet.tick` calls (the same scheduler, guards and governor
+every other frame saw), and the returned counters prove it —
+``drained == drain_served + drain_shed`` exactly, or detach raises.
+Results produced by lifecycle-internal ticks (the cutover tick of
+:meth:`replace_plan`, the drain ticks of :meth:`detach`) are never lost:
+they accumulate in a spill buffer the caller harvests via
+:meth:`take_drained`.
+
 Isolation guarantees (the part that makes multi-tenancy honest):
 
 * **guard state is per tenant** — each ``attach`` builds fresh
@@ -37,12 +58,13 @@ and serves normally.
 
 from __future__ import annotations
 
+import enum
 import time
 
 import numpy as np
 
 from ..data.streaming import SmoothingDebouncer, Transition, check_csi_row
-from ..exceptions import ConfigurationError, ShapeError, StreamError
+from ..exceptions import ConfigurationError, ServingError, ShapeError, StreamError
 from ..fastpath.plan import InferencePlan
 from ..guard.supervisor import RecoverySupervisor, ServingMode
 from ..guard.validation import QuarantineBuffer, QuarantinedFrame
@@ -61,10 +83,19 @@ from .registry import PlanRegistry, PlanSignature
 from .router import FleetRouter, TenantFrame
 
 
+class TenantLifecycle(enum.Enum):
+    """Where a tenant is in its attach → drain → detach life."""
+
+    ATTACHED = "attached"  #: serving normally; submit admits frames
+    DRAINING = "draining"  #: detach in progress; ring served, submit closed
+    DETACHED = "detached"  #: gone; ledger sealed and archived
+
+
 class _TenantState:
     """Everything one tenant owns besides its registered plan."""
 
     def __init__(self, config: ServeConfig, metrics: MetricsRegistry, observer) -> None:
+        self.lifecycle = TenantLifecycle.ATTACHED
         self.debouncer = SmoothingDebouncer(config.window, config.hold_frames)
         self.health = LinkHealth.IDLE
         self.observer = observer
@@ -127,6 +158,11 @@ class Fleet:
     observer_factory:
         Zero-argument callable yielding one observer per tenant;
         defaults to the no-op :data:`~repro.obs.observer.NULL_OBSERVER`.
+    rebalance_skew:
+        Skew ratio (max per-shard tenant count over the mean) above which
+        a shard-rebalance pass runs automatically after every attach and
+        detach; ``None`` disables automatic rebalancing (explicit
+        :meth:`rebalance` calls still work).
     """
 
     def __init__(
@@ -137,7 +173,11 @@ class Fleet:
         tile: int = 16,
         fusion_enabled: bool = True,
         observer_factory=None,
+        rebalance_skew: float | None = None,
     ) -> None:
+        if rebalance_skew is not None and rebalance_skew < 1.0:
+            raise ConfigurationError("rebalance_skew must be >= 1.0 (or None)")
+        self.rebalance_skew = rebalance_skew
         self.config = config if config is not None else ServeConfig()
         self.metrics = (
             self.config.registry if self.config.registry is not None else MetricsRegistry()
@@ -150,6 +190,11 @@ class Fleet:
         #: Per-tenant rollout managers (see :mod:`repro.rollout.promote`),
         #: fed every served batch from :meth:`tick`.
         self._rollouts: dict[str, object] = {}
+        #: Final counters of every tenant that ever detached, keyed by id.
+        self._detached: dict[str, dict[str, int]] = {}
+        #: Results produced by lifecycle-internal ticks (replace_plan
+        #: cutover, detach drain) — harvested via :meth:`take_drained`.
+        self._drained_results: list[InferenceResult] = []
         self._now_s = -np.inf
         self._frame_seq = 0
         # Overload control plane — inert unless configured (see the
@@ -179,12 +224,16 @@ class Fleet:
 
     # -------------------------------------------------------------- tenants
 
-    def attach(self, tenant_id: str, model, scaler=None) -> PlanSignature:
+    def attach(
+        self, tenant_id: str, model, scaler=None, now_s: float | None = None
+    ) -> PlanSignature:
         """Register a tenant and build its isolated serving state.
 
         ``model`` may be a frozen :class:`~repro.fastpath.plan.InferencePlan`
         or a trainable :class:`~repro.nn.modules.Sequential` (frozen here,
-        with the optional ``scaler`` folded in).
+        with the optional ``scaler`` folded in).  The tenant enters the
+        lifecycle ATTACHED; a previously detached id may re-attach as a
+        fresh tenant (its archived ledger is released).
         """
         plan = self._freeze(model, scaler)
         signature = self.plans.register(tenant_id, plan)
@@ -193,9 +242,27 @@ class Fleet:
         )
         observer.bind_registry(self.metrics)
         self._tenants[tenant_id] = _TenantState(self.config, self.metrics, observer)
+        self._detached.pop(tenant_id, None)
+        if observer.enabled:
+            observer.emit(
+                "fleet.attach",
+                t_s=self._stamp(now_s),
+                link_id=tenant_id,
+                shard=self.plans.shard_of(tenant_id),
+                digest=signature.weights_digest[:8],
+            )
+        self.metrics.counter("fleet_attaches_total").inc()
         self.metrics.gauge("fleet_tenants").set(len(self._tenants))
         self._rescale_governor()
+        self._update_shard_gauges()
+        self._maybe_rebalance(now_s)
         return signature
+
+    def _stamp(self, now_s: float | None) -> float:
+        """Stream-time stamp for lifecycle events (0.0 before any traffic)."""
+        if now_s is not None:
+            self._now_s = max(self._now_s, float(now_s))
+        return self._now_s if np.isfinite(self._now_s) else 0.0
 
     def _rescale_governor(self) -> None:
         # The ring bound is per tenant, so fleet-wide capacity (what the
@@ -225,22 +292,33 @@ class Fleet:
         """Hot-swap one tenant's plan with drain-before-swap semantics.
 
         Every frame admitted before this call is served by the *old* plan
-        (a full :meth:`tick` runs first — the cutover tick), then the
+        (full :meth:`tick` calls run first — the cutover ticks, whose
+        results land in the :meth:`take_drained` spill), then the
         registry binding flips atomically and a ``fleet.plan_swap`` event
         marks the cutover on the tenant's observer.  No frame is dropped
-        or re-routed: the ledger stays exact through the swap.
+        or re-routed: the ledger stays exact through the swap.  When the
+        replacement carries a different :class:`PlanSignature`, the
+        tenant's fusion cohort re-keys from the next tick, and the old
+        cohort's cached runner is evicted once its last tenant leaves it.
         """
         state = self._tenant(tenant_id)
+        if state.lifecycle is not TenantLifecycle.ATTACHED:
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} is {state.lifecycle.value}; "
+                f"plans can only be replaced while attached"
+            )
         plan = self._freeze(model, scaler)
-        if self.router.depth(tenant_id):
-            self.tick(now_s)
+        while self.router.depth(tenant_id):
+            self._drained_results.extend(self.tick(now_s))
         old = self.plans.signature(tenant_id)
         signature = self.plans.replace_plan(tenant_id, plan)
+        if old != signature and not self.plans.has_signature(old):
+            self.scheduler.evict(old)
         self.metrics.counter("fleet_plan_swaps_total").inc()
         if state.observer.enabled:
             state.observer.emit(
                 "fleet.plan_swap",
-                t_s=self._now_s if now_s is None else float(now_s),
+                t_s=self._stamp(now_s),
                 link_id=tenant_id,
                 old_digest=old.weights_digest[:8],
                 new_digest=signature.weights_digest[:8],
@@ -248,33 +326,165 @@ class Fleet:
             )
         return signature
 
-    def detach(self, tenant_id: str, now_s: float | None = None) -> dict[str, int]:
-        """Remove a tenant after draining its pending frames.
+    #: Per-tenant counter keys a drain tick can move a frame into besides
+    #: ``frames_out`` — the typed shed causes of the drain reconciliation.
+    _DRAIN_SHED_KEYS = (
+        "policy_rejected",
+        "stale_dropped",
+        "deadline_expired",
+        "overload_shed",
+    )
 
-        The tenant's ring is served by its registered plan first (same
-        cutover tick as :meth:`replace_plan`), a ``fleet.detach`` event
-        seals its observer, and the final fleet-side counters are
-        returned so the caller can archive the room's ledger.
+    def detach(self, tenant_id: str, now_s: float | None = None) -> dict[str, int]:
+        """Remove a tenant after draining its ring through real ticks.
+
+        The lifecycle walks ATTACHED → DRAINING → DETACHED: an attached
+        rollout manager is aborted first (its shadow ledger closes), the
+        tenant's ring is then served to empty by repeated :meth:`tick`
+        calls — the same scheduler, guards and governor every other frame
+        saw, so drained frames may legitimately be served *or* shed, but
+        never dropped silently — and finally a ``fleet.detach`` event
+        seals the observer and the binding is removed.
+
+        Returns the tenant's final counters plus the drain audit:
+        ``drained`` (frames pending when detach began), ``drain_served``
+        and ``drain_shed``.  ``drained == drain_served + drain_shed`` is
+        enforced — a mismatch raises :class:`~repro.exceptions.ServingError`
+        rather than un-reconciling the ledger.  Results the drain ticks
+        produced (for this tenant and any other with pending work) are in
+        the :meth:`take_drained` spill.
         """
         state = self._tenant(tenant_id)
-        if self.router.depth(tenant_id):
-            self.tick(now_s)
+        if state.lifecycle is not TenantLifecycle.ATTACHED:
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} is already {state.lifecycle.value}"
+            )
+        manager = self._rollouts.pop(tenant_id, None)
+        if manager is not None and hasattr(manager, "abort"):
+            manager.abort(self._stamp(now_s))
+        state.lifecycle = TenantLifecycle.DRAINING
+        drained = self.router.depth(tenant_id)
+        served_before = state.frames_out
+        before = state.counters()
+        while self.router.depth(tenant_id):
+            self._drained_results.extend(self.tick(now_s))
+        drain_served = state.frames_out - served_before
+        drain_shed = sum(
+            state.counters()[key] - before[key] for key in self._DRAIN_SHED_KEYS
+        )
+        if drained != drain_served + drain_shed:
+            raise ServingError(
+                f"detach drain for tenant {tenant_id!r} does not reconcile: "
+                f"{drained} drained != {drain_served} served + {drain_shed} shed"
+            )
         final = state.counters()
+        final["drained"] = drained
+        final["drain_served"] = drain_served
+        final["drain_shed"] = drain_shed
         if state.observer.enabled:
             state.observer.emit(
                 "fleet.detach",
-                t_s=self._now_s if now_s is None else float(now_s),
+                t_s=self._stamp(now_s),
                 link_id=tenant_id,
                 frames_in=final["frames_in"],
                 frames_out=final["frames_out"],
+                drained=drained,
+                drain_served=drain_served,
+                drain_shed=drain_shed,
             )
+        state.lifecycle = TenantLifecycle.DETACHED
+        signature = self.plans.signature(tenant_id)
         self.plans.remove(tenant_id)
+        if not self.plans.has_signature(signature):
+            self.scheduler.evict(signature)
         del self._tenants[tenant_id]
-        self._rollouts.pop(tenant_id, None)
+        self.router.forget(tenant_id)
+        self._detached[tenant_id] = final
         self.metrics.counter("fleet_detaches_total").inc()
         self.metrics.gauge("fleet_tenants").set(len(self._tenants))
         self._rescale_governor()
+        self._update_shard_gauges()
+        self._maybe_rebalance(now_s)
         return final
+
+    def take_drained(self) -> list[InferenceResult]:
+        """Harvest (and clear) results produced by lifecycle-internal ticks.
+
+        :meth:`replace_plan` and :meth:`detach` run real ticks to drain
+        rings; those ticks serve every pending tenant, and their results
+        would otherwise be invisible to the caller.  They spill here
+        instead — zero silent drops extends to the *results*, not just
+        the counts.
+        """
+        results = self._drained_results
+        self._drained_results = []
+        return results
+
+    def lifecycle(self, tenant_id: str) -> TenantLifecycle:
+        """A tenant's lifecycle state (DETACHED survives removal)."""
+        state = self._tenants.get(tenant_id)
+        if state is not None:
+            return state.lifecycle
+        if tenant_id in self._detached:
+            return TenantLifecycle.DETACHED
+        raise ConfigurationError(f"unknown tenant {tenant_id!r}")
+
+    def detached_ledger(self, tenant_id: str) -> dict[str, int]:
+        """The archived final counters of a detached tenant."""
+        if tenant_id not in self._detached:
+            raise ConfigurationError(f"no detached tenant {tenant_id!r}")
+        return dict(self._detached[tenant_id])
+
+    @property
+    def detached_tenants(self) -> tuple[str, ...]:
+        """Tenants that have detached (and not re-attached), detach order."""
+        return tuple(self._detached)
+
+    # ------------------------------------------------------------ rebalance
+
+    def rebalance(
+        self, max_skew: float | None = None, now_s: float | None = None
+    ) -> list[tuple[str, int, int]]:
+        """Run one shard-rebalance pass; returns the migrations applied.
+
+        Emits one ``fleet.rebalance`` event per migrated tenant (on that
+        tenant's observer) and refreshes the ``fleet_shard_tenants{shard=…}``
+        gauges.  Tenants on shards within the skew ceiling never move.
+        """
+        skew = max_skew if max_skew is not None else self.rebalance_skew
+        if skew is None:
+            raise ConfigurationError(
+                "rebalance needs max_skew (or a fleet-level rebalance_skew)"
+            )
+        migrations = self.plans.rebalance(skew)
+        t = self._stamp(now_s)
+        for tenant_id, src, dst in migrations:
+            self.metrics.counter("fleet_rebalance_migrations_total").inc()
+            state = self._tenants.get(tenant_id)
+            if state is not None and state.observer.enabled:
+                state.observer.emit(
+                    "fleet.rebalance",
+                    t_s=t,
+                    link_id=tenant_id,
+                    from_shard=src,
+                    to_shard=dst,
+                )
+        if migrations:
+            self.metrics.counter("fleet_rebalance_passes_total").inc()
+        self._update_shard_gauges()
+        return migrations
+
+    def _maybe_rebalance(self, now_s: float | None) -> None:
+        if (
+            self.rebalance_skew is not None
+            and self.plans.skew() > self.rebalance_skew
+        ):
+            self.rebalance(self.rebalance_skew, now_s)
+
+    def _update_shard_gauges(self) -> None:
+        for shard, count in enumerate(self.plans.shard_counts()):
+            self.metrics.gauge(f"fleet_shard_tenants{{shard={shard}}}").set(count)
+        self.metrics.gauge("fleet_shard_skew").set(self.plans.skew())
 
     # -------------------------------------------------------------- rollout
 
@@ -326,9 +536,16 @@ class Fleet:
 
         The returned :class:`~repro.serve.types.FrameTicket` carries the
         admission outcome; its ``results`` tuple is always empty because
-        fleet inference is tick-driven, never submit-driven.
+        fleet inference is tick-driven, never submit-driven.  Only
+        ATTACHED tenants admit frames: a DRAINING or DETACHED tenant
+        raises, so no frame can slip in behind a drain.
         """
         state = self._tenant(tenant_id)
+        if state.lifecycle is not TenantLifecycle.ATTACHED:
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} is {state.lifecycle.value}; "
+                f"submissions are closed"
+            )
         obs = state.observer
         tracing = obs.enabled
         frame_id = self._frame_seq

@@ -75,8 +75,10 @@ EVENT_KINDS = frozenset(
         "rollout.rolled_back",   # promotion reverted (breaker trip / divergence)
         "rollout.futility_stop", # shadow ended without promotion (loss/futility)
         # -- fleet tenant churn --
+        "fleet.attach",          # a tenant joined the fleet (lifecycle ATTACHED)
         "fleet.plan_swap",       # a tenant's plan was replaced after a drain
         "fleet.detach",          # a tenant left the fleet after a drain
+        "fleet.rebalance",       # a tenant migrated shards (skew rebalancing)
     }
 )
 

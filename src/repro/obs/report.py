@@ -184,6 +184,22 @@ def render_run(run: dict, *, events_tail: int = 20) -> str:
             lines.append(
                 f"governor stepped the degradation ladder {mode_changes} time(s)"
             )
+    fleet_kinds = sorted(k for k in by_kind if k.startswith("fleet."))
+    if fleet_kinds:
+        lines.append("")
+        lines.append(
+            "fleet: "
+            + "  ".join(
+                f"{kind.split('.', 1)[1]}={by_kind[kind]}" for kind in fleet_kinds
+            )
+        )
+        migrations = int(by_kind.get("fleet.rebalance", 0))
+        if migrations:
+            lines.append(
+                f"shard rebalancing migrated this tenant {migrations} time(s)"
+            )
+        if by_kind.get("fleet.detach"):
+            lines.append("tenant detached: final ledger above is the archive")
     lines.append("")
     lines.append(
         f"event log: {total} event(s) lifetime, {len(events)} retained"

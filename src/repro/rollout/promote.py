@@ -424,6 +424,45 @@ class RolloutManager:
         if self.registry is not None:
             self.registry.counter("rollout_promotions_total").inc()
 
+    def abort(self, now_s: float = 0.0) -> dict | None:
+        """Tear down an in-flight rollout because its surface is detaching.
+
+        Called by :meth:`repro.fleet.service.Fleet.detach` (and usable by
+        any surface) before the drain starts, so the shadow never mirrors
+        frames the comparison will not score.  In SHADOW the run stops
+        cleanly: the shadow ledger is reconciled one last time, a
+        ``rollout.futility_stop`` event with ``decision="aborted"``
+        closes the trace, and the challenger is discarded — no swap ever
+        happened, so there is nothing to roll back.  In GUARD the
+        promotion already swapped in and the tenant is leaving anyway:
+        the retained champion and shadow buffer are released without a
+        swap (the plan registry binding dies with the tenant).  IDLE is a
+        no-op.  Returns the final shadow reconciliation (None when no
+        shadow was live).
+        """
+        if self.state is RolloutState.SHADOW:
+            self.last_reconciliation = self.reconcile()
+            snapshot = self.comparison.snapshot()
+            self.stops += 1
+            self._set_state(RolloutState.IDLE)
+            self.shadow = None
+            self._emit(
+                "rollout.futility_stop",
+                now_s,
+                decision="aborted",
+                n=snapshot["n"],
+                e_win=snapshot["e_win"],
+                e_loss=snapshot["e_loss"],
+            )
+            if self.registry is not None:
+                self.registry.counter("rollout_stops_total").inc()
+            return self.last_reconciliation
+        if self.state is RolloutState.GUARD:
+            self.last_reconciliation = self.reconcile()
+            self._seal()
+            return self.last_reconciliation
+        return None
+
     def _stop(self, verdict: Verdict, now_s: float) -> None:
         self.last_reconciliation = self.reconcile()
         snapshot = self.comparison.snapshot()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.fleet import run_fleet_bench
+from repro.fleet import run_churn_scenario, run_fleet_bench
 
 
 @pytest.fixture(scope="module")
@@ -13,6 +13,7 @@ def report():
         frames_per_tenant=8,
         frames_per_tick=4,
         distinct_every=3,
+        churn_ticks=8,
         seed=11,
     )
 
@@ -83,3 +84,71 @@ class TestRunFleetBench:
             run_fleet_bench(frames_per_tenant=0)
         with pytest.raises(ConfigurationError):
             run_fleet_bench(rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            run_fleet_bench(churn_ticks=-1)
+
+
+class TestChurnArm:
+    def test_report_carries_churn_audit(self, report):
+        churn = report.churn
+        assert churn is not None
+        assert churn.ticks == 8
+        assert churn.gates_ok
+        assert churn.frames_served <= churn.frames_submitted
+
+    def test_describe_mentions_churn_gates(self, report):
+        text = report.describe()
+        assert "churn identity       : OK" in text
+        assert "churn ledger         : OK" in text
+
+    def test_to_json_churn_payload(self, report):
+        payload = report.to_json()["churn"]
+        assert payload["byte_identical"] is True
+        assert payload["ledger_reconciled"] is True
+        assert payload["drain_exact"] is True
+        assert payload["post_detach_serves"] == 0
+        assert payload["ticks"] == 8
+        assert payload["frames_submitted"] >= payload["frames_served"]
+
+    def test_churn_ticks_zero_disables_arm(self):
+        report = run_fleet_bench(
+            n_tenants=3,
+            frames_per_tenant=4,
+            frames_per_tick=2,
+            distinct_every=0,
+            churn_ticks=0,
+            seed=5,
+        )
+        assert report.churn is None
+        assert report.to_json()["churn"] is None
+        assert "churn" not in report.describe()
+
+
+class TestRunChurnScenario:
+    def test_gates_hold_and_churn_actually_happened(self):
+        churn = run_churn_scenario(
+            ticks=10, n_initial=4, n_inputs=16, tile=8, seed=7
+        )
+        assert churn.gates_ok
+        assert churn.byte_identical
+        assert churn.ledger_reconciled
+        assert churn.drain_exact
+        assert churn.post_detach_serves == 0
+        assert churn.max_abs_delta == 0.0
+        # The schedule must exercise elasticity, not just steady state.
+        assert churn.detaches >= 1
+        assert churn.drained_total >= 1
+        assert churn.tenants_seen >= 4
+        assert churn.n_compared == churn.frames_served
+
+    def test_same_seed_same_audit(self):
+        kwargs = dict(ticks=6, n_initial=3, n_inputs=16, tile=8, seed=3)
+        assert run_churn_scenario(**kwargs) == run_churn_scenario(**kwargs)
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            run_churn_scenario(ticks=0)
+        with pytest.raises(ConfigurationError):
+            run_churn_scenario(n_initial=2)
+        with pytest.raises(ConfigurationError):
+            run_churn_scenario(frames_per_tick=0)

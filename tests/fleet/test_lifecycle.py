@@ -1,0 +1,295 @@
+"""Tenant lifecycle: drain-exact detach, re-attach, and fleet rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fastpath.plan import InferencePlan
+from repro.fleet import Fleet, PlanRegistry, TenantLifecycle
+from repro.nn.modules import Linear, ReLU, Sequential
+from repro.obs import Observer
+from repro.serve import ServeConfig
+
+N_IN = 6
+
+
+def _plan(seed=0):
+    rng = np.random.default_rng(seed)
+    return InferencePlan.from_model(
+        Sequential(Linear(N_IN, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+    )
+
+
+def _row(rng):
+    return rng.random(N_IN)
+
+
+def _fleet(**kwargs):
+    config = kwargs.pop(
+        "config", ServeConfig(max_batch=8, max_latency_ms=None, stale_after_s=None)
+    )
+    kwargs.setdefault("observer_factory", lambda: Observer())
+    return Fleet(config, **kwargs)
+
+
+class TestLifecycleStates:
+    def test_attach_enters_attached(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        assert fleet.lifecycle("room-a") is TenantLifecycle.ATTACHED
+
+    def test_attach_emits_event_with_shard(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        events = [
+            e for e in fleet._tenant("room-a").observer.events
+            if e.kind == "fleet.attach"
+        ]
+        assert len(events) == 1
+        assert events[0].data["shard"] == fleet.plans.shard_of("room-a")
+        assert fleet.metrics.counter("fleet_attaches_total").value == 1
+
+    def test_detach_enters_detached_and_archives(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        final = fleet.detach("room-a")
+        assert fleet.lifecycle("room-a") is TenantLifecycle.DETACHED
+        assert fleet.detached_tenants == ("room-a",)
+        assert fleet.detached_ledger("room-a") == final
+        assert final["drained"] == 0
+        assert final["drain_served"] == 0
+        assert final["drain_shed"] == 0
+
+    def test_unknown_tenant_lifecycle_raises(self):
+        with pytest.raises(ConfigurationError):
+            _fleet().lifecycle("ghost")
+        with pytest.raises(ConfigurationError):
+            _fleet().detached_ledger("ghost")
+
+    def test_double_detach_raises(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        fleet.detach("room-a")
+        with pytest.raises(ConfigurationError):
+            fleet.detach("room-a")
+
+    def test_submit_and_replace_closed_after_detach(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        fleet.detach("room-a")
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            fleet.submit("room-a", 0.0, _row(rng))
+        with pytest.raises(ConfigurationError):
+            fleet.replace_plan("room-a", _plan(1))
+
+    def test_reattach_after_detach_is_fresh(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        fleet.flush()
+        fleet.detach("room-a", now_s=1.0)
+        fleet.attach("room-a", _plan(1), now_s=2.0)
+        assert fleet.lifecycle("room-a") is TenantLifecycle.ATTACHED
+        assert fleet.counters("room-a")["frames_in"] == 0
+        # The archived ledger of the previous incarnation is released.
+        assert "room-a" not in fleet.detached_tenants
+
+
+class TestDrainExact:
+    def test_drain_serves_pending_frames(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            fleet.submit("room-a", float(i), _row(rng))
+        final = fleet.detach("room-a", now_s=4.0)
+        assert final["drained"] == 4
+        assert final["drain_served"] == 4
+        assert final["drain_shed"] == 0
+        results = fleet.take_drained()
+        assert len(results) == 4
+        assert all(r.tenant_id == "room-a" for r in results)
+        assert [r.frame_id for r in results] == sorted(r.frame_id for r in results)
+
+    def test_drain_sheds_stale_frames_exactly(self):
+        fleet = _fleet(
+            config=ServeConfig(max_batch=8, max_latency_ms=None, stale_after_s=1.0)
+        )
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        for i in range(3):
+            fleet.submit("room-a", float(i), _row(rng))
+        # Detach far in the future: every pending frame is stale, so the
+        # drain sheds rather than serves — and the audit still balances.
+        final = fleet.detach("room-a", now_s=100.0)
+        assert final["drained"] == 3
+        assert final["drain_served"] == 0
+        assert final["drain_shed"] == 3
+        assert final["stale_dropped"] == 3
+        assert fleet.take_drained() == []
+
+    def test_drain_ticks_spill_other_tenants_results(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan(0))
+        fleet.attach("room-b", _plan(1))
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        fleet.submit("room-b", 0.0, _row(rng))
+        fleet.detach("room-a", now_s=1.0)
+        # The drain tick served room-b's pending frame too; it spills
+        # instead of vanishing.
+        spilled = fleet.take_drained()
+        assert sorted({r.tenant_id for r in spilled}) == ["room-a", "room-b"]
+        # Harvesting clears the spill.
+        assert fleet.take_drained() == []
+
+    def test_detach_event_carries_drain_audit(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        observer = fleet._tenant("room-a").observer
+        fleet.detach("room-a", now_s=1.0)
+        detach_events = [e for e in observer.events if e.kind == "fleet.detach"]
+        assert len(detach_events) == 1
+        assert detach_events[0].data["drained"] == 1
+        assert detach_events[0].data["drain_served"] == 1
+        assert detach_events[0].data["drain_shed"] == 0
+
+    def test_detach_evicts_orphaned_runner_keeps_shared(self):
+        shared = _plan(0)
+        fleet = _fleet()
+        fleet.attach("room-a", shared)
+        fleet.attach("room-b", shared)
+        fleet.attach("room-c", _plan(1))
+        rng = np.random.default_rng(0)
+        for tenant in ("room-a", "room-b", "room-c"):
+            fleet.submit(tenant, 0.0, _row(rng))
+        fleet.flush()
+        assert fleet.scheduler.cached_runners == 2
+        fleet.detach("room-c")
+        # room-c's signature is orphaned: its runner cache entry goes.
+        assert fleet.scheduler.cached_runners == 1
+        fleet.detach("room-a")
+        # room-b still carries the shared signature: runner survives.
+        assert fleet.scheduler.cached_runners == 1
+        fleet.detach("room-b")
+        assert fleet.scheduler.cached_runners == 0
+
+
+class TestReplacePlanRekey:
+    def test_swap_rekeys_fusion_and_evicts_orphaned_runner(self):
+        shared = _plan(0)
+        fleet = _fleet()
+        fleet.attach("room-a", shared)
+        fleet.attach("room-b", shared)
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        fleet.submit("room-b", 0.0, _row(rng))
+        fleet.tick(0.5)
+        assert fleet.metrics.counter("fleet_fused_frames_total").value == 2
+        old_signature = fleet.plans.signature("room-a")
+        fleet.replace_plan("room-a", _plan(9), now_s=1.0)
+        assert fleet.plans.signature("room-a") != old_signature
+        # room-b still holds the old signature → its runner stays cached.
+        assert fleet.plans.has_signature(old_signature)
+        fleet.submit("room-a", 2.0, _row(rng))
+        fleet.submit("room-b", 2.0, _row(rng))
+        fleet.tick(2.5)
+        # Different signatures can no longer fuse: both served singleton.
+        assert fleet.metrics.counter("fleet_fused_frames_total").value == 2
+        assert fleet.metrics.counter("fleet_unfused_frames_total").value >= 2
+
+    def test_swap_to_orphaning_signature_evicts_runner(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan(0))
+        rng = np.random.default_rng(0)
+        fleet.submit("room-a", 0.0, _row(rng))
+        fleet.flush()
+        assert fleet.scheduler.cached_runners == 1
+        fleet.replace_plan("room-a", _plan(1), now_s=1.0)
+        # Old signature orphaned by the swap → runner evicted; the new
+        # one is built lazily on the next served tick.
+        assert fleet.scheduler.cached_runners == 0
+        fleet.submit("room-a", 2.0, _row(rng))
+        fleet.flush()
+        assert fleet.scheduler.cached_runners == 1
+
+
+def _hot_ids(registry, shard, count):
+    ids = []
+    i = 0
+    while len(ids) < count:
+        tenant_id = f"hot-{i:04d}"
+        if registry.home_shard(tenant_id) == shard:
+            ids.append(tenant_id)
+        i += 1
+    return ids
+
+
+class TestFleetRebalance:
+    def test_rebalance_requires_configured_or_explicit_skew(self):
+        fleet = _fleet()
+        fleet.attach("room-a", _plan())
+        with pytest.raises(ConfigurationError):
+            fleet.rebalance()
+
+    def test_rejects_bad_rebalance_skew(self):
+        with pytest.raises(ConfigurationError):
+            Fleet(ServeConfig(max_latency_ms=None), rebalance_skew=0.5)
+
+    def test_auto_rebalance_on_skewed_attach(self):
+        plans = PlanRegistry(n_shards=4)
+        fleet = _fleet(plans=plans, rebalance_skew=1.0)
+        plan = _plan()
+        for tenant_id in _hot_ids(plans, 0, 6):
+            fleet.attach(tenant_id, plan)
+        # Attaching six hash-colliding tenants trips the skew trigger:
+        # migrations happened automatically and the gauges reflect them.
+        assert fleet.metrics.counter("fleet_rebalance_migrations_total").value > 0
+        assert fleet.metrics.counter("fleet_rebalance_passes_total").value > 0
+        counts = plans.shard_counts()
+        assert sum(counts) == 6
+        assert max(counts) <= 2
+        for shard, count in enumerate(counts):
+            gauge = fleet.metrics.gauge(f"fleet_shard_tenants{{shard={shard}}}")
+            assert gauge.value == count
+
+    def test_rebalance_emits_event_per_migration(self):
+        plans = PlanRegistry(n_shards=4)
+        fleet = _fleet(plans=plans)  # no auto trigger
+        plan = _plan()
+        hot = _hot_ids(plans, 0, 6)
+        for tenant_id in hot:
+            fleet.attach(tenant_id, plan)
+        migrations = fleet.rebalance(max_skew=1.0, now_s=5.0)
+        assert migrations
+        for tenant_id, src, dst in migrations:
+            events = [
+                e for e in fleet._tenant(tenant_id).observer.events
+                if e.kind == "fleet.rebalance"
+            ]
+            assert len(events) == 1
+            assert events[0].data["from_shard"] == src
+            assert events[0].data["to_shard"] == dst
+        assert (
+            fleet.metrics.counter("fleet_rebalance_migrations_total").value
+            == len(migrations)
+        )
+
+    def test_migrated_tenant_still_serves(self):
+        plans = PlanRegistry(n_shards=4)
+        fleet = _fleet(plans=plans, rebalance_skew=1.0)
+        plan = _plan()
+        hot = _hot_ids(plans, 0, 6)
+        for tenant_id in hot:
+            fleet.attach(tenant_id, plan)
+        rng = np.random.default_rng(0)
+        for tenant_id in hot:
+            fleet.submit(tenant_id, 0.0, _row(rng))
+        results = fleet.flush()
+        assert len(results) == len(hot)
+        # All six share one plan: migration never broke the fusion cohort.
+        assert fleet.metrics.counter("fleet_fused_frames_total").value == len(hot)

@@ -119,3 +119,117 @@ class TestPlanRegistry:
         assert len(cohorts) == 2
         assert cohorts[registry.signature("room-a")] == ("room-a", "room-b")
         assert cohorts[registry.signature("room-c")] == ("room-c",)
+
+
+def _ids_on_shard(registry, shard, count):
+    """Deterministic tenant ids whose hash home is the given shard."""
+    ids = []
+    i = 0
+    while len(ids) < count:
+        tenant_id = f"hot-{i:04d}"
+        if registry.home_shard(tenant_id) == shard:
+            ids.append(tenant_id)
+        i += 1
+    return ids
+
+
+class TestShardRebalance:
+    def test_skew_is_zero_when_empty_and_one_when_balanced(self):
+        registry = PlanRegistry(n_shards=4)
+        assert registry.skew() == 0.0
+        plan = _plan()
+        for shard in range(4):
+            registry.register(_ids_on_shard(registry, shard, 1)[0], plan)
+        assert registry.skew() == pytest.approx(1.0)
+        assert registry.shard_counts() == (1, 1, 1, 1)
+
+    def test_rebalance_rejects_skew_below_one(self):
+        with pytest.raises(ConfigurationError):
+            PlanRegistry(n_shards=2).rebalance(0.5)
+
+    def test_rebalance_moves_off_overloaded_shard(self):
+        registry = PlanRegistry(n_shards=4)
+        plan = _plan()
+        hot = _ids_on_shard(registry, 0, 6)
+        for tenant_id in hot:
+            registry.register(tenant_id, plan)
+        assert registry.shard_counts() == (6, 0, 0, 0)
+        migrations = registry.rebalance(1.0)
+        # ceiling = ceil(6/4 * 1.0) = 2: four tenants had to move.
+        assert len(migrations) == 4
+        assert max(registry.shard_counts()) <= 2
+        # Deterministic victim order: lexicographically smallest first.
+        assert [m[0] for m in migrations] == sorted(hot)[:4]
+        for tenant_id, src, dst in migrations:
+            assert src == 0 and dst != 0
+            assert registry.shard_of(tenant_id) == dst
+            # The moved binding still resolves.
+            assert registry.get(tenant_id) is plan
+
+    def test_rebalance_is_stable_on_repeat(self):
+        registry = PlanRegistry(n_shards=4)
+        plan = _plan()
+        for tenant_id in _ids_on_shard(registry, 1, 8):
+            registry.register(tenant_id, plan)
+        first = registry.rebalance(1.0)
+        assert first
+        assert registry.rebalance(1.0) == []
+
+    def test_unaffected_tenants_never_move(self):
+        registry = PlanRegistry(n_shards=4)
+        plan = _plan()
+        settled = _ids_on_shard(registry, 2, 1)[0]
+        registry.register(settled, plan)
+        for tenant_id in _ids_on_shard(registry, 3, 7):
+            registry.register(tenant_id, plan)
+        migrations = registry.rebalance(1.0)
+        assert all(tenant_id != settled for tenant_id, _, _ in migrations)
+        assert registry.shard_of(settled) == registry.home_shard(settled) == 2
+
+    def test_remove_clears_assignment_override(self):
+        registry = PlanRegistry(n_shards=4)
+        plan = _plan()
+        hot = _ids_on_shard(registry, 0, 6)
+        for tenant_id in hot:
+            registry.register(tenant_id, plan)
+        moved = registry.rebalance(1.0)[0][0]
+        assert registry.shard_of(moved) != registry.home_shard(moved)
+        registry.remove(moved)
+        # Re-registering lands back on the hash home shard.
+        registry.register(moved, plan)
+        assert registry.shard_of(moved) == registry.home_shard(moved)
+
+    def test_replace_plan_rekeys_signature_on_migrated_tenant(self):
+        """Shard lookup after replace_plan must work through an override,
+        and a different-signature replacement re-keys the fusion cohort."""
+        registry = PlanRegistry(n_shards=4)
+        shared = _plan(seed=1)
+        hot = _ids_on_shard(registry, 0, 6)
+        for tenant_id in hot:
+            registry.register(tenant_id, shared)
+        moved = registry.rebalance(1.0)[0][0]
+        old_signature = registry.signature(moved)
+        fresh = _plan(seed=2)
+        new_signature = registry.replace_plan(moved, fresh)
+        assert new_signature != old_signature
+        assert registry.get(moved) is fresh
+        assert registry.shard_of(moved) != registry.home_shard(moved)
+        # The old cohort still exists (other tenants carry it) but the
+        # swapped tenant now fuses only with its new signature.
+        assert registry.has_signature(old_signature)
+        cohorts = registry.cohorts()
+        assert cohorts[new_signature] == (moved,)
+        assert moved not in cohorts[old_signature]
+        # Swapping the rest away retires the old signature entirely.
+        for tenant_id in hot:
+            if tenant_id != moved:
+                registry.replace_plan(tenant_id, fresh)
+        assert not registry.has_signature(old_signature)
+
+    def test_replace_plan_rejects_width_mismatch(self):
+        registry = PlanRegistry()
+        registry.register("room-a", _plan(n_in=8))
+        with pytest.raises(ConfigurationError):
+            registry.replace_plan("room-a", _plan(n_in=10))
+        # The original binding survives the rejected swap.
+        assert registry.signature("room-a") == PlanSignature.of(_plan(n_in=8))

@@ -15,6 +15,7 @@ from repro.config import BehaviorConfig, CampaignConfig
 from repro.data.recording import CollectionCampaign
 from repro.fastpath.plan import InferencePlan
 from repro.faults.bench import default_scenario_suite, run_chaos_bench
+from repro.fleet import Fleet, PlanRegistry
 from repro.guard import GuardPolicy, ReferenceStats
 from repro.guard.bench import run_guard_bench
 from repro.guard.drift import DriftState
@@ -276,3 +277,95 @@ class TestGoldenTracePromotion:
         # Teeth check: reseeding the labelled stream shifts the sequential
         # comparison's stopping time, so the trace must move.
         assert self._cycle(seed=5) != self._cycle(seed=6)
+
+
+class TestGoldenTraceChurn:
+    """A seeded fleet churn episode replays byte-for-byte.
+
+    Lifecycle events (``fleet.attach`` / ``fleet.plan_swap`` /
+    ``fleet.rebalance`` / ``fleet.detach``) are stream-time stamped like
+    every other event source, so a full attach → serve → hot-swap →
+    detach episode — drain ticks, shard migrations and all — must dump
+    identical per-tenant event logs across runs of the same seed.
+    """
+
+    N_IN = 6
+
+    def _plan(self, seed):
+        rng = np.random.default_rng(seed)
+        return InferencePlan.from_model(Sequential(Linear(self.N_IN, 1, rng=rng)))
+
+    def _episode(self, seed):
+        observers = {}
+        attach_label = []
+
+        def factory():
+            observer = Observer(label=attach_label[-1])
+            observers.setdefault(attach_label[-1], []).append(observer)
+            return observer
+
+        fleet = Fleet(
+            ServeConfig(max_batch=8, max_latency_ms=None, stale_after_s=None),
+            plans=PlanRegistry(n_shards=4),
+            observer_factory=factory,
+            rebalance_skew=1.0,
+        )
+        rng = np.random.default_rng(seed)
+
+        def attach(tenant, t_s):
+            attach_label.append(tenant)
+            fleet.attach(tenant, self._plan(1), now_s=t_s)
+
+        for tenant in ("room-a", "room-b", "room-c"):
+            attach(tenant, 0.0)
+        # Serve: the per-tick frame count is seed-drawn, so reseeding
+        # genuinely moves the trace (the teeth check below relies on it).
+        for i in range(8):
+            t_s = float(i)
+            for tenant in fleet.tenant_ids:
+                for _ in range(int(rng.integers(1, 4))):
+                    fleet.submit(tenant, t_s, rng.random(self.N_IN))
+            fleet.tick(t_s + 0.5)
+        # Hot-swap with a frame in flight: the cutover tick drains first.
+        fleet.submit("room-b", 8.0, rng.random(self.N_IN))
+        fleet.replace_plan("room-b", self._plan(2), now_s=8.0)
+        fleet.take_drained()
+        # Detach with a frame in flight: the drain tick serves it.
+        fleet.submit("room-a", 9.0, rng.random(self.N_IN))
+        fleet.detach("room-a", now_s=9.0)
+        fleet.take_drained()
+        # A late joiner (plus re-attach of a detached id) and final seal.
+        attach("room-d", 10.0)
+        attach("room-a", 10.5)
+        for i in range(3):
+            t_s = 11.0 + i
+            for tenant in fleet.tenant_ids:
+                fleet.submit(tenant, t_s, rng.random(self.N_IN))
+            fleet.tick(t_s + 0.5)
+        for tenant in list(fleet.tenant_ids):
+            fleet.detach(tenant, now_s=15.0)
+        fleet.take_drained()
+        return {
+            tenant: [observer.events.to_jsonl() for observer in incarnations]
+            for tenant, incarnations in observers.items()
+        }
+
+    def test_same_seed_churn_episodes_are_byte_identical(self):
+        first = self._episode(seed=5)
+        second = self._episode(seed=5)
+        assert set(first) == {"room-a", "room-b", "room-c", "room-d"}
+        assert len(first["room-a"]) == 2  # detached + re-attached incarnations
+        for tenant, dumps in first.items():
+            for dump_a, dump_b in zip(dumps, second[tenant]):
+                assert dump_a, f"{tenant}: empty event log"
+                assert dump_a.encode() == dump_b.encode(), (
+                    f"{tenant}: same-seed churn episodes diverged"
+                )
+        joined = "\n".join(dump for dumps in first.values() for dump in dumps)
+        for kind in ("fleet.attach", "fleet.plan_swap", "fleet.detach"):
+            assert kind in joined
+
+    def test_different_seed_moves_the_churn_trace(self):
+        a = self._episode(seed=5)
+        b = self._episode(seed=6)
+        assert any(a[tenant] != b[tenant] for tenant in a)

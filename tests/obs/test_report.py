@@ -155,6 +155,30 @@ class TestRenderReport:
     def test_no_overload_line_without_overload_events(self):
         assert "overload" not in render_run(_live_observer().dump())
 
+    def test_fleet_summary_line(self):
+        obs = Observer(label="room-a")
+        obs.emit("fleet.attach", t_s=0.0, shard=2)
+        obs.emit("fleet.rebalance", t_s=1.0, from_shard=2, to_shard=0)
+        obs.emit("fleet.plan_swap", t_s=2.0, drained=1)
+        obs.emit("fleet.detach", t_s=3.0, drained=0, drain_served=0,
+                 drain_shed=0)
+        text = render_run(obs.dump())
+        assert ("fleet: attach=1  detach=1  plan_swap=1  rebalance=1"
+                in text)
+        assert "shard rebalancing migrated this tenant 1 time(s)" in text
+        assert "tenant detached: final ledger above is the archive" in text
+
+    def test_fleet_line_without_churn_notes(self):
+        obs = Observer(label="room-b")
+        obs.emit("fleet.attach", t_s=0.0, shard=1)
+        text = render_run(obs.dump())
+        assert "fleet: attach=1" in text
+        assert "rebalancing" not in text
+        assert "detached" not in text
+
+    def test_no_fleet_line_without_fleet_events(self):
+        assert "fleet" not in render_run(_live_observer().dump())
+
     def test_multi_run_report(self):
         dump = build_dump({"a": _live_observer("a"), "b": _live_observer("b")})
         text = render_report(dump)

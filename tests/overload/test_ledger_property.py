@@ -21,7 +21,7 @@ from repro.fastpath.plan import InferencePlan
 from repro.fleet.service import Fleet
 from repro.nn.modules import Linear, ReLU, Sequential
 from repro.obs.observer import Observer
-from repro.overload.governor import OverloadPolicy
+from repro.overload.governor import OverloadPolicy, ServiceMode
 from repro.serve.config import ServeConfig
 from repro.serve.engine import InferenceEngine
 
@@ -172,3 +172,156 @@ class TestFleetLedgerProperty:
                 ("shed", "overload_shed"),
             ):
                 assert counters[key] == ledger[cause], (tenant, cause)
+
+    #: counters-key ↔ ledger-key pairs shared by the churn assertions.
+    CAUSE_KEYS = (
+        ("rejected", "rejected"),
+        ("quarantined", "quarantined"),
+        ("policy_rejected", "policy_rejected"),
+        ("stale_dropped", "stale"),
+        ("overflow_dropped", "overflow"),
+        ("rate_limited", "rate_limited"),
+        ("deadline_expired", "deadline_expired"),
+        ("overload_shed", "shed"),
+    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ledger_balances_under_churn(self, seed):
+        """The per-cause ledger identity survives random tenant churn.
+
+        Same randomized burst traffic and overload plane as above, but
+        tenants now detach mid-run (draining their rings), re-attach as
+        fresh incarnations, and hot-swap plans — every incarnation's
+        observer must still close exactly, and every detach must be
+        drain-exact.
+        """
+        rng = np.random.default_rng(seed + 100)
+        observers = {}  # tenant -> [observer per incarnation, in order]
+        attach_label = []
+
+        def factory():
+            observer = Observer(trace_capacity=64, event_capacity=64)
+            observers.setdefault(attach_label[-1], []).append(observer)
+            return observer
+
+        def attach(tenant):
+            attach_label.append(tenant)
+            fleet.attach(tenant, plan)
+
+        config = random_config(rng, None)
+        plan = make_plan(rng)
+        fleet = Fleet(config, observer_factory=factory, rebalance_skew=1.5)
+        schedule = random_schedule(rng)
+        for tenant in sorted({tenant for _, tenant in schedule}):
+            attach(tenant)
+
+        detach_reports = []  # (tenant, final counters) in detach order
+        for t, tenant in schedule:
+            if tenant not in fleet.tenant_ids:
+                if rng.random() < 0.5:
+                    attach(tenant)  # re-attach: a fresh incarnation
+                else:
+                    continue
+            fleet.submit(tenant, t, rng.normal(size=N_INPUTS))
+            if rng.random() < 0.2:
+                fleet.tick(t)
+            churn = rng.random()
+            if churn < 0.05 and len(fleet.tenant_ids) > 1:
+                live = fleet.tenant_ids
+                victim = live[int(rng.integers(len(live)))]
+                detach_reports.append((victim, fleet.detach(victim, now_s=t)))
+                fleet.take_drained()
+            elif churn < 0.08:
+                live = fleet.tenant_ids
+                target = live[int(rng.integers(len(live)))]
+                fleet.replace_plan(target, make_plan(rng), now_s=t)
+                fleet.take_drained()
+        fleet.flush()
+        for tenant in list(fleet.tenant_ids):
+            detach_reports.append((tenant, fleet.detach(tenant)))
+        fleet.take_drained()
+
+        # Every incarnation of every tenant closes its ledger exactly.
+        for tenant, incarnations in observers.items():
+            for observer in incarnations:
+                assert_ledger_balances(observer.ledger())
+        # Every detach was drain-exact, and its archived counters agree
+        # with that incarnation's observer cause by cause.
+        per_tenant_reports = {}
+        for tenant, report in detach_reports:
+            per_tenant_reports.setdefault(tenant, []).append(report)
+        for tenant, reports in per_tenant_reports.items():
+            assert len(reports) == len(observers[tenant])
+            for report, observer in zip(reports, observers[tenant]):
+                assert report["drained"] == (
+                    report["drain_served"] + report["drain_shed"]
+                )
+                ledger = observer.ledger()
+                assert report["frames_out"] == ledger["answered"]
+                for counters_key, ledger_key in self.CAUSE_KEYS:
+                    assert report[counters_key] == ledger[ledger_key], (
+                        tenant, counters_key,
+                    )
+
+    def test_churn_burst_during_governor_degradation_reconciles(self):
+        """Detaching while the saturation governor is shedding still
+        reconciles every per-cause count exactly: drained frames land in
+        ``overload_shed``, never vanish."""
+        observers = {}
+        attach_label = []
+
+        def factory():
+            observer = Observer(trace_capacity=64, event_capacity=64)
+            observers.setdefault(attach_label[-1], []).append(observer)
+            return observer
+
+        def attach(tenant):
+            attach_label.append(tenant)
+            fleet.attach(tenant, plan)
+
+        config = ServeConfig(
+            max_batch=4,
+            max_latency_ms=None,
+            queue_capacity=8,
+            auto_flush=False,
+            overload=OverloadPolicy(
+                fastpath_at=0.01, fallback_at=0.02, shed_at=0.05,
+                alpha=1.0, hold_ticks=5, probe_cooldown_s=60.0, seed=0,
+            ),
+        )
+        rng = np.random.default_rng(0)
+        plan = make_plan(rng)
+        fleet = Fleet(config, observer_factory=factory)
+        for tenant in ("t0", "t1", "t2"):
+            attach(tenant)
+
+        # Flood every ring without serving: saturation rockets past the
+        # shed threshold on the next tick.
+        for i in range(8):
+            for tenant in ("t0", "t1", "t2"):
+                fleet.submit(tenant, i * 0.01, rng.normal(size=N_INPUTS))
+        assert fleet.tick(0.1) == []  # governor shed the whole tick
+        assert fleet.mode is ServiceMode.SHED
+
+        # Churn burst while degraded: refill one ring and detach it.
+        for i in range(4):
+            fleet.submit("t1", 0.2 + i * 0.01, rng.normal(size=N_INPUTS))
+        report = fleet.detach("t1", now_s=0.3)
+        fleet.take_drained()
+        # The drain ran under SHED: everything pending was shed, counted.
+        assert report["drained"] == 4
+        assert report["drain_served"] == 0
+        assert report["drain_shed"] == 4
+        assert report["overload_shed"] >= 4
+
+        fleet.flush()
+        for tenant in list(fleet.tenant_ids):
+            fleet.detach(tenant)
+        fleet.take_drained()
+        for tenant, incarnations in observers.items():
+            for observer in incarnations:
+                ledger = observer.ledger()
+                assert_ledger_balances(ledger)
+        ledger_t1 = observers["t1"][0].ledger()
+        assert ledger_t1["shed"] == report["overload_shed"]
+        assert ledger_t1["answered"] == report["frames_out"]

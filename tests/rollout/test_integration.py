@@ -352,3 +352,66 @@ class TestFleetRolloutCycle:
         assert manager.last_reconciliation["exact"] is True
         counters = fleet.counters("room-a")
         assert counters["frames_in"] == counters["frames_out"]
+
+    def test_detach_during_shadow_aborts_rollout_cleanly(self):
+        """Detaching mid-SHADOW aborts the shadow and closes its ledger.
+
+        Regression: detach used to drop the rollout binding without
+        stopping the shadow, leaving a half-open comparison whose ledger
+        never sealed.  Now the abort runs *before* the drain, so the
+        shadow never mirrors frames the comparison will not score.
+        """
+        fleet = Fleet(
+            ServeConfig(max_batch=4, max_latency_ms=None, stale_after_s=None),
+            observer_factory=lambda: Observer(),
+        )
+        fleet.attach("room-a", _plan(0, version=0, label="champion"))
+        trigger = _StubTrigger(lambda: _plan(0, negate=True))
+        manager = RolloutManager.for_fleet_tenant(
+            fleet,
+            "room-a",
+            trigger,
+            label_fn=lambda frame: 1,
+            # A verdict this run can never reach: the shadow stays live
+            # until the detach aborts it.
+            comparison_factory=lambda: SequentialComparison(
+                min_frames=10_000, max_frames=20_000
+            ),
+            refresh_reference=False,
+        )
+        manager.sentinel = _StubSentinel()
+        rng = np.random.default_rng(3)
+        i = 0
+        while manager.state is not RolloutState.SHADOW:
+            fleet.submit("room-a", float(i), _row(rng))
+            fleet.tick(float(i))
+            i += 1
+            assert i < 100, "shadow never started"
+        for _ in range(3):
+            fleet.submit("room-a", float(i), _row(rng))
+            fleet.tick(float(i))
+            i += 1
+        # One frame left pending so the detach drain does real work
+        # after the abort.
+        fleet.submit("room-a", float(i), _row(rng))
+        observer = fleet._tenant("room-a").observer
+        final = fleet.detach("room-a", now_s=float(i + 1))
+
+        assert manager.state is RolloutState.IDLE
+        assert manager.shadow is None
+        assert manager.stops == 1
+        assert manager.promotions == 0
+        # The shadow ledger closed exactly: every champion-served frame
+        # up to the abort was mirrored, none after.
+        assert manager.last_reconciliation["exact"] is True
+        assert fleet.metrics.counter("rollout_stops_total").value == 1
+        events = list(observer.events)
+        kinds = [e.kind for e in events]
+        stop_at = kinds.index("rollout.futility_stop")
+        assert events[stop_at].data["decision"] == "aborted"
+        # Abort precedes the drain's served frame and the detach seal.
+        assert stop_at < kinds.index("fleet.detach")
+        assert final["drained"] == 1
+        assert final["drain_served"] == 1
+        assert final["drain_shed"] == 0
+        assert fleet.detach_rollout("room-a") is None

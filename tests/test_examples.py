@@ -30,6 +30,8 @@ def test_expected_examples_present():
         "self_updating_service.py",
         "traced_service.py",
         "overloaded_service.py",
+        "fleet_service.py",
+        "elastic_fleet.py",
     } <= names
 
 
