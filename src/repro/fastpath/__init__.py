@@ -13,11 +13,25 @@ plan is both *faster* (single-frame p50/p99, batched throughput) and
 path, emitting ``BENCH_serve.json`` for CI.
 """
 
-from .bench import PerfBenchReport, run_perf_bench
-from .plan import PLAN_ACTIVATIONS, InferencePlan, PlanStep, freeze_detector
+from .bench import (
+    PerfBenchReport,
+    QuantizedPlanReport,
+    SaturatedLoad,
+    run_perf_bench,
+)
+from .plan import (
+    PLAN_ACTIVATIONS,
+    QUANTIZE_MODES,
+    InferencePlan,
+    PlanStep,
+    freeze_detector,
+)
 
 __all__ = [
     "PLAN_ACTIVATIONS",
+    "QUANTIZE_MODES",
+    "QuantizedPlanReport",
+    "SaturatedLoad",
     "InferencePlan",
     "PlanStep",
     "PerfBenchReport",

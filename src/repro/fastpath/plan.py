@@ -44,6 +44,23 @@ from ..nn.modules import Dropout, Linear, Module, ReLU, Sequential, Sigmoid, Tan
 #: Activation tags a plan step may carry (applied in place after the GEMM).
 PLAN_ACTIVATIONS = ("none", "relu", "sigmoid", "tanh")
 
+#: Weight-storage quantization modes a plan may carry.  ``None`` keeps the
+#: legacy float32 storage; the quantized modes shrink the *stored* weights
+#: (the deployed artifact) while the executed arithmetic stays float32:
+#:
+#: * ``"int8"`` — symmetric per-output-channel affine: each weight column
+#:   stores int8 codes plus one float32 scale (``w ~= code * scale``),
+#:   4x smaller than float32.  Codes are dequantized **once** at plan
+#:   construction into float32 exec steps, so every GEMM accumulates in
+#:   float32 — the rounding error is confined to the weights themselves.
+#: * ``"float16"`` — IEEE half-precision storage, 2x smaller, upcast to
+#:   float32 at construction (the cast is exact, so only the initial
+#:   float32 → float16 rounding costs accuracy).
+#:
+#: The ``perf-bench`` CLI gates both modes on max |Δp| and label-flip rate
+#: against the float32 plan before reporting any size win.
+QUANTIZE_MODES = (None, "int8", "float16")
+
 #: Logit clip bound shared with :class:`~repro.core.detector.OccupancyDetector`
 #: so fastpath probabilities saturate at exactly the same point.
 _LOGIT_CLIP = 500.0
@@ -80,6 +97,31 @@ class PlanStep:
     @property
     def out_features(self) -> int:
         return int(self.weight.shape[1])
+
+
+def _quantize_weight(weight: np.ndarray, mode: str) -> tuple[np.ndarray, ...]:
+    """Quantize one float32 weight matrix into its storage arrays.
+
+    ``"float16"`` returns ``(codes,)``; ``"int8"`` returns
+    ``(codes, scales)`` with one symmetric float32 scale per output
+    channel (column), chosen so the column's largest magnitude maps to
+    ±127 exactly.  All-zero columns get scale 1 so dequantization stays
+    total.
+    """
+    if mode == "float16":
+        return (weight.astype(np.float16),)
+    scale = np.max(np.abs(weight), axis=0) / np.float32(127.0)
+    scale = np.where(scale == 0.0, np.float32(1.0), scale).astype(np.float32)
+    codes = np.clip(np.rint(weight / scale), -127, 127).astype(np.int8)
+    return (codes, scale)
+
+
+def _dequantize_weight(store: tuple[np.ndarray, ...], mode: str) -> np.ndarray:
+    """The float32 weight a quantized store executes as (exact per mode)."""
+    if mode == "float16":
+        return np.ascontiguousarray(store[0], dtype=np.float32)
+    codes, scale = store
+    return np.ascontiguousarray(codes.astype(np.float32) * scale)
 
 
 def _apply_activation_inplace(out: np.ndarray, activation: str) -> None:
@@ -131,6 +173,13 @@ class InferencePlan:
         free-form human tag.  Neither affects the numerics —
         :meth:`fingerprint` is the content identity, these two are the
         lineage identity.  Both survive :meth:`payload` round-trips.
+    quantize:
+        One of :data:`QUANTIZE_MODES`.  A quantized plan stores its
+        weights in the reduced form (what :meth:`payload` persists and
+        :meth:`parameter_bytes` counts) and *executes* the dequantized
+        float32 equivalent — accuracy shifts come from weight rounding
+        alone, never from reduced-precision accumulation.  Biases and
+        scaler statistics stay float32 in every mode.
     """
 
     def __init__(
@@ -142,16 +191,37 @@ class InferencePlan:
         *,
         version: int = 0,
         label: str | None = None,
+        quantize: str | None = None,
+        _qstore: list[tuple[np.ndarray, ...]] | None = None,
     ) -> None:
         if version < 0:
             raise ConfigurationError("version must be >= 0")
+        if quantize not in QUANTIZE_MODES:
+            raise ConfigurationError(
+                f"quantize must be one of {QUANTIZE_MODES}, got {quantize!r}"
+            )
         self.version = int(version)
         self.label = label
+        self.quantize = quantize
         self._fingerprint: str | None = None
         if not steps:
             raise ConfigurationError("InferencePlan needs at least one step")
         if capacity < 1:
             raise ConfigurationError("capacity must be >= 1")
+        if quantize is not None:
+            # Quantize-then-dequantize before anything else touches the
+            # steps: the rest of the constructor (width checks, scaler
+            # fold, exec build) then sees exactly the arithmetic the
+            # stored artifact will reproduce after a payload round-trip.
+            # A preloaded ``_qstore`` (the load side) skips re-quantizing
+            # so round-trips are byte-exact, not merely close.
+            if _qstore is None:
+                _qstore = [_quantize_weight(s.weight, quantize) for s in steps]
+            steps = [
+                PlanStep(_dequantize_weight(store, quantize), s.bias, s.activation)
+                for store, s in zip(_qstore, steps)
+            ]
+        self._qstore = _qstore
         for a, b in zip(steps[:-1], steps[1:]):
             if a.out_features != b.in_features:
                 raise ConfigurationError(
@@ -210,6 +280,7 @@ class InferencePlan:
         *,
         version: int = 0,
         label: str | None = None,
+        quantize: str | None = None,
     ) -> "InferencePlan":
         """Freeze a ``Sequential`` MLP (and optional fitted scaler).
 
@@ -269,6 +340,29 @@ class InferencePlan:
             capacity=capacity,
             version=version,
             label=label,
+            quantize=quantize,
+        )
+
+    def quantized(self, mode: str, capacity: int | None = None) -> "InferencePlan":
+        """A quantized sibling of this plan (same lineage, new storage).
+
+        Quantizes this plan's *stored* steps — call it on the float32
+        original; re-quantizing an already-quantized plan compounds the
+        rounding and raises instead.
+        """
+        if self.quantize is not None:
+            raise ConfigurationError(
+                f"plan is already quantized ({self.quantize!r}); quantize the "
+                "float32 original instead of stacking rounding passes"
+            )
+        return InferencePlan(
+            self.steps,
+            input_mean=self.input_mean,
+            input_scale=self.input_scale,
+            capacity=self._capacity if capacity is None else capacity,
+            version=self.version,
+            label=self.label,
+            quantize=mode,
         )
 
     # ------------------------------------------------------------- geometry
@@ -345,13 +439,27 @@ class InferencePlan:
         scratch = sum(b.nbytes for b in self._buffers)
         return weights + scratch
 
+    def parameter_bytes(self) -> int:
+        """Stored bytes of the deployed artifact's parameter arrays.
+
+        Exactly what :meth:`payload` persists — quantized codes and
+        scales (or float32 weights), float32 biases, scaler statistics —
+        the number the paper's ~15 KiB deployment footprint is measured
+        against.  :meth:`nbytes` by contrast counts the *runtime*
+        footprint (dequantized float32 exec weights plus scratch).
+        """
+        arrays, _ = self.payload()
+        return sum(a.nbytes for a in arrays.values())
+
     def __repr__(self) -> str:
         widths = [self.n_inputs] + [s.out_features for s in self.steps]
         arch = "->".join(str(w) for w in widths)
         scaled = ", scaled" if self.input_mean is not None else ""
         tag = ""
+        if self.quantize is not None:
+            tag = f", {self.quantize}"
         if self.label is not None:
-            tag = f", label={self.label!r}"
+            tag += f", label={self.label!r}"
         if self.version:
             tag += f", v{self.version}"
         return f"InferencePlan({arch}{scaled}{tag}, capacity={self._capacity})"
@@ -447,7 +555,16 @@ class InferencePlan:
         """``(arrays, meta)`` for :func:`repro.deploy.export.export_plan`."""
         arrays: dict[str, np.ndarray] = {}
         for i, step in enumerate(self.steps):
-            arrays[f"w{i}"] = step.weight
+            if self.quantize is None:
+                arrays[f"w{i}"] = step.weight
+            else:
+                # Persist the quantized storage, not the dequantized exec
+                # weights — the artifact carries the size win, and the
+                # load side rebuilds the identical float32 arithmetic.
+                store = self._qstore[i]
+                arrays[f"w{i}"] = store[0]
+                if self.quantize == "int8":
+                    arrays[f"ws{i}"] = store[1]
             if step.bias is not None:
                 arrays[f"b{i}"] = step.bias
         if self.input_mean is not None:
@@ -464,6 +581,8 @@ class InferencePlan:
             # the load side defaults both.
             "plan_version": self.version,
             "plan_label": self.label,
+            # Storage quantization (PR 10): absent/None in older payloads.
+            "quantize": self.quantize,
         }
         return arrays, meta
 
@@ -474,9 +593,27 @@ class InferencePlan:
         """Rebuild a plan from :meth:`payload` output (load-side)."""
         if meta.get("kind") != "inference_plan":
             raise ConfigurationError("payload is not an inference plan")
+        quantize = meta.get("quantize")
+        if quantize not in QUANTIZE_MODES:
+            raise ConfigurationError(
+                f"payload carries unknown quantize mode {quantize!r}"
+            )
         steps = []
+        qstore: list[tuple[np.ndarray, ...]] | None = [] if quantize else None
         for i in range(int(meta["n_steps"])):
-            weight = np.ascontiguousarray(arrays[f"w{i}"], dtype=np.float32)
+            if quantize is None:
+                weight = np.ascontiguousarray(arrays[f"w{i}"], dtype=np.float32)
+            else:
+                store = (
+                    (np.ascontiguousarray(arrays[f"w{i}"]),)
+                    if quantize == "float16"
+                    else (
+                        np.ascontiguousarray(arrays[f"w{i}"]),
+                        np.ascontiguousarray(arrays[f"ws{i}"]),
+                    )
+                )
+                qstore.append(store)
+                weight = _dequantize_weight(store, quantize)
             bias = (
                 np.ascontiguousarray(arrays[f"b{i}"], dtype=np.float32)
                 if meta["has_bias"][i]
@@ -493,6 +630,8 @@ class InferencePlan:
             capacity=capacity,
             version=int(meta.get("plan_version", 0)),
             label=meta.get("plan_label"),
+            quantize=quantize,
+            _qstore=qstore,
         )
 
 

@@ -67,7 +67,10 @@ class TiledPlanRunner:
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """P(occupied) per row, shape (n,), batch-shape-independent."""
-        x = np.ascontiguousarray(x, dtype=np.float32)
+        # asarray, not ascontiguousarray: a float32 arena-slab view passes
+        # through zero-copy — the per-tile staging copy below absorbs any
+        # striding, so forcing contiguity up front would only duplicate it.
+        x = np.asarray(x, dtype=np.float32)
         if x.ndim == 1:
             x = x[None, :]
         if x.ndim != 2 or x.shape[1] != self._n_inputs:

@@ -22,6 +22,8 @@ per-stage spans and structured events.  The default is the no-op
 on ``observer.enabled``, so an untraced engine does no timing work.
 """
 
+from .adaptive import AdaptiveBatcher
+from .arena import FrameArena, SlotRef
 from .bench import ServeBenchReport, run_serve_bench
 from .config import ServeConfig
 from .engine import InferenceEngine, InferenceResult
@@ -42,6 +44,9 @@ from .robustness import (
 )
 
 __all__ = [
+    "AdaptiveBatcher",
+    "FrameArena",
+    "SlotRef",
     "InferenceEngine",
     "InferenceResult",
     "ServeConfig",

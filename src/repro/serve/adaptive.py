@@ -1,0 +1,140 @@
+"""Arrival-rate-driven micro-batch sizing: the adaptive flush controller.
+
+A fixed ``max_batch`` schedule is tuned for exactly one traffic level.
+Under a lull the queue waits for frames that are not coming (latency
+trigger saves it, but only after the full budget elapses); under a burst
+a small batch pays Python dispatch per handful of frames while the
+backlog compounds.  :class:`AdaptiveBatcher` closes the loop: it keeps an
+EWMA estimate of the stream-time inter-arrival interval and picks, per
+admitted frame,
+
+* a **batch size** — the number of frames expected inside the configured
+  flush budget, snapped to the nearest power of two and clamped to
+  ``[min_batch, max_batch]`` (snapping keeps the decision stable: tiny
+  rate wobbles cannot flap the queue between 47 and 53); and
+* a **flush deadline** — the stream time the chosen batch needs to fill
+  at the estimated rate, clamped to ``[budget/8, budget]`` so a lull
+  flushes early instead of always waiting out the whole budget.
+
+The controller *never fights the overload governor*: while the
+:class:`~repro.overload.governor.SaturationGovernor` sits on any rung
+above FULL, :meth:`decide` returns ``max_batch`` with the full budget —
+maximum drain throughput — and hands sizing back only when the ladder
+has fully recovered.  Escalation logic stays the governor's alone.
+
+Everything here runs in stream time off frame timestamps, so a same-seed
+replay makes byte-identical decisions; the engine records each applied
+change as a closed-taxonomy ``serve.batch_resize`` event, which the
+golden-trace suite covers.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+
+class AdaptiveBatcher:
+    """EWMA inter-arrival estimator driving (batch size, flush deadline).
+
+    Parameters
+    ----------
+    min_batch / max_batch:
+        Inclusive bounds of the batch-size decision.
+    latency_budget_s:
+        The configured flush budget (``max_latency_ms`` in stream
+        seconds).  ``None`` means the backlogged / offline regime — no
+        latency trigger exists, so the controller always recommends
+        ``max_batch`` and a ``None`` deadline.
+    alpha:
+        EWMA smoothing factor over inter-arrival intervals.
+    """
+
+    #: Flush deadlines adapt down to this fraction of the budget, no lower.
+    MIN_DEADLINE_FRACTION = 0.125
+
+    def __init__(
+        self,
+        min_batch: int,
+        max_batch: int,
+        latency_budget_s: float | None,
+        alpha: float = 0.2,
+    ) -> None:
+        if min_batch < 1 or max_batch < min_batch:
+            raise ConfigurationError(
+                f"need 1 <= min_batch <= max_batch, got {min_batch}/{max_batch}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if latency_budget_s is not None and latency_budget_s <= 0:
+            raise ConfigurationError("latency_budget_s must be positive (or None)")
+        self.min_batch = int(min_batch)
+        self.max_batch = int(max_batch)
+        self.latency_budget_s = latency_budget_s
+        self.alpha = float(alpha)
+        self._interval_ewma: float | None = None
+        self._last_t: float | None = None
+        #: Arrivals observed (diagnostics only).
+        self.arrivals = 0
+
+    # -------------------------------------------------------------- estimate
+
+    @property
+    def interval_s(self) -> float | None:
+        """The smoothed inter-arrival estimate (None before two arrivals)."""
+        return self._interval_ewma
+
+    @property
+    def rate_hz(self) -> float | None:
+        """The estimated arrival rate, 1/interval (None until warmed up)."""
+        if self._interval_ewma is None or self._interval_ewma <= 0.0:
+            return None
+        return 1.0 / self._interval_ewma
+
+    def observe(self, t_s: float) -> None:
+        """Feed one admitted frame's stream timestamp."""
+        t_s = float(t_s)
+        self.arrivals += 1
+        if self._last_t is not None:
+            delta = t_s - self._last_t
+            if delta >= 0.0:  # reordered frames don't poison the estimate
+                if self._interval_ewma is None:
+                    self._interval_ewma = delta
+                else:
+                    self._interval_ewma += self.alpha * (delta - self._interval_ewma)
+        self._last_t = max(t_s, self._last_t) if self._last_t is not None else t_s
+
+    # --------------------------------------------------------------- decide
+
+    def decide(self, governor_severity: int = 0) -> tuple[int, float | None]:
+        """The (batch size, flush deadline seconds) for the current rate.
+
+        ``governor_severity`` is the overload ladder rung (0 = FULL); any
+        escalation forces the drain configuration so the batcher and the
+        governor pull in the same direction.
+        """
+        budget = self.latency_budget_s
+        if budget is None or governor_severity > 0:
+            return self.max_batch, budget
+        rate = self.rate_hz
+        if rate is None:
+            return self.max_batch, budget
+        target = rate * budget  # frames expected inside one flush budget
+        batch = self._snap(target)
+        # Deadline: time the chosen batch needs to fill, bounded so a
+        # lull still flushes promptly and a burst never exceeds budget.
+        fill_s = batch / rate if rate > 0 else budget
+        deadline = min(budget, max(budget * self.MIN_DEADLINE_FRACTION, fill_s))
+        return batch, deadline
+
+    def _snap(self, target: float) -> int:
+        """Clamp ``target`` to bounds, snapped to the nearest power of two."""
+        if target <= self.min_batch:
+            return self.min_batch
+        if target >= self.max_batch:
+            return self.max_batch
+        power = 1
+        while power * 2 <= target:
+            power *= 2
+        # Round to whichever neighbouring power is (geometrically) closer.
+        snapped = power * 2 if target * target > power * power * 2 else power
+        return max(self.min_batch, min(self.max_batch, snapped))

@@ -56,6 +56,55 @@ class TestRunPerfBench:
         assert report.n_parameters > 0
 
 
+class TestQuantizedArm:
+    def test_both_modes_reported_and_gated(self, report):
+        assert [row.mode for row in report.quantized] == ["int8", "float16"]
+        for row in report.quantized:
+            assert row.ok
+            assert row.parameter_bytes < row.float32_parameter_bytes
+            assert row.compression > 1.0
+            assert row.throughput_fps > 0
+        assert report.quantized_ok
+        assert report.float32_parameter_bytes > 0
+
+    def test_describe_mentions_quantized_modes(self, report):
+        text = report.describe()
+        assert "int8" in text and "float16" in text
+
+
+class TestSaturatedArm:
+    def test_loads_cover_sub_and_super_capacity(self, report):
+        ratios = [row.offered_ratio for row in report.saturated]
+        assert len(ratios) >= 3
+        assert min(ratios) < 1.0 < max(ratios)
+        assert report.saturated_capacity_fps > 0
+
+    def test_every_load_reconciles_exactly(self, report):
+        for row in report.saturated:
+            assert row.ok
+            assert row.ledger_unaccounted == 0
+            assert row.arena_in_use_after == 0
+            dropped = sum(row.dropped.values())
+            assert row.answered + dropped == row.n_offered
+            assert 0 < row.sojourn_p50_ms <= row.sojourn_p99_ms
+        assert report.saturated_ok
+
+    def test_overload_sheds_while_undercapacity_serves_all(self, report):
+        by_ratio = {row.offered_ratio: row for row in report.saturated}
+        under = by_ratio[min(by_ratio)]
+        over = by_ratio[max(by_ratio)]
+        assert sum(under.dropped.values()) == 0
+        assert sum(over.dropped.values()) > 0
+        # Queueing delay compounds past capacity.
+        assert over.sojourn_p99_ms >= under.sojourn_p99_ms
+
+    def test_gates_passed_aggregates_all_arms(self, report):
+        assert report.gates_passed == (
+            report.equivalent and report.quantized_ok and report.saturated_ok
+        )
+        assert report.gates_passed
+
+
 class TestReport:
     def test_describe_mentions_equivalence(self, report):
         text = report.describe()
@@ -101,6 +150,14 @@ class TestReport:
         assert loaded["equivalence"]["max_divergence"] <= loaded["equivalence"]["tolerance"]
         assert loaded["model"]["n_inputs"] == 16
         assert [row["batch"] for row in loaded["throughput_fps"]] == [1, 7]
+        assert loaded["quantized"]["ok"] is True
+        assert [m["mode"] for m in loaded["quantized"]["modes"]] == ["int8", "float16"]
+        assert loaded["quantized"]["bytes_target"] == 15 * 1024
+        assert loaded["saturated"]["ok"] is True
+        assert all(
+            load["ledger_unaccounted"] == 0 for load in loaded["saturated"]["loads"]
+        )
+        assert loaded["gates_passed"] is True
         # The whole payload must be plain JSON scalars (no numpy leakage).
         json.dumps(loaded)
 

@@ -1,0 +1,292 @@
+"""Adaptive batching: controller law, engine integration, byte identity.
+
+The contract under test, per the design doc:
+
+* the EWMA inter-arrival estimate drives ``(batch, deadline)`` decisions
+  snapped to powers of two inside ``[min_batch, max_batch]``, with the
+  deadline clamped to ``[budget/8, budget]``;
+* any overload-governor escalation forces the drain configuration — the
+  batcher never fights the ladder;
+* applied batch-size changes surface as closed-taxonomy
+  ``serve.batch_resize`` events plus registry counters;
+* with a row-deterministic estimator, an adaptive engine's results are
+  **byte-identical** to a fixed-batch engine's on the same seed (batching
+  is a scheduling decision, never a numerics decision), and the frame
+  ledger reconciles exactly on both.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.obs.observer import Observer
+from repro.serve import AdaptiveBatcher, InferenceEngine, ServeConfig
+from repro.serve.queue import MicroBatchQueue
+
+
+class RowMean:
+    """Row-deterministic estimator: numerics independent of batch shape."""
+
+    def predict_proba(self, x):
+        return np.asarray(x, dtype=float).mean(axis=1)
+
+
+class TestAdaptiveBatcherUnit:
+    def test_validates_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(0, 8, 0.1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, 4, 0.1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(1, 8, 0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(1, 8, 0.1, alpha=0.0)
+
+    def test_cold_start_recommends_the_ceiling(self):
+        batcher = AdaptiveBatcher(2, 64, 0.1)
+        assert batcher.rate_hz is None
+        assert batcher.decide() == (64, 0.1)
+        batcher.observe(0.0)  # one arrival: still no interval estimate
+        assert batcher.decide() == (64, 0.1)
+
+    def test_none_budget_means_backlogged_regime(self):
+        batcher = AdaptiveBatcher(2, 64, None)
+        for i in range(10):
+            batcher.observe(i * 0.01)
+        assert batcher.decide() == (64, None)
+
+    def test_fast_stream_saturates_to_max_batch(self):
+        batcher = AdaptiveBatcher(2, 64, 0.1)
+        for i in range(50):
+            batcher.observe(i * 0.0001)  # 10 kHz >> 64 frames per budget
+        batch, deadline = batcher.decide()
+        assert batch == 64
+        # The batch fills in 6.4 ms, far under budget: deadline floors.
+        assert deadline == pytest.approx(0.1 * AdaptiveBatcher.MIN_DEADLINE_FRACTION)
+
+    def test_lull_shrinks_batch_and_deadline_floors(self):
+        batcher = AdaptiveBatcher(2, 64, 0.1)
+        for i in range(50):
+            batcher.observe(i * 1.0)  # 1 Hz: 0.1 frames per budget
+        batch, deadline = batcher.decide()
+        assert batch == 2
+        # Fill time (2 s) caps at the budget; the floor is budget/8.
+        assert deadline == pytest.approx(0.1)
+
+    def test_mid_rate_snaps_to_power_of_two(self):
+        batcher = AdaptiveBatcher(1, 64, 0.1)
+        for i in range(200):
+            batcher.observe(i * 0.002)  # 500 Hz -> 50 frames per budget
+        batch, deadline = batcher.decide()
+        assert batch == 64  # geometric snap: 50 rounds up past sqrt(2048)
+        assert 0.1 / 8 <= deadline <= 0.1
+
+    def test_governor_escalation_forces_drain_configuration(self):
+        batcher = AdaptiveBatcher(2, 64, 0.1)
+        for i in range(50):
+            batcher.observe(i * 1.0)
+        assert batcher.decide(governor_severity=0)[0] == 2
+        assert batcher.decide(governor_severity=1) == (64, 0.1)
+        assert batcher.decide(governor_severity=3) == (64, 0.1)
+
+    def test_reordered_timestamps_do_not_poison_the_estimate(self):
+        batcher = AdaptiveBatcher(1, 64, 0.1)
+        batcher.observe(0.0)
+        batcher.observe(0.010)
+        before = batcher.interval_s
+        batcher.observe(0.005)  # out of order: negative delta ignored
+        assert batcher.interval_s == before
+
+    def test_snap_is_monotone_in_target(self):
+        batcher = AdaptiveBatcher(1, 256, 1.0)
+        snapped = [batcher._snap(t) for t in np.linspace(0.5, 300.0, 200)]
+        assert all(b <= a for a, b in zip(snapped[1:], snapped))  # non-decreasing
+        assert all(
+            value in {1, 2, 4, 8, 16, 32, 64, 128, 256} for value in snapped
+        )
+
+
+class TestQueueResize:
+    def test_resize_moves_triggers_within_capacity(self):
+        queue = MicroBatchQueue(max_batch=8, max_latency_s=0.25, capacity=32)
+        queue.resize(16, 0.1)
+        assert queue.max_batch == 16
+        assert queue.max_latency_s == 0.1
+        queue.resize(4, None)
+        assert queue.max_latency_s is None
+
+    def test_resize_validates(self):
+        queue = MicroBatchQueue(max_batch=8, max_latency_s=0.25, capacity=32)
+        with pytest.raises(ConfigurationError):
+            queue.resize(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            queue.resize(64, 0.1)  # beyond capacity
+        with pytest.raises(ConfigurationError):
+            queue.resize(8, 0.0)
+
+
+class TestEngineAdaptiveIntegration:
+    def _engine(self, observer=None, **overrides):
+        base = dict(
+            max_batch=64,
+            min_batch=2,
+            max_latency_ms=100.0,
+            queue_capacity=128,
+            adaptive_batching=True,
+            arena_slots=192,
+        )
+        base.update(overrides)
+        if observer is not None:
+            base["observer"] = observer
+        return InferenceEngine(RowMean(), ServeConfig(**base))
+
+    def test_resize_emits_event_and_counters(self):
+        observer = Observer()
+        engine = self._engine(observer=observer)
+        rng = np.random.default_rng(0)
+        # Fast burst then a hard lull: the controller must step down.
+        t = 0.0
+        for i in range(200):
+            t += 0.0005 if i < 100 else 0.2
+            engine.submit("a", t, rng.normal(size=5))
+        engine.flush()
+        assert observer.events.count("serve.batch_resize") >= 1
+        assert engine.registry.counter("batch_resizes_total").value >= 1
+        event = next(
+            e for e in observer.events if e.kind == "serve.batch_resize"
+        )
+        assert {"previous", "batch", "deadline_ms"} <= set(event.data)
+        assert engine.queue.max_batch >= 2
+
+    def test_batch_stays_inside_configured_bounds(self):
+        engine = self._engine()
+        rng = np.random.default_rng(1)
+        t = 0.0
+        for i in range(500):
+            t += float(rng.choice([0.0002, 0.01, 0.3]))
+            engine.submit("a", t, rng.normal(size=5))
+            assert 2 <= engine.queue.max_batch <= 64
+            latency = engine.queue.max_latency_s
+            assert latency is None or 0.1 / 8 <= latency <= 0.1 + 1e-12
+        engine.flush()
+
+    def test_governor_escalation_pins_the_drain_configuration(self):
+        from repro.overload.governor import OverloadPolicy
+
+        engine = self._engine(
+            overload=OverloadPolicy(
+                fastpath_at=0.05, fallback_at=0.1, shed_at=0.95, alpha=1.0
+            ),
+            queue_capacity=64,
+            arena_slots=96,
+            auto_flush=False,
+        )
+        rng = np.random.default_rng(2)
+        t = 0.0
+        for i in range(40):  # flood: queue depth well over the first rung
+            t += 0.001
+            engine.submit("a", t, rng.normal(size=5))
+        engine.pump(max_frames=8, now_s=t)  # governor observes the backlog
+        assert engine.mode.severity > 0
+        # While escalated, every subsequent decision is max drain.
+        t += 0.001
+        engine.submit("a", t, rng.normal(size=5))
+        assert engine.queue.max_batch == 64
+        engine.flush()
+
+
+class TestAdaptiveByteIdentity:
+    def _serve(self, adaptive: bool, schedule, width=5, data_seed=3):
+        config = ServeConfig(
+            max_batch=32,
+            min_batch=2,
+            max_latency_ms=50.0,
+            queue_capacity=512,  # ample: overflow would couple the arms
+            adaptive_batching=adaptive,
+            arena_slots=600,
+        )
+        engine = InferenceEngine(RowMean(), config)
+        rng = np.random.default_rng(data_seed)
+        results = []
+        t = 0.0
+        for dt in schedule:
+            t += dt
+            results += engine.submit("a", t, rng.normal(size=width))
+        results += engine.flush()
+        stats = engine.link_stats("a")
+        engine.arena.check()
+        assert engine.arena.in_use == 0
+        return results, stats
+
+    def test_adaptive_matches_fixed_batching_byte_for_byte(self):
+        rng = np.random.default_rng(42)
+        schedule = [
+            float(rng.choice([0.0003, 0.004, 0.12])) for _ in range(400)
+        ]
+        adaptive, stats_a = self._serve(True, schedule)
+        fixed, stats_f = self._serve(False, schedule)
+        assert len(adaptive) == len(fixed) == 400
+        for a, f in zip(adaptive, fixed):
+            assert a.frame_id == f.frame_id
+            assert a.t_s == f.t_s
+            # Bit-level equality: batching must never touch numerics.
+            assert np.float64(a.probability).tobytes() == np.float64(
+                f.probability
+            ).tobytes()
+            assert a.state == f.state
+            assert a.source == f.source
+        assert stats_a == stats_f
+        assert stats_a["frames_in"] == stats_a["frames_out"] == 400
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    phases=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=50),
+            st.sampled_from([0.0005, 0.01, 0.15]),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    data_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_adaptive_ledger_reconciles_over_random_schedules(phases, data_seed):
+    """Randomized burst/lull property: exact accounting under adaptation."""
+    config = ServeConfig(
+        max_batch=16,
+        min_batch=2,
+        max_latency_ms=40.0,
+        queue_capacity=32,
+        adaptive_batching=True,
+        arena_slots=48,
+        stale_after_s=1.0,
+    )
+    engine = InferenceEngine(RowMean(), config)
+    rng = np.random.default_rng(data_seed)
+    answered = 0
+    t = 0.0
+    for n_frames, dt in phases:
+        for _ in range(n_frames):
+            t += dt
+            answered += len(engine.submit("x", t, rng.normal(size=4)))
+    answered += len(engine.flush())
+    stats = engine.link_stats("x")
+    dropped = (
+        stats["stale_dropped"]
+        + stats["deadline_expired"]
+        + stats["overflow"]
+        + stats["overload_shed"]
+        + stats["policy_rejected"]
+    )
+    assert stats["frames_out"] == answered
+    assert stats["frames_in"] == answered + dropped
+    if engine.arena is not None:
+        engine.arena.check()
+        assert engine.arena.in_use == 0
